@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark module regenerates one figure (or ablation) of the paper and
+uses ``pytest-benchmark`` to time the regeneration, so both the *content*
+(the series the paper plots, printed to stdout and asserted qualitatively)
+and the *cost* of reproducing it are tracked.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ApplicationWorkload, ResilienceParameters
+from repro.utils import MINUTE, WEEK
+
+
+@pytest.fixture(scope="session")
+def paper_parameters() -> ResilienceParameters:
+    """Figure 7 parameters at a 120-minute platform MTBF."""
+    return ResilienceParameters.from_scalars(
+        platform_mtbf=120 * MINUTE,
+        checkpoint=10 * MINUTE,
+        recovery=10 * MINUTE,
+        downtime=1 * MINUTE,
+        library_fraction=0.8,
+        abft_overhead=1.03,
+        abft_reconstruction=2.0,
+    )
+
+
+@pytest.fixture(scope="session")
+def paper_workload() -> ApplicationWorkload:
+    """Figure 7 one-week application at alpha = 0.8."""
+    return ApplicationWorkload.single_epoch(1 * WEEK, 0.8, library_fraction=0.8)

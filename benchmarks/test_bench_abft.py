@@ -1,0 +1,78 @@
+"""Benchmarks of the ABFT substrate: phi overhead and reconstruction cost.
+
+These are the measurements that ground the two scalars the analytical model
+consumes (``phi`` and ``Recons_ABFT``) in an actual implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.abft import AbftCholesky, AbftLU, ProcessGrid, abft_matmul
+from repro.abft.cholesky import random_spd
+from repro.abft.lu import lu_nopivot, random_diagonally_dominant
+
+N = 96
+BLOCK = 16
+GRID = ProcessGrid(2, 2)
+
+
+@pytest.fixture(scope="module")
+def lu_matrix():
+    return random_diagonally_dominant(N, np.random.default_rng(1))
+
+
+@pytest.fixture(scope="module")
+def spd_matrix():
+    return random_spd(N, np.random.default_rng(2))
+
+
+def test_unprotected_lu(benchmark, lu_matrix):
+    lower, upper = benchmark(lu_nopivot, lu_matrix)
+    assert np.allclose(lower @ upper, lu_matrix)
+
+
+def test_abft_protected_lu(benchmark, lu_matrix):
+    """The ratio of this benchmark to ``test_unprotected_lu`` is phi."""
+    result = benchmark(AbftLU(lu_matrix, block_size=BLOCK, grid=GRID).run)
+    assert result.residual < 1e-8
+
+
+def test_abft_lu_with_process_failure(benchmark, lu_matrix):
+    """Adds the mid-factorization reconstruction (Recons_ABFT) on top."""
+
+    def run():
+        return AbftLU(lu_matrix, block_size=BLOCK, grid=GRID).run(
+            fail_at_step=N // BLOCK // 2, fail_process=(0, 1)
+        )
+
+    result = benchmark(run)
+    assert result.residual < 1e-8
+    assert result.lost_blocks
+    print(f"\nreconstruction time: {result.reconstruction_time * 1e3:.3f} ms")
+
+
+def test_abft_protected_cholesky(benchmark, spd_matrix):
+    result = benchmark(AbftCholesky(spd_matrix, block_size=BLOCK, grid=GRID).run)
+    assert result.residual < 1e-8
+
+
+def test_abft_matmul_with_recovery(benchmark):
+    rng = np.random.default_rng(3)
+    a = rng.standard_normal((64, 64))
+    b = rng.standard_normal((64, 64))
+
+    def run():
+        return abft_matmul(
+            a,
+            b,
+            block_size=16,
+            num_checksums=2,
+            grid=ProcessGrid(2, 2),
+            fail_process=(1, 1),
+        )
+
+    result = benchmark(run)
+    assert result.recovered
+    assert result.error < 1e-9

@@ -1,0 +1,105 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+* optimal-period formula: Young vs Daly vs the paper's Equation 11;
+* failure distribution: exponential (model assumption) vs Weibull vs
+  log-normal at the same MTBF;
+* composite safeguard: on vs off for an application with short library
+  phases;
+* first-order model vs simulator across the MTBF range.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ApplicationWorkload
+from repro.core.analytical import AbftPeriodicCkptModel, PurePeriodicCkptModel
+from repro.core.protocols import PurePeriodicCkptSimulator
+from repro.failures import (
+    ExponentialFailureModel,
+    FailureTimeline,
+    LogNormalFailureModel,
+    WeibullFailureModel,
+)
+from repro.simulation import run_monte_carlo
+from repro.utils import MINUTE, WEEK
+
+
+@pytest.mark.parametrize("formula", ["paper", "young", "daly"])
+def test_period_formula_ablation(benchmark, formula, paper_parameters, paper_workload):
+    """The three period approximations give wastes within a point of each other."""
+    model = PurePeriodicCkptModel(paper_parameters, period_formula=formula)
+    prediction = benchmark(model.evaluate, paper_workload)
+    reference = PurePeriodicCkptModel(paper_parameters).waste(paper_workload)
+    assert prediction.waste == pytest.approx(reference, abs=0.02)
+    print(f"\n{formula}: waste={prediction.waste:.4f} period={prediction.details['period'] / MINUTE:.2f} min")
+
+
+@pytest.mark.parametrize(
+    "distribution",
+    ["exponential", "weibull", "lognormal"],
+)
+def test_failure_distribution_ablation(
+    benchmark, distribution, paper_parameters, paper_workload
+):
+    """Sensitivity of the simulated waste to the failure law (same MTBF)."""
+    mtbf = paper_parameters.platform_mtbf
+    models = {
+        "exponential": ExponentialFailureModel(mtbf),
+        "weibull": WeibullFailureModel(mtbf, shape=0.7),
+        "lognormal": LogNormalFailureModel(mtbf, sigma=1.0),
+    }
+    failure_model = models[distribution]
+    simulator = PurePeriodicCkptSimulator(paper_parameters, paper_workload)
+
+    def campaign():
+        wastes = []
+        for index in range(50):
+            rng = np.random.default_rng(1000 + index)
+            timeline = FailureTimeline(failure_model, rng)
+            wastes.append(simulator.simulate(timeline=timeline).waste)
+        return float(np.mean(wastes))
+
+    mean_waste = benchmark(campaign)
+    exponential_model_waste = PurePeriodicCkptModel(paper_parameters).waste(
+        paper_workload
+    )
+    # The exponential assumption of the model stays within ~0.15 waste of the
+    # bursty/heavy-tailed laws at the same MTBF.
+    assert abs(mean_waste - exponential_model_waste) < 0.15
+    print(f"\n{distribution}: simulated waste = {mean_waste:.4f}")
+
+
+def test_safeguard_ablation(benchmark, paper_parameters):
+    """Section III-B safeguard: short library phases fall back to checkpointing."""
+    workload = ApplicationWorkload.iterative(200, 30 * MINUTE, 0.1)
+
+    def evaluate():
+        on = AbftPeriodicCkptModel(paper_parameters, safeguard=True).waste(workload)
+        off = AbftPeriodicCkptModel(paper_parameters, safeguard=False).waste(workload)
+        return on, off
+
+    on, off = benchmark(evaluate)
+    assert on <= off
+    print(f"\nsafeguard on: {on:.4f}  safeguard off: {off:.4f}")
+
+
+def test_model_vs_simulation_gap_across_mtbf(benchmark, paper_parameters):
+    """Quantify the first-order model's error against the simulator."""
+    workload = ApplicationWorkload.single_epoch(1 * WEEK, 0.8, library_fraction=0.8)
+
+    def gaps():
+        results = {}
+        for mtbf_minutes in (60, 120, 240):
+            params = paper_parameters.with_mtbf(mtbf_minutes * MINUTE)
+            model = PurePeriodicCkptModel(params).waste(workload)
+            simulator = PurePeriodicCkptSimulator(params, workload)
+            campaign = run_monte_carlo(simulator.simulate_once, runs=60, seed=mtbf_minutes)
+            results[mtbf_minutes] = campaign.mean_waste - model
+        return results
+
+    differences = benchmark(gaps)
+    for mtbf_minutes, diff in differences.items():
+        assert abs(diff) < 0.12, f"gap too large at mtbf={mtbf_minutes}"
+    print("\nWASTE_simul - WASTE_model:", {k: round(v, 4) for k, v in differences.items()})

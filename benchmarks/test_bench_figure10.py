@@ -1,0 +1,46 @@
+"""Benchmark + regeneration of Figure 10 (constant checkpoint cost)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.application.scaling import ScalingMode
+from repro.experiments import run_figure9, run_figure10
+
+
+def test_figure10_series(benchmark):
+    result = benchmark(run_figure10)
+    for row in result.rows:
+        assert row.checkpoint_cost == pytest.approx(60.0)
+    last = result.rows[-1]
+    # Even with perfectly scalable checkpointing, the composite wins at 1M.
+    assert last.waste["ABFT&PeriodicCkpt"] < last.waste["BiPeriodicCkpt"]
+    assert last.waste["ABFT&PeriodicCkpt"] < last.waste["PurePeriodicCkpt"]
+    print("\n" + result.to_table().to_text())
+
+
+def test_figure10_vs_figure9_checkpoint_scaling_ablation(benchmark):
+    """Quantify how much the constant-cost hypothesis helps rollback protocols."""
+
+    def run_both():
+        return run_figure9(mtbf_scaling=ScalingMode.CONSTANT), run_figure10(
+            mtbf_scaling=ScalingMode.CONSTANT
+        )
+
+    growing, constant = benchmark(run_both)
+    last_growing = growing.rows[-1]
+    last_constant = constant.rows[-1]
+    assert (
+        last_constant.waste["PurePeriodicCkpt"]
+        < last_growing.waste["PurePeriodicCkpt"]
+    )
+    # The composite barely cares about the checkpoint cost (it rarely
+    # checkpoints), so its improvement is much smaller.
+    pure_gain = (
+        last_growing.waste["PurePeriodicCkpt"] - last_constant.waste["PurePeriodicCkpt"]
+    )
+    composite_gain = (
+        last_growing.waste["ABFT&PeriodicCkpt"]
+        - last_constant.waste["ABFT&PeriodicCkpt"]
+    )
+    assert pure_gain > 5 * composite_gain

@@ -1,0 +1,66 @@
+"""Benchmark + regeneration of Figure 7 (waste heatmaps and validation).
+
+``test_figure7_model_heatmaps`` regenerates the three model heatmaps on the
+paper's full (MTBF x alpha) grid; ``test_figure7_validation_point`` runs the
+Monte-Carlo validation behind Figures 7b/7d/7f for one representative grid
+point per protocol.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import paper_figure7_config, run_figure7, validate_configuration
+from repro.experiments.figure7 import PROTOCOLS
+from repro import ApplicationWorkload
+from repro.utils import MINUTE, WEEK
+
+
+def test_figure7_model_heatmaps(benchmark):
+    config = paper_figure7_config()
+    result = benchmark(run_figure7, config)
+    # Full paper grid: 10 MTBF values x 11 alpha values.
+    assert len(result.rows) == len(config.mtbf_values) * len(config.alpha_values)
+    # Qualitative shape of the heatmaps (Section V-B).
+    pure = result.waste_grid("PurePeriodicCkpt")
+    composite = result.waste_grid("ABFT&PeriodicCkpt")
+    worst = (config.mtbf_values[0], 0.0)
+    best = (config.mtbf_values[-1], 1.0)
+    assert pure[worst] > 0.5
+    assert composite[best] < 0.06
+    print("\n" + result.to_table().to_text())
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_figure7_validation_point(benchmark, protocol, paper_parameters):
+    """Model-vs-simulation difference at (mtbf = 120 min, alpha = 0.8)."""
+    workload = ApplicationWorkload.single_epoch(1 * WEEK, 0.8, library_fraction=0.8)
+    point = benchmark(
+        validate_configuration,
+        protocol,
+        paper_parameters,
+        workload,
+        runs=100,
+        seed=2014,
+    )
+    # Paper: difference below 12% at the smallest MTBF, below 5% elsewhere.
+    assert abs(point.difference) < 0.06
+    print(
+        f"\n{protocol}: model={point.model_waste:.4f} "
+        f"sim={point.simulated_waste:.4f} diff={point.difference:+.4f}"
+    )
+
+
+def test_figure7_low_mtbf_validation(benchmark, paper_parameters):
+    """The hardest validation point: MTBF = 60 min, alpha = 0.8."""
+    params = paper_parameters.with_mtbf(60 * MINUTE)
+    workload = ApplicationWorkload.single_epoch(1 * WEEK, 0.8, library_fraction=0.8)
+    point = benchmark(
+        validate_configuration,
+        "ABFT&PeriodicCkpt",
+        params,
+        workload,
+        runs=100,
+        seed=60,
+    )
+    assert abs(point.difference) < 0.12

@@ -1,0 +1,34 @@
+"""Benchmark + regeneration of Figure 9 (weak scaling, growing alpha)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.application.scaling import ScalingMode
+from repro.experiments import run_figure9
+
+
+def test_figure9_series(benchmark):
+    result = benchmark(run_figure9)
+    rows = {row.node_count: row for row in result.rows}
+    # Alpha values printed under the paper's x-axis.
+    assert rows[1_000].alpha == pytest.approx(0.55, abs=0.01)
+    assert rows[1_000_000].alpha == pytest.approx(0.975, abs=0.001)
+    # The composite's advantage grows with the machine.
+    gaps = [
+        row.waste["PurePeriodicCkpt"] - row.waste["ABFT&PeriodicCkpt"]
+        for row in result.rows
+        if row.waste["PurePeriodicCkpt"] < 1.0
+    ]
+    assert gaps[-1] > gaps[0]
+    print("\n" + result.to_table().to_text())
+
+
+def test_figure9_constant_mtbf_calibration(benchmark):
+    result = benchmark(run_figure9, mtbf_scaling=ScalingMode.CONSTANT)
+    last = result.rows[-1]
+    # Figure-level values: Pure/Bi around 0.36-0.40, composite below 0.1.
+    assert 0.3 < last.waste["PurePeriodicCkpt"] < 0.45
+    assert 0.3 < last.waste["BiPeriodicCkpt"] < 0.45
+    assert last.waste["ABFT&PeriodicCkpt"] < 0.1
+    print("\n" + result.to_table().to_text())

@@ -1,0 +1,39 @@
+"""Benchmark of the discrete-event simulator itself (Monte-Carlo throughput).
+
+The paper's validation campaign averages 1000 runs per grid point; this
+benchmark measures the cost of a 100-run campaign for each protocol at the
+Figure 7 operating point, so the full-grid campaign cost can be extrapolated.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.protocols import (
+    AbftPeriodicCkptSimulator,
+    BiPeriodicCkptSimulator,
+    PurePeriodicCkptSimulator,
+)
+from repro.simulation import run_monte_carlo
+
+SIMULATORS = {
+    "PurePeriodicCkpt": PurePeriodicCkptSimulator,
+    "BiPeriodicCkpt": BiPeriodicCkptSimulator,
+    "ABFT&PeriodicCkpt": AbftPeriodicCkptSimulator,
+}
+
+
+@pytest.mark.parametrize("protocol", sorted(SIMULATORS))
+def test_monte_carlo_campaign(benchmark, protocol, paper_parameters, paper_workload):
+    simulator = SIMULATORS[protocol](paper_parameters, paper_workload)
+    result = benchmark(
+        run_monte_carlo, simulator.simulate_once, runs=100, seed=1
+    )
+    assert result.runs == 100
+    assert 0.0 < result.mean_waste < 1.0
+
+
+def test_single_simulation_run(benchmark, paper_parameters, paper_workload):
+    simulator = AbftPeriodicCkptSimulator(paper_parameters, paper_workload)
+    trace = benchmark(simulator.simulate, seed=3)
+    assert trace.makespan > paper_workload.total_time

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""ABFT mechanism demonstration: surviving a process crash without rollback.
+
+The composite protocol of the paper relies on the fact that ABFT-protected
+library calls can rebuild the data of a crashed process from checksums and
+continue, instead of rolling the whole application back to a checkpoint.
+This example shows that mechanism end to end on the package's own dense
+linear-algebra substrate:
+
+1. an ABFT matrix multiplication loses the result blocks of one process and
+   rebuilds them exactly from the checksum blocks;
+2. an ABFT LU factorization is interrupted half-way by a process failure that
+   destroys the process's blocks in the already-computed L and U panels *and*
+   in the trailing matrix; everything is reconstructed and the factorization
+   finishes with a residual at machine precision;
+3. the overhead parameters the analytical model consumes (phi and
+   Recons_ABFT) are measured on the substrate.
+
+Run with::
+
+    python examples/abft_factorization_demo.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.abft import AbftCholesky, AbftLU, ProcessGrid, abft_matmul, measure_overhead
+from repro.abft.cholesky import random_spd
+from repro.abft.lu import random_diagonally_dominant
+
+
+def demo_matmul(rng: np.random.Generator) -> None:
+    print("1. ABFT matrix multiplication (Huang & Abraham full-checksum product)")
+    a = rng.standard_normal((16, 16))
+    b = rng.standard_normal((16, 16))
+    grid = ProcessGrid(2, 2)
+    result = abft_matmul(
+        a, b, block_size=4, num_checksums=2, grid=grid, fail_process=(1, 1)
+    )
+    print(f"   blocks destroyed by the crash of process (1,1): {len(result.lost_blocks)}")
+    print(f"   all blocks recovered from checksums          : {result.recovered}")
+    print(f"   max |C - A@B| after recovery                 : {result.error:.2e}")
+
+
+def demo_lu(rng: np.random.Generator) -> None:
+    print("\n2. ABFT LU factorization with a mid-factorization process failure")
+    matrix = random_diagonally_dominant(64, rng)
+    grid = ProcessGrid(2, 2)
+    factorization = AbftLU(matrix, block_size=8, grid=grid)
+    result = factorization.run(fail_at_step=4, fail_process=(0, 1))
+    print(f"   failure injected at step                     : {result.fail_step}")
+    print(f"   blocks destroyed (L, U and trailing)         : {len(result.lost_blocks)}")
+    print(f"   reconstruction time                          : {result.reconstruction_time * 1e3:.2f} ms")
+    print(f"   |A - L U| residual after completion          : {result.residual:.2e}")
+    print(f"   checksum residual on L (G L relation)        : {result.l_checksum_residual:.2e}")
+    print(f"   checksum residual on U (U W relation)        : {result.u_checksum_residual:.2e}")
+
+
+def demo_cholesky(rng: np.random.Generator) -> None:
+    print("\n3. ABFT Cholesky factorization with a process failure")
+    matrix = random_spd(64, rng)
+    result = AbftCholesky(matrix, block_size=8, grid=ProcessGrid(2, 2)).run(
+        fail_at_step=3, fail_process=(1, 0)
+    )
+    print(f"   blocks destroyed                             : {len(result.lost_blocks)}")
+    print(f"   |A - L L^T| residual after completion        : {result.residual:.2e}")
+
+
+def demo_overhead() -> None:
+    print("\n4. Measured model parameters (phi, Recons_ABFT) on this substrate")
+    measurement = measure_overhead("lu", n=128, block_size=32, trials=3)
+    print(f"   unprotected LU time                          : {measurement.unprotected_time:.4f} s")
+    print(f"   ABFT-protected LU time                       : {measurement.protected_time:.4f} s")
+    print(f"   measured phi (slowdown)                      : {measurement.phi:.2f}")
+    print(f"   measured reconstruction time                 : {measurement.reconstruction_time * 1e3:.2f} ms")
+    print(
+        "   (production ABFT implementations on real clusters achieve "
+        "phi ~ 1.03; the pure-Python blocked kernels here pay a larger "
+        "constant, which is why the model takes phi as a parameter.)"
+    )
+
+
+def main() -> None:
+    rng = np.random.default_rng(2014)
+    demo_matmul(rng)
+    demo_lu(rng)
+    demo_cholesky(rng)
+    demo_overhead()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Regenerate Figure 7: waste heatmaps and model validation.
+
+Figure 7 of the paper shows, for each protocol, the waste over a grid of
+platform MTBFs (60-240 minutes) and LIBRARY-time ratios alpha (0-1), plus the
+difference between the waste measured by the discrete-event simulator and the
+waste predicted by the model.
+
+This example prints the model heatmap as an ASCII table (one block per
+protocol) and runs the simulation validation on a reduced grid so it
+completes in a few seconds.  Use ``python -m repro.cli figure7 --validate``
+for the full-resolution campaign.
+
+Run with::
+
+    python examples/figure7_waste_heatmaps.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import paper_figure7_config, run_figure7
+from repro.experiments.figure7 import PROTOCOLS
+from repro.utils import MINUTE
+
+
+def print_heatmap(result, protocol: str) -> None:
+    """Print one protocol's waste as an alpha (rows) x MTBF (columns) grid."""
+    config = result.config
+    print(f"\nWaste of {protocol} (model)")
+    header = "alpha\\mtbf(min) " + "".join(
+        f"{m / MINUTE:>8.0f}" for m in config.mtbf_values
+    )
+    print(header)
+    grid = result.waste_grid(protocol)
+    for alpha in reversed(config.alpha_values):
+        row = f"{alpha:>14.2f} " + "".join(
+            f"{grid[(m, alpha)]:>8.3f}" for m in config.mtbf_values
+        )
+        print(row)
+
+
+def main() -> None:
+    # Model heatmaps on the paper's full grid (cheap: closed form).
+    full = run_figure7(paper_figure7_config())
+    for protocol in PROTOCOLS:
+        print_heatmap(full, protocol)
+
+    # Validation (Figures 7b/7d/7f) on a reduced grid with 100 runs/point.
+    reduced = paper_figure7_config().reduced(mtbf_count=3, alpha_count=3)
+    validated = run_figure7(reduced, validate=True, simulation_runs=100, seed=7)
+    print("\nModel validation: WASTE_simul - WASTE_model (reduced grid)")
+    print(f"{'mtbf(min)':>10} {'alpha':>6}", end="")
+    for protocol in PROTOCOLS:
+        print(f" {protocol:>20}", end="")
+    print()
+    for row in validated.rows:
+        print(f"{row.mtbf / MINUTE:>10.0f} {row.alpha:>6.2f}", end="")
+        for protocol in PROTOCOLS:
+            print(f" {row.difference(protocol):>20.4f}", end="")
+        print()
+    for protocol in PROTOCOLS:
+        print(
+            f"max |difference| for {protocol}: "
+            f"{validated.max_difference(protocol):.4f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Regenerate the weak-scalability study (Figures 8, 9 and 10).
+
+The study evaluates the three protocols while the machine grows from one
+thousand to one million nodes under Gustafson weak scaling.  Three scenarios
+are considered:
+
+* **Figure 8** -- both phases are O(n^3) kernels (alpha stays at 0.8) and the
+  checkpoint cost grows linearly with the total memory;
+* **Figure 9** -- the GENERAL phase is an O(n^2) update (constant time), so
+  alpha grows with the machine (0.55 -> 0.975);
+* **Figure 10** -- like Figure 9 but with a constant 60 s checkpoint cost
+  (perfectly scalable buddy/NVRAM checkpoint storage).
+
+For each scenario the script prints the waste and expected-failure series of
+the paper and the node count at which the composite protocol overtakes pure
+periodic checkpointing.  Both readings of the platform-MTBF scaling are
+reported (see EXPERIMENTS.md for the discussion).
+
+Run with::
+
+    python examples/weak_scaling_study.py
+"""
+
+from __future__ import annotations
+
+from repro.application.scaling import ScalingMode
+from repro.experiments import run_figure8, run_figure9, run_figure10
+
+
+def report(result) -> None:
+    print()
+    print(result.to_table().to_text())
+    crossover = result.crossover_node_count()
+    if crossover is None:
+        print("ABFT&PeriodicCkpt never overtakes PurePeriodicCkpt in this range")
+    else:
+        print(
+            f"ABFT&PeriodicCkpt overtakes PurePeriodicCkpt at {crossover:,} nodes"
+        )
+
+
+def main() -> None:
+    for mtbf_scaling, label in (
+        (ScalingMode.INVERSE, "platform MTBF shrinking with the node count (paper text)"),
+        (ScalingMode.CONSTANT, "platform MTBF held at its 10k-node value (figure calibration)"),
+    ):
+        print("=" * 78)
+        print(f"MTBF scaling: {label}")
+        print("=" * 78)
+        report(run_figure8(mtbf_scaling=mtbf_scaling))
+        report(run_figure9(mtbf_scaling=mtbf_scaling))
+        report(run_figure10(mtbf_scaling=mtbf_scaling))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+Package metadata lives in ``pyproject.toml``; this file only exists so that
+``pip install -e .`` can fall back to the legacy (setup.py develop) editable
+path on environments whose setuptools/wheel combination does not support
+PEP 660 editable wheels (e.g. offline machines without the ``wheel``
+package).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,124 @@
+"""repro: a reproduction of "Assessing the Impact of ABFT and Checkpoint
+Composite Strategies" (Bosilca, Bouteiller, Herault, Robert, Dongarra --
+APDCM / IPDPSW 2014).
+
+The package provides, from scratch and in pure Python + NumPy:
+
+* the paper's analytical performance model for the PurePeriodicCkpt,
+  BiPeriodicCkpt and ABFT&PeriodicCkpt protocols (:mod:`repro.core.analytical`);
+* a discrete-event simulator of the same protocols used to validate the
+  model (:mod:`repro.core.protocols`, :mod:`repro.simulation`);
+* the substrates those depend on: failure models (:mod:`repro.failures`),
+  application phase models (:mod:`repro.application`) and checkpoint storage
+  cost models (:mod:`repro.checkpointing`);
+* an actual ABFT-protected dense linear-algebra layer demonstrating the
+  mechanism the model abstracts (:mod:`repro.abft`);
+* the experiment harness regenerating every figure of the evaluation section
+  (:mod:`repro.experiments`, also exposed through ``python -m repro.cli``).
+
+Quickstart
+----------
+>>> from repro import quick_waste_comparison
+>>> from repro.utils import MINUTE, WEEK
+>>> table = quick_waste_comparison(
+...     application_time=1 * WEEK, alpha=0.8, mtbf=120 * MINUTE,
+...     checkpoint=10 * MINUTE, downtime=1 * MINUTE)
+>>> sorted(table) == ['ABFT&PeriodicCkpt', 'BiPeriodicCkpt', 'PurePeriodicCkpt']
+True
+>>> table['ABFT&PeriodicCkpt'] < table['PurePeriodicCkpt']
+True
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    AbftPeriodicCkptModel,
+    AbftPeriodicCkptSimulator,
+    AnalyticalModel,
+    BiPeriodicCkptModel,
+    BiPeriodicCkptSimulator,
+    ModelPrediction,
+    NoFaultToleranceModel,
+    NoFaultToleranceSimulator,
+    ProtocolSimulator,
+    PurePeriodicCkptModel,
+    PurePeriodicCkptSimulator,
+    ResilienceParameters,
+)
+from repro.application import ApplicationWorkload, DatasetPartition, Epoch
+from repro.checkpointing import CheckpointCostModel, CheckpointCosts
+from repro.failures import ExponentialFailureModel, FailureTimeline, Platform
+from repro.simulation import MonteCarloResult, run_monte_carlo
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # Parameters and workloads
+    "ResilienceParameters",
+    "ApplicationWorkload",
+    "DatasetPartition",
+    "Epoch",
+    "CheckpointCosts",
+    "CheckpointCostModel",
+    "Platform",
+    "ExponentialFailureModel",
+    "FailureTimeline",
+    # Analytical models
+    "AnalyticalModel",
+    "ModelPrediction",
+    "NoFaultToleranceModel",
+    "PurePeriodicCkptModel",
+    "BiPeriodicCkptModel",
+    "AbftPeriodicCkptModel",
+    # Simulators
+    "ProtocolSimulator",
+    "NoFaultToleranceSimulator",
+    "PurePeriodicCkptSimulator",
+    "BiPeriodicCkptSimulator",
+    "AbftPeriodicCkptSimulator",
+    "run_monte_carlo",
+    "MonteCarloResult",
+    # Convenience
+    "quick_waste_comparison",
+]
+
+
+def quick_waste_comparison(
+    *,
+    application_time: float,
+    alpha: float,
+    mtbf: float,
+    checkpoint: float,
+    recovery: float | None = None,
+    downtime: float = 60.0,
+    library_fraction: float = 0.8,
+    abft_overhead: float = 1.03,
+    abft_reconstruction: float = 2.0,
+) -> dict[str, float]:
+    """Predicted waste of the three protocols for a single-epoch application.
+
+    A convenience wrapper around the analytical models for the most common
+    question: *given my application and platform, which protocol wastes the
+    least platform time?*  All durations are in seconds.
+
+    Returns a mapping ``{protocol name: waste}``.
+    """
+    params = ResilienceParameters.from_scalars(
+        platform_mtbf=mtbf,
+        checkpoint=checkpoint,
+        recovery=recovery,
+        downtime=downtime,
+        library_fraction=library_fraction,
+        abft_overhead=abft_overhead,
+        abft_reconstruction=abft_reconstruction,
+    )
+    workload = ApplicationWorkload.single_epoch(
+        application_time, alpha, library_fraction=library_fraction
+    )
+    models = (
+        PurePeriodicCkptModel(params),
+        BiPeriodicCkptModel(params),
+        AbftPeriodicCkptModel(params),
+    )
+    return {model.name: model.evaluate(workload).waste for model in models}

@@ -1,0 +1,67 @@
+"""Algorithm-Based Fault Tolerance (ABFT) dense linear-algebra substrate.
+
+The composite protocol of the paper treats the ABFT library as a black box
+characterised by two scalars: the slowdown ``phi`` of the protected
+computation and the reconstruction time ``Recons_ABFT`` after a failure.
+This package implements the mechanism behind those scalars, in the spirit of
+Huang & Abraham's original scheme [7] and of the ABFT dense factorizations
+the paper cites ([9], [10]):
+
+* :mod:`repro.abft.process_grid` -- a simulated 2-D block-cyclic process
+  grid (the data distribution of ScaLAPACK-like libraries); a process
+  failure translates into the loss of every matrix block the process owns.
+* :mod:`repro.abft.checksum` -- weighted block-checksum encodings
+  (generator matrices, encoding, verification and erasure recovery).
+* :mod:`repro.abft.matmul` -- ABFT matrix multiplication: the full-checksum
+  product of Huang & Abraham, with fault injection and recovery.
+* :mod:`repro.abft.lu` -- ABFT blocked LU factorization (no pivoting):
+  checksum columns protect U and the trailing matrix, checksum rows protect
+  L; a process failure in the middle of the factorization is repaired and
+  the factorization continues, exactly the behaviour the composite protocol
+  exploits during LIBRARY phases.
+* :mod:`repro.abft.cholesky` -- ABFT blocked Cholesky factorization with the
+  same protection scheme.
+* :mod:`repro.abft.recovery` -- the erasure-recovery primitives shared by
+  the kernels.
+* :mod:`repro.abft.overhead` -- empirical measurement of ``phi`` and of the
+  reconstruction time, providing model parameters grounded in the substrate.
+"""
+
+from repro.abft.process_grid import ProcessGrid
+from repro.abft.checksum import (
+    BlockChecksumEncoding,
+    generator_matrix,
+    encode_column_checksums,
+    encode_row_checksums,
+    verify_column_checksums,
+    verify_row_checksums,
+)
+from repro.abft.recovery import (
+    recover_blocks_in_row,
+    recover_blocks_in_column,
+    RecoveryError,
+)
+from repro.abft.matmul import AbftMatmulResult, abft_matmul
+from repro.abft.lu import AbftLU, AbftFactorizationResult
+from repro.abft.cholesky import AbftCholesky
+from repro.abft.overhead import MeasuredOverhead, measure_overhead
+
+__all__ = [
+    "ProcessGrid",
+    "BlockChecksumEncoding",
+    "generator_matrix",
+    "encode_column_checksums",
+    "encode_row_checksums",
+    "verify_column_checksums",
+    "verify_row_checksums",
+    "recover_blocks_in_row",
+    "recover_blocks_in_column",
+    "RecoveryError",
+    "AbftMatmulResult",
+    "abft_matmul",
+    "AbftLU",
+    "AbftCholesky",
+    "AbftFactorizationResult",
+    "MeasuredOverhead",
+    "measure_overhead",
+]

@@ -1,0 +1,426 @@
+"""Shared engine of the ABFT blocked factorizations (LU and Cholesky).
+
+The engine maintains an *extended* working matrix carrying both row and
+column checksum blocks.  At every step of the right-looking blocked
+factorization the checksum blocks are updated by the same GEMM as the data,
+so the following invariants hold (see :mod:`repro.abft.checksum` for the
+algebra):
+
+* the trailing matrix (block rows/columns ``>= k``) keeps valid row *and*
+  column checksums over the not-yet-eliminated blocks;
+* the already-computed ``L`` panels carry checksum rows equal to ``G @ L``;
+* the already-computed ``U`` rows (LU only) carry checksum columns equal to
+  ``U @ W``.
+
+A process failure at the beginning of step ``k`` destroys every data block
+owned by that process -- in the factored panels *and* in the trailing
+matrix.  :meth:`BlockedAbftFactorization.run` rebuilds all of them from the
+checksums and resumes the factorization, which is exactly the recovery the
+composite protocol of the paper relies on during LIBRARY phases (and whose
+cost the model calls ``Recons_ABFT``).
+
+Checksum blocks are assumed to live on dedicated (non-failing) resources, a
+common deployment choice that keeps the demonstration focused; the recovery
+primitives themselves support any loss pattern within the checksum budget.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.abft.checksum import checksum_weight_matrix, generator_matrix
+from repro.abft.process_grid import ProcessGrid
+from repro.abft.recovery import (
+    RecoveryError,
+    recover_blocks_in_column,
+    recover_blocks_in_row,
+)
+
+__all__ = ["AbftFactorizationResult", "BlockedAbftFactorization"]
+
+
+@dataclass(frozen=True)
+class AbftFactorizationResult:
+    """Outcome of an ABFT-protected factorization.
+
+    Attributes
+    ----------
+    kernel:
+        ``"lu"`` or ``"cholesky"``.
+    n / block_size / num_checksums:
+        Problem size and protection parameters.
+    l_factor:
+        The computed ``L`` factor (unit lower triangular for LU, lower
+        triangular for Cholesky), data part only.
+    u_factor:
+        The computed ``U`` factor for LU; ``None`` for Cholesky (use
+        ``l_factor.T``).
+    residual:
+        ``max |A - L U|`` (or ``|A - L L^T|``) normalised by ``max |A|``.
+    l_checksum_residual / u_checksum_residual:
+        Residuals of the ``G L`` / ``U W`` checksum relations on the final
+        factors (``u_checksum_residual`` is 0 for Cholesky).
+    lost_blocks:
+        Data blocks destroyed by the injected failure (empty if none).
+    fail_step:
+        Step at which the failure was injected (``None`` if none).
+    reconstruction_time:
+        Wall-clock seconds spent rebuilding the lost blocks.
+    """
+
+    kernel: str
+    n: int
+    block_size: int
+    num_checksums: int
+    l_factor: np.ndarray
+    u_factor: Optional[np.ndarray]
+    residual: float
+    l_checksum_residual: float
+    u_checksum_residual: float
+    lost_blocks: tuple[tuple[int, int], ...] = field(default_factory=tuple)
+    fail_step: Optional[int] = None
+    reconstruction_time: float = 0.0
+
+    @property
+    def protected_recovery_succeeded(self) -> bool:
+        """True when the factorization is accurate despite the injected failure."""
+        return bool(self.lost_blocks) and self.residual < 1e-6
+
+
+class BlockedAbftFactorization:
+    """Right-looking blocked factorization of a checksum-extended matrix.
+
+    Subclasses provide the panel kernel (:meth:`_factor_panel`) and the name
+    of the kernel; everything else -- encoding, failure injection, recovery,
+    verification -- is shared.
+
+    Parameters
+    ----------
+    matrix:
+        Square input matrix; its order must be a multiple of ``block_size``.
+        LU requires a matrix that is factorizable without pivoting (e.g.
+        diagonally dominant); Cholesky requires symmetric positive definite.
+    block_size:
+        Block size ``b`` of the algorithm and of the checksum encoding.
+    num_checksums:
+        Number of checksum block rows/columns.  ``None`` derives the minimum
+        needed to survive one process failure on ``grid``.
+    grid:
+        Simulated process grid (default ``1 x 1``).
+    """
+
+    kernel = "generic"
+
+    def __init__(
+        self,
+        matrix: np.ndarray,
+        *,
+        block_size: int,
+        num_checksums: Optional[int] = None,
+        grid: Optional[ProcessGrid] = None,
+    ) -> None:
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ValueError("matrix must be square")
+        if block_size <= 0 or matrix.shape[0] % block_size != 0:
+            raise ValueError("matrix order must be a positive multiple of block_size")
+        self._a = matrix.copy()
+        self._n = matrix.shape[0]
+        self._b = int(block_size)
+        self._nb = self._n // self._b
+        self._grid = grid or ProcessGrid(1, 1)
+        if num_checksums is None:
+            num_checksums = self._grid.required_checksums(self._nb, self._nb)
+        if num_checksums <= 0:
+            raise ValueError("num_checksums must be positive")
+        self._c = int(num_checksums)
+        self._generator = generator_matrix(self._nb, self._c)
+        self._weights = checksum_weight_matrix(self._generator, self._b)
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def matrix(self) -> np.ndarray:
+        """The (copied) input matrix."""
+        return self._a
+
+    @property
+    def block_size(self) -> int:
+        """Block size ``b``."""
+        return self._b
+
+    @property
+    def num_block_rows(self) -> int:
+        """Number of data block rows/columns."""
+        return self._nb
+
+    @property
+    def num_checksums(self) -> int:
+        """Number of checksum block rows/columns."""
+        return self._c
+
+    @property
+    def grid(self) -> ProcessGrid:
+        """The simulated process grid."""
+        return self._grid
+
+    # ------------------------------------------------------------------ #
+    # Subclass hooks
+    # ------------------------------------------------------------------ #
+    def _factor_panel(self, diag_block: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Factor the diagonal block; return ``(L_kk, U_kk)``."""
+        raise NotImplementedError
+
+    @property
+    def _stores_u(self) -> bool:
+        """Whether the kernel produces a distinct ``U`` factor."""
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Main driver
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        *,
+        fail_at_step: Optional[int] = None,
+        fail_process: Optional[tuple[int, int]] = None,
+        lost_blocks: Optional[Sequence[tuple[int, int]]] = None,
+    ) -> AbftFactorizationResult:
+        """Factor the matrix, optionally injecting and repairing a failure.
+
+        Parameters
+        ----------
+        fail_at_step:
+            Step (block column index) at whose beginning the failure strikes.
+        fail_process:
+            Grid coordinates of the process that crashes; all its data
+            blocks are destroyed.
+        lost_blocks:
+            Explicit list of data blocks to destroy instead of (or in
+            addition to) a process failure.
+        """
+        b, nb, c = self._b, self._nb, self._c
+        n = self._n
+        ext = (nb + c) * b
+
+        # Build the fully extended working matrix [[A, AW], [G A, G A W]].
+        working = np.empty((ext, ext), dtype=float)
+        working[:n, :n] = self._a
+        working[:n, n:] = self._a @ self._weights
+        working[n:, :n] = self._weights.T @ self._a
+        working[n:, n:] = self._weights.T @ self._a @ self._weights
+
+        l_ext = np.zeros((ext, n), dtype=float)
+        u_ext = np.zeros((n, ext), dtype=float)
+
+        destroyed: list[tuple[int, int]] = []
+        fail_step_used: Optional[int] = None
+        reconstruction_time = 0.0
+
+        for k in range(nb):
+            if fail_at_step is not None and k == fail_at_step and (
+                fail_process is not None or lost_blocks
+            ):
+                lost = self._lost_data_blocks(fail_process, lost_blocks)
+                destroyed = lost
+                fail_step_used = k
+                start = time.perf_counter()
+                self._inject_failure(working, l_ext, u_ext, lost, k)
+                self._recover(working, l_ext, u_ext, lost, k)
+                reconstruction_time = time.perf_counter() - start
+
+            self._step(working, l_ext, u_ext, k)
+
+        return self._build_result(
+            l_ext, u_ext, destroyed, fail_step_used, reconstruction_time
+        )
+
+    # ------------------------------------------------------------------ #
+    # One factorization step
+    # ------------------------------------------------------------------ #
+    def _step(
+        self, working: np.ndarray, l_ext: np.ndarray, u_ext: np.ndarray, k: int
+    ) -> None:
+        b = self._b
+        start, end = k * b, (k + 1) * b
+        l_kk, u_kk = self._factor_panel(working[start:end, start:end])
+        l_ext[start:end, start:end] = l_kk
+        u_ext[start:end, start:end] = u_kk
+
+        below = working[end:, start:end]
+        right = working[start:end, end:]
+        # L panel (rows below the diagonal block, checksum rows included):
+        # solve X @ U_kk = below  =>  X = below @ inv(U_kk)
+        l_panel = np.linalg.solve(u_kk.T, below.T).T
+        # U panel (columns right of the diagonal block, checksum cols included):
+        # solve L_kk @ X = right
+        u_panel = np.linalg.solve(l_kk, right)
+
+        l_ext[end:, start:end] = l_panel
+        u_ext[start:end, end:] = u_panel
+        working[end:, end:] -= l_panel @ u_panel
+
+    # ------------------------------------------------------------------ #
+    # Failure injection and recovery
+    # ------------------------------------------------------------------ #
+    def _lost_data_blocks(
+        self,
+        fail_process: Optional[tuple[int, int]],
+        lost_blocks: Optional[Sequence[tuple[int, int]]],
+    ) -> list[tuple[int, int]]:
+        lost: set[tuple[int, int]] = set()
+        if lost_blocks:
+            lost.update(tuple(block) for block in lost_blocks)
+        if fail_process is not None:
+            lost.update(
+                self._grid.blocks_owned(
+                    fail_process[0], fail_process[1], self._nb, self._nb
+                )
+            )
+        for i, j in lost:
+            if not (0 <= i < self._nb and 0 <= j < self._nb):
+                raise ValueError(f"lost block {(i, j)} outside the data matrix")
+        return sorted(lost)
+
+    def _inject_failure(
+        self,
+        working: np.ndarray,
+        l_ext: np.ndarray,
+        u_ext: np.ndarray,
+        lost: Sequence[tuple[int, int]],
+        k: int,
+    ) -> None:
+        """Destroy every lost data block in the factored and trailing regions."""
+        b = self._b
+        for i, j in lost:
+            rows = slice(i * b, (i + 1) * b)
+            cols = slice(j * b, (j + 1) * b)
+            if i >= k and j >= k:
+                working[rows, cols] = 0.0
+            if j < k and i >= j:
+                l_ext[rows, cols] = 0.0
+            if i < k and j >= i and self._stores_u:
+                u_ext[rows, cols] = 0.0
+
+    def _recover(
+        self,
+        working: np.ndarray,
+        l_ext: np.ndarray,
+        u_ext: np.ndarray,
+        lost: Sequence[tuple[int, int]],
+        k: int,
+    ) -> None:
+        """Rebuild every lost block from the maintained checksums."""
+        b, nb = self._b, self._nb
+        # --- L panels: column j < k, protected by the G L relation -------- #
+        for j in sorted({j for i, j in lost if j < k and i >= j}):
+            lost_rows = sorted(i for i, jj in lost if jj == j and i >= j)
+            recover_blocks_in_column(
+                l_ext,
+                slice(j * b, (j + 1) * b),
+                lost_rows,
+                block_size=b,
+                generator=self._generator,
+                participating_block_rows=range(j, nb),
+                checksum_row_start=nb * b,
+            )
+        # --- U rows: row i < k, protected by the U W relation ------------- #
+        if self._stores_u:
+            for i in sorted({i for i, j in lost if i < k and j >= i}):
+                lost_cols = sorted(j for ii, j in lost if ii == i and j >= i)
+                recover_blocks_in_row(
+                    u_ext,
+                    slice(i * b, (i + 1) * b),
+                    lost_cols,
+                    block_size=b,
+                    generator=self._generator,
+                    participating_block_cols=range(i, nb),
+                    checksum_col_start=nb * b,
+                )
+        # --- Trailing matrix: both directions, iteratively ---------------- #
+        remaining = {(i, j) for i, j in lost if i >= k and j >= k}
+        participating = list(range(k, nb))
+        progress = True
+        while remaining and progress:
+            progress = False
+            for i in sorted({i for i, _ in remaining}):
+                lost_cols = sorted(j for ii, j in remaining if ii == i)
+                if 0 < len(lost_cols) <= self._c:
+                    recover_blocks_in_row(
+                        working,
+                        slice(i * b, (i + 1) * b),
+                        lost_cols,
+                        block_size=b,
+                        generator=self._generator,
+                        participating_block_cols=participating,
+                        checksum_col_start=nb * b,
+                    )
+                    remaining -= {(i, j) for j in lost_cols}
+                    progress = True
+            for j in sorted({j for _, j in remaining}):
+                lost_rows = sorted(i for i, jj in remaining if jj == j)
+                if 0 < len(lost_rows) <= self._c:
+                    recover_blocks_in_column(
+                        working,
+                        slice(j * b, (j + 1) * b),
+                        lost_rows,
+                        block_size=b,
+                        generator=self._generator,
+                        participating_block_rows=participating,
+                        checksum_row_start=nb * b,
+                    )
+                    remaining -= {(i, j) for i in lost_rows}
+                    progress = True
+        if remaining:
+            raise RecoveryError(
+                f"unable to rebuild {len(remaining)} trailing blocks with "
+                f"{self._c} checksums: {sorted(remaining)}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Result assembly
+    # ------------------------------------------------------------------ #
+    def _build_result(
+        self,
+        l_ext: np.ndarray,
+        u_ext: np.ndarray,
+        destroyed: Sequence[tuple[int, int]],
+        fail_step: Optional[int],
+        reconstruction_time: float,
+    ) -> AbftFactorizationResult:
+        n = self._n
+        l_data = l_ext[:n, :]
+        scale = max(1.0, float(np.abs(self._a).max()))
+        if self._stores_u:
+            u_data = u_ext[:, :n]
+            residual = float(np.abs(self._a - l_data @ u_data).max()) / scale
+            u_checksum_residual = (
+                float(np.abs(u_ext[:, n:] - u_data @ self._weights).max()) / scale
+            )
+            u_factor: Optional[np.ndarray] = u_data
+        else:
+            residual = float(np.abs(self._a - l_data @ l_data.T).max()) / scale
+            u_checksum_residual = 0.0
+            u_factor = None
+        l_checksum_residual = (
+            float(np.abs(l_ext[n:, :] - self._weights.T @ l_data).max()) / scale
+        )
+        return AbftFactorizationResult(
+            kernel=self.kernel,
+            n=n,
+            block_size=self._b,
+            num_checksums=self._c,
+            l_factor=l_data,
+            u_factor=u_factor,
+            residual=residual,
+            l_checksum_residual=l_checksum_residual,
+            u_checksum_residual=u_checksum_residual,
+            lost_blocks=tuple(destroyed),
+            fail_step=fail_step,
+            reconstruction_time=reconstruction_time,
+        )

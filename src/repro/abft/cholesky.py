@@ -1,0 +1,54 @@
+"""ABFT blocked Cholesky factorization.
+
+``A = L L^T`` for symmetric positive definite ``A``.  The protection scheme
+is identical to the LU one (checksum rows protect the computed panels,
+row+column checksums protect the trailing matrix); only the panel kernel
+changes.  This mirrors the ABFT Cholesky of the dense-linear-algebra
+literature the paper builds on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.abft.blocked import BlockedAbftFactorization
+
+__all__ = ["AbftCholesky", "random_spd"]
+
+
+def random_spd(n: int, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Random symmetric positive definite matrix of order ``n``."""
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    rng = rng or np.random.default_rng()
+    factor = rng.standard_normal((n, n))
+    return factor @ factor.T + n * np.eye(n)
+
+
+class AbftCholesky(BlockedAbftFactorization):
+    """ABFT-protected blocked Cholesky factorization.
+
+    The result's :attr:`~repro.abft.blocked.AbftFactorizationResult.l_factor`
+    satisfies ``A ~= L @ L.T``; no separate ``U`` factor is produced.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> rng = np.random.default_rng(3)
+    >>> a = random_spd(12, rng)
+    >>> result = AbftCholesky(a, block_size=4).run()
+    >>> result.residual < 1e-8
+    True
+    """
+
+    kernel = "cholesky"
+
+    def _factor_panel(self, diag_block: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        lower = np.linalg.cholesky(np.asarray(diag_block, dtype=float))
+        return lower, lower.T
+
+    @property
+    def _stores_u(self) -> bool:
+        return False

@@ -1,0 +1,172 @@
+"""Erasure recovery of lost matrix blocks from weighted checksums.
+
+The primitives here rebuild blocks destroyed by a process failure.  They work
+one block row (column-checksum recovery) or one block column (row-checksum
+recovery) at a time: within that row/column, the surviving data blocks plus
+the checksum blocks form a linear system in the lost blocks, with scalar
+coefficients taken from the generator matrix.  Up to ``num_checksums`` blocks
+per row/column can be recovered.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["RecoveryError", "recover_blocks_in_row", "recover_blocks_in_column"]
+
+
+class RecoveryError(RuntimeError):
+    """Raised when the lost blocks cannot be reconstructed.
+
+    Typical causes: more blocks lost within a block row/column than there are
+    checksums, or a (numerically) singular recovery system.
+    """
+
+
+def _solve_erasures(
+    generator: np.ndarray,
+    participating: Sequence[int],
+    lost: Sequence[int],
+    surviving_sum_rhs: np.ndarray,
+) -> np.ndarray:
+    """Solve the per-row/column erasure system.
+
+    Parameters
+    ----------
+    generator:
+        Block-level generator, shape ``(c, num_blocks)``.
+    participating:
+        Block indices participating in the checksum invariant (e.g. only the
+        not-yet-eliminated block columns during a factorization).
+    lost:
+        Lost block indices (must be a subset of ``participating``).
+    surviving_sum_rhs:
+        Array of shape ``(c, b, b)`` holding, for each checksum ``r``,
+        ``checksum_r - sum_{j surviving} g[r, j] * block_j``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Array of shape ``(len(lost), b, b)`` with the reconstructed blocks,
+        ordered like ``lost``.
+    """
+    lost = list(lost)
+    participating_set = set(participating)
+    if not lost:
+        return np.empty((0,) + surviving_sum_rhs.shape[1:])
+    if not set(lost) <= participating_set:
+        raise RecoveryError(
+            "lost blocks must be part of the participating checksum set"
+        )
+    num_checksums = generator.shape[0]
+    if len(lost) > num_checksums:
+        raise RecoveryError(
+            f"cannot recover {len(lost)} lost blocks with only "
+            f"{num_checksums} checksums"
+        )
+    coefficients = generator[: len(lost)][:, lost]
+    rhs = surviving_sum_rhs[: len(lost)]
+    block_shape = rhs.shape[1:]
+    try:
+        solution = np.linalg.solve(
+            coefficients, rhs.reshape(len(lost), -1)
+        )
+    except np.linalg.LinAlgError as exc:  # pragma: no cover - defensive
+        raise RecoveryError("singular erasure-recovery system") from exc
+    return solution.reshape((len(lost),) + block_shape)
+
+
+def recover_blocks_in_row(
+    matrix: np.ndarray,
+    row_slice: slice,
+    lost_block_cols: Sequence[int],
+    *,
+    block_size: int,
+    generator: np.ndarray,
+    participating_block_cols: Sequence[int],
+    checksum_col_start: int,
+) -> None:
+    """Rebuild lost blocks of one block row from its column checksums (in place).
+
+    Parameters
+    ----------
+    matrix:
+        The extended working matrix (modified in place).
+    row_slice:
+        The element rows of the block row being repaired.
+    lost_block_cols:
+        Data block-column indices whose blocks (restricted to ``row_slice``)
+        were lost.
+    block_size:
+        Block size ``b``.
+    generator:
+        Block-level generator of shape ``(c, num_data_block_cols)``.
+    participating_block_cols:
+        Data block columns participating in the invariant for this row
+        (all of them for U rows, only the trailing ones during a
+        factorization step).
+    checksum_col_start:
+        Element-column index where the checksum block columns begin.
+    """
+    lost = list(lost_block_cols)
+    if not lost:
+        return
+    generator = np.asarray(generator, dtype=float)
+    num_checksums = generator.shape[0]
+    rows = matrix[row_slice]
+    surviving = [j for j in participating_block_cols if j not in set(lost)]
+
+    rhs = np.empty((num_checksums, rows.shape[0], block_size), dtype=float)
+    for r in range(num_checksums):
+        checksum_block = rows[
+            :, checksum_col_start + r * block_size : checksum_col_start + (r + 1) * block_size
+        ]
+        acc = checksum_block.copy()
+        for j in surviving:
+            acc -= generator[r, j] * rows[:, j * block_size : (j + 1) * block_size]
+        rhs[r] = acc
+
+    recovered = _solve_erasures(generator, participating_block_cols, lost, rhs)
+    for index, j in enumerate(lost):
+        matrix[row_slice, j * block_size : (j + 1) * block_size] = recovered[index]
+
+
+def recover_blocks_in_column(
+    matrix: np.ndarray,
+    col_slice: slice,
+    lost_block_rows: Sequence[int],
+    *,
+    block_size: int,
+    generator: np.ndarray,
+    participating_block_rows: Sequence[int],
+    checksum_row_start: int,
+) -> None:
+    """Rebuild lost blocks of one block column from its row checksums (in place).
+
+    Symmetric counterpart of :func:`recover_blocks_in_row`; used to repair
+    lost blocks of the ``L`` factor, which are protected by the checksum
+    block *rows*.
+    """
+    lost = list(lost_block_rows)
+    if not lost:
+        return
+    generator = np.asarray(generator, dtype=float)
+    num_checksums = generator.shape[0]
+    cols = matrix[:, col_slice]
+    surviving = [i for i in participating_block_rows if i not in set(lost)]
+
+    rhs = np.empty((num_checksums, block_size, cols.shape[1]), dtype=float)
+    for r in range(num_checksums):
+        checksum_block = cols[
+            checksum_row_start + r * block_size : checksum_row_start + (r + 1) * block_size, :
+        ]
+        acc = checksum_block.copy()
+        for i in surviving:
+            acc -= generator[r, i] * cols[i * block_size : (i + 1) * block_size, :]
+        rhs[r] = acc
+
+    recovered = _solve_erasures(generator, participating_block_rows, lost, rhs)
+    for index, i in enumerate(lost):
+        matrix[i * block_size : (i + 1) * block_size, col_slice] = recovered[index]

@@ -1,0 +1,44 @@
+"""Application model: datasets, phases, epochs, workloads and scaling laws.
+
+The paper's application model (Figure 1 and Section IV-A) is an iterative
+code whose execution is partitioned into *epochs*; each epoch is a GENERAL
+phase (arbitrary code, whole memory accessed, only checkpointing applies)
+followed by a LIBRARY phase (an ABFT-capable numerical kernel touching only
+the LIBRARY dataset).  This package encodes that structure:
+
+* :mod:`repro.application.dataset` -- the memory footprint ``M`` split into
+  the LIBRARY dataset ``M_L = rho * M`` and the REMAINDER dataset.
+* :mod:`repro.application.phases` -- GENERAL and LIBRARY phase descriptors.
+* :mod:`repro.application.epoch` -- one (GENERAL, LIBRARY) pair with the
+  ``T0 = T_G + T_L`` and ``alpha = T_L / T0`` accounting.
+* :mod:`repro.application.workload` -- a full application: an ordered list of
+  epochs plus the dataset partition.
+* :mod:`repro.application.scaling` -- the weak-scaling laws of Section V-C
+  (Gustafson scaling of O(n^3) / O(n^2) kernels, checkpoint-cost scaling and
+  MTBF scaling with node count).
+"""
+
+from repro.application.dataset import DatasetPartition
+from repro.application.phases import GeneralPhase, LibraryPhase, Phase, PhaseKind
+from repro.application.epoch import Epoch
+from repro.application.workload import ApplicationWorkload
+from repro.application.scaling import (
+    KernelScalingLaw,
+    ScalingMode,
+    WeakScalingScenario,
+    gustafson_parallel_time,
+)
+
+__all__ = [
+    "DatasetPartition",
+    "Phase",
+    "PhaseKind",
+    "GeneralPhase",
+    "LibraryPhase",
+    "Epoch",
+    "ApplicationWorkload",
+    "KernelScalingLaw",
+    "ScalingMode",
+    "WeakScalingScenario",
+    "gustafson_parallel_time",
+]

@@ -1,0 +1,90 @@
+"""Dataset partition: LIBRARY vs REMAINDER memory.
+
+Section IV-A: the total memory footprint is ``M``; the LIBRARY dataset --
+the part passed to (and protected by) the ABFT library call -- has size
+``M_L = rho * M`` and the REMAINDER dataset has size ``M_R = (1 - rho) * M``.
+Checkpoint costs follow the same split (``C_L = rho * C``), which is how the
+figure captions express it (``C_L = 0.8 C`` for ``rho = 0.8``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import require_fraction, require_non_negative
+
+__all__ = ["DatasetPartition"]
+
+
+@dataclass(frozen=True)
+class DatasetPartition:
+    """Split of the application memory into LIBRARY and REMAINDER datasets.
+
+    Parameters
+    ----------
+    total_memory:
+        Total application footprint ``M`` in bytes.  May be zero when only
+        the relative split matters (the analytical model never needs absolute
+        sizes, only the ratio and the checkpoint costs derived elsewhere).
+    library_fraction:
+        ``rho``: fraction of the memory accessed (and ABFT-protected) during
+        LIBRARY phases, in ``[0, 1]``.
+
+    Examples
+    --------
+    >>> part = DatasetPartition(total_memory=1e12, library_fraction=0.8)
+    >>> part.library_memory
+    800000000000.0
+    >>> part.remainder_memory
+    200000000000.0
+    """
+
+    total_memory: float
+    library_fraction: float
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.total_memory, "total_memory")
+        require_fraction(self.library_fraction, "library_fraction")
+
+    @property
+    def rho(self) -> float:
+        """Paper notation alias for :attr:`library_fraction`."""
+        return self.library_fraction
+
+    @property
+    def library_memory(self) -> float:
+        """Size of the LIBRARY dataset ``M_L = rho * M`` in bytes."""
+        return self.library_fraction * self.total_memory
+
+    @property
+    def remainder_memory(self) -> float:
+        """Size of the REMAINDER dataset ``M - M_L`` in bytes."""
+        return (1.0 - self.library_fraction) * self.total_memory
+
+    def split_cost(self, full_cost: float) -> tuple[float, float]:
+        """Split a full-memory cost (checkpoint or recovery) proportionally.
+
+        Returns ``(library_cost, remainder_cost)`` with
+        ``library_cost = rho * full_cost``.
+        """
+        full_cost = require_non_negative(full_cost, "full_cost")
+        library = self.library_fraction * full_cost
+        return (library, full_cost - library)
+
+    def with_total_memory(self, total_memory: float) -> "DatasetPartition":
+        """Return a copy with a different total footprint (same ``rho``)."""
+        return DatasetPartition(
+            total_memory=total_memory, library_fraction=self.library_fraction
+        )
+
+    def scaled(self, factor: float) -> "DatasetPartition":
+        """Return a copy whose total memory is multiplied by ``factor``.
+
+        Used by the weak-scaling scenarios where memory grows linearly with
+        the node count (Gustafson's law).
+        """
+        factor = require_non_negative(factor, "factor")
+        return DatasetPartition(
+            total_memory=self.total_memory * factor,
+            library_fraction=self.library_fraction,
+        )

@@ -1,0 +1,123 @@
+"""Epoch: one (GENERAL, LIBRARY) pair of phases.
+
+Section IV-A: *"The execution of the application is partitioned into epochs.
+Within an epoch, there are two phases ... the total duration of the epoch is
+T0 = TG + TL ... Let alpha be the fraction of time spent in a LIBRARY
+phase."*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.application.phases import GeneralPhase, LibraryPhase
+from repro.utils.validation import require_fraction, require_positive
+
+__all__ = ["Epoch"]
+
+
+@dataclass(frozen=True)
+class Epoch:
+    """One epoch: a GENERAL phase followed by a LIBRARY phase.
+
+    Either phase may have zero duration (``alpha = 0`` degenerates to a pure
+    GENERAL application, ``alpha = 1`` to a pure LIBRARY one), but the epoch
+    as a whole must have strictly positive duration.
+
+    Examples
+    --------
+    >>> from repro.utils import HOUR
+    >>> epoch = Epoch.from_duration(total=10 * HOUR, alpha=0.8)
+    >>> epoch.library_time == 8 * HOUR
+    True
+    >>> epoch.alpha
+    0.8
+    """
+
+    general: GeneralPhase
+    library: LibraryPhase
+
+    def __post_init__(self) -> None:
+        if self.total_time <= 0:
+            raise ValueError("epoch must have strictly positive total duration")
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_duration(
+        cls,
+        total: float,
+        alpha: float,
+        *,
+        abft_capable: bool = True,
+        name: str = "epoch",
+    ) -> "Epoch":
+        """Build an epoch from its total duration ``T0`` and ratio ``alpha``."""
+        total = require_positive(total, "total")
+        alpha = require_fraction(alpha, "alpha")
+        library_time = alpha * total
+        general_time = total - library_time
+        return cls(
+            general=GeneralPhase(general_time, name=f"{name}:general"),
+            library=LibraryPhase(
+                library_time, name=f"{name}:library", abft_capable=abft_capable
+            ),
+        )
+
+    @classmethod
+    def from_times(
+        cls,
+        general_time: float,
+        library_time: float,
+        *,
+        abft_capable: bool = True,
+        name: str = "epoch",
+    ) -> "Epoch":
+        """Build an epoch from the two phase durations ``(T_G, T_L)``."""
+        return cls(
+            general=GeneralPhase(general_time, name=f"{name}:general"),
+            library=LibraryPhase(
+                library_time, name=f"{name}:library", abft_capable=abft_capable
+            ),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Accessors (paper notation)
+    # ------------------------------------------------------------------ #
+    @property
+    def general_time(self) -> float:
+        """``T_G``: fault-free duration of the GENERAL phase, seconds."""
+        return self.general.duration
+
+    @property
+    def library_time(self) -> float:
+        """``T_L``: fault-free duration of the LIBRARY phase, seconds."""
+        return self.library.duration
+
+    @property
+    def total_time(self) -> float:
+        """``T0 = T_G + T_L`` in seconds."""
+        return self.general.duration + self.library.duration
+
+    @property
+    def alpha(self) -> float:
+        """``alpha = T_L / T0``: fraction of the epoch spent in the library."""
+        return self.library.duration / self.total_time
+
+    @property
+    def abft_capable(self) -> bool:
+        """Whether the LIBRARY phase of this epoch can be ABFT-protected."""
+        return self.library.abft_capable
+
+    def scaled(self, general_factor: float, library_factor: float) -> "Epoch":
+        """Return a copy with each phase duration multiplied by its factor.
+
+        The weak-scaling scenarios of Section V-C scale the two phases
+        differently (O(n^3) library vs O(n^2) general work).
+        """
+        return Epoch.from_times(
+            self.general.duration * general_factor,
+            self.library.duration * library_factor,
+            abft_capable=self.library.abft_capable,
+        )

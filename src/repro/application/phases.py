@@ -1,0 +1,96 @@
+"""GENERAL and LIBRARY phase descriptors.
+
+A *phase* carries its fault-free, protection-free compute duration.  LIBRARY
+phases additionally declare whether an ABFT-protected implementation of the
+underlying kernel exists (the paper notes that not every library call has an
+ABFT version) -- the composite protocol falls back to checkpointing for
+non-ABFT-capable library phases.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.utils.validation import require_non_negative
+
+__all__ = ["PhaseKind", "Phase", "GeneralPhase", "LibraryPhase"]
+
+
+class PhaseKind(enum.Enum):
+    """Kind of application phase."""
+
+    #: Arbitrary application code: whole memory accessed, checkpoint-only.
+    GENERAL = "general"
+    #: Numerical-library call: LIBRARY dataset accessed, potentially ABFT-capable.
+    LIBRARY = "library"
+
+
+@dataclass(frozen=True)
+class Phase:
+    """Base phase: a named stretch of fault-free compute time.
+
+    Attributes
+    ----------
+    duration:
+        Fault-free, protection-free compute time of the phase, in seconds.
+    kind:
+        :class:`PhaseKind` tag.
+    name:
+        Optional label used in traces and reports.
+    """
+
+    duration: float
+    kind: PhaseKind
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.duration, "duration")
+
+    @property
+    def is_library(self) -> bool:
+        """True when this is a LIBRARY phase."""
+        return self.kind is PhaseKind.LIBRARY
+
+    @property
+    def is_general(self) -> bool:
+        """True when this is a GENERAL phase."""
+        return self.kind is PhaseKind.GENERAL
+
+
+@dataclass(frozen=True)
+class GeneralPhase(Phase):
+    """A GENERAL phase: only algorithm-agnostic protection applies."""
+
+    kind: PhaseKind = field(default=PhaseKind.GENERAL, init=False)
+
+    def __init__(self, duration: float, name: str = "general") -> None:
+        object.__setattr__(self, "duration", float(duration))
+        object.__setattr__(self, "kind", PhaseKind.GENERAL)
+        object.__setattr__(self, "name", name)
+        require_non_negative(self.duration, "duration")
+
+
+@dataclass(frozen=True)
+class LibraryPhase(Phase):
+    """A LIBRARY phase: a numerical kernel that may be ABFT-protected.
+
+    Attributes
+    ----------
+    abft_capable:
+        Whether an ABFT-protected implementation of the kernel exists.  When
+        false, the composite protocol treats the phase exactly like a GENERAL
+        phase (checkpoint-only protection).
+    """
+
+    kind: PhaseKind = field(default=PhaseKind.LIBRARY, init=False)
+    abft_capable: bool = True
+
+    def __init__(
+        self, duration: float, name: str = "library", abft_capable: bool = True
+    ) -> None:
+        object.__setattr__(self, "duration", float(duration))
+        object.__setattr__(self, "kind", PhaseKind.LIBRARY)
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "abft_capable", bool(abft_capable))
+        require_non_negative(self.duration, "duration")

@@ -1,0 +1,244 @@
+"""Weak-scaling laws of the evaluation section (Section V-C).
+
+The weak-scalability study makes the following assumptions when the node
+count grows from a reference ``x_ref`` to ``x``:
+
+* **Memory** follows Gustafson's law: each node keeps a fixed footprint, so
+  the total memory grows linearly, ``M(x) = M_ref * x / x_ref``.  For 2-D
+  matrix data this means the matrix order grows as ``n ~ sqrt(x)``.
+* **Kernel time**: an ``O(n^k)`` kernel running on ``x`` perfectly parallel
+  nodes takes time ``n^k / x ~ x^(k/2 - 1)``.  The LIBRARY phase (dense
+  factorization) is ``O(n^3)`` hence scales as ``sqrt(x)``; the GENERAL phase
+  is either ``O(n^3)`` too (Figure 8) or ``O(n^2)`` hence constant
+  (Figures 9-10).
+* **Platform MTBF** decreases linearly with the node count,
+  ``mu(x) = mu_ref * x_ref / x``.
+* **Checkpoint cost** either grows linearly with the total memory (remote
+  storage bottleneck, Figures 8-9) or stays constant (scalable buddy/NVRAM
+  storage hypothesis, Figure 10).
+
+:class:`WeakScalingScenario` bundles these choices so the experiment
+generators of :mod:`repro.experiments` can instantiate every figure from a
+handful of reference values.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+from repro.utils.validation import require_fraction, require_positive
+
+__all__ = [
+    "ScalingMode",
+    "KernelScalingLaw",
+    "gustafson_parallel_time",
+    "WeakScalingScenario",
+]
+
+
+def gustafson_parallel_time(
+    reference_time: float,
+    node_count: float,
+    reference_nodes: float,
+    complexity_exponent: float,
+) -> float:
+    """Parallel completion time of an ``O(n^k)`` kernel under weak scaling.
+
+    With per-node memory fixed, data size grows linearly with the node count
+    ``x`` so the problem order satisfies ``n^2 ~ x``.  Assuming perfect
+    parallelism the time is ``n^k / x ~ x^(k/2 - 1)``:
+
+    * ``k = 3`` (dense factorization, matrix product): time grows as ``sqrt(x)``;
+    * ``k = 2`` (matrix update/assembly): time is constant.
+
+    Parameters
+    ----------
+    reference_time:
+        Kernel time at ``reference_nodes`` nodes, in seconds.
+    node_count:
+        Target node count ``x``.
+    reference_nodes:
+        Reference node count ``x_ref``.
+    complexity_exponent:
+        The exponent ``k`` of the kernel complexity ``O(n^k)``.
+    """
+    reference_time = require_positive(reference_time, "reference_time")
+    node_count = require_positive(node_count, "node_count")
+    reference_nodes = require_positive(reference_nodes, "reference_nodes")
+    exponent = complexity_exponent / 2.0 - 1.0
+    return reference_time * (node_count / reference_nodes) ** exponent
+
+
+class ScalingMode(enum.Enum):
+    """How a platform-level cost scales with the node count."""
+
+    #: The cost is independent of the node count (e.g. buddy checkpointing).
+    CONSTANT = "constant"
+    #: The cost grows linearly with the node count (total memory through a
+    #: fixed-bandwidth bottleneck).
+    LINEAR = "linear"
+    #: The cost decreases linearly with the node count (platform MTBF).
+    INVERSE = "inverse"
+    #: The cost grows with the square root of the node count.
+    SQRT = "sqrt"
+
+    def factor(self, node_count: float, reference_nodes: float) -> float:
+        """Multiplicative factor applied to the reference value."""
+        ratio = node_count / reference_nodes
+        if self is ScalingMode.CONSTANT:
+            return 1.0
+        if self is ScalingMode.LINEAR:
+            return ratio
+        if self is ScalingMode.INVERSE:
+            return 1.0 / ratio
+        if self is ScalingMode.SQRT:
+            return ratio**0.5
+        raise AssertionError(f"unhandled scaling mode {self}")  # pragma: no cover
+
+
+@dataclass(frozen=True)
+class KernelScalingLaw:
+    """Weak-scaling law for one application phase.
+
+    Attributes
+    ----------
+    reference_time:
+        Phase duration at the reference node count, in seconds.
+    complexity_exponent:
+        ``k`` such that the kernel costs ``O(n^k)`` flops on an order-``n``
+        problem whose memory is ``O(n^2)``.
+    """
+
+    reference_time: float
+    complexity_exponent: float
+
+    def __post_init__(self) -> None:
+        require_positive(self.reference_time, "reference_time")
+        require_positive(self.complexity_exponent, "complexity_exponent")
+
+    def time_at(self, node_count: float, reference_nodes: float) -> float:
+        """Phase duration at ``node_count`` nodes."""
+        return gustafson_parallel_time(
+            self.reference_time,
+            node_count,
+            reference_nodes,
+            self.complexity_exponent,
+        )
+
+
+@dataclass(frozen=True)
+class WeakScalingScenario:
+    """Full description of a weak-scaling experiment (Figures 8, 9, 10).
+
+    All reference values are given at ``reference_nodes`` nodes; the
+    ``at(node_count)`` accessors return the scaled quantities.
+
+    Attributes
+    ----------
+    reference_nodes:
+        Node count at which the reference values are quoted (10,000 in the
+        paper).
+    epoch_count:
+        Number of epochs in the application (1000 in the paper).
+    general_law / library_law:
+        Weak-scaling laws of the two phases.
+    reference_checkpoint / reference_recovery:
+        Full-memory checkpoint and recovery costs at the reference scale,
+        seconds.
+    checkpoint_scaling:
+        How C and R scale with the node count (LINEAR for Figures 8-9,
+        CONSTANT for Figure 10).
+    reference_mtbf:
+        Platform MTBF at the reference scale, seconds (1 day in the paper).
+    mtbf_scaling:
+        How the platform MTBF scales (INVERSE in the paper).
+    downtime:
+        Downtime ``D`` in seconds (node-count independent).
+    library_fraction:
+        ``rho``: fraction of memory touched by LIBRARY phases.
+    abft_overhead:
+        ``phi``: ABFT slowdown factor.
+    abft_reconstruction:
+        ``Recons_ABFT``: ABFT recovery time in seconds (node-count
+        independent in the paper).
+    """
+
+    reference_nodes: int
+    epoch_count: int
+    general_law: KernelScalingLaw
+    library_law: KernelScalingLaw
+    reference_checkpoint: float
+    reference_recovery: float
+    checkpoint_scaling: ScalingMode
+    reference_mtbf: float
+    mtbf_scaling: ScalingMode
+    downtime: float
+    library_fraction: float
+    abft_overhead: float
+    abft_reconstruction: float
+
+    def __post_init__(self) -> None:
+        if self.reference_nodes <= 0:
+            raise ValueError("reference_nodes must be positive")
+        if self.epoch_count <= 0:
+            raise ValueError("epoch_count must be positive")
+        require_positive(self.reference_checkpoint, "reference_checkpoint")
+        require_positive(self.reference_recovery, "reference_recovery")
+        require_positive(self.reference_mtbf, "reference_mtbf")
+        require_fraction(self.library_fraction, "library_fraction")
+        if self.abft_overhead < 1.0:
+            raise ValueError(
+                f"abft_overhead (phi) must be >= 1, got {self.abft_overhead}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Scaled quantities
+    # ------------------------------------------------------------------ #
+    def general_time_at(self, node_count: int) -> float:
+        """GENERAL phase duration per epoch at ``node_count`` nodes."""
+        return self.general_law.time_at(node_count, self.reference_nodes)
+
+    def library_time_at(self, node_count: int) -> float:
+        """LIBRARY phase duration per epoch at ``node_count`` nodes."""
+        return self.library_law.time_at(node_count, self.reference_nodes)
+
+    def epoch_time_at(self, node_count: int) -> float:
+        """Epoch duration (GENERAL + LIBRARY) at ``node_count`` nodes."""
+        return self.general_time_at(node_count) + self.library_time_at(node_count)
+
+    def alpha_at(self, node_count: int) -> float:
+        """Fraction of time spent in LIBRARY phases at ``node_count`` nodes."""
+        epoch = self.epoch_time_at(node_count)
+        return self.library_time_at(node_count) / epoch if epoch else 0.0
+
+    def total_time_at(self, node_count: int) -> float:
+        """Fault-free application duration at ``node_count`` nodes."""
+        return self.epoch_count * self.epoch_time_at(node_count)
+
+    def checkpoint_at(self, node_count: int) -> float:
+        """Full-memory checkpoint cost ``C`` at ``node_count`` nodes."""
+        return self.reference_checkpoint * self.checkpoint_scaling.factor(
+            node_count, self.reference_nodes
+        )
+
+    def recovery_at(self, node_count: int) -> float:
+        """Full-memory recovery cost ``R`` at ``node_count`` nodes."""
+        return self.reference_recovery * self.checkpoint_scaling.factor(
+            node_count, self.reference_nodes
+        )
+
+    def mtbf_at(self, node_count: int) -> float:
+        """Platform MTBF at ``node_count`` nodes."""
+        return self.reference_mtbf * self.mtbf_scaling.factor(
+            node_count, self.reference_nodes
+        )
+
+    # ------------------------------------------------------------------ #
+    def with_checkpoint_scaling(self, mode: ScalingMode) -> "WeakScalingScenario":
+        """Return a copy using a different checkpoint-cost scaling mode."""
+        return replace(self, checkpoint_scaling=mode)
+
+    def with_general_law(self, law: KernelScalingLaw) -> "WeakScalingScenario":
+        """Return a copy using a different GENERAL-phase scaling law."""
+        return replace(self, general_law=law)

@@ -1,0 +1,207 @@
+"""Application workloads: ordered sequences of epochs plus a dataset split.
+
+A workload is what the protocol simulators execute and what the analytical
+models summarise.  Builders cover the scenarios of the paper:
+
+* a **single epoch** of one week split by ``alpha`` (the Figure 7 scenario);
+* an **iterative application** of many identical epochs (the 1000-epoch
+  weak-scaling scenario of Figures 8-10);
+* arbitrary phase lists for custom studies (e.g. heterogeneous epochs or
+  library phases lacking an ABFT implementation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from repro.application.dataset import DatasetPartition
+from repro.application.epoch import Epoch
+from repro.utils.validation import require_fraction, require_positive
+
+__all__ = ["ApplicationWorkload"]
+
+
+@dataclass(frozen=True)
+class ApplicationWorkload:
+    """An application: an ordered sequence of epochs and a dataset partition.
+
+    Attributes
+    ----------
+    epochs:
+        The epochs, executed in order.
+    dataset:
+        The LIBRARY/REMAINDER memory split (``rho``).
+    name:
+        Optional label used in reports.
+    """
+
+    epochs: tuple[Epoch, ...]
+    dataset: DatasetPartition
+    name: str = field(default="application")
+
+    def __post_init__(self) -> None:
+        if not self.epochs:
+            raise ValueError("a workload must contain at least one epoch")
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def single_epoch(
+        cls,
+        total_time: float,
+        alpha: float,
+        *,
+        library_fraction: float = 0.8,
+        total_memory: float = 0.0,
+        abft_capable: bool = True,
+        name: str = "single-epoch",
+    ) -> "ApplicationWorkload":
+        """One epoch of duration ``total_time`` with library ratio ``alpha``.
+
+        This is the Figure 7 scenario: an application that "executes for a
+        week when there is neither a fault tolerance mechanism nor any
+        failure".
+        """
+        epoch = Epoch.from_duration(total_time, alpha, abft_capable=abft_capable)
+        dataset = DatasetPartition(
+            total_memory=total_memory, library_fraction=library_fraction
+        )
+        return cls(epochs=(epoch,), dataset=dataset, name=name)
+
+    @classmethod
+    def iterative(
+        cls,
+        epoch_count: int,
+        epoch_time: float,
+        alpha: float,
+        *,
+        library_fraction: float = 0.8,
+        total_memory: float = 0.0,
+        abft_capable: bool = True,
+        name: str = "iterative",
+    ) -> "ApplicationWorkload":
+        """``epoch_count`` identical epochs (the weak-scaling scenario)."""
+        if epoch_count <= 0 or int(epoch_count) != epoch_count:
+            raise ValueError(
+                f"epoch_count must be a positive integer, got {epoch_count}"
+            )
+        epoch_time = require_positive(epoch_time, "epoch_time")
+        alpha = require_fraction(alpha, "alpha")
+        epoch = Epoch.from_duration(epoch_time, alpha, abft_capable=abft_capable)
+        dataset = DatasetPartition(
+            total_memory=total_memory, library_fraction=library_fraction
+        )
+        return cls(epochs=(epoch,) * int(epoch_count), dataset=dataset, name=name)
+
+    @classmethod
+    def from_epochs(
+        cls,
+        epochs: Iterable[Epoch],
+        *,
+        library_fraction: float = 0.8,
+        total_memory: float = 0.0,
+        name: str = "custom",
+    ) -> "ApplicationWorkload":
+        """Build a workload from an explicit epoch sequence."""
+        dataset = DatasetPartition(
+            total_memory=total_memory, library_fraction=library_fraction
+        )
+        return cls(epochs=tuple(epochs), dataset=dataset, name=name)
+
+    # ------------------------------------------------------------------ #
+    # Aggregate accessors
+    # ------------------------------------------------------------------ #
+    def __iter__(self) -> Iterator[Epoch]:
+        return iter(self.epochs)
+
+    def __len__(self) -> int:
+        return len(self.epochs)
+
+    @property
+    def epoch_count(self) -> int:
+        """Number of epochs."""
+        return len(self.epochs)
+
+    @property
+    def total_time(self) -> float:
+        """Fault-free, protection-free application duration ``T0`` (seconds)."""
+        return sum(epoch.total_time for epoch in self.epochs)
+
+    @property
+    def total_general_time(self) -> float:
+        """Sum of GENERAL phase durations across epochs (seconds)."""
+        return sum(epoch.general_time for epoch in self.epochs)
+
+    @property
+    def total_library_time(self) -> float:
+        """Sum of LIBRARY phase durations across epochs (seconds)."""
+        return sum(epoch.library_time for epoch in self.epochs)
+
+    @property
+    def alpha(self) -> float:
+        """Overall fraction of time spent in LIBRARY phases."""
+        total = self.total_time
+        return self.total_library_time / total if total else 0.0
+
+    @property
+    def rho(self) -> float:
+        """Fraction of memory touched by LIBRARY phases (dataset split)."""
+        return self.dataset.library_fraction
+
+    def is_uniform(self) -> bool:
+        """True when every epoch has identical phase durations."""
+        first = self.epochs[0]
+        return all(
+            epoch.general_time == first.general_time
+            and epoch.library_time == first.library_time
+            for epoch in self.epochs
+        )
+
+    # ------------------------------------------------------------------ #
+    # Transformations
+    # ------------------------------------------------------------------ #
+    def scaled(
+        self, general_factor: float, library_factor: float, memory_factor: float = 1.0
+    ) -> "ApplicationWorkload":
+        """Scale every epoch's phases (and the memory footprint) by factors."""
+        return ApplicationWorkload(
+            epochs=tuple(
+                epoch.scaled(general_factor, library_factor) for epoch in self.epochs
+            ),
+            dataset=self.dataset.scaled(memory_factor),
+            name=self.name,
+        )
+
+    def collapse(self) -> "ApplicationWorkload":
+        """Merge all epochs into a single aggregate epoch.
+
+        The analytical model of Section IV analyses a single epoch; for
+        applications made of many *short* epochs protected by protocols
+        without per-epoch forced checkpoints (PurePeriodicCkpt,
+        BiPeriodicCkpt), using the aggregate GENERAL and LIBRARY durations is
+        the faithful instantiation of the model.
+        """
+        aggregate = Epoch.from_times(
+            self.total_general_time,
+            self.total_library_time,
+            abft_capable=all(epoch.abft_capable for epoch in self.epochs),
+        )
+        return ApplicationWorkload(
+            epochs=(aggregate,), dataset=self.dataset, name=f"{self.name}:collapsed"
+        )
+
+    def phase_sequence(self) -> Sequence[tuple[str, float, bool]]:
+        """Flatten into ``(kind, duration, abft_capable)`` tuples.
+
+        Convenience for simulators and tests that iterate over phases rather
+        than epochs; GENERAL phases report ``abft_capable = False``.
+        """
+        sequence: list[tuple[str, float, bool]] = []
+        for epoch in self.epochs:
+            if epoch.general_time > 0:
+                sequence.append(("general", epoch.general_time, False))
+            if epoch.library_time > 0:
+                sequence.append(("library", epoch.library_time, epoch.abft_capable))
+        return sequence

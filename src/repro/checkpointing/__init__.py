@@ -1,0 +1,49 @@
+"""Checkpoint storage substrates and (C, R, D) cost models.
+
+The protocols and models of the paper consume scalar costs: ``C`` (time to
+write a full coordinated checkpoint), ``R`` (time to reload one), ``D``
+(downtime) and their partial-dataset variants ``C_L``, ``C_R``.  Where those
+numbers come from is a property of the *checkpoint storage* system.  The
+paper discusses three regimes (Section V-C):
+
+* a **remote parallel file system** whose aggregate bandwidth does not grow
+  with the machine, so the checkpoint time grows linearly with the total
+  memory (the Figure 8-9 hypothesis);
+* **node-local storage** (NVRAM/SSD) whose bandwidth grows with the machine,
+  so checkpoint time stays constant under weak scaling;
+* **buddy / in-memory checkpointing** (references [25]-[28]) where each node
+  stores its checkpoint in a partner's memory over the high-speed network --
+  also constant-time under weak scaling (the Figure 10 hypothesis).
+
+This package models each of these as a :class:`CheckpointStorage` that turns
+(data size, node count) into write/read times, plus:
+
+* :class:`~repro.checkpointing.incremental.IncrementalCheckpointing` -- a
+  wrapper implementing the incremental-checkpoint optimisation used by
+  BiPeriodicCkpt (only the modified dataset is written, the full state is
+  read back at recovery);
+* :class:`~repro.checkpointing.multilevel.MultiLevelStorage` -- a two-level
+  (local + remote) hierarchy;
+* :class:`~repro.checkpointing.cost_model.CheckpointCostModel` -- the bridge
+  that produces the scalar parameters consumed by
+  :class:`repro.core.parameters.CompositeParameters`.
+"""
+
+from repro.checkpointing.storage import CheckpointStorage
+from repro.checkpointing.remote_fs import RemoteFileSystemStorage
+from repro.checkpointing.local import LocalStorage
+from repro.checkpointing.buddy import BuddyStorage
+from repro.checkpointing.multilevel import MultiLevelStorage
+from repro.checkpointing.incremental import IncrementalCheckpointing
+from repro.checkpointing.cost_model import CheckpointCostModel, CheckpointCosts
+
+__all__ = [
+    "CheckpointStorage",
+    "RemoteFileSystemStorage",
+    "LocalStorage",
+    "BuddyStorage",
+    "MultiLevelStorage",
+    "IncrementalCheckpointing",
+    "CheckpointCostModel",
+    "CheckpointCosts",
+]

@@ -1,0 +1,98 @@
+"""Buddy (in-memory, partner-node) checkpoint storage.
+
+References [25]-[28] of the paper: each node stores a copy of its checkpoint
+in the memory of a partner ("buddy") node over the high-speed interconnect.
+The available bandwidth grows with the machine, so the checkpoint time is
+governed by the per-node volume and the per-link bandwidth and stays constant
+under weak scaling -- this is the scalable-checkpointing hypothesis of
+Figure 10.
+
+A buddy checkpoint survives a single node failure (the copy lives on the
+partner) but is lost if a node *and* its buddy fail before the next
+checkpoint completes; :meth:`BuddyStorage.survival_probability` exposes that
+window so users can quantify the residual risk the scalar model ignores.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.checkpointing.storage import CheckpointStorage
+from repro.utils.validation import require_non_negative, require_positive
+
+__all__ = ["BuddyStorage"]
+
+
+class BuddyStorage(CheckpointStorage):
+    """Partner-node in-memory checkpointing.
+
+    Parameters
+    ----------
+    link_bandwidth:
+        Point-to-point bandwidth between a node and its buddy, bytes/second.
+    memory_overhead_factor:
+        Fraction of node memory consumed by hosting the buddy's copy (not
+        used in timing, exposed for capacity planning; default 1.0 means a
+        full copy).
+    latency:
+        Fixed per-operation latency in seconds (synchronisation).
+    """
+
+    name = "buddy"
+
+    def __init__(
+        self,
+        link_bandwidth: float,
+        memory_overhead_factor: float = 1.0,
+        latency: float = 0.0,
+    ) -> None:
+        self._link_bandwidth = require_positive(link_bandwidth, "link_bandwidth")
+        self._memory_overhead_factor = require_non_negative(
+            memory_overhead_factor, "memory_overhead_factor"
+        )
+        self._latency = require_non_negative(latency, "latency")
+
+    @property
+    def link_bandwidth(self) -> float:
+        """Node-to-buddy bandwidth in bytes/second."""
+        return self._link_bandwidth
+
+    @property
+    def memory_overhead_factor(self) -> float:
+        """Extra memory fraction used on each node to host its buddy's copy."""
+        return self._memory_overhead_factor
+
+    def write_time(self, data_bytes: float, node_count: int) -> float:
+        data_bytes, node_count = self._validate(data_bytes, node_count)
+        if data_bytes == 0:
+            return 0.0
+        per_node = data_bytes / node_count
+        return self._latency + per_node / self._link_bandwidth
+
+    def read_time(self, data_bytes: float, node_count: int) -> float:
+        # Restoring pulls the copy back from the buddy over the same link.
+        return self.write_time(data_bytes, node_count)
+
+    def survival_probability(
+        self, platform_mtbf: float, exposure_time: float
+    ) -> float:
+        """Probability that a buddy checkpoint survives one failure event.
+
+        After a node fails, its checkpoint only exists in the buddy's memory
+        until a new checkpoint is written; if the buddy also fails within the
+        ``exposure_time`` window the application state is lost.  For
+        exponential failures the probability that the *specific* buddy node
+        fails in that window is ``1 - exp(-t / mu_ind)`` -- here approximated
+        from the platform MTBF assuming the window is short.
+
+        Parameters
+        ----------
+        platform_mtbf:
+            Platform MTBF in seconds.
+        exposure_time:
+            Duration of the vulnerability window in seconds (typically the
+            re-checkpoint time after a recovery).
+        """
+        platform_mtbf = require_positive(platform_mtbf, "platform_mtbf")
+        exposure_time = require_non_negative(exposure_time, "exposure_time")
+        return math.exp(-exposure_time / platform_mtbf)

@@ -1,0 +1,190 @@
+"""Bridge from storage substrates to the scalar costs of the paper's model.
+
+The analytical model and the protocol simulators consume scalar costs:
+
+* ``C``  -- full-memory coordinated checkpoint time;
+* ``R``  -- full-memory recovery (reload) time;
+* ``C_L`` / ``R_L`` -- checkpoint/recovery of the LIBRARY dataset only;
+* ``C_R`` / ``R_R`` -- checkpoint/recovery of the REMAINDER dataset only;
+* ``D``  -- downtime (reboot or spare swap-in).
+
+:class:`CheckpointCosts` bundles them; :class:`CheckpointCostModel` derives
+them either directly from scalars (the way the paper's experiments specify
+them: "C = R = 10 minutes") or from a storage substrate, a platform and a
+dataset partition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.application.dataset import DatasetPartition
+from repro.checkpointing.storage import CheckpointStorage
+from repro.failures.platform import Platform
+from repro.utils.validation import require_fraction, require_non_negative
+
+__all__ = ["CheckpointCosts", "CheckpointCostModel"]
+
+
+@dataclass(frozen=True)
+class CheckpointCosts:
+    """The scalar checkpoint/recovery/downtime costs of the model (seconds).
+
+    Attributes
+    ----------
+    full_checkpoint:
+        ``C``: time to write a coordinated checkpoint of the whole memory.
+    full_recovery:
+        ``R``: time to reload the whole memory from stable storage.
+    library_fraction:
+        ``rho``: fraction of the memory (hence of the cost) attributed to the
+        LIBRARY dataset; partial costs are derived proportionally, exactly as
+        in the paper (``C_L = rho * C``).
+    downtime:
+        ``D``: time to reboot the failed resource or swap in a spare.
+    """
+
+    full_checkpoint: float
+    full_recovery: float
+    library_fraction: float
+    downtime: float
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.full_checkpoint, "full_checkpoint")
+        require_non_negative(self.full_recovery, "full_recovery")
+        require_fraction(self.library_fraction, "library_fraction")
+        require_non_negative(self.downtime, "downtime")
+
+    # -- paper aliases ------------------------------------------------- #
+    @property
+    def C(self) -> float:  # noqa: N802 - paper notation
+        """``C``: full checkpoint cost."""
+        return self.full_checkpoint
+
+    @property
+    def R(self) -> float:  # noqa: N802 - paper notation
+        """``R``: full recovery cost."""
+        return self.full_recovery
+
+    @property
+    def D(self) -> float:  # noqa: N802 - paper notation
+        """``D``: downtime."""
+        return self.downtime
+
+    @property
+    def rho(self) -> float:
+        """``rho``: LIBRARY fraction of memory."""
+        return self.library_fraction
+
+    # -- partial costs --------------------------------------------------- #
+    @property
+    def library_checkpoint(self) -> float:
+        """``C_L = rho * C``: checkpoint of the LIBRARY dataset."""
+        return self.library_fraction * self.full_checkpoint
+
+    @property
+    def remainder_checkpoint(self) -> float:
+        """``C_Rem = (1 - rho) * C``: checkpoint of the REMAINDER dataset."""
+        return (1.0 - self.library_fraction) * self.full_checkpoint
+
+    @property
+    def library_recovery(self) -> float:
+        """``R_L = rho * R``: recovery of the LIBRARY dataset alone."""
+        return self.library_fraction * self.full_recovery
+
+    @property
+    def remainder_recovery(self) -> float:
+        """``R_Rem = (1 - rho) * R``: recovery of the REMAINDER dataset alone."""
+        return (1.0 - self.library_fraction) * self.full_recovery
+
+    # -- helpers --------------------------------------------------------- #
+    def with_downtime(self, downtime: float) -> "CheckpointCosts":
+        """Return a copy with a different downtime."""
+        return replace(self, downtime=downtime)
+
+    def scaled(self, factor: float) -> "CheckpointCosts":
+        """Return a copy with checkpoint and recovery costs multiplied by ``factor``.
+
+        The downtime is left untouched (it does not depend on data volume).
+        """
+        factor = require_non_negative(factor, "factor")
+        return replace(
+            self,
+            full_checkpoint=self.full_checkpoint * factor,
+            full_recovery=self.full_recovery * factor,
+        )
+
+
+class CheckpointCostModel:
+    """Derives :class:`CheckpointCosts` from a storage substrate.
+
+    Parameters
+    ----------
+    storage:
+        The checkpoint storage medium.
+    downtime:
+        Downtime ``D`` in seconds.
+
+    Examples
+    --------
+    >>> from repro.utils import GB, MINUTE
+    >>> from repro.checkpointing import RemoteFileSystemStorage
+    >>> from repro.failures import Platform
+    >>> from repro.application import DatasetPartition
+    >>> storage = RemoteFileSystemStorage(write_bandwidth=1000 * GB)
+    >>> platform = Platform(node_count=10_000, node_mtbf=10 * 365 * 86400.0,
+    ...                     memory_per_node=60 * GB)
+    >>> dataset = DatasetPartition(total_memory=platform.total_memory,
+    ...                            library_fraction=0.8)
+    >>> model = CheckpointCostModel(storage, downtime=60.0)
+    >>> costs = model.costs(platform, dataset)
+    >>> costs.full_checkpoint
+    600.0
+    """
+
+    def __init__(self, storage: CheckpointStorage, downtime: float = 60.0) -> None:
+        self._storage = storage
+        self._downtime = require_non_negative(downtime, "downtime")
+
+    @property
+    def storage(self) -> CheckpointStorage:
+        """The storage medium used to derive the costs."""
+        return self._storage
+
+    @property
+    def downtime(self) -> float:
+        """Downtime ``D`` in seconds."""
+        return self._downtime
+
+    def costs(self, platform: Platform, dataset: DatasetPartition) -> CheckpointCosts:
+        """Compute the scalar costs for ``dataset`` hosted on ``platform``."""
+        total = dataset.total_memory
+        node_count = platform.node_count
+        return CheckpointCosts(
+            full_checkpoint=self._storage.write_time(total, node_count),
+            full_recovery=self._storage.read_time(total, node_count),
+            library_fraction=dataset.library_fraction,
+            downtime=self._downtime,
+        )
+
+    @staticmethod
+    def from_scalars(
+        checkpoint: float,
+        recovery: float | None = None,
+        *,
+        library_fraction: float = 0.8,
+        downtime: float = 60.0,
+    ) -> CheckpointCosts:
+        """Build :class:`CheckpointCosts` directly from scalar values.
+
+        This mirrors how the paper's experiments specify costs
+        ("C = R = 10 minutes, D = 1 minute, rho = 0.8").
+        """
+        checkpoint = require_non_negative(checkpoint, "checkpoint")
+        recovery_value = checkpoint if recovery is None else float(recovery)
+        return CheckpointCosts(
+            full_checkpoint=checkpoint,
+            full_recovery=recovery_value,
+            library_fraction=library_fraction,
+            downtime=downtime,
+        )

@@ -1,0 +1,77 @@
+"""Node-local storage (NVRAM / SSD / burst buffer).
+
+Each node writes its own share of the checkpoint to a local device whose
+bandwidth it does not share with anyone.  Under weak scaling the per-node
+volume is constant, so the checkpoint time is constant too -- the optimistic
+hypothesis the paper says "can only be achieved through new hardware (like
+NVRAM)" (Section V-C, discussion of Figure 10).
+"""
+
+from __future__ import annotations
+
+from repro.checkpointing.storage import CheckpointStorage
+from repro.utils.validation import require_non_negative, require_positive
+
+__all__ = ["LocalStorage"]
+
+
+class LocalStorage(CheckpointStorage):
+    """Per-node storage with private bandwidth.
+
+    Parameters
+    ----------
+    node_write_bandwidth:
+        Write bandwidth of one node's device, bytes/second.
+    node_read_bandwidth:
+        Read bandwidth (defaults to the write bandwidth).
+    latency:
+        Fixed per-operation latency in seconds.
+
+    Notes
+    -----
+    The time is driven by the most-loaded node; for an evenly distributed
+    checkpoint (the coordinated-checkpoint case) that is simply
+    ``data_bytes / node_count / node_bandwidth``.
+    """
+
+    name = "node-local"
+
+    def __init__(
+        self,
+        node_write_bandwidth: float,
+        node_read_bandwidth: float | None = None,
+        latency: float = 0.0,
+    ) -> None:
+        self._node_write_bandwidth = require_positive(
+            node_write_bandwidth, "node_write_bandwidth"
+        )
+        self._node_read_bandwidth = (
+            require_positive(node_read_bandwidth, "node_read_bandwidth")
+            if node_read_bandwidth is not None
+            else self._node_write_bandwidth
+        )
+        self._latency = require_non_negative(latency, "latency")
+
+    @property
+    def node_write_bandwidth(self) -> float:
+        """Per-node write bandwidth in bytes/second."""
+        return self._node_write_bandwidth
+
+    @property
+    def node_read_bandwidth(self) -> float:
+        """Per-node read bandwidth in bytes/second."""
+        return self._node_read_bandwidth
+
+    def write_time(self, data_bytes: float, node_count: int) -> float:
+        data_bytes, node_count = self._validate(data_bytes, node_count)
+        if data_bytes == 0:
+            return 0.0
+        per_node = data_bytes / node_count
+        return self._latency + per_node / self._node_write_bandwidth
+
+    def read_time(self, data_bytes: float, node_count: int) -> float:
+        data_bytes, node_count = self._validate(data_bytes, node_count)
+        if data_bytes == 0:
+            return 0.0
+        per_node = data_bytes / node_count
+        return self._latency + per_node / self._node_read_bandwidth

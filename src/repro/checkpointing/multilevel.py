@@ -1,0 +1,83 @@
+"""Two-level (local + remote) checkpoint hierarchy.
+
+Hierarchical checkpointing keeps frequent, cheap checkpoints on a fast local
+level and periodically drains them to a slower, more resilient remote level.
+The paper mentions such protocols as the way to reach the very low
+checkpoint costs (C = R = 6 s) needed for periodic checkpointing to stay
+competitive at a million nodes (end of Section V-C); this class lets users
+explore that regime.
+"""
+
+from __future__ import annotations
+
+from repro.checkpointing.storage import CheckpointStorage
+from repro.utils.validation import require_fraction
+
+__all__ = ["MultiLevelStorage"]
+
+
+class MultiLevelStorage(CheckpointStorage):
+    """A fast local level backed by a slower resilient remote level.
+
+    Parameters
+    ----------
+    local:
+        The fast level (e.g. :class:`~repro.checkpointing.local.LocalStorage`
+        or :class:`~repro.checkpointing.buddy.BuddyStorage`).
+    remote:
+        The slow level (e.g.
+        :class:`~repro.checkpointing.remote_fs.RemoteFileSystemStorage`).
+    remote_fraction:
+        Fraction of checkpoints that are drained to the remote level (the
+        effective write cost is the weighted mix).  ``0`` behaves as the
+        local level alone, ``1`` as local followed by remote every time.
+    remote_read_fraction:
+        Fraction of recoveries that must come from the remote level (e.g.
+        after a multi-node failure destroying the local copies).
+    """
+
+    name = "multi-level"
+
+    def __init__(
+        self,
+        local: CheckpointStorage,
+        remote: CheckpointStorage,
+        remote_fraction: float = 0.1,
+        remote_read_fraction: float = 0.1,
+    ) -> None:
+        self._local = local
+        self._remote = remote
+        self._remote_fraction = require_fraction(remote_fraction, "remote_fraction")
+        self._remote_read_fraction = require_fraction(
+            remote_read_fraction, "remote_read_fraction"
+        )
+
+    @property
+    def local(self) -> CheckpointStorage:
+        """The fast (frequent) level."""
+        return self._local
+
+    @property
+    def remote(self) -> CheckpointStorage:
+        """The slow (resilient) level."""
+        return self._remote
+
+    @property
+    def remote_fraction(self) -> float:
+        """Fraction of checkpoints also written to the remote level."""
+        return self._remote_fraction
+
+    def write_time(self, data_bytes: float, node_count: int) -> float:
+        data_bytes, node_count = self._validate(data_bytes, node_count)
+        local_time = self._local.write_time(data_bytes, node_count)
+        remote_time = self._remote.write_time(data_bytes, node_count)
+        return local_time + self._remote_fraction * remote_time
+
+    def read_time(self, data_bytes: float, node_count: int) -> float:
+        data_bytes, node_count = self._validate(data_bytes, node_count)
+        local_time = self._local.read_time(data_bytes, node_count)
+        remote_time = self._remote.read_time(data_bytes, node_count)
+        return (
+            (1.0 - self._remote_read_fraction) * local_time
+            + self._remote_read_fraction * remote_time
+        )

@@ -1,0 +1,80 @@
+"""Remote parallel-file-system storage with a fixed aggregate bandwidth.
+
+This is the classical checkpoint target: every node writes its state to a
+shared parallel file system.  The file system's aggregate bandwidth is fixed
+by its I/O servers, so under weak scaling (total memory growing linearly with
+the node count) the checkpoint time grows linearly too -- the pessimistic
+hypothesis behind Figures 8 and 9 of the paper.
+"""
+
+from __future__ import annotations
+
+from repro.checkpointing.storage import CheckpointStorage
+from repro.utils.validation import require_non_negative, require_positive
+
+__all__ = ["RemoteFileSystemStorage"]
+
+
+class RemoteFileSystemStorage(CheckpointStorage):
+    """Shared storage with fixed aggregate write/read bandwidth.
+
+    Parameters
+    ----------
+    write_bandwidth:
+        Aggregate write bandwidth in bytes per second.
+    read_bandwidth:
+        Aggregate read bandwidth in bytes per second (defaults to the write
+        bandwidth, i.e. ``R = C`` as assumed in the paper's experiments).
+    latency:
+        Fixed per-operation latency in seconds (coordination, metadata).
+
+    Examples
+    --------
+    >>> from repro.utils import GB
+    >>> storage = RemoteFileSystemStorage(write_bandwidth=100 * GB)
+    >>> storage.write_time(600 * GB, node_count=1000)
+    6.0
+    """
+
+    name = "remote-pfs"
+
+    def __init__(
+        self,
+        write_bandwidth: float,
+        read_bandwidth: float | None = None,
+        latency: float = 0.0,
+    ) -> None:
+        self._write_bandwidth = require_positive(write_bandwidth, "write_bandwidth")
+        self._read_bandwidth = (
+            require_positive(read_bandwidth, "read_bandwidth")
+            if read_bandwidth is not None
+            else self._write_bandwidth
+        )
+        self._latency = require_non_negative(latency, "latency")
+
+    @property
+    def write_bandwidth(self) -> float:
+        """Aggregate write bandwidth in bytes/second."""
+        return self._write_bandwidth
+
+    @property
+    def read_bandwidth(self) -> float:
+        """Aggregate read bandwidth in bytes/second."""
+        return self._read_bandwidth
+
+    @property
+    def latency(self) -> float:
+        """Fixed per-operation latency in seconds."""
+        return self._latency
+
+    def write_time(self, data_bytes: float, node_count: int) -> float:
+        data_bytes, _ = self._validate(data_bytes, node_count)
+        if data_bytes == 0:
+            return 0.0
+        return self._latency + data_bytes / self._write_bandwidth
+
+    def read_time(self, data_bytes: float, node_count: int) -> float:
+        data_bytes, _ = self._validate(data_bytes, node_count)
+        if data_bytes == 0:
+            return 0.0
+        return self._latency + data_bytes / self._read_bandwidth

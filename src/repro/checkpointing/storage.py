@@ -1,0 +1,53 @@
+"""Abstract checkpoint storage interface."""
+
+from __future__ import annotations
+
+import abc
+
+from repro.utils.validation import require_non_negative
+
+__all__ = ["CheckpointStorage"]
+
+
+class CheckpointStorage(abc.ABC):
+    """A place where coordinated checkpoints are written and read back.
+
+    Implementations convert a data volume (bytes, aggregated over the whole
+    platform) and a node count into a *write time* and a *read time* in
+    seconds.  The node count matters because some media have per-node
+    bandwidth (scalable) while others have a fixed aggregate bandwidth
+    (bottleneck).
+    """
+
+    #: Human-readable name used in reports.
+    name: str = "storage"
+
+    @abc.abstractmethod
+    def write_time(self, data_bytes: float, node_count: int) -> float:
+        """Seconds to write ``data_bytes`` from ``node_count`` nodes."""
+
+    @abc.abstractmethod
+    def read_time(self, data_bytes: float, node_count: int) -> float:
+        """Seconds to read back ``data_bytes`` onto ``node_count`` nodes."""
+
+    # ------------------------------------------------------------------ #
+    # Shared validation helper
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _validate(data_bytes: float, node_count: int) -> tuple[float, int]:
+        data_bytes = require_non_negative(data_bytes, "data_bytes")
+        if node_count <= 0 or int(node_count) != node_count:
+            raise ValueError(f"node_count must be a positive integer, got {node_count}")
+        return data_bytes, int(node_count)
+
+    def checkpoint_and_restart_times(
+        self, data_bytes: float, node_count: int
+    ) -> tuple[float, float]:
+        """Convenience: ``(C, R)`` for one full checkpoint of ``data_bytes``."""
+        return (
+            self.write_time(data_bytes, node_count),
+            self.read_time(data_bytes, node_count),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}()"

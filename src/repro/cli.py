@@ -1,0 +1,178 @@
+"""Command-line interface: regenerate the paper's figures from a terminal.
+
+Examples
+--------
+Print the Figure 7 model heatmap series on a reduced grid::
+
+    python -m repro.cli figure7 --reduced
+
+Full Figure 7 including the simulation validation (slower)::
+
+    python -m repro.cli figure7 --validate --runs 1000 --csv figure7.csv
+
+Weak-scaling figures::
+
+    python -m repro.cli figure8
+    python -m repro.cli figure9 --mtbf-scaling constant
+    python -m repro.cli figure10 --csv figure10.csv
+
+ABFT substrate demonstration::
+
+    python -m repro.cli abft --kernel lu --n 128 --block-size 32
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.application.scaling import ScalingMode
+from repro.experiments import (
+    paper_figure7_config,
+    run_figure7,
+    run_figure8,
+    run_figure9,
+    run_figure10,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Regenerate the figures of 'Assessing the Impact of ABFT and "
+            "Checkpoint Composite Strategies' (IPDPSW 2014)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig7 = sub.add_parser("figure7", help="waste heatmaps + model validation")
+    fig7.add_argument(
+        "--validate",
+        action="store_true",
+        help="also run the Monte-Carlo simulation at every grid point",
+    )
+    fig7.add_argument(
+        "--runs", type=int, default=200, help="simulated executions per grid point"
+    )
+    fig7.add_argument(
+        "--reduced",
+        action="store_true",
+        help="use a coarser (faster) grid than the paper's",
+    )
+    fig7.add_argument("--seed", type=int, default=2014, help="simulation seed")
+    fig7.add_argument("--csv", type=str, default=None, help="write the series to CSV")
+
+    for name in ("figure8", "figure9", "figure10"):
+        fig = sub.add_parser(name, help=f"weak-scaling study ({name})")
+        fig.add_argument(
+            "--mtbf-scaling",
+            choices=["inverse", "constant"],
+            default="inverse",
+            help=(
+                "platform-MTBF scaling with the node count: 'inverse' is the "
+                "paper text's literal reading, 'constant' matches the figures "
+                "(see EXPERIMENTS.md)"
+            ),
+        )
+        fig.add_argument(
+            "--nodes",
+            type=int,
+            nargs="+",
+            default=None,
+            help="node counts to evaluate (default: 1k 10k 100k 1M)",
+        )
+        fig.add_argument("--csv", type=str, default=None, help="write the series to CSV")
+
+    abft = sub.add_parser("abft", help="ABFT kernel demonstration and overhead")
+    abft.add_argument("--kernel", choices=["lu", "cholesky"], default="lu")
+    abft.add_argument("--n", type=int, default=128, help="matrix order")
+    abft.add_argument("--block-size", type=int, default=32)
+    abft.add_argument("--trials", type=int, default=3)
+    return parser
+
+
+def _run_figure7(args: argparse.Namespace) -> int:
+    config = paper_figure7_config()
+    if args.reduced:
+        config = config.reduced()
+    result = run_figure7(
+        config,
+        validate=args.validate,
+        simulation_runs=args.runs,
+        seed=args.seed,
+    )
+    print(result.to_table().to_text())
+    if args.validate:
+        for protocol in ("PurePeriodicCkpt", "BiPeriodicCkpt", "ABFT&PeriodicCkpt"):
+            print(
+                f"max |WASTE_simul - WASTE_model| for {protocol}: "
+                f"{result.max_difference(protocol):.4f}"
+            )
+    if args.csv:
+        path = result.write_csv(args.csv)
+        print(f"series written to {path}")
+    return 0
+
+
+def _run_weak_scaling(args: argparse.Namespace, which: str) -> int:
+    mtbf_scaling = (
+        ScalingMode.INVERSE if args.mtbf_scaling == "inverse" else ScalingMode.CONSTANT
+    )
+    runner = {"figure8": run_figure8, "figure9": run_figure9, "figure10": run_figure10}[
+        which
+    ]
+    kwargs = {"mtbf_scaling": mtbf_scaling}
+    if args.nodes:
+        kwargs["node_counts"] = tuple(args.nodes)
+    result = runner(**kwargs)
+    print(result.to_table().to_text())
+    crossover = result.crossover_node_count()
+    if crossover is not None:
+        print(
+            "ABFT&PeriodicCkpt wastes less than PurePeriodicCkpt from "
+            f"{crossover} nodes on"
+        )
+    if args.csv:
+        path = result.write_csv(args.csv)
+        print(f"series written to {path}")
+    return 0
+
+
+def _run_abft(args: argparse.Namespace) -> int:
+    from repro.abft import measure_overhead
+
+    measurement = measure_overhead(
+        args.kernel, n=args.n, block_size=args.block_size, trials=args.trials
+    )
+    print(f"kernel                : {measurement.kernel}")
+    print(f"matrix order          : {measurement.n}")
+    print(f"block size            : {measurement.block_size}")
+    print(f"checksums             : {measurement.num_checksums}")
+    print(f"unprotected time      : {measurement.unprotected_time:.4f} s")
+    print(f"ABFT-protected time   : {measurement.protected_time:.4f} s")
+    print(f"measured phi          : {measurement.phi:.3f}")
+    print(f"reconstruction time   : {measurement.reconstruction_time * 1e3:.3f} ms")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "figure7":
+        return _run_figure7(args)
+    if args.command in ("figure8", "figure9", "figure10"):
+        return _run_weak_scaling(args, args.command)
+    if args.command == "abft":
+        return _run_abft(args)
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,59 @@
+"""Core contribution of the paper: composite fault-tolerance strategies.
+
+Two complementary views of the same three protocols are provided:
+
+* :mod:`repro.core.analytical` -- the closed-form, first-order performance
+  model of Section IV (expected execution time and waste of
+  PurePeriodicCkpt, BiPeriodicCkpt and ABFT&PeriodicCkpt);
+* :mod:`repro.core.protocols` -- discrete-event simulations of the same
+  protocols, which drop the first-order approximations (multiple failures
+  per period, failures during checkpoints, recoveries and reconstructions
+  are all handled) and are used to validate the model as in Section V.
+
+Both consume the same :class:`~repro.core.parameters.ResilienceParameters`
+bundle and the same :class:`~repro.application.workload.ApplicationWorkload`.
+"""
+
+from repro.core.parameters import ResilienceParameters
+from repro.core.waste import waste_from_times, waste_to_slowdown, slowdown_to_waste
+from repro.core.analytical import (
+    AnalyticalModel,
+    ModelPrediction,
+    PurePeriodicCkptModel,
+    BiPeriodicCkptModel,
+    AbftPeriodicCkptModel,
+    NoFaultToleranceModel,
+    young_period,
+    daly_period,
+    paper_optimal_period,
+    first_order_waste,
+)
+from repro.core.protocols import (
+    ProtocolSimulator,
+    NoFaultToleranceSimulator,
+    PurePeriodicCkptSimulator,
+    BiPeriodicCkptSimulator,
+    AbftPeriodicCkptSimulator,
+)
+
+__all__ = [
+    "ResilienceParameters",
+    "waste_from_times",
+    "waste_to_slowdown",
+    "slowdown_to_waste",
+    "AnalyticalModel",
+    "ModelPrediction",
+    "PurePeriodicCkptModel",
+    "BiPeriodicCkptModel",
+    "AbftPeriodicCkptModel",
+    "NoFaultToleranceModel",
+    "young_period",
+    "daly_period",
+    "paper_optimal_period",
+    "first_order_waste",
+    "ProtocolSimulator",
+    "NoFaultToleranceSimulator",
+    "PurePeriodicCkptSimulator",
+    "BiPeriodicCkptSimulator",
+    "AbftPeriodicCkptSimulator",
+]

@@ -1,0 +1,51 @@
+"""Closed-form performance models of Section IV.
+
+The models compute, for a given workload and parameter bundle, the expected
+final execution time ``T_final``, the waste ``1 - T0 / T_final`` and the
+expected number of failures handled during the run.
+
+* :mod:`repro.core.analytical.young_daly` -- optimal checkpoint periods
+  (Young's and Daly's classical approximations and the paper's refined
+  Equation 11) and the building-block expressions for the expected duration
+  of periodically checkpointed work.
+* :class:`PurePeriodicCkptModel` -- the fully conservative protocol
+  (Section IV-C, Figure 5).
+* :class:`BiPeriodicCkptModel` -- the incremental-checkpoint-aware variant
+  with one period per phase kind (Section IV-C, Figure 6, Equations 13-14).
+* :class:`AbftPeriodicCkptModel` -- the composite ABFT&PeriodicCkpt protocol
+  (Section IV-B, Equations 1-11).
+* :class:`NoFaultToleranceModel` -- restart-from-scratch baseline, included
+  for completeness (not part of the paper's comparison but useful to
+  motivate it).
+"""
+
+from repro.core.analytical.young_daly import (
+    young_period,
+    daly_period,
+    paper_optimal_period,
+    optimal_period,
+    first_order_waste,
+    periodic_final_time,
+    unprotected_final_time,
+)
+from repro.core.analytical.base import AnalyticalModel, ModelPrediction
+from repro.core.analytical.no_ft import NoFaultToleranceModel
+from repro.core.analytical.pure_periodic import PurePeriodicCkptModel
+from repro.core.analytical.bi_periodic import BiPeriodicCkptModel
+from repro.core.analytical.abft_periodic import AbftPeriodicCkptModel
+
+__all__ = [
+    "young_period",
+    "daly_period",
+    "paper_optimal_period",
+    "optimal_period",
+    "first_order_waste",
+    "periodic_final_time",
+    "unprotected_final_time",
+    "AnalyticalModel",
+    "ModelPrediction",
+    "NoFaultToleranceModel",
+    "PurePeriodicCkptModel",
+    "BiPeriodicCkptModel",
+    "AbftPeriodicCkptModel",
+]

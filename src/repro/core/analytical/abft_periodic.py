@@ -1,0 +1,245 @@
+"""ABFT&PeriodicCkpt composite analytical model (Section IV-B).
+
+The composite protocol alternates between periodic checkpointing (GENERAL
+phases) and ABFT protection (LIBRARY phases):
+
+GENERAL phase of duration ``T_G`` (Equations 1, 4, 6, 7, 9, 10):
+
+* if ``T_G < P_G`` (shorter than the optimal period), no periodic checkpoint
+  is taken; a partial checkpoint of the REMAINDER dataset (cost ``C_Rem``)
+  is taken when entering the library call, and a failure loses half the
+  phase on average:
+
+  ``T_G^final = (T_G + C_Rem) / (1 - (D + R + (T_G + C_Rem)/2) / mu)``
+
+* otherwise periodic checkpointing at the optimal period is used, and the
+  last periodic checkpoint replaces the entry partial checkpoint:
+
+  ``T_G^final = T_G / X`` with ``X = (1 - C/P)(1 - (D + R + P/2)/mu)``.
+
+LIBRARY phase of duration ``T_L`` (Equations 2, 5, 8): ABFT slows computation
+by ``phi`` and a partial checkpoint of the LIBRARY dataset (cost ``C_L``) is
+taken when leaving the call; a failure costs ``D + R_Rem + Recons_ABFT`` and
+loses no work:
+
+  ``T_L^final = (phi T_L + C_L) / (1 - (D + R_Rem + Recons_ABFT) / mu)``
+
+The model also implements the two refinements discussed in Section III-B:
+
+* the **safeguard** mechanism: when the projected ABFT-protected duration of
+  a library call is smaller than the optimal checkpoint interval, ABFT is not
+  worth its forced checkpoints and the phase falls back to (incremental)
+  periodic checkpointing;
+* **non-ABFT-capable** library phases are always protected by periodic
+  checkpointing.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Mapping, Optional
+
+from repro.application.epoch import Epoch
+from repro.application.workload import ApplicationWorkload
+from repro.core.analytical.base import AnalyticalModel
+from repro.core.analytical.young_daly import (
+    optimal_period,
+    periodic_final_time,
+    unprotected_final_time,
+)
+from repro.core.parameters import ResilienceParameters
+
+__all__ = ["AbftPeriodicCkptModel"]
+
+
+class AbftPeriodicCkptModel(AnalyticalModel):
+    """Expected execution time under the ABFT&PeriodicCkpt composite protocol.
+
+    Parameters
+    ----------
+    parameters:
+        The resilience parameter bundle.
+    general_period:
+        Override the periodic-checkpointing period used in (long) GENERAL
+        phases; ``None`` uses the optimal period of Equation 11.
+    safeguard:
+        Enable the Section III-B safeguard: a LIBRARY phase whose projected
+        ABFT-protected duration (``phi * T_L + C_L``) is smaller than the
+        optimal checkpoint interval is protected by periodic checkpointing
+        instead of ABFT.  Disabled by default, matching the headline figures
+        where the library phases are long.
+    per_epoch:
+        Analyse each epoch independently (the faithful reading of the forced
+        entry/exit checkpoints, default) instead of collapsing the workload
+        into one aggregate epoch first.
+    period_formula:
+        Optimal-period approximation (``"paper"``, ``"young"``, ``"daly"``).
+    """
+
+    name = "ABFT&PeriodicCkpt"
+
+    def __init__(
+        self,
+        parameters: ResilienceParameters,
+        *,
+        general_period: Optional[float] = None,
+        safeguard: bool = False,
+        per_epoch: bool = True,
+        period_formula: str = "paper",
+    ) -> None:
+        super().__init__(parameters)
+        self._general_period = general_period
+        self._safeguard = bool(safeguard)
+        self._per_epoch = bool(per_epoch)
+        self._period_formula = period_formula
+
+    # ------------------------------------------------------------------ #
+    # Periods
+    # ------------------------------------------------------------------ #
+    def general_period(self) -> float:
+        """Periodic-checkpointing period used in long GENERAL phases."""
+        if self._general_period is not None:
+            return self._general_period
+        params = self.parameters
+        return optimal_period(
+            params.full_checkpoint,
+            params.platform_mtbf,
+            params.downtime,
+            params.full_recovery,
+            formula=self._period_formula,
+        )
+
+    def library_fallback_period(self) -> float:
+        """Period used when a LIBRARY phase falls back to checkpointing."""
+        params = self.parameters
+        if params.library_checkpoint == 0.0:
+            return 0.0
+        return optimal_period(
+            params.library_checkpoint,
+            params.platform_mtbf,
+            params.downtime,
+            params.full_recovery,
+            formula=self._period_formula,
+        )
+
+    @property
+    def safeguard(self) -> bool:
+        """Whether the Section III-B safeguard is enabled."""
+        return self._safeguard
+
+    # ------------------------------------------------------------------ #
+    # Per-phase expectations
+    # ------------------------------------------------------------------ #
+    def _general_phase_final_time(self, general_time: float) -> tuple[float, bool]:
+        """Expected duration of one GENERAL phase plus its entry checkpoint.
+
+        Returns ``(final_time, used_periodic)``.
+        """
+        params = self.parameters
+        period = self.general_period()
+        if general_time <= 0.0 and params.remainder_checkpoint <= 0.0:
+            return 0.0, False
+        if math.isnan(period) or general_time < period:
+            # Short phase: no periodic checkpoint, a partial checkpoint of
+            # the REMAINDER dataset is appended before entering the library.
+            total = unprotected_final_time(
+                general_time + params.remainder_checkpoint,
+                params.platform_mtbf,
+                params.downtime,
+                params.full_recovery,
+            )
+            return total, False
+        total = periodic_final_time(
+            work=general_time,
+            checkpoint_cost=params.full_checkpoint,
+            mtbf=params.platform_mtbf,
+            downtime=params.downtime,
+            recovery_cost=params.full_recovery,
+            period=period,
+        )
+        return total, True
+
+    def _library_phase_abft_final_time(self, library_time: float) -> float:
+        """Expected duration of one ABFT-protected LIBRARY phase (Eq. 8)."""
+        params = self.parameters
+        if library_time <= 0.0:
+            return 0.0
+        numerator = params.phi * library_time + params.library_checkpoint
+        denominator = 1.0 - params.abft_failure_cost / params.platform_mtbf
+        if denominator <= 0.0:
+            return math.inf
+        return numerator / denominator
+
+    def _library_phase_fallback_final_time(self, library_time: float) -> float:
+        """Expected duration of a LIBRARY phase protected by checkpointing."""
+        params = self.parameters
+        return periodic_final_time(
+            work=library_time,
+            checkpoint_cost=params.library_checkpoint,
+            mtbf=params.platform_mtbf,
+            downtime=params.downtime,
+            recovery_cost=params.full_recovery,
+            period=(
+                self.library_fallback_period()
+                if params.library_checkpoint > 0
+                else None
+            ),
+        )
+
+    def _library_uses_abft(self, epoch: Epoch) -> bool:
+        """Decide whether ABFT protects the LIBRARY phase of ``epoch``."""
+        params = self.parameters
+        if not epoch.abft_capable or epoch.library_time <= 0.0:
+            return epoch.library_time > 0.0 and epoch.abft_capable
+        if not self._safeguard:
+            return True
+        projected = params.phi * epoch.library_time + params.library_checkpoint
+        threshold = self.general_period()
+        if math.isnan(threshold):
+            # Periodic checkpointing is infeasible: always prefer ABFT.
+            return True
+        return projected >= threshold
+
+    # ------------------------------------------------------------------ #
+    def final_time(
+        self, workload: ApplicationWorkload
+    ) -> tuple[float, Mapping[str, Any]]:
+        effective = workload if self._per_epoch else workload.collapse()
+
+        total = 0.0
+        general_total = 0.0
+        library_total = 0.0
+        epochs_with_periodic_general = 0
+        epochs_with_abft = 0
+
+        for epoch in effective.epochs:
+            general_time, used_periodic = self._general_phase_final_time(
+                epoch.general_time
+            )
+            if used_periodic:
+                epochs_with_periodic_general += 1
+            if self._library_uses_abft(epoch):
+                library_time = self._library_phase_abft_final_time(epoch.library_time)
+                epochs_with_abft += 1
+            else:
+                library_time = self._library_phase_fallback_final_time(
+                    epoch.library_time
+                )
+            general_total += general_time
+            library_total += library_time
+            total = general_total + library_total
+            if math.isinf(total):
+                break
+
+        details = {
+            "general_period": self.general_period(),
+            "library_fallback_period": self.library_fallback_period(),
+            "general_final_time": general_total,
+            "library_final_time": library_total,
+            "epochs": effective.epoch_count,
+            "epochs_with_periodic_general": epochs_with_periodic_general,
+            "epochs_with_abft": epochs_with_abft,
+            "safeguard": self._safeguard,
+            "per_epoch": self._per_epoch,
+        }
+        return total, details

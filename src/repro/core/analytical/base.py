@@ -1,0 +1,104 @@
+"""Common interface and result container for the analytical models."""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.application.workload import ApplicationWorkload
+from repro.core.parameters import ResilienceParameters
+from repro.core.waste import waste_from_times
+
+__all__ = ["ModelPrediction", "AnalyticalModel"]
+
+
+@dataclass(frozen=True)
+class ModelPrediction:
+    """Output of an analytical model evaluation.
+
+    Attributes
+    ----------
+    protocol:
+        Name of the protocol the prediction is for.
+    application_time:
+        Fault-free, protection-free duration ``T0`` (seconds).
+    final_time:
+        Expected protected duration ``T_final`` (seconds); ``inf`` when the
+        protection cannot keep up with the failure rate.
+    expected_failures:
+        Expected number of failures during the protected execution,
+        ``T_final / mu``.
+    details:
+        Model-specific intermediate values (periods used, per-phase times,
+        ...), useful for reporting and debugging.
+    """
+
+    protocol: str
+    application_time: float
+    final_time: float
+    expected_failures: float
+    details: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def waste(self) -> float:
+        """Waste ``1 - T0 / T_final`` (Equation 12)."""
+        return waste_from_times(self.application_time, self.final_time)
+
+    @property
+    def slowdown(self) -> float:
+        """``T_final / T0``; ``inf`` in the infeasible regime."""
+        if math.isinf(self.final_time):
+            return math.inf
+        return self.final_time / self.application_time
+
+    @property
+    def feasible(self) -> bool:
+        """False when the model predicts the execution never completes."""
+        return math.isfinite(self.final_time)
+
+
+class AnalyticalModel(abc.ABC):
+    """Base class of the closed-form protocol models.
+
+    Concrete models are constructed from a
+    :class:`~repro.core.parameters.ResilienceParameters` bundle and evaluate
+    an :class:`~repro.application.workload.ApplicationWorkload` into a
+    :class:`ModelPrediction`.
+    """
+
+    #: Human-readable protocol name (set by subclasses).
+    name: str = "analytical-model"
+
+    def __init__(self, parameters: ResilienceParameters) -> None:
+        self._parameters = parameters
+
+    @property
+    def parameters(self) -> ResilienceParameters:
+        """The parameter bundle the model was built with."""
+        return self._parameters
+
+    @abc.abstractmethod
+    def final_time(self, workload: ApplicationWorkload) -> tuple[float, Mapping[str, Any]]:
+        """Expected final time ``T_final`` and model-specific details."""
+
+    def evaluate(self, workload: ApplicationWorkload) -> ModelPrediction:
+        """Evaluate the model for ``workload``."""
+        final, details = self.final_time(workload)
+        mtbf = self._parameters.platform_mtbf
+        expected_failures = math.inf if math.isinf(final) else final / mtbf
+        return ModelPrediction(
+            protocol=self.name,
+            application_time=workload.total_time,
+            final_time=final,
+            expected_failures=expected_failures,
+            details=dict(details),
+        )
+
+    def waste(self, workload: ApplicationWorkload) -> float:
+        """Shortcut returning only the predicted waste."""
+        return self.evaluate(workload).waste
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}(mtbf={self._parameters.platform_mtbf:.6g}s)"

@@ -1,0 +1,118 @@
+"""BiPeriodicCkpt analytical model (Section IV-C, Figure 6, Eq. 13-14).
+
+A semi-conservative approach: the checkpoint runtime recognises library
+phases that only modify the LIBRARY dataset and uses *incremental*
+checkpoints of cost ``C_L = rho * C`` (with their own optimal period
+``P_BPC = sqrt(2 C_L (mu - D - R))``, Equation 14) during those phases, while
+GENERAL phases keep full checkpoints of cost ``C`` at the usual optimal
+period.  Recovery always reloads the full dataset (cost ``R``), because the
+incremental checkpoints must be combined with the last full state at
+rollback time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional
+
+from repro.application.workload import ApplicationWorkload
+from repro.core.analytical.base import AnalyticalModel
+from repro.core.analytical.young_daly import optimal_period, periodic_final_time
+from repro.core.parameters import ResilienceParameters
+
+__all__ = ["BiPeriodicCkptModel"]
+
+
+class BiPeriodicCkptModel(AnalyticalModel):
+    """Expected execution time under bi-periodic (incremental) checkpointing.
+
+    Parameters
+    ----------
+    parameters:
+        The resilience parameter bundle.
+    general_period / library_period:
+        Override the periods used in GENERAL / LIBRARY phases.  ``None``
+        (default) uses the optimal periods of Equations 11 and 14.
+    period_formula:
+        Optimal-period approximation (``"paper"``, ``"young"``, ``"daly"``).
+    """
+
+    name = "BiPeriodicCkpt"
+
+    def __init__(
+        self,
+        parameters: ResilienceParameters,
+        *,
+        general_period: Optional[float] = None,
+        library_period: Optional[float] = None,
+        period_formula: str = "paper",
+    ) -> None:
+        super().__init__(parameters)
+        self._general_period = general_period
+        self._library_period = library_period
+        self._period_formula = period_formula
+
+    # ------------------------------------------------------------------ #
+    def general_period(self) -> float:
+        """Period used during GENERAL phases (full checkpoints of cost C)."""
+        if self._general_period is not None:
+            return self._general_period
+        params = self.parameters
+        return optimal_period(
+            params.full_checkpoint,
+            params.platform_mtbf,
+            params.downtime,
+            params.full_recovery,
+            formula=self._period_formula,
+        )
+
+    def library_period(self) -> float:
+        """Period used during LIBRARY phases (Equation 14, cost ``C_L``)."""
+        if self._library_period is not None:
+            return self._library_period
+        params = self.parameters
+        if params.library_checkpoint == 0.0:
+            # A zero-cost incremental checkpoint degenerates to continuous
+            # checkpointing; the periodic formula handles C == 0 separately.
+            return 0.0
+        return optimal_period(
+            params.library_checkpoint,
+            params.platform_mtbf,
+            params.downtime,
+            params.full_recovery,
+            formula=self._period_formula,
+        )
+
+    # ------------------------------------------------------------------ #
+    def final_time(
+        self, workload: ApplicationWorkload
+    ) -> tuple[float, Mapping[str, Any]]:
+        params = self.parameters
+        general_period = self.general_period()
+        library_period = self.library_period()
+
+        general_time = periodic_final_time(
+            work=workload.total_general_time,
+            checkpoint_cost=params.full_checkpoint,
+            mtbf=params.platform_mtbf,
+            downtime=params.downtime,
+            recovery_cost=params.full_recovery,
+            period=general_period,
+        )
+        library_time = periodic_final_time(
+            work=workload.total_library_time,
+            checkpoint_cost=params.library_checkpoint,
+            mtbf=params.platform_mtbf,
+            downtime=params.downtime,
+            recovery_cost=params.full_recovery,
+            period=library_period if params.library_checkpoint > 0 else None,
+        )
+        details = {
+            "general_period": general_period,
+            "library_period": library_period,
+            "general_final_time": general_time,
+            "library_final_time": library_time,
+            "general_checkpoint_cost": params.full_checkpoint,
+            "library_checkpoint_cost": params.library_checkpoint,
+            "period_formula": self._period_formula,
+        }
+        return general_time + library_time, details

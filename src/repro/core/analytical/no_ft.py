@@ -1,0 +1,46 @@
+"""Restart-from-scratch baseline (no fault tolerance at all).
+
+Not part of the paper's comparison, but a useful sanity baseline: without any
+protection, a failure destroys all progress and the application restarts from
+the beginning.  For exponential failures of mean ``mu`` and a job of length
+``T0``, the expected completion time has the classical closed form
+
+.. math::
+
+    E[T] = (\\mu + D)\\,(e^{T_0/\\mu} - 1)
+
+which grows exponentially with ``T0 / mu`` -- the quantitative reason why
+*some* fault-tolerance mechanism is mandatory at scale.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Mapping
+
+from repro.application.workload import ApplicationWorkload
+from repro.core.analytical.base import AnalyticalModel
+
+__all__ = ["NoFaultToleranceModel"]
+
+
+class NoFaultToleranceModel(AnalyticalModel):
+    """Expected completion time with restart-from-scratch on every failure."""
+
+    name = "NoFT"
+
+    def final_time(
+        self, workload: ApplicationWorkload
+    ) -> tuple[float, Mapping[str, Any]]:
+        params = self.parameters
+        total = workload.total_time
+        mtbf = params.platform_mtbf
+        exponent = total / mtbf
+        # Guard against overflow for absurdly failure-dominated regimes.
+        if exponent > 700.0:
+            return math.inf, {"exponent": exponent}
+        expected = (mtbf + params.downtime) * (math.exp(exponent) - 1.0)
+        # The expectation can dip below T0 only through rounding for tiny
+        # exponents; clamp to preserve the waste >= 0 invariant.
+        expected = max(expected, total)
+        return expected, {"exponent": exponent}

@@ -1,0 +1,82 @@
+"""PurePeriodicCkpt analytical model (Section IV-C, Figure 5).
+
+The fully conservative approach: a single Young/Daly-optimal checkpointing
+period, with full-memory checkpoints of cost ``C``, is used throughout the
+whole execution, regardless of the application's phase structure.  In the
+paper's notation this is the composite model evaluated with ``alpha = 0``
+(everything is a GENERAL phase) and the optimal period of Equation 11.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional
+
+from repro.application.workload import ApplicationWorkload
+from repro.core.analytical.base import AnalyticalModel
+from repro.core.analytical.young_daly import optimal_period, periodic_final_time
+from repro.core.parameters import ResilienceParameters
+
+__all__ = ["PurePeriodicCkptModel"]
+
+
+class PurePeriodicCkptModel(AnalyticalModel):
+    """Expected execution time under pure periodic checkpointing.
+
+    Parameters
+    ----------
+    parameters:
+        The resilience parameter bundle.
+    period:
+        Checkpointing period to use.  ``None`` (default) uses the paper's
+        optimal period ``sqrt(2 C (mu - D - R))``.
+    period_formula:
+        Which optimal-period approximation to use when ``period`` is not
+        given: ``"paper"`` (default), ``"young"`` or ``"daly"`` -- exposed
+        for the period-formula ablation study.
+    """
+
+    name = "PurePeriodicCkpt"
+
+    def __init__(
+        self,
+        parameters: ResilienceParameters,
+        *,
+        period: Optional[float] = None,
+        period_formula: str = "paper",
+    ) -> None:
+        super().__init__(parameters)
+        self._explicit_period = period
+        self._period_formula = period_formula
+
+    def period(self) -> float:
+        """The checkpointing period actually used (seconds)."""
+        if self._explicit_period is not None:
+            return self._explicit_period
+        params = self.parameters
+        return optimal_period(
+            params.full_checkpoint,
+            params.platform_mtbf,
+            params.downtime,
+            params.full_recovery,
+            formula=self._period_formula,
+        )
+
+    def final_time(
+        self, workload: ApplicationWorkload
+    ) -> tuple[float, Mapping[str, Any]]:
+        params = self.parameters
+        period = self.period()
+        total = periodic_final_time(
+            work=workload.total_time,
+            checkpoint_cost=params.full_checkpoint,
+            mtbf=params.platform_mtbf,
+            downtime=params.downtime,
+            recovery_cost=params.full_recovery,
+            period=period,
+        )
+        details = {
+            "period": period,
+            "checkpoint_cost": params.full_checkpoint,
+            "period_formula": self._period_formula,
+        }
+        return total, details

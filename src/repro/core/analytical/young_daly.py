@@ -1,0 +1,224 @@
+"""Optimal checkpoint periods and periodic-checkpointing building blocks.
+
+The classical first-order results:
+
+* Young's approximation [19]: ``P = sqrt(2 C mu)``;
+* Daly's higher-order estimate [20]: ``P = sqrt(2 C (mu + D + R)) `` refined
+  with correction terms (we implement the widely used first-order form
+  ``sqrt(2 C mu) + C``);
+* the paper's refined Equation 11: ``P_opt = sqrt(2 C (mu - D - R))``, which
+  is the value used by every protocol in the evaluation.
+
+The module also provides the expected-final-time expressions that the three
+protocol models share:
+
+* :func:`periodic_final_time` -- Equation 10: expected duration of ``work``
+  seconds of computation protected by periodic checkpoints of cost ``C``
+  taken every ``P`` seconds, under exponential failures of mean ``mu`` with
+  per-failure overhead ``D + R`` plus half a period of lost work;
+* :func:`unprotected_final_time` -- Equation 9: expected duration of a
+  phase executed without any intermediate checkpoint (the composite's short
+  GENERAL phase), where a failure loses half the phase on average.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.utils.validation import require_non_negative, require_positive
+
+__all__ = [
+    "young_period",
+    "daly_period",
+    "paper_optimal_period",
+    "optimal_period",
+    "first_order_waste",
+    "periodic_final_time",
+    "unprotected_final_time",
+]
+
+
+def young_period(checkpoint_cost: float, mtbf: float) -> float:
+    """Young's optimal period ``sqrt(2 C mu)`` [Young 1974].
+
+    Parameters
+    ----------
+    checkpoint_cost:
+        Checkpoint cost ``C`` in seconds.
+    mtbf:
+        Platform MTBF ``mu`` in seconds.
+    """
+    checkpoint_cost = require_positive(checkpoint_cost, "checkpoint_cost")
+    mtbf = require_positive(mtbf, "mtbf")
+    return math.sqrt(2.0 * checkpoint_cost * mtbf)
+
+
+def daly_period(checkpoint_cost: float, mtbf: float) -> float:
+    """Daly's first-order optimal period ``sqrt(2 C mu) + C`` [Daly 2004]."""
+    checkpoint_cost = require_positive(checkpoint_cost, "checkpoint_cost")
+    mtbf = require_positive(mtbf, "mtbf")
+    return math.sqrt(2.0 * checkpoint_cost * mtbf) + checkpoint_cost
+
+
+def paper_optimal_period(
+    checkpoint_cost: float, mtbf: float, downtime: float, recovery_cost: float
+) -> float:
+    """The paper's refined optimal period, Equation 11.
+
+    ``P_opt = sqrt(2 C (mu - D - R))``.
+
+    When ``mu <= D + R`` the formula has no real solution: the platform fails
+    faster than it can recover, periodic checkpointing cannot make progress
+    in expectation and the function returns ``nan`` (callers treat this as
+    an infeasible regime and report a waste of 1).
+    """
+    checkpoint_cost = require_positive(checkpoint_cost, "checkpoint_cost")
+    mtbf = require_positive(mtbf, "mtbf")
+    downtime = require_non_negative(downtime, "downtime")
+    recovery_cost = require_non_negative(recovery_cost, "recovery_cost")
+    slack = mtbf - downtime - recovery_cost
+    if slack <= 0:
+        return math.nan
+    return math.sqrt(2.0 * checkpoint_cost * slack)
+
+
+def optimal_period(
+    checkpoint_cost: float,
+    mtbf: float,
+    downtime: float = 0.0,
+    recovery_cost: float = 0.0,
+    *,
+    formula: str = "paper",
+) -> float:
+    """Dispatch between the Young, Daly and paper period formulas.
+
+    Parameters
+    ----------
+    formula:
+        One of ``"paper"`` (default, Equation 11), ``"young"`` or ``"daly"``.
+    """
+    if formula == "paper":
+        return paper_optimal_period(checkpoint_cost, mtbf, downtime, recovery_cost)
+    if formula == "young":
+        return young_period(checkpoint_cost, mtbf)
+    if formula == "daly":
+        return daly_period(checkpoint_cost, mtbf)
+    raise ValueError(f"unknown period formula {formula!r}; expected paper|young|daly")
+
+
+def _efficiency(
+    period: float,
+    checkpoint_cost: float,
+    mtbf: float,
+    downtime: float,
+    recovery_cost: float,
+) -> float:
+    """The factor ``X`` of Equation 10: useful fraction of each period.
+
+    ``X = (1 - C/P) (1 - (D + R + P/2) / mu)``.  Non-positive values mean the
+    protection cannot keep up with the failure rate (infeasible regime).
+    """
+    if math.isnan(period) or period <= checkpoint_cost:
+        return 0.0
+    fault_free = 1.0 - checkpoint_cost / period
+    failure_factor = 1.0 - (downtime + recovery_cost + period / 2.0) / mtbf
+    if failure_factor <= 0.0:
+        return 0.0
+    return fault_free * failure_factor
+
+
+def periodic_final_time(
+    work: float,
+    checkpoint_cost: float,
+    mtbf: float,
+    downtime: float,
+    recovery_cost: float,
+    period: float | None = None,
+) -> float:
+    """Expected final time of periodically checkpointed work (Equation 10).
+
+    Parameters
+    ----------
+    work:
+        Amount of useful computation to perform, in seconds.
+    checkpoint_cost:
+        Cost ``C`` of each periodic checkpoint, seconds.
+    mtbf:
+        Platform MTBF ``mu`` in seconds.
+    downtime / recovery_cost:
+        Per-failure downtime ``D`` and recovery ``R``, seconds.
+    period:
+        Checkpointing period ``P`` (wall-clock, including the checkpoint).
+        ``None`` uses the optimal period of Equation 11.
+
+    Returns
+    -------
+    float
+        The expected completion time ``work / X``; ``inf`` when the regime is
+        infeasible (``X <= 0``).
+    """
+    work = require_non_negative(work, "work")
+    if work == 0.0:
+        return 0.0
+    mtbf = require_positive(mtbf, "mtbf")
+    if checkpoint_cost == 0.0:
+        # No checkpoint cost: the optimal period goes to zero and the only
+        # remaining overhead is the per-failure downtime + recovery.
+        failure_factor = 1.0 - (downtime + recovery_cost) / mtbf
+        return work / failure_factor if failure_factor > 0 else math.inf
+    if period is None:
+        period = paper_optimal_period(checkpoint_cost, mtbf, downtime, recovery_cost)
+    efficiency = _efficiency(period, checkpoint_cost, mtbf, downtime, recovery_cost)
+    if efficiency <= 0.0:
+        return math.inf
+    return work / efficiency
+
+
+def unprotected_final_time(
+    work_and_overhead: float,
+    mtbf: float,
+    downtime: float,
+    recovery_cost: float,
+) -> float:
+    """Expected final time of a phase executed without intermediate checkpoints.
+
+    Equation 9 of the paper: the phase (of fault-free duration
+    ``work_and_overhead``, which may include a trailing partial checkpoint)
+    is re-executed from its beginning when a failure strikes; on average the
+    failure hits the middle of the phase, so the expected loss per failure is
+    ``D + R + work_and_overhead / 2``:
+
+    ``T_final = work_and_overhead / (1 - (D + R + work_and_overhead/2) / mu)``
+
+    Returns ``inf`` when the denominator is non-positive (the phase is too
+    long to complete in expectation without intermediate checkpoints).
+    """
+    work_and_overhead = require_non_negative(work_and_overhead, "work_and_overhead")
+    if work_and_overhead == 0.0:
+        return 0.0
+    mtbf = require_positive(mtbf, "mtbf")
+    denominator = 1.0 - (downtime + recovery_cost + work_and_overhead / 2.0) / mtbf
+    if denominator <= 0.0:
+        return math.inf
+    return work_and_overhead / denominator
+
+
+def first_order_waste(
+    checkpoint_cost: float,
+    mtbf: float,
+    downtime: float = 0.0,
+    recovery_cost: float = 0.0,
+    period: float | None = None,
+) -> float:
+    """First-order waste of steady-state periodic checkpointing.
+
+    ``waste = 1 - X`` where ``X`` is the efficiency factor of Equation 10,
+    evaluated at the optimal period unless ``period`` is given.  Clipped to
+    ``[0, 1]``.
+    """
+    checkpoint_cost = require_positive(checkpoint_cost, "checkpoint_cost")
+    mtbf = require_positive(mtbf, "mtbf")
+    if period is None:
+        period = paper_optimal_period(checkpoint_cost, mtbf, downtime, recovery_cost)
+    efficiency = _efficiency(period, checkpoint_cost, mtbf, downtime, recovery_cost)
+    return min(1.0, max(0.0, 1.0 - efficiency))

@@ -1,0 +1,227 @@
+"""Parameter bundle shared by the analytical models and the simulators.
+
+This is the single place where all of the paper's Section IV notation lives:
+
+========  =====================================================================
+Symbol    Meaning
+========  =====================================================================
+``mu``    Platform mean time between failures (seconds).
+``C``     Full-memory coordinated checkpoint cost (seconds).
+``R``     Full-memory recovery cost (seconds).
+``D``     Downtime: reboot / spare swap-in (seconds).
+``rho``   Fraction of memory in the LIBRARY dataset; ``C_L = rho * C``.
+``phi``   ABFT slowdown factor (``>= 1``); ABFT-protected work takes
+          ``phi * t`` instead of ``t``.
+``Recons_ABFT``  Time to reconstruct the LIBRARY dataset from ABFT checksums
+          after a failure (seconds).
+``R_Rem`` Time to reload the partial checkpoint of the REMAINDER dataset
+          during an ABFT recovery; defaults to ``(1 - rho) * R``
+          (the paper notes "in many cases R_Rem = C_Rem").
+========  =====================================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.checkpointing.cost_model import CheckpointCostModel, CheckpointCosts
+from repro.failures.platform import Platform
+from repro.utils.validation import require_non_negative, require_positive
+
+__all__ = ["ResilienceParameters"]
+
+
+@dataclass(frozen=True)
+class ResilienceParameters:
+    """Every scalar parameter of the composite model.
+
+    Parameters
+    ----------
+    platform_mtbf:
+        Platform MTBF ``mu`` in seconds.
+    costs:
+        Checkpoint / recovery / downtime costs (see
+        :class:`~repro.checkpointing.cost_model.CheckpointCosts`).
+    abft_overhead:
+        ``phi >= 1``: multiplicative slowdown of ABFT-protected computation.
+    abft_reconstruction:
+        ``Recons_ABFT``: ABFT data reconstruction time after a failure,
+        seconds.
+    remainder_recovery:
+        ``R_Rem``: time to reload the REMAINDER partial checkpoint during an
+        ABFT recovery.  ``None`` (default) uses ``(1 - rho) * R``.
+
+    Examples
+    --------
+    >>> from repro.utils import MINUTE
+    >>> from repro.checkpointing import CheckpointCostModel
+    >>> costs = CheckpointCostModel.from_scalars(
+    ...     checkpoint=10 * MINUTE, recovery=10 * MINUTE,
+    ...     library_fraction=0.8, downtime=1 * MINUTE)
+    >>> params = ResilienceParameters(platform_mtbf=120 * MINUTE, costs=costs,
+    ...                               abft_overhead=1.03, abft_reconstruction=2.0)
+    >>> params.library_checkpoint == 0.8 * params.full_checkpoint
+    True
+    """
+
+    platform_mtbf: float
+    costs: CheckpointCosts
+    abft_overhead: float = 1.03
+    abft_reconstruction: float = 2.0
+    remainder_recovery: Optional[float] = field(default=None)
+
+    def __post_init__(self) -> None:
+        require_positive(self.platform_mtbf, "platform_mtbf")
+        if self.abft_overhead < 1.0:
+            raise ValueError(
+                f"abft_overhead (phi) must be >= 1, got {self.abft_overhead}"
+            )
+        require_non_negative(self.abft_reconstruction, "abft_reconstruction")
+        if self.remainder_recovery is not None:
+            require_non_negative(self.remainder_recovery, "remainder_recovery")
+
+    # ------------------------------------------------------------------ #
+    # Paper-notation accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def mtbf(self) -> float:
+        """``mu``: platform MTBF in seconds."""
+        return self.platform_mtbf
+
+    @property
+    def full_checkpoint(self) -> float:
+        """``C``: full-memory checkpoint cost."""
+        return self.costs.full_checkpoint
+
+    @property
+    def full_recovery(self) -> float:
+        """``R``: full-memory recovery cost."""
+        return self.costs.full_recovery
+
+    @property
+    def downtime(self) -> float:
+        """``D``: downtime after a failure."""
+        return self.costs.downtime
+
+    @property
+    def rho(self) -> float:
+        """``rho``: LIBRARY fraction of memory."""
+        return self.costs.library_fraction
+
+    @property
+    def library_checkpoint(self) -> float:
+        """``C_L = rho * C``: partial checkpoint of the LIBRARY dataset."""
+        return self.costs.library_checkpoint
+
+    @property
+    def remainder_checkpoint(self) -> float:
+        """``C_Rem = (1 - rho) * C``: partial checkpoint of the REMAINDER dataset."""
+        return self.costs.remainder_checkpoint
+
+    @property
+    def library_recovery(self) -> float:
+        """``R_L = rho * R``: recovery of the LIBRARY dataset alone."""
+        return self.costs.library_recovery
+
+    @property
+    def remainder_recovery_cost(self) -> float:
+        """``R_Rem``: recovery of the REMAINDER partial checkpoint."""
+        if self.remainder_recovery is not None:
+            return self.remainder_recovery
+        return self.costs.remainder_recovery
+
+    @property
+    def phi(self) -> float:
+        """``phi``: ABFT slowdown factor."""
+        return self.abft_overhead
+
+    @property
+    def abft_failure_cost(self) -> float:
+        """``D + R_Rem + Recons_ABFT``: average time lost per failure in an
+        ABFT-protected LIBRARY phase (paper Section IV-B.2)."""
+        return self.downtime + self.remainder_recovery_cost + self.abft_reconstruction
+
+    @property
+    def rollback_failure_overhead(self) -> float:
+        """``D + R``: fixed part of the time lost per failure under rollback."""
+        return self.downtime + self.full_recovery
+
+    # ------------------------------------------------------------------ #
+    # Constructors and transforms
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_scalars(
+        cls,
+        *,
+        platform_mtbf: float,
+        checkpoint: float,
+        recovery: Optional[float] = None,
+        downtime: float = 60.0,
+        library_fraction: float = 0.8,
+        abft_overhead: float = 1.03,
+        abft_reconstruction: float = 2.0,
+        remainder_recovery: Optional[float] = None,
+    ) -> "ResilienceParameters":
+        """Build parameters directly from scalar values (paper style)."""
+        costs = CheckpointCostModel.from_scalars(
+            checkpoint,
+            recovery,
+            library_fraction=library_fraction,
+            downtime=downtime,
+        )
+        return cls(
+            platform_mtbf=platform_mtbf,
+            costs=costs,
+            abft_overhead=abft_overhead,
+            abft_reconstruction=abft_reconstruction,
+            remainder_recovery=remainder_recovery,
+        )
+
+    @classmethod
+    def from_platform(
+        cls,
+        platform: Platform,
+        cost_model: CheckpointCostModel,
+        dataset,
+        *,
+        abft_overhead: float = 1.03,
+        abft_reconstruction: float = 2.0,
+        remainder_recovery: Optional[float] = None,
+    ) -> "ResilienceParameters":
+        """Derive parameters from a platform, a storage cost model and a dataset."""
+        costs = cost_model.costs(platform, dataset)
+        return cls(
+            platform_mtbf=platform.mtbf,
+            costs=costs,
+            abft_overhead=abft_overhead,
+            abft_reconstruction=abft_reconstruction,
+            remainder_recovery=remainder_recovery,
+        )
+
+    def with_mtbf(self, platform_mtbf: float) -> "ResilienceParameters":
+        """Return a copy with a different platform MTBF (sweep helper)."""
+        return replace(self, platform_mtbf=platform_mtbf)
+
+    def with_costs(self, costs: CheckpointCosts) -> "ResilienceParameters":
+        """Return a copy with different checkpoint costs (sweep helper)."""
+        return replace(self, costs=costs)
+
+    def with_abft(
+        self,
+        *,
+        abft_overhead: Optional[float] = None,
+        abft_reconstruction: Optional[float] = None,
+    ) -> "ResilienceParameters":
+        """Return a copy with different ABFT parameters (sweep helper)."""
+        return replace(
+            self,
+            abft_overhead=(
+                self.abft_overhead if abft_overhead is None else abft_overhead
+            ),
+            abft_reconstruction=(
+                self.abft_reconstruction
+                if abft_reconstruction is None
+                else abft_reconstruction
+            ),
+        )

@@ -1,0 +1,203 @@
+"""ABFT&PeriodicCkpt composite simulator (Section III / V, Figure 2).
+
+The composite protocol, phase by phase (per epoch):
+
+* **GENERAL phase** -- if the phase is longer than the optimal checkpointing
+  period, periodic full-memory checkpoints are taken (the last one doubles
+  as the forced entry checkpoint of the upcoming library call); otherwise no
+  periodic checkpoint is taken and a *partial* checkpoint of the REMAINDER
+  dataset (cost ``C_Rem``) is written when entering the library call.  A
+  failure rolls back to the last protected state (previous split checkpoint
+  or periodic checkpoint).
+* **LIBRARY phase** -- ABFT protects the computation (slowdown ``phi``);
+  periodic checkpointing is disabled.  A failure costs a downtime, the reload
+  of the REMAINDER partial checkpoint and the ABFT reconstruction of the
+  LIBRARY dataset, and loses no work.  A partial checkpoint of the LIBRARY
+  dataset (cost ``C_L``) is written when the call returns, completing the
+  split checkpoint.
+* The Section III-B **safeguard** (optional): a library call whose projected
+  ABFT duration is shorter than the optimal checkpointing interval is not
+  worth its forced checkpoints and is protected by (incremental) periodic
+  checkpointing instead, as are library phases without an ABFT
+  implementation.
+
+Modelling note: a failure striking during the *exit* partial checkpoint is
+handled as an ABFT failure (reconstruction then re-write of the checkpoint);
+the library call has just finished, its dataset and checksums are still in
+memory, so reconstruction remains possible.  The alternative (full rollback)
+differs only on a window of ``C_L`` per epoch and is indistinguishable at the
+scale of the paper's experiments.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.application.epoch import Epoch
+from repro.application.workload import ApplicationWorkload
+from repro.core.analytical.young_daly import optimal_period
+from repro.core.parameters import ResilienceParameters
+from repro.core.protocols.base import ProtocolSimulator
+from repro.failures.timeline import FailureTimeline
+from repro.simulation.events import EventKind
+from repro.simulation.trace import TraceRecorder
+
+__all__ = ["AbftPeriodicCkptSimulator"]
+
+
+class AbftPeriodicCkptSimulator(ProtocolSimulator):
+    """Simulate the ABFT&PeriodicCkpt composite protocol.
+
+    Parameters
+    ----------
+    parameters / workload:
+        See :class:`~repro.core.protocols.base.ProtocolSimulator`.
+    general_period:
+        Override the periodic-checkpointing period of long GENERAL phases;
+        ``None`` uses the optimal period of Equation 11.
+    safeguard:
+        Enable the Section III-B safeguard mechanism (off by default, like in
+        the analytical model).
+    period_formula:
+        Optimal-period approximation used for defaulted periods.
+    """
+
+    name = "ABFT&PeriodicCkpt"
+
+    def __init__(
+        self,
+        parameters: ResilienceParameters,
+        workload: ApplicationWorkload,
+        *,
+        general_period: Optional[float] = None,
+        safeguard: bool = False,
+        period_formula: str = "paper",
+        record_events: bool = False,
+        max_slowdown: float = 1e4,
+    ) -> None:
+        super().__init__(
+            parameters,
+            workload,
+            record_events=record_events,
+            max_slowdown=max_slowdown,
+        )
+        self._general_period = general_period
+        self._safeguard = bool(safeguard)
+        self._period_formula = period_formula
+
+    # ------------------------------------------------------------------ #
+    def general_period(self) -> float:
+        """Periodic-checkpointing period used in long GENERAL phases."""
+        if self._general_period is not None:
+            return self._general_period
+        params = self._params
+        return optimal_period(
+            params.full_checkpoint,
+            params.platform_mtbf,
+            params.downtime,
+            params.full_recovery,
+            formula=self._period_formula,
+        )
+
+    def library_fallback_period(self) -> float:
+        """Period used when a LIBRARY phase falls back to checkpointing."""
+        params = self._params
+        if params.library_checkpoint <= 0.0:
+            return float("nan")
+        return optimal_period(
+            params.library_checkpoint,
+            params.platform_mtbf,
+            params.downtime,
+            params.full_recovery,
+            formula=self._period_formula,
+        )
+
+    @property
+    def safeguard(self) -> bool:
+        """Whether the Section III-B safeguard is enabled."""
+        return self._safeguard
+
+    def _library_uses_abft(self, epoch: Epoch) -> bool:
+        """Decide whether ABFT protects the LIBRARY phase of ``epoch``."""
+        params = self._params
+        if not epoch.abft_capable or epoch.library_time <= 0.0:
+            return False
+        if not self._safeguard:
+            return True
+        projected = params.phi * epoch.library_time + params.library_checkpoint
+        threshold = self.general_period()
+        if math.isnan(threshold):
+            return True
+        return projected >= threshold
+
+    def _metadata(self) -> dict:
+        return {
+            "general_period": self.general_period(),
+            "safeguard": self._safeguard,
+            "period_formula": self._period_formula,
+        }
+
+    # ------------------------------------------------------------------ #
+    def _run(self, timeline: FailureTimeline, recorder: TraceRecorder) -> float:
+        params = self._params
+        time = 0.0
+        general_period = self.general_period()
+        for epoch in self._workload.epochs:
+            # ---- GENERAL phase ---------------------------------------- #
+            recorder.record(time, EventKind.GENERAL_PHASE_START)
+            general_time = epoch.general_time
+            use_periodic = (
+                not math.isnan(general_period) and general_time >= general_period
+            )
+            if use_periodic:
+                # Periodic checkpointing; the trailing checkpoint doubles as
+                # the forced entry checkpoint of the library call.
+                time = self._periodic_section(
+                    time,
+                    general_time,
+                    timeline,
+                    recorder,
+                    checkpoint_cost=params.full_checkpoint,
+                    recovery_cost=params.full_recovery,
+                    period=general_period,
+                    trailing_checkpoint=True,
+                )
+            else:
+                # Short phase: execute unprotected, then write the partial
+                # entry checkpoint of the REMAINDER dataset.
+                time = self._unprotected_section(
+                    time,
+                    general_time,
+                    timeline,
+                    recorder,
+                    recovery_cost=params.full_recovery,
+                    checkpoint_cost=params.remainder_checkpoint,
+                )
+            recorder.record(time, EventKind.GENERAL_PHASE_END)
+
+            # ---- LIBRARY phase ----------------------------------------- #
+            if epoch.library_time <= 0.0:
+                continue
+            if self._library_uses_abft(epoch):
+                time = self._abft_section(
+                    time,
+                    epoch.library_time,
+                    timeline,
+                    recorder,
+                    exit_checkpoint_cost=params.library_checkpoint,
+                )
+            else:
+                recorder.record(time, EventKind.LIBRARY_PHASE_START)
+                time = self._periodic_section(
+                    time,
+                    epoch.library_time,
+                    timeline,
+                    recorder,
+                    checkpoint_cost=params.library_checkpoint,
+                    recovery_cost=params.full_recovery,
+                    period=self.library_fallback_period(),
+                    trailing_checkpoint=True,
+                )
+                recorder.record(time, EventKind.LIBRARY_PHASE_END)
+        return time

@@ -1,0 +1,419 @@
+"""Shared machinery of the protocol simulators.
+
+Every protocol simulator is a *time-walking state machine*: starting from a
+protected state, it attempts segments of execution (a chunk of work followed
+by a checkpoint, an un-checkpointed phase, an ABFT-protected stretch, a
+recovery, ...) against a :class:`~repro.failures.timeline.FailureTimeline`.
+If the next failure falls after the segment, the segment completes and its
+cost is accounted; otherwise the failure is recorded, the time already spent
+is charged to the appropriate waste category, the configured recovery
+sequence is performed (itself restartable if further failures strike), and
+the protocol decides where execution resumes (last checkpoint, phase start,
+or -- for ABFT -- the exact point of interruption).
+
+The helpers in :class:`ProtocolSimulator` implement those building blocks so
+that each concrete protocol is a short, readable composition of them.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.application.workload import ApplicationWorkload
+from repro.core.parameters import ResilienceParameters
+from repro.failures.exponential import ExponentialFailureModel
+from repro.failures.timeline import FailureTimeline
+from repro.simulation.events import EventKind
+from repro.simulation.trace import ExecutionTrace, TraceRecorder
+
+__all__ = ["ProtocolSimulator", "SimulationHorizonExceeded"]
+
+#: Categories used when a restart sequence is interrupted mid-way.
+RestartStages = Sequence[tuple[str, float]]
+
+
+class SimulationHorizonExceeded(RuntimeError):
+    """Raised internally when a run exceeds the configured makespan cap.
+
+    In infeasible regimes (e.g. the checkpoint cost exceeds the MTBF) a
+    simulated execution may essentially never finish; the cap turns that into
+    a truncated trace whose waste is ~1 instead of an endless loop.
+    """
+
+    def __init__(self, time: float) -> None:
+        super().__init__(f"simulation exceeded its makespan cap at t={time:.6g}s")
+        self.time = time
+
+
+class ProtocolSimulator(abc.ABC):
+    """Base class for the discrete-event protocol simulators.
+
+    Parameters
+    ----------
+    parameters:
+        The resilience parameter bundle (MTBF, costs, ABFT parameters).
+    workload:
+        The application to protect.
+    record_events:
+        Store individual events in the resulting trace (off by default; the
+        aggregate time breakdown is always recorded).
+    max_slowdown:
+        Safety cap: the simulation is truncated once the makespan exceeds
+        ``max_slowdown * T0`` (the trace is flagged ``truncated=True`` in its
+        metadata and its waste is effectively 1).
+    """
+
+    #: Human-readable protocol name (set by subclasses).
+    name: str = "protocol"
+
+    def __init__(
+        self,
+        parameters: ResilienceParameters,
+        workload: ApplicationWorkload,
+        *,
+        record_events: bool = False,
+        max_slowdown: float = 1e4,
+    ) -> None:
+        if max_slowdown <= 1.0:
+            raise ValueError(f"max_slowdown must be > 1, got {max_slowdown}")
+        self._params = parameters
+        self._workload = workload
+        self._record_events = bool(record_events)
+        self._max_makespan = float(max_slowdown) * workload.total_time
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    @property
+    def parameters(self) -> ResilienceParameters:
+        """The resilience parameter bundle."""
+        return self._params
+
+    @property
+    def workload(self) -> ApplicationWorkload:
+        """The protected application."""
+        return self._workload
+
+    def simulate(
+        self,
+        rng: Optional[np.random.Generator] = None,
+        *,
+        timeline: Optional[FailureTimeline] = None,
+        seed: Optional[int] = None,
+    ) -> ExecutionTrace:
+        """Simulate one execution and return its trace.
+
+        Exactly one source of randomness is used: an explicit ``timeline``
+        (for scripted scenarios), an explicit ``rng``, or a fresh generator
+        built from ``seed``.
+        """
+        if timeline is None:
+            if rng is None:
+                rng = np.random.default_rng(seed)
+            model = ExponentialFailureModel(self._params.platform_mtbf)
+            timeline = FailureTimeline(model, rng)
+        recorder = TraceRecorder(
+            self.name,
+            self._workload.total_time,
+            record_events=self._record_events,
+        )
+        truncated = False
+        try:
+            makespan = self._run(timeline, recorder)
+        except SimulationHorizonExceeded as exc:
+            makespan = exc.time
+            truncated = True
+        metadata = dict(self._metadata())
+        metadata["truncated"] = truncated
+        return recorder.finish(makespan, metadata=metadata)
+
+    def simulate_once(self, rng: np.random.Generator) -> ExecutionTrace:
+        """Adapter matching :func:`repro.simulation.runner.run_monte_carlo`."""
+        return self.simulate(rng=rng)
+
+    # ------------------------------------------------------------------ #
+    # To be provided by concrete protocols
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def _run(self, timeline: FailureTimeline, recorder: TraceRecorder) -> float:
+        """Execute the protected application; return the makespan."""
+
+    def _metadata(self) -> dict:
+        """Protocol-specific metadata stored in every trace."""
+        return {}
+
+    # ------------------------------------------------------------------ #
+    # Building blocks
+    # ------------------------------------------------------------------ #
+    def _check_cap(self, time: float) -> None:
+        if time > self._max_makespan:
+            raise SimulationHorizonExceeded(time)
+
+    def _restart(
+        self,
+        time: float,
+        timeline: FailureTimeline,
+        recorder: TraceRecorder,
+        stages: RestartStages,
+    ) -> float:
+        """Perform a restart sequence (downtime, recovery, ...), restartable.
+
+        ``stages`` is an ordered list of ``(category, duration)`` pairs, e.g.
+        ``[("downtime", D), ("recovery", R)]``.  If a failure strikes before
+        the whole sequence completes, the time already spent is charged to
+        the categories reached so far and the sequence starts over.
+        Returns the time at which the sequence finally completes.
+        """
+        total = sum(duration for _, duration in stages)
+        if total <= 0.0:
+            return time
+        recorder.record(time, EventKind.RECOVERY_START)
+        while True:
+            self._check_cap(time)
+            next_failure = timeline.next_failure_after(time)
+            if next_failure >= time + total:
+                for category, duration in stages:
+                    recorder.account(category, duration)
+                recorder.record(time + total, EventKind.RECOVERY_END)
+                return time + total
+            # The restart itself is interrupted: charge what was spent, count
+            # the failure, and start the sequence over.
+            elapsed = next_failure - time
+            remaining = elapsed
+            for category, duration in stages:
+                spent = min(remaining, duration)
+                if spent > 0.0:
+                    recorder.account(category, spent)
+                remaining -= spent
+                if remaining <= 0.0:
+                    break
+            recorder.record(next_failure, EventKind.FAILURE, during="restart")
+            time = next_failure
+
+    def _rollback_stages(self, recovery_cost: float) -> RestartStages:
+        """Downtime + full rollback recovery (the checkpointing protocols)."""
+        return (
+            ("downtime", self._params.downtime),
+            ("recovery", recovery_cost),
+        )
+
+    def _abft_restart_stages(self) -> RestartStages:
+        """Downtime + REMAINDER reload + ABFT reconstruction (LIBRARY phase)."""
+        return (
+            ("downtime", self._params.downtime),
+            ("recovery", self._params.remainder_recovery_cost),
+            ("abft_recovery", self._params.abft_reconstruction),
+        )
+
+    # .................................................................. #
+    def _periodic_section(
+        self,
+        time: float,
+        work: float,
+        timeline: FailureTimeline,
+        recorder: TraceRecorder,
+        *,
+        checkpoint_cost: float,
+        recovery_cost: float,
+        period: float,
+        trailing_checkpoint: bool,
+    ) -> float:
+        """Execute ``work`` seconds of work under periodic checkpointing.
+
+        The section starts from a protected state (job start, split
+        checkpoint or previous periodic checkpoint).  Work is cut into chunks
+        of ``period - checkpoint_cost`` seconds, each followed by a
+        checkpoint; a failure rolls back to the last completed checkpoint.
+        The last (possibly partial) chunk is followed by a checkpoint only
+        when ``trailing_checkpoint`` is true.
+
+        An invalid period (NaN, or not larger than the checkpoint cost) is
+        treated as "no intermediate checkpoint": the whole section forms a
+        single chunk, which is the degenerate behaviour a real runtime would
+        adopt when the optimal-period formula has no solution.
+        """
+        if work <= 0.0:
+            if trailing_checkpoint and checkpoint_cost > 0.0:
+                return self._checkpoint(
+                    time,
+                    timeline,
+                    recorder,
+                    checkpoint_cost=checkpoint_cost,
+                    restart_stages=self._rollback_stages(recovery_cost),
+                )
+            return time
+        if math.isnan(period) or period <= checkpoint_cost:
+            chunk_size = work
+        else:
+            chunk_size = period - checkpoint_cost
+
+        work_done = 0.0
+        while work_done < work:
+            chunk = min(chunk_size, work - work_done)
+            is_last = work_done + chunk >= work - 1e-12
+            do_checkpoint = (not is_last) or trailing_checkpoint
+            segment = chunk + (checkpoint_cost if do_checkpoint else 0.0)
+            self._check_cap(time)
+            next_failure = timeline.next_failure_after(time)
+            if next_failure >= time + segment:
+                recorder.account("useful_work", chunk)
+                if do_checkpoint and checkpoint_cost > 0.0:
+                    recorder.account("checkpointing", checkpoint_cost)
+                    recorder.record(time + segment, EventKind.CHECKPOINT_END)
+                time += segment
+                work_done += chunk
+            else:
+                elapsed = next_failure - time
+                recorder.account("lost_work", elapsed)
+                recorder.record(next_failure, EventKind.FAILURE, during="periodic")
+                time = self._restart(
+                    next_failure,
+                    timeline,
+                    recorder,
+                    self._rollback_stages(recovery_cost),
+                )
+                # Rollback: work_done stays at the last completed checkpoint.
+        return time
+
+    # .................................................................. #
+    def _unprotected_section(
+        self,
+        time: float,
+        work: float,
+        timeline: FailureTimeline,
+        recorder: TraceRecorder,
+        *,
+        recovery_cost: float,
+        checkpoint_cost: float = 0.0,
+    ) -> float:
+        """Execute ``work`` + an optional trailing checkpoint atomically.
+
+        Used for the composite's short GENERAL phase: no intermediate
+        checkpoint is taken, so a failure anywhere in the phase (or in its
+        trailing partial checkpoint) re-executes it entirely from the
+        previous protected state (reached through a full rollback of cost
+        ``recovery_cost``).
+        """
+        segment = work + checkpoint_cost
+        if segment <= 0.0:
+            return time
+        while True:
+            self._check_cap(time)
+            next_failure = timeline.next_failure_after(time)
+            if next_failure >= time + segment:
+                if work > 0.0:
+                    recorder.account("useful_work", work)
+                if checkpoint_cost > 0.0:
+                    recorder.account("checkpointing", checkpoint_cost)
+                    recorder.record(time + segment, EventKind.CHECKPOINT_END)
+                return time + segment
+            elapsed = next_failure - time
+            recorder.account("lost_work", elapsed)
+            recorder.record(next_failure, EventKind.FAILURE, during="unprotected")
+            time = self._restart(
+                next_failure,
+                timeline,
+                recorder,
+                self._rollback_stages(recovery_cost),
+            )
+
+    # .................................................................. #
+    def _checkpoint(
+        self,
+        time: float,
+        timeline: FailureTimeline,
+        recorder: TraceRecorder,
+        *,
+        checkpoint_cost: float,
+        restart_stages: RestartStages,
+        redo_on_failure: bool = True,
+    ) -> float:
+        """Write one checkpoint, handling failures during the write.
+
+        With ``redo_on_failure`` (default) a failure during the write pays the
+        given restart sequence and the checkpoint is attempted again; this is
+        the behaviour used for the composite's exit partial checkpoint, where
+        the LIBRARY dataset remains reconstructible by ABFT while the write
+        is redone.
+        """
+        if checkpoint_cost <= 0.0:
+            return time
+        while True:
+            self._check_cap(time)
+            next_failure = timeline.next_failure_after(time)
+            if next_failure >= time + checkpoint_cost:
+                recorder.account("checkpointing", checkpoint_cost)
+                recorder.record(time + checkpoint_cost, EventKind.CHECKPOINT_END)
+                return time + checkpoint_cost
+            elapsed = next_failure - time
+            recorder.account("lost_work", elapsed)
+            recorder.record(next_failure, EventKind.FAILURE, during="checkpoint")
+            time = self._restart(next_failure, timeline, recorder, restart_stages)
+            if not redo_on_failure:
+                return time
+
+    # .................................................................. #
+    def _abft_section(
+        self,
+        time: float,
+        work: float,
+        timeline: FailureTimeline,
+        recorder: TraceRecorder,
+        *,
+        exit_checkpoint_cost: float,
+    ) -> float:
+        """Execute ``work`` seconds of computation under ABFT protection.
+
+        The computation is slowed by ``phi``; a failure costs a downtime, the
+        reload of the REMAINDER partial checkpoint and the ABFT
+        reconstruction, but loses no work (the surviving processes keep their
+        data and the failed process's data is rebuilt).  A partial checkpoint
+        of the LIBRARY dataset (``exit_checkpoint_cost``) is written when the
+        call returns.
+        """
+        params = self._params
+        phi = params.phi
+        scaled_remaining = work * phi
+        recorder.record(time, EventKind.LIBRARY_PHASE_START)
+        while scaled_remaining > 1e-12:
+            self._check_cap(time)
+            next_failure = timeline.next_failure_after(time)
+            if next_failure >= time + scaled_remaining:
+                self._account_abft_progress(recorder, scaled_remaining, phi)
+                time += scaled_remaining
+                scaled_remaining = 0.0
+            else:
+                elapsed = next_failure - time
+                self._account_abft_progress(recorder, elapsed, phi)
+                scaled_remaining -= elapsed
+                recorder.record(next_failure, EventKind.FAILURE, during="abft")
+                recorder.record(next_failure, EventKind.ABFT_RECOVERY_START)
+                time = self._restart(
+                    next_failure, timeline, recorder, self._abft_restart_stages()
+                )
+                recorder.record(time, EventKind.ABFT_RECOVERY_END)
+        if exit_checkpoint_cost > 0.0:
+            time = self._checkpoint(
+                time,
+                timeline,
+                recorder,
+                checkpoint_cost=exit_checkpoint_cost,
+                restart_stages=self._abft_restart_stages(),
+            )
+        recorder.record(time, EventKind.LIBRARY_PHASE_END)
+        return time
+
+    @staticmethod
+    def _account_abft_progress(
+        recorder: TraceRecorder, elapsed: float, phi: float
+    ) -> None:
+        """Split ABFT-protected wall-clock time into progress and overhead."""
+        if elapsed <= 0.0:
+            return
+        useful = elapsed / phi
+        recorder.account("useful_work", useful)
+        recorder.account("abft_overhead", elapsed - useful)

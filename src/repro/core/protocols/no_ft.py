@@ -1,0 +1,61 @@
+"""Restart-from-scratch simulator (no fault tolerance).
+
+Companion of :class:`repro.core.analytical.no_ft.NoFaultToleranceModel`: the
+whole application is one unprotected section; any failure loses all progress
+and the run restarts from the beginning after the downtime (there is no
+checkpoint to reload, so the recovery cost is zero).
+"""
+
+from __future__ import annotations
+
+from repro.application.workload import ApplicationWorkload
+from repro.core.parameters import ResilienceParameters
+from repro.core.protocols.base import ProtocolSimulator
+from repro.failures.timeline import FailureTimeline
+from repro.simulation.trace import TraceRecorder
+
+__all__ = ["NoFaultToleranceSimulator"]
+
+
+class NoFaultToleranceSimulator(ProtocolSimulator):
+    """Simulate an execution with no protection at all."""
+
+    name = "NoFT"
+
+    def __init__(
+        self,
+        parameters: ResilienceParameters,
+        workload: ApplicationWorkload,
+        *,
+        record_events: bool = False,
+        max_slowdown: float = 1e4,
+    ) -> None:
+        super().__init__(
+            parameters,
+            workload,
+            record_events=record_events,
+            max_slowdown=max_slowdown,
+        )
+
+    def _run(self, timeline: FailureTimeline, recorder: TraceRecorder) -> float:
+        work = self._workload.total_time
+        time = 0.0
+        while True:
+            self._check_cap(time)
+            next_failure = timeline.next_failure_after(time)
+            if next_failure >= time + work:
+                recorder.account("useful_work", work)
+                return time + work
+            elapsed = next_failure - time
+            recorder.account("lost_work", elapsed)
+            from repro.simulation.events import EventKind
+
+            recorder.record(next_failure, EventKind.FAILURE, during="no-ft")
+            # No checkpoint exists: only the downtime is paid before the
+            # application restarts from scratch.
+            time = self._restart(
+                next_failure,
+                timeline,
+                recorder,
+                (("downtime", self._params.downtime),),
+            )

@@ -1,0 +1,86 @@
+"""PurePeriodicCkpt simulator (Section IV-C / V, Figure 5).
+
+The whole application -- GENERAL and LIBRARY phases alike -- is protected by
+full-memory coordinated checkpoints taken at a single fixed period.  The
+simulator is oblivious of the phase structure, exactly like the protocol it
+models: the total fault-free work is executed as one periodically
+checkpointed section.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.application.workload import ApplicationWorkload
+from repro.core.analytical.young_daly import optimal_period
+from repro.core.parameters import ResilienceParameters
+from repro.core.protocols.base import ProtocolSimulator
+from repro.failures.timeline import FailureTimeline
+from repro.simulation.trace import TraceRecorder
+
+__all__ = ["PurePeriodicCkptSimulator"]
+
+
+class PurePeriodicCkptSimulator(ProtocolSimulator):
+    """Simulate pure periodic checkpointing with a single period.
+
+    Parameters
+    ----------
+    parameters / workload:
+        See :class:`~repro.core.protocols.base.ProtocolSimulator`.
+    period:
+        Checkpointing period (wall-clock, checkpoint included).  ``None``
+        uses the paper's optimal period of Equation 11.
+    period_formula:
+        Optimal-period approximation used when ``period`` is ``None``.
+    """
+
+    name = "PurePeriodicCkpt"
+
+    def __init__(
+        self,
+        parameters: ResilienceParameters,
+        workload: ApplicationWorkload,
+        *,
+        period: Optional[float] = None,
+        period_formula: str = "paper",
+        record_events: bool = False,
+        max_slowdown: float = 1e4,
+    ) -> None:
+        super().__init__(
+            parameters,
+            workload,
+            record_events=record_events,
+            max_slowdown=max_slowdown,
+        )
+        self._explicit_period = period
+        self._period_formula = period_formula
+
+    def period(self) -> float:
+        """The checkpointing period actually used (seconds)."""
+        if self._explicit_period is not None:
+            return self._explicit_period
+        params = self._params
+        return optimal_period(
+            params.full_checkpoint,
+            params.platform_mtbf,
+            params.downtime,
+            params.full_recovery,
+            formula=self._period_formula,
+        )
+
+    def _metadata(self) -> dict:
+        return {"period": self.period(), "period_formula": self._period_formula}
+
+    def _run(self, timeline: FailureTimeline, recorder: TraceRecorder) -> float:
+        params = self._params
+        return self._periodic_section(
+            0.0,
+            self._workload.total_time,
+            timeline,
+            recorder,
+            checkpoint_cost=params.full_checkpoint,
+            recovery_cost=params.full_recovery,
+            period=self.period(),
+            trailing_checkpoint=False,
+        )

@@ -1,0 +1,75 @@
+"""Waste metric helpers.
+
+The paper's figure of merit is the *waste* (Equation 12):
+
+.. math::
+
+    \\mathrm{WASTE} = 1 - \\frac{T_0}{T^{\\mathrm{final}}}
+
+the fraction of platform time that does not progress the application, due to
+the intrinsic overhead of the resilience technique and to failures.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.utils.validation import require_non_negative, require_positive
+
+__all__ = ["waste_from_times", "waste_to_slowdown", "slowdown_to_waste", "combine_wastes"]
+
+
+def waste_from_times(application_time: float, final_time: float) -> float:
+    """Waste ``1 - T0 / T_final`` (paper Eq. 12).
+
+    ``final_time`` may be ``inf`` (infeasible protection regime), in which
+    case the waste is 1.
+    """
+    application_time = require_positive(application_time, "application_time")
+    if math.isinf(final_time):
+        return 1.0
+    final_time = require_positive(final_time, "final_time")
+    if final_time < application_time:
+        raise ValueError(
+            "final_time cannot be smaller than the fault-free application time "
+            f"({final_time} < {application_time})"
+        )
+    return 1.0 - application_time / final_time
+
+
+def waste_to_slowdown(waste: float) -> float:
+    """Convert a waste into a makespan slowdown ``T_final / T0``."""
+    waste = require_non_negative(waste, "waste")
+    if waste >= 1.0:
+        return math.inf
+    return 1.0 / (1.0 - waste)
+
+
+def slowdown_to_waste(slowdown: float) -> float:
+    """Convert a makespan slowdown ``T_final / T0`` into a waste."""
+    if slowdown < 1.0:
+        raise ValueError(f"slowdown must be >= 1, got {slowdown}")
+    if math.isinf(slowdown):
+        return 1.0
+    return 1.0 - 1.0 / slowdown
+
+
+def combine_wastes(parts: list[tuple[float, float]]) -> float:
+    """Combine per-phase wastes into the application-level waste.
+
+    Parameters
+    ----------
+    parts:
+        List of ``(application_time, final_time)`` pairs, one per phase.
+
+    Notes
+    -----
+    Waste does not average linearly across phases; the correct combination
+    sums the fault-free times and the final times first, which is what this
+    helper does.
+    """
+    if not parts:
+        raise ValueError("parts must not be empty")
+    total_app = sum(app for app, _ in parts)
+    total_final = sum(final for _, final in parts)
+    return waste_from_times(total_app, total_final)

@@ -1,0 +1,30 @@
+"""Figure 10: weak scaling with a constant (perfectly scalable) checkpoint cost.
+
+Identical to Figure 9 except that the checkpoint and recovery costs stay at
+60 seconds regardless of the node count -- the buddy / node-local storage
+hypothesis.  The paper's point: even under this optimistic assumption the
+periodic-checkpointing protocols end up behind the composite approach at a
+million nodes, because the ABFT overhead is constant while the rollback
+protocols still lose work to increasingly frequent failures.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.application.scaling import ScalingMode, WeakScalingScenario
+from repro.experiments.config import PAPER_NODE_COUNTS, paper_figure10_scenario
+from repro.experiments.weak_scaling import WeakScalingResult, run_weak_scaling
+
+__all__ = ["run_figure10"]
+
+
+def run_figure10(
+    scenario: Optional[WeakScalingScenario] = None,
+    *,
+    node_counts: Sequence[int] = PAPER_NODE_COUNTS,
+    mtbf_scaling: ScalingMode = ScalingMode.INVERSE,
+) -> WeakScalingResult:
+    """Run the Figure 10 experiment (see :func:`repro.experiments.figure8.run_figure8`)."""
+    scenario = scenario or paper_figure10_scenario(mtbf_scaling=mtbf_scaling)
+    return run_weak_scaling(scenario, node_counts=node_counts, name="Figure 10")

@@ -1,0 +1,29 @@
+"""Figure 9: weak scaling with a LIBRARY ratio that grows with the machine.
+
+The LIBRARY phase is an O(n^3) kernel (time growing as ``sqrt(x)``) while the
+GENERAL phase is an O(n^2) update (constant time), so the fraction of time
+spent under ABFT protection grows with the node count: alpha = 0.55, 0.8,
+0.92 and 0.975 at 1k, 10k, 100k and 1M nodes -- exactly the values printed
+under the x-axis of the paper's figure.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.application.scaling import ScalingMode, WeakScalingScenario
+from repro.experiments.config import PAPER_NODE_COUNTS, paper_figure9_scenario
+from repro.experiments.weak_scaling import WeakScalingResult, run_weak_scaling
+
+__all__ = ["run_figure9"]
+
+
+def run_figure9(
+    scenario: Optional[WeakScalingScenario] = None,
+    *,
+    node_counts: Sequence[int] = PAPER_NODE_COUNTS,
+    mtbf_scaling: ScalingMode = ScalingMode.INVERSE,
+) -> WeakScalingResult:
+    """Run the Figure 9 experiment (see :func:`repro.experiments.figure8.run_figure8`)."""
+    scenario = scenario or paper_figure9_scenario(mtbf_scaling=mtbf_scaling)
+    return run_weak_scaling(scenario, node_counts=node_counts, name="Figure 9")

@@ -1,0 +1,143 @@
+"""One-shot reproduction report.
+
+:func:`reproduction_report` gathers the headline numbers of the paper's
+evaluation into a single plain-text report: the Figure 7 corner values, the
+model-vs-simulation agreement at a representative operating point, and the
+weak-scaling crossovers of Figures 8-10.  It is what a user runs first to
+check that the reproduction behaves as documented in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.application.workload import ApplicationWorkload
+from repro.application.scaling import ScalingMode
+from repro.experiments.config import paper_figure7_config
+from repro.experiments.figure7 import run_figure7
+from repro.experiments.figure8 import run_figure8
+from repro.experiments.figure9 import run_figure9
+from repro.experiments.figure10 import run_figure10
+from repro.experiments.validation import validate_configuration
+from repro.utils.tables import Table
+from repro.utils.units import MINUTE
+
+__all__ = ["ReproductionReport", "reproduction_report"]
+
+
+@dataclass(frozen=True)
+class ReproductionReport:
+    """Headline numbers of the reproduction.
+
+    Attributes
+    ----------
+    figure7_corners:
+        Table of model wastes at the corners of the Figure 7 grid.
+    validation_gap:
+        ``WASTE_simul - WASTE_model`` for the composite protocol at
+        (MTBF = 120 min, alpha = 0.8).
+    crossovers:
+        Node count at which the composite overtakes PurePeriodicCkpt, per
+        weak-scaling figure (``None`` when it never does within the range).
+    text:
+        The full plain-text report.
+    """
+
+    figure7_corners: Table
+    validation_gap: float
+    crossovers: dict[str, int | None]
+    text: str
+
+    def __str__(self) -> str:
+        return self.text
+
+
+def reproduction_report(
+    *,
+    validation_runs: int = 100,
+    seed: int = 2014,
+    mtbf_scaling: ScalingMode = ScalingMode.INVERSE,
+) -> ReproductionReport:
+    """Build the headline reproduction report.
+
+    Parameters
+    ----------
+    validation_runs:
+        Monte-Carlo runs for the model-vs-simulation check.
+    seed:
+        Seed of the validation campaign.
+    mtbf_scaling:
+        Platform-MTBF scaling used for the weak-scaling figures (see
+        EXPERIMENTS.md for the two readings).
+    """
+    config = paper_figure7_config()
+    figure7 = run_figure7(config)
+
+    corners = Table(
+        ["mtbf_minutes", "alpha", "PurePeriodicCkpt", "BiPeriodicCkpt", "ABFT&PeriodicCkpt"],
+        title="Figure 7 corner wastes (analytical model)",
+    )
+    for mtbf in (config.mtbf_values[0], config.mtbf_values[-1]):
+        for alpha in (0.0, 0.5, 1.0):
+            corners.add_row(
+                [
+                    mtbf / MINUTE,
+                    alpha,
+                    figure7.waste_grid("PurePeriodicCkpt")[(mtbf, alpha)],
+                    figure7.waste_grid("BiPeriodicCkpt")[(mtbf, alpha)],
+                    figure7.waste_grid("ABFT&PeriodicCkpt")[(mtbf, alpha)],
+                ]
+            )
+
+    point = validate_configuration(
+        "ABFT&PeriodicCkpt",
+        config.parameters(120 * MINUTE),
+        ApplicationWorkload.single_epoch(
+            config.application_time, 0.8, library_fraction=config.library_fraction
+        ),
+        runs=validation_runs,
+        seed=seed,
+    )
+
+    crossovers: dict[str, int | None] = {}
+    weak_scaling_tables: list[str] = []
+    for name, runner in (
+        ("Figure 8", run_figure8),
+        ("Figure 9", run_figure9),
+        ("Figure 10", run_figure10),
+    ):
+        result = runner(mtbf_scaling=mtbf_scaling)
+        crossovers[name] = result.crossover_node_count()
+        weak_scaling_tables.append(result.to_table().to_text())
+
+    lines = [
+        "Reproduction report: ABFT & Checkpoint composite strategies (IPDPSW 2014)",
+        "=" * 74,
+        "",
+        corners.to_text(),
+        "",
+        (
+            "Model validation at (MTBF = 120 min, alpha = 0.8), composite protocol: "
+            f"model waste = {point.model_waste:.4f}, simulated = "
+            f"{point.simulated_waste:.4f}, difference = {point.difference:+.4f} "
+            f"({validation_runs} runs)"
+        ),
+        "",
+    ]
+    for table_text, (name, crossover) in zip(weak_scaling_tables, crossovers.items()):
+        lines.append(table_text)
+        if crossover is None:
+            lines.append(f"{name}: the composite never overtakes PurePeriodicCkpt")
+        else:
+            lines.append(
+                f"{name}: the composite overtakes PurePeriodicCkpt at "
+                f"{crossover:,} nodes"
+            )
+        lines.append("")
+
+    return ReproductionReport(
+        figure7_corners=corners,
+        validation_gap=point.difference,
+        crossovers=crossovers,
+        text="\n".join(lines),
+    )

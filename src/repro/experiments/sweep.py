@@ -1,0 +1,80 @@
+"""Generic parameter sweeps over the (MTBF, alpha) plane.
+
+The heatmaps of Figure 7 are sweeps of the analytical models (and optionally
+the simulator) over a grid of platform MTBFs and library-time ratios; this
+module provides the grid iteration so the figure generator and the ablation
+benchmarks share one implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.application.workload import ApplicationWorkload
+from repro.core.analytical.base import AnalyticalModel
+from repro.core.parameters import ResilienceParameters
+
+__all__ = ["SweepPoint", "sweep_mtbf_alpha"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid point of a (MTBF, alpha) sweep.
+
+    Attributes
+    ----------
+    mtbf:
+        Platform MTBF in seconds.
+    alpha:
+        Fraction of time spent in LIBRARY phases.
+    waste:
+        Waste predicted (or measured) for that point, per protocol name.
+    """
+
+    mtbf: float
+    alpha: float
+    waste: dict[str, float]
+
+
+ModelFactory = Callable[[ResilienceParameters], AnalyticalModel]
+
+
+def sweep_mtbf_alpha(
+    base_parameters: ResilienceParameters,
+    application_time: float,
+    mtbf_values: Sequence[float],
+    alpha_values: Sequence[float],
+    model_factories: Iterable[ModelFactory],
+    *,
+    library_fraction: float | None = None,
+) -> Iterator[SweepPoint]:
+    """Sweep analytical models over the (MTBF, alpha) grid.
+
+    Parameters
+    ----------
+    base_parameters:
+        Parameter bundle whose MTBF is replaced at every grid point.
+    application_time:
+        Fault-free duration ``T0`` of the single-epoch workload.
+    mtbf_values / alpha_values:
+        Grid axes.
+    model_factories:
+        Callables building an analytical model from parameters (one per
+        protocol/variant).
+    library_fraction:
+        ``rho`` of the workload's dataset; defaults to the parameters' value.
+    """
+    rho = (
+        base_parameters.rho if library_fraction is None else float(library_fraction)
+    )
+    factories = list(model_factories)
+    for mtbf in mtbf_values:
+        parameters = base_parameters.with_mtbf(mtbf)
+        models = [factory(parameters) for factory in factories]
+        for alpha in alpha_values:
+            workload = ApplicationWorkload.single_epoch(
+                application_time, alpha, library_fraction=rho
+            )
+            waste = {model.name: model.waste(workload) for model in models}
+            yield SweepPoint(mtbf=mtbf, alpha=alpha, waste=waste)

@@ -1,0 +1,155 @@
+"""Weak-scaling evaluation shared by Figures 8, 9 and 10.
+
+For each node count the three protocols are evaluated with the analytical
+models (the paper: *"Owing to the good correspondence between results from
+the model and results from the simulation, we (confidently) use only the
+model in this scalability study"*), producing the two series each figure
+plots: the waste and the expected number of failures per execution.
+
+Modelling note (documented in EXPERIMENTS.md): the 1000-epoch structure of
+the weak-scaling application is narrative -- the individual epochs are much
+shorter than any checkpointing period, so no protocol acts at epoch
+granularity.  The models are therefore instantiated on the aggregate GENERAL
+and LIBRARY durations (``per_epoch=False`` for the composite model), exactly
+as the Section IV formulas are written.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.application.workload import ApplicationWorkload
+from repro.core.analytical import (
+    AbftPeriodicCkptModel,
+    BiPeriodicCkptModel,
+    PurePeriodicCkptModel,
+)
+from repro.application.scaling import WeakScalingScenario
+from repro.core.parameters import ResilienceParameters
+from repro.experiments.config import PAPER_NODE_COUNTS
+from repro.utils.tables import Table
+
+__all__ = ["WeakScalingRow", "WeakScalingResult", "run_weak_scaling", "PROTOCOLS"]
+
+PROTOCOLS: tuple[str, ...] = (
+    "PurePeriodicCkpt",
+    "BiPeriodicCkpt",
+    "ABFT&PeriodicCkpt",
+)
+
+
+@dataclass(frozen=True)
+class WeakScalingRow:
+    """One node count of a weak-scaling experiment."""
+
+    node_count: int
+    alpha: float
+    application_time: float
+    platform_mtbf: float
+    checkpoint_cost: float
+    waste: dict[str, float]
+    expected_failures: dict[str, float]
+
+
+@dataclass(frozen=True)
+class WeakScalingResult:
+    """All node counts of a weak-scaling experiment (one of Figures 8-10)."""
+
+    name: str
+    scenario: WeakScalingScenario
+    rows: tuple[WeakScalingRow, ...]
+
+    def waste_series(self, protocol: str) -> list[tuple[int, float]]:
+        """``(node_count, waste)`` series for one protocol."""
+        return [(row.node_count, row.waste[protocol]) for row in self.rows]
+
+    def failures_series(self, protocol: str) -> list[tuple[int, float]]:
+        """``(node_count, expected failures)`` series for one protocol."""
+        return [
+            (row.node_count, row.expected_failures[protocol]) for row in self.rows
+        ]
+
+    def crossover_node_count(
+        self,
+        better: str = "ABFT&PeriodicCkpt",
+        worse: str = "PurePeriodicCkpt",
+    ) -> Optional[int]:
+        """Smallest node count at which ``better`` wastes less than ``worse``."""
+        for row in self.rows:
+            if row.waste[better] < row.waste[worse]:
+                return row.node_count
+        return None
+
+    def to_table(self) -> Table:
+        """Render the two series of the figure as one table."""
+        headers = ["nodes", "alpha", "T0_minutes", "mtbf_minutes", "C_minutes"]
+        headers += [f"waste[{p}]" for p in PROTOCOLS]
+        headers += [f"faults[{p}]" for p in PROTOCOLS]
+        table = Table(headers, title=f"{self.name}: waste and expected failures")
+        for row in self.rows:
+            cells: list = [
+                row.node_count,
+                row.alpha,
+                row.application_time / 60.0,
+                row.platform_mtbf / 60.0,
+                row.checkpoint_cost / 60.0,
+            ]
+            cells.extend(row.waste[p] for p in PROTOCOLS)
+            cells.extend(row.expected_failures[p] for p in PROTOCOLS)
+            table.add_row(cells)
+        return table
+
+    def write_csv(self, path: str | Path) -> Path:
+        """Write the series table as CSV."""
+        return self.to_table().write(path)
+
+
+def run_weak_scaling(
+    scenario: WeakScalingScenario,
+    *,
+    node_counts: Sequence[int] = PAPER_NODE_COUNTS,
+    name: str = "weak-scaling",
+) -> WeakScalingResult:
+    """Evaluate the three protocols over ``node_counts`` for ``scenario``."""
+    rows: list[WeakScalingRow] = []
+    for node_count in node_counts:
+        parameters = ResilienceParameters.from_scalars(
+            platform_mtbf=scenario.mtbf_at(node_count),
+            checkpoint=scenario.checkpoint_at(node_count),
+            recovery=scenario.recovery_at(node_count),
+            downtime=scenario.downtime,
+            library_fraction=scenario.library_fraction,
+            abft_overhead=scenario.abft_overhead,
+            abft_reconstruction=scenario.abft_reconstruction,
+        )
+        workload = ApplicationWorkload.iterative(
+            scenario.epoch_count,
+            scenario.epoch_time_at(node_count),
+            scenario.alpha_at(node_count),
+            library_fraction=scenario.library_fraction,
+        )
+        models = {
+            "PurePeriodicCkpt": PurePeriodicCkptModel(parameters),
+            "BiPeriodicCkpt": BiPeriodicCkptModel(parameters),
+            "ABFT&PeriodicCkpt": AbftPeriodicCkptModel(parameters, per_epoch=False),
+        }
+        waste: dict[str, float] = {}
+        failures: dict[str, float] = {}
+        for protocol, model in models.items():
+            prediction = model.evaluate(workload)
+            waste[protocol] = prediction.waste
+            failures[protocol] = prediction.expected_failures
+        rows.append(
+            WeakScalingRow(
+                node_count=node_count,
+                alpha=scenario.alpha_at(node_count),
+                application_time=workload.total_time,
+                platform_mtbf=parameters.platform_mtbf,
+                checkpoint_cost=parameters.full_checkpoint,
+                waste=waste,
+                expected_failures=failures,
+            )
+        )
+    return WeakScalingResult(name=name, scenario=scenario, rows=tuple(rows))

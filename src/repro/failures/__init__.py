@@ -1,0 +1,48 @@
+"""Failure models and platform-level failure aggregation.
+
+The paper models failures as a Poisson process over the whole platform: the
+platform Mean Time Between Failures (MTBF) is ``mu = mu_ind / N`` where
+``mu_ind`` is the per-node MTBF and ``N`` the node count (Section IV-B.2),
+and the simulator of Section V-A draws inter-arrival times from an
+Exponential distribution with that mean.
+
+This package provides that model and several alternatives so that the
+sensitivity of the protocols to the failure law can be studied:
+
+* :class:`~repro.failures.exponential.ExponentialFailureModel` -- the paper's
+  memoryless model (used by every headline experiment).
+* :class:`~repro.failures.weibull.WeibullFailureModel` -- infant-mortality /
+  wear-out behaviour observed in real failure logs.
+* :class:`~repro.failures.lognormal.LogNormalFailureModel` -- heavy-tailed
+  alternative used in several resilience studies.
+* :class:`~repro.failures.trace_based.TraceFailureModel` -- replays a recorded
+  list of failure timestamps (a synthetic stand-in for production logs such
+  as the Failure Trace Archive, which we cannot ship).
+* :class:`~repro.failures.platform.Platform` -- a machine made of ``N``
+  identical nodes; exposes both the aggregated platform MTBF used by the
+  analytical model and a node-attributed failure stream used by the ABFT
+  substrate.
+* :class:`~repro.failures.timeline.FailureTimeline` -- a lazily generated,
+  monotonically increasing sequence of absolute failure times consumed by the
+  protocol simulators.
+"""
+
+from repro.failures.base import FailureModel
+from repro.failures.exponential import ExponentialFailureModel
+from repro.failures.weibull import WeibullFailureModel
+from repro.failures.lognormal import LogNormalFailureModel
+from repro.failures.trace_based import TraceFailureModel
+from repro.failures.platform import Node, Platform, platform_mtbf
+from repro.failures.timeline import FailureTimeline
+
+__all__ = [
+    "FailureModel",
+    "ExponentialFailureModel",
+    "WeibullFailureModel",
+    "LogNormalFailureModel",
+    "TraceFailureModel",
+    "Node",
+    "Platform",
+    "platform_mtbf",
+    "FailureTimeline",
+]

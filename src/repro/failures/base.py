@@ -1,0 +1,83 @@
+"""Abstract interface shared by every failure model."""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["FailureModel"]
+
+
+class FailureModel(abc.ABC):
+    """A stochastic process generating failure inter-arrival times.
+
+    Concrete models implement :meth:`sample_interarrival`, which draws the
+    time until the *next* failure.  All models expose their theoretical MTBF
+    (mean of the inter-arrival distribution) through :attr:`mtbf`, which is
+    the single scalar the analytical model of the paper consumes.
+
+    Times are expressed in seconds (see :mod:`repro.utils.units`).
+    """
+
+    @property
+    @abc.abstractmethod
+    def mtbf(self) -> float:
+        """Theoretical mean time between failures, in seconds."""
+
+    @abc.abstractmethod
+    def sample_interarrival(self, rng: np.random.Generator) -> float:
+        """Draw the time until the next failure (strictly positive seconds)."""
+
+    # ------------------------------------------------------------------ #
+    # Convenience helpers shared by all models
+    # ------------------------------------------------------------------ #
+    def sample_interarrivals(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """Draw ``count`` independent inter-arrival times as a NumPy array.
+
+        The default implementation loops over :meth:`sample_interarrival`;
+        models that can vectorize the draw override this for speed.
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        return np.array(
+            [self.sample_interarrival(rng) for _ in range(count)], dtype=float
+        )
+
+    def failure_times(
+        self, rng: np.random.Generator, horizon: float
+    ) -> np.ndarray:
+        """Absolute failure times in ``[0, horizon)`` as an increasing array."""
+        if horizon < 0:
+            raise ValueError(f"horizon must be non-negative, got {horizon}")
+        times: list[float] = []
+        current = 0.0
+        while True:
+            current += self.sample_interarrival(rng)
+            if current >= horizon:
+                break
+            times.append(current)
+        return np.asarray(times, dtype=float)
+
+    def iter_failure_times(self, rng: np.random.Generator) -> Iterator[float]:
+        """Yield an unbounded, strictly increasing stream of failure times."""
+        current = 0.0
+        while True:
+            current += self.sample_interarrival(rng)
+            yield current
+
+    def scaled(self, factor: float) -> "FailureModel":
+        """Return a model whose MTBF is multiplied by ``factor``.
+
+        Used by the weak-scaling scenarios: going from ``N`` to ``k N`` nodes
+        divides the platform MTBF by ``k`` (``factor = 1/k``).  Subclasses
+        override this with an exact re-parameterisation; the base class has
+        no generic way to rescale an arbitrary distribution.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support MTBF rescaling"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}(mtbf={self.mtbf:.6g}s)"

@@ -1,0 +1,183 @@
+"""Platform model: ``N`` identical nodes and their aggregated failure behaviour.
+
+The analytical model of the paper only needs the *platform* MTBF
+``mu = mu_ind / N`` (Section IV-B.2: "this relation is agnostic of the
+granularity of the resources").  The ABFT substrate, however, needs to know
+*which* node failed, because recovery reconstructs the block rows owned by
+that node.  :class:`Platform` serves both needs:
+
+* :attr:`Platform.mtbf` / :meth:`Platform.failure_model` give the aggregate
+  process consumed by the protocol simulators and models;
+* :meth:`Platform.sample_failed_node` attributes a platform-level failure to
+  a uniformly random node, which is exact for i.i.d. exponential nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.failures.base import FailureModel
+from repro.failures.exponential import ExponentialFailureModel
+from repro.utils.validation import require_non_negative, require_positive
+
+__all__ = ["Node", "Platform", "platform_mtbf"]
+
+
+def platform_mtbf(node_mtbf: float, node_count: int) -> float:
+    """Aggregate MTBF of ``node_count`` i.i.d. nodes of MTBF ``node_mtbf``.
+
+    ``mu = mu_ind / N`` -- the paper's Equation in Section IV-B.2.
+
+    Examples
+    --------
+    >>> platform_mtbf(86400.0, 24)
+    3600.0
+    """
+    node_mtbf = require_positive(node_mtbf, "node_mtbf")
+    if node_count <= 0 or int(node_count) != node_count:
+        raise ValueError(f"node_count must be a positive integer, got {node_count}")
+    return node_mtbf / float(node_count)
+
+
+@dataclass(frozen=True)
+class Node:
+    """One compute resource of the platform.
+
+    Attributes
+    ----------
+    index:
+        Zero-based identifier of the node.
+    memory:
+        Memory footprint hosted by the node, in bytes (used by the
+        checkpoint-cost models; may be zero when irrelevant).
+    mtbf:
+        Individual mean time between failures of this node, in seconds.
+    """
+
+    index: int
+    memory: float
+    mtbf: float
+
+
+@dataclass(frozen=True)
+class Platform:
+    """A homogeneous machine made of ``node_count`` identical nodes.
+
+    Parameters
+    ----------
+    node_count:
+        Number of nodes.
+    node_mtbf:
+        Per-node MTBF in seconds (``mu_ind`` in the paper).
+    memory_per_node:
+        Bytes of application data hosted per node (defaults to 0 -- only the
+        checkpoint cost models use it).
+    downtime:
+        Time ``D`` to reboot a node or swap in a spare after a failure, in
+        seconds.
+
+    Examples
+    --------
+    >>> p = Platform(node_count=100_000, node_mtbf=10 * 365 * 86400.0)
+    >>> round(p.mtbf)
+    3154
+    """
+
+    node_count: int
+    node_mtbf: float
+    memory_per_node: float = 0.0
+    downtime: float = 60.0
+    name: str = field(default="platform")
+
+    def __post_init__(self) -> None:
+        if self.node_count <= 0 or int(self.node_count) != self.node_count:
+            raise ValueError(
+                f"node_count must be a positive integer, got {self.node_count}"
+            )
+        require_positive(self.node_mtbf, "node_mtbf")
+        require_non_negative(self.memory_per_node, "memory_per_node")
+        require_non_negative(self.downtime, "downtime")
+
+    # ------------------------------------------------------------------ #
+    # Aggregate view (used by the analytical model and protocol simulators)
+    # ------------------------------------------------------------------ #
+    @property
+    def mtbf(self) -> float:
+        """Platform MTBF ``mu = mu_ind / N`` in seconds."""
+        return platform_mtbf(self.node_mtbf, self.node_count)
+
+    @property
+    def total_memory(self) -> float:
+        """Total application memory footprint across all nodes, in bytes."""
+        return self.memory_per_node * self.node_count
+
+    def failure_model(self) -> ExponentialFailureModel:
+        """Exponential failure process at the platform MTBF."""
+        return ExponentialFailureModel(self.mtbf)
+
+    # ------------------------------------------------------------------ #
+    # Node-attributed view (used by the ABFT substrate)
+    # ------------------------------------------------------------------ #
+    def node(self, index: int) -> Node:
+        """Return the :class:`Node` descriptor for ``index``."""
+        if not 0 <= index < self.node_count:
+            raise IndexError(
+                f"node index {index} out of range [0, {self.node_count})"
+            )
+        return Node(index=index, memory=self.memory_per_node, mtbf=self.node_mtbf)
+
+    def sample_failed_node(self, rng: np.random.Generator) -> int:
+        """Attribute a platform-level failure to a uniformly random node.
+
+        For i.i.d. exponential nodes the failing node is uniform among all
+        nodes, independently of the failure time.
+        """
+        return int(rng.integers(0, self.node_count))
+
+    # ------------------------------------------------------------------ #
+    # Scaling helpers (weak-scaling study)
+    # ------------------------------------------------------------------ #
+    def scaled_to(self, node_count: int) -> "Platform":
+        """Return the same machine with a different node count.
+
+        Per-node characteristics (MTBF, memory, downtime) are preserved,
+        which is exactly the weak-scaling hypothesis of Section V-C: the
+        platform MTBF then scales as ``1 / node_count`` and the total memory
+        grows linearly.
+        """
+        return Platform(
+            node_count=node_count,
+            node_mtbf=self.node_mtbf,
+            memory_per_node=self.memory_per_node,
+            downtime=self.downtime,
+            name=self.name,
+        )
+
+    @classmethod
+    def from_platform_mtbf(
+        cls,
+        node_count: int,
+        platform_mtbf_seconds: float,
+        *,
+        memory_per_node: float = 0.0,
+        downtime: float = 60.0,
+        name: str = "platform",
+    ) -> "Platform":
+        """Build a platform from an aggregate MTBF (the figure-level knob).
+
+        The paper's experiments fix the *platform* MTBF (e.g. "1 failure per
+        day at 10,000 nodes") rather than the per-node MTBF; this constructor
+        performs the inversion ``mu_ind = mu * N``.
+        """
+        platform_mtbf_seconds = require_positive(
+            platform_mtbf_seconds, "platform_mtbf_seconds"
+        )
+        return cls(
+            node_count=node_count,
+            node_mtbf=platform_mtbf_seconds * node_count,
+            memory_per_node=memory_per_node,
+            downtime=downtime,
+            name=name,
+        )

@@ -1,0 +1,127 @@
+"""Lazily generated stream of absolute failure times.
+
+The protocol simulators (see :mod:`repro.core.protocols`) "unfold the
+application and the chosen fault tolerance mechanism on a set of failures"
+(paper, Section V-A).  :class:`FailureTimeline` is that set: an unbounded,
+strictly increasing sequence of absolute failure timestamps generated on
+demand from any :class:`~repro.failures.base.FailureModel`.
+
+A timeline is consumed through a single query,
+:meth:`FailureTimeline.next_failure_after`, which returns the first failure
+strictly after a given time.  Because the simulators only ever move forward
+in time, the timeline generates and caches failures incrementally and never
+needs to materialise more than the horizon actually reached by the run.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.failures.base import FailureModel
+
+__all__ = ["FailureTimeline"]
+
+
+class FailureTimeline:
+    """Strictly increasing absolute failure times, generated lazily.
+
+    Parameters
+    ----------
+    model:
+        The failure inter-arrival model to draw from.
+    rng:
+        NumPy random generator; owning the generator (rather than a seed)
+        lets callers share a single stream across components when desired.
+    batch_size:
+        Number of inter-arrival times drawn per refill.  Purely a
+        performance knob.
+    """
+
+    def __init__(
+        self,
+        model: FailureModel,
+        rng: np.random.Generator,
+        *,
+        batch_size: int = 64,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self._model = model
+        self._rng = rng
+        self._batch_size = int(batch_size)
+        self._times = np.empty(0, dtype=float)
+        self._generated_until = 0.0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def model(self) -> FailureModel:
+        """The underlying inter-arrival model."""
+        return self._model
+
+    @property
+    def generated_count(self) -> int:
+        """Number of failure timestamps materialised so far."""
+        return int(self._times.size)
+
+    def _extend(self) -> None:
+        """Draw one more batch of inter-arrival times and append them."""
+        interarrivals = self._model.sample_interarrivals(self._rng, self._batch_size)
+        # Guard against degenerate models returning non-positive samples.
+        interarrivals = np.maximum(interarrivals, np.finfo(float).tiny)
+        start = self._times[-1] if self._times.size else 0.0
+        new_times = start + np.cumsum(interarrivals)
+        self._times = np.concatenate([self._times, new_times])
+        self._generated_until = float(self._times[-1])
+
+    def next_failure_after(self, time: float) -> float:
+        """Return the first failure time strictly greater than ``time``."""
+        if time < 0:
+            time = 0.0
+        while self._times.size == 0 or self._generated_until <= time:
+            self._extend()
+        index = int(np.searchsorted(self._times, time, side="right"))
+        while index >= self._times.size:
+            self._extend()
+            index = int(np.searchsorted(self._times, time, side="right"))
+        return float(self._times[index])
+
+    def failures_in(self, start: float, end: float) -> np.ndarray:
+        """All failure times in the half-open interval ``(start, end]``."""
+        if end < start:
+            raise ValueError(f"end ({end}) must be >= start ({start})")
+        while self._times.size == 0 or self._generated_until < end:
+            self._extend()
+        left = int(np.searchsorted(self._times, start, side="right"))
+        right = int(np.searchsorted(self._times, end, side="right"))
+        return self._times[left:right].copy()
+
+    def count_failures_until(self, end: float) -> int:
+        """Number of failures with timestamp <= ``end``."""
+        return int(self.failures_in(0.0, end).size)
+
+    @classmethod
+    def from_times(cls, failure_times: Sequence[float]) -> "FailureTimeline":
+        """Build a timeline from a fixed list of absolute failure times.
+
+        Useful in unit tests to script an exact failure scenario.  The
+        resulting timeline raises :class:`RuntimeError` if queried past the
+        last scripted failure plus a guard of ``1e30`` seconds (i.e. it
+        behaves as if no further failure ever happens).
+        """
+        times = np.asarray(list(failure_times), dtype=float)
+        if times.size and (np.any(np.diff(times) <= 0) or times[0] <= 0):
+            raise ValueError("failure_times must be strictly increasing and positive")
+
+        timeline = cls.__new__(cls)
+        timeline._model = None  # type: ignore[assignment]
+        timeline._rng = None  # type: ignore[assignment]
+        timeline._batch_size = 0
+        guard = times[-1] + 1e30 if times.size else 1e30
+        timeline._times = np.concatenate([times, [guard]])
+        timeline._generated_until = float(timeline._times[-1])
+        # Replace the lazy extension with a no-op: the scripted guard value
+        # is large enough for any realistic simulation horizon.
+        timeline._extend = lambda: None  # type: ignore[method-assign]
+        return timeline

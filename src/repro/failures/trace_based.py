@@ -1,0 +1,99 @@
+"""Trace-replay failure model.
+
+Production failure logs (such as those of the Failure Trace Archive cited by
+the paper) cannot be redistributed here, so this model replays *synthetic or
+user-provided* lists of failure timestamps with exactly the same interface as
+the stochastic models.  It doubles as a determinism tool for tests: a
+scripted sequence of failures exercises a specific protocol path.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.failures.base import FailureModel
+
+__all__ = ["TraceFailureModel"]
+
+
+class TraceFailureModel(FailureModel):
+    """Replays a fixed sequence of failure inter-arrival times.
+
+    Parameters
+    ----------
+    interarrivals:
+        Sequence of strictly positive inter-arrival times (seconds), replayed
+        in order.  When the trace is exhausted the behaviour depends on
+        ``cycle``.
+    cycle:
+        If true (default), the trace is replayed from the beginning once
+        exhausted; otherwise a very large time is returned so that no further
+        failure occurs within any realistic horizon.
+
+    Notes
+    -----
+    The model is *stateful*: each call to :meth:`sample_interarrival`
+    advances an internal cursor.  Use :meth:`reset` (or a fresh instance) to
+    restart the trace between simulation runs.
+    """
+
+    #: Inter-arrival time returned once a non-cycling trace is exhausted.
+    EXHAUSTED: float = 1e30
+
+    def __init__(self, interarrivals: Iterable[float], *, cycle: bool = True) -> None:
+        values = np.asarray(list(interarrivals), dtype=float)
+        if values.size == 0:
+            raise ValueError("trace must contain at least one inter-arrival time")
+        if np.any(values <= 0):
+            raise ValueError("all inter-arrival times must be strictly positive")
+        self._interarrivals = values
+        self._cycle = bool(cycle)
+        self._cursor = 0
+
+    @classmethod
+    def from_failure_times(
+        cls, failure_times: Sequence[float], *, cycle: bool = True
+    ) -> "TraceFailureModel":
+        """Build a trace from *absolute* failure times (must be increasing)."""
+        times = np.asarray(list(failure_times), dtype=float)
+        if times.size == 0:
+            raise ValueError("failure_times must contain at least one timestamp")
+        if np.any(np.diff(times) <= 0) or times[0] <= 0:
+            raise ValueError("failure_times must be strictly increasing and positive")
+        interarrivals = np.diff(np.concatenate([[0.0], times]))
+        return cls(interarrivals, cycle=cycle)
+
+    @property
+    def mtbf(self) -> float:
+        """Empirical mean of the trace inter-arrival times."""
+        return float(np.mean(self._interarrivals))
+
+    @property
+    def cycle(self) -> bool:
+        """Whether the trace restarts from the beginning when exhausted."""
+        return self._cycle
+
+    @property
+    def remaining(self) -> int:
+        """Number of un-consumed entries before exhaustion (cycling ignores this)."""
+        return int(self._interarrivals.size - self._cursor)
+
+    def reset(self) -> None:
+        """Rewind the trace to its first entry."""
+        self._cursor = 0
+
+    def sample_interarrival(self, rng: np.random.Generator) -> float:  # noqa: ARG002
+        if self._cursor >= self._interarrivals.size:
+            if not self._cycle:
+                return self.EXHAUSTED
+            self._cursor = 0
+        value = float(self._interarrivals[self._cursor])
+        self._cursor += 1
+        return value
+
+    def scaled(self, factor: float) -> "TraceFailureModel":
+        if factor <= 0:
+            raise ValueError(f"factor must be strictly positive, got {factor}")
+        return TraceFailureModel(self._interarrivals * factor, cycle=self._cycle)

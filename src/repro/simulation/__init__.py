@@ -1,0 +1,44 @@
+"""Discrete-event simulation substrate.
+
+The paper validates its analytical model with a purpose-built discrete event
+simulator (Section V-A).  That simulator was never released; this package
+re-implements it from scratch:
+
+* :mod:`repro.simulation.events` -- event records and event kinds (failure,
+  checkpoint start/end, recovery, phase transitions, ...).
+* :mod:`repro.simulation.engine` -- a classical event-queue engine: a
+  priority queue of timestamped events, a simulation clock, handler dispatch
+  and stop conditions.  Generic enough to host arbitrary models; the
+  fault-tolerance protocol simulators use it through the thin
+  :class:`~repro.simulation.engine.SimulationEngine` API or drive their own
+  time directly against a :class:`~repro.failures.timeline.FailureTimeline`
+  for speed.
+* :mod:`repro.simulation.rng` -- reproducible, independent random streams
+  (one per concern: failures, node attribution, workload jitter).
+* :mod:`repro.simulation.trace` -- execution trace recording and the
+  time-breakdown accounting (useful work, checkpointing, re-execution,
+  recovery, downtime, ABFT overhead) from which waste is computed.
+* :mod:`repro.simulation.runner` -- Monte-Carlo driver that repeats a
+  simulation over many independent failure draws and aggregates the results
+  (the paper averages 1000 executions per configuration).
+"""
+
+from repro.simulation.events import Event, EventKind
+from repro.simulation.engine import SimulationEngine, SimulationError
+from repro.simulation.rng import RandomStreams
+from repro.simulation.trace import ExecutionTrace, TimeBreakdown, TraceRecorder
+from repro.simulation.runner import MonteCarloResult, MonteCarloRunner, run_monte_carlo
+
+__all__ = [
+    "Event",
+    "EventKind",
+    "SimulationEngine",
+    "SimulationError",
+    "RandomStreams",
+    "ExecutionTrace",
+    "TimeBreakdown",
+    "TraceRecorder",
+    "MonteCarloResult",
+    "MonteCarloRunner",
+    "run_monte_carlo",
+]

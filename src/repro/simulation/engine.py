@@ -1,0 +1,197 @@
+"""A small, general-purpose discrete-event simulation engine.
+
+The engine is a textbook event-queue simulator: events are kept in a binary
+heap ordered by timestamp, the clock jumps from event to event, and
+registered handlers react to each event (possibly scheduling new ones).
+
+The fault-tolerance protocol simulators of :mod:`repro.core.protocols` are
+*time-walking* state machines layered on a
+:class:`~repro.failures.timeline.FailureTimeline` for efficiency (they only
+care about the next failure), but they share this engine for trace-driven
+experiments and the engine is part of the public substrate so that users can
+build richer platform models (per-node failures and repairs, contention on
+the checkpoint store, ...) on top of it.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterable, Mapping, Optional
+
+from repro.simulation.events import Event, EventKind
+
+__all__ = ["SimulationEngine", "SimulationError"]
+
+Handler = Callable[["SimulationEngine", Event], None]
+
+
+class SimulationError(RuntimeError):
+    """Raised when the engine is driven into an inconsistent state."""
+
+
+class SimulationEngine:
+    """Event-queue simulator with handler dispatch.
+
+    Examples
+    --------
+    >>> engine = SimulationEngine()
+    >>> seen = []
+    >>> def on_failure(engine, event):
+    ...     seen.append(event.time)
+    >>> engine.subscribe(EventKind.FAILURE, on_failure)
+    >>> engine.schedule(5.0, EventKind.FAILURE)
+    >>> engine.schedule(2.0, EventKind.FAILURE)
+    >>> engine.run()
+    >>> seen
+    [2.0, 5.0]
+    >>> engine.now
+    5.0
+    """
+
+    def __init__(self, *, start_time: float = 0.0) -> None:
+        if start_time < 0:
+            raise ValueError(f"start_time must be non-negative, got {start_time}")
+        self._now = float(start_time)
+        self._queue: list[tuple[tuple[float, int], Event]] = []
+        self._handlers: dict[Any, list[Handler]] = {}
+        self._global_handlers: list[Handler] = []
+        self._processed = 0
+        self._stopped = False
+
+    # ------------------------------------------------------------------ #
+    # Clock and queue introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of events still waiting in the queue."""
+        return len(self._queue)
+
+    @property
+    def processed(self) -> int:
+        """Number of events dispatched so far."""
+        return self._processed
+
+    # ------------------------------------------------------------------ #
+    # Scheduling
+    # ------------------------------------------------------------------ #
+    def schedule(
+        self,
+        time: float,
+        kind: Any,
+        payload: Optional[Mapping[str, Any]] = None,
+    ) -> Event:
+        """Schedule an event at absolute ``time`` and return it."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at t={time} before current time t={self._now}"
+            )
+        event = Event(time=float(time), kind=kind, payload=dict(payload or {}))
+        heapq.heappush(self._queue, (event.sort_key(), event))
+        return event
+
+    def schedule_after(
+        self,
+        delay: float,
+        kind: Any,
+        payload: Optional[Mapping[str, Any]] = None,
+    ) -> Event:
+        """Schedule an event ``delay`` seconds after the current time."""
+        if delay < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay}")
+        return self.schedule(self._now + delay, kind, payload)
+
+    def schedule_events(self, events: Iterable[Event]) -> None:
+        """Schedule pre-built events (e.g. a failure trace)."""
+        for event in events:
+            if event.time < self._now:
+                raise SimulationError(
+                    f"cannot schedule event at t={event.time} before t={self._now}"
+                )
+            heapq.heappush(self._queue, (event.sort_key(), event))
+
+    # ------------------------------------------------------------------ #
+    # Handlers
+    # ------------------------------------------------------------------ #
+    def subscribe(self, kind: Any, handler: Handler) -> None:
+        """Register ``handler`` for events of ``kind``."""
+        self._handlers.setdefault(kind, []).append(handler)
+
+    def subscribe_all(self, handler: Handler) -> None:
+        """Register ``handler`` for every event regardless of kind."""
+        self._global_handlers.append(handler)
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def stop(self) -> None:
+        """Request the run loop to stop after the current event."""
+        self._stopped = True
+
+    def step(self) -> Optional[Event]:
+        """Dispatch the next event; return it, or ``None`` if the queue is empty."""
+        if not self._queue:
+            return None
+        _, event = heapq.heappop(self._queue)
+        if event.time < self._now:
+            raise SimulationError(
+                f"event queue corrupted: event at t={event.time} < now={self._now}"
+            )
+        self._now = event.time
+        self._processed += 1
+        for handler in self._global_handlers:
+            handler(self, event)
+        for handler in self._handlers.get(event.kind, ()):  # noqa: B905
+            handler(self, event)
+        return event
+
+    def run(
+        self,
+        *,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> None:
+        """Run until the queue is empty, ``until`` is reached, or ``stop()``.
+
+        Parameters
+        ----------
+        until:
+            Optional absolute time; events strictly after it are left in the
+            queue and the clock is advanced to ``until``.
+        max_events:
+            Optional cap on the number of dispatched events (guards against
+            runaway self-scheduling models).
+        """
+        self._stopped = False
+        dispatched = 0
+        while self._queue and not self._stopped:
+            next_time = self._queue[0][0][0]
+            if until is not None and next_time > until:
+                self._now = max(self._now, float(until))
+                return
+            self.step()
+            dispatched += 1
+            if max_events is not None and dispatched >= max_events:
+                raise SimulationError(
+                    f"max_events={max_events} reached; runaway event loop?"
+                )
+        if until is not None and not self._stopped:
+            self._now = max(self._now, float(until))
+
+    def advance_to(self, time: float) -> None:
+        """Move the clock forward to ``time`` without dispatching events."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot move clock backwards from {self._now} to {time}"
+            )
+        self._now = float(time)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"SimulationEngine(now={self._now:.3f}, pending={self.pending}, "
+            f"processed={self._processed})"
+        )

@@ -1,0 +1,239 @@
+"""Execution traces and time-breakdown accounting.
+
+The simulator's observable output is, for each run, the *makespan* (total
+wall-clock time to complete the application) from which the waste
+``1 - T0 / T_final`` is computed, plus a breakdown of where the platform time
+went.  The breakdown is what makes the simulator debuggable and lets the
+tests assert fine-grained invariants (e.g. "no periodic checkpoint was taken
+inside an ABFT-protected LIBRARY phase").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Optional
+
+from repro.simulation.events import Event, EventKind
+from repro.utils.validation import require_non_negative, require_positive
+
+__all__ = ["TimeBreakdown", "ExecutionTrace", "TraceRecorder"]
+
+
+@dataclass
+class TimeBreakdown:
+    """Where the platform time of one run went, in seconds.
+
+    Attributes
+    ----------
+    useful_work:
+        Time spent making forward progress on the application (excluding any
+        ABFT overhead).  In a failure-free, protection-free run this equals
+        the application duration ``T0``.
+    abft_overhead:
+        Extra time spent maintaining ABFT redundancy: ``(phi - 1)`` times the
+        protected computation time.
+    checkpointing:
+        Time spent writing full or partial coordinated checkpoints.
+    lost_work:
+        Useful work that had to be re-executed because a failure destroyed it
+        (rollback to the previous checkpoint or phase start).
+    recovery:
+        Time spent reloading checkpoints (``R`` or ``R_remainder``).
+    abft_recovery:
+        Time spent in ABFT reconstruction of the LIBRARY dataset.
+    downtime:
+        Node reboot / spare swap-in time (``D``).
+    """
+
+    useful_work: float = 0.0
+    abft_overhead: float = 0.0
+    checkpointing: float = 0.0
+    lost_work: float = 0.0
+    recovery: float = 0.0
+    abft_recovery: float = 0.0
+    downtime: float = 0.0
+
+    _FIELDS = (
+        "useful_work",
+        "abft_overhead",
+        "checkpointing",
+        "lost_work",
+        "recovery",
+        "abft_recovery",
+        "downtime",
+    )
+
+    def add(self, category: str, amount: float) -> None:
+        """Accumulate ``amount`` seconds into ``category``."""
+        if category not in self._FIELDS:
+            raise KeyError(
+                f"unknown time category {category!r}; expected one of {self._FIELDS}"
+            )
+        require_non_negative(amount, "amount")
+        setattr(self, category, getattr(self, category) + float(amount))
+
+    @property
+    def total(self) -> float:
+        """Sum of all categories; equals the makespan of a consistent trace."""
+        return sum(getattr(self, name) for name in self._FIELDS)
+
+    @property
+    def overhead(self) -> float:
+        """Everything that is not useful work."""
+        return self.total - self.useful_work
+
+    def as_dict(self) -> dict[str, float]:
+        """Return the breakdown as a plain dictionary."""
+        return {name: getattr(self, name) for name in self._FIELDS}
+
+    def merge(self, other: "TimeBreakdown") -> "TimeBreakdown":
+        """Return a new breakdown summing this one and ``other``."""
+        merged = TimeBreakdown()
+        for name in self._FIELDS:
+            setattr(merged, name, getattr(self, name) + getattr(other, name))
+        return merged
+
+
+@dataclass(frozen=True)
+class ExecutionTrace:
+    """Immutable record of one simulated protected execution.
+
+    Attributes
+    ----------
+    protocol:
+        Name of the fault-tolerance protocol that produced the trace.
+    application_time:
+        Fault-free, protection-free duration ``T0`` of the application in
+        seconds (the baseline for waste).
+    makespan:
+        Simulated wall-clock completion time ``T_final`` in seconds.
+    failure_count:
+        Number of failures that struck during the (protected) execution.
+    breakdown:
+        The :class:`TimeBreakdown` of the run.
+    events:
+        Optional chronological list of :class:`Event` records (may be empty
+        when event recording is disabled for speed).
+    metadata:
+        Free-form information attached by the simulator (period used,
+        parameters, ...).
+    """
+
+    protocol: str
+    application_time: float
+    makespan: float
+    failure_count: int
+    breakdown: TimeBreakdown
+    events: tuple[Event, ...] = ()
+    metadata: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        require_positive(self.application_time, "application_time")
+        require_non_negative(self.makespan, "makespan")
+        if self.failure_count < 0:
+            raise ValueError("failure_count must be non-negative")
+
+    @property
+    def waste(self) -> float:
+        """Waste ``1 - T0 / T_final`` (paper Eq. 12)."""
+        if self.makespan == 0:
+            return 0.0
+        return 1.0 - self.application_time / self.makespan
+
+    @property
+    def slowdown(self) -> float:
+        """Makespan divided by the fault-free, protection-free time."""
+        return self.makespan / self.application_time
+
+    def events_of_kind(self, kind: EventKind) -> tuple[Event, ...]:
+        """All recorded events of the given kind, in chronological order."""
+        return tuple(event for event in self.events if event.kind is kind)
+
+    def count_events(self, kind: EventKind) -> int:
+        """Number of recorded events of the given kind."""
+        return sum(1 for event in self.events if event.kind is kind)
+
+
+class TraceRecorder:
+    """Mutable builder used by protocol simulators to assemble a trace.
+
+    Parameters
+    ----------
+    protocol:
+        Protocol name stored in the resulting trace.
+    application_time:
+        Fault-free, protection-free application duration ``T0``.
+    record_events:
+        When false (the default for large Monte-Carlo campaigns) individual
+        events are not stored, only the aggregate breakdown -- this keeps
+        memory usage flat.
+    """
+
+    def __init__(
+        self,
+        protocol: str,
+        application_time: float,
+        *,
+        record_events: bool = False,
+    ) -> None:
+        self._protocol = str(protocol)
+        self._application_time = require_positive(application_time, "application_time")
+        self._record_events = bool(record_events)
+        self._events: list[Event] = []
+        self._breakdown = TimeBreakdown()
+        self._failures = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def breakdown(self) -> TimeBreakdown:
+        """The (mutable) breakdown accumulated so far."""
+        return self._breakdown
+
+    @property
+    def failure_count(self) -> int:
+        """Failures recorded so far."""
+        return self._failures
+
+    @property
+    def records_events(self) -> bool:
+        """Whether individual events are being stored."""
+        return self._record_events
+
+    # ------------------------------------------------------------------ #
+    def record(self, time: float, kind: EventKind, **payload: Any) -> None:
+        """Record an event (stored only when event recording is enabled)."""
+        if kind is EventKind.FAILURE:
+            self._failures += 1
+        if self._record_events:
+            self._events.append(Event(time=time, kind=kind, payload=payload))
+
+    def account(self, category: str, amount: float) -> None:
+        """Accumulate ``amount`` seconds of ``category`` into the breakdown."""
+        if amount < 0:
+            raise ValueError(f"cannot account negative time {amount} to {category}")
+        if amount:
+            self._breakdown.add(category, amount)
+
+    def account_many(self, amounts: Mapping[str, float]) -> None:
+        """Accumulate several categories at once."""
+        for category, amount in amounts.items():
+            self.account(category, amount)
+
+    # ------------------------------------------------------------------ #
+    def finish(
+        self,
+        makespan: float,
+        metadata: Optional[Mapping[str, Any]] = None,
+        events: Optional[Iterable[Event]] = None,
+    ) -> ExecutionTrace:
+        """Freeze into an :class:`ExecutionTrace`."""
+        collected = tuple(events) if events is not None else tuple(self._events)
+        return ExecutionTrace(
+            protocol=self._protocol,
+            application_time=self._application_time,
+            makespan=float(makespan),
+            failure_count=self._failures,
+            breakdown=self._breakdown,
+            events=collected,
+            metadata=dict(metadata or {}),
+        )

@@ -1,0 +1,140 @@
+"""Plain-text and CSV table rendering.
+
+The experiment harness prints the rows and series behind every figure of the
+paper.  Rather than depending on a plotting stack (unavailable offline), the
+results are rendered as aligned ASCII tables and machine-readable CSV files
+that can be re-plotted by any downstream tool.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+__all__ = ["Table", "format_table", "write_csv"]
+
+
+def _format_cell(value: Any, float_format: str) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return format(value, float_format)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    *,
+    float_format: str = ".4g",
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned plain-text table."""
+    rendered_rows = [
+        [_format_cell(cell, float_format) for cell in row] for row in rows
+    ]
+    widths = [len(str(h)) for h in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for idx, cell in enumerate(row):
+            widths[idx] = max(widths[idx], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[idx]) for idx, cell in enumerate(cells))
+
+    parts: list[str] = []
+    if title:
+        parts.append(title)
+    header_line = line([str(h) for h in headers])
+    parts.append(header_line)
+    parts.append("-" * len(header_line))
+    parts.extend(line(row) for row in rendered_rows)
+    return "\n".join(parts)
+
+
+def write_csv(
+    path: str | Path,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+) -> Path:
+    """Write ``rows`` to ``path`` as CSV, creating parent directories."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(headers))
+        for row in rows:
+            writer.writerow(list(row))
+    return path
+
+
+@dataclass
+class Table:
+    """A small mutable table of results.
+
+    Collects rows during an experiment and renders them either as text
+    (:meth:`to_text`) or CSV (:meth:`to_csv` / :meth:`write`).
+
+    Examples
+    --------
+    >>> table = Table(["nodes", "waste"], title="demo")
+    >>> table.add_row([1000, 0.0123])
+    >>> print(table.to_text())  # doctest: +ELLIPSIS
+    demo
+    nodes   waste
+    ...
+    """
+
+    headers: Sequence[str]
+    title: str | None = None
+    float_format: str = ".4g"
+    rows: list[list[Any]] = field(default_factory=list)
+
+    def add_row(self, row: Sequence[Any]) -> None:
+        """Append one row; its length must match the header count."""
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(self.headers)} columns"
+            )
+        self.rows.append(list(row))
+
+    def extend(self, rows: Iterable[Sequence[Any]]) -> None:
+        """Append many rows."""
+        for row in rows:
+            self.add_row(row)
+
+    def to_text(self) -> str:
+        """Render as an aligned plain-text table."""
+        return format_table(
+            self.headers, self.rows, float_format=self.float_format, title=self.title
+        )
+
+    def to_csv(self) -> str:
+        """Render as a CSV string (header row first)."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(list(self.headers))
+        for row in self.rows:
+            writer.writerow(row)
+        return buffer.getvalue()
+
+    def write(self, path: str | Path) -> Path:
+        """Write the table as CSV to ``path`` and return the path."""
+        return write_csv(path, self.headers, self.rows)
+
+    def column(self, name: str) -> list[Any]:
+        """Return the values of the column called ``name``."""
+        try:
+            index = list(self.headers).index(name)
+        except ValueError as exc:
+            raise KeyError(f"no column named {name!r}") from exc
+        return [row[index] for row in self.rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)

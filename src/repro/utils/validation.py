@@ -1,0 +1,74 @@
+"""Argument validation helpers.
+
+Every public constructor in the library validates its numeric parameters with
+these helpers so that configuration errors (a negative MTBF, a checkpoint
+cost of zero, a fraction above one, ...) fail immediately with a clear
+message instead of surfacing as a ``nan`` waste three layers later.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import SupportsFloat
+
+
+def _as_float(value: SupportsFloat, name: str) -> float:
+    try:
+        result = float(value)
+    except (TypeError, ValueError) as exc:  # pragma: no cover - defensive
+        raise TypeError(f"{name} must be a real number, got {value!r}") from exc
+    if math.isnan(result):
+        raise ValueError(f"{name} must not be NaN")
+    return result
+
+
+def require_positive(value: SupportsFloat, name: str = "value") -> float:
+    """Return ``value`` as ``float``, raising ``ValueError`` unless it is > 0."""
+    result = _as_float(value, name)
+    if result <= 0:
+        raise ValueError(f"{name} must be strictly positive, got {result}")
+    return result
+
+
+def require_non_negative(value: SupportsFloat, name: str = "value") -> float:
+    """Return ``value`` as ``float``, raising ``ValueError`` unless it is >= 0."""
+    result = _as_float(value, name)
+    if result < 0:
+        raise ValueError(f"{name} must be non-negative, got {result}")
+    return result
+
+
+def require_in_range(
+    value: SupportsFloat,
+    low: float,
+    high: float,
+    name: str = "value",
+    *,
+    inclusive: bool = True,
+) -> float:
+    """Return ``value`` as ``float`` requiring ``low <= value <= high``.
+
+    With ``inclusive=False`` the bounds themselves are rejected.
+    """
+    result = _as_float(value, name)
+    if inclusive:
+        if not (low <= result <= high):
+            raise ValueError(f"{name} must be in [{low}, {high}], got {result}")
+    else:
+        if not (low < result < high):
+            raise ValueError(f"{name} must be in ({low}, {high}), got {result}")
+    return result
+
+
+def require_probability(value: SupportsFloat, name: str = "probability") -> float:
+    """Validate a probability: a float in the closed interval [0, 1]."""
+    return require_in_range(value, 0.0, 1.0, name)
+
+
+def require_fraction(value: SupportsFloat, name: str = "fraction") -> float:
+    """Validate a fraction of a whole: a float in the closed interval [0, 1].
+
+    Semantically identical to :func:`require_probability`; kept separate so
+    call sites read naturally (``require_fraction(alpha, "alpha")``).
+    """
+    return require_in_range(value, 0.0, 1.0, name)

@@ -1,0 +1,43 @@
+"""Shared fixtures: the paper's reference configurations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ApplicationWorkload, ResilienceParameters
+from repro.utils import MINUTE, WEEK
+
+
+@pytest.fixture
+def paper_parameters() -> ResilienceParameters:
+    """The Figure 7 parameter set at a 120-minute platform MTBF."""
+    return ResilienceParameters.from_scalars(
+        platform_mtbf=120 * MINUTE,
+        checkpoint=10 * MINUTE,
+        recovery=10 * MINUTE,
+        downtime=1 * MINUTE,
+        library_fraction=0.8,
+        abft_overhead=1.03,
+        abft_reconstruction=2.0,
+    )
+
+
+@pytest.fixture
+def paper_workload() -> ApplicationWorkload:
+    """The Figure 7 single-epoch, one-week application at alpha = 0.8."""
+    return ApplicationWorkload.single_epoch(1 * WEEK, 0.8, library_fraction=0.8)
+
+
+@pytest.fixture
+def small_workload() -> ApplicationWorkload:
+    """A smaller single-epoch workload for fast simulation tests."""
+    return ApplicationWorkload.single_epoch(
+        24 * 60 * MINUTE, 0.8, library_fraction=0.8
+    )
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic NumPy generator."""
+    return np.random.default_rng(2014)

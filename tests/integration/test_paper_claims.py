@@ -1,0 +1,196 @@
+"""Integration: the qualitative claims of the evaluation section hold.
+
+Each test reproduces one sentence-level claim of Section V of the paper, so a
+regression in any model or protocol implementation that would change the
+paper's conclusions is caught here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ApplicationWorkload
+from repro.application.scaling import ScalingMode
+from repro.core import ResilienceParameters
+from repro.core.analytical import (
+    AbftPeriodicCkptModel,
+    BiPeriodicCkptModel,
+    PurePeriodicCkptModel,
+)
+from repro.experiments import (
+    paper_figure7_config,
+    run_figure7,
+    run_figure8,
+    run_figure9,
+    run_figure10,
+)
+from repro.utils import MINUTE, WEEK
+
+
+@pytest.fixture(scope="module")
+def figure7():
+    return run_figure7(paper_figure7_config())
+
+
+class TestFigure7Claims:
+    def test_pure_periodic_waste_depends_only_on_mtbf(self, figure7):
+        """'PurePeriodicCkpt ... presents a waste that is only a function of
+        the MTBF.'"""
+        grid = figure7.waste_grid("PurePeriodicCkpt")
+        config = figure7.config
+        for mtbf in config.mtbf_values:
+            values = [grid[(mtbf, alpha)] for alpha in config.alpha_values]
+            assert max(values) - min(values) < 1e-12
+
+    def test_waste_decreases_when_mtbf_increases(self, figure7):
+        """'when the MTBF increases, the waste decreases.'"""
+        grid = figure7.waste_grid("PurePeriodicCkpt")
+        config = figure7.config
+        series = [grid[(mtbf, 0.5)] for mtbf in config.mtbf_values]
+        assert all(b < a for a, b in zip(series, series[1:]))
+
+    def test_bi_periodic_minimal_when_alpha_tends_to_one(self, figure7):
+        """'the waste [of BiPeriodicCkpt] becomes minimal when alpha tends
+        toward 1.'"""
+        grid = figure7.waste_grid("BiPeriodicCkpt")
+        config = figure7.config
+        for mtbf in config.mtbf_values:
+            series = [grid[(mtbf, alpha)] for alpha in config.alpha_values]
+            assert min(series) == series[-1]
+
+    def test_composite_benefit_visible_at_fifty_percent(self, figure7):
+        """'When 50% of the time is spent in the LIBRARY routine, the
+        benefit, compared to PurePeriodicCkpt, but also compared to
+        BiPeriodicCkpt, is already visible.'"""
+        config = figure7.config
+        alpha = 0.5
+        for mtbf in config.mtbf_values:
+            composite = figure7.waste_grid("ABFT&PeriodicCkpt")[(mtbf, alpha)]
+            pure = figure7.waste_grid("PurePeriodicCkpt")[(mtbf, alpha)]
+            bi = figure7.waste_grid("BiPeriodicCkpt")[(mtbf, alpha)]
+            assert composite < bi < pure
+
+    def test_composite_overhead_tends_to_abft_slowdown_at_alpha_one(self, figure7):
+        """'When considering the extreme case of 100% ... the overhead tends
+        to reach the overhead induced by the slowdown factor of ABFT
+        (phi = 1.03, hence 3% overhead).'"""
+        config = figure7.config
+        largest_mtbf = config.mtbf_values[-1]
+        waste = figure7.waste_grid("ABFT&PeriodicCkpt")[(largest_mtbf, 1.0)]
+        assert 0.03 <= waste <= 0.06
+
+    def test_composite_equals_pure_when_alpha_zero(self, figure7):
+        """'When alpha tends toward 0 ... the protocol behaves as
+        PurePeriodicCkpt, and no benefit is shown.'"""
+        config = figure7.config
+        for mtbf in config.mtbf_values:
+            composite = figure7.waste_grid("ABFT&PeriodicCkpt")[(mtbf, 0.0)]
+            pure = figure7.waste_grid("PurePeriodicCkpt")[(mtbf, 0.0)]
+            assert composite == pytest.approx(pure, abs=5e-3)
+
+
+class TestWeakScalingClaims:
+    def test_composite_scales_better_beyond_crossover(self):
+        """'Once the number of nodes reaches [the crossover],
+        ABFT&PeriodicCkpt starts to scale better than both periodic
+        checkpointing approaches' (Figure 8)."""
+        result = run_figure8()
+        large = [row for row in result.rows if row.node_count >= 100_000]
+        for row in large:
+            assert row.waste["ABFT&PeriodicCkpt"] <= row.waste["PurePeriodicCkpt"]
+            assert row.waste["ABFT&PeriodicCkpt"] <= row.waste["BiPeriodicCkpt"]
+
+    def test_abft_overhead_dominates_at_small_scale(self):
+        """'Up to approximately [the crossover], the fault-free overhead of
+        ABFT negatively impacts the waste of the composite approach.'"""
+        result = run_figure8()
+        first = result.rows[0]  # 1k nodes
+        assert first.waste["ABFT&PeriodicCkpt"] > first.waste["PurePeriodicCkpt"]
+
+    def test_bi_periodic_slightly_better_than_pure(self):
+        """'the benefit [of incremental checkpointing] shows up by a small
+        linear reduction of the waste for BiPeriodicCkpt.'"""
+        for result in (run_figure8(), run_figure9(), run_figure10()):
+            for row in result.rows:
+                assert row.waste["BiPeriodicCkpt"] <= row.waste["PurePeriodicCkpt"] + 1e-12
+
+    def test_figure9_composite_benefit_grows_with_alpha(self):
+        """'The efficiency on ABFT&PeriodicCkpt, however, is more
+        significant [as alpha grows with the machine]' (Figure 9)."""
+        result = run_figure9(mtbf_scaling=ScalingMode.CONSTANT)
+        gaps = [
+            row.waste["PurePeriodicCkpt"] - row.waste["ABFT&PeriodicCkpt"]
+            for row in result.rows
+        ]
+        assert all(b > a for a, b in zip(gaps, gaps[1:]))
+
+    def test_figure10_composite_wins_despite_scalable_checkpointing(self):
+        """'PurePeriodicCkpt and BiPeriodicCkpt are less efficient than
+        ABFT&PeriodicCkpt at 1 million nodes, despite the perfectly scalable
+        checkpointing hypothesis' (Figure 10)."""
+        for mtbf_scaling in (ScalingMode.INVERSE, ScalingMode.CONSTANT):
+            result = run_figure10(mtbf_scaling=mtbf_scaling)
+            last = result.rows[-1]
+            assert last.waste["ABFT&PeriodicCkpt"] < last.waste["PurePeriodicCkpt"]
+            assert last.waste["ABFT&PeriodicCkpt"] < last.waste["BiPeriodicCkpt"]
+
+    def test_composite_waste_roughly_constant_with_scalable_checkpoints(self):
+        """'the ABFT technique ... appears to present a waste that is almost
+        constant when the number of nodes increases' (Figure 10, constant-
+        MTBF calibration)."""
+        result = run_figure10(mtbf_scaling=ScalingMode.CONSTANT)
+        wastes = [row.waste["ABFT&PeriodicCkpt"] for row in result.rows]
+        assert max(wastes) - min(wastes) < 0.05
+
+
+class TestCheckpointCostReductionClaim:
+    def test_six_second_checkpoints_make_periodic_competitive(self):
+        """'To reach comparable performance, we must reduce checkpointing
+        overhead by a factor of 10 and use C = R = 6 s.'"""
+        workload = ApplicationWorkload.iterative(1000, 8.2 * MINUTE, 0.9756)
+        mtbf = 14.4 * MINUTE
+
+        def waste_with_checkpoint(checkpoint_seconds: float) -> float:
+            params = ResilienceParameters.from_scalars(
+                platform_mtbf=mtbf,
+                checkpoint=checkpoint_seconds,
+                recovery=checkpoint_seconds,
+                downtime=1 * MINUTE,
+                library_fraction=0.8,
+            )
+            return PurePeriodicCkptModel(params).waste(workload)
+
+        composite_params = ResilienceParameters.from_scalars(
+            platform_mtbf=mtbf,
+            checkpoint=60.0,
+            recovery=60.0,
+            downtime=1 * MINUTE,
+            library_fraction=0.8,
+        )
+        composite = AbftPeriodicCkptModel(composite_params, per_epoch=False).waste(
+            workload
+        )
+        gap_at_60s = waste_with_checkpoint(60.0) - composite
+        gap_at_6s = waste_with_checkpoint(6.0) - composite
+        assert gap_at_60s > 0
+        # With 6-second checkpoints periodic checkpointing closes most of the
+        # gap to the composite approach (more than three quarters of it).
+        assert gap_at_6s < 0.25 * gap_at_60s
+
+
+class TestQuickComparisonHelper:
+    def test_quick_waste_comparison_ordering(self):
+        from repro import quick_waste_comparison
+
+        table = quick_waste_comparison(
+            application_time=1 * WEEK,
+            alpha=0.8,
+            mtbf=120 * MINUTE,
+            checkpoint=10 * MINUTE,
+            downtime=1 * MINUTE,
+        )
+        assert (
+            table["ABFT&PeriodicCkpt"]
+            < table["BiPeriodicCkpt"]
+            < table["PurePeriodicCkpt"]
+        )

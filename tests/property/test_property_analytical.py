@@ -1,0 +1,108 @@
+"""Property-based tests of the analytical models (hypothesis)."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro import ApplicationWorkload, ResilienceParameters
+from repro.core.analytical import (
+    AbftPeriodicCkptModel,
+    BiPeriodicCkptModel,
+    PurePeriodicCkptModel,
+    paper_optimal_period,
+    periodic_final_time,
+)
+from repro.utils import HOUR, MINUTE
+
+# Parameter space roughly spanning "plausible HPC platforms": MTBF from 30
+# minutes to 10 days, checkpoints from 10 seconds to 20 minutes.
+mtbfs = st.floats(min_value=30 * MINUTE, max_value=240 * HOUR)
+checkpoints = st.floats(min_value=10.0, max_value=20 * MINUTE)
+alphas = st.floats(min_value=0.0, max_value=1.0)
+rhos = st.floats(min_value=0.0, max_value=1.0)
+durations = st.floats(min_value=1 * HOUR, max_value=2000 * HOUR)
+
+
+def _params(mtbf: float, checkpoint: float, rho: float) -> ResilienceParameters:
+    return ResilienceParameters.from_scalars(
+        platform_mtbf=mtbf,
+        checkpoint=checkpoint,
+        recovery=checkpoint,
+        downtime=60.0,
+        library_fraction=rho,
+        abft_overhead=1.03,
+        abft_reconstruction=2.0,
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(mtbf=mtbfs, checkpoint=checkpoints, alpha=alphas, rho=rhos, total=durations)
+def test_waste_is_always_in_unit_interval(mtbf, checkpoint, alpha, rho, total):
+    params = _params(mtbf, checkpoint, rho)
+    workload = ApplicationWorkload.single_epoch(total, alpha, library_fraction=rho)
+    for model_cls in (PurePeriodicCkptModel, BiPeriodicCkptModel, AbftPeriodicCkptModel):
+        waste = model_cls(params).waste(workload)
+        assert 0.0 <= waste <= 1.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(mtbf=mtbfs, checkpoint=checkpoints, alpha=alphas, rho=rhos, total=durations)
+def test_final_time_never_below_application_time(mtbf, checkpoint, alpha, rho, total):
+    params = _params(mtbf, checkpoint, rho)
+    workload = ApplicationWorkload.single_epoch(total, alpha, library_fraction=rho)
+    for model_cls in (PurePeriodicCkptModel, BiPeriodicCkptModel, AbftPeriodicCkptModel):
+        prediction = model_cls(params).evaluate(workload)
+        assert prediction.final_time >= workload.total_time or not prediction.feasible
+
+
+@settings(max_examples=60, deadline=None)
+@given(mtbf=mtbfs, checkpoint=checkpoints, alpha=alphas, rho=rhos, total=durations)
+def test_bi_periodic_never_worse_than_pure(mtbf, checkpoint, alpha, rho, total):
+    """Incremental checkpoints (C_L <= C) can only help BiPeriodicCkpt."""
+    params = _params(mtbf, checkpoint, rho)
+    workload = ApplicationWorkload.single_epoch(total, alpha, library_fraction=rho)
+    pure = PurePeriodicCkptModel(params).waste(workload)
+    bi = BiPeriodicCkptModel(params).waste(workload)
+    assert bi <= pure + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(mtbf=mtbfs, checkpoint=checkpoints, rho=rhos, total=durations)
+def test_pure_periodic_waste_monotone_in_mtbf(mtbf, checkpoint, rho, total):
+    params = _params(mtbf, checkpoint, rho)
+    workload = ApplicationWorkload.single_epoch(total, 0.5, library_fraction=rho)
+    better = PurePeriodicCkptModel(params.with_mtbf(2 * mtbf)).waste(workload)
+    worse = PurePeriodicCkptModel(params).waste(workload)
+    assert better <= worse + 1e-9
+
+
+@settings(max_examples=80, deadline=None)
+@given(mtbf=mtbfs, checkpoint=checkpoints)
+def test_paper_period_optimality(mtbf, checkpoint):
+    """Equation 11 minimises the expected time among nearby periods."""
+    downtime, recovery = 60.0, checkpoint
+    period = paper_optimal_period(checkpoint, mtbf, downtime, recovery)
+    if math.isnan(period):
+        return
+    work = 100 * HOUR
+    best = periodic_final_time(work, checkpoint, mtbf, downtime, recovery, period)
+    for factor in (0.5, 0.8, 1.25, 2.0):
+        other = periodic_final_time(
+            work, checkpoint, mtbf, downtime, recovery, period * factor
+        )
+        assert best <= other * (1 + 1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(mtbf=mtbfs, checkpoint=checkpoints, alpha=alphas, total=durations)
+def test_composite_waste_monotone_in_phi(mtbf, checkpoint, alpha, total):
+    params_low = ResilienceParameters.from_scalars(
+        platform_mtbf=mtbf, checkpoint=checkpoint, abft_overhead=1.0
+    )
+    params_high = params_low.with_abft(abft_overhead=1.2)
+    workload = ApplicationWorkload.single_epoch(total, alpha)
+    low = AbftPeriodicCkptModel(params_low).waste(workload)
+    high = AbftPeriodicCkptModel(params_high).waste(workload)
+    assert low <= high + 1e-9

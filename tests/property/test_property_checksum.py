@@ -1,0 +1,104 @@
+"""Property-based tests of the ABFT checksum encode/verify/recover cycle."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.abft import (
+    encode_column_checksums,
+    encode_row_checksums,
+    generator_matrix,
+    recover_blocks_in_column,
+    recover_blocks_in_row,
+    verify_column_checksums,
+    verify_row_checksums,
+)
+
+block_sizes = st.integers(min_value=1, max_value=4)
+block_counts = st.integers(min_value=2, max_value=6)
+checksum_counts = st.integers(min_value=1, max_value=3)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+@settings(max_examples=40, deadline=None)
+@given(b=block_sizes, nb=block_counts, c=checksum_counts, seed=seeds)
+def test_encoding_always_verifies(b, nb, c, seed):
+    rng = np.random.default_rng(seed)
+    matrix = rng.standard_normal((3 * b, nb * b))
+    generator = generator_matrix(nb, c)
+    extended = encode_column_checksums(matrix, b, generator)
+    assert verify_column_checksums(extended, b, generator) < 1e-9
+
+    tall = rng.standard_normal((nb * b, 3 * b))
+    extended_rows = encode_row_checksums(tall, b, generator)
+    assert verify_row_checksums(extended_rows, b, generator) < 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(b=block_sizes, nb=block_counts, c=checksum_counts, seed=seeds, data=st.data())
+def test_row_recovery_restores_any_erasure_within_budget(b, nb, c, seed, data):
+    """Destroying up to ``c`` blocks of a block row is always repairable."""
+    rng = np.random.default_rng(seed)
+    matrix = rng.standard_normal((b, nb * b))
+    generator = generator_matrix(nb, c)
+    extended = encode_column_checksums(matrix, b, generator)
+    original = extended.copy()
+
+    lost_count = data.draw(st.integers(min_value=1, max_value=min(c, nb)))
+    lost = sorted(
+        data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=nb - 1),
+                min_size=lost_count,
+                max_size=lost_count,
+                unique=True,
+            )
+        )
+    )
+    for j in lost:
+        extended[:, j * b : (j + 1) * b] = 0.0
+    recover_blocks_in_row(
+        extended,
+        slice(0, b),
+        lost,
+        block_size=b,
+        generator=generator,
+        participating_block_cols=range(nb),
+        checksum_col_start=nb * b,
+    )
+    assert np.allclose(extended, original, atol=1e-6)
+
+
+@settings(max_examples=40, deadline=None)
+@given(b=block_sizes, nb=block_counts, c=checksum_counts, seed=seeds, data=st.data())
+def test_column_recovery_restores_any_erasure_within_budget(b, nb, c, seed, data):
+    rng = np.random.default_rng(seed)
+    matrix = rng.standard_normal((nb * b, b))
+    generator = generator_matrix(nb, c)
+    extended = encode_row_checksums(matrix, b, generator)
+    original = extended.copy()
+
+    lost_count = data.draw(st.integers(min_value=1, max_value=min(c, nb)))
+    lost = sorted(
+        data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=nb - 1),
+                min_size=lost_count,
+                max_size=lost_count,
+                unique=True,
+            )
+        )
+    )
+    for i in lost:
+        extended[i * b : (i + 1) * b, :] = 0.0
+    recover_blocks_in_column(
+        extended,
+        slice(0, b),
+        lost,
+        block_size=b,
+        generator=generator,
+        participating_block_rows=range(nb),
+        checksum_row_start=nb * b,
+    )
+    assert np.allclose(extended, original, atol=1e-6)

@@ -1,0 +1,76 @@
+"""Property-based tests of the failure models and timelines."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.failures import (
+    ExponentialFailureModel,
+    FailureTimeline,
+    LogNormalFailureModel,
+    TraceFailureModel,
+    WeibullFailureModel,
+    platform_mtbf,
+)
+
+mtbfs = st.floats(min_value=1.0, max_value=1e7)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+@settings(max_examples=50, deadline=None)
+@given(mtbf=mtbfs, seed=seeds)
+def test_exponential_samples_positive_and_finite(mtbf, seed):
+    model = ExponentialFailureModel(mtbf)
+    samples = model.sample_interarrivals(np.random.default_rng(seed), 64)
+    assert np.all(samples > 0)
+    assert np.all(np.isfinite(samples))
+
+
+@settings(max_examples=30, deadline=None)
+@given(mtbf=mtbfs, seed=seeds, shape=st.floats(min_value=0.3, max_value=3.0))
+def test_weibull_and_lognormal_positive(mtbf, seed, shape):
+    rng = np.random.default_rng(seed)
+    for model in (WeibullFailureModel(mtbf, shape), LogNormalFailureModel(mtbf, shape)):
+        samples = model.sample_interarrivals(rng, 32)
+        assert np.all(samples > 0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(mtbf=mtbfs, seed=seeds)
+def test_timeline_is_strictly_increasing(mtbf, seed):
+    timeline = FailureTimeline(
+        ExponentialFailureModel(mtbf), np.random.default_rng(seed)
+    )
+    previous = 0.0
+    for _ in range(20):
+        nxt = timeline.next_failure_after(previous)
+        assert nxt > previous
+        previous = nxt
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    interarrivals=st.lists(
+        st.floats(min_value=1e-3, max_value=1e6), min_size=1, max_size=20
+    ),
+    seed=seeds,
+)
+def test_trace_model_replays_exactly(interarrivals, seed):
+    model = TraceFailureModel(interarrivals, cycle=False)
+    rng = np.random.default_rng(seed)
+    replayed = [model.sample_interarrival(rng) for _ in range(len(interarrivals))]
+    assert replayed == [float(value) for value in interarrivals]
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    node_mtbf=st.floats(min_value=1.0, max_value=1e9),
+    node_count=st.integers(min_value=1, max_value=10**7),
+)
+def test_platform_mtbf_scales_inversely(node_mtbf, node_count):
+    aggregate = platform_mtbf(node_mtbf, node_count)
+    assert aggregate <= node_mtbf
+    assert aggregate * node_count == node_mtbf or abs(
+        aggregate * node_count - node_mtbf
+    ) < 1e-6 * node_mtbf

@@ -1,0 +1,90 @@
+"""Property-based tests of the protocol simulators."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro import ApplicationWorkload, ResilienceParameters
+from repro.core.protocols import (
+    AbftPeriodicCkptSimulator,
+    BiPeriodicCkptSimulator,
+    PurePeriodicCkptSimulator,
+)
+from repro.failures import FailureTimeline
+from repro.utils import HOUR, MINUTE
+
+mtbfs = st.floats(min_value=30 * MINUTE, max_value=100 * HOUR)
+checkpoints = st.floats(min_value=30.0, max_value=15 * MINUTE)
+alphas = st.floats(min_value=0.0, max_value=1.0)
+totals = st.floats(min_value=2 * HOUR, max_value=100 * HOUR)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+SIMULATORS = (
+    PurePeriodicCkptSimulator,
+    BiPeriodicCkptSimulator,
+    AbftPeriodicCkptSimulator,
+)
+
+
+def _setup(mtbf, checkpoint, alpha, total):
+    params = ResilienceParameters.from_scalars(
+        platform_mtbf=mtbf,
+        checkpoint=checkpoint,
+        recovery=checkpoint,
+        downtime=60.0,
+        library_fraction=0.8,
+    )
+    workload = ApplicationWorkload.single_epoch(total, alpha, library_fraction=0.8)
+    return params, workload
+
+
+@settings(max_examples=30, deadline=None)
+@given(mtbf=mtbfs, checkpoint=checkpoints, alpha=alphas, total=totals, seed=seeds)
+def test_breakdown_always_sums_to_makespan(mtbf, checkpoint, alpha, total, seed):
+    params, workload = _setup(mtbf, checkpoint, alpha, total)
+    for simulator_cls in SIMULATORS:
+        trace = simulator_cls(params, workload).simulate(
+            rng=np.random.default_rng(seed)
+        )
+        assert np.isclose(trace.breakdown.total, trace.makespan, rtol=1e-8)
+        assert 0.0 <= trace.waste <= 1.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(mtbf=mtbfs, checkpoint=checkpoints, alpha=alphas, total=totals, seed=seeds)
+def test_useful_work_is_conserved(mtbf, checkpoint, alpha, total, seed):
+    """Whatever the failures, exactly T0 seconds of useful work get done."""
+    params, workload = _setup(mtbf, checkpoint, alpha, total)
+    for simulator_cls in SIMULATORS:
+        trace = simulator_cls(params, workload).simulate(
+            rng=np.random.default_rng(seed)
+        )
+        if trace.metadata.get("truncated"):
+            continue
+        assert np.isclose(trace.breakdown.useful_work, workload.total_time, rtol=1e-8)
+
+
+@settings(max_examples=30, deadline=None)
+@given(mtbf=mtbfs, checkpoint=checkpoints, alpha=alphas, total=totals)
+def test_failure_free_run_has_no_failure_costs(mtbf, checkpoint, alpha, total):
+    params, workload = _setup(mtbf, checkpoint, alpha, total)
+    for simulator_cls in SIMULATORS:
+        trace = simulator_cls(params, workload).simulate(
+            timeline=FailureTimeline.from_times([])
+        )
+        assert trace.failure_count == 0
+        assert trace.breakdown.lost_work == 0.0
+        assert trace.breakdown.recovery == 0.0
+        assert trace.breakdown.downtime == 0.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(mtbf=mtbfs, checkpoint=checkpoints, alpha=alphas, total=totals, seed=seeds)
+def test_simulation_is_deterministic_given_seed(mtbf, checkpoint, alpha, total, seed):
+    params, workload = _setup(mtbf, checkpoint, alpha, total)
+    simulator = AbftPeriodicCkptSimulator(params, workload)
+    first = simulator.simulate(rng=np.random.default_rng(seed))
+    second = simulator.simulate(rng=np.random.default_rng(seed))
+    assert first.makespan == second.makespan
+    assert first.failure_count == second.failure_count

@@ -1,0 +1,65 @@
+"""Property-based tests of the shared utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.waste import slowdown_to_waste, waste_from_times, waste_to_slowdown
+from repro.utils.stats import RunningStatistics, summarize
+
+finite_floats = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(samples=st.lists(finite_floats, min_size=2, max_size=200))
+def test_running_statistics_matches_numpy(samples):
+    acc = RunningStatistics()
+    acc.extend(samples)
+    data = np.asarray(samples)
+    assert np.isclose(acc.mean, data.mean(), rtol=1e-9, atol=1e-6)
+    assert np.isclose(acc.variance, data.var(ddof=1), rtol=1e-6, atol=1e-6)
+    assert acc.minimum == data.min()
+    assert acc.maximum == data.max()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    samples=st.lists(finite_floats, min_size=2, max_size=100),
+    split=st.integers(min_value=1, max_value=99),
+)
+def test_merge_is_order_independent(samples, split):
+    split = min(split, len(samples) - 1)
+    left, right = RunningStatistics(), RunningStatistics()
+    left.extend(samples[:split])
+    right.extend(samples[split:])
+    merged = left.merge(right)
+    reference = RunningStatistics()
+    reference.extend(samples)
+    assert np.isclose(merged.mean, reference.mean, rtol=1e-9, atol=1e-6)
+    assert np.isclose(merged.variance, reference.variance, rtol=1e-6, atol=1e-6)
+
+
+@settings(max_examples=60, deadline=None)
+@given(samples=st.lists(finite_floats, min_size=2, max_size=100))
+def test_confidence_interval_brackets_mean(samples):
+    summary = summarize(samples)
+    assert summary.ci_low <= summary.mean <= summary.ci_high
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    application=st.floats(min_value=1e-3, max_value=1e9),
+    overhead=st.floats(min_value=0.0, max_value=1e9),
+)
+def test_waste_slowdown_roundtrip(application, overhead):
+    final = application + overhead
+    waste = waste_from_times(application, final)
+    assert 0.0 <= waste < 1.0
+    # Round-tripping through the slowdown must reproduce the waste exactly
+    # (comparison in waste space: the slowdown itself loses precision when
+    # the waste approaches 1).
+    assert np.isclose(slowdown_to_waste(waste_to_slowdown(waste)), waste, rtol=1e-12)
+    assert np.isclose(slowdown_to_waste(final / application), waste, rtol=1e-9, atol=1e-12)

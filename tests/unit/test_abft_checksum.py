@@ -1,0 +1,109 @@
+"""Unit tests for the block-checksum encodings."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.abft import (
+    BlockChecksumEncoding,
+    encode_column_checksums,
+    encode_row_checksums,
+    generator_matrix,
+    verify_column_checksums,
+    verify_row_checksums,
+)
+from repro.abft.checksum import checksum_weight_matrix
+
+
+class TestGeneratorMatrix:
+    def test_shape(self):
+        assert generator_matrix(5, 2).shape == (2, 5)
+
+    def test_first_row_is_ones(self):
+        assert np.allclose(generator_matrix(4, 3)[0], 1.0)
+
+    def test_square_submatrices_invertible(self):
+        generator = generator_matrix(6, 3)
+        for cols in ((0, 1, 2), (1, 3, 5), (0, 2, 4)):
+            sub = generator[:, cols]
+            assert abs(np.linalg.det(sub)) > 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generator_matrix(0, 1)
+        with pytest.raises(ValueError):
+            generator_matrix(3, 0)
+
+
+class TestEncoding:
+    def test_column_checksum_values(self, rng):
+        matrix = rng.standard_normal((4, 6))
+        generator = generator_matrix(3, 1)
+        extended = encode_column_checksums(matrix, 2, generator)
+        assert extended.shape == (4, 8)
+        expected = matrix[:, 0:2] + matrix[:, 2:4] + matrix[:, 4:6]
+        assert np.allclose(extended[:, 6:8], expected)
+
+    def test_row_checksum_values(self, rng):
+        matrix = rng.standard_normal((6, 4))
+        generator = generator_matrix(3, 1)
+        extended = encode_row_checksums(matrix, 2, generator)
+        assert extended.shape == (8, 4)
+        expected = matrix[0:2] + matrix[2:4] + matrix[4:6]
+        assert np.allclose(extended[6:8], expected)
+
+    def test_verify_accepts_valid_encoding(self, rng):
+        matrix = rng.standard_normal((6, 6))
+        generator = generator_matrix(3, 2)
+        extended = encode_column_checksums(matrix, 2, generator)
+        assert verify_column_checksums(extended, 2, generator) < 1e-12
+
+    def test_verify_detects_corruption(self, rng):
+        matrix = rng.standard_normal((6, 6))
+        generator = generator_matrix(3, 2)
+        extended = encode_column_checksums(matrix, 2, generator)
+        extended[0, 0] += 1.0
+        assert verify_column_checksums(extended, 2, generator) > 1e-6
+
+    def test_row_verify(self, rng):
+        matrix = rng.standard_normal((6, 6))
+        generator = generator_matrix(3, 1)
+        extended = encode_row_checksums(matrix, 2, generator)
+        assert verify_row_checksums(extended, 2, generator) < 1e-12
+
+    def test_weight_matrix_shape(self):
+        weights = checksum_weight_matrix(generator_matrix(4, 2), 3)
+        assert weights.shape == (12, 6)
+
+    def test_dimension_mismatch_rejected(self, rng):
+        matrix = rng.standard_normal((4, 6))
+        with pytest.raises(ValueError):
+            encode_column_checksums(matrix, 4, generator_matrix(2, 1))
+        with pytest.raises(ValueError):
+            encode_column_checksums(matrix, 2, generator_matrix(5, 1))
+
+
+class TestBlockChecksumEncoding:
+    def test_encode_and_residuals(self, rng):
+        encoding = BlockChecksumEncoding(
+            block_size=2, num_block_rows=3, num_block_cols=3, num_checksums=2
+        )
+        matrix = rng.standard_normal((6, 6))
+        columns = encoding.encode_columns(matrix)
+        rows = encoding.encode_rows(matrix)
+        assert columns.shape == (6, 10)
+        assert rows.shape == (10, 6)
+        assert encoding.column_residual(columns) < 1e-12
+        assert encoding.row_residual(rows) < 1e-12
+
+    def test_full_encoding_shape(self, rng):
+        encoding = BlockChecksumEncoding(
+            block_size=2, num_block_rows=3, num_block_cols=3, num_checksums=1
+        )
+        full = encoding.encode_full(rng.standard_normal((6, 6)))
+        assert full.shape == (8, 8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlockChecksumEncoding(0, 1, 1, 1)

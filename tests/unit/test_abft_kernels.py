@@ -1,0 +1,188 @@
+"""Unit tests for the ABFT matmul, LU and Cholesky kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.abft import AbftCholesky, AbftLU, ProcessGrid, RecoveryError, abft_matmul
+from repro.abft.cholesky import random_spd
+from repro.abft.lu import lu_nopivot, random_diagonally_dominant
+from repro.abft.overhead import measure_overhead
+
+
+class TestAbftMatmul:
+    def test_failure_free_product_is_exact(self, rng):
+        a = rng.standard_normal((8, 6))
+        b = rng.standard_normal((6, 10))
+        result = abft_matmul(a, b, block_size=2, num_checksums=1)
+        assert result.error < 1e-10
+        assert result.column_residual < 1e-10
+        assert result.row_residual < 1e-10
+        assert result.recovered
+
+    def test_process_failure_recovered(self, rng):
+        a = rng.standard_normal((8, 8))
+        b = rng.standard_normal((8, 8))
+        result = abft_matmul(
+            a,
+            b,
+            block_size=2,
+            num_checksums=2,
+            grid=ProcessGrid(2, 2),
+            fail_process=(0, 1),
+        )
+        assert len(result.lost_blocks) == 4
+        assert result.recovered
+        assert result.error < 1e-10
+
+    def test_explicit_lost_blocks(self, rng):
+        a = rng.standard_normal((6, 6))
+        b = rng.standard_normal((6, 6))
+        result = abft_matmul(
+            a, b, block_size=2, num_checksums=1, lost_blocks=[(0, 0), (1, 2)]
+        )
+        assert result.recovered
+        assert result.error < 1e-10
+
+    def test_unrecoverable_pattern_raises(self, rng):
+        a = rng.standard_normal((6, 6))
+        b = rng.standard_normal((6, 6))
+        # Losing a whole 2x2 sub-grid of blocks exceeds one checksum in both
+        # directions for the affected rows/columns.
+        with pytest.raises(RecoveryError):
+            abft_matmul(
+                a,
+                b,
+                block_size=2,
+                num_checksums=1,
+                lost_blocks=[(0, 0), (0, 1), (1, 0), (1, 1)],
+            )
+
+    def test_fail_process_requires_grid(self, rng):
+        a = rng.standard_normal((4, 4))
+        with pytest.raises(ValueError):
+            abft_matmul(a, a, block_size=2, fail_process=(0, 0))
+
+    def test_shape_validation(self, rng):
+        a = rng.standard_normal((4, 4))
+        b = rng.standard_normal((6, 4))
+        with pytest.raises(ValueError):
+            abft_matmul(a, b, block_size=2)
+        with pytest.raises(ValueError):
+            abft_matmul(a, a, block_size=3)
+
+
+class TestLuNopivot:
+    def test_reconstructs_matrix(self, rng):
+        a = random_diagonally_dominant(12, rng)
+        lower, upper = lu_nopivot(a)
+        assert np.allclose(lower @ upper, a)
+        assert np.allclose(np.diag(lower), 1.0)
+        assert np.allclose(np.triu(lower, 1), 0.0)
+        assert np.allclose(np.tril(upper, -1), 0.0)
+
+    def test_zero_pivot_raises(self):
+        with pytest.raises(np.linalg.LinAlgError):
+            lu_nopivot(np.array([[0.0, 1.0], [1.0, 0.0]]))
+
+    def test_rejects_non_square(self, rng):
+        with pytest.raises(ValueError):
+            lu_nopivot(rng.standard_normal((3, 4)))
+
+
+class TestAbftLU:
+    def test_failure_free_factorization(self, rng):
+        a = random_diagonally_dominant(16, rng)
+        result = AbftLU(a, block_size=4).run()
+        assert result.residual < 1e-10
+        assert result.l_checksum_residual < 1e-8
+        assert result.u_checksum_residual < 1e-8
+        assert result.lost_blocks == ()
+
+    def test_process_failure_mid_factorization(self, rng):
+        a = random_diagonally_dominant(32, rng)
+        factorization = AbftLU(a, block_size=4, grid=ProcessGrid(2, 2))
+        result = factorization.run(fail_at_step=3, fail_process=(1, 0))
+        assert len(result.lost_blocks) == 16
+        assert result.fail_step == 3
+        assert result.residual < 1e-8
+        assert result.protected_recovery_succeeded
+        assert result.reconstruction_time > 0.0
+
+    @pytest.mark.parametrize("fail_step", [0, 1, 3])
+    def test_failure_at_various_steps(self, rng, fail_step):
+        a = random_diagonally_dominant(16, rng)
+        result = AbftLU(a, block_size=4, grid=ProcessGrid(2, 2)).run(
+            fail_at_step=fail_step, fail_process=(0, 0)
+        )
+        assert result.residual < 1e-8
+
+    def test_explicit_lost_blocks(self, rng):
+        a = random_diagonally_dominant(16, rng)
+        result = AbftLU(a, block_size=4, num_checksums=1).run(
+            fail_at_step=2, lost_blocks=[(2, 2), (3, 1)]
+        )
+        assert result.residual < 1e-8
+
+    def test_derived_checksum_count(self, rng):
+        a = random_diagonally_dominant(16, rng)
+        factorization = AbftLU(a, block_size=4, grid=ProcessGrid(2, 2))
+        assert factorization.num_checksums == 2
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            AbftLU(rng.standard_normal((4, 5)), block_size=2)
+        with pytest.raises(ValueError):
+            AbftLU(rng.standard_normal((4, 4)), block_size=3)
+        with pytest.raises(ValueError):
+            AbftLU(random_diagonally_dominant(8, rng), block_size=2, num_checksums=0)
+        factorization = AbftLU(random_diagonally_dominant(8, rng), block_size=2)
+        with pytest.raises(ValueError):
+            factorization.run(fail_at_step=0, lost_blocks=[(7, 0)])
+
+
+class TestAbftCholesky:
+    def test_failure_free_factorization(self, rng):
+        a = random_spd(16, rng)
+        result = AbftCholesky(a, block_size=4).run()
+        assert result.residual < 1e-10
+        assert result.u_factor is None
+        # L is lower triangular
+        assert np.allclose(np.triu(result.l_factor, 1), 0.0)
+
+    def test_process_failure_mid_factorization(self, rng):
+        a = random_spd(32, rng)
+        result = AbftCholesky(a, block_size=4, grid=ProcessGrid(2, 2)).run(
+            fail_at_step=4, fail_process=(0, 1)
+        )
+        assert result.residual < 1e-8
+        assert result.protected_recovery_succeeded
+
+    def test_spd_generator(self, rng):
+        a = random_spd(10, rng)
+        assert np.allclose(a, a.T)
+        assert np.all(np.linalg.eigvalsh(a) > 0)
+
+
+class TestMeasureOverhead:
+    def test_returns_sensible_values(self):
+        measurement = measure_overhead("lu", n=32, block_size=8, trials=1)
+        assert measurement.phi > 0
+        assert measurement.unprotected_time > 0
+        assert measurement.protected_time > 0
+        assert measurement.reconstruction_time >= 0
+        assert measurement.kernel == "lu"
+
+    def test_cholesky_kernel(self):
+        measurement = measure_overhead("cholesky", n=32, block_size=8, trials=1)
+        assert measurement.kernel == "cholesky"
+        assert measurement.phi > 0
+
+    def test_unknown_kernel(self):
+        with pytest.raises(ValueError):
+            measure_overhead("qr")
+
+    def test_invalid_trials(self):
+        with pytest.raises(ValueError):
+            measure_overhead("lu", trials=0)

@@ -1,0 +1,55 @@
+"""Unit tests for the simulated 2-D block-cyclic process grid."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.abft import ProcessGrid
+
+
+class TestProcessGrid:
+    def test_block_cyclic_ownership(self):
+        grid = ProcessGrid(2, 3)
+        assert grid.owner(0, 0) == (0, 0)
+        assert grid.owner(1, 4) == (1, 1)
+        assert grid.owner(5, 5) == (1, 2)
+
+    def test_rank_roundtrip(self):
+        grid = ProcessGrid(3, 4)
+        for rank in range(grid.size):
+            assert grid.rank_of(*grid.coordinates_of(rank)) == rank
+
+    def test_blocks_owned_partition_the_matrix(self):
+        grid = ProcessGrid(2, 2)
+        block_rows = block_cols = 4
+        all_blocks = set()
+        for proc in grid.processes():
+            owned = grid.blocks_owned(*proc, block_rows, block_cols)
+            assert not (all_blocks & set(owned))
+            all_blocks.update(owned)
+        assert all_blocks == {(i, j) for i in range(4) for j in range(4)}
+
+    def test_blocks_per_row_and_column(self):
+        grid = ProcessGrid(2, 4)
+        assert grid.blocks_per_row(8) == 2
+        assert grid.blocks_per_column(8) == 4
+        assert grid.blocks_per_row(9) == 3
+
+    def test_required_checksums(self):
+        assert ProcessGrid(2, 2).required_checksums(4, 4) == 2
+        assert ProcessGrid(1, 1).required_checksums(3, 3) == 3
+        assert ProcessGrid(4, 4).required_checksums(4, 4) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProcessGrid(0, 2)
+        grid = ProcessGrid(2, 2)
+        with pytest.raises(ValueError):
+            grid.owner(-1, 0)
+        with pytest.raises(ValueError):
+            grid.blocks_owned(2, 0, 4, 4)
+        with pytest.raises(ValueError):
+            grid.coordinates_of(4)
+
+    def test_size(self):
+        assert ProcessGrid(3, 5).size == 15

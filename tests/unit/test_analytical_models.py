@@ -1,0 +1,189 @@
+"""Unit tests for the closed-form protocol models (Section IV)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import ApplicationWorkload
+from repro.core.analytical import (
+    AbftPeriodicCkptModel,
+    BiPeriodicCkptModel,
+    NoFaultToleranceModel,
+    PurePeriodicCkptModel,
+)
+from repro.utils import MINUTE, WEEK
+
+
+class TestPurePeriodicCkptModel:
+    def test_matches_hand_computed_figure7_value(self, paper_workload):
+        # mu = 60 min: P = sqrt(2*10*(60-11)) min, waste = 1 - X ~ 0.622.
+        from repro.core import ResilienceParameters
+
+        params = ResilienceParameters.from_scalars(
+            platform_mtbf=60 * MINUTE,
+            checkpoint=10 * MINUTE,
+            recovery=10 * MINUTE,
+            downtime=1 * MINUTE,
+        )
+        waste = PurePeriodicCkptModel(params).waste(paper_workload)
+        assert waste == pytest.approx(0.622, abs=0.002)
+
+    def test_waste_independent_of_alpha(self, paper_parameters):
+        model = PurePeriodicCkptModel(paper_parameters)
+        wastes = {
+            alpha: model.waste(ApplicationWorkload.single_epoch(1 * WEEK, alpha))
+            for alpha in (0.0, 0.3, 0.8, 1.0)
+        }
+        assert max(wastes.values()) == pytest.approx(min(wastes.values()))
+
+    def test_waste_decreases_with_mtbf(self, paper_parameters, paper_workload):
+        low = PurePeriodicCkptModel(paper_parameters.with_mtbf(60 * MINUTE))
+        high = PurePeriodicCkptModel(paper_parameters.with_mtbf(240 * MINUTE))
+        assert high.waste(paper_workload) < low.waste(paper_workload)
+
+    def test_explicit_period_override(self, paper_parameters, paper_workload):
+        optimal = PurePeriodicCkptModel(paper_parameters)
+        forced = PurePeriodicCkptModel(paper_parameters, period=4 * optimal.period())
+        assert forced.waste(paper_workload) > optimal.waste(paper_workload)
+
+    def test_young_daly_formulas_close_to_paper(self, paper_parameters, paper_workload):
+        paper = PurePeriodicCkptModel(paper_parameters).waste(paper_workload)
+        young = PurePeriodicCkptModel(paper_parameters, period_formula="young").waste(
+            paper_workload
+        )
+        daly = PurePeriodicCkptModel(paper_parameters, period_formula="daly").waste(
+            paper_workload
+        )
+        assert young == pytest.approx(paper, abs=0.02)
+        assert daly == pytest.approx(paper, abs=0.02)
+
+    def test_prediction_fields(self, paper_parameters, paper_workload):
+        prediction = PurePeriodicCkptModel(paper_parameters).evaluate(paper_workload)
+        assert prediction.protocol == "PurePeriodicCkpt"
+        assert prediction.final_time > prediction.application_time
+        assert prediction.expected_failures == pytest.approx(
+            prediction.final_time / paper_parameters.mtbf
+        )
+        assert prediction.feasible
+        assert "period" in prediction.details
+
+    def test_infeasible_regime(self, paper_parameters, paper_workload):
+        params = paper_parameters.with_mtbf(5 * MINUTE)  # C = 10 min > mu
+        prediction = PurePeriodicCkptModel(params).evaluate(paper_workload)
+        assert not prediction.feasible
+        assert prediction.waste == 1.0
+
+
+class TestBiPeriodicCkptModel:
+    def test_reduces_to_pure_when_alpha_zero(self, paper_parameters):
+        workload = ApplicationWorkload.single_epoch(1 * WEEK, 0.0)
+        pure = PurePeriodicCkptModel(paper_parameters).waste(workload)
+        bi = BiPeriodicCkptModel(paper_parameters).waste(workload)
+        assert bi == pytest.approx(pure)
+
+    def test_cheaper_than_pure_for_positive_alpha(self, paper_parameters, paper_workload):
+        pure = PurePeriodicCkptModel(paper_parameters).waste(paper_workload)
+        bi = BiPeriodicCkptModel(paper_parameters).waste(paper_workload)
+        assert bi < pure
+
+    def test_waste_decreases_with_alpha(self, paper_parameters):
+        model = BiPeriodicCkptModel(paper_parameters)
+        wastes = [
+            model.waste(ApplicationWorkload.single_epoch(1 * WEEK, alpha))
+            for alpha in (0.0, 0.25, 0.5, 0.75, 1.0)
+        ]
+        assert all(a > b for a, b in zip(wastes, wastes[1:]))
+
+    def test_library_period_uses_equation_14(self, paper_parameters):
+        model = BiPeriodicCkptModel(paper_parameters)
+        expected = math.sqrt(
+            2
+            * paper_parameters.library_checkpoint
+            * (paper_parameters.mtbf - paper_parameters.downtime - paper_parameters.full_recovery)
+        )
+        assert model.library_period() == pytest.approx(expected)
+
+    def test_details_contain_per_phase_times(self, paper_parameters, paper_workload):
+        details = BiPeriodicCkptModel(paper_parameters).evaluate(paper_workload).details
+        assert details["general_final_time"] > 0
+        assert details["library_final_time"] > 0
+
+
+class TestAbftPeriodicCkptModel:
+    def test_reduces_to_pure_when_alpha_zero(self, paper_parameters):
+        workload = ApplicationWorkload.single_epoch(1 * WEEK, 0.0)
+        pure = PurePeriodicCkptModel(paper_parameters).waste(workload)
+        composite = AbftPeriodicCkptModel(paper_parameters).waste(workload)
+        # The composite adds a final partial checkpoint of the REMAINDER
+        # dataset, negligible relative to a one-week epoch.
+        assert composite == pytest.approx(pure, abs=0.002)
+
+    def test_alpha_one_waste_tends_to_phi_overhead(self, paper_parameters):
+        workload = ApplicationWorkload.single_epoch(1 * WEEK, 1.0)
+        params = paper_parameters.with_mtbf(240 * MINUTE)
+        waste = AbftPeriodicCkptModel(params).waste(workload)
+        # Paper: "the overhead tends to reach ... (phi = 1.03, hence 3% overhead)"
+        assert 0.029 < waste < 0.06
+
+    def test_beats_both_periodic_protocols_at_high_alpha(self, paper_parameters, paper_workload):
+        composite = AbftPeriodicCkptModel(paper_parameters).waste(paper_workload)
+        pure = PurePeriodicCkptModel(paper_parameters).waste(paper_workload)
+        bi = BiPeriodicCkptModel(paper_parameters).waste(paper_workload)
+        assert composite < bi < pure
+
+    def test_waste_decreases_with_alpha(self, paper_parameters):
+        model = AbftPeriodicCkptModel(paper_parameters)
+        wastes = [
+            model.waste(ApplicationWorkload.single_epoch(1 * WEEK, alpha))
+            for alpha in (0.0, 0.5, 1.0)
+        ]
+        assert wastes[0] > wastes[1] > wastes[2]
+
+    def test_safeguard_falls_back_for_tiny_library_phase(self, paper_parameters):
+        # A library phase far shorter than the optimal checkpoint interval.
+        workload = ApplicationWorkload.iterative(100, 10 * MINUTE, 0.05)
+        guarded = AbftPeriodicCkptModel(paper_parameters, safeguard=True)
+        unguarded = AbftPeriodicCkptModel(paper_parameters, safeguard=False)
+        assert guarded.waste(workload) <= unguarded.waste(workload)
+        details = guarded.evaluate(workload).details
+        assert details["epochs_with_abft"] == 0
+
+    def test_non_abft_capable_phase_uses_checkpointing(self, paper_parameters):
+        protected = ApplicationWorkload.single_epoch(1 * WEEK, 0.8, abft_capable=True)
+        unprotected = ApplicationWorkload.single_epoch(1 * WEEK, 0.8, abft_capable=False)
+        model = AbftPeriodicCkptModel(paper_parameters)
+        assert model.waste(unprotected) > model.waste(protected)
+        assert model.evaluate(unprotected).details["epochs_with_abft"] == 0
+
+    def test_per_epoch_vs_collapsed(self, paper_parameters):
+        workload = ApplicationWorkload.iterative(50, 4 * 60 * MINUTE, 0.8)
+        per_epoch = AbftPeriodicCkptModel(paper_parameters, per_epoch=True).waste(workload)
+        collapsed = AbftPeriodicCkptModel(paper_parameters, per_epoch=False).waste(workload)
+        # Per-epoch analysis pays forced checkpoints per epoch, never less.
+        assert per_epoch >= collapsed
+
+    def test_short_general_phase_uses_unprotected_branch(self, paper_parameters):
+        workload = ApplicationWorkload.single_epoch(1 * WEEK, 0.999)
+        details = AbftPeriodicCkptModel(paper_parameters).evaluate(workload).details
+        assert details["epochs_with_periodic_general"] == 0
+
+
+class TestNoFaultToleranceModel:
+    def test_exponential_blowup(self, paper_parameters):
+        short = ApplicationWorkload.single_epoch(30 * MINUTE, 0.8)
+        long = ApplicationWorkload.single_epoch(10 * 120 * MINUTE, 0.8)
+        model = NoFaultToleranceModel(paper_parameters)
+        assert model.waste(short) < 0.3
+        assert model.waste(long) > 0.9
+
+    def test_worse_than_checkpointing_for_long_jobs(self, paper_parameters, paper_workload):
+        no_ft = NoFaultToleranceModel(paper_parameters).waste(paper_workload)
+        pure = PurePeriodicCkptModel(paper_parameters).waste(paper_workload)
+        assert no_ft > pure
+
+    def test_expected_time_at_least_t0(self, paper_parameters):
+        workload = ApplicationWorkload.single_epoch(1 * MINUTE, 0.5)
+        prediction = NoFaultToleranceModel(paper_parameters).evaluate(workload)
+        assert prediction.final_time >= workload.total_time

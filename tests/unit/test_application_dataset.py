@@ -1,0 +1,43 @@
+"""Unit tests for the dataset partition (rho split)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.application import DatasetPartition
+
+
+class TestDatasetPartition:
+    def test_split_sizes(self):
+        part = DatasetPartition(total_memory=1000.0, library_fraction=0.8)
+        assert part.library_memory == pytest.approx(800.0)
+        assert part.remainder_memory == pytest.approx(200.0)
+        assert part.rho == 0.8
+
+    def test_extremes(self):
+        assert DatasetPartition(10.0, 0.0).library_memory == 0.0
+        assert DatasetPartition(10.0, 1.0).remainder_memory == 0.0
+
+    def test_split_cost_matches_paper_relation(self):
+        part = DatasetPartition(total_memory=0.0, library_fraction=0.8)
+        library_cost, remainder_cost = part.split_cost(600.0)
+        assert library_cost == pytest.approx(0.8 * 600.0)
+        assert library_cost + remainder_cost == pytest.approx(600.0)
+
+    def test_with_total_memory(self):
+        part = DatasetPartition(100.0, 0.5).with_total_memory(200.0)
+        assert part.total_memory == 200.0
+        assert part.library_fraction == 0.5
+
+    def test_scaled(self):
+        part = DatasetPartition(100.0, 0.25).scaled(3.0)
+        assert part.total_memory == 300.0
+        assert part.library_fraction == 0.25
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DatasetPartition(-1.0, 0.5)
+        with pytest.raises(ValueError):
+            DatasetPartition(1.0, 1.5)
+        with pytest.raises(ValueError):
+            DatasetPartition(1.0, 0.5).split_cost(-1.0)

@@ -1,0 +1,64 @@
+"""Unit tests for phases and epochs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.application import Epoch, GeneralPhase, LibraryPhase, PhaseKind
+
+
+class TestPhases:
+    def test_general_phase(self):
+        phase = GeneralPhase(100.0)
+        assert phase.is_general and not phase.is_library
+        assert phase.kind is PhaseKind.GENERAL
+        assert phase.duration == 100.0
+
+    def test_library_phase_default_abft_capable(self):
+        phase = LibraryPhase(50.0)
+        assert phase.is_library
+        assert phase.abft_capable
+
+    def test_library_phase_non_abft(self):
+        assert LibraryPhase(50.0, abft_capable=False).abft_capable is False
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            GeneralPhase(-1.0)
+        with pytest.raises(ValueError):
+            LibraryPhase(-1.0)
+
+
+class TestEpoch:
+    def test_from_duration_split(self):
+        epoch = Epoch.from_duration(total=100.0, alpha=0.8)
+        assert epoch.library_time == pytest.approx(80.0)
+        assert epoch.general_time == pytest.approx(20.0)
+        assert epoch.total_time == pytest.approx(100.0)
+        assert epoch.alpha == pytest.approx(0.8)
+
+    def test_from_times(self):
+        epoch = Epoch.from_times(30.0, 70.0)
+        assert epoch.alpha == pytest.approx(0.7)
+
+    def test_alpha_extremes(self):
+        assert Epoch.from_duration(10.0, 0.0).alpha == 0.0
+        assert Epoch.from_duration(10.0, 1.0).alpha == 1.0
+
+    def test_abft_capability_propagates(self):
+        assert Epoch.from_duration(10.0, 0.5, abft_capable=False).abft_capable is False
+
+    def test_zero_total_rejected(self):
+        with pytest.raises(ValueError):
+            Epoch.from_times(0.0, 0.0)
+        with pytest.raises(ValueError):
+            Epoch.from_duration(0.0, 0.5)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            Epoch.from_duration(10.0, 1.5)
+
+    def test_scaled(self):
+        epoch = Epoch.from_times(10.0, 20.0).scaled(2.0, 0.5)
+        assert epoch.general_time == pytest.approx(20.0)
+        assert epoch.library_time == pytest.approx(10.0)

@@ -1,0 +1,103 @@
+"""Unit tests for the weak-scaling laws of Section V-C."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.application.scaling import (
+    KernelScalingLaw,
+    ScalingMode,
+    WeakScalingScenario,
+    gustafson_parallel_time,
+)
+from repro.experiments.config import paper_figure8_scenario, paper_figure9_scenario
+from repro.utils import DAY, MINUTE
+
+
+class TestGustafsonParallelTime:
+    def test_cubic_kernel_grows_as_sqrt(self):
+        assert gustafson_parallel_time(60.0, 40_000, 10_000, 3.0) == pytest.approx(120.0)
+
+    def test_quadratic_kernel_is_constant(self):
+        assert gustafson_parallel_time(60.0, 1_000_000, 10_000, 2.0) == pytest.approx(60.0)
+
+    def test_reference_point_identity(self):
+        assert gustafson_parallel_time(42.0, 10_000, 10_000, 3.0) == pytest.approx(42.0)
+
+    def test_downscaling(self):
+        assert gustafson_parallel_time(60.0, 2_500, 10_000, 3.0) == pytest.approx(30.0)
+
+
+class TestScalingMode:
+    def test_factors(self):
+        assert ScalingMode.CONSTANT.factor(100, 10) == 1.0
+        assert ScalingMode.LINEAR.factor(100, 10) == 10.0
+        assert ScalingMode.INVERSE.factor(100, 10) == pytest.approx(0.1)
+        assert ScalingMode.SQRT.factor(100, 25) == pytest.approx(2.0)
+
+
+class TestKernelScalingLaw:
+    def test_time_at(self):
+        law = KernelScalingLaw(reference_time=48.0, complexity_exponent=3.0)
+        assert law.time_at(40_000, 10_000) == pytest.approx(96.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KernelScalingLaw(reference_time=0.0, complexity_exponent=3.0)
+
+
+class TestWeakScalingScenario:
+    def test_paper_figure9_alpha_values(self):
+        # The paper prints alpha = 0.55, 0.8, 0.92, 0.975 under the x-axis.
+        scenario = paper_figure9_scenario()
+        assert scenario.alpha_at(1_000) == pytest.approx(0.55, abs=0.01)
+        assert scenario.alpha_at(10_000) == pytest.approx(0.80, abs=0.001)
+        assert scenario.alpha_at(100_000) == pytest.approx(0.92, abs=0.01)
+        assert scenario.alpha_at(1_000_000) == pytest.approx(0.975, abs=0.001)
+
+    def test_figure8_alpha_constant(self):
+        scenario = paper_figure8_scenario()
+        for nodes in (1_000, 10_000, 1_000_000):
+            assert scenario.alpha_at(nodes) == pytest.approx(0.8)
+
+    def test_checkpoint_and_mtbf_scaling(self):
+        scenario = paper_figure8_scenario()
+        assert scenario.checkpoint_at(10_000) == pytest.approx(1 * MINUTE)
+        assert scenario.checkpoint_at(100_000) == pytest.approx(10 * MINUTE)
+        assert scenario.mtbf_at(10_000) == pytest.approx(DAY)
+        assert scenario.mtbf_at(100_000) == pytest.approx(DAY / 10.0)
+
+    def test_total_time_scales_with_epoch_count(self):
+        scenario = paper_figure8_scenario()
+        assert scenario.total_time_at(10_000) == pytest.approx(1_000 * MINUTE)
+
+    def test_with_checkpoint_scaling(self):
+        scenario = paper_figure8_scenario().with_checkpoint_scaling(
+            ScalingMode.CONSTANT
+        )
+        assert scenario.checkpoint_at(1_000_000) == pytest.approx(1 * MINUTE)
+
+    def test_with_general_law(self):
+        scenario = paper_figure8_scenario().with_general_law(
+            KernelScalingLaw(reference_time=0.2 * MINUTE, complexity_exponent=2.0)
+        )
+        assert scenario.general_time_at(1_000_000) == pytest.approx(0.2 * MINUTE)
+
+    def test_validation(self):
+        scenario = paper_figure8_scenario()
+        with pytest.raises(ValueError):
+            WeakScalingScenario(
+                reference_nodes=scenario.reference_nodes,
+                epoch_count=scenario.epoch_count,
+                general_law=scenario.general_law,
+                library_law=scenario.library_law,
+                reference_checkpoint=scenario.reference_checkpoint,
+                reference_recovery=scenario.reference_recovery,
+                checkpoint_scaling=scenario.checkpoint_scaling,
+                reference_mtbf=scenario.reference_mtbf,
+                mtbf_scaling=scenario.mtbf_scaling,
+                downtime=scenario.downtime,
+                library_fraction=scenario.library_fraction,
+                abft_overhead=0.9,  # phi < 1 is invalid
+                abft_reconstruction=scenario.abft_reconstruction,
+            )

@@ -1,0 +1,89 @@
+"""Unit tests for application workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.application import ApplicationWorkload, Epoch
+
+
+class TestConstructors:
+    def test_single_epoch(self):
+        workload = ApplicationWorkload.single_epoch(100.0, 0.8)
+        assert workload.epoch_count == 1
+        assert workload.total_time == pytest.approx(100.0)
+        assert workload.alpha == pytest.approx(0.8)
+
+    def test_iterative(self):
+        workload = ApplicationWorkload.iterative(10, 60.0, 0.5)
+        assert workload.epoch_count == 10
+        assert workload.total_time == pytest.approx(600.0)
+        assert workload.total_library_time == pytest.approx(300.0)
+        assert workload.is_uniform()
+
+    def test_iterative_validation(self):
+        with pytest.raises(ValueError):
+            ApplicationWorkload.iterative(0, 60.0, 0.5)
+        with pytest.raises(ValueError):
+            ApplicationWorkload.iterative(3, -1.0, 0.5)
+
+    def test_from_epochs(self):
+        epochs = [Epoch.from_times(10.0, 30.0), Epoch.from_times(20.0, 40.0)]
+        workload = ApplicationWorkload.from_epochs(epochs)
+        assert workload.total_general_time == pytest.approx(30.0)
+        assert workload.total_library_time == pytest.approx(70.0)
+        assert not workload.is_uniform()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ApplicationWorkload.from_epochs([])
+
+
+class TestAccessors:
+    def test_alpha_aggregate(self):
+        epochs = [Epoch.from_times(10.0, 10.0), Epoch.from_times(30.0, 50.0)]
+        workload = ApplicationWorkload.from_epochs(epochs)
+        assert workload.alpha == pytest.approx(60.0 / 100.0)
+
+    def test_rho_comes_from_dataset(self):
+        workload = ApplicationWorkload.single_epoch(10.0, 0.5, library_fraction=0.6)
+        assert workload.rho == 0.6
+
+    def test_iteration_and_len(self):
+        workload = ApplicationWorkload.iterative(3, 10.0, 0.5)
+        assert len(workload) == 3
+        assert len(list(workload)) == 3
+
+    def test_phase_sequence_skips_empty_phases(self):
+        workload = ApplicationWorkload.single_epoch(10.0, 1.0)
+        sequence = workload.phase_sequence()
+        assert [kind for kind, _, _ in sequence] == ["library"]
+
+    def test_phase_sequence_order(self):
+        workload = ApplicationWorkload.iterative(2, 10.0, 0.5)
+        kinds = [kind for kind, _, _ in workload.phase_sequence()]
+        assert kinds == ["general", "library", "general", "library"]
+
+
+class TestTransforms:
+    def test_collapse_preserves_totals(self):
+        workload = ApplicationWorkload.iterative(5, 10.0, 0.4)
+        collapsed = workload.collapse()
+        assert collapsed.epoch_count == 1
+        assert collapsed.total_time == pytest.approx(workload.total_time)
+        assert collapsed.alpha == pytest.approx(workload.alpha)
+
+    def test_collapse_abft_capability(self):
+        epochs = [
+            Epoch.from_times(1.0, 2.0, abft_capable=True),
+            Epoch.from_times(1.0, 2.0, abft_capable=False),
+        ]
+        collapsed = ApplicationWorkload.from_epochs(epochs).collapse()
+        assert collapsed.epochs[0].abft_capable is False
+
+    def test_scaled(self):
+        workload = ApplicationWorkload.iterative(2, 10.0, 0.5, total_memory=100.0)
+        scaled = workload.scaled(general_factor=1.0, library_factor=2.0, memory_factor=3.0)
+        assert scaled.total_general_time == pytest.approx(10.0)
+        assert scaled.total_library_time == pytest.approx(20.0)
+        assert scaled.dataset.total_memory == pytest.approx(300.0)

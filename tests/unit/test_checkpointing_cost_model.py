@@ -1,0 +1,73 @@
+"""Unit tests for the checkpoint cost model and the scalar cost bundle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.application import DatasetPartition
+from repro.checkpointing import CheckpointCostModel, CheckpointCosts, RemoteFileSystemStorage
+from repro.failures import Platform
+from repro.utils import DAY, GB, MINUTE
+
+
+class TestCheckpointCosts:
+    def test_partial_costs_are_proportional(self):
+        costs = CheckpointCosts(
+            full_checkpoint=600.0,
+            full_recovery=600.0,
+            library_fraction=0.8,
+            downtime=60.0,
+        )
+        assert costs.library_checkpoint == pytest.approx(480.0)
+        assert costs.remainder_checkpoint == pytest.approx(120.0)
+        assert costs.library_recovery == pytest.approx(480.0)
+        assert costs.remainder_recovery == pytest.approx(120.0)
+
+    def test_paper_aliases(self):
+        costs = CheckpointCostModel.from_scalars(600.0, 300.0, library_fraction=0.5, downtime=60.0)
+        assert costs.C == 600.0
+        assert costs.R == 300.0
+        assert costs.D == 60.0
+        assert costs.rho == 0.5
+
+    def test_recovery_defaults_to_checkpoint(self):
+        costs = CheckpointCostModel.from_scalars(600.0)
+        assert costs.full_recovery == 600.0
+
+    def test_scaled_leaves_downtime(self):
+        costs = CheckpointCostModel.from_scalars(100.0, downtime=60.0).scaled(3.0)
+        assert costs.full_checkpoint == 300.0
+        assert costs.downtime == 60.0
+
+    def test_with_downtime(self):
+        costs = CheckpointCostModel.from_scalars(100.0).with_downtime(5.0)
+        assert costs.downtime == 5.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CheckpointCosts(-1.0, 1.0, 0.5, 1.0)
+        with pytest.raises(ValueError):
+            CheckpointCosts(1.0, 1.0, 1.5, 1.0)
+
+
+class TestCheckpointCostModel:
+    def test_costs_from_storage(self):
+        storage = RemoteFileSystemStorage(write_bandwidth=1000 * GB)
+        platform = Platform(
+            node_count=10_000, node_mtbf=10_000 * DAY, memory_per_node=60 * GB
+        )
+        dataset = DatasetPartition(
+            total_memory=platform.total_memory, library_fraction=0.8
+        )
+        model = CheckpointCostModel(storage, downtime=1 * MINUTE)
+        costs = model.costs(platform, dataset)
+        assert costs.full_checkpoint == pytest.approx(600.0)
+        assert costs.full_recovery == pytest.approx(600.0)
+        assert costs.library_fraction == 0.8
+        assert costs.downtime == 60.0
+
+    def test_properties(self):
+        storage = RemoteFileSystemStorage(write_bandwidth=1 * GB)
+        model = CheckpointCostModel(storage, downtime=5.0)
+        assert model.storage is storage
+        assert model.downtime == 5.0

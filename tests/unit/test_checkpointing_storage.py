@@ -1,0 +1,120 @@
+"""Unit tests for the checkpoint storage substrates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checkpointing import (
+    BuddyStorage,
+    IncrementalCheckpointing,
+    LocalStorage,
+    MultiLevelStorage,
+    RemoteFileSystemStorage,
+)
+from repro.utils import GB
+
+
+class TestRemoteFileSystemStorage:
+    def test_write_time_proportional_to_data(self):
+        storage = RemoteFileSystemStorage(write_bandwidth=100 * GB)
+        assert storage.write_time(600 * GB, 1000) == pytest.approx(6.0)
+        assert storage.write_time(1200 * GB, 1000) == pytest.approx(12.0)
+
+    def test_independent_of_node_count(self):
+        storage = RemoteFileSystemStorage(write_bandwidth=100 * GB)
+        assert storage.write_time(600 * GB, 10) == storage.write_time(600 * GB, 10000)
+
+    def test_read_bandwidth_defaults_to_write(self):
+        storage = RemoteFileSystemStorage(write_bandwidth=50 * GB)
+        assert storage.read_time(100 * GB, 1) == storage.write_time(100 * GB, 1)
+
+    def test_latency_added(self):
+        storage = RemoteFileSystemStorage(write_bandwidth=1 * GB, latency=2.0)
+        assert storage.write_time(1 * GB, 1) == pytest.approx(3.0)
+
+    def test_zero_data(self):
+        storage = RemoteFileSystemStorage(write_bandwidth=1 * GB, latency=2.0)
+        assert storage.write_time(0.0, 1) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RemoteFileSystemStorage(write_bandwidth=0.0)
+        storage = RemoteFileSystemStorage(write_bandwidth=1 * GB)
+        with pytest.raises(ValueError):
+            storage.write_time(-1.0, 1)
+        with pytest.raises(ValueError):
+            storage.write_time(1.0, 0)
+
+
+class TestLocalStorage:
+    def test_constant_under_weak_scaling(self):
+        storage = LocalStorage(node_write_bandwidth=1 * GB)
+        # Per-node volume constant: 10 GB per node.
+        small = storage.write_time(10 * GB * 100, 100)
+        large = storage.write_time(10 * GB * 100000, 100000)
+        assert small == pytest.approx(large)
+        assert small == pytest.approx(10.0)
+
+    def test_checkpoint_and_restart_times(self):
+        storage = LocalStorage(node_write_bandwidth=2 * GB, node_read_bandwidth=1 * GB)
+        c, r = storage.checkpoint_and_restart_times(100 * GB, 100)
+        assert c == pytest.approx(0.5)
+        assert r == pytest.approx(1.0)
+
+
+class TestBuddyStorage:
+    def test_constant_under_weak_scaling(self):
+        storage = BuddyStorage(link_bandwidth=5 * GB)
+        assert storage.write_time(10 * GB * 1000, 1000) == pytest.approx(2.0)
+        assert storage.write_time(10 * GB * 10**6, 10**6) == pytest.approx(2.0)
+
+    def test_read_equals_write(self):
+        storage = BuddyStorage(link_bandwidth=5 * GB)
+        assert storage.read_time(100 * GB, 10) == storage.write_time(100 * GB, 10)
+
+    def test_survival_probability_decreases_with_exposure(self):
+        storage = BuddyStorage(link_bandwidth=5 * GB)
+        assert storage.survival_probability(3600.0, 0.0) == 1.0
+        assert storage.survival_probability(3600.0, 60.0) < 1.0
+        assert storage.survival_probability(3600.0, 600.0) < storage.survival_probability(
+            3600.0, 60.0
+        )
+
+
+class TestMultiLevelStorage:
+    def test_write_is_between_levels(self):
+        local = LocalStorage(node_write_bandwidth=10 * GB)
+        remote = RemoteFileSystemStorage(write_bandwidth=100 * GB)
+        multi = MultiLevelStorage(local, remote, remote_fraction=0.5)
+        data, nodes = 1000 * GB, 100
+        assert (
+            local.write_time(data, nodes)
+            < multi.write_time(data, nodes)
+            < local.write_time(data, nodes) + remote.write_time(data, nodes)
+        )
+
+    def test_zero_remote_fraction_behaves_like_local(self):
+        local = LocalStorage(node_write_bandwidth=10 * GB)
+        remote = RemoteFileSystemStorage(write_bandwidth=100 * GB)
+        multi = MultiLevelStorage(local, remote, remote_fraction=0.0, remote_read_fraction=0.0)
+        assert multi.write_time(100 * GB, 10) == local.write_time(100 * GB, 10)
+        assert multi.read_time(100 * GB, 10) == local.read_time(100 * GB, 10)
+
+
+class TestIncrementalCheckpointing:
+    def test_write_covers_only_modified_fraction(self):
+        base = RemoteFileSystemStorage(write_bandwidth=1 * GB)
+        incremental = IncrementalCheckpointing(base, modified_fraction=0.8)
+        assert incremental.write_time(100 * GB, 10) == pytest.approx(
+            0.8 * base.write_time(100 * GB, 10)
+        )
+
+    def test_read_covers_full_dataset(self):
+        base = RemoteFileSystemStorage(write_bandwidth=1 * GB)
+        incremental = IncrementalCheckpointing(base, modified_fraction=0.2)
+        assert incremental.read_time(100 * GB, 10) == base.read_time(100 * GB, 10)
+
+    def test_validation(self):
+        base = RemoteFileSystemStorage(write_bandwidth=1 * GB)
+        with pytest.raises(ValueError):
+            IncrementalCheckpointing(base, modified_fraction=1.5)

@@ -1,0 +1,61 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure7_flags(self):
+        args = build_parser().parse_args(
+            ["figure7", "--validate", "--runs", "10", "--reduced"]
+        )
+        assert args.command == "figure7"
+        assert args.validate and args.reduced
+        assert args.runs == 10
+
+    def test_weak_scaling_flags(self):
+        args = build_parser().parse_args(
+            ["figure9", "--mtbf-scaling", "constant", "--nodes", "1000", "10000"]
+        )
+        assert args.mtbf_scaling == "constant"
+        assert args.nodes == [1000, 10000]
+
+    def test_abft_flags(self):
+        args = build_parser().parse_args(["abft", "--kernel", "cholesky", "--n", "32"])
+        assert args.kernel == "cholesky"
+        assert args.n == 32
+
+
+class TestMain:
+    def test_figure8_runs_and_prints(self, capsys):
+        exit_code = main(["figure8", "--nodes", "1000", "10000"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Figure 8" in captured
+        assert "waste[ABFT&PeriodicCkpt]" in captured
+
+    def test_figure10_csv_output(self, tmp_path, capsys):
+        csv_path = tmp_path / "fig10.csv"
+        exit_code = main(["figure10", "--csv", str(csv_path)])
+        assert exit_code == 0
+        assert csv_path.exists()
+        assert "nodes" in csv_path.read_text()
+
+    def test_figure7_reduced(self, capsys):
+        exit_code = main(["figure7", "--reduced"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Figure 7" in captured
+
+    def test_abft_command(self, capsys):
+        exit_code = main(["abft", "--kernel", "lu", "--n", "32", "--block-size", "8", "--trials", "1"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "measured phi" in captured

@@ -1,0 +1,52 @@
+"""Unit tests for the resilience parameter bundle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ResilienceParameters
+from repro.utils import MINUTE
+
+
+class TestResilienceParameters:
+    def test_paper_notation_accessors(self, paper_parameters):
+        params = paper_parameters
+        assert params.mtbf == 120 * MINUTE
+        assert params.full_checkpoint == 10 * MINUTE
+        assert params.full_recovery == 10 * MINUTE
+        assert params.downtime == 1 * MINUTE
+        assert params.rho == 0.8
+        assert params.phi == 1.03
+        assert params.library_checkpoint == pytest.approx(0.8 * 10 * MINUTE)
+        assert params.remainder_checkpoint == pytest.approx(0.2 * 10 * MINUTE)
+
+    def test_abft_failure_cost(self, paper_parameters):
+        expected = 60.0 + 0.2 * 600.0 + 2.0
+        assert paper_parameters.abft_failure_cost == pytest.approx(expected)
+
+    def test_rollback_failure_overhead(self, paper_parameters):
+        assert paper_parameters.rollback_failure_overhead == pytest.approx(660.0)
+
+    def test_remainder_recovery_override(self):
+        params = ResilienceParameters.from_scalars(
+            platform_mtbf=3600.0, checkpoint=60.0, remainder_recovery=7.0
+        )
+        assert params.remainder_recovery_cost == 7.0
+
+    def test_with_mtbf(self, paper_parameters):
+        assert paper_parameters.with_mtbf(60.0).mtbf == 60.0
+        # Original untouched (frozen dataclass).
+        assert paper_parameters.mtbf == 120 * MINUTE
+
+    def test_with_abft(self, paper_parameters):
+        updated = paper_parameters.with_abft(abft_overhead=1.1)
+        assert updated.phi == 1.1
+        assert updated.abft_reconstruction == paper_parameters.abft_reconstruction
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ResilienceParameters.from_scalars(platform_mtbf=-1.0, checkpoint=1.0)
+        with pytest.raises(ValueError):
+            ResilienceParameters.from_scalars(
+                platform_mtbf=1.0, checkpoint=1.0, abft_overhead=0.5
+            )

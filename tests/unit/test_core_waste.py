@@ -1,0 +1,56 @@
+"""Unit tests for the waste helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.waste import (
+    combine_wastes,
+    slowdown_to_waste,
+    waste_from_times,
+    waste_to_slowdown,
+)
+
+
+class TestWasteFromTimes:
+    def test_equation_12(self):
+        assert waste_from_times(100.0, 125.0) == pytest.approx(0.2)
+
+    def test_zero_waste(self):
+        assert waste_from_times(100.0, 100.0) == 0.0
+
+    def test_infinite_final_time(self):
+        assert waste_from_times(100.0, math.inf) == 1.0
+
+    def test_final_below_application_rejected(self):
+        with pytest.raises(ValueError):
+            waste_from_times(100.0, 99.0)
+
+
+class TestConversions:
+    def test_roundtrip(self):
+        assert slowdown_to_waste(waste_to_slowdown(0.3)) == pytest.approx(0.3)
+
+    def test_waste_one_is_infinite_slowdown(self):
+        assert math.isinf(waste_to_slowdown(1.0))
+        assert slowdown_to_waste(math.inf) == 1.0
+
+    def test_invalid_slowdown(self):
+        with pytest.raises(ValueError):
+            slowdown_to_waste(0.5)
+
+
+class TestCombineWastes:
+    def test_combination_is_time_weighted(self):
+        # Phase 1: waste 0.5 over T0=100; phase 2: waste 0 over T0=100.
+        combined = combine_wastes([(100.0, 200.0), (100.0, 100.0)])
+        assert combined == pytest.approx(1.0 - 200.0 / 300.0)
+
+    def test_single_part(self):
+        assert combine_wastes([(10.0, 20.0)]) == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            combine_wastes([])

@@ -1,0 +1,28 @@
+"""Unit tests for the one-shot reproduction report."""
+
+from __future__ import annotations
+
+from repro.experiments.report import reproduction_report
+
+
+class TestReproductionReport:
+    def test_report_contains_headline_sections(self):
+        report = reproduction_report(validation_runs=30, seed=1)
+        text = str(report)
+        assert "Figure 7 corner wastes" in text
+        assert "Figure 8" in text and "Figure 9" in text and "Figure 10" in text
+        assert "Model validation" in text
+
+    def test_validation_gap_is_small(self):
+        report = reproduction_report(validation_runs=30, seed=1)
+        assert abs(report.validation_gap) < 0.08
+
+    def test_crossovers_present_for_all_figures(self):
+        report = reproduction_report(validation_runs=30, seed=1)
+        assert set(report.crossovers) == {"Figure 8", "Figure 9", "Figure 10"}
+        for crossover in report.crossovers.values():
+            assert crossover is None or crossover <= 1_000_000
+
+    def test_corner_table_has_six_rows(self):
+        report = reproduction_report(validation_runs=30, seed=1)
+        assert len(report.figure7_corners) == 6

@@ -1,0 +1,68 @@
+"""Unit tests for the platform model and MTBF aggregation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.failures import Platform, platform_mtbf
+from repro.utils import DAY, GB
+
+
+class TestPlatformMtbf:
+    def test_division(self):
+        assert platform_mtbf(86400.0, 24) == 3600.0
+
+    def test_single_node(self):
+        assert platform_mtbf(100.0, 1) == 100.0
+
+    def test_rejects_bad_node_count(self):
+        with pytest.raises(ValueError):
+            platform_mtbf(100.0, 0)
+        with pytest.raises(ValueError):
+            platform_mtbf(100.0, 2.5)  # type: ignore[arg-type]
+
+
+class TestPlatform:
+    def test_aggregate_mtbf(self):
+        platform = Platform(node_count=10_000, node_mtbf=10_000 * DAY)
+        assert platform.mtbf == pytest.approx(DAY)
+
+    def test_from_platform_mtbf_inverts(self):
+        platform = Platform.from_platform_mtbf(10_000, DAY)
+        assert platform.mtbf == pytest.approx(DAY)
+        assert platform.node_mtbf == pytest.approx(10_000 * DAY)
+
+    def test_total_memory(self):
+        platform = Platform(node_count=100, node_mtbf=DAY, memory_per_node=2 * GB)
+        assert platform.total_memory == 200 * GB
+
+    def test_failure_model_mtbf(self):
+        platform = Platform(node_count=10, node_mtbf=100.0)
+        assert platform.failure_model().mtbf == pytest.approx(10.0)
+
+    def test_scaled_to_preserves_node_characteristics(self):
+        base = Platform(node_count=1_000, node_mtbf=DAY, memory_per_node=GB)
+        scaled = base.scaled_to(10_000)
+        assert scaled.node_mtbf == base.node_mtbf
+        assert scaled.mtbf == pytest.approx(base.mtbf / 10.0)
+        assert scaled.total_memory == pytest.approx(10 * base.total_memory)
+
+    def test_node_accessor_and_bounds(self):
+        platform = Platform(node_count=4, node_mtbf=DAY)
+        assert platform.node(3).index == 3
+        with pytest.raises(IndexError):
+            platform.node(4)
+
+    def test_sample_failed_node_uniform(self, rng):
+        platform = Platform(node_count=8, node_mtbf=DAY)
+        samples = [platform.sample_failed_node(rng) for _ in range(4000)]
+        counts = np.bincount(samples, minlength=8)
+        assert counts.min() > 0
+        assert counts.max() / counts.min() < 1.6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Platform(node_count=0, node_mtbf=DAY)
+        with pytest.raises(ValueError):
+            Platform(node_count=10, node_mtbf=-1.0)

@@ -1,0 +1,74 @@
+"""Unit tests for :class:`repro.failures.timeline.FailureTimeline`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.failures import ExponentialFailureModel, FailureTimeline
+
+
+class TestFailureTimeline:
+    def test_next_failure_is_strictly_after_query(self, rng):
+        timeline = FailureTimeline(ExponentialFailureModel(10.0), rng)
+        t = timeline.next_failure_after(0.0)
+        assert t > 0.0
+        assert timeline.next_failure_after(t) > t
+
+    def test_monotone_queries(self, rng):
+        timeline = FailureTimeline(ExponentialFailureModel(5.0), rng)
+        previous = 0.0
+        for _ in range(100):
+            nxt = timeline.next_failure_after(previous)
+            assert nxt > previous
+            previous = nxt
+
+    def test_idempotent_query(self, rng):
+        timeline = FailureTimeline(ExponentialFailureModel(5.0), rng)
+        assert timeline.next_failure_after(3.0) == timeline.next_failure_after(3.0)
+
+    def test_negative_time_clamped(self, rng):
+        timeline = FailureTimeline(ExponentialFailureModel(5.0), rng)
+        assert timeline.next_failure_after(-10.0) > 0.0
+
+    def test_failures_in_interval(self, rng):
+        timeline = FailureTimeline(ExponentialFailureModel(1.0), rng)
+        failures = timeline.failures_in(0.0, 100.0)
+        assert np.all(failures > 0.0)
+        assert np.all(failures <= 100.0)
+        assert np.all(np.diff(failures) > 0)
+
+    def test_failures_in_rejects_reversed_interval(self, rng):
+        timeline = FailureTimeline(ExponentialFailureModel(1.0), rng)
+        with pytest.raises(ValueError):
+            timeline.failures_in(10.0, 5.0)
+
+    def test_count_until(self, rng):
+        timeline = FailureTimeline(ExponentialFailureModel(1.0), rng)
+        count = timeline.count_failures_until(500.0)
+        assert count == pytest.approx(500, rel=0.25)
+
+    def test_from_times_scripted(self):
+        timeline = FailureTimeline.from_times([5.0, 12.0])
+        assert timeline.next_failure_after(0.0) == 5.0
+        assert timeline.next_failure_after(5.0) == 12.0
+        # Past the script: the guard value means "no further failure".
+        assert timeline.next_failure_after(12.0) > 1e20
+
+    def test_from_times_empty_means_no_failures(self):
+        timeline = FailureTimeline.from_times([])
+        assert timeline.next_failure_after(0.0) > 1e20
+
+    def test_from_times_validates_order(self):
+        with pytest.raises(ValueError):
+            FailureTimeline.from_times([3.0, 2.0])
+
+    def test_bad_batch_size(self, rng):
+        with pytest.raises(ValueError):
+            FailureTimeline(ExponentialFailureModel(1.0), rng, batch_size=0)
+
+    def test_determinism_for_same_seed(self):
+        model = ExponentialFailureModel(3.0)
+        t1 = FailureTimeline(model, np.random.default_rng(9))
+        t2 = FailureTimeline(model, np.random.default_rng(9))
+        assert t1.next_failure_after(0.0) == t2.next_failure_after(0.0)

@@ -1,0 +1,205 @@
+"""Unit tests for the discrete-event protocol simulators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ApplicationWorkload
+from repro.core.protocols import (
+    AbftPeriodicCkptSimulator,
+    BiPeriodicCkptSimulator,
+    NoFaultToleranceSimulator,
+    PurePeriodicCkptSimulator,
+)
+from repro.failures import FailureTimeline
+from repro.simulation.events import EventKind
+from repro.utils import HOUR, MINUTE
+
+
+class TestFailureFreeExecutions:
+    """With a failure-free timeline the makespan equals the fault-free time."""
+
+    def test_pure_periodic_fault_free_makespan(self, paper_parameters, small_workload):
+        simulator = PurePeriodicCkptSimulator(paper_parameters, small_workload)
+        trace = simulator.simulate(timeline=FailureTimeline.from_times([]))
+        period = simulator.period()
+        work = small_workload.total_time
+        checkpoints = int(np.ceil(work / (period - paper_parameters.full_checkpoint))) - 1
+        expected = work + checkpoints * paper_parameters.full_checkpoint
+        assert trace.failure_count == 0
+        assert trace.makespan == pytest.approx(expected, rel=1e-6)
+        assert trace.breakdown.useful_work == pytest.approx(work)
+        assert trace.breakdown.lost_work == 0.0
+
+    def test_composite_fault_free_makespan(self, paper_parameters, small_workload):
+        simulator = AbftPeriodicCkptSimulator(paper_parameters, small_workload)
+        trace = simulator.simulate(timeline=FailureTimeline.from_times([]))
+        params = paper_parameters
+        general = small_workload.total_general_time
+        library = small_workload.total_library_time
+        period = simulator.general_period()
+        # General phase (longer than the period here): periodic checkpoints,
+        # trailing one included; library: phi * T_L + exit checkpoint C_L.
+        chunks = int(np.ceil(general / (period - params.full_checkpoint)))
+        expected = (
+            general
+            + chunks * params.full_checkpoint
+            + params.phi * library
+            + params.library_checkpoint
+        )
+        assert trace.makespan == pytest.approx(expected, rel=1e-6)
+        assert trace.breakdown.abft_overhead == pytest.approx(
+            (params.phi - 1.0) * library, rel=1e-6
+        )
+
+    def test_no_ft_fault_free(self, paper_parameters, small_workload):
+        trace = NoFaultToleranceSimulator(paper_parameters, small_workload).simulate(
+            timeline=FailureTimeline.from_times([])
+        )
+        assert trace.makespan == pytest.approx(small_workload.total_time)
+        assert trace.waste == pytest.approx(0.0)
+
+
+class TestScriptedFailures:
+    """Deterministic scenarios with hand-placed failures."""
+
+    def test_single_failure_rolls_back_to_last_checkpoint(self, paper_parameters):
+        workload = ApplicationWorkload.single_epoch(4 * HOUR, 0.0)
+        simulator = PurePeriodicCkptSimulator(
+            paper_parameters, workload, period=60 * MINUTE
+        )
+        # One failure 30 minutes into the second period.
+        fail_time = 60 * MINUTE + 30 * MINUTE
+        trace = simulator.simulate(timeline=FailureTimeline.from_times([fail_time]))
+        no_fail = simulator.simulate(timeline=FailureTimeline.from_times([]))
+        lost = 30 * MINUTE  # work+checkpoint time elapsed in the failed period
+        penalty = paper_parameters.downtime + paper_parameters.full_recovery
+        assert trace.failure_count == 1
+        assert trace.makespan == pytest.approx(no_fail.makespan + lost + penalty)
+        assert trace.breakdown.lost_work == pytest.approx(lost)
+
+    def test_failure_during_abft_library_loses_no_work(self, paper_parameters):
+        workload = ApplicationWorkload.single_epoch(10 * HOUR, 1.0)
+        simulator = AbftPeriodicCkptSimulator(paper_parameters, workload)
+        fail_time = 2 * HOUR
+        trace = simulator.simulate(timeline=FailureTimeline.from_times([fail_time]))
+        no_fail = simulator.simulate(timeline=FailureTimeline.from_times([]))
+        penalty = paper_parameters.abft_failure_cost
+        assert trace.failure_count == 1
+        assert trace.makespan == pytest.approx(no_fail.makespan + penalty)
+        assert trace.breakdown.lost_work == 0.0
+        assert trace.breakdown.abft_recovery == pytest.approx(
+            paper_parameters.abft_reconstruction
+        )
+
+    def test_failure_during_recovery_restarts_recovery(self, paper_parameters):
+        workload = ApplicationWorkload.single_epoch(4 * HOUR, 0.0)
+        simulator = PurePeriodicCkptSimulator(
+            paper_parameters, workload, period=60 * MINUTE
+        )
+        first_failure = 90 * MINUTE
+        # Second failure strikes 2 minutes into the downtime+recovery window.
+        second_failure = first_failure + 2 * MINUTE
+        trace = simulator.simulate(
+            timeline=FailureTimeline.from_times([first_failure, second_failure])
+        )
+        no_fail = simulator.simulate(timeline=FailureTimeline.from_times([]))
+        penalty = paper_parameters.downtime + paper_parameters.full_recovery
+        expected = no_fail.makespan + 30 * MINUTE + 2 * MINUTE + penalty
+        assert trace.failure_count == 2
+        assert trace.makespan == pytest.approx(expected)
+
+    def test_composite_short_general_phase_restarts_from_phase_start(
+        self, paper_parameters
+    ):
+        # General phase (20 min) shorter than the optimal period: a failure
+        # inside it re-executes the phase from its beginning.
+        workload = ApplicationWorkload.single_epoch(100 * MINUTE, 0.8)
+        simulator = AbftPeriodicCkptSimulator(paper_parameters, workload)
+        fail_time = 10 * MINUTE
+        trace = simulator.simulate(timeline=FailureTimeline.from_times([fail_time]))
+        no_fail = simulator.simulate(timeline=FailureTimeline.from_times([]))
+        penalty = paper_parameters.downtime + paper_parameters.full_recovery
+        assert trace.makespan == pytest.approx(
+            no_fail.makespan + 10 * MINUTE + penalty
+        )
+
+
+class TestTraceConsistency:
+    def test_breakdown_sums_to_makespan(self, paper_parameters, small_workload, rng):
+        for simulator_cls in (
+            PurePeriodicCkptSimulator,
+            BiPeriodicCkptSimulator,
+            AbftPeriodicCkptSimulator,
+        ):
+            simulator = simulator_cls(paper_parameters, small_workload)
+            trace = simulator.simulate(rng=rng)
+            assert trace.breakdown.total == pytest.approx(trace.makespan, rel=1e-9)
+
+    def test_useful_work_equals_application_time(
+        self, paper_parameters, small_workload, rng
+    ):
+        for simulator_cls in (
+            PurePeriodicCkptSimulator,
+            BiPeriodicCkptSimulator,
+            AbftPeriodicCkptSimulator,
+        ):
+            trace = simulator_cls(paper_parameters, small_workload).simulate(rng=rng)
+            assert trace.breakdown.useful_work == pytest.approx(
+                small_workload.total_time, rel=1e-9
+            )
+
+    def test_waste_non_negative_and_below_one(
+        self, paper_parameters, small_workload, rng
+    ):
+        for simulator_cls in (
+            NoFaultToleranceSimulator,
+            PurePeriodicCkptSimulator,
+            BiPeriodicCkptSimulator,
+            AbftPeriodicCkptSimulator,
+        ):
+            trace = simulator_cls(paper_parameters, small_workload).simulate(rng=rng)
+            assert 0.0 <= trace.waste < 1.0
+
+    def test_reproducible_with_same_seed(self, paper_parameters, small_workload):
+        simulator = AbftPeriodicCkptSimulator(paper_parameters, small_workload)
+        a = simulator.simulate(seed=123)
+        b = simulator.simulate(seed=123)
+        assert a.makespan == b.makespan
+        assert a.failure_count == b.failure_count
+
+    def test_no_periodic_checkpoint_inside_abft_phase(
+        self, paper_parameters, small_workload
+    ):
+        simulator = AbftPeriodicCkptSimulator(
+            paper_parameters, small_workload, record_events=True
+        )
+        trace = simulator.simulate(seed=3)
+        # Checkpoints recorded during the ABFT section can only be the exit
+        # partial checkpoint, which carries payload during='checkpoint' when
+        # it fails; assert there is exactly one checkpoint per library phase
+        # plus the periodic ones of the general phase.
+        library_starts = trace.count_events(EventKind.LIBRARY_PHASE_START)
+        library_ends = trace.count_events(EventKind.LIBRARY_PHASE_END)
+        assert library_starts == library_ends == small_workload.epoch_count
+
+    def test_metadata_contains_period(self, paper_parameters, small_workload):
+        trace = PurePeriodicCkptSimulator(paper_parameters, small_workload).simulate(seed=1)
+        assert trace.metadata["period"] > 0
+        assert trace.metadata["truncated"] is False
+
+    def test_truncation_in_infeasible_regime(self, paper_parameters):
+        # MTBF of 2 minutes with 10-minute checkpoints: hopeless regime.
+        params = paper_parameters.with_mtbf(2 * MINUTE)
+        workload = ApplicationWorkload.single_epoch(10 * HOUR, 0.0)
+        simulator = PurePeriodicCkptSimulator(
+            params, workload, max_slowdown=20.0
+        )
+        trace = simulator.simulate(seed=5)
+        assert trace.metadata["truncated"] is True
+        assert trace.waste > 0.9
+
+    def test_max_slowdown_validation(self, paper_parameters, small_workload):
+        with pytest.raises(ValueError):
+            PurePeriodicCkptSimulator(paper_parameters, small_workload, max_slowdown=0.5)

@@ -1,0 +1,135 @@
+"""Unit tests for the generic discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation import Event, EventKind, SimulationEngine, SimulationError
+
+
+class TestScheduling:
+    def test_events_dispatch_in_time_order(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.subscribe_all(lambda eng, ev: seen.append(ev.time))
+        engine.schedule(5.0, EventKind.FAILURE)
+        engine.schedule(2.0, EventKind.FAILURE)
+        engine.schedule(9.0, EventKind.CUSTOM)
+        engine.run()
+        assert seen == [2.0, 5.0, 9.0]
+
+    def test_equal_times_keep_insertion_order(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.subscribe_all(lambda eng, ev: seen.append(ev.payload["tag"]))
+        engine.schedule(1.0, EventKind.CUSTOM, {"tag": "a"})
+        engine.schedule(1.0, EventKind.CUSTOM, {"tag": "b"})
+        engine.run()
+        assert seen == ["a", "b"]
+
+    def test_cannot_schedule_in_the_past(self):
+        engine = SimulationEngine()
+        engine.schedule(1.0, EventKind.CUSTOM)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.schedule(0.5, EventKind.CUSTOM)
+
+    def test_schedule_after(self):
+        engine = SimulationEngine(start_time=10.0)
+        event = engine.schedule_after(5.0, EventKind.CUSTOM)
+        assert event.time == 15.0
+        with pytest.raises(SimulationError):
+            engine.schedule_after(-1.0, EventKind.CUSTOM)
+
+    def test_schedule_events_bulk(self):
+        engine = SimulationEngine()
+        events = [Event(time=float(t), kind=EventKind.FAILURE) for t in (3, 1, 2)]
+        engine.schedule_events(events)
+        engine.run()
+        assert engine.processed == 3
+        assert engine.now == 3.0
+
+
+class TestHandlers:
+    def test_kind_specific_handler(self):
+        engine = SimulationEngine()
+        failures = []
+        engine.subscribe(EventKind.FAILURE, lambda eng, ev: failures.append(ev.time))
+        engine.schedule(1.0, EventKind.FAILURE)
+        engine.schedule(2.0, EventKind.CUSTOM)
+        engine.run()
+        assert failures == [1.0]
+
+    def test_handler_can_schedule_more_events(self):
+        engine = SimulationEngine()
+        count = {"n": 0}
+
+        def chain(eng, event):
+            count["n"] += 1
+            if count["n"] < 5:
+                eng.schedule_after(1.0, EventKind.CUSTOM)
+
+        engine.subscribe(EventKind.CUSTOM, chain)
+        engine.schedule(0.0, EventKind.CUSTOM)
+        engine.run()
+        assert count["n"] == 5
+        assert engine.now == 4.0
+
+    def test_stop_from_handler(self):
+        engine = SimulationEngine()
+        engine.subscribe(EventKind.CUSTOM, lambda eng, ev: eng.stop())
+        engine.schedule(1.0, EventKind.CUSTOM)
+        engine.schedule(2.0, EventKind.CUSTOM)
+        engine.run()
+        assert engine.processed == 1
+        assert engine.pending == 1
+
+
+class TestRunControl:
+    def test_run_until(self):
+        engine = SimulationEngine()
+        engine.schedule(1.0, EventKind.CUSTOM)
+        engine.schedule(10.0, EventKind.CUSTOM)
+        engine.run(until=5.0)
+        assert engine.processed == 1
+        assert engine.now == 5.0
+
+    def test_max_events_guard(self):
+        engine = SimulationEngine()
+
+        def forever(eng, event):
+            eng.schedule_after(1.0, EventKind.CUSTOM)
+
+        engine.subscribe(EventKind.CUSTOM, forever)
+        engine.schedule(0.0, EventKind.CUSTOM)
+        with pytest.raises(SimulationError, match="max_events"):
+            engine.run(max_events=50)
+
+    def test_advance_to(self):
+        engine = SimulationEngine()
+        engine.advance_to(42.0)
+        assert engine.now == 42.0
+        with pytest.raises(SimulationError):
+            engine.advance_to(10.0)
+
+    def test_step_on_empty_queue(self):
+        assert SimulationEngine().step() is None
+
+    def test_negative_start_time_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationEngine(start_time=-1.0)
+
+
+class TestEvent:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            Event(time=-1.0, kind=EventKind.FAILURE)
+
+    def test_with_payload(self):
+        event = Event(time=1.0, kind=EventKind.FAILURE, payload={"a": 1})
+        updated = event.with_payload(b=2)
+        assert updated.payload == {"a": 1, "b": 2}
+        assert event.payload == {"a": 1}
+
+    def test_str_contains_kind(self):
+        assert "failure" in str(Event(time=1.0, kind=EventKind.FAILURE))

@@ -1,0 +1,60 @@
+"""Unit tests for the reproducible random-stream factory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation import RandomStreams
+
+
+class TestRandomStreams:
+    def test_same_name_returns_same_generator(self):
+        streams = RandomStreams(seed=1)
+        assert streams.get("failures") is streams.get("failures")
+
+    def test_different_names_are_independent_objects(self):
+        streams = RandomStreams(seed=1)
+        assert streams.get("a") is not streams.get("b")
+
+    def test_reproducible_across_instances(self):
+        a = RandomStreams(seed=1234).get("failures")
+        b = RandomStreams(seed=1234).get("failures")
+        assert a.random() == b.random()
+
+    def test_different_seeds_differ(self):
+        a = RandomStreams(seed=1).get("failures")
+        b = RandomStreams(seed=2).get("failures")
+        assert a.random() != b.random()
+
+    def test_child_families_reproducible(self):
+        a = RandomStreams(seed=7).child(3).get("failures")
+        b = RandomStreams(seed=7).child(3).get("failures")
+        assert a.random() == b.random()
+
+    def test_child_families_independent(self):
+        parent = RandomStreams(seed=7)
+        a = parent.child(0).get("failures")
+        b = parent.child(1).get("failures")
+        assert a.random() != b.random()
+
+    def test_child_order_does_not_matter(self):
+        parent = RandomStreams(seed=11)
+        late = parent.child(5).get("x").random()
+        other_parent = RandomStreams(seed=11)
+        other_parent.child(0)  # create a different child first
+        assert other_parent.child(5).get("x").random() == late
+
+    def test_generator_for_trial_shortcut(self):
+        parent = RandomStreams(seed=3)
+        assert (
+            parent.generator_for_trial(2).random()
+            == RandomStreams(seed=3).child(2).get("failures").random()
+        )
+
+    def test_negative_child_index_rejected(self):
+        with pytest.raises(ValueError):
+            RandomStreams(seed=1).child(-1)
+
+    def test_seed_property(self):
+        assert RandomStreams(seed=42).seed == 42
+        assert RandomStreams().seed is None

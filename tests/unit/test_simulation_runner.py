@@ -1,0 +1,80 @@
+"""Unit tests for the Monte-Carlo runner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulation import MonteCarloRunner, run_monte_carlo
+from repro.simulation.trace import ExecutionTrace, TimeBreakdown
+
+
+def _fake_simulation(rng: np.random.Generator) -> ExecutionTrace:
+    """A toy stochastic 'simulation': makespan = 100 + Exp(10)."""
+    extra = float(rng.exponential(10.0))
+    return ExecutionTrace(
+        protocol="toy",
+        application_time=100.0,
+        makespan=100.0 + extra,
+        failure_count=int(extra > 10.0),
+        breakdown=TimeBreakdown(useful_work=100.0, lost_work=extra),
+    )
+
+
+class TestRunMonteCarlo:
+    def test_basic_aggregation(self):
+        result = run_monte_carlo(_fake_simulation, runs=200, seed=1)
+        assert result.runs == 200
+        assert result.protocol == "toy"
+        assert result.application_time == 100.0
+        assert 0.0 < result.mean_waste < 0.5
+        assert result.waste.count == 200
+
+    def test_reproducible_with_seed(self):
+        a = run_monte_carlo(_fake_simulation, runs=50, seed=7)
+        b = run_monte_carlo(_fake_simulation, runs=50, seed=7)
+        assert a.mean_waste == b.mean_waste
+        assert a.mean_makespan == b.mean_makespan
+
+    def test_different_seeds_differ(self):
+        a = run_monte_carlo(_fake_simulation, runs=50, seed=1)
+        b = run_monte_carlo(_fake_simulation, runs=50, seed=2)
+        assert a.mean_waste != b.mean_waste
+
+    def test_keep_traces(self):
+        result = run_monte_carlo(_fake_simulation, runs=10, seed=1, keep_traces=True)
+        assert len(result.traces) == 10
+
+    def test_traces_not_kept_by_default(self):
+        result = run_monte_carlo(_fake_simulation, runs=10, seed=1)
+        assert result.traces == ()
+
+    def test_invalid_runs(self):
+        with pytest.raises(ValueError):
+            run_monte_carlo(_fake_simulation, runs=0)
+
+    def test_mean_waste_matches_expectation(self):
+        # E[waste] = E[1 - 100/(100+X)] with X ~ Exp(10); estimate loosely.
+        result = run_monte_carlo(_fake_simulation, runs=3000, seed=3)
+        assert result.mean_waste == pytest.approx(0.085, abs=0.02)
+
+
+class TestMonteCarloRunner:
+    def test_runner_run(self):
+        runner = MonteCarloRunner(runs=20, seed=5)
+        result = runner.run(_fake_simulation)
+        assert result.runs == 20
+
+    def test_run_many_uses_distinct_seeds(self):
+        runner = MonteCarloRunner(runs=20, seed=5)
+        results = runner.run_many([_fake_simulation, _fake_simulation])
+        assert results[0].mean_waste != results[1].mean_waste
+
+    def test_invalid_runs(self):
+        with pytest.raises(ValueError):
+            MonteCarloRunner(runs=0)
+
+    def test_properties(self):
+        runner = MonteCarloRunner(runs=7, seed=9)
+        assert runner.runs == 7
+        assert runner.seed == 9

@@ -1,0 +1,108 @@
+"""Unit tests for traces, breakdowns and the trace recorder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation import EventKind, ExecutionTrace, TimeBreakdown, TraceRecorder
+
+
+class TestTimeBreakdown:
+    def test_add_and_total(self):
+        breakdown = TimeBreakdown()
+        breakdown.add("useful_work", 10.0)
+        breakdown.add("checkpointing", 2.0)
+        breakdown.add("useful_work", 5.0)
+        assert breakdown.useful_work == 15.0
+        assert breakdown.total == 17.0
+        assert breakdown.overhead == 2.0
+
+    def test_unknown_category(self):
+        with pytest.raises(KeyError):
+            TimeBreakdown().add("coffee", 1.0)
+
+    def test_negative_amount(self):
+        with pytest.raises(ValueError):
+            TimeBreakdown().add("useful_work", -1.0)
+
+    def test_as_dict_keys(self):
+        data = TimeBreakdown().as_dict()
+        assert set(data) == set(TimeBreakdown._FIELDS)
+
+    def test_merge(self):
+        a = TimeBreakdown(useful_work=1.0, downtime=2.0)
+        b = TimeBreakdown(useful_work=3.0, recovery=4.0)
+        merged = a.merge(b)
+        assert merged.useful_work == 4.0
+        assert merged.downtime == 2.0
+        assert merged.recovery == 4.0
+        # originals untouched
+        assert a.useful_work == 1.0
+
+
+class TestExecutionTrace:
+    def test_waste_formula(self):
+        trace = ExecutionTrace(
+            protocol="p",
+            application_time=100.0,
+            makespan=125.0,
+            failure_count=2,
+            breakdown=TimeBreakdown(useful_work=100.0, lost_work=25.0),
+        )
+        assert trace.waste == pytest.approx(0.2)
+        assert trace.slowdown == pytest.approx(1.25)
+
+    def test_event_filtering(self):
+        recorder = TraceRecorder("p", 10.0, record_events=True)
+        recorder.record(1.0, EventKind.FAILURE)
+        recorder.record(2.0, EventKind.CHECKPOINT_END)
+        recorder.record(3.0, EventKind.FAILURE)
+        trace = recorder.finish(12.0)
+        assert trace.count_events(EventKind.FAILURE) == 2
+        assert [e.time for e in trace.events_of_kind(EventKind.FAILURE)] == [1.0, 3.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExecutionTrace(
+                protocol="p",
+                application_time=0.0,
+                makespan=1.0,
+                failure_count=0,
+                breakdown=TimeBreakdown(),
+            )
+        with pytest.raises(ValueError):
+            ExecutionTrace(
+                protocol="p",
+                application_time=1.0,
+                makespan=1.0,
+                failure_count=-1,
+                breakdown=TimeBreakdown(),
+            )
+
+
+class TestTraceRecorder:
+    def test_counts_failures_even_without_event_recording(self):
+        recorder = TraceRecorder("p", 10.0, record_events=False)
+        recorder.record(1.0, EventKind.FAILURE)
+        recorder.record(2.0, EventKind.FAILURE)
+        trace = recorder.finish(11.0)
+        assert trace.failure_count == 2
+        assert trace.events == ()
+
+    def test_account_and_breakdown_consistency(self):
+        recorder = TraceRecorder("p", 10.0)
+        recorder.account("useful_work", 10.0)
+        recorder.account("checkpointing", 1.5)
+        recorder.account_many({"downtime": 0.5, "recovery": 1.0})
+        trace = recorder.finish(13.0)
+        assert trace.breakdown.total == pytest.approx(13.0)
+        assert trace.breakdown.total == pytest.approx(trace.makespan)
+
+    def test_account_rejects_negative(self):
+        with pytest.raises(ValueError):
+            TraceRecorder("p", 10.0).account("useful_work", -1.0)
+
+    def test_metadata_passthrough(self):
+        recorder = TraceRecorder("p", 10.0)
+        trace = recorder.finish(10.0, metadata={"period": 42.0})
+        assert trace.metadata["period"] == 42.0

@@ -1,0 +1,109 @@
+"""Unit tests for :mod:`repro.utils.stats`."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.utils.stats import (
+    RunningStatistics,
+    confidence_interval,
+    summarize,
+)
+
+
+class TestRunningStatistics:
+    def test_empty_statistics_are_nan(self):
+        acc = RunningStatistics()
+        assert acc.count == 0
+        assert math.isnan(acc.mean)
+        assert math.isnan(acc.std)
+        assert math.isnan(acc.minimum)
+
+    def test_mean_and_variance(self):
+        acc = RunningStatistics()
+        acc.extend([1.0, 2.0, 3.0, 4.0])
+        assert acc.mean == pytest.approx(2.5)
+        assert acc.variance == pytest.approx(np.var([1, 2, 3, 4], ddof=1))
+
+    def test_extrema(self):
+        acc = RunningStatistics()
+        acc.extend([3.0, -1.0, 7.0])
+        assert acc.minimum == -1.0
+        assert acc.maximum == 7.0
+
+    def test_matches_numpy_on_random_data(self):
+        data = np.random.default_rng(0).normal(size=500)
+        acc = RunningStatistics()
+        acc.extend(data.tolist())
+        assert acc.mean == pytest.approx(float(np.mean(data)))
+        assert acc.std == pytest.approx(float(np.std(data, ddof=1)))
+
+    def test_merge_equivalent_to_single_stream(self):
+        data = np.random.default_rng(1).normal(size=200)
+        left, right = RunningStatistics(), RunningStatistics()
+        left.extend(data[:80].tolist())
+        right.extend(data[80:].tolist())
+        left.merge(right)
+        reference = RunningStatistics()
+        reference.extend(data.tolist())
+        assert left.count == reference.count
+        assert left.mean == pytest.approx(reference.mean)
+        assert left.variance == pytest.approx(reference.variance)
+
+    def test_merge_with_empty(self):
+        acc = RunningStatistics()
+        acc.extend([1.0, 2.0])
+        acc.merge(RunningStatistics())
+        assert acc.count == 2
+
+    def test_to_summary_contains_interval(self):
+        acc = RunningStatistics()
+        acc.extend([1.0, 2.0, 3.0, 4.0, 5.0])
+        summary = acc.to_summary()
+        assert summary.ci_low < summary.mean < summary.ci_high
+        assert summary.count == 5
+
+    def test_single_sample_summary(self):
+        summary = summarize([2.0])
+        assert summary.mean == 2.0
+        assert math.isnan(summary.ci_half_width)
+
+
+class TestConfidenceInterval:
+    def test_empty(self):
+        low, high = confidence_interval([])
+        assert math.isnan(low) and math.isnan(high)
+
+    def test_single_sample_degenerates(self):
+        assert confidence_interval([3.0]) == (3.0, 3.0)
+
+    def test_interval_contains_mean(self):
+        data = [1.0, 2.0, 3.0, 4.0]
+        low, high = confidence_interval(data)
+        assert low < np.mean(data) < high
+
+    def test_wider_at_higher_confidence(self):
+        data = list(np.random.default_rng(2).normal(size=50))
+        low95, high95 = confidence_interval(data, 0.95)
+        low99, high99 = confidence_interval(data, 0.99)
+        assert (high99 - low99) > (high95 - low95)
+
+    def test_coverage_on_synthetic_data(self):
+        # The 95% interval on the mean of 200 N(0,1) samples should contain 0
+        # most of the time; check a deterministic batch.
+        rng = np.random.default_rng(7)
+        hits = 0
+        for _ in range(50):
+            data = rng.normal(size=200)
+            low, high = confidence_interval(data.tolist(), 0.95)
+            hits += int(low <= 0.0 <= high)
+        assert hits >= 44  # ~95% coverage with generous slack
+
+
+class TestSummaryString:
+    def test_str_contains_mean(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert "2" in str(summary)

@@ -1,0 +1,67 @@
+"""Unit tests for :mod:`repro.utils.tables`."""
+
+from __future__ import annotations
+
+import csv
+
+import pytest
+
+from repro.utils.tables import Table, format_table, write_csv
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, 0.25]], title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError, match="columns"):
+            format_table(["a", "b"], [[1]])
+
+    def test_boolean_rendering(self):
+        text = format_table(["flag"], [[True], [False]])
+        assert "yes" in text and "no" in text
+
+
+class TestTable:
+    def test_add_and_column(self):
+        table = Table(["nodes", "waste"])
+        table.add_row([1000, 0.1])
+        table.add_row([2000, 0.2])
+        assert table.column("waste") == [0.1, 0.2]
+        assert len(table) == 2
+
+    def test_unknown_column(self):
+        table = Table(["a"])
+        with pytest.raises(KeyError):
+            table.column("b")
+
+    def test_row_validation(self):
+        table = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row([1])
+
+    def test_to_csv_roundtrip(self):
+        table = Table(["x", "y"])
+        table.extend([[1, 2], [3, 4]])
+        rows = list(csv.reader(table.to_csv().splitlines()))
+        assert rows[0] == ["x", "y"]
+        assert rows[1] == ["1", "2"]
+
+    def test_write_creates_file(self, tmp_path):
+        table = Table(["x"])
+        table.add_row([1])
+        path = table.write(tmp_path / "sub" / "out.csv")
+        assert path.exists()
+        assert "x" in path.read_text()
+
+
+class TestWriteCsv:
+    def test_write_csv(self, tmp_path):
+        path = write_csv(tmp_path / "data.csv", ["h"], [[1], [2]])
+        content = path.read_text().strip().splitlines()
+        assert content[0] == "h"
+        assert content[1:] == ["1", "2"]

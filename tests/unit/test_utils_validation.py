@@ -1,0 +1,75 @@
+"""Unit tests for :mod:`repro.utils.validation`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.validation import (
+    require_fraction,
+    require_in_range,
+    require_non_negative,
+    require_positive,
+    require_probability,
+)
+
+
+class TestRequirePositive:
+    def test_accepts_positive(self):
+        assert require_positive(3) == 3.0
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="strictly positive"):
+            require_positive(0.0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            require_positive(-1.0)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN"):
+            require_positive(float("nan"))
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(TypeError):
+            require_positive("not-a-number")  # type: ignore[arg-type]
+
+    def test_message_contains_name(self):
+        with pytest.raises(ValueError, match="mtbf"):
+            require_positive(-1.0, "mtbf")
+
+
+class TestRequireNonNegative:
+    def test_accepts_zero(self):
+        assert require_non_negative(0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            require_non_negative(-0.5)
+
+
+class TestRequireInRange:
+    def test_inclusive_bounds(self):
+        assert require_in_range(0.0, 0.0, 1.0) == 0.0
+        assert require_in_range(1.0, 0.0, 1.0) == 1.0
+
+    def test_exclusive_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            require_in_range(0.0, 0.0, 1.0, inclusive=False)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            require_in_range(2.0, 0.0, 1.0)
+
+
+class TestFractionAndProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_valid_values(self, value):
+        assert require_probability(value) == value
+        assert require_fraction(value) == value
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, 7])
+    def test_invalid_values(self, value):
+        with pytest.raises(ValueError):
+            require_probability(value)
+        with pytest.raises(ValueError):
+            require_fraction(value)

@@ -1,0 +1,110 @@
+"""Unit tests for the optimal-period formulas and periodic building blocks."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.analytical import (
+    daly_period,
+    first_order_waste,
+    optimal_period,
+    paper_optimal_period,
+    periodic_final_time,
+    unprotected_final_time,
+    young_period,
+)
+from repro.utils import MINUTE
+
+
+class TestPeriodFormulas:
+    def test_young(self):
+        assert young_period(600.0, 7200.0) == pytest.approx(math.sqrt(2 * 600 * 7200))
+
+    def test_daly_adds_checkpoint(self):
+        assert daly_period(600.0, 7200.0) == pytest.approx(
+            young_period(600.0, 7200.0) + 600.0
+        )
+
+    def test_paper_equation_11(self):
+        # P_opt = sqrt(2 C (mu - D - R))
+        assert paper_optimal_period(600.0, 7200.0, 60.0, 600.0) == pytest.approx(
+            math.sqrt(2 * 600 * (7200 - 660))
+        )
+
+    def test_paper_formula_infeasible_returns_nan(self):
+        assert math.isnan(paper_optimal_period(600.0, 500.0, 60.0, 600.0))
+
+    def test_dispatch(self):
+        assert optimal_period(600.0, 7200.0, formula="young") == young_period(600.0, 7200.0)
+        assert optimal_period(600.0, 7200.0, formula="daly") == daly_period(600.0, 7200.0)
+        assert optimal_period(600.0, 7200.0, 60.0, 600.0) == paper_optimal_period(
+            600.0, 7200.0, 60.0, 600.0
+        )
+        with pytest.raises(ValueError):
+            optimal_period(600.0, 7200.0, formula="magic")
+
+    def test_period_grows_with_mtbf(self):
+        assert paper_optimal_period(600.0, 14400.0, 60.0, 600.0) > paper_optimal_period(
+            600.0, 7200.0, 60.0, 600.0
+        )
+
+
+class TestPeriodicFinalTime:
+    def test_hand_computed_value(self):
+        # mu = 120 min, C = R = 10 min, D = 1 min (Figure 7 parameters).
+        mu, c, r, d = 120 * MINUTE, 10 * MINUTE, 10 * MINUTE, 1 * MINUTE
+        period = paper_optimal_period(c, mu, d, r)
+        efficiency = (1 - c / period) * (1 - (d + r + period / 2) / mu)
+        expected = 1000.0 / efficiency
+        assert periodic_final_time(1000.0, c, mu, d, r) == pytest.approx(expected)
+
+    def test_zero_work(self):
+        assert periodic_final_time(0.0, 600.0, 7200.0, 60.0, 600.0) == 0.0
+
+    def test_zero_checkpoint_cost(self):
+        # Only the per-failure D + R overhead remains.
+        result = periodic_final_time(1000.0, 0.0, 7200.0, 60.0, 600.0)
+        assert result == pytest.approx(1000.0 / (1 - 660.0 / 7200.0))
+
+    def test_infeasible_regime(self):
+        # Checkpoint cost far above the MTBF: no progress possible.
+        assert math.isinf(periodic_final_time(1000.0, 6000.0, 600.0, 60.0, 600.0))
+
+    def test_custom_period_is_suboptimal(self):
+        mu, c, r, d = 120 * MINUTE, 10 * MINUTE, 10 * MINUTE, 1 * MINUTE
+        optimal = periodic_final_time(1000.0, c, mu, d, r)
+        away = periodic_final_time(1000.0, c, mu, d, r, period=3 * paper_optimal_period(c, mu, d, r))
+        assert away > optimal
+
+    def test_final_time_exceeds_work(self):
+        assert periodic_final_time(1000.0, 60.0, 7200.0, 10.0, 60.0) > 1000.0
+
+
+class TestUnprotectedFinalTime:
+    def test_equation_9(self):
+        mu, d, r = 7200.0, 60.0, 600.0
+        work = 1000.0
+        expected = work / (1 - (d + r + work / 2) / mu)
+        assert unprotected_final_time(work, mu, d, r) == pytest.approx(expected)
+
+    def test_zero_work(self):
+        assert unprotected_final_time(0.0, 7200.0, 60.0, 600.0) == 0.0
+
+    def test_infeasible_when_phase_too_long(self):
+        assert math.isinf(unprotected_final_time(20000.0, 7200.0, 60.0, 600.0))
+
+
+class TestFirstOrderWaste:
+    def test_bounded(self):
+        waste = first_order_waste(600.0, 7200.0, 60.0, 600.0)
+        assert 0.0 < waste < 1.0
+
+    def test_decreases_with_mtbf(self):
+        assert first_order_waste(600.0, 4 * 7200.0, 60.0, 600.0) < first_order_waste(
+            600.0, 7200.0, 60.0, 600.0
+        )
+
+    def test_infeasible_clipped_to_one(self):
+        assert first_order_waste(6000.0, 600.0, 60.0, 600.0) == 1.0
