@@ -14,7 +14,31 @@ The package provides, from scratch and in pure Python + NumPy:
 * an actual ABFT-protected dense linear-algebra layer demonstrating the
   mechanism the model abstracts (:mod:`repro.abft`);
 * the experiment harness regenerating every figure of the evaluation section
-  (:mod:`repro.experiments`, also exposed through ``python -m repro.cli``).
+  (:mod:`repro.experiments`, also exposed through ``python -m repro.cli``);
+* a campaign-execution subsystem for running the validation at scale
+  (:mod:`repro.campaign`).
+
+Running campaigns at scale
+--------------------------
+The paper averages 1000 simulated executions per parameter point and sweeps
+the whole (MTBF, alpha) plane.  :mod:`repro.campaign` makes that tractable:
+
+* :class:`~repro.campaign.ParallelMonteCarloExecutor` fans the trials of one
+  Monte-Carlo campaign out over a process pool.  Trial ``i`` derives its RNG
+  from ``SeedSequence(entropy=seed, spawn_key=(i,))`` exactly like the serial
+  runner, and per-trial samples are re-aggregated in trial order, so the same
+  root seed yields **bit-identical** summary statistics for any worker count
+  (``MonteCarloRunner(parallel=True, workers=N)`` exposes the same knob).
+* :class:`~repro.campaign.SweepRunner` materialises (MTBF, alpha) grids as
+  resumable jobs.  Completed points are stored one-JSON-file-per-point in a
+  cache directory, keyed by the parameter scalars, the point's coordinates,
+  the protocol list and the simulation settings; an interrupted or repeated
+  sweep recomputes only missing points.  When no simulation is requested the
+  analytical heatmaps are evaluated in a single vectorised NumPy pass
+  (:mod:`repro.core.analytical.grid`), bit-identical to the scalar models.
+
+See ``examples/parallel_campaign.py`` for a worked example, or run
+``python -m repro.cli campaign --reduced --cache-dir ./cache --resume``.
 
 Quickstart
 ----------
@@ -47,8 +71,15 @@ from repro.core import (
 )
 from repro.application import ApplicationWorkload, DatasetPartition, Epoch
 from repro.checkpointing import CheckpointCostModel, CheckpointCosts
+from repro.campaign import (
+    ParallelMonteCarloExecutor,
+    SweepJob,
+    SweepResult,
+    SweepRunner,
+    run_monte_carlo_parallel,
+)
 from repro.failures import ExponentialFailureModel, FailureTimeline, Platform
-from repro.simulation import MonteCarloResult, run_monte_carlo
+from repro.simulation import MonteCarloResult, MonteCarloRunner, run_monte_carlo
 
 __version__ = "1.0.0"
 
@@ -79,6 +110,13 @@ __all__ = [
     "AbftPeriodicCkptSimulator",
     "run_monte_carlo",
     "MonteCarloResult",
+    "MonteCarloRunner",
+    # Campaign execution
+    "ParallelMonteCarloExecutor",
+    "run_monte_carlo_parallel",
+    "SweepJob",
+    "SweepResult",
+    "SweepRunner",
     # Convenience
     "quick_waste_comparison",
 ]

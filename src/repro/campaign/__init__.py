@@ -1,0 +1,48 @@
+"""Campaign execution: parallel Monte-Carlo fan-out and resumable sweeps.
+
+The paper's evaluation is built from *campaigns* -- 1000 independent
+simulated executions per parameter point (Section V-A), swept over the
+(MTBF, alpha) plane for the Figure 7 heatmaps.  This package scales that
+structure up:
+
+* :mod:`repro.campaign.executor` -- :class:`ParallelMonteCarloExecutor` runs
+  the trials of one campaign over a process/thread pool in chunks, with each
+  trial's RNG derived exactly as the serial runner derives it, so the same
+  root seed produces bit-identical aggregate statistics for any worker
+  count;
+* :mod:`repro.campaign.cache` -- :class:`SweepCache`, a crash-tolerant
+  one-JSON-file-per-point result store;
+* :mod:`repro.campaign.sweep_runner` -- :class:`SweepRunner` /
+  :class:`SweepJob`, which materialise (MTBF, alpha) grids as resumable
+  jobs: cached points are never recomputed, and the analytical wastes of
+  uncached points are evaluated in one vectorised NumPy pass
+  (:mod:`repro.core.analytical.grid`).
+
+The experiment harness (``run_figure7``, the ``campaign`` CLI subcommand)
+and the benchmarks are built on these primitives.
+"""
+
+from repro.campaign.cache import SweepCache, canonical_digest
+from repro.campaign.executor import (
+    ParallelMonteCarloExecutor,
+    run_monte_carlo_parallel,
+)
+from repro.campaign.sweep_runner import (
+    CAMPAIGN_PROTOCOLS,
+    GridPoint,
+    SweepJob,
+    SweepResult,
+    SweepRunner,
+)
+
+__all__ = [
+    "SweepCache",
+    "canonical_digest",
+    "ParallelMonteCarloExecutor",
+    "run_monte_carlo_parallel",
+    "CAMPAIGN_PROTOCOLS",
+    "GridPoint",
+    "SweepJob",
+    "SweepResult",
+    "SweepRunner",
+]

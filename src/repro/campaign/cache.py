@@ -1,0 +1,117 @@
+"""On-disk JSON result cache for sweep campaigns.
+
+Each grid point of a sweep is stored as one small JSON file, keyed by a
+canonical digest of everything that determines its value: the resilience
+parameters, the point's (MTBF, alpha) coordinates, the protocol list and the
+simulation settings (runs, seed) when a simulation was requested.  One file
+per point makes the cache crash-tolerant: a job killed mid-grid leaves the
+completed points behind, and a resumed run skips exactly those.
+
+The cache is deliberately dumb -- no locking, no eviction -- because sweep
+points are write-once: two runs computing the same key write the same value
+(the campaign executor is deterministic), so a racing double-write is
+harmless.  Writes go through a temporary file + ``os.replace`` so a killed
+process can never leave a truncated entry behind.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Iterator, Mapping, Optional
+
+__all__ = ["SweepCache", "canonical_digest"]
+
+#: Bump when the on-disk layout or key schema changes incompatibly.
+CACHE_SCHEMA_VERSION = 1
+
+
+def canonical_digest(key: Mapping[str, Any]) -> str:
+    """SHA-256 digest of a JSON-serialisable key, stable across runs.
+
+    Keys are serialised with sorted keys and no whitespace, so logically
+    equal mappings always map to the same digest.  Floats rely on Python's
+    shortest round-trip ``repr``, which is deterministic.
+    """
+    payload = json.dumps(key, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class SweepCache:
+    """A directory of write-once JSON entries, one per sweep grid point.
+
+    Parameters
+    ----------
+    directory:
+        Cache directory; created (with parents) on first use.
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        self._directory = Path(directory)
+        self._directory.mkdir(parents=True, exist_ok=True)
+
+    @property
+    def directory(self) -> Path:
+        """The cache directory."""
+        return self._directory
+
+    # ------------------------------------------------------------------ #
+    def path_for(self, key: Mapping[str, Any]) -> Path:
+        """The file that does (or would) hold the entry for ``key``."""
+        return self._directory / f"point-{canonical_digest(key)}.json"
+
+    def contains(self, key: Mapping[str, Any]) -> bool:
+        """Whether a completed entry exists for ``key``."""
+        return self.path_for(key).exists()
+
+    def load(self, key: Mapping[str, Any]) -> Optional[Dict[str, Any]]:
+        """The cached value for ``key``, or ``None`` when absent/corrupt."""
+        path = self.path_for(key)
+        try:
+            entry = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+        if entry.get("schema") != CACHE_SCHEMA_VERSION:
+            return None
+        return entry.get("value")
+
+    def store(self, key: Mapping[str, Any], value: Mapping[str, Any]) -> Path:
+        """Atomically persist ``value`` under ``key``; returns the file path."""
+        path = self.path_for(key)
+        entry = {"schema": CACHE_SCHEMA_VERSION, "key": dict(key), "value": dict(value)}
+        # Unique per-writer temp file: two processes racing on the same key
+        # must never share a staging path, or one can publish the other's
+        # half-written bytes.
+        fd, tmp = tempfile.mkstemp(
+            prefix=path.stem, suffix=".tmp", dir=self._directory
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle, sort_keys=True, indent=1)
+            os.replace(tmp, path)
+        finally:
+            if os.path.exists(tmp):  # pragma: no cover - only on write failure
+                os.unlink(tmp)
+        return path
+
+    # ------------------------------------------------------------------ #
+    def entries(self) -> Iterator[Path]:
+        """Iterate over the entry files currently in the cache."""
+        return iter(sorted(self._directory.glob("point-*.json")))
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.entries())
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number of files removed."""
+        removed = 0
+        for path in self.entries():
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"SweepCache({str(self._directory)!r}, entries={len(self)})"

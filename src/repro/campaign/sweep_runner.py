@@ -1,0 +1,297 @@
+"""Resumable (MTBF, alpha) sweep campaigns with an on-disk result cache.
+
+:func:`repro.experiments.sweep.sweep_mtbf_alpha` is a one-shot generator: it
+evaluates the grid lazily and forgets everything afterwards.  The
+:class:`SweepRunner` materialises the same grids as restartable jobs:
+
+* every grid point is cached on disk (:class:`~repro.campaign.cache.SweepCache`)
+  under a key derived from the parameters, the point's coordinates, the
+  protocol list and the simulation settings, so an interrupted or repeated
+  sweep recomputes only the missing points;
+* the analytical wastes of uncached points are evaluated in one vectorised
+  NumPy pass (:mod:`repro.core.analytical.grid`) instead of point by point;
+* when a simulation campaign is requested, the Monte-Carlo trials of each
+  point run through :class:`~repro.campaign.executor.ParallelMonteCarloExecutor`,
+  whose results are bit-identical to the serial runner for any worker count
+  -- cache entries written by a parallel run and a serial run are
+  interchangeable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.application.workload import ApplicationWorkload
+from repro.campaign.cache import SweepCache
+from repro.campaign.executor import ParallelMonteCarloExecutor
+from repro.core.analytical.grid import waste_points
+from repro.core.parameters import ResilienceParameters
+from repro.core.registry import PROTOCOL_PAIRS
+
+__all__ = ["SweepJob", "GridPoint", "SweepResult", "SweepRunner", "CAMPAIGN_PROTOCOLS"]
+
+#: The canonical protocol registry, re-exported under the campaign name.
+CAMPAIGN_PROTOCOLS = PROTOCOL_PAIRS
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """Specification of one sweep campaign over the (MTBF, alpha) plane.
+
+    Attributes
+    ----------
+    parameters:
+        Base parameter bundle; its MTBF is replaced at every grid point.
+    application_time:
+        Fault-free duration ``T0`` of the single-epoch workload, seconds.
+    mtbf_values / alpha_values:
+        Grid axes (MTBF in seconds, alpha in [0, 1]).
+    protocols:
+        Protocol names to evaluate (keys of :data:`CAMPAIGN_PROTOCOLS`).
+    library_fraction:
+        ``rho`` of the workload's dataset; ``None`` uses the parameters'.
+    simulate:
+        Also run a Monte-Carlo campaign at every grid point.
+    simulation_runs / seed:
+        Campaign size and root seed when ``simulate`` is set (every grid
+        point uses the same root seed, like the Figure 7 harness).
+    """
+
+    parameters: ResilienceParameters
+    application_time: float
+    mtbf_values: Tuple[float, ...]
+    alpha_values: Tuple[float, ...]
+    protocols: Tuple[str, ...] = tuple(CAMPAIGN_PROTOCOLS)
+    library_fraction: Optional[float] = None
+    simulate: bool = False
+    simulation_runs: int = 200
+    seed: Optional[int] = 2014
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "mtbf_values", tuple(float(m) for m in self.mtbf_values))
+        object.__setattr__(self, "alpha_values", tuple(float(a) for a in self.alpha_values))
+        object.__setattr__(self, "protocols", tuple(self.protocols))
+        unknown = set(self.protocols) - set(CAMPAIGN_PROTOCOLS)
+        if unknown:
+            raise ValueError(f"unknown protocols {sorted(unknown)}")
+        if not self.mtbf_values or not self.alpha_values:
+            raise ValueError("mtbf_values and alpha_values must be non-empty")
+        if self.simulate and self.simulation_runs <= 0:
+            raise ValueError(
+                f"simulation_runs must be positive, got {self.simulation_runs}"
+            )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def rho(self) -> float:
+        """The workload library fraction actually used."""
+        if self.library_fraction is None:
+            return self.parameters.rho
+        return float(self.library_fraction)
+
+    def grid(self) -> list[Tuple[float, float]]:
+        """Grid points in sweep order (MTBF-major, like ``sweep_mtbf_alpha``)."""
+        return [(m, a) for m in self.mtbf_values for a in self.alpha_values]
+
+    def point_key(self, mtbf: float, alpha: float) -> Dict[str, Any]:
+        """Cache key of one grid point.
+
+        The key covers everything the point's value depends on -- parameter
+        scalars, coordinates, protocol list, simulation settings -- but not
+        the rest of the grid, so jobs with overlapping grids share entries.
+        """
+        params = self.parameters
+        key: Dict[str, Any] = {
+            "application_time": self.application_time,
+            "checkpoint": params.full_checkpoint,
+            "recovery": params.full_recovery,
+            "downtime": params.downtime,
+            "rho": params.rho,
+            "abft_overhead": params.abft_overhead,
+            "abft_reconstruction": params.abft_reconstruction,
+            "remainder_recovery": params.remainder_recovery,
+            "library_fraction": self.rho,
+            "protocols": sorted(self.protocols),
+            "mtbf": float(mtbf),
+            "alpha": float(alpha),
+            "simulate": self.simulate,
+        }
+        if self.simulate:
+            key["simulation_runs"] = self.simulation_runs
+            key["seed"] = self.seed
+        return key
+
+    def workload(self, alpha: float) -> ApplicationWorkload:
+        """The single-epoch workload evaluated at one alpha."""
+        return ApplicationWorkload.single_epoch(
+            self.application_time, alpha, library_fraction=self.rho
+        )
+
+
+@dataclass(frozen=True)
+class GridPoint:
+    """One evaluated grid point: model (and optionally simulated) waste."""
+
+    mtbf: float
+    alpha: float
+    model_waste: Dict[str, float]
+    simulated_waste: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Outcome of a sweep campaign, with cache accounting.
+
+    Attributes
+    ----------
+    job:
+        The job specification that produced this result.
+    points:
+        All grid points in sweep order (MTBF-major).
+    computed_points / cached_points:
+        How many grid points were evaluated in this run vs loaded from the
+        cache.  A fully resumed job reports ``computed_points == 0``.
+    """
+
+    job: SweepJob
+    points: Tuple[GridPoint, ...]
+    computed_points: int
+    cached_points: int
+
+    def waste_grid(self, protocol: str, *, simulated: bool = False) -> dict:
+        """Map ``(mtbf, alpha) -> waste`` for one protocol."""
+        grid = {}
+        for point in self.points:
+            source = point.simulated_waste if simulated else point.model_waste
+            if protocol in source:
+                grid[(point.mtbf, point.alpha)] = source[protocol]
+        return grid
+
+
+class SweepRunner:
+    """Execute :class:`SweepJob` campaigns, resumably and in parallel.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory of the on-disk point cache; ``None`` disables caching.
+    resume:
+        Consult existing cache entries (default).  ``False`` recomputes every
+        point (entries are still rewritten, refreshing the cache).
+    workers / backend:
+        Worker-pool settings for the Monte-Carlo trials of simulated points;
+        see :class:`~repro.campaign.executor.ParallelMonteCarloExecutor`.
+    vectorized:
+        Evaluate the analytical wastes of uncached points in one NumPy
+        broadcast pass (default) instead of per-point model objects.  Both
+        paths produce bit-identical values.
+    """
+
+    def __init__(
+        self,
+        *,
+        cache_dir: Optional[str | Path] = None,
+        resume: bool = True,
+        workers: Optional[int] = None,
+        backend: str = "process",
+        vectorized: bool = True,
+    ) -> None:
+        self._cache = SweepCache(cache_dir) if cache_dir is not None else None
+        self._resume = bool(resume)
+        self._executor = ParallelMonteCarloExecutor(
+            workers=1 if workers is None else workers, backend=backend
+        )
+        self._vectorized = bool(vectorized)
+
+    @property
+    def cache(self) -> Optional[SweepCache]:
+        """The point cache, or ``None`` when caching is disabled."""
+        return self._cache
+
+    # ------------------------------------------------------------------ #
+    def run(self, job: SweepJob) -> SweepResult:
+        """Run (or resume) a sweep job and return every grid point."""
+        grid = job.grid()
+        values: Dict[Tuple[float, float], Dict[str, Any]] = {}
+        pending: list[Tuple[float, float]] = []
+        for coords in grid:
+            cached = None
+            if self._cache is not None and self._resume:
+                cached = self._cache.load(job.point_key(*coords))
+            if cached is not None:
+                values[coords] = cached
+            else:
+                pending.append(coords)
+        cached_count = len(grid) - len(pending)
+
+        if pending:
+            model_waste = self._evaluate_models(job, pending)
+            for coords in pending:
+                value: Dict[str, Any] = {"model_waste": model_waste[coords]}
+                if job.simulate:
+                    value["simulated_waste"] = self._simulate_point(job, *coords)
+                values[coords] = value
+                if self._cache is not None:
+                    self._cache.store(job.point_key(*coords), value)
+
+        points = tuple(
+            GridPoint(
+                mtbf=mtbf,
+                alpha=alpha,
+                model_waste=dict(values[(mtbf, alpha)]["model_waste"]),
+                simulated_waste=dict(values[(mtbf, alpha)].get("simulated_waste", {})),
+            )
+            for mtbf, alpha in grid
+        )
+        return SweepResult(
+            job=job,
+            points=points,
+            computed_points=len(pending),
+            cached_points=cached_count,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _evaluate_models(
+        self, job: SweepJob, coords: Sequence[Tuple[float, float]]
+    ) -> Dict[Tuple[float, float], Dict[str, float]]:
+        """Analytical waste of every protocol at the given points."""
+        if self._vectorized:
+            mtbf = np.array([m for m, _ in coords], dtype=float)
+            alpha = np.array([a for _, a in coords], dtype=float)
+            grids = waste_points(
+                job.parameters, job.application_time, mtbf, alpha, job.protocols
+            )
+            return {
+                pair: {name: float(grids[name][i]) for name in job.protocols}
+                for i, pair in enumerate(coords)
+            }
+        out: Dict[Tuple[float, float], Dict[str, float]] = {}
+        for mtbf, alpha in coords:
+            parameters = job.parameters.with_mtbf(mtbf)
+            workload = job.workload(alpha)
+            out[(mtbf, alpha)] = {
+                name: CAMPAIGN_PROTOCOLS[name][0](parameters).waste(workload)
+                for name in job.protocols
+            }
+        return out
+
+    def _simulate_point(
+        self, job: SweepJob, mtbf: float, alpha: float
+    ) -> Dict[str, float]:
+        """Mean simulated waste of every protocol at one grid point."""
+        parameters = job.parameters.with_mtbf(mtbf)
+        workload = job.workload(alpha)
+        simulated: Dict[str, float] = {}
+        for name in job.protocols:
+            simulator = CAMPAIGN_PROTOCOLS[name][1](parameters, workload)
+            campaign = self._executor.run(
+                simulator.simulate_once,
+                runs=job.simulation_runs,
+                seed=job.seed,
+            )
+            simulated[name] = campaign.mean_waste
+        return simulated

@@ -16,6 +16,14 @@ Weak-scaling figures::
     python -m repro.cli figure9 --mtbf-scaling constant
     python -m repro.cli figure10 --csv figure10.csv
 
+Resumable, parallel sweep campaign over the (MTBF, alpha) plane::
+
+    python -m repro.cli campaign --reduced --validate --runs 100 \
+        --workers 4 --cache-dir ./campaign-cache
+    # interrupted? rerun with --resume to skip completed grid points:
+    python -m repro.cli campaign --reduced --validate --runs 100 \
+        --workers 4 --cache-dir ./campaign-cache --resume
+
 ABFT substrate demonstration::
 
     python -m repro.cli abft --kernel lu --n 128 --block-size 32
@@ -35,8 +43,17 @@ from repro.experiments import (
     run_figure9,
     run_figure10,
 )
+from repro.utils.units import MINUTE
 
 __all__ = ["main", "build_parser"]
+
+
+def _positive_int(text: str) -> int:
+    """argparse type for flags that must be strictly positive (--workers)."""
+    value = int(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -57,7 +74,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run the Monte-Carlo simulation at every grid point",
     )
     fig7.add_argument(
-        "--runs", type=int, default=200, help="simulated executions per grid point"
+        "--runs",
+        type=_positive_int,
+        default=200,
+        help="simulated executions per grid point",
     )
     fig7.add_argument(
         "--reduced",
@@ -66,6 +86,54 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fig7.add_argument("--seed", type=int, default=2014, help="simulation seed")
     fig7.add_argument("--csv", type=str, default=None, help="write the series to CSV")
+    fig7.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        help="worker processes for the Monte-Carlo trials (default: serial)",
+    )
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="resumable (MTBF, alpha) sweep campaign with an on-disk cache",
+    )
+    campaign.add_argument(
+        "--validate",
+        action="store_true",
+        help="also run the Monte-Carlo simulation at every grid point",
+    )
+    campaign.add_argument(
+        "--runs",
+        type=_positive_int,
+        default=200,
+        help="simulated executions per grid point",
+    )
+    campaign.add_argument(
+        "--reduced",
+        action="store_true",
+        help="use a coarser (faster) grid than the paper's",
+    )
+    campaign.add_argument("--seed", type=int, default=2014, help="simulation seed")
+    campaign.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        help="worker processes for the Monte-Carlo trials (default: serial)",
+    )
+    campaign.add_argument(
+        "--cache-dir",
+        type=str,
+        default=None,
+        help="directory for the per-point result cache (enables caching)",
+    )
+    campaign.add_argument(
+        "--resume",
+        action="store_true",
+        help="reuse completed points from --cache-dir instead of recomputing",
+    )
+    campaign.add_argument(
+        "--csv", type=str, default=None, help="write the series to CSV"
+    )
 
     for name in ("figure8", "figure9", "figure10"):
         fig = sub.add_parser(name, help=f"weak-scaling study ({name})")
@@ -105,6 +173,7 @@ def _run_figure7(args: argparse.Namespace) -> int:
         validate=args.validate,
         simulation_runs=args.runs,
         seed=args.seed,
+        workers=args.workers,
     )
     print(result.to_table().to_text())
     if args.validate:
@@ -143,6 +212,58 @@ def _run_weak_scaling(args: argparse.Namespace, which: str) -> int:
     return 0
 
 
+def _run_campaign(args: argparse.Namespace) -> int:
+    from repro.campaign import SweepJob, SweepRunner
+    from repro.utils.tables import Table
+
+    config = paper_figure7_config()
+    if args.reduced:
+        config = config.reduced()
+    job = SweepJob(
+        parameters=config.parameters(config.mtbf_values[0]),
+        application_time=config.application_time,
+        mtbf_values=tuple(config.mtbf_values),
+        alpha_values=tuple(config.alpha_values),
+        library_fraction=config.library_fraction,
+        simulate=args.validate,
+        simulation_runs=args.runs,
+        seed=args.seed,
+    )
+    runner = SweepRunner(
+        cache_dir=args.cache_dir,
+        resume=args.resume,
+        workers=args.workers,
+    )
+    result = runner.run(job)
+
+    headers = ["mtbf_minutes", "alpha"]
+    headers.extend(f"model_waste[{name}]" for name in job.protocols)
+    if args.validate:
+        headers.extend(f"sim_waste[{name}]" for name in job.protocols)
+    table = Table(headers, title="Campaign: waste vs (MTBF, alpha)")
+    for point in result.points:
+        cells: list = [point.mtbf / MINUTE, point.alpha]
+        cells.extend(point.model_waste[name] for name in job.protocols)
+        if args.validate:
+            cells.extend(
+                point.simulated_waste.get(name, float("nan"))
+                for name in job.protocols
+            )
+        table.add_row(cells)
+    print(table.to_text())
+    print(
+        f"grid points: {len(result.points)} "
+        f"(computed {result.computed_points}, "
+        f"reused {result.cached_points} cached)"
+    )
+    if args.cache_dir:
+        print(f"cache directory: {args.cache_dir}")
+    if args.csv:
+        path = table.write(args.csv)
+        print(f"series written to {path}")
+    return 0
+
+
 def _run_abft(args: argparse.Namespace) -> int:
     from repro.abft import measure_overhead
 
@@ -168,6 +289,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_figure7(args)
     if args.command in ("figure8", "figure9", "figure10"):
         return _run_weak_scaling(args, args.command)
+    if args.command == "campaign":
+        return _run_campaign(args)
     if args.command == "abft":
         return _run_abft(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover

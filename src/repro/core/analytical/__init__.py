@@ -17,6 +17,9 @@ expected number of failures handled during the run.
 * :class:`NoFaultToleranceModel` -- restart-from-scratch baseline, included
   for completeness (not part of the paper's comparison but useful to
   motivate it).
+* :mod:`repro.core.analytical.grid` -- vectorised (NumPy broadcast) waste
+  evaluation over whole (MTBF, alpha) grids, bit-identical to the scalar
+  models; the fast path of :class:`repro.campaign.SweepRunner`.
 """
 
 from repro.core.analytical.young_daly import (
@@ -29,6 +32,7 @@ from repro.core.analytical.young_daly import (
     unprotected_final_time,
 )
 from repro.core.analytical.base import AnalyticalModel, ModelPrediction
+from repro.core.analytical.grid import waste_grid, waste_points
 from repro.core.analytical.no_ft import NoFaultToleranceModel
 from repro.core.analytical.pure_periodic import PurePeriodicCkptModel
 from repro.core.analytical.bi_periodic import BiPeriodicCkptModel
@@ -48,4 +52,6 @@ __all__ = [
     "PurePeriodicCkptModel",
     "BiPeriodicCkptModel",
     "AbftPeriodicCkptModel",
+    "waste_grid",
+    "waste_points",
 ]

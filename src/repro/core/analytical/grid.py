@@ -1,0 +1,228 @@
+"""Vectorised waste evaluation over (MTBF, alpha) grids.
+
+The heatmaps of Figure 7 evaluate the three analytical models at every point
+of an MTBF x alpha grid.  The scalar models in this package do that one point
+at a time; for a full-resolution grid (hundreds of points, three protocols)
+the pure-Python call overhead dominates.  This module evaluates whole grids
+with NumPy broadcasting instead, as the fast path used by
+:class:`repro.campaign.SweepRunner` when no simulation is requested.
+
+Every arithmetic step mirrors the scalar implementations operation for
+operation (:mod:`repro.core.analytical.young_daly` and the three model
+classes), so the vectorised waste is bit-identical to
+``model.waste(workload)`` for single-epoch workloads -- the regression tests
+assert exact equality, not closeness.
+
+Scope: single-epoch, ABFT-capable workloads evaluated at the models' default
+settings (optimal paper periods, no safeguard), which is exactly the Figure 7
+scenario.  Multi-epoch workloads, explicit periods or the safeguard must go
+through the scalar models.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.core.parameters import ResilienceParameters
+
+__all__ = ["GRID_PROTOCOLS", "waste_points", "waste_grid"]
+
+#: Protocols the vectorised evaluator supports, in paper order.
+GRID_PROTOCOLS: tuple[str, ...] = (
+    "PurePeriodicCkpt",
+    "BiPeriodicCkpt",
+    "ABFT&PeriodicCkpt",
+)
+
+
+def _optimal_period(
+    checkpoint: float, mu: np.ndarray, downtime: float, recovery: float
+) -> np.ndarray:
+    """Equation 11, ``sqrt(2 C (mu - D - R))``; NaN where infeasible."""
+    slack = mu - downtime - recovery
+    with np.errstate(invalid="ignore"):
+        period = np.sqrt(2.0 * checkpoint * slack)
+    return np.where(slack > 0.0, period, np.nan)
+
+
+def _efficiency(
+    period: np.ndarray,
+    checkpoint: float,
+    mu: np.ndarray,
+    downtime: float,
+    recovery: float,
+) -> np.ndarray:
+    """The useful fraction ``X`` of Equation 10; 0 where infeasible."""
+    with np.errstate(invalid="ignore", divide="ignore"):
+        fault_free = 1.0 - checkpoint / period
+        failure_factor = 1.0 - (downtime + recovery + period / 2.0) / mu
+        efficiency = fault_free * failure_factor
+    with np.errstate(invalid="ignore"):
+        infeasible = (
+            np.isnan(period) | (period <= checkpoint) | (failure_factor <= 0.0)
+        )
+    return np.where(infeasible, 0.0, efficiency)
+
+
+def _periodic_final_time(
+    work: np.ndarray,
+    checkpoint: float,
+    mu: np.ndarray,
+    downtime: float,
+    recovery: float,
+    period: np.ndarray | None,
+) -> np.ndarray:
+    """Vectorised Equation 10 (``young_daly.periodic_final_time``)."""
+    work = np.asarray(work, dtype=float)
+    if checkpoint == 0.0:
+        failure_factor = 1.0 - (downtime + recovery) / mu
+        with np.errstate(divide="ignore", invalid="ignore"):
+            final = work / np.where(failure_factor > 0.0, failure_factor, 1.0)
+        final = np.where(failure_factor > 0.0, final, np.inf)
+    else:
+        if period is None:
+            period = _optimal_period(checkpoint, mu, downtime, recovery)
+        efficiency = _efficiency(period, checkpoint, mu, downtime, recovery)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            final = work / np.where(efficiency > 0.0, efficiency, 1.0)
+        final = np.where(efficiency > 0.0, final, np.inf)
+    return np.where(work == 0.0, 0.0, final)
+
+
+def _unprotected_final_time(
+    work_and_overhead: np.ndarray,
+    mu: np.ndarray,
+    downtime: float,
+    recovery: float,
+) -> np.ndarray:
+    """Vectorised Equation 9 (``young_daly.unprotected_final_time``)."""
+    work_and_overhead = np.asarray(work_and_overhead, dtype=float)
+    denominator = 1.0 - (downtime + recovery + work_and_overhead / 2.0) / mu
+    with np.errstate(divide="ignore", invalid="ignore"):
+        final = work_and_overhead / np.where(denominator > 0.0, denominator, 1.0)
+    final = np.where(denominator > 0.0, final, np.inf)
+    return np.where(work_and_overhead == 0.0, 0.0, final)
+
+
+def _waste(application_time: np.ndarray, final_time: np.ndarray) -> np.ndarray:
+    """Equation 12, ``1 - T0 / T_final``; exactly 1 where ``T_final`` is inf."""
+    with np.errstate(invalid="ignore"):
+        return 1.0 - application_time / final_time
+
+
+def waste_points(
+    parameters: ResilienceParameters,
+    application_time: float,
+    mtbf: np.ndarray,
+    alpha: np.ndarray,
+    protocols: Sequence[str] = GRID_PROTOCOLS,
+) -> Dict[str, np.ndarray]:
+    """Waste of each protocol at pairwise ``(mtbf, alpha)`` points.
+
+    Parameters
+    ----------
+    parameters:
+        Parameter bundle; its ``platform_mtbf`` is ignored in favour of the
+        ``mtbf`` array, everything else (``C``, ``R``, ``D``, ``rho``,
+        ``phi``, ``Recons_ABFT``) is taken as-is.
+    application_time:
+        Fault-free duration ``T0`` of the single-epoch workload, seconds.
+    mtbf / alpha:
+        Broadcastable arrays of platform MTBFs (seconds) and library-time
+        ratios.
+    protocols:
+        Subset of :data:`GRID_PROTOCOLS` to evaluate.
+
+    Returns
+    -------
+    dict
+        Protocol name to waste array (the broadcast shape of the inputs).
+    """
+    unknown = set(protocols) - set(GRID_PROTOCOLS)
+    if unknown:
+        raise ValueError(f"unknown protocols {sorted(unknown)}")
+    mu, a = np.broadcast_arrays(
+        np.asarray(mtbf, dtype=float), np.asarray(alpha, dtype=float)
+    )
+    # Phase durations exactly as ``Epoch.from_duration`` derives them, so the
+    # floating-point values (including T0 = T_G + T_L) match the scalar path.
+    library_time = a * application_time
+    general_time = application_time - library_time
+    total_time = general_time + library_time
+
+    checkpoint = parameters.full_checkpoint
+    recovery = parameters.full_recovery
+    downtime = parameters.downtime
+    library_checkpoint = parameters.library_checkpoint
+    remainder_checkpoint = parameters.remainder_checkpoint
+
+    wastes: Dict[str, np.ndarray] = {}
+    for name in protocols:
+        if name == "PurePeriodicCkpt":
+            period = _optimal_period(checkpoint, mu, downtime, recovery)
+            final = _periodic_final_time(
+                total_time, checkpoint, mu, downtime, recovery, period
+            )
+        elif name == "BiPeriodicCkpt":
+            general_period = _optimal_period(checkpoint, mu, downtime, recovery)
+            general_final = _periodic_final_time(
+                general_time, checkpoint, mu, downtime, recovery, general_period
+            )
+            library_period = (
+                _optimal_period(library_checkpoint, mu, downtime, recovery)
+                if library_checkpoint > 0.0
+                else None
+            )
+            library_final = _periodic_final_time(
+                library_time,
+                library_checkpoint,
+                mu,
+                downtime,
+                recovery,
+                library_period,
+            )
+            final = general_final + library_final
+        else:  # ABFT&PeriodicCkpt
+            period = _optimal_period(checkpoint, mu, downtime, recovery)
+            with np.errstate(invalid="ignore"):
+                short_general = np.isnan(period) | (general_time < period)
+            unprotected = _unprotected_final_time(
+                general_time + remainder_checkpoint, mu, downtime, recovery
+            )
+            periodic = _periodic_final_time(
+                general_time, checkpoint, mu, downtime, recovery, period
+            )
+            general_final = np.where(short_general, unprotected, periodic)
+            if remainder_checkpoint <= 0.0:
+                general_final = np.where(general_time <= 0.0, 0.0, general_final)
+            numerator = parameters.phi * library_time + library_checkpoint
+            denominator = 1.0 - parameters.abft_failure_cost / mu
+            with np.errstate(divide="ignore", invalid="ignore"):
+                library_final = numerator / np.where(
+                    denominator > 0.0, denominator, 1.0
+                )
+            library_final = np.where(denominator > 0.0, library_final, np.inf)
+            library_final = np.where(library_time <= 0.0, 0.0, library_final)
+            final = general_final + library_final
+        wastes[name] = _waste(total_time, final)
+    return wastes
+
+
+def waste_grid(
+    parameters: ResilienceParameters,
+    application_time: float,
+    mtbf_values: Sequence[float],
+    alpha_values: Sequence[float],
+    protocols: Sequence[str] = GRID_PROTOCOLS,
+) -> Dict[str, np.ndarray]:
+    """Waste of each protocol over the full MTBF x alpha grid.
+
+    Returns a mapping from protocol name to a ``(len(mtbf_values),
+    len(alpha_values))`` array, row ``i`` holding the wastes at
+    ``mtbf_values[i]`` for every alpha.
+    """
+    mu = np.asarray(mtbf_values, dtype=float).reshape(-1, 1)
+    a = np.asarray(alpha_values, dtype=float).reshape(1, -1)
+    return waste_points(parameters, application_time, mu, a, protocols)

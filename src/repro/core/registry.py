@@ -1,0 +1,39 @@
+"""The canonical protocol registry: analytical model + simulator per name.
+
+Several layers need the same mapping from a protocol's paper name to its
+implementation pair -- the validation harness (Figures 7b/7d/7f), the
+campaign sweep runner, reports.  Keeping the pairing in one place, next to
+the classes it names, means adding or renaming a protocol is a single edit
+and the layers can never silently disagree on the protocol set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple, Type
+
+from repro.core.analytical import (
+    AbftPeriodicCkptModel,
+    AnalyticalModel,
+    BiPeriodicCkptModel,
+    PurePeriodicCkptModel,
+)
+from repro.core.protocols import (
+    AbftPeriodicCkptSimulator,
+    BiPeriodicCkptSimulator,
+    ProtocolSimulator,
+    PurePeriodicCkptSimulator,
+)
+
+__all__ = ["PROTOCOL_PAIRS", "PROTOCOL_NAMES"]
+
+#: Analytical model and simulator classes, per protocol name (paper order).
+PROTOCOL_PAIRS: Dict[
+    str, Tuple[Type[AnalyticalModel], Type[ProtocolSimulator]]
+] = {
+    "PurePeriodicCkpt": (PurePeriodicCkptModel, PurePeriodicCkptSimulator),
+    "BiPeriodicCkpt": (BiPeriodicCkptModel, BiPeriodicCkptSimulator),
+    "ABFT&PeriodicCkpt": (AbftPeriodicCkptModel, AbftPeriodicCkptSimulator),
+}
+
+#: Protocol names in the order the paper presents them.
+PROTOCOL_NAMES: Tuple[str, ...] = tuple(PROTOCOL_PAIRS)

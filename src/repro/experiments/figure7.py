@@ -20,14 +20,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional, Sequence
 
-from repro.application.workload import ApplicationWorkload
-from repro.core.analytical import (
-    AbftPeriodicCkptModel,
-    BiPeriodicCkptModel,
-    PurePeriodicCkptModel,
-)
+from repro.campaign.sweep_runner import SweepJob, SweepRunner
 from repro.experiments.config import Figure7Config, paper_figure7_config
-from repro.experiments.validation import validate_configuration
 from repro.utils.tables import Table
 from repro.utils.units import MINUTE
 
@@ -119,6 +113,10 @@ def run_figure7(
     simulation_runs: int = 200,
     seed: int = 2014,
     protocols: Sequence[str] = PROTOCOLS,
+    workers: Optional[int] = None,
+    cache_dir: Optional[str | Path] = None,
+    resume: bool = True,
+    vectorized: bool = True,
 ) -> Figure7Result:
     """Run the Figure 7 experiment.
 
@@ -137,53 +135,52 @@ def run_figure7(
         Root seed of the simulation campaigns.
     protocols:
         Subset of protocols to evaluate (all three by default).
+    workers:
+        Fan the Monte-Carlo trials of each grid point out over this many
+        worker processes (``None``/1 runs serially; results are identical
+        either way).
+    cache_dir:
+        Cache completed grid points in this directory so an interrupted or
+        repeated run recomputes only the missing points.
+    resume:
+        Consult existing cache entries (default).  ``False`` recomputes the
+        full grid, refreshing the cache.
+    vectorized:
+        Evaluate the analytical heatmaps in one NumPy broadcast pass
+        (default) instead of per-point model objects; both paths are
+        bit-identical.
     """
     config = config or paper_figure7_config()
-    unknown = set(protocols) - set(PROTOCOLS)
-    if unknown:
-        raise ValueError(f"unknown protocols {sorted(unknown)}")
-
-    factories = {
-        "PurePeriodicCkpt": PurePeriodicCkptModel,
-        "BiPeriodicCkpt": BiPeriodicCkptModel,
-        "ABFT&PeriodicCkpt": AbftPeriodicCkptModel,
-    }
-
-    rows: list[Figure7Row] = []
-    for mtbf in config.mtbf_values:
-        parameters = config.parameters(mtbf)
-        models = {name: factories[name](parameters) for name in protocols}
-        for alpha in config.alpha_values:
-            workload = ApplicationWorkload.single_epoch(
-                config.application_time,
-                alpha,
-                library_fraction=config.library_fraction,
-            )
-            model_waste = {
-                name: model.waste(workload) for name, model in models.items()
-            }
-            simulated: dict[str, float] = {}
-            if validate:
-                for name in protocols:
-                    point = validate_configuration(
-                        name,
-                        parameters,
-                        workload,
-                        runs=simulation_runs,
-                        seed=seed,
-                    )
-                    simulated[name] = point.simulated_waste
-            rows.append(
-                Figure7Row(
-                    mtbf=mtbf,
-                    alpha=alpha,
-                    model_waste=model_waste,
-                    simulated_waste=simulated,
-                )
-            )
+    job = SweepJob(
+        parameters=config.parameters(config.mtbf_values[0]),
+        application_time=config.application_time,
+        mtbf_values=tuple(config.mtbf_values),
+        alpha_values=tuple(config.alpha_values),
+        protocols=tuple(protocols),
+        library_fraction=config.library_fraction,
+        simulate=validate,
+        simulation_runs=simulation_runs,
+        seed=seed,
+    )
+    runner = SweepRunner(
+        cache_dir=cache_dir,
+        resume=resume,
+        workers=workers,
+        vectorized=vectorized,
+    )
+    sweep = runner.run(job)
+    rows = tuple(
+        Figure7Row(
+            mtbf=point.mtbf,
+            alpha=point.alpha,
+            model_waste=point.model_waste,
+            simulated_waste=point.simulated_waste,
+        )
+        for point in sweep.points
+    )
     return Figure7Result(
         config=config,
-        rows=tuple(rows),
+        rows=rows,
         validated=validate,
         simulation_runs=simulation_runs if validate else 0,
     )

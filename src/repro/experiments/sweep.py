@@ -4,6 +4,13 @@ The heatmaps of Figure 7 are sweeps of the analytical models (and optionally
 the simulator) over a grid of platform MTBFs and library-time ratios; this
 module provides the grid iteration so the figure generator and the ablation
 benchmarks share one implementation.
+
+:func:`sweep_mtbf_alpha` is the one-shot, lazy form: it yields each grid
+point once and keeps nothing.  For large grids, parallel Monte-Carlo
+validation, or sweeps that must survive interruption, use
+:class:`repro.campaign.SweepRunner`, which materialises the same grids (same
+ordering, same waste values -- the unit tests pin the equivalence) as
+resumable jobs backed by an on-disk cache.
 """
 
 from __future__ import annotations

@@ -9,32 +9,14 @@ of Figure 7.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Type
+from typing import Optional
 
 from repro.application.workload import ApplicationWorkload
-from repro.core.analytical import (
-    AbftPeriodicCkptModel,
-    AnalyticalModel,
-    BiPeriodicCkptModel,
-    PurePeriodicCkptModel,
-)
 from repro.core.parameters import ResilienceParameters
-from repro.core.protocols import (
-    AbftPeriodicCkptSimulator,
-    BiPeriodicCkptSimulator,
-    ProtocolSimulator,
-    PurePeriodicCkptSimulator,
-)
+from repro.core.registry import PROTOCOL_PAIRS
 from repro.simulation.runner import MonteCarloResult, run_monte_carlo
 
 __all__ = ["ValidationPoint", "validate_configuration", "PROTOCOL_PAIRS"]
-
-#: Analytical model and simulator classes, per protocol name.
-PROTOCOL_PAIRS: dict[str, tuple[Type[AnalyticalModel], Type[ProtocolSimulator]]] = {
-    "PurePeriodicCkpt": (PurePeriodicCkptModel, PurePeriodicCkptSimulator),
-    "BiPeriodicCkpt": (BiPeriodicCkptModel, BiPeriodicCkptSimulator),
-    "ABFT&PeriodicCkpt": (AbftPeriodicCkptModel, AbftPeriodicCkptSimulator),
-}
 
 
 @dataclass(frozen=True)

@@ -5,6 +5,11 @@ parameter combination (Section V-A).  :func:`run_monte_carlo` reproduces this
 campaign structure: a *single-run* callable is invoked with independent,
 deterministically derived random generators, and the waste / makespan /
 failure-count distributions are summarised.
+
+For large campaigns, :mod:`repro.campaign` fans the trials out over a worker
+pool with bit-identical results (same root seed, any worker count); the
+``parallel=`` / ``workers=`` options of :class:`MonteCarloRunner` expose the
+same machinery.
 """
 
 from __future__ import annotations
@@ -134,6 +139,20 @@ class MonteCarloRunner:
     Useful when the same campaign settings (number of runs, seed policy,
     confidence level) are applied to many different simulators, e.g. when
     sweeping the (MTBF, alpha) grid of Figure 7.
+
+    Parameters
+    ----------
+    runs / seed / keep_traces / confidence:
+        As in :func:`run_monte_carlo`.
+    parallel:
+        Fan the trials of each campaign out over a worker pool
+        (:class:`repro.campaign.ParallelMonteCarloExecutor`).  Results are
+        bit-identical to the serial path for any worker count.
+    workers:
+        Worker count when ``parallel`` is set; ``None`` uses the CPU count.
+    backend:
+        Pool backend when ``parallel`` is set: ``"process"`` (default,
+        requires a picklable ``simulate_once``) or ``"thread"``.
     """
 
     def __init__(
@@ -143,6 +162,9 @@ class MonteCarloRunner:
         seed: Optional[int] = None,
         keep_traces: bool = False,
         confidence: float = 0.95,
+        parallel: bool = False,
+        workers: Optional[int] = None,
+        backend: str = "process",
     ) -> None:
         if runs <= 0:
             raise ValueError(f"runs must be a positive integer, got {runs}")
@@ -150,6 +172,19 @@ class MonteCarloRunner:
         self._seed = seed
         self._keep_traces = bool(keep_traces)
         self._confidence = float(confidence)
+        self._parallel = bool(parallel)
+        self._workers = workers
+        self._backend = backend
+        if self._parallel:
+            # Validate the pool settings eagerly (fail at construction, not
+            # mid-campaign); the import is deferred to avoid a cycle.
+            from repro.campaign.executor import ParallelMonteCarloExecutor
+
+            self._executor = ParallelMonteCarloExecutor(
+                workers=workers, backend=backend
+            )
+        else:
+            self._executor = None
 
     @property
     def runs(self) -> int:
@@ -161,34 +196,47 @@ class MonteCarloRunner:
         """Root seed shared by every campaign launched by this runner."""
         return self._seed
 
-    def run(self, simulate_once: SimulateOnce) -> MonteCarloResult:
-        """Run one campaign for the given single-run callable."""
+    @property
+    def parallel(self) -> bool:
+        """Whether campaigns fan trials out over a worker pool."""
+        return self._parallel
+
+    def _campaign(
+        self, simulate_once: SimulateOnce, seed: Optional[int]
+    ) -> MonteCarloResult:
+        if self._executor is not None:
+            return self._executor.run(
+                simulate_once,
+                runs=self._runs,
+                seed=seed,
+                keep_traces=self._keep_traces,
+                confidence=self._confidence,
+            )
         return run_monte_carlo(
             simulate_once,
             runs=self._runs,
-            seed=self._seed,
+            seed=seed,
             keep_traces=self._keep_traces,
             confidence=self._confidence,
         )
+
+    def run(self, simulate_once: SimulateOnce) -> MonteCarloResult:
+        """Run one campaign for the given single-run callable."""
+        return self._campaign(simulate_once, self._seed)
 
     def run_many(
         self, simulators: Sequence[SimulateOnce]
     ) -> list[MonteCarloResult]:
         """Run one campaign per simulator, with a distinct seed offset each.
 
-        The ``i``-th simulator uses root seed ``seed + i`` (when a seed was
-        given) so that campaigns remain reproducible yet independent.
+        The ``i``-th simulator uses root seed ``seed + i`` when a seed was
+        given, so that campaigns remain reproducible yet independent; with
+        ``seed=None`` every campaign draws fresh OS entropy (campaigns are
+        independent but not reproducible).  This policy is pinned by the
+        unit tests -- changing it silently would invalidate cached sweeps.
         """
         results = []
         for index, simulate_once in enumerate(simulators):
             seed = None if self._seed is None else self._seed + index
-            results.append(
-                run_monte_carlo(
-                    simulate_once,
-                    runs=self._runs,
-                    seed=seed,
-                    keep_traces=self._keep_traces,
-                    confidence=self._confidence,
-                )
-            )
+            results.append(self._campaign(simulate_once, seed))
         return results

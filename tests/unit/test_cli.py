@@ -32,6 +32,37 @@ class TestParser:
         assert args.kernel == "cholesky"
         assert args.n == 32
 
+    def test_campaign_flags(self):
+        args = build_parser().parse_args(
+            [
+                "campaign",
+                "--validate",
+                "--runs",
+                "25",
+                "--reduced",
+                "--workers",
+                "3",
+                "--cache-dir",
+                "/tmp/some-cache",
+                "--resume",
+            ]
+        )
+        assert args.command == "campaign"
+        assert args.validate and args.reduced and args.resume
+        assert args.runs == 25
+        assert args.workers == 3
+        assert args.cache_dir == "/tmp/some-cache"
+
+    def test_campaign_defaults(self):
+        args = build_parser().parse_args(["campaign"])
+        assert not args.resume
+        assert args.cache_dir is None
+        assert args.workers is None
+
+    def test_figure7_workers_flag(self):
+        args = build_parser().parse_args(["figure7", "--workers", "2"])
+        assert args.workers == 2
+
 
 class TestMain:
     def test_figure8_runs_and_prints(self, capsys):
@@ -59,3 +90,60 @@ class TestMain:
         captured = capsys.readouterr().out
         assert exit_code == 0
         assert "measured phi" in captured
+
+
+class TestCampaignCommand:
+    def test_campaign_model_only(self, capsys):
+        exit_code = main(["campaign", "--reduced"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Campaign: waste vs (MTBF, alpha)" in captured
+        assert "computed 20, reused 0 cached" in captured
+
+    def test_campaign_cache_round_trip(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        args = ["campaign", "--reduced", "--cache-dir", cache_dir]
+
+        exit_code = main(args)
+        first = capsys.readouterr().out
+        assert exit_code == 0
+        assert "computed 20, reused 0 cached" in first
+        assert cache_dir in first
+
+        # Rerun with --resume: every point comes from the cache.
+        exit_code = main(args + ["--resume"])
+        second = capsys.readouterr().out
+        assert exit_code == 0
+        assert "computed 0, reused 20 cached" in second
+
+    def test_campaign_validate_with_workers_and_csv(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        csv_path = tmp_path / "campaign.csv"
+        exit_code = main(
+            [
+                "campaign",
+                "--reduced",
+                "--validate",
+                "--runs",
+                "3",
+                "--seed",
+                "7",
+                "--workers",
+                "1",
+                "--cache-dir",
+                cache_dir,
+                "--csv",
+                str(csv_path),
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "sim_waste[PurePeriodicCkpt]" in captured
+        assert csv_path.exists()
+        assert "mtbf_minutes" in csv_path.read_text()
+
+    def test_figure7_with_workers(self, capsys):
+        exit_code = main(["figure7", "--reduced", "--workers", "1"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Figure 7" in captured

@@ -1,0 +1,127 @@
+"""Regression tests pinning ``sweep_mtbf_alpha`` and its SweepRunner rewrite.
+
+``sweep_mtbf_alpha`` feeds the Figure 7 heatmaps; the campaign subsystem
+(:class:`repro.campaign.SweepRunner`, the vectorised analytical grid)
+materialises the same grids.  These tests pin the generator's contract --
+grid ordering, waste-dict keys, numeric values at known points -- and assert
+that every rewrite path reproduces it bit for bit, so figure data cannot
+silently change.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign import SweepJob, SweepRunner
+from repro.core.analytical import (
+    AbftPeriodicCkptModel,
+    BiPeriodicCkptModel,
+    PurePeriodicCkptModel,
+)
+from repro.core.analytical.grid import waste_grid
+from repro.core.parameters import ResilienceParameters
+from repro.experiments.sweep import SweepPoint, sweep_mtbf_alpha
+from repro.utils import MINUTE, WEEK
+
+FACTORIES = [PurePeriodicCkptModel, BiPeriodicCkptModel, AbftPeriodicCkptModel]
+PROTOCOLS = ("PurePeriodicCkpt", "BiPeriodicCkpt", "ABFT&PeriodicCkpt")
+MTBFS = (60 * MINUTE, 120 * MINUTE, 240 * MINUTE)
+ALPHAS = (0.0, 0.5, 1.0)
+
+#: Paper-parameter waste values, pinned to 15 significant digits.  These are
+#: the Figure 7 operating points at three MTBFs; a change here means the
+#: figure data changed.
+PINNED = {
+    (3600.0, 0.0, "PurePeriodicCkpt"): 0.6217491947499509,
+    (3600.0, 0.5, "BiPeriodicCkpt"): 0.603469522924179,
+    (3600.0, 0.5, "ABFT&PeriodicCkpt"): 0.46384509969613286,
+    (3600.0, 1.0, "ABFT&PeriodicCkpt"): 0.07912936833646556,
+    (7200.0, 0.0, "PurePeriodicCkpt"): 0.43908725099762513,
+    (7200.0, 0.5, "ABFT&PeriodicCkpt"): 0.2960592604495963,
+    (7200.0, 1.0, "BiPeriodicCkpt"): 0.4063435502970184,
+    (14400.0, 0.0, "PurePeriodicCkpt"): 0.30698207192814375,
+    (14400.0, 0.5, "ABFT&PeriodicCkpt"): 0.1960627749244851,
+    (14400.0, 1.0, "ABFT&PeriodicCkpt"): 0.04232663540380377,
+}
+
+
+@pytest.fixture(scope="module")
+def base_parameters() -> ResilienceParameters:
+    return ResilienceParameters.from_scalars(
+        platform_mtbf=120 * MINUTE,
+        checkpoint=10 * MINUTE,
+        recovery=10 * MINUTE,
+        downtime=1 * MINUTE,
+        library_fraction=0.8,
+        abft_overhead=1.03,
+        abft_reconstruction=2.0,
+    )
+
+
+@pytest.fixture(scope="module")
+def sweep_points(base_parameters) -> list[SweepPoint]:
+    return list(
+        sweep_mtbf_alpha(base_parameters, 1 * WEEK, MTBFS, ALPHAS, FACTORIES)
+    )
+
+
+class TestSweepMtbfAlphaContract:
+    def test_grid_ordering_is_mtbf_major(self, sweep_points):
+        coords = [(p.mtbf, p.alpha) for p in sweep_points]
+        assert coords == [(m, a) for m in MTBFS for a in ALPHAS]
+
+    def test_waste_dict_keys_are_protocol_names(self, sweep_points):
+        for point in sweep_points:
+            assert tuple(point.waste) == PROTOCOLS
+
+    def test_pinned_values(self, sweep_points):
+        by_coords = {(p.mtbf, p.alpha): p.waste for p in sweep_points}
+        for (mtbf, alpha, protocol), expected in PINNED.items():
+            assert by_coords[(mtbf, alpha)][protocol] == pytest.approx(
+                expected, rel=1e-13
+            )
+
+    def test_alpha_zero_collapses_to_pure_periodic(self, sweep_points):
+        for point in sweep_points:
+            if point.alpha == 0.0:
+                assert (
+                    point.waste["BiPeriodicCkpt"]
+                    == point.waste["ABFT&PeriodicCkpt"]
+                    == point.waste["PurePeriodicCkpt"]
+                )
+
+
+class TestSweepRunnerEquivalence:
+    """The SweepRunner rewrite must reproduce the generator bit for bit."""
+
+    @pytest.mark.parametrize("vectorized", [True, False], ids=["vector", "scalar"])
+    def test_runner_matches_generator(self, base_parameters, sweep_points, vectorized):
+        job = SweepJob(
+            parameters=base_parameters,
+            application_time=1 * WEEK,
+            mtbf_values=MTBFS,
+            alpha_values=ALPHAS,
+        )
+        result = SweepRunner(vectorized=vectorized).run(job)
+        assert len(result.points) == len(sweep_points)
+        for got, expected in zip(result.points, sweep_points):
+            assert (got.mtbf, got.alpha) == (expected.mtbf, expected.alpha)
+            assert got.model_waste == expected.waste
+
+    def test_vectorized_grid_matches_generator(self, base_parameters, sweep_points):
+        grids = waste_grid(base_parameters, 1 * WEEK, MTBFS, ALPHAS, PROTOCOLS)
+        for point in sweep_points:
+            i = MTBFS.index(point.mtbf)
+            j = ALPHAS.index(point.alpha)
+            for protocol in PROTOCOLS:
+                assert float(grids[protocol][i, j]) == point.waste[protocol]
+
+    def test_infeasible_regime_waste_is_one(self, base_parameters):
+        # MTBF below D + R: checkpointing cannot keep up, waste saturates.
+        grids = waste_grid(base_parameters, 1 * WEEK, (10 * MINUTE,), (0.0,))
+        assert float(grids["PurePeriodicCkpt"][0, 0]) == 1.0
+        scalar = PurePeriodicCkptModel(base_parameters.with_mtbf(10 * MINUTE))
+        from repro.application.workload import ApplicationWorkload
+
+        workload = ApplicationWorkload.single_epoch(1 * WEEK, 0.0)
+        assert scalar.waste(workload) == 1.0

@@ -78,3 +78,39 @@ class TestMonteCarloRunner:
         runner = MonteCarloRunner(runs=7, seed=9)
         assert runner.runs == 7
         assert runner.seed == 9
+
+
+class TestRunManySeedPolicy:
+    """Pins the documented policy: simulator ``i`` gets root seed ``seed + i``.
+
+    Cached sweep results and the serial/parallel equivalence guarantee both
+    depend on this mapping staying exactly as documented, so it is asserted
+    bit for bit rather than statistically.
+    """
+
+    def test_simulator_i_gets_seed_plus_i(self):
+        seed = 5
+        runner = MonteCarloRunner(runs=25, seed=seed)
+        results = runner.run_many([_fake_simulation, _fake_simulation, _fake_simulation])
+        for index, result in enumerate(results):
+            expected = run_monte_carlo(_fake_simulation, runs=25, seed=seed + index)
+            assert result.waste == expected.waste
+            assert result.makespan == expected.makespan
+            assert result.failures == expected.failures
+
+    def test_first_simulator_uses_root_seed_unshifted(self):
+        runner = MonteCarloRunner(runs=20, seed=31)
+        result = runner.run_many([_fake_simulation])[0]
+        assert result.waste == run_monte_carlo(_fake_simulation, runs=20, seed=31).waste
+
+    def test_seed_none_campaigns_are_independent(self):
+        runner = MonteCarloRunner(runs=30, seed=None)
+        a, b = runner.run_many([_fake_simulation, _fake_simulation])
+        # Entropy-seeded campaigns must not accidentally share streams.
+        assert a.mean_waste != b.mean_waste
+
+    def test_seed_none_reruns_differ(self):
+        runner = MonteCarloRunner(runs=30, seed=None)
+        first = runner.run(_fake_simulation)
+        second = runner.run(_fake_simulation)
+        assert first.mean_waste != second.mean_waste
