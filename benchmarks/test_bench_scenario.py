@@ -1,0 +1,101 @@
+"""Benchmark: scenario-spec overhead and failure-law simulator throughput.
+
+The scenario redesign routes every experiment through
+:class:`repro.scenario.ScenarioSpec` -- construction, schema validation,
+JSON round-trips and registry resolution now sit on the hot path of every
+campaign.  These benchmarks pin that cost (it should stay microseconds,
+i.e. invisible next to a single simulated execution) and compare simulator
+throughput under the exponential and Weibull failure laws, so the price of
+the scenario-diversity payoff is tracked over time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.protocols import AbftPeriodicCkptSimulator
+from repro.failures import WeibullFailureModel
+from repro.scenario import Scenario, ScenarioSpec, run_scenario
+from repro.simulation import run_monte_carlo
+
+RUNS = 60
+SEED = 2014
+
+
+@pytest.fixture(scope="module")
+def weibull_spec() -> ScenarioSpec:
+    return Scenario.paper_figure7().with_failures("weibull", shape=0.7).build()
+
+
+# ---------------------------------------------------------------------- #
+# Spec construction / serialization / resolution overhead
+# ---------------------------------------------------------------------- #
+def test_spec_build(benchmark):
+    spec = benchmark(
+        lambda: Scenario.paper_figure7().with_failures("weibull", shape=0.7).build()
+    )
+    assert spec.failures.model == "weibull"
+
+
+def test_spec_dict_round_trip(benchmark, weibull_spec):
+    def round_trip() -> ScenarioSpec:
+        return ScenarioSpec.from_dict(weibull_spec.to_dict())
+
+    assert benchmark(round_trip) == weibull_spec
+
+
+def test_spec_json_round_trip(benchmark, weibull_spec):
+    def round_trip() -> ScenarioSpec:
+        return ScenarioSpec.from_json(weibull_spec.to_json())
+
+    assert benchmark(round_trip) == weibull_spec
+
+
+def test_spec_resolve(benchmark, weibull_spec):
+    bound = benchmark(weibull_spec.resolve, "abft")
+    assert isinstance(bound.simulator, AbftPeriodicCkptSimulator)
+    assert isinstance(bound.failure_model, WeibullFailureModel)
+
+
+# ---------------------------------------------------------------------- #
+# Simulator throughput: exponential vs Weibull failure law
+# ---------------------------------------------------------------------- #
+def test_simulator_throughput_exponential(benchmark, paper_parameters, paper_workload):
+    simulator = AbftPeriodicCkptSimulator(paper_parameters, paper_workload)
+    result = benchmark(
+        run_monte_carlo, simulator.simulate_once, runs=RUNS, seed=SEED
+    )
+    assert result.runs == RUNS
+
+
+def test_simulator_throughput_weibull(benchmark, paper_parameters, paper_workload):
+    simulator = AbftPeriodicCkptSimulator(
+        paper_parameters,
+        paper_workload,
+        failure_model=WeibullFailureModel(
+            paper_parameters.platform_mtbf, shape=0.7
+        ),
+    )
+    result = benchmark(
+        run_monte_carlo, simulator.simulate_once, runs=RUNS, seed=SEED
+    )
+    assert result.runs == RUNS
+
+
+# ---------------------------------------------------------------------- #
+# End-to-end: a reduced validated scenario through the campaign layer
+# ---------------------------------------------------------------------- #
+def test_scenario_end_to_end_reduced(benchmark):
+    spec = (
+        Scenario.quick()
+        .with_failures("weibull", shape=0.7)
+        .with_simulation(runs=10, seed=SEED)
+        .build()
+    )
+
+    def run():
+        with pytest.warns(Warning):
+            return run_scenario(spec)
+
+    result = benchmark(run)
+    assert len(result.points) == 12

@@ -16,7 +16,11 @@ The package provides, from scratch and in pure Python + NumPy:
 * the experiment harness regenerating every figure of the evaluation section
   (:mod:`repro.experiments`, also exposed through ``python -m repro.cli``);
 * a campaign-execution subsystem for running the validation at scale
-  (:mod:`repro.campaign`).
+  (:mod:`repro.campaign`);
+* the unified Scenario API (:mod:`repro.scenario`): declarative,
+  JSON-serializable experiment specs -- protocol set x failure law x
+  platform x workload x sweep axes -- consumed by the registry, the
+  simulators, the campaign layer and the ``scenario`` CLI subcommands.
 
 Running campaigns at scale
 --------------------------
@@ -79,6 +83,7 @@ from repro.campaign import (
     run_monte_carlo_parallel,
 )
 from repro.failures import ExponentialFailureModel, FailureTimeline, Platform
+from repro.scenario import Scenario, ScenarioResult, ScenarioSpec, run_scenario
 from repro.simulation import MonteCarloResult, MonteCarloRunner, run_monte_carlo
 
 __version__ = "1.0.0"
@@ -117,6 +122,11 @@ __all__ = [
     "SweepJob",
     "SweepResult",
     "SweepRunner",
+    # Scenario API
+    "Scenario",
+    "ScenarioSpec",
+    "ScenarioResult",
+    "run_scenario",
     # Convenience
     "quick_waste_comparison",
 ]

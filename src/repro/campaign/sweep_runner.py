@@ -19,6 +19,7 @@ evaluates the grid lazily and forgets everything afterwards.  The
 
 from __future__ import annotations
 
+import difflib
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Optional, Sequence, Tuple
@@ -28,9 +29,16 @@ import numpy as np
 from repro.application.workload import ApplicationWorkload
 from repro.campaign.cache import SweepCache
 from repro.campaign.executor import ParallelMonteCarloExecutor
-from repro.core.analytical.grid import waste_points
+from repro.core.analytical.grid import GRID_PROTOCOLS, waste_points
 from repro.core.parameters import ResilienceParameters
-from repro.core.registry import PROTOCOL_PAIRS
+from repro.core.registry import (
+    PROTOCOL_PAIRS,
+    UnknownProtocolError,
+    create_failure_model,
+    protocol_names,
+    resolve_failure_model,
+    resolve_protocol,
+)
 
 __all__ = ["SweepJob", "GridPoint", "SweepResult", "SweepRunner", "CAMPAIGN_PROTOCOLS"]
 
@@ -51,14 +59,29 @@ class SweepJob:
     mtbf_values / alpha_values:
         Grid axes (MTBF in seconds, alpha in [0, 1]).
     protocols:
-        Protocol names to evaluate (keys of :data:`CAMPAIGN_PROTOCOLS`).
+        Protocol names to evaluate (registered names or aliases; see
+        :func:`repro.core.registry.protocol_names`).
     library_fraction:
         ``rho`` of the workload's dataset; ``None`` uses the parameters'.
+    epochs:
+        Number of identical epochs the workload is split into (1, the
+        Figure 7 single-epoch shape, by default).
     simulate:
         Also run a Monte-Carlo campaign at every grid point.
     simulation_runs / seed:
         Campaign size and root seed when ``simulate`` is set (every grid
         point uses the same root seed, like the Figure 7 harness).
+    failure_model / failure_params:
+        Failure law driving the simulated campaigns: any registered model
+        name (``"exponential"``, ``"weibull"``, ``"lognormal"``,
+        ``"trace"``, ...) plus its parameters as a tuple of ``(key, value)``
+        pairs (kept hashable for the cache key).  The analytical column
+        always uses the closed forms, which assume the exponential law.
+    model_params:
+        Per-protocol analytical-model constructor options as a tuple of
+        ``(protocol name, ((key, value), ...))`` pairs (e.g. the composite
+        model's ``per_epoch=False``); selecting any disables the vectorised
+        grid path for the affected sweep.
     """
 
     parameters: ResilienceParameters
@@ -67,23 +90,64 @@ class SweepJob:
     alpha_values: Tuple[float, ...]
     protocols: Tuple[str, ...] = tuple(CAMPAIGN_PROTOCOLS)
     library_fraction: Optional[float] = None
+    epochs: int = 1
     simulate: bool = False
     simulation_runs: int = 200
     seed: Optional[int] = 2014
+    failure_model: str = "exponential"
+    failure_params: Tuple[Tuple[str, Any], ...] = ()
+    model_params: Tuple[Tuple[str, Tuple[Tuple[str, Any], ...]], ...] = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "mtbf_values", tuple(float(m) for m in self.mtbf_values))
         object.__setattr__(self, "alpha_values", tuple(float(a) for a in self.alpha_values))
         object.__setattr__(self, "protocols", tuple(self.protocols))
-        unknown = set(self.protocols) - set(CAMPAIGN_PROTOCOLS)
+        object.__setattr__(self, "failure_params", tuple(self.failure_params))
+        object.__setattr__(
+            self,
+            "model_params",
+            tuple((name, tuple(options)) for name, options in self.model_params),
+        )
+        unknown = [
+            name
+            for name in self.protocols
+            if not self._is_registered(name)
+        ]
         if unknown:
-            raise ValueError(f"unknown protocols {sorted(unknown)}")
+            known = protocol_names()
+            suggestions = [
+                match
+                for name in unknown
+                for match in difflib.get_close_matches(name, known, n=1, cutoff=0.4)
+            ]
+            message = (
+                f"unknown protocols {sorted(unknown)}; registered: {sorted(known)}"
+            )
+            if suggestions:
+                message += f" -- did you mean {sorted(set(suggestions))}?"
+            raise UnknownProtocolError(unknown[0], known, message=message)
+        # Canonicalize the failure-model spelling so aliases ("exp",
+        # "poisson") hit the same cache keys and the same exponential fast
+        # path as the canonical name.
+        object.__setattr__(
+            self, "failure_model", resolve_failure_model(self.failure_model).name
+        )
         if not self.mtbf_values or not self.alpha_values:
             raise ValueError("mtbf_values and alpha_values must be non-empty")
+        if self.epochs <= 0:
+            raise ValueError(f"epochs must be positive, got {self.epochs}")
         if self.simulate and self.simulation_runs <= 0:
             raise ValueError(
                 f"simulation_runs must be positive, got {self.simulation_runs}"
             )
+
+    @staticmethod
+    def _is_registered(name: str) -> bool:
+        try:
+            resolve_protocol(name)
+        except UnknownProtocolError:
+            return False
+        return True
 
     # ------------------------------------------------------------------ #
     @property
@@ -123,12 +187,53 @@ class SweepJob:
         if self.simulate:
             key["simulation_runs"] = self.simulation_runs
             key["seed"] = self.seed
+        # Non-default shape/law fields are added conditionally so the keys of
+        # pre-existing (exponential, single-epoch) caches remain valid.
+        if self.epochs != 1:
+            key["epochs"] = self.epochs
+        if self.failure_model != "exponential" or self.failure_params:
+            key["failure_model"] = self.failure_model
+            key["failure_params"] = [list(pair) for pair in self.failure_params]
+        if self.model_params:
+            key["model_params"] = [
+                [name, [list(pair) for pair in options]]
+                for name, options in self.model_params
+            ]
         return key
 
+    def model_kwargs_for(self, protocol: str) -> Dict[str, Any]:
+        """Analytical-model constructor options for one protocol."""
+        canonical = resolve_protocol(protocol).name
+        for name, options in self.model_params:
+            if resolve_protocol(name).name == canonical:
+                return dict(options)
+        return {}
+
     def workload(self, alpha: float) -> ApplicationWorkload:
-        """The single-epoch workload evaluated at one alpha."""
-        return ApplicationWorkload.single_epoch(
-            self.application_time, alpha, library_fraction=self.rho
+        """The workload evaluated at one alpha."""
+        if self.epochs == 1:
+            return ApplicationWorkload.single_epoch(
+                self.application_time, alpha, library_fraction=self.rho
+            )
+        return ApplicationWorkload.iterative(
+            self.epochs,
+            self.application_time / self.epochs,
+            alpha,
+            library_fraction=self.rho,
+        )
+
+    def point_failure_model(self, mtbf: float):
+        """The failure model driving simulated campaigns at one grid point.
+
+        ``None`` for the default exponential law: the simulator then builds
+        its own :class:`ExponentialFailureModel`, which keeps the simulation
+        stream (and therefore existing cache entries) bit-identical to the
+        pre-scenario code path.
+        """
+        if self.failure_model == "exponential" and not self.failure_params:
+            return None
+        return create_failure_model(
+            self.failure_model, float(mtbf), **dict(self.failure_params)
         )
 
 
@@ -259,14 +364,24 @@ class SweepRunner:
         self, job: SweepJob, coords: Sequence[Tuple[float, float]]
     ) -> Dict[Tuple[float, float], Dict[str, float]]:
         """Analytical waste of every protocol at the given points."""
-        if self._vectorized:
+        canonical = tuple(resolve_protocol(name).name for name in job.protocols)
+        vectorizable = (
+            self._vectorized
+            and job.epochs == 1
+            and not job.model_params
+            and set(canonical) <= set(GRID_PROTOCOLS)
+        )
+        if vectorizable:
             mtbf = np.array([m for m, _ in coords], dtype=float)
             alpha = np.array([a for _, a in coords], dtype=float)
             grids = waste_points(
-                job.parameters, job.application_time, mtbf, alpha, job.protocols
+                job.parameters, job.application_time, mtbf, alpha, canonical
             )
             return {
-                pair: {name: float(grids[name][i]) for name in job.protocols}
+                pair: {
+                    name: float(grids[cname][i])
+                    for name, cname in zip(job.protocols, canonical)
+                }
                 for i, pair in enumerate(coords)
             }
         out: Dict[Tuple[float, float], Dict[str, float]] = {}
@@ -274,7 +389,9 @@ class SweepRunner:
             parameters = job.parameters.with_mtbf(mtbf)
             workload = job.workload(alpha)
             out[(mtbf, alpha)] = {
-                name: CAMPAIGN_PROTOCOLS[name][0](parameters).waste(workload)
+                name: resolve_protocol(name)
+                .model_cls(parameters, **job.model_kwargs_for(name))
+                .waste(workload)
                 for name in job.protocols
             }
         return out
@@ -285,9 +402,12 @@ class SweepRunner:
         """Mean simulated waste of every protocol at one grid point."""
         parameters = job.parameters.with_mtbf(mtbf)
         workload = job.workload(alpha)
+        failure_model = job.point_failure_model(mtbf)
         simulated: Dict[str, float] = {}
         for name in job.protocols:
-            simulator = CAMPAIGN_PROTOCOLS[name][1](parameters, workload)
+            simulator = resolve_protocol(name).simulator_cls(
+                parameters, workload, failure_model=failure_model
+            )
             campaign = self._executor.run(
                 simulator.simulate_once,
                 runs=job.simulation_runs,

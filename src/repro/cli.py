@@ -24,6 +24,15 @@ Resumable, parallel sweep campaign over the (MTBF, alpha) plane::
     python -m repro.cli campaign --reduced --validate --runs 100 \
         --workers 4 --cache-dir ./campaign-cache --resume
 
+Declarative scenarios (see EXPERIMENTS.md for the file format)::
+
+    # What protocols and failure models can a scenario name?
+    python -m repro.cli scenario list
+    # Run a JSON scenario end-to-end (any registered failure model):
+    python -m repro.cli scenario run examples/custom_scenario.json
+    python -m repro.cli scenario run spec.json --validate --runs 100 \
+        --workers 4 --cache-dir ./scenario-cache --csv out.csv
+
 ABFT substrate demonstration::
 
     python -m repro.cli abft --kernel lu --n 128 --block-size 32
@@ -156,6 +165,54 @@ def build_parser() -> argparse.ArgumentParser:
         )
         fig.add_argument("--csv", type=str, default=None, help="write the series to CSV")
 
+    scenario = sub.add_parser(
+        "scenario",
+        help="run or inspect declarative scenario specs (JSON files)",
+    )
+    scenario_sub = scenario.add_subparsers(dest="scenario_command", required=True)
+    scenario_run = scenario_sub.add_parser(
+        "run", help="run a scenario spec end-to-end from a JSON file"
+    )
+    scenario_run.add_argument("spec", type=str, help="path to the scenario JSON file")
+    scenario_run.add_argument(
+        "--validate",
+        action="store_true",
+        default=None,
+        help="force Monte-Carlo validation on (overrides the spec)",
+    )
+    scenario_run.add_argument(
+        "--runs",
+        type=_positive_int,
+        default=None,
+        help="simulated executions per grid point (overrides the spec)",
+    )
+    scenario_run.add_argument(
+        "--seed", type=int, default=None, help="root seed (overrides the spec)"
+    )
+    scenario_run.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        help="worker processes for the Monte-Carlo trials (default: serial)",
+    )
+    scenario_run.add_argument(
+        "--cache-dir",
+        type=str,
+        default=None,
+        help="directory for the per-point result cache (enables caching)",
+    )
+    scenario_run.add_argument(
+        "--resume",
+        action="store_true",
+        help="reuse completed points from --cache-dir instead of recomputing",
+    )
+    scenario_run.add_argument(
+        "--csv", type=str, default=None, help="write the series to CSV"
+    )
+    scenario_sub.add_parser(
+        "list", help="list registered protocols and failure models"
+    )
+
     abft = sub.add_parser("abft", help="ABFT kernel demonstration and overhead")
     abft.add_argument("--kernel", choices=["lu", "cholesky"], default="lu")
     abft.add_argument("--n", type=int, default=128, help="matrix order")
@@ -264,6 +321,68 @@ def _run_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_scenario_list() -> int:
+    from repro.core.registry import (
+        failure_model_names,
+        resolve_failure_model,
+        resolve_protocol,
+        protocol_names,
+    )
+
+    print("registered protocols:")
+    for name in protocol_names():
+        entry = resolve_protocol(name)
+        aliases = f" (aliases: {', '.join(entry.aliases)})" if entry.aliases else ""
+        print(f"  {name}{aliases}")
+    print("registered failure models:")
+    for name in failure_model_names():
+        entry = resolve_failure_model(name)
+        aliases = f" (aliases: {', '.join(entry.aliases)})" if entry.aliases else ""
+        print(f"  {name}{aliases}")
+    return 0
+
+
+def _run_scenario(args: argparse.Namespace) -> int:
+    from repro.core.registry import UnknownFailureModelError, UnknownProtocolError
+    from repro.scenario import ScenarioError, ScenarioSpec, run_scenario
+
+    if args.scenario_command == "list":
+        return _run_scenario_list()
+
+    try:
+        spec = ScenarioSpec.load(args.spec)
+    except (ScenarioError, UnknownProtocolError, UnknownFailureModelError) as exc:
+        print(f"error: invalid scenario file {args.spec!r}: {exc}", file=sys.stderr)
+        return 2
+    print(spec.describe())
+    try:
+        result = run_scenario(
+            spec,
+            validate=args.validate,
+            runs=args.runs,
+            seed=args.seed,
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+            resume=args.resume,
+        )
+    except (ScenarioError, UnknownProtocolError, UnknownFailureModelError) as exc:
+        print(f"error: scenario {spec.name!r} failed: {exc}", file=sys.stderr)
+        return 2
+    table = result.to_table()
+    print(table.to_text())
+    print(
+        f"grid points: {len(result.points)} "
+        f"(computed {result.sweep.computed_points}, "
+        f"reused {result.sweep.cached_points} cached)"
+    )
+    if args.cache_dir:
+        print(f"cache directory: {args.cache_dir}")
+    if args.csv:
+        path = result.write_csv(args.csv)
+        print(f"series written to {path}")
+    return 0
+
+
 def _run_abft(args: argparse.Namespace) -> int:
     from repro.abft import measure_overhead
 
@@ -291,6 +410,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_weak_scaling(args, args.command)
     if args.command == "campaign":
         return _run_campaign(args)
+    if args.command == "scenario":
+        return _run_scenario(args)
     if args.command == "abft":
         return _run_abft(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover

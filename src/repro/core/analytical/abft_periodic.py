@@ -48,10 +48,16 @@ from repro.core.analytical.young_daly import (
     unprotected_final_time,
 )
 from repro.core.parameters import ResilienceParameters
+from repro.core.registry import register_protocol
 
 __all__ = ["AbftPeriodicCkptModel"]
 
 
+@register_protocol(
+    "ABFT&PeriodicCkpt",
+    kind="model",
+    aliases=("abft", "composite", "abft-periodic"),
+)
 class AbftPeriodicCkptModel(AnalyticalModel):
     """Expected execution time under the ABFT&PeriodicCkpt composite protocol.
 

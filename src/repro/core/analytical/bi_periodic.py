@@ -18,10 +18,14 @@ from repro.application.workload import ApplicationWorkload
 from repro.core.analytical.base import AnalyticalModel
 from repro.core.analytical.young_daly import optimal_period, periodic_final_time
 from repro.core.parameters import ResilienceParameters
+from repro.core.registry import register_protocol
 
 __all__ = ["BiPeriodicCkptModel"]
 
 
+@register_protocol(
+    "BiPeriodicCkpt", kind="model", aliases=("bi", "bi-periodic")
+)
 class BiPeriodicCkptModel(AnalyticalModel):
     """Expected execution time under bi-periodic (incremental) checkpointing.
 

@@ -20,10 +20,14 @@ from typing import Any, Mapping
 
 from repro.application.workload import ApplicationWorkload
 from repro.core.analytical.base import AnalyticalModel
+from repro.core.registry import register_protocol
 
 __all__ = ["NoFaultToleranceModel"]
 
 
+@register_protocol(
+    "NoFT", kind="model", aliases=("none", "no-ft", "restart"), paper=False
+)
 class NoFaultToleranceModel(AnalyticalModel):
     """Expected completion time with restart-from-scratch on every failure."""
 

@@ -15,10 +15,14 @@ from repro.application.workload import ApplicationWorkload
 from repro.core.analytical.base import AnalyticalModel
 from repro.core.analytical.young_daly import optimal_period, periodic_final_time
 from repro.core.parameters import ResilienceParameters
+from repro.core.registry import register_protocol
 
 __all__ = ["PurePeriodicCkptModel"]
 
 
+@register_protocol(
+    "PurePeriodicCkpt", kind="model", aliases=("pure", "pure-periodic")
+)
 class PurePeriodicCkptModel(AnalyticalModel):
     """Expected execution time under pure periodic checkpointing.
 

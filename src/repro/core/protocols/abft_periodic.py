@@ -39,6 +39,8 @@ from repro.application.workload import ApplicationWorkload
 from repro.core.analytical.young_daly import optimal_period
 from repro.core.parameters import ResilienceParameters
 from repro.core.protocols.base import ProtocolSimulator
+from repro.core.registry import register_protocol
+from repro.failures.base import FailureModel
 from repro.failures.timeline import FailureTimeline
 from repro.simulation.events import EventKind
 from repro.simulation.trace import TraceRecorder
@@ -46,6 +48,11 @@ from repro.simulation.trace import TraceRecorder
 __all__ = ["AbftPeriodicCkptSimulator"]
 
 
+@register_protocol(
+    "ABFT&PeriodicCkpt",
+    kind="simulator",
+    aliases=("abft", "composite", "abft-periodic"),
+)
 class AbftPeriodicCkptSimulator(ProtocolSimulator):
     """Simulate the ABFT&PeriodicCkpt composite protocol.
 
@@ -73,12 +80,14 @@ class AbftPeriodicCkptSimulator(ProtocolSimulator):
         general_period: Optional[float] = None,
         safeguard: bool = False,
         period_formula: str = "paper",
+        failure_model: Optional[FailureModel] = None,
         record_events: bool = False,
         max_slowdown: float = 1e4,
     ) -> None:
         super().__init__(
             parameters,
             workload,
+            failure_model=failure_model,
             record_events=record_events,
             max_slowdown=max_slowdown,
         )

@@ -18,6 +18,7 @@ that each concrete protocol is a short, readable composition of them.
 from __future__ import annotations
 
 import abc
+import copy
 import math
 from typing import Optional, Sequence
 
@@ -25,6 +26,7 @@ import numpy as np
 
 from repro.application.workload import ApplicationWorkload
 from repro.core.parameters import ResilienceParameters
+from repro.failures.base import FailureModel
 from repro.failures.exponential import ExponentialFailureModel
 from repro.failures.timeline import FailureTimeline
 from repro.simulation.events import EventKind
@@ -58,6 +60,14 @@ class ProtocolSimulator(abc.ABC):
         The resilience parameter bundle (MTBF, costs, ABFT parameters).
     workload:
         The application to protect.
+    failure_model:
+        The failure law driving the simulation.  ``None`` (default) uses the
+        paper's memoryless law,
+        :class:`~repro.failures.exponential.ExponentialFailureModel` at the
+        parameters' platform MTBF; any other
+        :class:`~repro.failures.base.FailureModel` (Weibull, log-normal,
+        trace replay, ...) is accepted, which is how the scenario layer
+        studies non-exponential failure laws.
     record_events:
         Store individual events in the resulting trace (off by default; the
         aggregate time breakdown is always recorded).
@@ -75,6 +85,7 @@ class ProtocolSimulator(abc.ABC):
         parameters: ResilienceParameters,
         workload: ApplicationWorkload,
         *,
+        failure_model: Optional["FailureModel"] = None,
         record_events: bool = False,
         max_slowdown: float = 1e4,
     ) -> None:
@@ -82,6 +93,7 @@ class ProtocolSimulator(abc.ABC):
             raise ValueError(f"max_slowdown must be > 1, got {max_slowdown}")
         self._params = parameters
         self._workload = workload
+        self._failure_model = failure_model
         self._record_events = bool(record_events)
         self._max_makespan = float(max_slowdown) * workload.total_time
 
@@ -97,6 +109,11 @@ class ProtocolSimulator(abc.ABC):
     def workload(self) -> ApplicationWorkload:
         """The protected application."""
         return self._workload
+
+    @property
+    def failure_model(self) -> Optional[FailureModel]:
+        """The configured failure law (``None`` means exponential)."""
+        return self._failure_model
 
     def simulate(
         self,
@@ -114,7 +131,16 @@ class ProtocolSimulator(abc.ABC):
         if timeline is None:
             if rng is None:
                 rng = np.random.default_rng(seed)
-            model = ExponentialFailureModel(self._params.platform_mtbf)
+            model = self._failure_model
+            if model is None:
+                model = ExponentialFailureModel(self._params.platform_mtbf)
+            elif hasattr(model, "reset"):
+                # Stateful models (trace replay) get a private copy rewound
+                # to the first entry: every run replays the trace from the
+                # start, and concurrent runs sharing one simulator (thread
+                # pools) never advance each other's cursor.
+                model = copy.deepcopy(model)
+                model.reset()
             timeline = FailureTimeline(model, rng)
         recorder = TraceRecorder(
             self.name,

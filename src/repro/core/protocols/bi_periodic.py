@@ -24,6 +24,8 @@ from repro.application.workload import ApplicationWorkload
 from repro.core.analytical.young_daly import optimal_period
 from repro.core.parameters import ResilienceParameters
 from repro.core.protocols.base import ProtocolSimulator
+from repro.core.registry import register_protocol
+from repro.failures.base import FailureModel
 from repro.failures.timeline import FailureTimeline
 from repro.simulation.events import EventKind
 from repro.simulation.trace import TraceRecorder
@@ -31,6 +33,9 @@ from repro.simulation.trace import TraceRecorder
 __all__ = ["BiPeriodicCkptSimulator"]
 
 
+@register_protocol(
+    "BiPeriodicCkpt", kind="simulator", aliases=("bi", "bi-periodic")
+)
 class BiPeriodicCkptSimulator(ProtocolSimulator):
     """Simulate bi-periodic (incremental) checkpointing.
 
@@ -55,12 +60,14 @@ class BiPeriodicCkptSimulator(ProtocolSimulator):
         general_period: Optional[float] = None,
         library_period: Optional[float] = None,
         period_formula: str = "paper",
+        failure_model: Optional[FailureModel] = None,
         record_events: bool = False,
         max_slowdown: float = 1e4,
     ) -> None:
         super().__init__(
             parameters,
             workload,
+            failure_model=failure_model,
             record_events=record_events,
             max_slowdown=max_slowdown,
         )

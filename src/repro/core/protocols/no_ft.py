@@ -8,15 +8,22 @@ checkpoint to reload, so the recovery cost is zero).
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.application.workload import ApplicationWorkload
 from repro.core.parameters import ResilienceParameters
 from repro.core.protocols.base import ProtocolSimulator
+from repro.core.registry import register_protocol
+from repro.failures.base import FailureModel
 from repro.failures.timeline import FailureTimeline
 from repro.simulation.trace import TraceRecorder
 
 __all__ = ["NoFaultToleranceSimulator"]
 
 
+@register_protocol(
+    "NoFT", kind="simulator", aliases=("none", "no-ft", "restart"), paper=False
+)
 class NoFaultToleranceSimulator(ProtocolSimulator):
     """Simulate an execution with no protection at all."""
 
@@ -27,12 +34,14 @@ class NoFaultToleranceSimulator(ProtocolSimulator):
         parameters: ResilienceParameters,
         workload: ApplicationWorkload,
         *,
+        failure_model: Optional[FailureModel] = None,
         record_events: bool = False,
         max_slowdown: float = 1e4,
     ) -> None:
         super().__init__(
             parameters,
             workload,
+            failure_model=failure_model,
             record_events=record_events,
             max_slowdown=max_slowdown,
         )

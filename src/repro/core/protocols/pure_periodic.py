@@ -15,12 +15,17 @@ from repro.application.workload import ApplicationWorkload
 from repro.core.analytical.young_daly import optimal_period
 from repro.core.parameters import ResilienceParameters
 from repro.core.protocols.base import ProtocolSimulator
+from repro.core.registry import register_protocol
+from repro.failures.base import FailureModel
 from repro.failures.timeline import FailureTimeline
 from repro.simulation.trace import TraceRecorder
 
 __all__ = ["PurePeriodicCkptSimulator"]
 
 
+@register_protocol(
+    "PurePeriodicCkpt", kind="simulator", aliases=("pure", "pure-periodic")
+)
 class PurePeriodicCkptSimulator(ProtocolSimulator):
     """Simulate pure periodic checkpointing with a single period.
 
@@ -44,12 +49,14 @@ class PurePeriodicCkptSimulator(ProtocolSimulator):
         *,
         period: Optional[float] = None,
         period_formula: str = "paper",
+        failure_model: Optional[FailureModel] = None,
         record_events: bool = False,
         max_slowdown: float = 1e4,
     ) -> None:
         super().__init__(
             parameters,
             workload,
+            failure_model=failure_model,
             record_events=record_events,
             max_slowdown=max_slowdown,
         )

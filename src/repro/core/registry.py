@@ -1,39 +1,404 @@
-"""The canonical protocol registry: analytical model + simulator per name.
+"""Extensible protocol / failure-model registry behind the Scenario API.
 
-Several layers need the same mapping from a protocol's paper name to its
-implementation pair -- the validation harness (Figures 7b/7d/7f), the
-campaign sweep runner, reports.  Keeping the pairing in one place, next to
-the classes it names, means adding or renaming a protocol is a single edit
-and the layers can never silently disagree on the protocol set.
+Several layers need the same mapping from a paper name to an implementation
+-- the validation harness (Figures 7b/7d/7f), the campaign sweep runner, the
+scenario runner, reports and the CLI.  This module keeps those mappings in
+one place and makes them *extensible*: implementations register themselves
+with the :func:`register_protocol` / :func:`register_failure_model` class
+decorators, so adding a protocol or a failure law is a single edit next to
+the class that implements it, and every layer immediately sees it.
+
+Lookups accept canonical names and aliases, case-insensitively.  Unknown
+names raise :class:`UnknownProtocolError` / :class:`UnknownFailureModelError`
+(both are also ``KeyError`` *and* ``ValueError`` subclasses, for
+compatibility with the pre-registry call sites) whose message lists the
+registered names and the nearest match.
+
+The historical ``PROTOCOL_PAIRS`` dict survives as a live, read-only mapping
+view over the registry restricted to the paper's three protocols, so code
+written against it keeps working unchanged; new code should prefer
+:func:`resolve_protocol` / :func:`resolve`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple, Type
-
-from repro.core.analytical import (
-    AbftPeriodicCkptModel,
-    AnalyticalModel,
-    BiPeriodicCkptModel,
-    PurePeriodicCkptModel,
+import difflib
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    Mapping,
+    NamedTuple,
+    Optional,
+    Tuple,
+    Type,
+    TypeVar,
 )
-from repro.core.protocols import (
-    AbftPeriodicCkptSimulator,
-    BiPeriodicCkptSimulator,
-    ProtocolSimulator,
-    PurePeriodicCkptSimulator,
-)
 
-__all__ = ["PROTOCOL_PAIRS", "PROTOCOL_NAMES"]
+__all__ = [
+    "UnknownProtocolError",
+    "UnknownFailureModelError",
+    "ProtocolEntry",
+    "FailureModelEntry",
+    "register_protocol",
+    "register_failure_model",
+    "protocol_names",
+    "failure_model_names",
+    "resolve_protocol",
+    "resolve_failure_model",
+    "create_failure_model",
+    "resolve",
+    "ResolvedProtocol",
+    "PROTOCOL_PAIRS",
+    "PROTOCOL_NAMES",
+]
 
-#: Analytical model and simulator classes, per protocol name (paper order).
-PROTOCOL_PAIRS: Dict[
-    str, Tuple[Type[AnalyticalModel], Type[ProtocolSimulator]]
-] = {
-    "PurePeriodicCkpt": (PurePeriodicCkptModel, PurePeriodicCkptSimulator),
-    "BiPeriodicCkpt": (BiPeriodicCkptModel, BiPeriodicCkptSimulator),
-    "ABFT&PeriodicCkpt": (AbftPeriodicCkptModel, AbftPeriodicCkptSimulator),
-}
+T = TypeVar("T", bound=type)
 
-#: Protocol names in the order the paper presents them.
-PROTOCOL_NAMES: Tuple[str, ...] = tuple(PROTOCOL_PAIRS)
+
+# ---------------------------------------------------------------------- #
+# Errors
+# ---------------------------------------------------------------------- #
+def _unknown_message(kind: str, name: object, known: Tuple[str, ...]) -> str:
+    message = f"unknown {kind} {name!r}; registered: {sorted(known)}"
+    if isinstance(name, str) and known:
+        close = difflib.get_close_matches(name, known, n=1, cutoff=0.4)
+        if close:
+            message += f" -- did you mean {close[0]!r}?"
+    return message
+
+
+class UnknownProtocolError(KeyError, ValueError):
+    """An unregistered protocol name was looked up.
+
+    Subclasses both ``KeyError`` (the ``PROTOCOL_PAIRS[name]`` contract) and
+    ``ValueError`` (the pre-registry validation contract) so every historical
+    ``except`` clause keeps catching it.  The message lists the registered
+    names and suggests the nearest match.
+    """
+
+    def __init__(
+        self,
+        name: object,
+        known: Tuple[str, ...] = (),
+        *,
+        message: Optional[str] = None,
+    ) -> None:
+        super().__init__(message or _unknown_message("protocol", name, known))
+        self.name = name
+        self.known = known
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return self.args[0]
+
+
+class UnknownFailureModelError(KeyError, ValueError):
+    """An unregistered failure-model name was looked up."""
+
+    def __init__(self, name: object, known: Tuple[str, ...] = ()) -> None:
+        super().__init__(_unknown_message("failure model", name, known))
+        self.name = name
+        self.known = known
+
+    def __str__(self) -> str:
+        return self.args[0]
+
+
+# ---------------------------------------------------------------------- #
+# Entries
+# ---------------------------------------------------------------------- #
+@dataclass
+class ProtocolEntry:
+    """One registered protocol: its analytical model and simulator classes.
+
+    Either class may be missing while registration is in flight (the model
+    and simulator live in different modules); :func:`resolve_protocol` only
+    returns complete entries.
+    """
+
+    name: str
+    aliases: Tuple[str, ...] = ()
+    model_cls: Optional[type] = None
+    simulator_cls: Optional[type] = None
+    #: Whether the entry belongs to the paper's headline comparison, i.e.
+    #: appears in the ``PROTOCOL_PAIRS`` compatibility view (the NoFT
+    #: baseline registers with ``paper=False``).
+    paper: bool = True
+
+    @property
+    def pair(self) -> Tuple[type, type]:
+        """The historical ``(model class, simulator class)`` pair."""
+        if self.model_cls is None or self.simulator_cls is None:
+            raise UnknownProtocolError(self.name, protocol_names())
+        return (self.model_cls, self.simulator_cls)
+
+
+@dataclass
+class FailureModelEntry:
+    """One registered failure model class plus its spec-level factory."""
+
+    name: str
+    cls: type
+    aliases: Tuple[str, ...] = ()
+    #: Builds an instance from spec-level data: ``factory(cls, mtbf, **params)``.
+    factory: Optional[Callable[..., Any]] = None
+
+    def create(self, mtbf: Optional[float] = None, **params: Any) -> Any:
+        """Instantiate the model for a target MTBF and model parameters."""
+        if self.factory is not None:
+            return self.factory(self.cls, mtbf, **params)
+        if mtbf is None:
+            raise ValueError(
+                f"failure model {self.name!r} requires an 'mtbf' value"
+            )
+        return self.cls(mtbf, **params)
+
+
+_PROTOCOLS: Dict[str, ProtocolEntry] = {}
+_PROTOCOL_LOOKUP: Dict[str, str] = {}  # casefolded name/alias -> canonical
+_FAILURE_MODELS: Dict[str, FailureModelEntry] = {}
+_FAILURE_LOOKUP: Dict[str, str] = {}
+
+_builtins_loaded = False
+
+
+def _ensure_builtins() -> None:
+    """Import the modules that register the built-in implementations.
+
+    The concrete classes register themselves at import time; importing their
+    packages here (lazily, on first lookup) keeps this module free of import
+    cycles while guaranteeing the registry is populated before use.
+    """
+    global _builtins_loaded
+    if _builtins_loaded:
+        return
+    _builtins_loaded = True
+    import repro.core.analytical  # noqa: F401  (registers the models)
+    import repro.core.protocols  # noqa: F401  (registers the simulators)
+    import repro.failures  # noqa: F401  (registers the failure models)
+
+
+def _register_lookup(
+    lookup: Dict[str, str], canonical: str, aliases: Tuple[str, ...], kind: str
+) -> None:
+    for key in (canonical, *aliases):
+        folded = key.casefold()
+        owner = lookup.get(folded)
+        if owner is not None and owner != canonical:
+            raise ValueError(
+                f"{kind} name {key!r} is already registered for {owner!r}"
+            )
+        lookup[folded] = canonical
+
+
+# ---------------------------------------------------------------------- #
+# Registration decorators
+# ---------------------------------------------------------------------- #
+def register_protocol(
+    name: str,
+    *,
+    kind: str,
+    aliases: Tuple[str, ...] = (),
+    paper: bool = True,
+) -> Callable[[T], T]:
+    """Class decorator registering an analytical model or a simulator.
+
+    Parameters
+    ----------
+    name:
+        Canonical protocol name (the paper's spelling).  The model and the
+        simulator of one protocol register under the same name and are
+        paired by it.
+    kind:
+        ``"model"`` for :class:`~repro.core.analytical.base.AnalyticalModel`
+        subclasses, ``"simulator"`` for
+        :class:`~repro.core.protocols.base.ProtocolSimulator` subclasses.
+    aliases:
+        Alternative lookup names (case-insensitive, shared by both halves).
+    paper:
+        Whether the protocol belongs to the paper's headline comparison and
+        therefore appears in the ``PROTOCOL_PAIRS`` compatibility view.
+
+    Examples
+    --------
+    >>> @register_protocol("MyCkpt", kind="model", aliases=("mine",))
+    ... class MyCkptModel:  # doctest: +SKIP
+    ...     ...
+    """
+    if kind not in ("model", "simulator"):
+        raise ValueError(f"kind must be 'model' or 'simulator', got {kind!r}")
+
+    def decorator(cls: T) -> T:
+        entry = _PROTOCOLS.get(name)
+        if entry is None:
+            entry = ProtocolEntry(name=name, aliases=tuple(aliases), paper=paper)
+            _PROTOCOLS[name] = entry
+        else:
+            entry.aliases = tuple(dict.fromkeys((*entry.aliases, *aliases)))
+            entry.paper = entry.paper and paper
+        if kind == "model":
+            entry.model_cls = cls
+        else:
+            entry.simulator_cls = cls
+        _register_lookup(_PROTOCOL_LOOKUP, name, entry.aliases, "protocol")
+        return cls
+
+    return decorator
+
+
+def register_failure_model(
+    name: str,
+    *,
+    aliases: Tuple[str, ...] = (),
+    factory: Optional[Callable[..., Any]] = None,
+) -> Callable[[T], T]:
+    """Class decorator registering a failure model under a spec-level name.
+
+    ``factory(cls, mtbf, **params)`` customises construction from scenario
+    data; the default calls ``cls(mtbf, **params)``.
+    """
+
+    def decorator(cls: T) -> T:
+        entry = FailureModelEntry(
+            name=name, cls=cls, aliases=tuple(aliases), factory=factory
+        )
+        _FAILURE_MODELS[name] = entry
+        _register_lookup(_FAILURE_LOOKUP, name, entry.aliases, "failure model")
+        return cls
+
+    return decorator
+
+
+# ---------------------------------------------------------------------- #
+# Lookup
+# ---------------------------------------------------------------------- #
+def protocol_names(*, paper_only: bool = False) -> Tuple[str, ...]:
+    """Canonical protocol names, in registration (paper) order."""
+    _ensure_builtins()
+    return tuple(
+        entry.name
+        for entry in _PROTOCOLS.values()
+        if entry.model_cls is not None
+        and entry.simulator_cls is not None
+        and (entry.paper or not paper_only)
+    )
+
+
+def failure_model_names() -> Tuple[str, ...]:
+    """Canonical failure-model names, in registration order."""
+    _ensure_builtins()
+    return tuple(_FAILURE_MODELS)
+
+
+def resolve_protocol(name: str) -> ProtocolEntry:
+    """Look a protocol up by canonical name or alias (case-insensitive)."""
+    _ensure_builtins()
+    canonical = _PROTOCOL_LOOKUP.get(str(name).casefold())
+    if canonical is None:
+        raise UnknownProtocolError(name, protocol_names())
+    return _PROTOCOLS[canonical]
+
+
+def resolve_failure_model(name: str) -> FailureModelEntry:
+    """Look a failure model up by canonical name or alias."""
+    _ensure_builtins()
+    canonical = _FAILURE_LOOKUP.get(str(name).casefold())
+    if canonical is None:
+        raise UnknownFailureModelError(name, failure_model_names())
+    return _FAILURE_MODELS[canonical]
+
+
+def create_failure_model(
+    name: str, mtbf: Optional[float] = None, **params: Any
+) -> Any:
+    """Instantiate a registered failure model for a target MTBF."""
+    return resolve_failure_model(name).create(mtbf, **params)
+
+
+class ResolvedProtocol(NamedTuple):
+    """A protocol bound to concrete parameters: the tentpole triple."""
+
+    model: Any
+    simulator: Any
+    failure_model: Any
+
+
+def resolve(
+    protocol: str,
+    parameters: Any,
+    workload: Any,
+    *,
+    failure_model: str = "exponential",
+    failure_params: Optional[Mapping[str, Any]] = None,
+    model_kwargs: Optional[Mapping[str, Any]] = None,
+    simulator_kwargs: Optional[Mapping[str, Any]] = None,
+) -> ResolvedProtocol:
+    """Bind a protocol name to concrete instances.
+
+    Returns the ``(analytical model, simulator, failure model)`` triple:
+    the model constructed on ``parameters``, the failure model constructed
+    for ``parameters.platform_mtbf`` and the simulator constructed on
+    ``parameters``/``workload`` *with that failure model*, so simulated
+    campaigns follow whatever failure law the caller selected.
+    """
+    entry = resolve_protocol(protocol)
+    model_cls, simulator_cls = entry.pair
+    fm = create_failure_model(
+        failure_model, parameters.platform_mtbf, **dict(failure_params or {})
+    )
+    model = model_cls(parameters, **dict(model_kwargs or {}))
+    simulator = simulator_cls(
+        parameters, workload, failure_model=fm, **dict(simulator_kwargs or {})
+    )
+    return ResolvedProtocol(model=model, simulator=simulator, failure_model=fm)
+
+
+# ---------------------------------------------------------------------- #
+# Backwards-compatible PROTOCOL_PAIRS view
+# ---------------------------------------------------------------------- #
+class _ProtocolPairsView(Mapping):
+    """Live, read-only ``name -> (model class, simulator class)`` mapping.
+
+    Deprecated in favour of :func:`resolve_protocol`; kept so that code and
+    tests written against the original ``PROTOCOL_PAIRS`` dict keep working.
+    Restricted to the paper's headline protocols, in paper order.
+    """
+
+    def __getitem__(self, name: str) -> Tuple[type, type]:
+        # Exact canonical keys only, like the original dict: alias and
+        # case-insensitive lookups belong to resolve_protocol(), and
+        # __getitem__ must agree with __iter__/__contains__ (the Mapping
+        # invariant).
+        if name not in protocol_names(paper_only=True):
+            raise UnknownProtocolError(name, protocol_names(paper_only=True))
+        return resolve_protocol(name).pair
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(protocol_names(paper_only=True))
+
+    def __len__(self) -> int:
+        return len(protocol_names(paper_only=True))
+
+    def __contains__(self, name: object) -> bool:
+        # Membership mirrors iteration (the paper's protocol set), not the
+        # full registry: ``"NoFT" in PROTOCOL_PAIRS`` stays False as it was
+        # for the original dict.
+        return name in protocol_names(paper_only=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"PROTOCOL_PAIRS({', '.join(protocol_names(paper_only=True))})"
+
+
+#: Deprecated: analytical model and simulator classes per paper protocol
+#: name.  A live view over the registry; prefer :func:`resolve_protocol`.
+PROTOCOL_PAIRS: Mapping[str, Tuple[type, type]] = _ProtocolPairsView()
+
+
+def __getattr__(attr: str) -> Any:
+    if attr == "PROTOCOL_NAMES":
+        # Computed lazily so importing this module never forces the builtin
+        # implementation imports.
+        return protocol_names(paper_only=True)
+    raise AttributeError(f"module {__name__!r} has no attribute {attr!r}")

@@ -28,10 +28,19 @@ from repro.experiments.config import (
     paper_figure9_scenario,
     paper_figure10_scenario,
 )
-from repro.experiments.validation import ValidationPoint, validate_configuration
+from repro.experiments.validation import (
+    NonExponentialValidationError,
+    ValidationPoint,
+    validate_configuration,
+    validate_spec,
+)
 from repro.experiments.sweep import sweep_mtbf_alpha, SweepPoint
 from repro.experiments.figure7 import Figure7Result, run_figure7
-from repro.experiments.weak_scaling import WeakScalingResult, run_weak_scaling
+from repro.experiments.weak_scaling import (
+    WeakScalingResult,
+    run_weak_scaling,
+    weak_scaling_spec,
+)
 from repro.experiments.figure8 import run_figure8
 from repro.experiments.figure9 import run_figure9
 from repro.experiments.figure10 import run_figure10
@@ -46,6 +55,9 @@ __all__ = [
     "paper_figure10_scenario",
     "ValidationPoint",
     "validate_configuration",
+    "validate_spec",
+    "NonExponentialValidationError",
+    "weak_scaling_spec",
     "SweepPoint",
     "sweep_mtbf_alpha",
     "Figure7Result",

@@ -33,6 +33,13 @@ import numpy as np
 
 from repro.application.scaling import KernelScalingLaw, ScalingMode, WeakScalingScenario
 from repro.core.parameters import ResilienceParameters
+from repro.scenario.spec import (
+    PlatformSpec,
+    ScenarioSpec,
+    SimulationSpec,
+    SweepSpec,
+    WorkloadSpec,
+)
 from repro.utils.units import DAY, MINUTE, WEEK
 
 __all__ = [
@@ -95,6 +102,46 @@ class Figure7Config:
             library_fraction=self.library_fraction,
             abft_overhead=self.abft_overhead,
             abft_reconstruction=self.abft_reconstruction,
+        )
+
+    def to_scenario(
+        self,
+        *,
+        protocols: tuple[str, ...] = (
+            "PurePeriodicCkpt",
+            "BiPeriodicCkpt",
+            "ABFT&PeriodicCkpt",
+        ),
+        validate: bool = False,
+        simulation_runs: int = 200,
+        seed: int = 2014,
+    ) -> ScenarioSpec:
+        """The equivalent :class:`~repro.scenario.ScenarioSpec`.
+
+        This is the delegation point of the config shim: the Figure 7
+        harness lowers its config onto a scenario spec and runs it through
+        the unified scenario/campaign path.
+        """
+        return ScenarioSpec(
+            name="figure7",
+            protocols=tuple(protocols),
+            platform=PlatformSpec(
+                mtbf=float(self.mtbf_values[0]),
+                checkpoint=self.checkpoint,
+                recovery=self.recovery,
+                downtime=self.downtime,
+                library_fraction=self.library_fraction,
+                abft_overhead=self.abft_overhead,
+                abft_reconstruction=self.abft_reconstruction,
+            ),
+            workload=WorkloadSpec(total_time=self.application_time),
+            sweep=SweepSpec(
+                mtbf_values=tuple(float(m) for m in self.mtbf_values),
+                alpha_values=tuple(float(a) for a in self.alpha_values),
+            ),
+            simulation=SimulationSpec(
+                validate=validate, runs=simulation_runs, seed=seed
+            ),
         )
 
     def reduced(

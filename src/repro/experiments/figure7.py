@@ -20,8 +20,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional, Sequence
 
-from repro.campaign.sweep_runner import SweepJob, SweepRunner
 from repro.experiments.config import Figure7Config, paper_figure7_config
+from repro.scenario.runner import run_scenario
 from repro.utils.tables import Table
 from repro.utils.units import MINUTE
 
@@ -151,24 +151,19 @@ def run_figure7(
         bit-identical.
     """
     config = config or paper_figure7_config()
-    job = SweepJob(
-        parameters=config.parameters(config.mtbf_values[0]),
-        application_time=config.application_time,
-        mtbf_values=tuple(config.mtbf_values),
-        alpha_values=tuple(config.alpha_values),
+    spec = config.to_scenario(
         protocols=tuple(protocols),
-        library_fraction=config.library_fraction,
-        simulate=validate,
+        validate=validate,
         simulation_runs=simulation_runs,
         seed=seed,
     )
-    runner = SweepRunner(
+    scenario = run_scenario(
+        spec,
+        workers=workers,
         cache_dir=cache_dir,
         resume=resume,
-        workers=workers,
         vectorized=vectorized,
     )
-    sweep = runner.run(job)
     rows = tuple(
         Figure7Row(
             mtbf=point.mtbf,
@@ -176,7 +171,7 @@ def run_figure7(
             model_waste=point.model_waste,
             simulated_waste=point.simulated_waste,
         )
-        for point in sweep.points
+        for point in scenario.points
     )
     return Figure7Result(
         config=config,

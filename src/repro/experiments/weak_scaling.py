@@ -20,24 +20,66 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional, Sequence
 
-from repro.application.workload import ApplicationWorkload
-from repro.core.analytical import (
-    AbftPeriodicCkptModel,
-    BiPeriodicCkptModel,
-    PurePeriodicCkptModel,
-)
 from repro.application.scaling import WeakScalingScenario
-from repro.core.parameters import ResilienceParameters
+from repro.core.registry import resolve_protocol
 from repro.experiments.config import PAPER_NODE_COUNTS
+from repro.scenario.spec import PlatformSpec, ScenarioSpec, WorkloadSpec
 from repro.utils.tables import Table
 
-__all__ = ["WeakScalingRow", "WeakScalingResult", "run_weak_scaling", "PROTOCOLS"]
+__all__ = [
+    "WeakScalingRow",
+    "WeakScalingResult",
+    "run_weak_scaling",
+    "weak_scaling_spec",
+    "PROTOCOLS",
+]
 
 PROTOCOLS: tuple[str, ...] = (
     "PurePeriodicCkpt",
     "BiPeriodicCkpt",
     "ABFT&PeriodicCkpt",
 )
+
+#: Model-construction overrides per canonical protocol name.  The composite
+#: model is instantiated on the aggregate phase durations (``per_epoch=False``)
+#: -- see the modelling note in the module docstring.  Carried inside the
+#: per-node :class:`ScenarioSpec` (``model_params``) so a saved spec
+#: reproduces the same numbers through ``scenario run``.
+_MODEL_PARAMS: tuple = (("ABFT&PeriodicCkpt", (("per_epoch", False),)),)
+
+
+def weak_scaling_spec(
+    scenario: WeakScalingScenario,
+    node_count: int,
+    *,
+    protocols: Sequence[str] = PROTOCOLS,
+    name: str = "weak-scaling",
+) -> ScenarioSpec:
+    """The :class:`~repro.scenario.ScenarioSpec` of one node count.
+
+    Weak-scaling figures are a *family* of scenarios -- one per node count,
+    with every platform quantity rescaled by the scenario's laws -- so the
+    conversion is parameterised by the node count.
+    """
+    return ScenarioSpec(
+        name=f"{name}@{node_count}",
+        protocols=tuple(protocols),
+        platform=PlatformSpec(
+            mtbf=scenario.mtbf_at(node_count),
+            checkpoint=scenario.checkpoint_at(node_count),
+            recovery=scenario.recovery_at(node_count),
+            downtime=scenario.downtime,
+            library_fraction=scenario.library_fraction,
+            abft_overhead=scenario.abft_overhead,
+            abft_reconstruction=scenario.abft_reconstruction,
+        ),
+        workload=WorkloadSpec(
+            total_time=scenario.epoch_count * scenario.epoch_time_at(node_count),
+            alpha=scenario.alpha_at(node_count),
+            epochs=scenario.epoch_count,
+        ),
+        model_params=_MODEL_PARAMS,
+    )
 
 
 @dataclass(frozen=True)
@@ -112,32 +154,22 @@ def run_weak_scaling(
     node_counts: Sequence[int] = PAPER_NODE_COUNTS,
     name: str = "weak-scaling",
 ) -> WeakScalingResult:
-    """Evaluate the three protocols over ``node_counts`` for ``scenario``."""
+    """Evaluate the three protocols over ``node_counts`` for ``scenario``.
+
+    Each node count is lowered onto its :class:`ScenarioSpec` (see
+    :func:`weak_scaling_spec`) and the analytical models are resolved
+    through the registry, so any registered protocol name or alias works.
+    """
     rows: list[WeakScalingRow] = []
     for node_count in node_counts:
-        parameters = ResilienceParameters.from_scalars(
-            platform_mtbf=scenario.mtbf_at(node_count),
-            checkpoint=scenario.checkpoint_at(node_count),
-            recovery=scenario.recovery_at(node_count),
-            downtime=scenario.downtime,
-            library_fraction=scenario.library_fraction,
-            abft_overhead=scenario.abft_overhead,
-            abft_reconstruction=scenario.abft_reconstruction,
-        )
-        workload = ApplicationWorkload.iterative(
-            scenario.epoch_count,
-            scenario.epoch_time_at(node_count),
-            scenario.alpha_at(node_count),
-            library_fraction=scenario.library_fraction,
-        )
-        models = {
-            "PurePeriodicCkpt": PurePeriodicCkptModel(parameters),
-            "BiPeriodicCkpt": BiPeriodicCkptModel(parameters),
-            "ABFT&PeriodicCkpt": AbftPeriodicCkptModel(parameters, per_epoch=False),
-        }
+        spec = weak_scaling_spec(scenario, node_count, name=name)
+        parameters = spec.parameters()
+        workload = spec.application_workload()
         waste: dict[str, float] = {}
         failures: dict[str, float] = {}
-        for protocol, model in models.items():
+        for protocol in spec.protocols:
+            entry = resolve_protocol(protocol)
+            model = entry.model_cls(parameters, **spec.model_kwargs_for(protocol))
             prediction = model.evaluate(workload)
             waste[protocol] = prediction.waste
             failures[protocol] = prediction.expected_failures

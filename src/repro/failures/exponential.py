@@ -10,12 +10,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.registry import register_failure_model
 from repro.failures.base import FailureModel
 from repro.utils.validation import require_positive
 
 __all__ = ["ExponentialFailureModel"]
 
 
+@register_failure_model("exponential", aliases=("exp", "poisson", "memoryless"))
 class ExponentialFailureModel(FailureModel):
     """Memoryless failure process with a fixed MTBF.
 

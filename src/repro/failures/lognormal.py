@@ -12,12 +12,14 @@ import math
 
 import numpy as np
 
+from repro.core.registry import register_failure_model
 from repro.failures.base import FailureModel
 from repro.utils.validation import require_positive
 
 __all__ = ["LogNormalFailureModel"]
 
 
+@register_failure_model("lognormal", aliases=("log-normal",))
 class LogNormalFailureModel(FailureModel):
     """Log-normally distributed failure inter-arrival times.
 

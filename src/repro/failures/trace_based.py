@@ -13,11 +13,44 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.core.registry import register_failure_model
 from repro.failures.base import FailureModel
 
 __all__ = ["TraceFailureModel"]
 
 
+def _trace_from_spec(
+    cls: type,
+    mtbf: float | None,
+    *,
+    interarrivals: Sequence[float] | None = None,
+    failure_times: Sequence[float] | None = None,
+    cycle: bool = True,
+) -> "TraceFailureModel":
+    """Scenario-spec factory: build a trace model from recorded data.
+
+    Exactly one of ``interarrivals`` or ``failure_times`` must be given.
+    When a target ``mtbf`` is provided (e.g. by a sweep over platform MTBFs)
+    the trace is rescaled so its empirical mean matches it, preserving the
+    recorded burstiness pattern while hitting the requested failure rate.
+    """
+    if (interarrivals is None) == (failure_times is None):
+        raise ValueError(
+            "trace failure model needs exactly one of 'interarrivals' or "
+            "'failure_times'"
+        )
+    if interarrivals is not None:
+        model = cls(interarrivals, cycle=cycle)
+    else:
+        model = cls.from_failure_times(failure_times, cycle=cycle)
+    if mtbf is not None and model.mtbf > 0:
+        model = model.scaled(mtbf / model.mtbf)
+    return model
+
+
+@register_failure_model(
+    "trace", aliases=("trace-based", "replay"), factory=_trace_from_spec
+)
 class TraceFailureModel(FailureModel):
     """Replays a fixed sequence of failure inter-arrival times.
 

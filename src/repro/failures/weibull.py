@@ -15,12 +15,14 @@ import math
 
 import numpy as np
 
+from repro.core.registry import register_failure_model
 from repro.failures.base import FailureModel
 from repro.utils.validation import require_positive
 
 __all__ = ["WeibullFailureModel"]
 
 
+@register_failure_model("weibull", aliases=("wbl",))
 class WeibullFailureModel(FailureModel):
     """Weibull-distributed failure inter-arrival times.
 

@@ -1,0 +1,68 @@
+"""The unified Scenario API: declarative, serializable experiment specs.
+
+This package is the single configuration surface of the reproduction.  A
+:class:`ScenarioSpec` describes one experiment -- protocol set x failure law
+x platform costs x workload x sweep axes x simulation settings -- and every
+layer consumes it:
+
+* the registry (:mod:`repro.core.registry`) resolves its protocol and
+  failure-model names to implementations (with aliases and nearest-match
+  error messages);
+* the protocol simulators run under whatever failure law it selects
+  (exponential, Weibull, log-normal or trace replay -- the scenario-diversity
+  payoff over the paper's exponential-only harness);
+* the campaign layer (:mod:`repro.campaign`) materialises its sweep axes as
+  resumable, parallel grid jobs;
+* the CLI (``python -m repro.cli scenario run spec.json``) drives all of the
+  above from a JSON file, no Python required.
+
+Quick start::
+
+    from repro.scenario import Scenario
+
+    result = (Scenario.paper_figure7()
+              .with_failures("weibull", shape=0.7)
+              .with_protocols("BiPeriodicCkpt", "ABFT&PeriodicCkpt")
+              .with_simulation(runs=100)
+              .run(workers=4))
+    print(result.to_table().to_text())
+
+See ``EXPERIMENTS.md`` for the scenario-file format and
+``examples/custom_scenario.py`` for a worked example.
+"""
+
+from repro.scenario.spec import (
+    SCENARIO_SCHEMA,
+    FailureSpec,
+    PlatformSpec,
+    ScenarioError,
+    ScenarioSpec,
+    ScenarioSpecError,
+    SimulationSpec,
+    SweepSpec,
+    WorkloadSpec,
+)
+from repro.scenario.builder import Scenario
+from repro.scenario.runner import (
+    ExponentialAssumptionWarning,
+    ScenarioResult,
+    run_scenario,
+    scenario_sweep_job,
+)
+
+__all__ = [
+    "SCENARIO_SCHEMA",
+    "FailureSpec",
+    "PlatformSpec",
+    "ScenarioError",
+    "ScenarioSpec",
+    "ScenarioSpecError",
+    "SimulationSpec",
+    "SweepSpec",
+    "WorkloadSpec",
+    "Scenario",
+    "ExponentialAssumptionWarning",
+    "ScenarioResult",
+    "run_scenario",
+    "scenario_sweep_job",
+]

@@ -1,0 +1,212 @@
+"""Fluent builder for :class:`~repro.scenario.spec.ScenarioSpec`.
+
+The builder is the ergonomic front door of the scenario API::
+
+    spec = (Scenario.paper_figure7()
+            .with_failures("weibull", shape=0.7)
+            .with_protocols("BiPeriodicCkpt")
+            .build())
+
+Every ``with_*`` method returns a *new* builder (builders are immutable), so
+partially configured builders can be shared and forked safely -- e.g. one
+base scenario forked into one builder per failure law in a sensitivity
+study.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field, replace
+from typing import Any, Optional, Sequence, Tuple
+
+from repro.scenario.spec import (
+    FailureSpec,
+    PlatformSpec,
+    ScenarioSpec,
+    ScenarioSpecError,
+    SimulationSpec,
+    SweepSpec,
+    WorkloadSpec,
+    _freeze,
+)
+from repro.utils.units import MINUTE, WEEK
+
+__all__ = ["Scenario"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """Immutable fluent builder producing validated :class:`ScenarioSpec` values."""
+
+    _name: str = "scenario"
+    _protocols: Tuple[str, ...] = (
+        "PurePeriodicCkpt",
+        "BiPeriodicCkpt",
+        "ABFT&PeriodicCkpt",
+    )
+    _platform: Optional[PlatformSpec] = None
+    _workload: Optional[WorkloadSpec] = None
+    _failures: FailureSpec = field(default_factory=FailureSpec)
+    _sweep: SweepSpec = field(default_factory=SweepSpec)
+    _simulation: SimulationSpec = field(default_factory=SimulationSpec)
+    _model_params: Tuple[Tuple[str, Tuple[Tuple[str, Any], ...]], ...] = ()
+
+    # ------------------------------------------------------------------ #
+    # Starting points
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def paper_figure7(cls) -> "Scenario":
+        """The Figure 7 scenario exactly as in the paper's caption.
+
+        One-week application, ``C = R = 10`` minutes, ``D = 1`` minute,
+        ``rho = 0.8``, ``phi = 1.03``, ``Recons_ABFT = 2`` s, MTBF swept over
+        60-240 minutes and alpha over [0, 1].
+        """
+        return cls(
+            _name="paper-figure7",
+            _platform=PlatformSpec(
+                mtbf=120 * MINUTE,
+                checkpoint=10 * MINUTE,
+                recovery=10 * MINUTE,
+                downtime=1 * MINUTE,
+                library_fraction=0.8,
+                abft_overhead=1.03,
+                abft_reconstruction=2.0,
+            ),
+            _workload=WorkloadSpec(total_time=1 * WEEK, alpha=0.8, epochs=1),
+            _sweep=SweepSpec(
+                mtbf_values=tuple(float(m) * MINUTE for m in range(60, 241, 20)),
+                alpha_values=tuple(round(i / 10.0, 3) for i in range(11)),
+            ),
+        )
+
+    @classmethod
+    def quick(cls) -> "Scenario":
+        """A small, fast scenario for smoke tests and CI.
+
+        Same parameters as Figure 7 but a 4 x 3 grid and a short (one-day)
+        application, so a validated run completes in seconds.
+        """
+        return cls.paper_figure7().named("quick").with_workload(
+            total_time=86_400.0
+        ).with_sweep(
+            mtbf_values=tuple(float(m) * MINUTE for m in (60, 120, 180, 240)),
+            alpha_values=(0.0, 0.5, 1.0),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Fluent configuration
+    # ------------------------------------------------------------------ #
+    def named(self, name: str) -> "Scenario":
+        """Set the scenario label."""
+        return replace(self, _name=str(name))
+
+    def with_protocols(self, *names: str) -> "Scenario":
+        """Select the protocols to evaluate (names or aliases)."""
+        if not names:
+            raise ScenarioSpecError("protocols", "must name at least one protocol")
+        return replace(self, _protocols=tuple(names))
+
+    #: Singular alias, reading naturally when selecting one protocol.
+    with_protocol = with_protocols
+
+    def with_platform(self, **kwargs: Any) -> "Scenario":
+        """Set or update platform/cost fields (see :class:`PlatformSpec`)."""
+        if self._platform is None:
+            return replace(self, _platform=PlatformSpec(**kwargs))
+        return replace(self, _platform=dataclasses.replace(self._platform, **kwargs))
+
+    def with_mtbf(self, mtbf: float) -> "Scenario":
+        """Shorthand for ``with_platform(mtbf=...)``."""
+        return self.with_platform(mtbf=float(mtbf))
+
+    def with_workload(self, **kwargs: Any) -> "Scenario":
+        """Set or update workload fields (see :class:`WorkloadSpec`)."""
+        if self._workload is None:
+            return replace(self, _workload=WorkloadSpec(**kwargs))
+        return replace(self, _workload=dataclasses.replace(self._workload, **kwargs))
+
+    def with_failures(self, model: str, **params: Any) -> "Scenario":
+        """Select the failure law, e.g. ``with_failures("weibull", shape=0.7)``."""
+        return replace(
+            self,
+            _failures=FailureSpec(
+                model=model, params=_freeze(params, "failures.params")
+            ),
+        )
+
+    def with_model_params(self, protocol: str, **options: Any) -> "Scenario":
+        """Set analytical-model constructor options for one protocol.
+
+        E.g. ``with_model_params("ABFT&PeriodicCkpt", per_epoch=False)`` for
+        the weak-scaling reading of the composite model.
+        """
+        kept = tuple(
+            (name, opts) for name, opts in self._model_params if name != protocol
+        )
+        entry = (protocol, _freeze(options, f"model_params.{protocol}"))
+        return replace(self, _model_params=(*kept, entry))
+
+    def with_sweep(
+        self,
+        *,
+        mtbf_values: Sequence[float] = (),
+        alpha_values: Sequence[float] = (),
+    ) -> "Scenario":
+        """Set the sweep axes; empty axes keep the point values."""
+        return replace(
+            self,
+            _sweep=SweepSpec(
+                mtbf_values=tuple(float(m) for m in mtbf_values),
+                alpha_values=tuple(float(a) for a in alpha_values),
+            ),
+        )
+
+    def with_simulation(
+        self,
+        *,
+        validate: bool = True,
+        runs: Optional[int] = None,
+        seed: Optional[int] = None,
+    ) -> "Scenario":
+        """Enable (or configure) the Monte-Carlo validation campaigns."""
+        current = self._simulation
+        return replace(
+            self,
+            _simulation=SimulationSpec(
+                validate=validate,
+                runs=current.runs if runs is None else int(runs),
+                seed=current.seed if seed is None else int(seed),
+            ),
+        )
+
+    # ------------------------------------------------------------------ #
+    def build(self) -> ScenarioSpec:
+        """Validate and return the immutable :class:`ScenarioSpec`."""
+        if self._platform is None:
+            raise ScenarioSpecError(
+                "platform",
+                "not configured; start from Scenario.paper_figure7() or call "
+                "with_platform(mtbf=..., checkpoint=...)",
+            )
+        if self._workload is None:
+            raise ScenarioSpecError(
+                "workload",
+                "not configured; call with_workload(total_time=..., alpha=...)",
+            )
+        return ScenarioSpec(
+            name=self._name,
+            protocols=self._protocols,
+            platform=self._platform,
+            workload=self._workload,
+            failures=self._failures,
+            sweep=self._sweep,
+            simulation=self._simulation,
+            model_params=self._model_params,
+        )
+
+    def run(self, **kwargs: Any):
+        """Build the spec and run it (see :func:`repro.scenario.run_scenario`)."""
+        from repro.scenario.runner import run_scenario
+
+        return run_scenario(self.build(), **kwargs)

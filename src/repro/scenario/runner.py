@@ -1,0 +1,157 @@
+"""Execute a :class:`ScenarioSpec` end-to-end through the campaign layer.
+
+:func:`run_scenario` is the one call behind both the ``scenario run`` CLI
+subcommand and :meth:`Scenario.run`: it lowers the spec onto a
+:class:`~repro.campaign.sweep_runner.SweepJob`, runs it (resumably, in
+parallel when asked) and wraps the grid in a :class:`ScenarioResult` that
+renders the same table/CSV output as the figure harnesses.
+
+When the spec selects a non-exponential failure law *and* asks for the
+analytical column, an :class:`ExponentialAssumptionWarning` is emitted: the
+closed-form waste formulas of Section IV hold for the memoryless law only,
+so the model column is then a reference curve, not a prediction (the
+Monte-Carlo column is exact either way).
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from repro.campaign.sweep_runner import SweepJob, SweepResult, SweepRunner
+from repro.scenario.spec import ScenarioSpec
+from repro.utils.tables import Table
+from repro.utils.units import MINUTE
+
+__all__ = ["ExponentialAssumptionWarning", "ScenarioResult", "run_scenario"]
+
+
+class ExponentialAssumptionWarning(UserWarning):
+    """The analytical column was requested under a non-exponential law.
+
+    The Section IV closed forms assume memoryless (exponential) failures;
+    under Weibull / log-normal / trace-based laws they are only an
+    exponential-equivalent reference.  Compare against the simulated column.
+    """
+
+
+def scenario_sweep_job(spec: ScenarioSpec) -> SweepJob:
+    """Lower a scenario spec onto the campaign layer's job description."""
+    return SweepJob(
+        parameters=spec.parameters(spec.mtbf_axis[0]),
+        application_time=spec.workload.total_time,
+        mtbf_values=spec.mtbf_axis,
+        alpha_values=spec.alpha_axis,
+        protocols=spec.canonical_protocols,
+        library_fraction=spec.platform.library_fraction,
+        epochs=spec.workload.epochs,
+        simulate=spec.simulation.validate,
+        simulation_runs=spec.simulation.runs,
+        seed=spec.simulation.seed,
+        failure_model=spec.failures.model,
+        failure_params=spec.failures.params,
+        model_params=spec.model_params,
+    )
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """A scenario's evaluated grid, with the spec that produced it."""
+
+    spec: ScenarioSpec
+    sweep: SweepResult
+
+    @property
+    def points(self):
+        """The evaluated grid points, MTBF-major."""
+        return self.sweep.points
+
+    @property
+    def validated(self) -> bool:
+        """Whether the Monte-Carlo columns are present."""
+        return self.spec.simulation.validate
+
+    def waste_grid(self, protocol: str, *, simulated: bool = False) -> dict:
+        """Map ``(mtbf, alpha) -> waste`` for one protocol."""
+        return self.sweep.waste_grid(protocol, simulated=simulated)
+
+    def to_table(self) -> Table:
+        """Render the grid as the paper-style series table."""
+        protocols = self.spec.canonical_protocols
+        headers = ["mtbf_minutes", "alpha"]
+        headers.extend(f"model_waste[{name}]" for name in protocols)
+        if self.validated:
+            headers.extend(f"sim_waste[{name}]" for name in protocols)
+        table = Table(headers, title=self.spec.describe())
+        for point in self.points:
+            cells: list = [point.mtbf / MINUTE, point.alpha]
+            cells.extend(point.model_waste.get(name, float("nan")) for name in protocols)
+            if self.validated:
+                cells.extend(
+                    point.simulated_waste.get(name, float("nan"))
+                    for name in protocols
+                )
+            table.add_row(cells)
+        return table
+
+    def write_csv(self, path: "str | Path") -> Path:
+        """Write the series table as CSV."""
+        return self.to_table().write(path)
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    *,
+    validate: Optional[bool] = None,
+    runs: Optional[int] = None,
+    seed: Optional[int] = None,
+    workers: Optional[int] = None,
+    cache_dir: Optional["str | Path"] = None,
+    resume: bool = True,
+    vectorized: bool = True,
+) -> ScenarioResult:
+    """Run a scenario spec end-to-end and return its grid.
+
+    Parameters
+    ----------
+    spec:
+        The scenario to run.
+    validate / runs / seed:
+        Override the spec's ``simulation`` section (CLI flags land here);
+        ``None`` keeps the spec's values.
+    workers / cache_dir / resume / vectorized:
+        Campaign execution knobs, as in
+        :class:`~repro.campaign.sweep_runner.SweepRunner`.
+    """
+    simulation = spec.simulation
+    changes = {}
+    if validate is not None:
+        changes["validate"] = bool(validate)
+    if runs is not None:
+        changes["runs"] = int(runs)
+    if seed is not None:
+        changes["seed"] = int(seed)
+    if changes:
+        import dataclasses
+
+        spec = spec.replace(simulation=dataclasses.replace(simulation, **changes))
+
+    if spec.simulation.validate and not spec.failures.is_exponential:
+        warnings.warn(
+            f"scenario {spec.name!r} simulates {spec.failures.model!r} failures; "
+            "the analytical (model_waste) column assumes exponential failures "
+            "and is only an exponential-equivalent reference here",
+            ExponentialAssumptionWarning,
+            stacklevel=2,
+        )
+
+    runner = SweepRunner(
+        cache_dir=cache_dir,
+        resume=resume,
+        workers=workers,
+        vectorized=vectorized,
+    )
+    sweep = runner.run(scenario_sweep_job(spec))
+    return ScenarioResult(spec=spec, sweep=sweep)

@@ -1,0 +1,111 @@
+"""Property tests: ScenarioSpec serialization round-trips exactly.
+
+The scenario layer's contract is that a spec is a *value*: serializing to a
+dict (or JSON text) and parsing it back yields an equal spec, for any valid
+combination of protocols, failure law, platform scalars, workload shape and
+sweep axes.  Equality here is dataclass equality over every section.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.scenario import ScenarioSpec
+
+PROTOCOL_NAMES = [
+    "PurePeriodicCkpt",
+    "BiPeriodicCkpt",
+    "ABFT&PeriodicCkpt",
+    "NoFT",
+    "pure",
+    "bi",
+    "abft",
+]
+
+finite = st.floats(
+    min_value=1e-3, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+fractions = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+@st.composite
+def failure_sections(draw) -> dict:
+    model = draw(st.sampled_from(["exponential", "weibull", "lognormal", "trace"]))
+    if model == "weibull":
+        params = {"shape": draw(st.floats(min_value=0.1, max_value=5.0))}
+    elif model == "lognormal":
+        params = {"sigma": draw(st.floats(min_value=0.1, max_value=3.0))}
+    elif model == "trace":
+        params = {
+            "interarrivals": draw(
+                st.lists(finite, min_size=1, max_size=5)
+            ),
+            "cycle": draw(st.booleans()),
+        }
+    else:
+        params = {}
+    return {"model": model, "params": params}
+
+
+@st.composite
+def scenario_dicts(draw) -> dict:
+    data: dict = {
+        "name": draw(st.text(min_size=1, max_size=20)),
+        "protocols": draw(
+            st.lists(st.sampled_from(PROTOCOL_NAMES), min_size=1, max_size=4)
+        ),
+        "platform": {
+            "mtbf": draw(finite),
+            "checkpoint": draw(finite),
+            "recovery": draw(finite),
+            "downtime": draw(st.floats(min_value=0.0, max_value=1e6)),
+            "library_fraction": draw(fractions),
+            "abft_overhead": draw(st.floats(min_value=1.0, max_value=3.0)),
+            "abft_reconstruction": draw(st.floats(min_value=0.0, max_value=1e4)),
+        },
+        "workload": {
+            "total_time": draw(finite),
+            "alpha": draw(fractions),
+            "epochs": draw(st.integers(min_value=1, max_value=100)),
+        },
+        "failures": draw(failure_sections()),
+        "simulation": {
+            "validate": draw(st.booleans()),
+            "runs": draw(st.integers(min_value=1, max_value=10_000)),
+            "seed": draw(st.integers(min_value=-(2**31), max_value=2**31)),
+        },
+    }
+    if draw(st.booleans()):
+        data["sweep"] = {
+            "mtbf_values": draw(st.lists(finite, min_size=1, max_size=6)),
+            "alpha_values": draw(st.lists(fractions, min_size=1, max_size=6)),
+        }
+    if draw(st.booleans()):
+        data["model_params"] = {
+            "ABFT&PeriodicCkpt": {
+                "per_epoch": draw(st.booleans()),
+                "safeguard": draw(st.booleans()),
+            }
+        }
+    return data
+
+
+@settings(max_examples=100, deadline=None)
+@given(scenario_dicts())
+def test_dict_round_trip_is_identity(data: dict) -> None:
+    spec = ScenarioSpec.from_dict(data)
+    assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+
+@settings(max_examples=50, deadline=None)
+@given(scenario_dicts())
+def test_json_round_trip_is_identity(data: dict) -> None:
+    spec = ScenarioSpec.from_dict(data)
+    assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+
+@settings(max_examples=50, deadline=None)
+@given(scenario_dicts())
+def test_to_dict_is_stable(data: dict) -> None:
+    spec = ScenarioSpec.from_dict(data)
+    assert spec.to_dict() == ScenarioSpec.from_dict(spec.to_dict()).to_dict()

@@ -147,3 +147,119 @@ class TestCampaignCommand:
         captured = capsys.readouterr().out
         assert exit_code == 0
         assert "Figure 7" in captured
+
+
+class TestScenarioCommand:
+    @staticmethod
+    def write_spec(tmp_path, **overrides):
+        from repro.scenario import Scenario
+
+        builder = Scenario.quick().with_simulation(
+            validate=overrides.pop("validate", False), runs=5, seed=3
+        )
+        if overrides.get("failures"):
+            model, params = overrides.pop("failures")
+            builder = builder.with_failures(model, **params)
+        return str(builder.build().save(tmp_path / "spec.json"))
+
+    def test_scenario_flags(self, tmp_path):
+        path = self.write_spec(tmp_path)
+        args = build_parser().parse_args(
+            ["scenario", "run", path, "--validate", "--runs", "5", "--workers", "2"]
+        )
+        assert args.command == "scenario"
+        assert args.scenario_command == "run"
+        assert args.spec == path
+        assert args.validate and args.runs == 5 and args.workers == 2
+
+    def test_scenario_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenario"])
+
+    def test_scenario_list(self, capsys):
+        exit_code = main(["scenario", "list"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "ABFT&PeriodicCkpt" in captured
+        assert "weibull" in captured
+        assert "aliases" in captured
+
+    def test_scenario_run_model_only(self, tmp_path, capsys):
+        path = self.write_spec(tmp_path)
+        exit_code = main(["scenario", "run", path])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "scenario 'quick'" in captured
+        assert "model_waste[ABFT&PeriodicCkpt]" in captured
+        assert "sim_waste" not in captured
+
+    def test_scenario_run_validated_weibull(self, tmp_path, capsys):
+        import warnings
+
+        path = self.write_spec(
+            tmp_path, validate=True, failures=("weibull", {"shape": 0.7})
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            exit_code = main(["scenario", "run", path])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "sim_waste[ABFT&PeriodicCkpt]" in captured
+
+    def test_scenario_run_csv_and_cache(self, tmp_path, capsys):
+        path = self.write_spec(tmp_path)
+        cache_dir = str(tmp_path / "cache")
+        csv_path = tmp_path / "out.csv"
+        exit_code = main(
+            ["scenario", "run", path, "--cache-dir", cache_dir, "--csv", str(csv_path)]
+        )
+        first = capsys.readouterr().out
+        assert exit_code == 0
+        assert csv_path.exists()
+        assert "computed 12, reused 0 cached" in first
+
+        exit_code = main(["scenario", "run", path, "--cache-dir", cache_dir, "--resume"])
+        second = capsys.readouterr().out
+        assert exit_code == 0
+        assert "computed 0, reused 12 cached" in second
+
+    def test_scenario_run_missing_file(self, tmp_path, capsys):
+        exit_code = main(["scenario", "run", str(tmp_path / "nope.json")])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "not found" in captured.err
+
+    def test_scenario_run_unknown_protocol_suggests(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "bad.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "protocols": ["BiPeriodikCkpt"],
+                    "platform": {"mtbf": 3600.0, "checkpoint": 60.0},
+                    "workload": {"total_time": 7200.0},
+                }
+            )
+        )
+        exit_code = main(["scenario", "run", str(path)])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "did you mean 'BiPeriodicCkpt'" in captured.err
+
+    def test_scenario_run_schema_error_names_path(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "bad.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "platform": {"mtbf": 3600.0, "checkpoint": "ten"},
+                    "workload": {"total_time": 7200.0},
+                }
+            )
+        )
+        exit_code = main(["scenario", "run", str(path)])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "platform.checkpoint" in captured.err
