@@ -1,0 +1,238 @@
+"""Benchmark + regression gate for the Monte-Carlo engine.
+
+This module seeds the BENCH trajectory for the simulation hot path and
+enforces two hard guarantees of the columnar engine refactor:
+
+1. **Stream regression**: the event backend's per-seed results (makespan,
+   waste, failure count) are pinned bit-for-bit (as IEEE-754 hex) to the
+   values produced *before* the refactor.  Any change to the failure-stream
+   block pattern, the per-trial RNG derivation or the state-machine
+   arithmetic trips these immediately.
+2. **Speedup floor**: a 10k-trial ``PurePeriodicCkpt`` exponential sweep
+   point must run at least 5x faster through ``backend="vectorized"`` than
+   through the event walk, and must not regress by more than 2x against the
+   recorded baseline in ``baseline_engine.json`` (the ratio is compared, so
+   the gate is machine-independent).
+
+Quick mode (the CI smoke job) sets ``REPRO_BENCH_QUICK=1``, which shrinks
+the sweep point to 2000 trials while keeping both gates active.
+
+Run with::
+
+    pytest benchmarks/test_bench_engine.py -q
+    REPRO_BENCH_QUICK=1 pytest benchmarks/test_bench_engine.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import ApplicationWorkload, ResilienceParameters
+from repro.core.protocols import (
+    AbftPeriodicCkptSimulator,
+    BiPeriodicCkptSimulator,
+    NoFaultToleranceSimulator,
+    PurePeriodicCkptSimulator,
+)
+from repro.core.protocols.no_ft import NoFaultToleranceVectorized
+from repro.core.protocols.pure_periodic import PurePeriodicCkptVectorized
+from repro.simulation.rng import RandomStreams
+from repro.simulation.trace import CATEGORIES
+from repro.utils import DAY, HOUR, MINUTE
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "0") not in ("0", "", "false")
+SWEEP_TRIALS = 2000 if QUICK else 10000
+SEED = 2014
+BASELINE_PATH = Path(__file__).with_name("baseline_engine.json")
+
+#: Pre-refactor per-seed results: ``protocol -> [(makespan.hex(),
+#: waste.hex(), failure_count), ...]`` for trials 0..7 of root seed 2014.
+#: Captured from the per-call-scalar-draw engine the refactor replaced; the
+#: paper protocols use the one-day workload, NoFT the one-hour workload
+#: (the one-day NoFT run truncates after ~120k failures, which is pinned
+#: separately by the truncation tests).
+PINNED_REGRESSION = {
+    "NoFT": [
+        ("0x1.c200000000000p+11", "0x0.0p+0", 0),
+        ("0x1.1e94573c5878ap+13", "0x1.37023500e1f15p-1", 4),
+        ("0x1.c200000000000p+11", "0x0.0p+0", 0),
+        ("0x1.12940be6e1e03p+12", "0x1.71ca4bbea9934p-3", 1),
+        ("0x1.c200000000000p+11", "0x0.0p+0", 0),
+        ("0x1.20ffba31025c8p+12", "0x1.c587cbeb13e84p-3", 1),
+        ("0x1.c200000000000p+11", "0x0.0p+0", 0),
+        ("0x1.eb1694b14ec47p+13", "0x1.8ab59f4ad7d94p-1", 5),
+    ],
+    "PurePeriodicCkpt": [
+        ("0x1.1c941eb1feb26p+17", "0x1.a0c94fb4c0168p-2", 18),
+        ("0x1.17bc1794f5956p+17", "0x1.96459cb3f0848p-2", 21),
+        ("0x1.44897f5487953p+17", "0x1.eb8ca00f525ecp-2", 32),
+        ("0x1.4d94dc02e6117p+17", "0x1.f9fc5280a335ep-2", 33),
+        ("0x1.0794f0978eef4p+17", "0x1.706a810680f82p-2", 17),
+        ("0x1.12dff37f40e88p+17", "0x1.8b59a53d28eb4p-2", 14),
+        ("0x1.35e3bc72c371dp+17", "0x1.d261ce15e1b0ep-2", 26),
+        ("0x1.653607b7aab2bp+17", "0x1.0e204dc9ac792p-1", 34),
+    ],
+    "BiPeriodicCkpt": [
+        ("0x1.15f2ed8edb8ecp+17", "0x1.924d963dfda8ep-2", 18),
+        ("0x1.16939d4150a50p+17", "0x1.93b4306804d28p-2", 21),
+        ("0x1.43610500e2a4ep+17", "0x1.e9a477c7224f4p-2", 32),
+        ("0x1.3ce1699fad934p+17", "0x1.deaf1e0a75088p-2", 32),
+        ("0x1.041cf3e3142b8p+17", "0x1.67ac70473345ap-2", 17),
+        ("0x1.08c77ecadd07ep+17", "0x1.7361863a0152cp-2", 14),
+        ("0x1.267df844961acp+17", "0x1.b53a1b9549252p-2", 25),
+        ("0x1.37db50fb64414p+17", "0x1.d5e63c5afecf4p-2", 29),
+    ],
+    "ABFT&PeriodicCkpt": [
+        ("0x1.80ba07f20cc25p+16", "0x1.f6ccbf2c99450p-4", 11),
+        ("0x1.ab6dba0ad549dp+16", "0x1.aee34c64938bcp-3", 19),
+        ("0x1.e29665c5942a3p+16", "0x1.33dc44da01a1ep-2", 25),
+        ("0x1.bcb826a79b61cp+16", "0x1.edc2e5d2b84dcp-3", 22),
+        ("0x1.82295195a6409p+16", "0x1.02132a05a9d28p-3", 14),
+        ("0x1.9f5563052a3e2p+16", "0x1.7fcb9dfb4c8dcp-3", 12),
+        ("0x1.b77d3bfa14dc6p+16", "0x1.db43dd34526e4p-3", 21),
+        ("0x1.cfa6686c965fcp+16", "0x1.169c369a6e5f0p-2", 20),
+    ],
+}
+
+EVENT_SIMULATORS = {
+    "NoFT": NoFaultToleranceSimulator,
+    "PurePeriodicCkpt": PurePeriodicCkptSimulator,
+    "BiPeriodicCkpt": BiPeriodicCkptSimulator,
+    "ABFT&PeriodicCkpt": AbftPeriodicCkptSimulator,
+}
+
+
+def _parameters() -> ResilienceParameters:
+    return ResilienceParameters.from_scalars(
+        platform_mtbf=120 * MINUTE,
+        checkpoint=10 * MINUTE,
+        recovery=10 * MINUTE,
+        downtime=60.0,
+        library_fraction=0.8,
+        abft_overhead=1.03,
+        abft_reconstruction=2.0,
+    )
+
+
+def _workload(protocol: str) -> ApplicationWorkload:
+    total = 1 * HOUR if protocol == "NoFT" else 1 * DAY
+    return ApplicationWorkload.single_epoch(total, 0.8, library_fraction=0.8)
+
+
+# --------------------------------------------------------------------- #
+# Gate 1: the event backend is bit-identical to its pre-refactor stream.
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("protocol", sorted(PINNED_REGRESSION))
+def test_event_backend_pinned_per_seed_values(protocol):
+    simulator = EVENT_SIMULATORS[protocol](_parameters(), _workload(protocol))
+    streams = RandomStreams(SEED)
+    for trial, (makespan_hex, waste_hex, failure_count) in enumerate(
+        PINNED_REGRESSION[protocol]
+    ):
+        trace = simulator.simulate(streams.generator_for_trial(trial))
+        assert trace.makespan.hex() == makespan_hex, (protocol, trial)
+        assert trace.waste.hex() == waste_hex, (protocol, trial)
+        assert trace.failure_count == failure_count, (protocol, trial)
+
+
+# --------------------------------------------------------------------- #
+# Gate 2: the vectorized backend reproduces the event walk exactly.
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize(
+    "protocol, vectorized_cls",
+    [
+        ("NoFT", NoFaultToleranceVectorized),
+        ("PurePeriodicCkpt", PurePeriodicCkptVectorized),
+    ],
+)
+def test_vectorized_matches_event_trial_for_trial(protocol, vectorized_cls):
+    parameters = _parameters()
+    workload = _workload(protocol)
+    table = vectorized_cls(parameters, workload).run_trials(64, seed=SEED)
+    simulator = EVENT_SIMULATORS[protocol](parameters, workload)
+    streams = RandomStreams(SEED)
+    for trial in range(64):
+        trace = simulator.simulate(streams.generator_for_trial(trial))
+        row = table.data[trial]
+        assert float(row["makespan"]) == trace.makespan, (protocol, trial)
+        assert float(row["waste"]) == trace.waste, (protocol, trial)
+        assert int(row["failure_count"]) == trace.failure_count, (protocol, trial)
+        assert bool(row["truncated"]) == trace.metadata["truncated"]
+        for category in CATEGORIES:
+            assert float(row[category]) == getattr(trace.breakdown, category), (
+                protocol,
+                trial,
+                category,
+            )
+
+
+# --------------------------------------------------------------------- #
+# Gate 3: >= 5x vectorized speedup on the 10k-trial sweep point, and no
+# >2x regression against the recorded baseline ratio.
+# --------------------------------------------------------------------- #
+def _time_event_backend(runs: int) -> float:
+    simulator = PurePeriodicCkptSimulator(_parameters(), _workload("PurePeriodicCkpt"))
+    streams = RandomStreams(SEED)
+    start = time.perf_counter()
+    for trial in range(runs):
+        simulator.simulate(streams.generator_for_trial(trial))
+    return time.perf_counter() - start
+
+
+def _time_vectorized_backend(runs: int) -> float:
+    engine = PurePeriodicCkptVectorized(_parameters(), _workload("PurePeriodicCkpt"))
+    start = time.perf_counter()
+    engine.run_trials(runs, seed=SEED)
+    return time.perf_counter() - start
+
+
+def test_vectorized_speedup_on_sweep_point():
+    # Same best-of-3 policy on both sides so the gated ratio is not biased
+    # by asymmetric noise sensitivity: a single transient stall can neither
+    # hide a vectorized regression nor fail the gate.
+    event_seconds = min(_time_event_backend(SWEEP_TRIALS) for _ in range(3))
+    vectorized_seconds = min(_time_vectorized_backend(SWEEP_TRIALS) for _ in range(3))
+    speedup = event_seconds / vectorized_seconds
+    print(
+        f"\nengine sweep point ({SWEEP_TRIALS} trials): "
+        f"event {event_seconds:.2f}s, vectorized {vectorized_seconds:.3f}s, "
+        f"speedup {speedup:.1f}x"
+    )
+    assert speedup >= 5.0, (
+        f"vectorized backend is only {speedup:.1f}x faster than the event "
+        f"backend on a {SWEEP_TRIALS}-trial pure_periodic sweep point "
+        "(acceptance floor: 5x)"
+    )
+    if BASELINE_PATH.exists():
+        baseline = json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
+        floor = baseline["speedup"] / 2.0
+        assert speedup >= floor, (
+            f"engine speedup regressed more than 2x: measured {speedup:.1f}x "
+            f"vs recorded baseline {baseline['speedup']:.1f}x "
+            f"(floor {floor:.1f}x); see benchmarks/baseline_engine.json"
+        )
+
+
+# --------------------------------------------------------------------- #
+# BENCH trajectory: absolute timings tracked by pytest-benchmark.
+# --------------------------------------------------------------------- #
+def test_bench_event_backend(benchmark):
+    runs = 200 if QUICK else 500
+    result = benchmark.pedantic(
+        _time_event_backend, args=(runs,), iterations=1, rounds=1
+    )
+    assert result > 0.0
+
+
+def test_bench_vectorized_backend(benchmark):
+    engine = PurePeriodicCkptVectorized(_parameters(), _workload("PurePeriodicCkpt"))
+    table = benchmark.pedantic(
+        engine.run_trials, args=(SWEEP_TRIALS,), kwargs={"seed": SEED},
+        iterations=1, rounds=3,
+    )
+    assert table.runs == SWEEP_TRIALS

@@ -84,7 +84,12 @@ from repro.campaign import (
 )
 from repro.failures import ExponentialFailureModel, FailureTimeline, Platform
 from repro.scenario import Scenario, ScenarioResult, ScenarioSpec, run_scenario
-from repro.simulation import MonteCarloResult, MonteCarloRunner, run_monte_carlo
+from repro.simulation import (
+    MonteCarloResult,
+    MonteCarloRunner,
+    TrialTable,
+    run_monte_carlo,
+)
 
 __version__ = "1.0.0"
 
@@ -116,6 +121,7 @@ __all__ = [
     "run_monte_carlo",
     "MonteCarloResult",
     "MonteCarloRunner",
+    "TrialTable",
     # Campaign execution
     "ParallelMonteCarloExecutor",
     "run_monte_carlo_parallel",

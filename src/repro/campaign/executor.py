@@ -3,19 +3,24 @@
 The paper's validation averages 1000 independent executions per parameter
 point (Section V-A); :func:`repro.simulation.runner.run_monte_carlo` runs
 them one after the other in pure Python.  This module fans the trials out
-over a process (or thread) pool in contiguous index chunks.
+over a process (or thread) pool in contiguous index *batches*: each worker
+simulates one batch and returns a single columnar
+:class:`~repro.simulation.table.TrialTable` slice, so inter-process transfer
+cost is one structured-array pickle per batch instead of a Python object per
+trial.  The slices are concatenated in seed (trial) order and summarised
+once, vectorized.
 
 Determinism guarantee
 ---------------------
 Trial ``i`` draws its random generator from
 ``RandomStreams(seed).generator_for_trial(i)`` -- the exact derivation the
-serial path uses -- and the per-trial waste / makespan / failure samples are
-reassembled in trial order before being summarised with the same Welford
-pass as the serial runner.  The same root seed therefore produces a
-bit-identical :class:`~repro.simulation.runner.MonteCarloResult` for any
-worker count, chunk size or backend (the property tests assert ``==``, not
-approximate equality).  With ``seed=None`` each trial draws fresh OS
-entropy, exactly like the serial path, and no reproducibility is promised.
+serial path uses -- and the batch tables are reassembled in trial order
+before the summaries are computed with the same vectorized reductions as
+the serial runner.  The same root seed therefore produces a bit-identical
+:class:`~repro.simulation.runner.MonteCarloResult` for any worker count,
+batch size or backend (the property tests assert ``==``, not approximate
+equality).  With ``seed=None`` each trial draws fresh OS entropy, exactly
+like the serial path, and no reproducibility is promised.
 """
 
 from __future__ import annotations
@@ -26,10 +31,14 @@ from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-from repro.simulation.rng import RandomStreams
-from repro.simulation.runner import MonteCarloResult, SimulateOnce, run_monte_carlo
+from repro.simulation.runner import (
+    MonteCarloResult,
+    SimulateOnce,
+    run_monte_carlo,
+    simulate_trial_range,
+)
+from repro.simulation.table import TrialTable
 from repro.simulation.trace import ExecutionTrace
-from repro.utils.stats import summarize
 
 __all__ = ["ParallelMonteCarloExecutor", "run_monte_carlo_parallel"]
 
@@ -38,48 +47,27 @@ BACKENDS = ("process", "thread", "serial")
 
 
 @dataclass
-class _ChunkResult:
-    """Per-trial samples of one contiguous chunk of a campaign."""
+class _BatchResult:
+    """One contiguous batch of a campaign, as a columnar table slice."""
 
     start: int
-    wastes: List[float]
-    makespans: List[float]
-    failures: List[float]
-    protocol: str
-    application_time: float
+    table: TrialTable
     traces: List[ExecutionTrace] = field(default_factory=list)
 
 
-def _simulate_chunk(
+def _simulate_batch(
     simulate_once: SimulateOnce,
     seed: Optional[int],
     start: int,
     stop: int,
     keep_traces: bool,
-) -> _ChunkResult:
-    """Run trials ``start..stop-1``, deriving each RNG exactly as the serial
-    runner does (module-level so process pools can pickle it)."""
-    streams = RandomStreams(seed)
-    chunk = _ChunkResult(
-        start=start,
-        wastes=[],
-        makespans=[],
-        failures=[],
-        protocol="",
-        application_time=float("nan"),
+) -> _BatchResult:
+    """Run trials ``start..stop-1`` into one table slice (module-level so
+    process pools can pickle it)."""
+    table, traces = simulate_trial_range(
+        simulate_once, seed=seed, start=start, stop=stop, keep_traces=keep_traces
     )
-    for index in range(start, stop):
-        rng = streams.generator_for_trial(index)
-        trace = simulate_once(rng)
-        if index == start:
-            chunk.protocol = trace.protocol
-            chunk.application_time = trace.application_time
-        chunk.wastes.append(trace.waste)
-        chunk.makespans.append(trace.makespan)
-        chunk.failures.append(float(trace.failure_count))
-        if keep_traces:
-            chunk.traces.append(trace)
-    return chunk
+    return _BatchResult(start=start, table=table, traces=traces)
 
 
 class ParallelMonteCarloExecutor:
@@ -97,9 +85,9 @@ class ParallelMonteCarloExecutor:
         callables; pure-Python simulators gain no speed under the GIL) or
         ``"serial"``.
     chunk_size:
-        Trials per pool task.  ``None`` splits the campaign into about four
-        chunks per worker, amortising task dispatch without starving the
-        pool.
+        Trials per pool task (batch).  ``None`` splits the campaign into
+        about four batches per worker, amortising task dispatch without
+        starving the pool.
     """
 
     def __init__(
@@ -137,7 +125,7 @@ class ParallelMonteCarloExecutor:
         return self._backend
 
     def chunk_ranges(self, runs: int) -> list[tuple[int, int]]:
-        """The ``[start, stop)`` trial ranges the campaign is split into."""
+        """The ``[start, stop)`` trial batches the campaign is split into."""
         size = self._chunk_size
         if size is None:
             size = max(1, math.ceil(runs / (self.workers * 4)))
@@ -164,33 +152,21 @@ class ParallelMonteCarloExecutor:
                 keep_traces=keep_traces,
                 confidence=confidence,
             )
-        chunks = self.chunk_ranges(runs)
-        with self._make_pool(min(self.workers, len(chunks))) as pool:
+        batches = self.chunk_ranges(runs)
+        with self._make_pool(min(self.workers, len(batches))) as pool:
             futures = [
-                pool.submit(_simulate_chunk, simulate_once, seed, start, stop, keep_traces)
-                for start, stop in chunks
+                pool.submit(_simulate_batch, simulate_once, seed, start, stop, keep_traces)
+                for start, stop in batches
             ]
             results = [future.result() for future in futures]
-        results.sort(key=lambda chunk: chunk.start)
+        results.sort(key=lambda batch: batch.start)
 
-        wastes: list[float] = []
-        makespans: list[float] = []
-        failures: list[float] = []
+        table = TrialTable.concatenate([batch.table for batch in results])
         traces: list[ExecutionTrace] = []
-        for chunk in results:
-            wastes.extend(chunk.wastes)
-            makespans.extend(chunk.makespans)
-            failures.extend(chunk.failures)
-            traces.extend(chunk.traces)
-        first = results[0]
-        return MonteCarloResult(
-            protocol=first.protocol,
-            runs=runs,
-            waste=summarize(wastes, confidence),
-            makespan=summarize(makespans, confidence),
-            failures=summarize(failures, confidence),
-            application_time=first.application_time,
-            traces=tuple(traces),
+        for batch in results:
+            traces.extend(batch.traces)
+        return MonteCarloResult.from_table(
+            table, confidence=confidence, traces=traces
         )
 
     def _make_pool(self, max_workers: int) -> Executor:

@@ -38,7 +38,11 @@ from repro.core.registry import (
     protocol_names,
     resolve_failure_model,
     resolve_protocol,
+    vectorized_protocol_names,
 )
+from repro.failures.exponential import ExponentialFailureModel
+from repro.simulation.table import TrialTable
+from repro.simulation.vectorized import ENGINE_BACKENDS, VectorizedBackendError
 
 __all__ = ["SweepJob", "GridPoint", "SweepResult", "SweepRunner", "CAMPAIGN_PROTOCOLS"]
 
@@ -82,6 +86,19 @@ class SweepJob:
         ``(protocol name, ((key, value), ...))`` pairs (e.g. the composite
         model's ``per_epoch=False``); selecting any disables the vectorised
         grid path for the affected sweep.
+    backend:
+        Monte-Carlo engine for simulated points: ``"event"`` (default, the
+        per-trial state-machine walk), ``"vectorized"`` (the across-trials
+        engine; every selected protocol must support it and the failure law
+        must be exponential, else the job fails with an actionable error) or
+        ``"auto"`` (vectorized where supported, event elsewhere).  The
+        engines are bit-identical trial for trial, so the backend is *not*
+        part of the cache key -- entries are interchangeable.
+    max_slowdown:
+        Truncation cap forwarded to the simulators: a trial is cut short
+        (and counted in the point summaries' ``truncated`` field) once its
+        makespan exceeds ``max_slowdown * T0``.  Non-default values are part
+        of the cache key.
     """
 
     parameters: ResilienceParameters
@@ -97,6 +114,8 @@ class SweepJob:
     failure_model: str = "exponential"
     failure_params: Tuple[Tuple[str, Any], ...] = ()
     model_params: Tuple[Tuple[str, Tuple[Tuple[str, Any], ...]], ...] = ()
+    backend: str = "event"
+    max_slowdown: float = 1e4
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "mtbf_values", tuple(float(m) for m in self.mtbf_values))
@@ -139,6 +158,15 @@ class SweepJob:
         if self.simulate and self.simulation_runs <= 0:
             raise ValueError(
                 f"simulation_runs must be positive, got {self.simulation_runs}"
+            )
+        if self.backend not in ENGINE_BACKENDS:
+            raise ValueError(
+                f"unknown engine backend {self.backend!r}; "
+                f"expected one of {ENGINE_BACKENDS}"
+            )
+        if self.max_slowdown <= 1.0:
+            raise ValueError(
+                f"max_slowdown must be > 1, got {self.max_slowdown}"
             )
 
     @staticmethod
@@ -199,6 +227,8 @@ class SweepJob:
                 [name, [list(pair) for pair in options]]
                 for name, options in self.model_params
             ]
+        if self.max_slowdown != 1e4:
+            key["max_slowdown"] = self.max_slowdown
         return key
 
     def model_kwargs_for(self, protocol: str) -> Dict[str, Any]:
@@ -239,12 +269,24 @@ class SweepJob:
 
 @dataclass(frozen=True)
 class GridPoint:
-    """One evaluated grid point: model (and optionally simulated) waste."""
+    """One evaluated grid point: model (and optionally simulated) waste.
+
+    ``simulated`` holds the per-protocol campaign summary derived from the
+    point's :class:`~repro.simulation.table.TrialTable` (mean/std/CI of the
+    waste, mean makespan and failure count, truncated-trial count); it is
+    empty for model-only points and for entries cached before the columnar
+    engine existed.
+    """
 
     mtbf: float
     alpha: float
     model_waste: Dict[str, float]
     simulated_waste: Dict[str, float] = field(default_factory=dict)
+    simulated: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+
+    def truncated_trials(self, protocol: str) -> int:
+        """Truncated-trial count of one protocol's campaign (0 if unknown)."""
+        return int(self.simulated.get(protocol, {}).get("truncated", 0))
 
 
 @dataclass(frozen=True)
@@ -338,7 +380,14 @@ class SweepRunner:
             for coords in pending:
                 value: Dict[str, Any] = {"model_waste": model_waste[coords]}
                 if job.simulate:
-                    value["simulated_waste"] = self._simulate_point(job, *coords)
+                    tables = self._simulate_point(job, *coords)
+                    value["simulated_waste"] = {
+                        name: table.summarize("waste").mean
+                        for name, table in tables.items()
+                    }
+                    value["simulated"] = {
+                        name: table.summary_dict() for name, table in tables.items()
+                    }
                 values[coords] = value
                 if self._cache is not None:
                     self._cache.store(job.point_key(*coords), value)
@@ -349,6 +398,7 @@ class SweepRunner:
                 alpha=alpha,
                 model_waste=dict(values[(mtbf, alpha)]["model_waste"]),
                 simulated_waste=dict(values[(mtbf, alpha)].get("simulated_waste", {})),
+                simulated=dict(values[(mtbf, alpha)].get("simulated", {})),
             )
             for mtbf, alpha in grid
         )
@@ -398,20 +448,60 @@ class SweepRunner:
 
     def _simulate_point(
         self, job: SweepJob, mtbf: float, alpha: float
-    ) -> Dict[str, float]:
-        """Mean simulated waste of every protocol at one grid point."""
+    ) -> Dict[str, TrialTable]:
+        """Per-protocol trial tables of the campaigns at one grid point."""
         parameters = job.parameters.with_mtbf(mtbf)
         workload = job.workload(alpha)
         failure_model = job.point_failure_model(mtbf)
-        simulated: Dict[str, float] = {}
+        tables: Dict[str, TrialTable] = {}
         for name in job.protocols:
-            simulator = resolve_protocol(name).simulator_cls(
-                parameters, workload, failure_model=failure_model
-            )
-            campaign = self._executor.run(
-                simulator.simulate_once,
-                runs=job.simulation_runs,
-                seed=job.seed,
-            )
-            simulated[name] = campaign.mean_waste
-        return simulated
+            entry = resolve_protocol(name)
+            use_vectorized = False
+            if job.backend in ("vectorized", "auto"):
+                # Exact type check: a subclass overriding the sampling is
+                # NOT the exponential law the vectorized engine draws from.
+                exponential = (
+                    failure_model is None
+                    or type(failure_model) is ExponentialFailureModel
+                )
+                supported = entry.vectorized_cls is not None and exponential
+                if job.backend == "vectorized" and not supported:
+                    if entry.vectorized_cls is None:
+                        detail = (
+                            f"protocol {entry.name!r} has no vectorized engine "
+                            f"(available: {sorted(vectorized_protocol_names())})"
+                        )
+                    else:
+                        detail = (
+                            f"failure model {job.failure_model!r} is not the "
+                            "exponential law"
+                        )
+                    raise VectorizedBackendError(
+                        f"backend='vectorized' cannot run this sweep: {detail}; "
+                        "use backend='event' or backend='auto'"
+                    )
+                use_vectorized = supported
+            if use_vectorized:
+                engine = entry.vectorized_cls(
+                    parameters,
+                    workload,
+                    failure_model=failure_model,
+                    max_slowdown=job.max_slowdown,
+                )
+                tables[name] = engine.run_trials(
+                    job.simulation_runs, seed=job.seed
+                )
+            else:
+                simulator = entry.simulator_cls(
+                    parameters,
+                    workload,
+                    failure_model=failure_model,
+                    max_slowdown=job.max_slowdown,
+                )
+                campaign = self._executor.run(
+                    simulator.simulate_once,
+                    runs=job.simulation_runs,
+                    seed=job.seed,
+                )
+                tables[name] = campaign.table
+        return tables

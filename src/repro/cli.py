@@ -28,8 +28,12 @@ Declarative scenarios (see EXPERIMENTS.md for the file format)::
 
     # What protocols and failure models can a scenario name?
     python -m repro.cli scenario list
+    # Check a spec without running anything (exit 2 on problems):
+    python -m repro.cli scenario validate examples/custom_scenario.json
     # Run a JSON scenario end-to-end (any registered failure model):
     python -m repro.cli scenario run examples/custom_scenario.json
+    # Same grid through the vectorized across-trials engine:
+    python -m repro.cli scenario run spec.json --backend auto
     python -m repro.cli scenario run spec.json --validate --runs 100 \
         --workers 4 --cache-dir ./scenario-cache --csv out.csv
 
@@ -190,6 +194,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=None, help="root seed (overrides the spec)"
     )
     scenario_run.add_argument(
+        "--backend",
+        choices=["event", "vectorized", "auto"],
+        default=None,
+        help=(
+            "Monte-Carlo engine (overrides the spec): 'event' walks one "
+            "trial at a time, 'vectorized' runs all trials as NumPy arrays "
+            "(bit-identical where supported), 'auto' picks per protocol"
+        ),
+    )
+    scenario_run.add_argument(
         "--workers",
         type=_positive_int,
         default=None,
@@ -208,6 +222,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scenario_run.add_argument(
         "--csv", type=str, default=None, help="write the series to CSV"
+    )
+    scenario_validate = scenario_sub.add_parser(
+        "validate",
+        help=(
+            "schema-check a scenario file and dry-run its registry "
+            "resolution without simulating anything (exit 2 on problems)"
+        ),
+    )
+    scenario_validate.add_argument(
+        "spec", type=str, help="path to the scenario JSON file"
     )
     scenario_sub.add_parser(
         "list", help="list registered protocols and failure models"
@@ -342,12 +366,59 @@ def _run_scenario_list() -> int:
     return 0
 
 
+def _validate_scenario(args: argparse.Namespace) -> int:
+    """Schema check + registry-resolution dry-run; no simulation at all."""
+    from repro.core.registry import UnknownFailureModelError, UnknownProtocolError
+    from repro.scenario import ScenarioError, ScenarioSpec
+    from repro.scenario.runner import scenario_sweep_job
+
+    try:
+        spec = ScenarioSpec.load(args.spec)
+    except (ScenarioError, UnknownProtocolError, UnknownFailureModelError) as exc:
+        print(f"error: invalid scenario file {args.spec!r}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        # Lower the spec onto the campaign job exactly as a run would --
+        # SweepJob.__post_init__ performs the full protocol / failure-model
+        # / backend resolution, with no simulation at construction -- then
+        # probe every per-point construction a run performs: parameters and
+        # failure model at each swept MTBF, workload at each swept alpha.
+        scenario_sweep_job(spec)
+        for mtbf in spec.mtbf_axis:
+            spec.parameters(mtbf)
+            spec.failure_model(mtbf)
+        for alpha in spec.alpha_axis:
+            spec.application_workload(alpha)
+    except (
+        ScenarioError,
+        UnknownProtocolError,
+        UnknownFailureModelError,
+        ValueError,
+    ) as exc:
+        print(
+            f"error: scenario file {args.spec!r} does not resolve: {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    print(f"scenario file {args.spec!r} is valid")
+    print(spec.describe())
+    grid_points = len(spec.mtbf_axis) * len(spec.alpha_axis)
+    print(
+        f"would evaluate {grid_points} grid point(s) with "
+        f"backend {spec.simulation.backend!r}"
+    )
+    return 0
+
+
 def _run_scenario(args: argparse.Namespace) -> int:
     from repro.core.registry import UnknownFailureModelError, UnknownProtocolError
     from repro.scenario import ScenarioError, ScenarioSpec, run_scenario
+    from repro.simulation.vectorized import VectorizedBackendError
 
     if args.scenario_command == "list":
         return _run_scenario_list()
+    if args.scenario_command == "validate":
+        return _validate_scenario(args)
 
     try:
         spec = ScenarioSpec.load(args.spec)
@@ -361,11 +432,17 @@ def _run_scenario(args: argparse.Namespace) -> int:
             validate=args.validate,
             runs=args.runs,
             seed=args.seed,
+            backend=args.backend,
             workers=args.workers,
             cache_dir=args.cache_dir,
             resume=args.resume,
         )
-    except (ScenarioError, UnknownProtocolError, UnknownFailureModelError) as exc:
+    except (
+        ScenarioError,
+        UnknownProtocolError,
+        UnknownFailureModelError,
+        VectorizedBackendError,
+    ) as exc:
         print(f"error: scenario {spec.name!r} failed: {exc}", file=sys.stderr)
         return 2
     table = result.to_table()
@@ -375,6 +452,11 @@ def _run_scenario(args: argparse.Namespace) -> int:
         f"(computed {result.sweep.computed_points}, "
         f"reused {result.sweep.cached_points} cached)"
     )
+    if result.truncated_trials:
+        print(
+            f"warning: {result.truncated_trials} simulated trial(s) hit the "
+            "max_slowdown cap and were truncated (waste ~1)"
+        )
     if args.cache_dir:
         print(f"cache directory: {args.cache_dir}")
     if args.csv:

@@ -134,11 +134,17 @@ class ProtocolSimulator(abc.ABC):
             model = self._failure_model
             if model is None:
                 model = ExponentialFailureModel(self._params.platform_mtbf)
+            elif hasattr(model, "spawn"):
+                # Stateful models (trace replay) return a private, rewound
+                # clone sharing the immutable bulk data: every run replays
+                # the trace from the start, and concurrent runs sharing one
+                # simulator (thread pools) never advance each other's
+                # cursor.  Stateless models return themselves, so this is
+                # free on the common path.
+                model = model.spawn()
             elif hasattr(model, "reset"):
-                # Stateful models (trace replay) get a private copy rewound
-                # to the first entry: every run replays the trace from the
-                # start, and concurrent runs sharing one simulator (thread
-                # pools) never advance each other's cursor.
+                # Third-party stateful models predating the spawn() protocol
+                # still get the (slow) deep-copy isolation.
                 model = copy.deepcopy(model)
                 model.reset()
             timeline = FailureTimeline(model, rng)

@@ -17,8 +17,12 @@ from repro.core.registry import register_protocol
 from repro.failures.base import FailureModel
 from repro.failures.timeline import FailureTimeline
 from repro.simulation.trace import TraceRecorder
+from repro.simulation.vectorized import (
+    VectorizedChunkedSimulator,
+    exponential_mtbf_or_raise,
+)
 
-__all__ = ["NoFaultToleranceSimulator"]
+__all__ = ["NoFaultToleranceSimulator", "NoFaultToleranceVectorized"]
 
 
 @register_protocol(
@@ -68,3 +72,41 @@ class NoFaultToleranceSimulator(ProtocolSimulator):
                 recorder,
                 (("downtime", self._params.downtime),),
             )
+
+
+@register_protocol("NoFT", kind="vectorized", paper=False)
+class NoFaultToleranceVectorized:
+    """Across-trials engine for NoFT under the exponential law.
+
+    The whole application is a single unprotected chunk, so the vectorized
+    chunked engine models it exactly (no checkpoint, downtime-only restart).
+    Bit-identical to :class:`NoFaultToleranceSimulator`, trial for trial.
+    """
+
+    name = "NoFT"
+
+    def __init__(
+        self,
+        parameters: ResilienceParameters,
+        workload: ApplicationWorkload,
+        *,
+        failure_model: Optional[FailureModel] = None,
+        max_slowdown: float = 1e4,
+    ) -> None:
+        total = workload.total_time
+        self._engine = VectorizedChunkedSimulator(
+            protocol=self.name,
+            application_time=total,
+            work=total,
+            chunk_size=total,
+            checkpoint_cost=0.0,
+            restart_stages=(("downtime", parameters.downtime),),
+            mtbf=exponential_mtbf_or_raise(
+                failure_model, parameters.platform_mtbf, protocol=self.name
+            ),
+            max_makespan=float(max_slowdown) * total,
+        )
+
+    def run_trials(self, runs: int, seed: Optional[int] = None):
+        """Simulate ``runs`` trials; see :class:`VectorizedChunkedSimulator`."""
+        return self._engine.run_trials(runs, seed)

@@ -9,6 +9,7 @@ checkpointed section.
 
 from __future__ import annotations
 
+import math
 from typing import Optional
 
 from repro.application.workload import ApplicationWorkload
@@ -19,8 +20,12 @@ from repro.core.registry import register_protocol
 from repro.failures.base import FailureModel
 from repro.failures.timeline import FailureTimeline
 from repro.simulation.trace import TraceRecorder
+from repro.simulation.vectorized import (
+    VectorizedChunkedSimulator,
+    exponential_mtbf_or_raise,
+)
 
-__all__ = ["PurePeriodicCkptSimulator"]
+__all__ = ["PurePeriodicCkptSimulator", "PurePeriodicCkptVectorized"]
 
 
 @register_protocol(
@@ -91,3 +96,61 @@ class PurePeriodicCkptSimulator(ProtocolSimulator):
             period=self.period(),
             trailing_checkpoint=False,
         )
+
+
+@register_protocol("PurePeriodicCkpt", kind="vectorized")
+class PurePeriodicCkptVectorized:
+    """Across-trials engine for PurePeriodicCkpt under the exponential law.
+
+    Accepts the same protocol knobs as :class:`PurePeriodicCkptSimulator`
+    (explicit period or optimal-period formula) and produces bit-identical
+    per-trial results through the vectorized chunked engine.
+    """
+
+    name = "PurePeriodicCkpt"
+
+    def __init__(
+        self,
+        parameters: ResilienceParameters,
+        workload: ApplicationWorkload,
+        *,
+        period: Optional[float] = None,
+        period_formula: str = "paper",
+        failure_model: Optional[FailureModel] = None,
+        max_slowdown: float = 1e4,
+    ) -> None:
+        if period is None:
+            period = optimal_period(
+                parameters.full_checkpoint,
+                parameters.platform_mtbf,
+                parameters.downtime,
+                parameters.full_recovery,
+                formula=period_formula,
+            )
+        total = workload.total_time
+        checkpoint = parameters.full_checkpoint
+        # Same degenerate-period handling as _periodic_section: no usable
+        # period means the whole section is one chunk.
+        if math.isnan(period) or period <= checkpoint:
+            chunk_size = total
+        else:
+            chunk_size = period - checkpoint
+        self._engine = VectorizedChunkedSimulator(
+            protocol=self.name,
+            application_time=total,
+            work=total,
+            chunk_size=chunk_size,
+            checkpoint_cost=checkpoint,
+            restart_stages=(
+                ("downtime", parameters.downtime),
+                ("recovery", parameters.full_recovery),
+            ),
+            mtbf=exponential_mtbf_or_raise(
+                failure_model, parameters.platform_mtbf, protocol=self.name
+            ),
+            max_makespan=float(max_slowdown) * total,
+        )
+
+    def run_trials(self, runs: int, seed: Optional[int] = None):
+        """Simulate ``runs`` trials; see :class:`VectorizedChunkedSimulator`."""
+        return self._engine.run_trials(runs, seed)

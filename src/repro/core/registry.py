@@ -45,6 +45,7 @@ __all__ = [
     "register_protocol",
     "register_failure_model",
     "protocol_names",
+    "vectorized_protocol_names",
     "failure_model_names",
     "resolve_protocol",
     "resolve_failure_model",
@@ -122,10 +123,20 @@ class ProtocolEntry:
     aliases: Tuple[str, ...] = ()
     model_cls: Optional[type] = None
     simulator_cls: Optional[type] = None
+    #: Optional across-trials engine adapter (``backend="vectorized"``): a
+    #: class constructed as ``vectorized_cls(parameters, workload, ...)``
+    #: exposing ``run_trials(runs, seed) -> TrialTable``, bit-identical to
+    #: the event simulator.  ``None`` means only the event backend exists.
+    vectorized_cls: Optional[type] = None
     #: Whether the entry belongs to the paper's headline comparison, i.e.
     #: appears in the ``PROTOCOL_PAIRS`` compatibility view (the NoFT
     #: baseline registers with ``paper=False``).
     paper: bool = True
+
+    @property
+    def has_vectorized(self) -> bool:
+        """Whether a vectorized across-trials engine is registered."""
+        return self.vectorized_cls is not None
 
     @property
     def pair(self) -> Tuple[type, type]:
@@ -214,7 +225,9 @@ def register_protocol(
     kind:
         ``"model"`` for :class:`~repro.core.analytical.base.AnalyticalModel`
         subclasses, ``"simulator"`` for
-        :class:`~repro.core.protocols.base.ProtocolSimulator` subclasses.
+        :class:`~repro.core.protocols.base.ProtocolSimulator` subclasses,
+        ``"vectorized"`` for across-trials engine adapters exposing
+        ``run_trials(runs, seed)``.
     aliases:
         Alternative lookup names (case-insensitive, shared by both halves).
     paper:
@@ -227,8 +240,10 @@ def register_protocol(
     ... class MyCkptModel:  # doctest: +SKIP
     ...     ...
     """
-    if kind not in ("model", "simulator"):
-        raise ValueError(f"kind must be 'model' or 'simulator', got {kind!r}")
+    if kind not in ("model", "simulator", "vectorized"):
+        raise ValueError(
+            f"kind must be 'model', 'simulator' or 'vectorized', got {kind!r}"
+        )
 
     def decorator(cls: T) -> T:
         entry = _PROTOCOLS.get(name)
@@ -240,8 +255,10 @@ def register_protocol(
             entry.paper = entry.paper and paper
         if kind == "model":
             entry.model_cls = cls
-        else:
+        elif kind == "simulator":
             entry.simulator_cls = cls
+        else:
+            entry.vectorized_cls = cls
         _register_lookup(_PROTOCOL_LOOKUP, name, entry.aliases, "protocol")
         return cls
 
@@ -283,6 +300,14 @@ def protocol_names(*, paper_only: bool = False) -> Tuple[str, ...]:
         if entry.model_cls is not None
         and entry.simulator_cls is not None
         and (entry.paper or not paper_only)
+    )
+
+
+def vectorized_protocol_names() -> Tuple[str, ...]:
+    """Canonical names of protocols with a vectorized engine registered."""
+    _ensure_builtins()
+    return tuple(
+        entry.name for entry in _PROTOCOLS.values() if entry.vectorized_cls is not None
     )
 
 

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import abc
+import copy
 from typing import Iterator
 
 import numpy as np
@@ -66,6 +67,27 @@ class FailureModel(abc.ABC):
         while True:
             current += self.sample_interarrival(rng)
             yield current
+
+    def spawn(self) -> "FailureModel":
+        """Return an instance that is safe to consume in a new simulation run.
+
+        Stateless (distribution-parameter only) models are immutable and
+        return ``self`` -- the call is free.  Stateful models (trace replay)
+        override this to return a fresh, rewound instance that shares the
+        immutable bulk data, so per-run isolation costs O(1) instead of the
+        ``copy.deepcopy`` the simulators historically paid per trial.
+
+        The default covers stateful subclasses that predate ``spawn()``:
+        anything exposing a ``reset()`` is assumed to carry per-run state
+        and still gets the historical deep-copy isolation; models without
+        one are treated as immutable.
+        """
+        reset = getattr(self, "reset", None)
+        if reset is not None:
+            clone = copy.deepcopy(self)
+            clone.reset()
+            return clone
+        return self
 
     def scaled(self, factor: float) -> "FailureModel":
         """Return a model whose MTBF is multiplied by ``factor``.

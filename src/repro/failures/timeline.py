@@ -11,6 +11,21 @@ A timeline is consumed through a single query,
 strictly after a given time.  Because the simulators only ever move forward
 in time, the timeline generates and caches failures incrementally and never
 needs to materialise more than the horizon actually reached by the run.
+
+Stream reproducibility guarantee
+--------------------------------
+Failure times are pre-sampled in fixed-size NumPy blocks of ``batch_size``
+inter-arrival times (refilled on exhaustion), and the absolute times of a
+block are always computed as ``last_time + cumsum(block)``.  For a given
+``(model, rng state, batch_size)`` the resulting sequence is therefore a
+pure function of the generator's bit stream: it does not depend on the
+query pattern, on how many blocks end up being materialised, or on the
+internal storage strategy.  Every pinned regression value in the test suite
+relies on this; changing the default ``batch_size`` or the per-block
+``cumsum`` arithmetic would silently shift all simulated results.  The
+vectorized across-trials engine (:mod:`repro.simulation.vectorized`)
+replicates exactly this block pattern, which is what makes it bit-identical
+to the event-driven walk, trial for trial.
 """
 
 from __future__ import annotations
@@ -21,7 +36,11 @@ import numpy as np
 
 from repro.failures.base import FailureModel
 
-__all__ = ["FailureTimeline"]
+__all__ = ["FailureTimeline", "DEFAULT_BATCH_SIZE"]
+
+#: Inter-arrival times drawn per refill block.  Part of the stream
+#: reproducibility guarantee: see the module docstring.
+DEFAULT_BATCH_SIZE = 64
 
 
 class FailureTimeline:
@@ -35,8 +54,18 @@ class FailureTimeline:
         NumPy random generator; owning the generator (rather than a seed)
         lets callers share a single stream across components when desired.
     batch_size:
-        Number of inter-arrival times drawn per refill.  Purely a
-        performance knob.
+        Number of inter-arrival times drawn per refill.  **Not** purely a
+        performance knob: the per-seed failure sequence is guaranteed
+        reproducible only at a fixed batch size (see the module docstring),
+        so leave it at the default unless you own every consumer of the
+        stream.
+
+    Notes
+    -----
+    Failure times are stored in a geometrically grown, pre-allocated buffer:
+    appending a block is amortised O(block) instead of the O(n) reallocation
+    a ``concatenate`` per refill would cost, which matters for truncated
+    runs that walk hundreds of thousands of failures.
     """
 
     def __init__(
@@ -44,14 +73,15 @@ class FailureTimeline:
         model: FailureModel,
         rng: np.random.Generator,
         *,
-        batch_size: int = 64,
+        batch_size: int = DEFAULT_BATCH_SIZE,
     ) -> None:
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
         self._model = model
         self._rng = rng
         self._batch_size = int(batch_size)
-        self._times = np.empty(0, dtype=float)
+        self._buffer = np.empty(0, dtype=float)
+        self._count = 0
         self._generated_until = 0.0
 
     # ------------------------------------------------------------------ #
@@ -63,39 +93,69 @@ class FailureTimeline:
     @property
     def generated_count(self) -> int:
         """Number of failure timestamps materialised so far."""
-        return int(self._times.size)
+        return int(self._count)
+
+    @property
+    def times(self) -> np.ndarray:
+        """Read-only view of the failure times materialised so far."""
+        view = self._buffer[: self._count]
+        view.flags.writeable = False
+        return view
 
     def _extend(self) -> None:
         """Draw one more batch of inter-arrival times and append them."""
         interarrivals = self._model.sample_interarrivals(self._rng, self._batch_size)
         # Guard against degenerate models returning non-positive samples.
         interarrivals = np.maximum(interarrivals, np.finfo(float).tiny)
-        start = self._times[-1] if self._times.size else 0.0
+        start = self._buffer[self._count - 1] if self._count else 0.0
+        # The per-block `start + cumsum(block)` arithmetic is pinned by the
+        # stream reproducibility guarantee -- do not fuse blocks.
         new_times = start + np.cumsum(interarrivals)
-        self._times = np.concatenate([self._times, new_times])
-        self._generated_until = float(self._times[-1])
+        needed = self._count + new_times.size
+        if needed > self._buffer.size:
+            capacity = max(needed, 2 * self._buffer.size, 4 * self._batch_size)
+            grown = np.empty(capacity, dtype=float)
+            grown[: self._count] = self._buffer[: self._count]
+            self._buffer = grown
+        self._buffer[self._count : needed] = new_times
+        self._count = needed
+        self._generated_until = float(new_times[-1])
+
+    def ensure_count(self, count: int) -> None:
+        """Materialise at least ``count`` failure times."""
+        while self._count < count:
+            self._extend()
+
+    def ensure_horizon(self, time: float) -> None:
+        """Materialise the stream strictly past ``time``."""
+        while self._count == 0 or self._generated_until <= time:
+            self._extend()
 
     def next_failure_after(self, time: float) -> float:
         """Return the first failure time strictly greater than ``time``."""
         if time < 0:
             time = 0.0
-        while self._times.size == 0 or self._generated_until <= time:
+        self.ensure_horizon(time)
+        index = int(
+            np.searchsorted(self._buffer[: self._count], time, side="right")
+        )
+        while index >= self._count:
             self._extend()
-        index = int(np.searchsorted(self._times, time, side="right"))
-        while index >= self._times.size:
-            self._extend()
-            index = int(np.searchsorted(self._times, time, side="right"))
-        return float(self._times[index])
+            index = int(
+                np.searchsorted(self._buffer[: self._count], time, side="right")
+            )
+        return float(self._buffer[index])
 
     def failures_in(self, start: float, end: float) -> np.ndarray:
         """All failure times in the half-open interval ``(start, end]``."""
         if end < start:
             raise ValueError(f"end ({end}) must be >= start ({start})")
-        while self._times.size == 0 or self._generated_until < end:
+        while self._count == 0 or self._generated_until < end:
             self._extend()
-        left = int(np.searchsorted(self._times, start, side="right"))
-        right = int(np.searchsorted(self._times, end, side="right"))
-        return self._times[left:right].copy()
+        times = self._buffer[: self._count]
+        left = int(np.searchsorted(times, start, side="right"))
+        right = int(np.searchsorted(times, end, side="right"))
+        return times[left:right].copy()
 
     def count_failures_until(self, end: float) -> int:
         """Number of failures with timestamp <= ``end``."""
@@ -106,9 +166,9 @@ class FailureTimeline:
         """Build a timeline from a fixed list of absolute failure times.
 
         Useful in unit tests to script an exact failure scenario.  The
-        resulting timeline raises :class:`RuntimeError` if queried past the
-        last scripted failure plus a guard of ``1e30`` seconds (i.e. it
-        behaves as if no further failure ever happens).
+        resulting timeline behaves as if no further failure ever happens
+        after the last scripted one (a guard failure ``1e30`` seconds later
+        caps every realistic simulation horizon).
         """
         times = np.asarray(list(failure_times), dtype=float)
         if times.size and (np.any(np.diff(times) <= 0) or times[0] <= 0):
@@ -119,8 +179,9 @@ class FailureTimeline:
         timeline._rng = None  # type: ignore[assignment]
         timeline._batch_size = 0
         guard = times[-1] + 1e30 if times.size else 1e30
-        timeline._times = np.concatenate([times, [guard]])
-        timeline._generated_until = float(timeline._times[-1])
+        timeline._buffer = np.concatenate([times, [guard]])
+        timeline._count = int(timeline._buffer.size)
+        timeline._generated_until = float(timeline._buffer[-1])
         # Replace the lazy extension with a no-op: the scripted guard value
         # is large enough for any realistic simulation horizon.
         timeline._extend = lambda: None  # type: ignore[method-assign]

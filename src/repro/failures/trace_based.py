@@ -117,6 +117,19 @@ class TraceFailureModel(FailureModel):
         """Rewind the trace to its first entry."""
         self._cursor = 0
 
+    def spawn(self) -> "TraceFailureModel":
+        """A fresh, rewound replayer sharing this trace's (immutable) data.
+
+        The clone starts at the first entry and advances its own cursor, so
+        concurrent simulation runs never perturb each other -- at O(1) cost
+        per run instead of a deep copy of the whole trace.
+        """
+        clone = type(self).__new__(type(self))
+        clone._interarrivals = self._interarrivals
+        clone._cycle = self._cycle
+        clone._cursor = 0
+        return clone
+
     def sample_interarrival(self, rng: np.random.Generator) -> float:  # noqa: ARG002
         if self._cursor >= self._interarrivals.size:
             if not self._cycle:

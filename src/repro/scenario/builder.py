@@ -168,8 +168,14 @@ class Scenario:
         validate: bool = True,
         runs: Optional[int] = None,
         seed: Optional[int] = None,
+        backend: Optional[str] = None,
     ) -> "Scenario":
-        """Enable (or configure) the Monte-Carlo validation campaigns."""
+        """Enable (or configure) the Monte-Carlo validation campaigns.
+
+        ``backend`` selects the engine: ``"event"`` (default),
+        ``"vectorized"`` (across-trials NumPy engine, bit-identical where
+        supported) or ``"auto"``.
+        """
         current = self._simulation
         return replace(
             self,
@@ -177,6 +183,7 @@ class Scenario:
                 validate=validate,
                 runs=current.runs if runs is None else int(runs),
                 seed=current.seed if seed is None else int(seed),
+                backend=current.backend if backend is None else str(backend),
             ),
         )
 

@@ -53,6 +53,7 @@ def scenario_sweep_job(spec: ScenarioSpec) -> SweepJob:
         failure_model=spec.failures.model,
         failure_params=spec.failures.params,
         model_params=spec.model_params,
+        backend=spec.simulation.backend,
     )
 
 
@@ -76,6 +77,20 @@ class ScenarioResult:
     def waste_grid(self, protocol: str, *, simulated: bool = False) -> dict:
         """Map ``(mtbf, alpha) -> waste`` for one protocol."""
         return self.sweep.waste_grid(protocol, simulated=simulated)
+
+    @property
+    def truncated_trials(self) -> int:
+        """Total truncated trials over all grid points and protocols.
+
+        Non-zero counts flag infeasible regimes (a simulated execution hit
+        the ``max_slowdown`` cap); the affected campaigns report a waste of
+        ~1 rather than looping forever.
+        """
+        return sum(
+            point.truncated_trials(name)
+            for point in self.points
+            for name in self.spec.canonical_protocols
+        )
 
     def to_table(self) -> Table:
         """Render the grid as the paper-style series table."""
@@ -107,6 +122,7 @@ def run_scenario(
     validate: Optional[bool] = None,
     runs: Optional[int] = None,
     seed: Optional[int] = None,
+    backend: Optional[str] = None,
     workers: Optional[int] = None,
     cache_dir: Optional["str | Path"] = None,
     resume: bool = True,
@@ -118,12 +134,15 @@ def run_scenario(
     ----------
     spec:
         The scenario to run.
-    validate / runs / seed:
+    validate / runs / seed / backend:
         Override the spec's ``simulation`` section (CLI flags land here);
-        ``None`` keeps the spec's values.
+        ``None`` keeps the spec's values.  ``backend`` selects the
+        Monte-Carlo engine (``"event"``, ``"vectorized"`` or ``"auto"``).
     workers / cache_dir / resume / vectorized:
         Campaign execution knobs, as in
-        :class:`~repro.campaign.sweep_runner.SweepRunner`.
+        :class:`~repro.campaign.sweep_runner.SweepRunner` (``vectorized``
+        here refers to the *analytical grid* evaluation, not the
+        Monte-Carlo engine backend).
     """
     simulation = spec.simulation
     changes = {}
@@ -133,6 +152,8 @@ def run_scenario(
         changes["runs"] = int(runs)
     if seed is not None:
         changes["seed"] = int(seed)
+    if backend is not None:
+        changes["backend"] = str(backend)
     if changes:
         import dataclasses
 

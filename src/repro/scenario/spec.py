@@ -169,6 +169,12 @@ SCENARIO_SCHEMA: Dict[str, Dict[str, Tuple[str, bool]]] = {
         "validate": ("run Monte-Carlo campaigns (default false)", False),
         "runs": ("simulated executions per grid point (default 200)", False),
         "seed": ("root seed of the campaigns (default 2014)", False),
+        "backend": (
+            "Monte-Carlo engine: 'event', 'vectorized' or 'auto' "
+            "(default 'event'; both engines are bit-identical where "
+            "'vectorized' is supported)",
+            False,
+        ),
     },
 }
 
@@ -338,6 +344,7 @@ class SimulationSpec:
     validate: bool = False
     runs: int = 200
     seed: int = 2014
+    backend: str = "event"
 
     @classmethod
     def _from_dict(cls, data: Mapping[str, Any], path: str) -> "SimulationSpec":
@@ -358,7 +365,15 @@ class SimulationSpec:
             raise ScenarioSpecError(
                 f"{path}.seed", f"expected an integer, got {seed!r}"
             )
-        return cls(validate=validate, runs=runs, seed=seed)
+        backend = data.get("backend", "event")
+        from repro.simulation.vectorized import ENGINE_BACKENDS
+
+        if backend not in ENGINE_BACKENDS:
+            raise ScenarioSpecError(
+                f"{path}.backend",
+                f"expected one of {list(ENGINE_BACKENDS)}, got {backend!r}",
+            )
+        return cls(validate=validate, runs=runs, seed=seed, backend=backend)
 
 
 # ---------------------------------------------------------------------- #
@@ -408,6 +423,39 @@ class ScenarioSpec:
             self.failures.create(1.0)
         except (TypeError, ValueError) as exc:
             raise ScenarioSpecError("failures.params", str(exc)) from exc
+        # Engine-backend compatibility is a spec-validity question: a
+        # vectorized-only spec naming a protocol or failure law without
+        # vectorized support should fail at load/validate time with the
+        # offending path, not mid-campaign.
+        from repro.core.registry import vectorized_protocol_names
+        from repro.simulation.vectorized import ENGINE_BACKENDS
+
+        backend = self.simulation.backend
+        if backend not in ENGINE_BACKENDS:
+            raise ScenarioSpecError(
+                "simulation.backend",
+                f"expected one of {list(ENGINE_BACKENDS)}, got {backend!r}",
+            )
+        if backend == "vectorized":
+            unsupported = [
+                name
+                for name in self.canonical_protocols
+                if not resolve_protocol(name).has_vectorized
+            ]
+            if unsupported:
+                raise ScenarioSpecError(
+                    "simulation.backend",
+                    f"protocols {unsupported} have no vectorized engine "
+                    f"(available: {sorted(vectorized_protocol_names())}); "
+                    "use 'event' or 'auto'",
+                )
+            if not self.failures.is_exponential:
+                raise ScenarioSpecError(
+                    "simulation.backend",
+                    f"the vectorized engine supports only the exponential "
+                    f"failure law, not {self.failures.model!r}; "
+                    "use 'event' or 'auto'",
+                )
         # Canonicalize the model-option keys and keep them sorted so specs
         # built from aliases compare (and serialize) identically.
         canonical_options = tuple(
@@ -528,6 +576,7 @@ class ScenarioSpec:
                 "validate": self.simulation.validate,
                 "runs": self.simulation.runs,
                 "seed": self.simulation.seed,
+                "backend": self.simulation.backend,
             },
         }
         sweep: Dict[str, Any] = {}

@@ -21,13 +21,31 @@ re-implements it from scratch:
 * :mod:`repro.simulation.runner` -- Monte-Carlo driver that repeats a
   simulation over many independent failure draws and aggregates the results
   (the paper averages 1000 executions per configuration).
+* :mod:`repro.simulation.table` -- the columnar per-trial result table
+  (structured NumPy array) every campaign produces; summaries are
+  vectorized reductions over its columns.
+* :mod:`repro.simulation.vectorized` -- the across-trials engine behind
+  ``backend="vectorized"``, bit-identical to the event walk for the
+  protocols it supports.
 """
 
 from repro.simulation.events import Event, EventKind
 from repro.simulation.engine import SimulationEngine, SimulationError
 from repro.simulation.rng import RandomStreams
-from repro.simulation.trace import ExecutionTrace, TimeBreakdown, TraceRecorder
+from repro.simulation.table import TrialTable, TRIAL_DTYPE
+from repro.simulation.trace import (
+    CATEGORIES,
+    ExecutionTrace,
+    TimeBreakdown,
+    TraceRecorder,
+    WasteAccumulator,
+)
 from repro.simulation.runner import MonteCarloResult, MonteCarloRunner, run_monte_carlo
+from repro.simulation.vectorized import (
+    ENGINE_BACKENDS,
+    VectorizedBackendError,
+    VectorizedChunkedSimulator,
+)
 
 __all__ = [
     "Event",
@@ -35,10 +53,17 @@ __all__ = [
     "SimulationEngine",
     "SimulationError",
     "RandomStreams",
+    "CATEGORIES",
     "ExecutionTrace",
     "TimeBreakdown",
+    "WasteAccumulator",
     "TraceRecorder",
+    "TrialTable",
+    "TRIAL_DTYPE",
     "MonteCarloResult",
     "MonteCarloRunner",
     "run_monte_carlo",
+    "ENGINE_BACKENDS",
+    "VectorizedBackendError",
+    "VectorizedChunkedSimulator",
 ]

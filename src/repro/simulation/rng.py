@@ -83,8 +83,22 @@ class RandomStreams:
         return family
 
     def generator_for_trial(self, index: int, name: str = "failures") -> np.random.Generator:
-        """Shortcut: the ``name`` stream of the ``index``-th child family."""
-        return self.child(index).get(name)
+        """Shortcut: the ``name`` stream of the ``index``-th child family.
+
+        Bit-identical to ``child(index).get(name)`` -- whatever ``name``,
+        the first stream of a fresh child family is the first spawn of
+        ``SeedSequence(entropy=seed, spawn_key=(index,))``, whose spawn key
+        is ``(index, 0)`` by NumPy's spawning rule.  Building that sequence
+        directly halves the derivation cost, which matters when a campaign
+        derives tens of thousands of per-trial generators.
+        """
+        if self._seed is None:
+            return self.child(index).get(name)
+        if index < 0:
+            raise ValueError(f"index must be non-negative, got {index}")
+        return np.random.default_rng(
+            np.random.SeedSequence(entropy=self._seed, spawn_key=(index, 0))
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"RandomStreams(seed={self._seed!r}, streams={sorted(self._streams)})"

@@ -3,13 +3,17 @@
 The paper's validation averages one thousand independent executions for every
 parameter combination (Section V-A).  :func:`run_monte_carlo` reproduces this
 campaign structure: a *single-run* callable is invoked with independent,
-deterministically derived random generators, and the waste / makespan /
-failure-count distributions are summarised.
+deterministically derived random generators, the per-trial samples are
+collected into a columnar :class:`~repro.simulation.table.TrialTable`, and
+the waste / makespan / failure-count distributions are summarised with
+vectorized reductions over its columns.
 
 For large campaigns, :mod:`repro.campaign` fans the trials out over a worker
 pool with bit-identical results (same root seed, any worker count); the
 ``parallel=`` / ``workers=`` options of :class:`MonteCarloRunner` expose the
-same machinery.
+same machinery.  The fully vectorized across-trials engine
+(:mod:`repro.simulation.vectorized`) produces the same tables without a
+Python loop at all, for the protocols and failure laws it supports.
 """
 
 from __future__ import annotations
@@ -20,10 +24,16 @@ from typing import Callable, Optional, Sequence
 import numpy as np
 
 from repro.simulation.rng import RandomStreams
+from repro.simulation.table import TrialTable
 from repro.simulation.trace import ExecutionTrace
-from repro.utils.stats import SummaryStatistics, summarize
+from repro.utils.stats import SummaryStatistics
 
-__all__ = ["MonteCarloResult", "MonteCarloRunner", "run_monte_carlo"]
+__all__ = [
+    "MonteCarloResult",
+    "MonteCarloRunner",
+    "run_monte_carlo",
+    "simulate_trial_range",
+]
 
 SimulateOnce = Callable[[np.random.Generator], ExecutionTrace]
 
@@ -46,6 +56,9 @@ class MonteCarloResult:
         Summary statistics of the per-run failure counts.
     application_time:
         The common fault-free application duration ``T0`` (seconds).
+    table:
+        The columnar per-trial results backing the summaries (the canonical
+        campaign output; summaries are vectorized reductions over it).
     traces:
         The individual traces when ``keep_traces`` was requested, else empty.
     """
@@ -56,7 +69,28 @@ class MonteCarloResult:
     makespan: SummaryStatistics
     failures: SummaryStatistics
     application_time: float
+    table: Optional[TrialTable] = None
     traces: tuple[ExecutionTrace, ...] = field(default_factory=tuple)
+
+    @classmethod
+    def from_table(
+        cls,
+        table: TrialTable,
+        *,
+        confidence: float = 0.95,
+        traces: Sequence[ExecutionTrace] = (),
+    ) -> "MonteCarloResult":
+        """Summarise a :class:`TrialTable` into a campaign result."""
+        return cls(
+            protocol=table.protocol,
+            runs=table.runs,
+            waste=table.summarize("waste", confidence),
+            makespan=table.summarize("makespan", confidence),
+            failures=table.summarize("failure_count", confidence),
+            application_time=table.application_time,
+            table=table,
+            traces=tuple(traces),
+        )
 
     @property
     def mean_waste(self) -> float:
@@ -72,6 +106,13 @@ class MonteCarloResult:
     def mean_failures(self) -> float:
         """Convenience accessor for the mean number of failures per run."""
         return self.failures.mean
+
+    @property
+    def truncated(self) -> int:
+        """Number of trials cut short by the ``max_slowdown`` cap."""
+        if self.table is None:
+            return 0
+        return self.table.truncated_count
 
 
 def run_monte_carlo(
@@ -102,35 +143,45 @@ def run_monte_carlo(
     """
     if runs <= 0:
         raise ValueError(f"runs must be a positive integer, got {runs}")
-    streams = RandomStreams(seed)
-    wastes: list[float] = []
-    makespans: list[float] = []
-    failures: list[float] = []
-    traces: list[ExecutionTrace] = []
-    protocol = ""
-    application_time = float("nan")
+    table, traces = simulate_trial_range(
+        simulate_once, seed=seed, start=0, stop=runs, keep_traces=keep_traces
+    )
+    return MonteCarloResult.from_table(table, confidence=confidence, traces=traces)
 
-    for index in range(runs):
+
+def simulate_trial_range(
+    simulate_once: SimulateOnce,
+    *,
+    seed: Optional[int],
+    start: int,
+    stop: int,
+    keep_traces: bool = False,
+) -> tuple[TrialTable, list[ExecutionTrace]]:
+    """Run trials ``start..stop-1`` and return their table slice.
+
+    Each trial's generator is derived exactly as the serial runner derives
+    it (``RandomStreams(seed).generator_for_trial(index)``), which is what
+    lets the parallel executor split a campaign into batches and reassemble
+    a bit-identical table.
+    """
+    if stop <= start:
+        raise ValueError(f"empty trial range [{start}, {stop})")
+    streams = RandomStreams(seed)
+    table = TrialTable.empty(stop - start)
+    traces: list[ExecutionTrace] = []
+    for index in range(start, stop):
         rng = streams.generator_for_trial(index)
         trace = simulate_once(rng)
-        if index == 0:
-            protocol = trace.protocol
-            application_time = trace.application_time
-        wastes.append(trace.waste)
-        makespans.append(trace.makespan)
-        failures.append(float(trace.failure_count))
+        if index == start:
+            table = TrialTable(
+                table.data,
+                protocol=trace.protocol,
+                application_time=trace.application_time,
+            )
+        table.record_trace(index - start, trace)
         if keep_traces:
             traces.append(trace)
-
-    return MonteCarloResult(
-        protocol=protocol,
-        runs=runs,
-        waste=summarize(wastes, confidence),
-        makespan=summarize(makespans, confidence),
-        failures=summarize(failures, confidence),
-        application_time=application_time,
-        traces=tuple(traces),
-    )
+    return table, traces
 
 
 class MonteCarloRunner:

@@ -1,0 +1,275 @@
+"""Columnar per-trial results of a Monte-Carlo campaign.
+
+A :class:`TrialTable` is the canonical result of a campaign: one row per
+simulated execution, stored as a structured NumPy array so that summary
+statistics (mean, confidence interval, percentiles) are single vectorized
+reductions over columns instead of Python loops over trace objects.
+
+Columns
+-------
+``makespan``
+    Simulated wall-clock completion time ``T_final`` in seconds.
+``waste``
+    ``1 - T0 / T_final`` (paper Eq. 12) of the trial.
+``failure_count``
+    Number of failures that struck during the (protected) execution.
+``truncated``
+    Whether the trial hit the ``max_slowdown`` cap and was cut short (its
+    waste is then ~1).
+``useful_work`` .. ``downtime``
+    The seven waste categories of
+    :data:`repro.simulation.trace.CATEGORIES`, in seconds.
+
+Tables concatenate cheaply (the parallel campaign executor has each worker
+return one slice, reassembled in trial order) and slices round-trip through
+pickle, which keeps inter-process transfer cost flat per batch instead of
+per trial.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.simulation.trace import CATEGORIES, ExecutionTrace, TimeBreakdown
+from repro.utils.stats import SummaryStatistics, summarize_array
+
+__all__ = ["TrialTable", "TRIAL_DTYPE"]
+
+#: Structured dtype of one trial row.
+TRIAL_DTYPE = np.dtype(
+    [
+        ("makespan", np.float64),
+        ("waste", np.float64),
+        ("failure_count", np.int64),
+        ("truncated", np.bool_),
+    ]
+    + [(category, np.float64) for category in CATEGORIES]
+)
+
+
+class TrialTable:
+    """Columnar table of per-trial Monte-Carlo results.
+
+    Parameters
+    ----------
+    data:
+        Structured array of dtype :data:`TRIAL_DTYPE`, one row per trial in
+        trial (seed) order.
+    protocol:
+        Name of the protocol that produced the trials.
+    application_time:
+        Common fault-free application duration ``T0`` in seconds.
+    """
+
+    __slots__ = ("_data", "_protocol", "_application_time")
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        *,
+        protocol: str = "",
+        application_time: float = float("nan"),
+    ) -> None:
+        if data.dtype != TRIAL_DTYPE:
+            raise ValueError(
+                f"data must have dtype TRIAL_DTYPE, got {data.dtype}"
+            )
+        self._data = data
+        self._protocol = str(protocol)
+        self._application_time = float(application_time)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def empty(
+        cls, runs: int, *, protocol: str = "", application_time: float = float("nan")
+    ) -> "TrialTable":
+        """A zero-filled table with ``runs`` rows, ready to be filled."""
+        if runs < 0:
+            raise ValueError(f"runs must be non-negative, got {runs}")
+        return cls(
+            np.zeros(runs, dtype=TRIAL_DTYPE),
+            protocol=protocol,
+            application_time=application_time,
+        )
+
+    @classmethod
+    def from_traces(cls, traces: Sequence[ExecutionTrace]) -> "TrialTable":
+        """Build a table from individual execution traces, in order."""
+        table = cls.empty(
+            len(traces),
+            protocol=traces[0].protocol if traces else "",
+            application_time=traces[0].application_time if traces else float("nan"),
+        )
+        for index, trace in enumerate(traces):
+            table.record_trace(index, trace)
+        return table
+
+    @classmethod
+    def concatenate(cls, tables: Sequence["TrialTable"]) -> "TrialTable":
+        """Concatenate table slices in the given (trial) order."""
+        if not tables:
+            raise ValueError("need at least one table to concatenate")
+        first = tables[0]
+        return cls(
+            np.concatenate([table._data for table in tables]),
+            protocol=first._protocol,
+            application_time=first._application_time,
+        )
+
+    def record_trace(self, index: int, trace: ExecutionTrace) -> None:
+        """Fill row ``index`` from one :class:`ExecutionTrace`."""
+        row = self._data[index]
+        row["makespan"] = trace.makespan
+        row["waste"] = trace.waste
+        row["failure_count"] = trace.failure_count
+        row["truncated"] = bool(trace.metadata.get("truncated", False))
+        breakdown = trace.breakdown
+        for category in CATEGORIES:
+            row[category] = getattr(breakdown, category)
+
+    # ------------------------------------------------------------------ #
+    # Access
+    # ------------------------------------------------------------------ #
+    @property
+    def data(self) -> np.ndarray:
+        """The underlying structured array (one row per trial)."""
+        return self._data
+
+    @property
+    def protocol(self) -> str:
+        """Protocol name the trials were simulated under."""
+        return self._protocol
+
+    @property
+    def application_time(self) -> float:
+        """The common fault-free application duration ``T0`` (seconds)."""
+        return self._application_time
+
+    @property
+    def runs(self) -> int:
+        """Number of trials in the table."""
+        return int(self._data.size)
+
+    def __len__(self) -> int:
+        return int(self._data.size)
+
+    def column(self, name: str) -> np.ndarray:
+        """One column as a plain float/int/bool array (a view, not a copy)."""
+        if name not in TRIAL_DTYPE.names:
+            raise KeyError(
+                f"unknown column {name!r}; available: {TRIAL_DTYPE.names}"
+            )
+        return self._data[name]
+
+    @property
+    def makespans(self) -> np.ndarray:
+        """The makespan column (seconds)."""
+        return self._data["makespan"]
+
+    @property
+    def wastes(self) -> np.ndarray:
+        """The waste column."""
+        return self._data["waste"]
+
+    @property
+    def failure_counts(self) -> np.ndarray:
+        """The failure-count column."""
+        return self._data["failure_count"]
+
+    @property
+    def truncated(self) -> np.ndarray:
+        """The truncated-flag column."""
+        return self._data["truncated"]
+
+    @property
+    def truncated_count(self) -> int:
+        """Number of trials cut short by the ``max_slowdown`` cap."""
+        return int(np.count_nonzero(self._data["truncated"]))
+
+    def breakdown_means(self) -> Dict[str, float]:
+        """Mean seconds per waste category over all trials."""
+        return {
+            category: float(np.mean(self._data[category])) if self.runs else float("nan")
+            for category in CATEGORIES
+        }
+
+    def mean_breakdown(self) -> TimeBreakdown:
+        """The per-category means as a :class:`TimeBreakdown`."""
+        breakdown = TimeBreakdown()
+        for category, value in self.breakdown_means().items():
+            setattr(breakdown, category, value)
+        return breakdown
+
+    # ------------------------------------------------------------------ #
+    # Statistics (vectorized over columns)
+    # ------------------------------------------------------------------ #
+    def summarize(self, column: str, confidence: float = 0.95) -> SummaryStatistics:
+        """Vectorized summary statistics of one column."""
+        return summarize_array(
+            np.asarray(self.column(column), dtype=float), confidence
+        )
+
+    def percentiles(
+        self, column: str, q: Iterable[float] = (5.0, 25.0, 50.0, 75.0, 95.0)
+    ) -> Dict[float, float]:
+        """Percentiles of one column (``q`` in percent, 0..100)."""
+        qs = [float(v) for v in q]
+        if not self.runs:
+            return {v: float("nan") for v in qs}
+        values = np.percentile(np.asarray(self.column(column), dtype=float), qs)
+        return {v: float(x) for v, x in zip(qs, values)}
+
+    def summary_dict(self, confidence: float = 0.95) -> Dict[str, Any]:
+        """Compact, JSON-compatible summary (used by the sweep point cache).
+
+        Non-finite statistics (the std / CI of a single-trial campaign are
+        NaN) are emitted as ``None`` so the cached files stay strict JSON.
+        """
+
+        def finite(value: float) -> Optional[float]:
+            return float(value) if np.isfinite(value) else None
+
+        waste = self.summarize("waste", confidence)
+        makespan = self.summarize("makespan", confidence)
+        failures = self.summarize("failure_count", confidence)
+        return {
+            "runs": self.runs,
+            "waste_mean": finite(waste.mean),
+            "waste_std": finite(waste.std),
+            "waste_ci_half_width": finite(waste.ci_half_width),
+            "makespan_mean": finite(makespan.mean),
+            "failures_mean": finite(failures.mean),
+            "truncated": self.truncated_count,
+            "confidence": confidence,
+        }
+
+    # ------------------------------------------------------------------ #
+    def slice(self, start: int, stop: Optional[int] = None) -> "TrialTable":
+        """A contiguous slice (shares the underlying buffer)."""
+        return TrialTable(
+            self._data[start:stop],
+            protocol=self._protocol,
+            application_time=self._application_time,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TrialTable):
+            return NotImplemented
+        return (
+            self._protocol == other._protocol
+            and (
+                (np.isnan(self._application_time) and np.isnan(other._application_time))
+                or self._application_time == other._application_time
+            )
+            and np.array_equal(self._data, other._data)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"TrialTable(runs={self.runs}, protocol={self._protocol!r}, "
+            f"truncated={self.truncated_count})"
+        )

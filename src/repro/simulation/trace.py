@@ -16,7 +16,73 @@ from typing import Any, Iterable, Mapping, Optional
 from repro.simulation.events import Event, EventKind
 from repro.utils.validation import require_non_negative, require_positive
 
-__all__ = ["TimeBreakdown", "ExecutionTrace", "TraceRecorder"]
+__all__ = [
+    "CATEGORIES",
+    "TimeBreakdown",
+    "WasteAccumulator",
+    "ExecutionTrace",
+    "TraceRecorder",
+]
+
+#: The canonical waste categories, in reporting order.  This tuple is shared
+#: by :class:`TimeBreakdown`, :class:`WasteAccumulator` and the columnar
+#: :class:`~repro.simulation.table.TrialTable`, so the per-category columns
+#: line up across the event and vectorized engines.
+CATEGORIES = (
+    "useful_work",
+    "abft_overhead",
+    "checkpointing",
+    "lost_work",
+    "recovery",
+    "abft_recovery",
+    "downtime",
+)
+
+
+class WasteAccumulator:
+    """Slotted per-run accumulator of the waste categories.
+
+    This is the Monte-Carlo hot path: the protocol simulators charge tens to
+    hundreds of amounts per trial, so the accumulator skips the per-call
+    category validation of :class:`TimeBreakdown` (unknown categories still
+    fail, via ``AttributeError`` from ``__slots__``) and stores each category
+    in a plain slot.  :meth:`freeze` converts to the public
+    :class:`TimeBreakdown` when the trace is assembled.
+    """
+
+    __slots__ = CATEGORIES
+
+    def __init__(self) -> None:
+        for name in CATEGORIES:
+            setattr(self, name, 0.0)
+
+    def add(self, category: str, amount: float) -> None:
+        """Accumulate ``amount`` seconds into ``category``."""
+        try:
+            setattr(self, category, getattr(self, category) + amount)
+        except (AttributeError, TypeError):
+            # AttributeError: name not in __slots__; TypeError: the name
+            # collided with a method (e.g. "add").  Both are unknown
+            # categories to the caller.
+            raise KeyError(
+                f"unknown time category {category!r}; expected one of {CATEGORIES}"
+            ) from None
+
+    @property
+    def total(self) -> float:
+        """Sum of all categories."""
+        return sum(getattr(self, name) for name in CATEGORIES)
+
+    def as_dict(self) -> dict[str, float]:
+        """The accumulated categories as a plain dictionary."""
+        return {name: getattr(self, name) for name in CATEGORIES}
+
+    def freeze(self) -> "TimeBreakdown":
+        """Convert into the public :class:`TimeBreakdown`."""
+        breakdown = TimeBreakdown()
+        for name in CATEGORIES:
+            setattr(breakdown, name, getattr(self, name))
+        return breakdown
 
 
 @dataclass
@@ -53,15 +119,7 @@ class TimeBreakdown:
     abft_recovery: float = 0.0
     downtime: float = 0.0
 
-    _FIELDS = (
-        "useful_work",
-        "abft_overhead",
-        "checkpointing",
-        "lost_work",
-        "recovery",
-        "abft_recovery",
-        "downtime",
-    )
+    _FIELDS = CATEGORIES
 
     def add(self, category: str, amount: float) -> None:
         """Accumulate ``amount`` seconds into ``category``."""
@@ -180,14 +238,19 @@ class TraceRecorder:
         self._application_time = require_positive(application_time, "application_time")
         self._record_events = bool(record_events)
         self._events: list[Event] = []
-        self._breakdown = TimeBreakdown()
+        self._accumulator = WasteAccumulator()
         self._failures = 0
 
     # ------------------------------------------------------------------ #
     @property
     def breakdown(self) -> TimeBreakdown:
-        """The (mutable) breakdown accumulated so far."""
-        return self._breakdown
+        """The breakdown accumulated so far (a frozen snapshot)."""
+        return self._accumulator.freeze()
+
+    @property
+    def accumulator(self) -> WasteAccumulator:
+        """The live slotted accumulator backing this recorder."""
+        return self._accumulator
 
     @property
     def failure_count(self) -> int:
@@ -212,7 +275,7 @@ class TraceRecorder:
         if amount < 0:
             raise ValueError(f"cannot account negative time {amount} to {category}")
         if amount:
-            self._breakdown.add(category, amount)
+            self._accumulator.add(category, amount)
 
     def account_many(self, amounts: Mapping[str, float]) -> None:
         """Accumulate several categories at once."""
@@ -233,7 +296,7 @@ class TraceRecorder:
             application_time=self._application_time,
             makespan=float(makespan),
             failure_count=self._failures,
-            breakdown=self._breakdown,
+            breakdown=self._accumulator.freeze(),
             events=collected,
             metadata=dict(metadata or {}),
         )

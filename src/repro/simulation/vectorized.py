@@ -1,0 +1,361 @@
+"""Vectorized across-trials Monte-Carlo engine.
+
+The event-driven simulators (:mod:`repro.core.protocols`) walk one trial at
+a time through a Python state machine.  For the *chunked periodic* protocols
+-- ``NoFT`` (one chunk, no checkpoint) and ``PurePeriodicCkpt`` (fixed-size
+chunks, each followed by a checkpoint) -- the walk is simple enough to run
+**all trials simultaneously**: the engine keeps one NumPy state vector per
+quantity (current time, work done, failure cursor, mode) and advances every
+active trial by one state-machine step per round, masking trials in the
+run/restart modes separately.
+
+Bit-identical contract
+----------------------
+The engine is not an approximation: for a given root seed it reproduces the
+event backend **trial for trial, bit for bit** -- same makespan, waste,
+failure count and per-category waste breakdown.  Two properties make this
+possible:
+
+* failure times are drawn in exactly the block pattern of
+  :class:`~repro.failures.timeline.FailureTimeline` (``batch_size``
+  inter-arrivals per refill, clamped, ``last + cumsum(block)``), from the
+  same per-trial generator (``RandomStreams(seed).generator_for_trial(i)``);
+* every arithmetic operation of the event walk (segment sums, partial
+  restart accounting, cap checks) is replayed with the same IEEE-754
+  operations in the same per-trial order, just batched across trials.
+
+The cross-validation tests assert exact ``==`` on every column, and the
+sweep cache deliberately uses the same keys for both backends -- entries
+are interchangeable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.failures.base import FailureModel
+from repro.failures.exponential import ExponentialFailureModel
+from repro.failures.timeline import DEFAULT_BATCH_SIZE
+from repro.simulation.rng import RandomStreams
+from repro.simulation.table import TrialTable
+from repro.simulation.trace import CATEGORIES
+
+__all__ = [
+    "ENGINE_BACKENDS",
+    "VectorizedBackendError",
+    "VectorizedChunkedSimulator",
+    "exponential_mtbf_or_raise",
+]
+
+#: Monte-Carlo engine backends selectable in the campaign/scenario layers.
+#: ``"event"`` is the per-trial state-machine walk, ``"vectorized"`` the
+#: across-trials engine of this module, ``"auto"`` picks the vectorized
+#: engine whenever the (protocol, failure law) pair supports it.
+ENGINE_BACKENDS = ("event", "vectorized", "auto")
+
+#: Restart sequences, as in the event-driven base simulator.
+RestartStages = Sequence[Tuple[str, float]]
+
+
+class VectorizedBackendError(ValueError):
+    """The vectorized backend cannot run the requested configuration.
+
+    Raised with an actionable message naming the unsupported protocol or
+    failure law and the supported alternatives, so a scenario author can fix
+    the spec (or fall back to ``backend="event"``).
+    """
+
+
+def exponential_mtbf_or_raise(
+    failure_model: Optional[FailureModel], default_mtbf: float, *, protocol: str
+) -> float:
+    """The MTBF to vectorize at, enforcing the exponential-law restriction.
+
+    ``None`` (the simulators' default) means the paper's exponential law at
+    the platform MTBF; an explicit :class:`ExponentialFailureModel` is also
+    accepted.  Anything else -- including *subclasses* of the exponential
+    model, whose overridden sampling the engine could not honour -- raises
+    :class:`VectorizedBackendError`.
+    """
+    if failure_model is None:
+        return float(default_mtbf)
+    if type(failure_model) is ExponentialFailureModel:
+        return float(failure_model.mtbf)
+    raise VectorizedBackendError(
+        f"the vectorized backend for {protocol!r} supports only the "
+        f"exponential failure law, got {type(failure_model).__name__}; "
+        "use backend='event' for non-exponential laws"
+    )
+
+
+class VectorizedChunkedSimulator:
+    """Across-trials engine for chunked periodic protocols.
+
+    The protected execution is modelled exactly as
+    :meth:`ProtocolSimulator._periodic_section
+    <repro.core.protocols.base.ProtocolSimulator>`: work is cut into chunks
+    of ``chunk_size`` seconds, each followed by a checkpoint of
+    ``checkpoint_cost`` seconds (the last chunk only when
+    ``trailing_checkpoint``); a failure loses the un-checkpointed progress
+    and pays the ``restart_stages`` sequence, itself restartable.  ``NoFT``
+    is the degenerate case ``chunk_size >= work`` with no checkpoint and a
+    downtime-only restart.
+
+    Parameters
+    ----------
+    protocol:
+        Protocol name stamped on the resulting :class:`TrialTable`.
+    application_time:
+        Fault-free duration ``T0`` (the waste baseline), seconds.
+    work:
+        Total work to execute, seconds (equals ``T0`` for these protocols).
+    chunk_size:
+        Seconds of work per chunk (clamped to the remaining work).
+    checkpoint_cost:
+        Checkpoint write cost ``C`` appended to every checkpointed chunk.
+    restart_stages:
+        Ordered ``(category, duration)`` pairs paid after each failure.
+    mtbf:
+        Exponential MTBF driving the failure streams (the protocol adapters
+        derive it via :func:`exponential_mtbf_or_raise`, which is also where
+        non-exponential laws are rejected).
+    max_makespan:
+        Truncation cap, strictly greater than ``application_time`` (i.e.
+        ``max_slowdown * T0`` with ``max_slowdown > 1``): trials whose clock
+        exceeds it are flagged ``truncated`` with their waste ~1, exactly
+        like the event backend's
+        :class:`~repro.core.protocols.base.SimulationHorizonExceeded`.
+    trailing_checkpoint:
+        Whether the final chunk is followed by a checkpoint.
+    batch_size:
+        Failure-stream block size; must match the event backend's
+        (:data:`~repro.failures.timeline.DEFAULT_BATCH_SIZE`) for the
+        bit-identical contract to hold.
+    """
+
+    def __init__(
+        self,
+        *,
+        protocol: str,
+        application_time: float,
+        work: float,
+        chunk_size: float,
+        checkpoint_cost: float,
+        restart_stages: RestartStages,
+        mtbf: float,
+        max_makespan: float,
+        trailing_checkpoint: bool = False,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> None:
+        if application_time <= 0:
+            raise ValueError(f"application_time must be > 0, got {application_time}")
+        if work <= 0:
+            raise ValueError(f"work must be > 0, got {work}")
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self._protocol = str(protocol)
+        self._application_time = float(application_time)
+        self._work = float(work)
+        # An invalid chunk size (NaN or non-positive) degenerates to a
+        # single chunk, mirroring _periodic_section's period handling.
+        chunk_size = float(chunk_size)
+        if math.isnan(chunk_size) or chunk_size <= 0.0:
+            chunk_size = self._work
+        self._chunk_size = chunk_size
+        self._checkpoint_cost = float(checkpoint_cost)
+        self._stages = tuple((str(c), float(d)) for c, d in restart_stages)
+        for category, duration in self._stages:
+            if category not in CATEGORIES:
+                raise KeyError(f"unknown restart category {category!r}")
+            if duration < 0:
+                raise ValueError(f"restart duration must be >= 0, got {duration}")
+        self._mtbf = float(mtbf)
+        if self._mtbf <= 0:
+            raise ValueError(f"mtbf must be > 0, got {self._mtbf}")
+        if not max_makespan > self._application_time:
+            raise ValueError(
+                "max_makespan must exceed the fault-free application time "
+                f"(max_slowdown must be > 1), got {max_makespan} "
+                f"for T0={self._application_time}"
+            )
+        self._max_makespan = float(max_makespan)
+        self._trailing = bool(trailing_checkpoint)
+        self._block = int(batch_size)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def protocol(self) -> str:
+        """Protocol name stamped on result tables."""
+        return self._protocol
+
+    def run_trials(self, runs: int, seed: Optional[int] = None) -> TrialTable:
+        """Simulate ``runs`` independent trials and return their table.
+
+        Trial ``i`` consumes ``RandomStreams(seed).generator_for_trial(i)``
+        exactly as the serial event runner does, so results are reproducible
+        and bit-identical to the event backend for any ``runs``.
+        """
+        if runs <= 0:
+            raise ValueError(f"runs must be a positive integer, got {runs}")
+        n = int(runs)
+        streams = RandomStreams(seed)
+        rngs = [streams.generator_for_trial(i) for i in range(n)]
+        model = ExponentialFailureModel(self._mtbf)
+
+        block = self._block
+        tiny = np.finfo(float).tiny
+        work = self._work
+        chunk_size = self._chunk_size
+        ckpt = self._checkpoint_cost
+        trailing = self._trailing
+        cap = self._max_makespan
+        stages = self._stages
+        # Python float summation order matches the event backend's
+        # ``sum(duration for _, duration in stages)``.
+        restart_total = 0.0
+        for _, duration in stages:
+            restart_total += duration
+        has_restart = restart_total > 0.0
+
+        # Failure-stream windows: each row holds the current block of
+        # absolute failure times; ``base`` is the global index of the row's
+        # first entry.  Only the next failure (global cursor ``k``) is ever
+        # read, so one block per trial bounds memory at runs x batch_size.
+        F = np.empty((n, block), dtype=float)
+        base = np.zeros(n, dtype=np.int64)
+        last = np.zeros(n, dtype=float)
+        filled = np.zeros(n, dtype=bool)
+
+        def refill(indices: np.ndarray) -> None:
+            for i in indices:
+                draws = np.maximum(
+                    model.sample_interarrivals(rngs[i], block), tiny
+                )
+                times = last[i] + np.cumsum(draws)
+                F[i] = times
+                last[i] = times[-1]
+                if filled[i]:
+                    base[i] += block
+                else:
+                    filled[i] = True
+
+        # Per-trial state.
+        t = np.zeros(n, dtype=float)
+        w = np.zeros(n, dtype=float)
+        k = np.zeros(n, dtype=np.int64)
+        mode = np.zeros(n, dtype=np.int8)  # 0 = run, 1 = restart
+        active = np.ones(n, dtype=bool)
+        makespan = np.zeros(n, dtype=float)
+        truncated = np.zeros(n, dtype=bool)
+        failures = np.zeros(n, dtype=np.int64)
+        acc = {category: np.zeros(n, dtype=float) for category in CATEGORIES}
+
+        refill(np.arange(n))
+
+        def ensure(indices: np.ndarray) -> None:
+            """Materialise the failure at cursor ``k`` for every index."""
+            need = indices[k[indices] - base[indices] >= block]
+            if need.size:
+                refill(need)
+
+        def advance(indices: np.ndarray) -> None:
+            """Move ``k`` to the first failure strictly after ``t``."""
+            idx = indices
+            while idx.size:
+                ensure(idx)
+                passed = F[idx, k[idx] - base[idx]] <= t[idx]
+                idx = idx[passed]
+                k[idx] += 1
+
+        while True:
+            idx = np.flatnonzero(active)
+            if idx.size == 0:
+                break
+            # Cap check first, exactly like _check_cap at the top of every
+            # event-backend loop iteration.
+            over = t[idx] > cap
+            if over.any():
+                hit = idx[over]
+                truncated[hit] = True
+                makespan[hit] = t[hit]
+                active[hit] = False
+                idx = idx[~over]
+                if idx.size == 0:
+                    continue
+            ensure(idx)
+
+            in_run = mode[idx] == 0
+            run_idx = idx[in_run]
+            rst_idx = idx[~in_run]
+
+            if run_idx.size:
+                nf = F[run_idx, k[run_idx] - base[run_idx]]
+                chunk = np.minimum(chunk_size, work - w[run_idx])
+                is_last = w[run_idx] + chunk >= work - 1e-12
+                do_ckpt = ~is_last if not trailing else np.ones_like(is_last)
+                seg = np.where(do_ckpt, chunk + ckpt, chunk)
+                ok = nf >= t[run_idx] + seg
+
+                s = run_idx[ok]
+                if s.size:
+                    acc["useful_work"][s] += chunk[ok]
+                    if ckpt > 0.0:
+                        cs = s[do_ckpt[ok]]
+                        acc["checkpointing"][cs] += ckpt
+                    t[s] += seg[ok]
+                    w[s] += chunk[ok]
+                    done = w[s] >= work
+                    finished = s[done]
+                    makespan[finished] = t[finished]
+                    active[finished] = False
+                    advance(s[~done])
+
+                f = run_idx[~ok]
+                if f.size:
+                    failed_at = nf[~ok]
+                    acc["lost_work"][f] += failed_at - t[f]
+                    failures[f] += 1
+                    t[f] = failed_at
+                    if has_restart:
+                        mode[f] = 1
+                    advance(f)
+
+            if rst_idx.size:
+                nf = F[rst_idx, k[rst_idx] - base[rst_idx]]
+                ok = nf >= t[rst_idx] + restart_total
+
+                s = rst_idx[ok]
+                if s.size:
+                    for category, duration in stages:
+                        if duration > 0.0:
+                            acc[category][s] += duration
+                    t[s] += restart_total
+                    mode[s] = 0
+                    advance(s)
+
+                f = rst_idx[~ok]
+                if f.size:
+                    failed_at = nf[~ok]
+                    remaining = failed_at - t[f]
+                    for category, duration in stages:
+                        spent = np.minimum(remaining, duration)
+                        acc[category][f] += spent
+                        remaining = remaining - spent
+                    failures[f] += 1
+                    t[f] = failed_at
+                    advance(f)
+
+        table = TrialTable.empty(
+            n, protocol=self._protocol, application_time=self._application_time
+        )
+        data = table.data
+        data["makespan"] = makespan
+        data["waste"] = 1.0 - self._application_time / makespan
+        data["failure_count"] = failures
+        data["truncated"] = truncated
+        for category in CATEGORIES:
+            data[category] = acc[category]
+        return table

@@ -20,6 +20,7 @@ __all__ = [
     "SummaryStatistics",
     "confidence_interval",
     "summarize",
+    "summarize_array",
 ]
 
 # Two-sided critical values of the standard normal distribution for the
@@ -248,10 +249,47 @@ def confidence_interval(
     return (mean - half, mean + half)
 
 
+def summarize_array(
+    values: np.ndarray, confidence: float = 0.95
+) -> SummaryStatistics:
+    """Summarize a NumPy column in one vectorized pass.
+
+    This is the hot-path summary used by :class:`~repro.simulation.table.TrialTable`
+    for the Monte-Carlo campaign columns: one ``mean``/``std``/``min``/``max``
+    reduction over the whole column instead of a per-sample Python loop.
+    """
+    data = np.asarray(values, dtype=float).ravel()
+    count = int(data.size)
+    if count == 0:
+        return SummaryStatistics(
+            count=0,
+            mean=math.nan,
+            std=math.nan,
+            minimum=math.nan,
+            maximum=math.nan,
+            confidence=confidence,
+            ci_half_width=math.nan,
+        )
+    mean = float(np.mean(data))
+    if count < 2:
+        std = math.nan
+        half_width = math.nan
+    else:
+        std = float(np.std(data, ddof=1))
+        half_width = _z_value(confidence) * std / math.sqrt(count)
+    return SummaryStatistics(
+        count=count,
+        mean=mean,
+        std=std,
+        minimum=float(np.min(data)),
+        maximum=float(np.max(data)),
+        confidence=confidence,
+        ci_half_width=half_width,
+    )
+
+
 def summarize(
     samples: Sequence[float] | np.ndarray, confidence: float = 0.95
 ) -> SummaryStatistics:
     """Summarize a sequence of samples into :class:`SummaryStatistics`."""
-    acc = RunningStatistics()
-    acc.extend(np.asarray(list(samples), dtype=float).tolist())
-    return acc.to_summary(confidence)
+    return summarize_array(np.asarray(list(samples), dtype=float), confidence)

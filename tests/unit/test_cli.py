@@ -263,3 +263,134 @@ class TestScenarioCommand:
         captured = capsys.readouterr()
         assert exit_code == 2
         assert "platform.checkpoint" in captured.err
+
+
+class TestScenarioValidateCommand:
+    write_spec = staticmethod(TestScenarioCommand.write_spec)
+
+    def test_validate_flags(self, tmp_path):
+        path = self.write_spec(tmp_path)
+        args = build_parser().parse_args(["scenario", "validate", path])
+        assert args.scenario_command == "validate"
+        assert args.spec == path
+
+    def test_valid_spec_passes_without_simulating(self, tmp_path, capsys):
+        path = self.write_spec(tmp_path)
+        exit_code = main(["scenario", "validate", path])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "is valid" in captured
+        assert "would evaluate 12 grid point(s)" in captured
+        assert "model_waste" not in captured  # nothing was run
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        exit_code = main(["scenario", "validate", str(tmp_path / "nope.json")])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "not found" in captured.err
+
+    def test_schema_error_names_path(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "bad.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "platform": {"mtbf": "ten minutes", "checkpoint": 600.0},
+                    "workload": {"total_time": 3600.0},
+                }
+            )
+        )
+        exit_code = main(["scenario", "validate", str(path)])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "platform.mtbf" in captured.err
+
+    def test_unknown_protocol_exits_2_with_suggestion(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "bad.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "protocols": ["PurePeriodikCkpt"],
+                    "platform": {"mtbf": 7200.0, "checkpoint": 600.0},
+                    "workload": {"total_time": 3600.0},
+                }
+            )
+        )
+        exit_code = main(["scenario", "validate", str(path)])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "did you mean" in captured.err
+
+    def test_vectorized_backend_mismatch_exits_2(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "bad.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "protocols": ["BiPeriodicCkpt"],
+                    "platform": {"mtbf": 7200.0, "checkpoint": 600.0},
+                    "workload": {"total_time": 3600.0},
+                    "simulation": {"backend": "vectorized"},
+                }
+            )
+        )
+        exit_code = main(["scenario", "validate", str(path)])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "vectorized" in captured.err
+
+
+class TestScenarioBackendFlag:
+    @staticmethod
+    def write_spec(tmp_path):
+        from repro.scenario import Scenario
+
+        builder = (
+            Scenario.quick()
+            .with_protocols("PurePeriodicCkpt")
+            .with_simulation(validate=True, runs=5, seed=3)
+        )
+        return str(builder.build().save(tmp_path / "spec.json"))
+
+    def test_backend_flag_parsed(self, tmp_path):
+        path = self.write_spec(tmp_path)
+        args = build_parser().parse_args(
+            ["scenario", "run", path, "--backend", "vectorized"]
+        )
+        assert args.backend == "vectorized"
+
+    def test_backend_flag_rejects_unknown(self, tmp_path):
+        path = self.write_spec(tmp_path)
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenario", "run", path, "--backend", "gpu"])
+
+    def test_vectorized_run_matches_event_run(self, tmp_path, capsys):
+        path = self.write_spec(tmp_path)
+        assert main(["scenario", "run", path, "--backend", "event"]) == 0
+        event_out = capsys.readouterr().out
+        assert main(["scenario", "run", path, "--backend", "vectorized"]) == 0
+        vectorized_out = capsys.readouterr().out
+        event_rows = [l for l in event_out.splitlines() if "sim_waste" in l or "|" in l]
+        vectorized_rows = [
+            l for l in vectorized_out.splitlines() if "sim_waste" in l or "|" in l
+        ]
+        assert event_rows == vectorized_rows
+
+    def test_vectorized_backend_mismatch_fails_cleanly(self, tmp_path, capsys):
+        from repro.scenario import Scenario
+
+        path = str(
+            Scenario.quick()
+            .with_protocols("BiPeriodicCkpt")
+            .with_simulation(validate=True, runs=5, seed=3)
+            .build()
+            .save(tmp_path / "spec.json")
+        )
+        exit_code = main(["scenario", "run", path, "--backend", "vectorized"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "vectorized" in captured.err

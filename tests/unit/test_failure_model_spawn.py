@@ -1,0 +1,167 @@
+"""Unit tests for the ``FailureModel.spawn()`` per-run isolation protocol.
+
+``spawn()`` replaces the per-``simulate()`` ``copy.deepcopy`` the simulators
+historically paid for stateful failure models: stateless models return
+themselves (free), the trace replayer returns a rewound clone sharing the
+immutable trace data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ApplicationWorkload, ResilienceParameters
+from repro.core.protocols import PurePeriodicCkptSimulator
+from repro.failures import (
+    ExponentialFailureModel,
+    LogNormalFailureModel,
+    TraceFailureModel,
+    WeibullFailureModel,
+)
+from repro.utils import HOUR, MINUTE
+
+
+class TestSpawnContract:
+    @pytest.mark.parametrize(
+        "model",
+        [
+            ExponentialFailureModel(3600.0),
+            WeibullFailureModel(3600.0, shape=0.7),
+            LogNormalFailureModel(3600.0, sigma=1.0),
+        ],
+        ids=lambda m: type(m).__name__,
+    )
+    def test_stateless_models_spawn_themselves(self, model):
+        assert model.spawn() is model
+
+    def test_trace_model_spawns_rewound_clone(self):
+        model = TraceFailureModel([10.0, 20.0, 30.0], cycle=False)
+        rng = np.random.default_rng(0)
+        model.sample_interarrival(rng)
+        model.sample_interarrival(rng)
+        clone = model.spawn()
+        assert clone is not model
+        assert clone.sample_interarrival(rng) == 10.0  # rewound to the start
+        assert model.remaining == 1  # parent cursor untouched
+
+    def test_trace_clone_shares_bulk_data(self):
+        model = TraceFailureModel([1.0, 2.0, 3.0])
+        clone = model.spawn()
+        assert clone._interarrivals is model._interarrivals
+
+    def test_trace_clone_preserves_cycle_flag(self):
+        assert TraceFailureModel([1.0], cycle=False).spawn().cycle is False
+        assert TraceFailureModel([1.0], cycle=True).spawn().cycle is True
+
+    def test_clones_advance_independently(self):
+        model = TraceFailureModel([5.0, 7.0, 11.0], cycle=False)
+        rng = np.random.default_rng(0)
+        a, b = model.spawn(), model.spawn()
+        assert a.sample_interarrival(rng) == 5.0
+        assert a.sample_interarrival(rng) == 7.0
+        assert b.sample_interarrival(rng) == 5.0
+
+
+class TestSimulatorUsesSpawn:
+    def _simulator(self, model) -> PurePeriodicCkptSimulator:
+        parameters = ResilienceParameters.from_scalars(
+            platform_mtbf=2 * HOUR,
+            checkpoint=10 * MINUTE,
+            recovery=10 * MINUTE,
+            downtime=60.0,
+            library_fraction=0.8,
+        )
+        workload = ApplicationWorkload.single_epoch(
+            6 * HOUR, 0.8, library_fraction=0.8
+        )
+        return PurePeriodicCkptSimulator(parameters, workload, failure_model=model)
+
+    def test_trace_replay_runs_are_reproducible(self):
+        model = TraceFailureModel.from_failure_times(
+            [3600.0, 9000.0, 14000.0], cycle=True
+        )
+        simulator = self._simulator(model)
+        first = simulator.simulate(seed=1)
+        second = simulator.simulate(seed=1)
+        assert first.makespan == second.makespan
+        assert first.failure_count == second.failure_count
+
+    def test_simulate_does_not_advance_shared_cursor(self):
+        model = TraceFailureModel([1800.0, 3600.0, 7200.0], cycle=True)
+        simulator = self._simulator(model)
+        simulator.simulate(seed=2)
+        assert model.remaining == 3  # untouched: the run consumed a spawn
+
+    def test_legacy_reset_only_models_still_deep_copied(self):
+        # A third-party stateful model predating spawn(): a plain object
+        # exposing sample_interarrivals/reset but no spawn attribute.
+        class Legacy:
+            def __init__(self):
+                self.cursor = 5
+                self.mtbf = 3600.0
+
+            def reset(self):
+                self.cursor = 0
+
+            def sample_interarrival(self, rng):
+                self.cursor += 1
+                return float(rng.exponential(self.mtbf))
+
+            def sample_interarrivals(self, rng, count):
+                self.cursor += count
+                return rng.exponential(self.mtbf, size=count)
+
+        legacy = Legacy()
+        simulator = self._simulator(legacy)
+        simulator.simulate(seed=3)
+        # The simulator deep-copied and reset a private clone; the original
+        # cursor is untouched.
+        assert legacy.cursor == 5
+
+
+class TestResetOnlySubclassIsolation:
+    """A stateful FailureModel subclass that predates spawn() (defines only
+    reset()) must keep the historical deep-copy isolation through the base
+    spawn() -- two runs of one simulator stay independent and reproducible."""
+
+    class ReplaySubclass(ExponentialFailureModel):
+        def __init__(self, mtbf, values):
+            super().__init__(mtbf)
+            self.values = list(values)
+            self.cursor = 0
+
+        def reset(self):
+            self.cursor = 0
+
+        def sample_interarrival(self, rng):
+            value = self.values[self.cursor % len(self.values)]
+            self.cursor += 1
+            return value
+
+        def sample_interarrivals(self, rng, count):
+            return np.array([self.sample_interarrival(rng) for _ in range(count)])
+
+    def test_base_spawn_deep_copies_and_rewinds(self):
+        model = self.ReplaySubclass(3600.0, [100.0, 200.0])
+        model.cursor = 1
+        clone = model.spawn()
+        assert clone is not model
+        assert clone.cursor == 0
+        assert model.cursor == 1
+
+    def test_repeated_runs_are_identical(self):
+        from repro import ApplicationWorkload, ResilienceParameters
+        from repro.utils import HOUR, MINUTE
+
+        parameters = ResilienceParameters.from_scalars(
+            platform_mtbf=2 * HOUR, checkpoint=10 * MINUTE, recovery=10 * MINUTE,
+            downtime=60.0, library_fraction=0.8,
+        )
+        workload = ApplicationWorkload.single_epoch(6 * HOUR, 0.8, library_fraction=0.8)
+        model = self.ReplaySubclass(2 * HOUR, [1800.0, 3600.0, 7200.0])
+        simulator = PurePeriodicCkptSimulator(parameters, workload, failure_model=model)
+        first = simulator.simulate(seed=1)
+        second = simulator.simulate(seed=1)
+        assert first.makespan == second.makespan
+        assert model.cursor == 0  # shared instance untouched

@@ -72,3 +72,60 @@ class TestFailureTimeline:
         t1 = FailureTimeline(model, np.random.default_rng(9))
         t2 = FailureTimeline(model, np.random.default_rng(9))
         assert t1.next_failure_after(0.0) == t2.next_failure_after(0.0)
+
+
+class TestBufferedTimeline:
+    """The preallocated-buffer rework and the stream reproducibility guarantee."""
+
+    def test_ensure_count_materialises_at_least_n(self, rng):
+        timeline = FailureTimeline(ExponentialFailureModel(5.0), rng)
+        timeline.ensure_count(200)
+        assert timeline.generated_count >= 200
+
+    def test_times_view_is_sorted_and_read_only(self, rng):
+        timeline = FailureTimeline(ExponentialFailureModel(5.0), rng)
+        timeline.ensure_count(100)
+        times = timeline.times
+        assert times.size == timeline.generated_count
+        assert np.all(np.diff(times) > 0)
+        with pytest.raises(ValueError):
+            times[0] = 0.0
+
+    def test_growth_preserves_earlier_values(self):
+        model = ExponentialFailureModel(3.0)
+        timeline = FailureTimeline(model, np.random.default_rng(5))
+        timeline.ensure_count(10)
+        head = timeline.times[:10].copy()
+        timeline.ensure_count(1000)  # forces several buffer growths
+        assert np.array_equal(timeline.times[:10], head)
+
+    def test_stream_independent_of_query_pattern(self):
+        """The value sequence must not depend on how the stream is consumed."""
+        model = ExponentialFailureModel(3.0)
+        eager = FailureTimeline(model, np.random.default_rng(9))
+        eager.ensure_count(300)
+        lazy = FailureTimeline(model, np.random.default_rng(9))
+        current = 0.0
+        for _ in range(250):
+            current = lazy.next_failure_after(current)
+        count = min(eager.generated_count, lazy.generated_count)
+        assert np.array_equal(eager.times[:count], lazy.times[:count])
+
+    def test_block_draws_match_scalar_draws(self):
+        """sample_interarrivals(n) consumes the bit stream exactly like n
+        scalar draws, for every stochastic law -- the foundation of the
+        batched-prefill guarantee."""
+        from repro.failures import LogNormalFailureModel, WeibullFailureModel
+
+        for model in (
+            ExponentialFailureModel(7200.0),
+            WeibullFailureModel(7200.0, shape=0.7),
+            LogNormalFailureModel(7200.0, sigma=1.0),
+        ):
+            scalar_rng = np.random.default_rng(42)
+            batch_rng = np.random.default_rng(42)
+            scalars = np.array(
+                [model.sample_interarrival(scalar_rng) for _ in range(256)]
+            )
+            batch = model.sample_interarrivals(batch_rng, 256)
+            assert np.array_equal(scalars, batch), type(model).__name__

@@ -265,3 +265,54 @@ class TestFailureSpec:
     def test_is_exponential_through_alias(self):
         assert FailureSpec(model="exp").is_exponential
         assert not FailureSpec(model="weibull").is_exponential
+
+
+class TestSimulationBackend:
+    def test_default_backend_is_event(self):
+        spec = ScenarioSpec.from_dict(minimal_dict())
+        assert spec.simulation.backend == "event"
+
+    def test_backend_round_trips(self):
+        data = minimal_dict()
+        data["protocols"] = ["PurePeriodicCkpt"]
+        data["simulation"] = {"validate": True, "runs": 5, "backend": "vectorized"}
+        spec = ScenarioSpec.from_dict(data)
+        assert spec.simulation.backend == "vectorized"
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+        assert spec.to_dict()["simulation"]["backend"] == "vectorized"
+
+    def test_unknown_backend_names_path(self):
+        data = minimal_dict()
+        data["simulation"] = {"backend": "gpu"}
+        with pytest.raises(ScenarioSpecError, match=r"simulation\.backend"):
+            ScenarioSpec.from_dict(data)
+
+    def test_vectorized_backend_rejects_unsupported_protocol(self):
+        data = minimal_dict()
+        data["protocols"] = ["BiPeriodicCkpt"]
+        data["simulation"] = {"backend": "vectorized"}
+        with pytest.raises(ScenarioSpecError, match="BiPeriodicCkpt"):
+            ScenarioSpec.from_dict(data)
+
+    def test_vectorized_backend_rejects_non_exponential_law(self):
+        data = minimal_dict()
+        data["protocols"] = ["PurePeriodicCkpt"]
+        data["failures"] = {"model": "weibull", "params": {"shape": 0.7}}
+        data["simulation"] = {"backend": "vectorized"}
+        with pytest.raises(ScenarioSpecError, match="exponential"):
+            ScenarioSpec.from_dict(data)
+
+    def test_auto_backend_accepts_anything_registered(self):
+        data = minimal_dict()
+        data["failures"] = {"model": "weibull", "params": {"shape": 0.7}}
+        data["simulation"] = {"backend": "auto"}
+        assert ScenarioSpec.from_dict(data).simulation.backend == "auto"
+
+    def test_builder_sets_backend(self):
+        spec = (
+            Scenario.quick()
+            .with_protocols("PurePeriodicCkpt")
+            .with_simulation(validate=True, runs=5, backend="vectorized")
+            .build()
+        )
+        assert spec.simulation.backend == "vectorized"

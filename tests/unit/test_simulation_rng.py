@@ -58,3 +58,40 @@ class TestRandomStreams:
     def test_seed_property(self):
         assert RandomStreams(seed=42).seed == 42
         assert RandomStreams().seed is None
+
+
+class TestGeneratorForTrialFastPath:
+    """The direct SeedSequence derivation must stay bit-identical to the
+    historical spawn-based one -- every cached sweep and pinned regression
+    value depends on this mapping."""
+
+    def test_matches_spawn_based_derivation(self):
+        from repro.simulation.rng import RandomStreams
+
+        streams = RandomStreams(seed=2014)
+        for index in (0, 1, 17, 4095):
+            fast = streams.generator_for_trial(index)
+            slow = streams.child(index).get("failures")
+            assert fast.random() == slow.random()
+
+    def test_name_does_not_change_the_first_stream(self):
+        from repro.simulation.rng import RandomStreams
+
+        streams = RandomStreams(seed=7)
+        a = streams.generator_for_trial(3, "failures").random()
+        b = streams.generator_for_trial(3, "anything").random()
+        assert a == b
+
+    def test_negative_index_rejected(self):
+        from repro.simulation.rng import RandomStreams
+
+        with pytest.raises(ValueError):
+            RandomStreams(seed=1).generator_for_trial(-1)
+
+    def test_seed_none_still_nondeterministic(self):
+        from repro.simulation.rng import RandomStreams
+
+        streams = RandomStreams(seed=None)
+        a = streams.generator_for_trial(0).random()
+        b = streams.generator_for_trial(0).random()
+        assert a != b

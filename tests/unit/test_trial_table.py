@@ -1,0 +1,158 @@
+"""Unit tests for the columnar :class:`repro.simulation.table.TrialTable`."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.simulation import run_monte_carlo
+from repro.simulation.table import TRIAL_DTYPE, TrialTable
+from repro.simulation.trace import CATEGORIES, ExecutionTrace, TimeBreakdown
+from repro.utils.stats import summarize
+
+
+def _trace(makespan: float, *, failures: int = 0, truncated: bool = False) -> ExecutionTrace:
+    return ExecutionTrace(
+        protocol="toy",
+        application_time=100.0,
+        makespan=makespan,
+        failure_count=failures,
+        breakdown=TimeBreakdown(useful_work=100.0, lost_work=makespan - 100.0),
+        metadata={"truncated": truncated},
+    )
+
+
+def _fake_simulation(rng: np.random.Generator) -> ExecutionTrace:
+    extra = float(rng.exponential(10.0))
+    return _trace(100.0 + extra, failures=int(extra > 10.0))
+
+
+class TestConstruction:
+    def test_empty_shape_and_dtype(self):
+        table = TrialTable.empty(5, protocol="p", application_time=10.0)
+        assert len(table) == 5
+        assert table.runs == 5
+        assert table.data.dtype == TRIAL_DTYPE
+        assert table.protocol == "p"
+        assert table.application_time == 10.0
+
+    def test_negative_runs_rejected(self):
+        with pytest.raises(ValueError):
+            TrialTable.empty(-1)
+
+    def test_wrong_dtype_rejected(self):
+        with pytest.raises(ValueError, match="dtype"):
+            TrialTable(np.zeros(3, dtype=float))
+
+    def test_from_traces_round_trip(self):
+        traces = [_trace(120.0, failures=1), _trace(150.0, failures=2, truncated=True)]
+        table = TrialTable.from_traces(traces)
+        assert table.protocol == "toy"
+        assert table.application_time == 100.0
+        assert list(table.makespans) == [120.0, 150.0]
+        assert list(table.failure_counts) == [1, 2]
+        assert list(table.truncated) == [False, True]
+        assert table.wastes[0] == traces[0].waste
+        assert table.column("lost_work")[1] == 50.0
+
+    def test_concatenate_preserves_order(self):
+        a = TrialTable.from_traces([_trace(110.0), _trace(120.0)])
+        b = TrialTable.from_traces([_trace(130.0)])
+        merged = TrialTable.concatenate([a, b])
+        assert list(merged.makespans) == [110.0, 120.0, 130.0]
+        assert merged.protocol == "toy"
+
+    def test_concatenate_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            TrialTable.concatenate([])
+
+    def test_slice_is_a_view(self):
+        table = TrialTable.from_traces([_trace(110.0), _trace(120.0), _trace(130.0)])
+        part = table.slice(1, 3)
+        assert list(part.makespans) == [120.0, 130.0]
+        assert part.data.base is not None
+
+    def test_pickle_round_trip(self):
+        table = TrialTable.from_traces([_trace(110.0), _trace(120.0)])
+        clone = pickle.loads(pickle.dumps(table))
+        assert clone == table
+
+    def test_equality(self):
+        a = TrialTable.from_traces([_trace(110.0)])
+        b = TrialTable.from_traces([_trace(110.0)])
+        c = TrialTable.from_traces([_trace(111.0)])
+        assert a == b
+        assert a != c
+        assert a != "not a table"
+
+
+class TestStatistics:
+    def test_summarize_matches_scalar_summarize(self):
+        table = TrialTable.from_traces(
+            [_trace(110.0), _trace(130.0), _trace(170.0), _trace(250.0)]
+        )
+        vectorized = table.summarize("waste")
+        scalar = summarize([t for t in table.wastes])
+        assert vectorized == scalar
+
+    def test_unknown_column_rejected(self):
+        table = TrialTable.empty(1)
+        with pytest.raises(KeyError):
+            table.column("coffee")
+        with pytest.raises(KeyError):
+            table.summarize("coffee")
+
+    def test_percentiles(self):
+        traces = [_trace(100.0 + i) for i in range(101)]
+        table = TrialTable.from_traces(traces)
+        pct = table.percentiles("makespan", q=(0.0, 50.0, 100.0))
+        assert pct[0.0] == 100.0
+        assert pct[50.0] == 150.0
+        assert pct[100.0] == 200.0
+
+    def test_percentiles_empty_table(self):
+        pct = TrialTable.empty(0).percentiles("waste", q=(50.0,))
+        assert np.isnan(pct[50.0])
+
+    def test_truncated_count(self):
+        table = TrialTable.from_traces(
+            [_trace(110.0), _trace(1e6, truncated=True), _trace(1e6, truncated=True)]
+        )
+        assert table.truncated_count == 2
+
+    def test_breakdown_means_cover_all_categories(self):
+        table = TrialTable.from_traces([_trace(120.0), _trace(140.0)])
+        means = table.breakdown_means()
+        assert set(means) == set(CATEGORIES)
+        assert means["useful_work"] == 100.0
+        assert means["lost_work"] == pytest.approx(30.0)
+        assert table.mean_breakdown().useful_work == 100.0
+
+    def test_summary_dict_is_json_compatible(self):
+        import json
+
+        table = TrialTable.from_traces([_trace(120.0), _trace(140.0)])
+        payload = table.summary_dict()
+        round_tripped = json.loads(json.dumps(payload))
+        assert round_tripped["runs"] == 2
+        assert round_tripped["truncated"] == 0
+        assert round_tripped["waste_mean"] == payload["waste_mean"]
+
+
+class TestRunnerIntegration:
+    def test_run_monte_carlo_exposes_table(self):
+        result = run_monte_carlo(_fake_simulation, runs=25, seed=3)
+        assert result.table is not None
+        assert result.table.runs == 25
+        assert result.waste == result.table.summarize("waste")
+        assert result.truncated == 0
+
+    def test_table_columns_match_traces(self):
+        result = run_monte_carlo(_fake_simulation, runs=10, seed=7, keep_traces=True)
+        assert [t.makespan for t in result.traces] == list(result.table.makespans)
+        assert [t.waste for t in result.traces] == list(result.table.wastes)
+        assert [t.failure_count for t in result.traces] == list(
+            result.table.failure_counts
+        )

@@ -1,0 +1,313 @@
+"""Unit tests for the vectorized across-trials engine and backend selection.
+
+The engine's contract is exact: for a given root seed it must reproduce the
+event backend trial for trial, bit for bit -- every assertion here uses
+``==``, never approximate equality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ApplicationWorkload, ResilienceParameters
+from repro.campaign import SweepJob, SweepRunner
+from repro.core.protocols import (
+    NoFaultToleranceSimulator,
+    PurePeriodicCkptSimulator,
+)
+from repro.core.protocols.no_ft import NoFaultToleranceVectorized
+from repro.core.protocols.pure_periodic import PurePeriodicCkptVectorized
+from repro.core.registry import resolve_protocol, vectorized_protocol_names
+from repro.failures import ExponentialFailureModel, WeibullFailureModel
+from repro.simulation.rng import RandomStreams
+from repro.simulation.trace import CATEGORIES
+from repro.simulation.vectorized import (
+    ENGINE_BACKENDS,
+    VectorizedBackendError,
+    VectorizedChunkedSimulator,
+    exponential_mtbf_or_raise,
+)
+from repro.utils import HOUR, MINUTE
+
+PAIRS = {
+    "NoFT": (NoFaultToleranceSimulator, NoFaultToleranceVectorized),
+    "PurePeriodicCkpt": (PurePeriodicCkptSimulator, PurePeriodicCkptVectorized),
+}
+
+
+def _parameters(**overrides) -> ResilienceParameters:
+    defaults = dict(
+        platform_mtbf=120 * MINUTE,
+        checkpoint=10 * MINUTE,
+        recovery=10 * MINUTE,
+        downtime=60.0,
+        library_fraction=0.8,
+    )
+    defaults.update(overrides)
+    return ResilienceParameters.from_scalars(**defaults)
+
+
+def _workload(total: float = 6 * HOUR) -> ApplicationWorkload:
+    return ApplicationWorkload.single_epoch(total, 0.8, library_fraction=0.8)
+
+
+def assert_tables_match_event(protocol, vectorized_cls, parameters, workload,
+                              *, runs, seed, **kwargs):
+    """Exact per-trial equality of the vectorized table vs the event walk."""
+    table = vectorized_cls(parameters, workload, **kwargs).run_trials(runs, seed=seed)
+    simulator = PAIRS[protocol][0](parameters, workload, **kwargs)
+    streams = RandomStreams(seed)
+    for trial in range(runs):
+        trace = simulator.simulate(streams.generator_for_trial(trial))
+        row = table.data[trial]
+        assert float(row["makespan"]) == trace.makespan, trial
+        assert float(row["waste"]) == trace.waste, trial
+        assert int(row["failure_count"]) == trace.failure_count, trial
+        assert bool(row["truncated"]) == trace.metadata["truncated"], trial
+        for category in CATEGORIES:
+            assert float(row[category]) == getattr(trace.breakdown, category), (
+                trial,
+                category,
+            )
+
+
+class TestCrossValidation:
+    @pytest.mark.parametrize("protocol", sorted(PAIRS))
+    def test_bit_identical_to_event(self, protocol):
+        assert_tables_match_event(
+            protocol, PAIRS[protocol][1], _parameters(), _workload(),
+            runs=40, seed=2014,
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1, 99, 20140527])
+    def test_bit_identical_across_seeds(self, seed):
+        assert_tables_match_event(
+            "PurePeriodicCkpt", PurePeriodicCkptVectorized,
+            _parameters(), _workload(), runs=12, seed=seed,
+        )
+
+    def test_truncation_path_identical(self):
+        # MTBF far below the checkpoint cost: runs essentially never finish
+        # and hit the max_slowdown cap.
+        params = _parameters(platform_mtbf=120.0)
+        assert_tables_match_event(
+            "PurePeriodicCkpt", PurePeriodicCkptVectorized, params,
+            _workload(1 * HOUR), runs=15, seed=5, max_slowdown=3.0,
+        )
+
+    def test_degenerate_period_identical(self):
+        # Explicit period below the checkpoint cost degenerates to a single
+        # chunk in both engines.
+        assert_tables_match_event(
+            "PurePeriodicCkpt", PurePeriodicCkptVectorized, _parameters(),
+            _workload(2 * HOUR), runs=15, seed=8, period=30.0,
+        )
+
+    def test_explicit_exponential_model_identical(self):
+        model = ExponentialFailureModel(90 * MINUTE)
+        assert_tables_match_event(
+            "NoFT", NoFaultToleranceVectorized, _parameters(),
+            _workload(2 * HOUR), runs=15, seed=4, failure_model=model,
+        )
+
+    def test_zero_downtime_restart(self):
+        params = _parameters(downtime=0.0)
+        assert_tables_match_event(
+            "NoFT", NoFaultToleranceVectorized, params, _workload(2 * HOUR),
+            runs=15, seed=6,
+        )
+
+
+class TestValidation:
+    def test_non_exponential_model_rejected(self):
+        with pytest.raises(VectorizedBackendError, match="exponential"):
+            PurePeriodicCkptVectorized(
+                _parameters(), _workload(),
+                failure_model=WeibullFailureModel(3600.0, shape=0.7),
+            )
+
+    def test_exponential_mtbf_helper(self):
+        assert exponential_mtbf_or_raise(None, 123.0, protocol="p") == 123.0
+        model = ExponentialFailureModel(456.0)
+        assert exponential_mtbf_or_raise(model, 123.0, protocol="p") == 456.0
+
+    def test_invalid_runs_rejected(self):
+        engine = PurePeriodicCkptVectorized(_parameters(), _workload())
+        with pytest.raises(ValueError, match="runs"):
+            engine.run_trials(0)
+
+    def test_invalid_max_slowdown_rejected(self):
+        with pytest.raises(ValueError, match="max_slowdown"):
+            NoFaultToleranceVectorized(
+                _parameters(), _workload(), max_slowdown=0.5
+            )
+
+    def test_engine_rejects_unknown_restart_category(self):
+        with pytest.raises(KeyError, match="coffee"):
+            VectorizedChunkedSimulator(
+                protocol="x", application_time=10.0, work=10.0,
+                chunk_size=5.0, checkpoint_cost=0.0,
+                restart_stages=(("coffee", 1.0),), mtbf=100.0,
+                max_makespan=1e5,
+            )
+
+
+class TestRegistry:
+    def test_vectorized_protocols_registered(self):
+        names = vectorized_protocol_names()
+        assert "NoFT" in names
+        assert "PurePeriodicCkpt" in names
+
+    def test_entry_exposes_vectorized_cls(self):
+        entry = resolve_protocol("pure-periodic")
+        assert entry.has_vectorized
+        assert entry.vectorized_cls is PurePeriodicCkptVectorized
+        assert not resolve_protocol("BiPeriodicCkpt").has_vectorized
+
+    def test_engine_backends_tuple(self):
+        assert ENGINE_BACKENDS == ("event", "vectorized", "auto")
+
+
+class TestSweepBackendSelection:
+    def _job(self, **overrides) -> SweepJob:
+        defaults = dict(
+            parameters=_parameters(),
+            application_time=6 * HOUR,
+            mtbf_values=(90 * MINUTE, 120 * MINUTE),
+            alpha_values=(0.5,),
+            protocols=("PurePeriodicCkpt",),
+            simulate=True,
+            simulation_runs=8,
+            seed=11,
+        )
+        defaults.update(overrides)
+        return SweepJob(**defaults)
+
+    def test_vectorized_backend_matches_event_backend(self):
+        event = SweepRunner().run(self._job(backend="event"))
+        vectorized = SweepRunner().run(self._job(backend="vectorized"))
+        for a, b in zip(event.points, vectorized.points):
+            assert a.simulated_waste == b.simulated_waste
+            assert a.simulated == b.simulated
+
+    def test_auto_backend_matches_event_backend(self):
+        event = SweepRunner().run(self._job(backend="event"))
+        auto = SweepRunner().run(
+            self._job(backend="auto", protocols=("PurePeriodicCkpt", "NoFT"))
+        )
+        assert (
+            auto.points[0].simulated_waste["PurePeriodicCkpt"]
+            == event.points[0].simulated_waste["PurePeriodicCkpt"]
+        )
+        # NoFT runs vectorized under "auto" too; its summary must be present.
+        assert "NoFT" in auto.points[0].simulated
+
+    def test_vectorized_backend_rejects_unsupported_protocol(self):
+        job = self._job(backend="vectorized", protocols=("BiPeriodicCkpt",))
+        with pytest.raises(VectorizedBackendError, match="BiPeriodicCkpt"):
+            SweepRunner().run(job)
+
+    def test_vectorized_backend_rejects_non_exponential_law(self):
+        job = self._job(
+            backend="vectorized",
+            failure_model="weibull",
+            failure_params=(("shape", 0.7),),
+        )
+        with pytest.raises(VectorizedBackendError, match="exponential"):
+            SweepRunner().run(job)
+
+    def test_auto_backend_falls_back_for_non_exponential_law(self):
+        job = self._job(
+            backend="auto",
+            failure_model="weibull",
+            failure_params=(("shape", 0.7),),
+            simulation_runs=4,
+        )
+        result = SweepRunner().run(job)
+        assert 0.0 <= result.points[0].simulated_waste["PurePeriodicCkpt"] <= 1.0
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            self._job(backend="gpu")
+
+    def test_backend_not_in_cache_key(self):
+        event_job = self._job(backend="event")
+        vectorized_job = self._job(backend="vectorized")
+        assert event_job.point_key(90 * MINUTE, 0.5) == vectorized_job.point_key(
+            90 * MINUTE, 0.5
+        )
+
+    def test_backends_share_cache_entries(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        first = SweepRunner(cache_dir=cache_dir).run(self._job(backend="vectorized"))
+        resumed = SweepRunner(cache_dir=cache_dir).run(self._job(backend="event"))
+        assert resumed.computed_points == 0
+        assert resumed.points == first.points
+
+
+class TestExponentialSubclassRejection:
+    """A subclass of ExponentialFailureModel may override the sampling, so
+    the vectorized engine must treat it as a foreign law (exact type check),
+    not silently draw from a fresh pure-exponential model."""
+
+    class TweakedExponential(ExponentialFailureModel):
+        def sample_interarrival(self, rng):
+            return 42.0
+
+        def sample_interarrivals(self, rng, count):
+            return np.full(count, 42.0)
+
+    def test_helper_rejects_subclass(self):
+        with pytest.raises(VectorizedBackendError, match="TweakedExponential"):
+            exponential_mtbf_or_raise(
+                self.TweakedExponential(3600.0), 3600.0, protocol="p"
+            )
+
+    def test_adapter_rejects_subclass(self):
+        with pytest.raises(VectorizedBackendError):
+            PurePeriodicCkptVectorized(
+                _parameters(), _workload(),
+                failure_model=self.TweakedExponential(3600.0),
+            )
+
+
+class TestSingleRunSummaryStaysJson:
+    def test_summary_dict_replaces_nan_with_none(self):
+        table = PurePeriodicCkptVectorized(_parameters(), _workload()).run_trials(
+            1, seed=3
+        )
+        payload = table.summary_dict()
+        assert payload["runs"] == 1
+        assert payload["waste_std"] is None
+        assert payload["waste_ci_half_width"] is None
+        import json
+
+        text = json.dumps(payload, allow_nan=False)  # strict JSON must succeed
+        assert json.loads(text)["waste_mean"] == payload["waste_mean"]
+
+    def test_single_run_sweep_cache_is_strict_json(self, tmp_path):
+        import json
+
+        from repro.campaign import SweepCache
+
+        job = SweepJob(
+            parameters=_parameters(),
+            application_time=6 * HOUR,
+            mtbf_values=(120 * MINUTE,),
+            alpha_values=(0.5,),
+            protocols=("PurePeriodicCkpt",),
+            simulate=True,
+            simulation_runs=1,
+            seed=9,
+        )
+        cache_dir = tmp_path / "cache"
+        SweepRunner(cache_dir=cache_dir).run(job)
+        for path in SweepCache(cache_dir).entries():
+            # parse_constant raises on the non-standard NaN/Infinity tokens.
+            json.loads(
+                path.read_text(),
+                parse_constant=lambda token: (_ for _ in ()).throw(
+                    ValueError(f"non-strict JSON token {token}")
+                ),
+            )
