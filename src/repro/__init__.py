@@ -20,7 +20,11 @@ The package provides, from scratch and in pure Python + NumPy:
 * the unified Scenario API (:mod:`repro.scenario`): declarative,
   JSON-serializable experiment specs -- protocol set x failure law x
   platform x workload x sweep axes -- consumed by the registry, the
-  simulators, the campaign layer and the ``scenario`` CLI subcommands.
+  simulators, the campaign layer and the ``scenario`` CLI subcommands;
+* the strategy advisor (:mod:`repro.optimize`): numeric period optimization
+  (validated against the Equation 11 closed forms), simulation-backed
+  refinement, and regime maps naming the winning protocol per platform
+  cell (``python -m repro.cli optimize {period,compare,map}``).
 
 Running campaigns at scale
 --------------------------
@@ -83,7 +87,21 @@ from repro.campaign import (
     run_monte_carlo_parallel,
 )
 from repro.failures import ExponentialFailureModel, FailureTimeline, Platform
-from repro.scenario import Scenario, ScenarioResult, ScenarioSpec, run_scenario
+from repro.optimize import (
+    PeriodOptimum,
+    RegimeMap,
+    RegimeMapSpec,
+    compute_regime_map,
+    optimize_period,
+    refine_period,
+)
+from repro.scenario import (
+    Scenario,
+    ScenarioResult,
+    ScenarioSpec,
+    optimize_scenario,
+    run_scenario,
+)
 from repro.simulation import (
     MonteCarloResult,
     MonteCarloRunner,
@@ -133,6 +151,14 @@ __all__ = [
     "ScenarioSpec",
     "ScenarioResult",
     "run_scenario",
+    # Strategy advisor (numeric optimization and regime maps)
+    "PeriodOptimum",
+    "optimize_period",
+    "refine_period",
+    "optimize_scenario",
+    "RegimeMap",
+    "RegimeMapSpec",
+    "compute_regime_map",
     # Convenience
     "quick_waste_comparison",
 ]

@@ -40,9 +40,13 @@ from repro.core.registry import (
     resolve_protocol,
     vectorized_protocol_names,
 )
-from repro.failures.exponential import ExponentialFailureModel
 from repro.simulation.table import TrialTable
-from repro.simulation.vectorized import ENGINE_BACKENDS, VectorizedBackendError
+from repro.simulation.vectorized import (
+    ENGINE_BACKENDS,
+    VectorizedBackendError,
+    supports_vectorized_backend,
+    vectorized_backend_obstacle,
+)
 
 __all__ = ["SweepJob", "GridPoint", "SweepResult", "SweepRunner", "CAMPAIGN_PROTOCOLS"]
 
@@ -458,24 +462,17 @@ class SweepRunner:
             entry = resolve_protocol(name)
             use_vectorized = False
             if job.backend in ("vectorized", "auto"):
-                # Exact type check: a subclass overriding the sampling is
-                # NOT the exponential law the vectorized engine draws from.
-                exponential = (
-                    failure_model is None
-                    or type(failure_model) is ExponentialFailureModel
+                supported = supports_vectorized_backend(
+                    entry.vectorized_cls, failure_model
                 )
-                supported = entry.vectorized_cls is not None and exponential
                 if job.backend == "vectorized" and not supported:
-                    if entry.vectorized_cls is None:
-                        detail = (
-                            f"protocol {entry.name!r} has no vectorized engine "
-                            f"(available: {sorted(vectorized_protocol_names())})"
-                        )
-                    else:
-                        detail = (
-                            f"failure model {job.failure_model!r} is not the "
-                            "exponential law"
-                        )
+                    detail = vectorized_backend_obstacle(
+                        entry.vectorized_cls,
+                        failure_model,
+                        protocol=entry.name,
+                        law=job.failure_model,
+                        available=vectorized_protocol_names(),
+                    )
                     raise VectorizedBackendError(
                         f"backend='vectorized' cannot run this sweep: {detail}; "
                         "use backend='event' or backend='auto'"

@@ -37,6 +37,21 @@ Declarative scenarios (see EXPERIMENTS.md for the file format)::
     python -m repro.cli scenario run spec.json --validate --runs 100 \
         --workers 4 --cache-dir ./scenario-cache --csv out.csv
 
+Strategy advisor: numeric period optimization and regime maps::
+
+    # Numerically optimal period of one protocol (vs the Eq. 11 closed form):
+    python -m repro.cli optimize period --protocol PurePeriodicCkpt \
+        --mtbf 7200 --checkpoint 600
+    # ... refined against the Monte-Carlo engine:
+    python -m repro.cli optimize period --protocol PurePeriodicCkpt \
+        --refine --runs 200 --backend auto --workers 4
+    # Rank every protocol at its own optimal period over a scenario grid:
+    python -m repro.cli optimize compare --spec examples/custom_scenario.json
+    # Regime map over (nodes x per-node MTBF x checkpoint x phi), resumable:
+    python -m repro.cli optimize map --nodes 1000 100000 \
+        --node-mtbf-years 5 50 --workers 2 --cache-dir ./regime-cache \
+        --resume --json regime.json
+
 ABFT substrate demonstration::
 
     python -m repro.cli abft --kernel lu --n 128 --block-size 32
@@ -237,6 +252,164 @@ def build_parser() -> argparse.ArgumentParser:
         "list", help="list registered protocols and failure models"
     )
 
+    optimize = sub.add_parser(
+        "optimize",
+        help="numeric period optimization and protocol regime maps",
+    )
+    optimize_sub = optimize.add_subparsers(dest="optimize_command", required=True)
+
+    def add_platform_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--spec",
+            type=str,
+            default=None,
+            help="scenario JSON file providing platform/workload (overrides flags)",
+        )
+        p.add_argument("--mtbf", type=float, default=7200.0, help="platform MTBF, s")
+        p.add_argument(
+            "--checkpoint", type=float, default=600.0, help="checkpoint cost C, s"
+        )
+        p.add_argument(
+            "--recovery",
+            type=float,
+            default=None,
+            help="recovery cost R, s (default: C)",
+        )
+        p.add_argument("--downtime", type=float, default=60.0, help="downtime D, s")
+        p.add_argument(
+            "--t0", type=float, default=604800.0, help="application time T0, s"
+        )
+        p.add_argument("--alpha", type=float, default=0.8, help="LIBRARY time fraction")
+        p.add_argument("--rho", type=float, default=0.8, help="LIBRARY memory fraction")
+        p.add_argument("--phi", type=float, default=1.03, help="ABFT slowdown >= 1")
+
+    def add_campaign_flags(p: argparse.ArgumentParser, *, runs: int) -> None:
+        p.add_argument(
+            "--runs", type=_positive_int, default=runs, help="simulated runs"
+        )
+        p.add_argument("--seed", type=int, default=2014, help="campaign root seed")
+        p.add_argument(
+            "--backend",
+            choices=["event", "vectorized", "auto"],
+            default="auto",
+            help="Monte-Carlo engine (both engines are bit-identical)",
+        )
+        p.add_argument(
+            "--workers",
+            type=_positive_int,
+            default=None,
+            help="worker processes for event-backend campaigns (default: serial)",
+        )
+        p.add_argument(
+            "--cache-dir",
+            type=str,
+            default=None,
+            help="directory for the per-point result cache (enables caching)",
+        )
+        p.add_argument(
+            "--resume",
+            action="store_true",
+            help="reuse completed points from --cache-dir instead of recomputing",
+        )
+
+    optimize_period = optimize_sub.add_parser(
+        "period",
+        help="numerically optimal period of one protocol (vs Eq. 11)",
+    )
+    optimize_period.add_argument(
+        "--protocol",
+        type=str,
+        default="PurePeriodicCkpt",
+        help="registered protocol name or alias",
+    )
+    add_platform_flags(optimize_period)
+    optimize_period.add_argument(
+        "--refine",
+        action="store_true",
+        help="also re-optimize against the Monte-Carlo engine",
+    )
+    add_campaign_flags(optimize_period, runs=200)
+
+    optimize_compare = optimize_sub.add_parser(
+        "compare",
+        help="rank every protocol at its own optimal period over a grid",
+    )
+    add_platform_flags(optimize_compare)
+    optimize_compare.add_argument(
+        "--protocols",
+        type=str,
+        nargs="+",
+        default=None,
+        help="protocols to compare (default: NoFT + the paper's three)",
+    )
+    optimize_compare.add_argument(
+        "--csv", type=str, default=None, help="write the series to CSV"
+    )
+
+    optimize_map = optimize_sub.add_parser(
+        "map",
+        help="regime map: winning protocol per (nodes, MTBF, C, phi) cell",
+    )
+    optimize_map.add_argument(
+        "--nodes",
+        type=_positive_int,
+        nargs="+",
+        default=[1000, 10000, 100000],
+        help="platform sizes (node counts)",
+    )
+    optimize_map.add_argument(
+        "--node-mtbf-years",
+        type=float,
+        nargs="+",
+        default=[5.0, 25.0, 125.0],
+        help="per-node MTBFs in years (platform MTBF = node MTBF / nodes)",
+    )
+    optimize_map.add_argument(
+        "--checkpoint",
+        type=float,
+        nargs="+",
+        default=[600.0],
+        help="checkpoint costs C in seconds (R = C)",
+    )
+    optimize_map.add_argument(
+        "--phi",
+        type=float,
+        nargs="+",
+        default=[1.03],
+        help="ABFT slowdown factors",
+    )
+    optimize_map.add_argument(
+        "--protocols",
+        type=str,
+        nargs="+",
+        default=None,
+        help="protocols to compare (default: NoFT + the paper's three)",
+    )
+    optimize_map.add_argument(
+        "--t0", type=float, default=86400.0, help="application time T0, s"
+    )
+    optimize_map.add_argument(
+        "--alpha", type=float, default=0.8, help="LIBRARY time fraction"
+    )
+    optimize_map.add_argument(
+        "--rho", type=float, default=0.8, help="LIBRARY memory fraction"
+    )
+    optimize_map.add_argument(
+        "--downtime", type=float, default=60.0, help="downtime D, s"
+    )
+    optimize_map.add_argument(
+        "--simulate",
+        action="store_true",
+        help="validate each cell's ranking with Monte-Carlo campaigns",
+    )
+    add_campaign_flags(optimize_map, runs=100)
+    optimize_map.add_argument(
+        "--json", type=str, default=None, help="write the map as JSON"
+    )
+    optimize_map.add_argument(
+        "--csv", type=str, default=None, help="write the long-format table as CSV"
+    )
+
     abft = sub.add_parser("abft", help="ABFT kernel demonstration and overhead")
     abft.add_argument("--kernel", choices=["lu", "cholesky"], default="lu")
     abft.add_argument("--n", type=int, default=128, help="matrix order")
@@ -351,18 +524,28 @@ def _run_scenario_list() -> int:
         resolve_failure_model,
         resolve_protocol,
         protocol_names,
+        vectorized_protocol_names,
     )
+    from repro.simulation.vectorized import ENGINE_BACKENDS
 
     print("registered protocols:")
     for name in protocol_names():
         entry = resolve_protocol(name)
         aliases = f" (aliases: {', '.join(entry.aliases)})" if entry.aliases else ""
-        print(f"  {name}{aliases}")
+        backends = "event+vectorized" if entry.has_vectorized else "event"
+        print(f"  {name}{aliases} [backends: {backends}]")
     print("registered failure models:")
     for name in failure_model_names():
         entry = resolve_failure_model(name)
         aliases = f" (aliases: {', '.join(entry.aliases)})" if entry.aliases else ""
         print(f"  {name}{aliases}")
+    vectorized = ", ".join(vectorized_protocol_names())
+    print(f"engine backends (scenario 'simulation.backend'): {', '.join(ENGINE_BACKENDS)}")
+    print(
+        f"  backend='vectorized' needs a protocol with a vectorized engine "
+        f"({vectorized}) and the 'exponential' failure model; "
+        "'auto' falls back to 'event' elsewhere"
+    )
     return 0
 
 
@@ -465,6 +648,200 @@ def _run_scenario(args: argparse.Namespace) -> int:
     return 0
 
 
+def _optimize_spec(args: argparse.Namespace):
+    """The scenario spec behind ``optimize period`` / ``optimize compare``.
+
+    ``--spec`` wins; otherwise the platform/workload flags are assembled
+    into an equivalent in-memory spec, so both entry styles flow through
+    the same :func:`repro.scenario.optimize_scenario` machinery.
+    """
+    from repro.scenario import PlatformSpec, ScenarioSpec, WorkloadSpec
+
+    if args.spec:
+        return ScenarioSpec.load(args.spec)
+    return ScenarioSpec(
+        name="cli-optimize",
+        platform=PlatformSpec(
+            mtbf=args.mtbf,
+            checkpoint=args.checkpoint,
+            recovery=args.recovery,
+            downtime=args.downtime,
+            library_fraction=args.rho,
+            abft_overhead=args.phi,
+        ),
+        workload=WorkloadSpec(total_time=args.t0, alpha=args.alpha),
+    )
+
+
+def _print_period_optimum(optimum) -> None:
+    from repro.utils.units import MINUTE
+
+    if not optimum.periods:
+        print("tunable periods       : none (protocol has no period knob)")
+    for keyword in sorted(optimum.periods):
+        value = optimum.periods[keyword]
+        reference = optimum.closed_form.get(keyword, float("nan"))
+        line = f"{keyword:<22}: "
+        if value != value:  # NaN: infeasible regime
+            line += "n/a (infeasible regime)"
+        else:
+            line += f"{value:.6g} s ({value / MINUTE:.4g} min)"
+        print(line)
+        if reference == reference:
+            error = optimum.relative_error(keyword)
+            print(
+                f"  closed form (Eq. 11): {reference:.6g} s; "
+                f"relative error {error:.2e}"
+            )
+    print(f"minimal model waste   : {optimum.waste:.6f}")
+    print(f"model evaluations     : {optimum.evaluations}")
+    if optimum.flat:
+        print("note: the waste does not depend on the period here "
+              "(zero checkpoint cost)")
+    if not optimum.feasible:
+        print("note: no period makes progress in this regime (waste = 1)")
+
+
+def _run_optimize(args: argparse.Namespace) -> int:
+    from repro.core.registry import UnknownFailureModelError, UnknownProtocolError
+    from repro.scenario import ScenarioError
+    from repro.simulation.vectorized import VectorizedBackendError
+
+    try:
+        if args.optimize_command == "period":
+            return _run_optimize_period(args)
+        if args.optimize_command == "compare":
+            return _run_optimize_compare(args)
+        return _run_optimize_map(args)
+    except (
+        ScenarioError,
+        UnknownProtocolError,
+        UnknownFailureModelError,
+        VectorizedBackendError,
+        ValueError,
+    ) as exc:
+        print(f"error: optimize {args.optimize_command} failed: {exc}", file=sys.stderr)
+        return 2
+
+
+def _run_optimize_period(args: argparse.Namespace) -> int:
+    from repro.optimize import optimize_period, refine_period
+
+    spec = _optimize_spec(args)
+    parameters = spec.parameters()
+    workload = spec.application_workload()
+    optimum = optimize_period(
+        args.protocol,
+        parameters,
+        workload,
+        model_kwargs=spec.model_kwargs_for(args.protocol),
+    )
+    print(f"protocol              : {optimum.protocol}")
+    _print_period_optimum(optimum)
+    if args.refine:
+        refined = refine_period(
+            optimum.protocol,
+            parameters,
+            workload,
+            runs=args.runs,
+            seed=args.seed,
+            backend=args.backend,
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+            resume=args.resume,
+            model_kwargs=spec.model_kwargs_for(args.protocol),
+            analytical=optimum,
+        )
+        if refined.best is None:
+            print("refinement            : skipped (nothing to simulate)")
+        else:
+            print(
+                f"refined periods       : "
+                + ", ".join(
+                    f"{k} = {v:.6g} s"
+                    for k, v in sorted(refined.best.periods.items())
+                )
+                + f" (scale {refined.shift:.4g}x the analytical optimum)"
+            )
+            print(
+                f"simulated waste       : {refined.best.waste_mean:.6f} "
+                f"({refined.runs} runs, seed {refined.seed}; "
+                f"{refined.computed} campaigns computed, "
+                f"{refined.cached} cached)"
+            )
+    return 0
+
+
+def _run_optimize_compare(args: argparse.Namespace) -> int:
+    from repro.optimize.regime import DEFAULT_REGIME_PROTOCOLS
+    from repro.scenario import optimize_scenario
+
+    spec = _optimize_spec(args)
+    protocols = args.protocols
+    if protocols is None and not args.spec:
+        protocols = list(DEFAULT_REGIME_PROTOCOLS)
+    result = optimize_scenario(
+        spec, protocols=tuple(protocols) if protocols is not None else None
+    )
+    print(result.to_table().to_text())
+    winners = sorted({point.winner for point in result.points})
+    print(f"winning protocol(s) over the grid: {', '.join(winners)}")
+    if args.csv:
+        path = result.write_csv(args.csv)
+        print(f"series written to {path}")
+    return 0
+
+
+def _run_optimize_map(args: argparse.Namespace) -> int:
+    from repro.optimize import RegimeMapSpec, compute_regime_map
+    from repro.utils.units import YEAR
+
+    kwargs = {}
+    if args.protocols is not None:
+        kwargs["protocols"] = tuple(args.protocols)
+    spec = RegimeMapSpec(
+        node_counts=tuple(args.nodes),
+        node_mtbf_values=tuple(y * YEAR for y in args.node_mtbf_years),
+        checkpoint_costs=tuple(args.checkpoint),
+        abft_overheads=tuple(args.phi),
+        application_time=args.t0,
+        alpha=args.alpha,
+        library_fraction=args.rho,
+        downtime=args.downtime,
+        simulate=args.simulate,
+        simulation_runs=args.runs,
+        seed=args.seed,
+        backend=args.backend,
+        **kwargs,
+    )
+    regime_map = compute_regime_map(
+        spec,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        resume=args.resume,
+    )
+    print(regime_map.to_ascii())
+    counts = regime_map.winner_counts()
+    print(
+        "cells won: "
+        + ", ".join(f"{name}: {counts[name]}" for name in spec.protocols)
+    )
+    print(
+        f"cells: {len(regime_map.cells)} "
+        f"(computed {regime_map.computed_cells}, "
+        f"reused {regime_map.cached_cells} cached)"
+    )
+    if args.cache_dir:
+        print(f"cache directory: {args.cache_dir}")
+    if args.json:
+        path = regime_map.save(args.json)
+        print(f"map written to {path}")
+    if args.csv:
+        path = regime_map.write_csv(args.csv)
+        print(f"series written to {path}")
+    return 0
+
+
 def _run_abft(args: argparse.Namespace) -> int:
     from repro.abft import measure_overhead
 
@@ -494,6 +871,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_campaign(args)
     if args.command == "scenario":
         return _run_scenario(args)
+    if args.command == "optimize":
+        return _run_optimize(args)
     if args.command == "abft":
         return _run_abft(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover

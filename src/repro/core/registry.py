@@ -23,6 +23,7 @@ written against it keeps working unchanged; new code should prefer
 from __future__ import annotations
 
 import difflib
+import inspect
 from dataclasses import dataclass, field
 from typing import (
     Any,
@@ -132,11 +133,44 @@ class ProtocolEntry:
     #: appears in the ``PROTOCOL_PAIRS`` compatibility view (the NoFT
     #: baseline registers with ``paper=False``).
     paper: bool = True
+    #: Explicit tunable-period constructor keywords (``register_protocol``'s
+    #: ``tunable=`` option).  ``None`` means "introspect the model
+    #: constructor"; see :attr:`period_parameters`.
+    tunable: Optional[Tuple[str, ...]] = None
 
     @property
     def has_vectorized(self) -> bool:
         """Whether a vectorized across-trials engine is registered."""
         return self.vectorized_cls is not None
+
+    @property
+    def period_parameters(self) -> Tuple[str, ...]:
+        """Tunable period keywords shared by the model and the simulator.
+
+        These are the knobs :mod:`repro.optimize` searches over.  Unless the
+        registration pinned them explicitly (``tunable=``), they are
+        discovered from the analytical model's constructor: every
+        keyword-only parameter named ``period`` or ``*_period`` counts
+        (``period_formula`` does not match and is excluded by construction).
+        An empty tuple means the protocol has nothing to optimize -- its
+        model is simply evaluated as-is (the NoFT baseline).
+        """
+        if self.tunable is not None:
+            return self.tunable
+        if self.model_cls is None:
+            return ()
+        try:
+            signature = inspect.signature(self.model_cls.__init__)
+        except (TypeError, ValueError):  # pragma: no cover - C extensions
+            return ()
+        return tuple(
+            parameter.name
+            for parameter in signature.parameters.values()
+            if parameter.kind is inspect.Parameter.KEYWORD_ONLY
+            and (
+                parameter.name == "period" or parameter.name.endswith("_period")
+            )
+        )
 
     @property
     def pair(self) -> Tuple[type, type]:
@@ -213,6 +247,7 @@ def register_protocol(
     kind: str,
     aliases: Tuple[str, ...] = (),
     paper: bool = True,
+    tunable: Optional[Tuple[str, ...]] = None,
 ) -> Callable[[T], T]:
     """Class decorator registering an analytical model or a simulator.
 
@@ -233,6 +268,12 @@ def register_protocol(
     paper:
         Whether the protocol belongs to the paper's headline comparison and
         therefore appears in the ``PROTOCOL_PAIRS`` compatibility view.
+    tunable:
+        Constructor keywords :mod:`repro.optimize` may search over.  Omitted
+        (the common case), they are introspected from the model constructor
+        -- any keyword-only ``period`` / ``*_period`` parameter -- so a newly
+        registered protocol is optimizable without further wiring; pass an
+        explicit tuple (possibly empty) to override the discovery.
 
     Examples
     --------
@@ -253,6 +294,8 @@ def register_protocol(
         else:
             entry.aliases = tuple(dict.fromkeys((*entry.aliases, *aliases)))
             entry.paper = entry.paper and paper
+        if tunable is not None:
+            entry.tunable = tuple(tunable)
         if kind == "model":
             entry.model_cls = cls
         elif kind == "simulator":

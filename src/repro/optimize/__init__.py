@@ -1,0 +1,76 @@
+"""Strategy advisor: numeric period optimization and protocol regime maps.
+
+The paper's comparison only makes sense when every composite strategy runs
+at its *own* optimal period (Equation 11); this package is the layer that
+finds those periods and runs the comparison:
+
+* :mod:`repro.optimize.period` -- derivative-free scalar optimization
+  (scanning bracket + Brent refinement, NumPy-only) of any registered
+  protocol's tunable periods, validated against the Equation 11 closed
+  forms where they exist;
+* :mod:`repro.optimize.refine` -- simulation-backed refinement of the
+  analytical optimum through the Monte-Carlo engine and the campaign
+  executor, resumable via the sweep cache;
+* :mod:`repro.optimize.regime` -- regime maps over the
+  (nodes x per-node MTBF x checkpoint cost x ABFT overhead) grid naming the
+  winning protocol per cell, serialized as deterministic JSON plus the
+  paper-style ASCII crossover tables.
+
+Quick start::
+
+    from repro.optimize import RegimeMapSpec, compute_regime_map
+    from repro.utils.units import MINUTE, YEAR
+
+    spec = RegimeMapSpec(
+        node_counts=(1_000, 10_000, 100_000),
+        node_mtbf_values=(5 * YEAR, 25 * YEAR, 125 * YEAR),
+        checkpoint_costs=(1 * MINUTE, 10 * MINUTE),
+    )
+    regime_map = compute_regime_map(spec, cache_dir="./regime-cache")
+    print(regime_map.to_ascii())
+
+The CLI front door is ``python -m repro.cli optimize {period,compare,map}``;
+see EXPERIMENTS.md ("Strategy optimization and regime maps").
+"""
+
+from repro.optimize.period import (
+    BracketError,
+    PeriodOptimum,
+    ScalarOptimum,
+    bracket_minimum,
+    brent_minimize,
+    closed_form_periods,
+    optimize_period,
+)
+from repro.optimize.refine import (
+    RefineCandidate,
+    RefinedOptimum,
+    refine_period,
+    simulate_at_periods,
+)
+from repro.optimize.regime import (
+    DEFAULT_REGIME_PROTOCOLS,
+    RegimeCell,
+    RegimeMap,
+    RegimeMapSpec,
+    compute_regime_map,
+)
+
+__all__ = [
+    "BracketError",
+    "PeriodOptimum",
+    "ScalarOptimum",
+    "bracket_minimum",
+    "brent_minimize",
+    "closed_form_periods",
+    "optimize_period",
+    "RefineCandidate",
+    "RefinedOptimum",
+    "refine_period",
+    "simulate_at_periods",
+    "DEFAULT_REGIME_PROTOCOLS",
+    "RegimeCell",
+    "RegimeMap",
+    "RegimeMapSpec",
+    "compute_regime_map",
+]

@@ -1,0 +1,542 @@
+"""Derivative-free numeric optimization of checkpoint/composite periods.
+
+The paper evaluates every strategy *at its own optimal period* (Equation 11
+for the periodic protocols); the comparison between strategies is only
+meaningful under that convention.  The closed form exists because Equation 10
+is analytically tractable -- but nothing guarantees a closed form for a
+user-registered protocol, a non-default workload shape or a composite with
+interacting periods.  This module searches numerically instead:
+
+* :func:`brent_minimize` -- bounded scalar minimization by golden-section
+  steps accelerated with successive parabolic interpolation (Brent's method,
+  no scipy dependency);
+* :func:`bracket_minimum` -- robust bracketing by scanning a (log-spaced)
+  grid first, which tolerates the ``waste = 1`` plateaus that surround the
+  feasible period interval (``P <= C`` and ``P >= 2 (mu - D - R)`` both
+  predict no progress, so the objective is flat there and naive bracket
+  expansion stalls);
+* :func:`optimize_period` -- optimize every tunable period of a registered
+  protocol's analytical model (:attr:`ProtocolEntry.period_parameters
+  <repro.core.registry.ProtocolEntry.period_parameters>`) by cyclic
+  coordinate descent, each coordinate solved with the two helpers above.
+
+The objective is the model *waste* (Equation 12), not the final time: waste
+maps the infeasible ``T_final = inf`` regime onto the bounded plateau value
+``1.0``, so the optimizer never propagates infinities.  Where the closed form
+is defined, the numeric optimum agrees with it to near machine precision
+(the property tests pin a much stricter tolerance than the 0.1% the
+acceptance criteria require).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.application.workload import ApplicationWorkload
+from repro.core.analytical.base import ModelPrediction
+from repro.core.analytical.young_daly import paper_optimal_period
+from repro.core.parameters import ResilienceParameters
+from repro.core.registry import resolve_protocol
+
+__all__ = [
+    "BracketError",
+    "ScalarOptimum",
+    "PeriodOptimum",
+    "bracket_minimum",
+    "brent_minimize",
+    "closed_form_periods",
+    "optimize_period",
+]
+
+#: Objective values closer than this to 1.0 count as the infeasible plateau.
+_PLATEAU_TOL = 1e-12
+
+#: Golden ratio constants of the section search.
+_GOLDEN = 0.5 * (3.0 - math.sqrt(5.0))
+
+
+def _period_cost(
+    parameters: ResilienceParameters, keyword: str
+) -> Optional[float]:
+    """The checkpoint cost behind one tunable period keyword, if known.
+
+    The paper's protocols expose ``period`` / ``general_period`` (full
+    checkpoints of cost ``C``) and ``library_period`` (incremental
+    checkpoints of cost ``C_L``); the Eq. 11 reference and the default
+    search bounds both derive from this mapping.  ``None`` for keywords of
+    third-party protocols, which get generic bounds and no closed form.
+    """
+    if keyword in ("period", "general_period"):
+        return parameters.full_checkpoint
+    if keyword == "library_period":
+        return parameters.library_checkpoint
+    return None
+
+
+class BracketError(ValueError):
+    """No descending bracket exists inside the search interval.
+
+    Raised by :func:`bracket_minimum` when every probed point evaluates to
+    the same value (a plateau -- typically the infeasible ``waste = 1``
+    regime, where no period makes progress) or when the interval is
+    degenerate.  :func:`optimize_period` catches it and reports the point as
+    infeasible / flat instead of failing.
+    """
+
+
+@dataclass(frozen=True)
+class ScalarOptimum:
+    """Result of a one-dimensional minimization.
+
+    Attributes
+    ----------
+    x / value:
+        The minimizer and the objective value there.
+    iterations / evaluations:
+        Brent iterations performed and total objective evaluations
+        (bracketing included when done through :func:`optimize_period`).
+    converged:
+        Whether the interval shrank below the requested tolerance before
+        ``max_iter`` ran out.
+    """
+
+    x: float
+    value: float
+    iterations: int
+    evaluations: int
+    converged: bool
+
+
+def bracket_minimum(
+    f: Callable[[float], float],
+    lower: float,
+    upper: float,
+    *,
+    samples: int = 48,
+    log: bool = True,
+) -> Tuple[float, float, float, float, int]:
+    """Find ``a < m < b`` with ``f(m) <= f(a)`` and ``f(m) <= f(b)``.
+
+    Scans ``samples`` points (geometrically spaced when ``log``) across
+    ``[lower, upper]`` and brackets the best one with its neighbours.  The
+    scan is what makes the search robust to the flat ``waste = 1`` plateaus
+    at both ends of the feasible period interval: a classical expanding
+    bracket walks onto a plateau and stalls, while the scan simply lands
+    inside the basin as long as one sample does.
+
+    Returns ``(a, m, b, f(m), evaluations)``.
+
+    Raises
+    ------
+    BracketError
+        If the interval is degenerate (``lower >= upper``), or every sample
+        evaluates to the same value so there is no basin to bracket --
+        callers distinguish the all-plateau case by probing ``f`` once.
+    """
+    if not (math.isfinite(lower) and math.isfinite(upper)) or lower >= upper:
+        raise BracketError(
+            f"degenerate bracket interval [{lower!r}, {upper!r}]"
+        )
+    if samples < 3:
+        raise ValueError(f"samples must be >= 3, got {samples}")
+    if log and lower <= 0.0:
+        log = False
+    if log:
+        ratio = (upper / lower) ** (1.0 / (samples - 1))
+        xs = [lower * ratio**i for i in range(samples)]
+    else:
+        step = (upper - lower) / (samples - 1)
+        xs = [lower + step * i for i in range(samples)]
+    xs[-1] = upper
+    values = [f(x) for x in xs]
+    best = min(range(samples), key=lambda i: (values[i], i))
+    if values[best] >= max(values) - _PLATEAU_TOL:
+        raise BracketError(
+            "objective is flat over the whole search interval "
+            f"[{lower:.6g}, {upper:.6g}] (value {values[best]:.6g})"
+        )
+    a = xs[best - 1] if best > 0 else xs[0]
+    b = xs[best + 1] if best < samples - 1 else xs[-1]
+    return a, xs[best], b, values[best], samples
+
+
+def brent_minimize(
+    f: Callable[[float], float],
+    a: float,
+    b: float,
+    *,
+    rtol: float = 1e-10,
+    atol: float = 1e-12,
+    max_iter: int = 200,
+) -> ScalarOptimum:
+    """Minimize ``f`` on ``[a, b]`` with Brent's bounded method.
+
+    Golden-section steps guarantee linear convergence on any unimodal
+    function; successive parabolic interpolation accelerates it to
+    superlinear near a smooth minimum.  This is the classical safeguarded
+    combination (Brent 1973), the same algorithm scipy's ``bounded`` solver
+    implements -- reimplemented here because the repository deliberately
+    depends on NumPy only.
+    """
+    if not a < b:
+        raise BracketError(f"degenerate bracket interval [{a!r}, {b!r}]")
+    x = w = v = a + _GOLDEN * (b - a)
+    fx = fw = fv = f(x)
+    evaluations = 1
+    delta = delta_prev = 0.0
+    converged = False
+    iterations = 0
+    for iterations in range(1, max_iter + 1):
+        midpoint = 0.5 * (a + b)
+        tol = rtol * abs(x) + atol
+        if abs(x - midpoint) <= 2.0 * tol - 0.5 * (b - a):
+            converged = True
+            break
+        use_golden = True
+        if abs(delta_prev) > tol:
+            # Fit a parabola through (w, fw), (x, fx), (v, fv).
+            r = (x - w) * (fx - fv)
+            q = (x - v) * (fx - fw)
+            p = (x - v) * q - (x - w) * r
+            q = 2.0 * (q - r)
+            if q > 0.0:
+                p = -p
+            q = abs(q)
+            if (
+                abs(p) < abs(0.5 * q * delta_prev)
+                and p > q * (a - x)
+                and p < q * (b - x)
+            ):
+                delta_prev, delta = delta, p / q
+                u = x + delta
+                if u - a < 2.0 * tol or b - u < 2.0 * tol:
+                    delta = tol if midpoint >= x else -tol
+                use_golden = False
+        if use_golden:
+            delta_prev = (b - x) if x < midpoint else (a - x)
+            delta = _GOLDEN * delta_prev
+        u = x + delta if abs(delta) >= tol else x + (tol if delta > 0 else -tol)
+        fu = f(u)
+        evaluations += 1
+        if fu <= fx:
+            if u >= x:
+                a = x
+            else:
+                b = x
+            v, w, x = w, x, u
+            fv, fw, fx = fw, fx, fu
+        else:
+            if u < x:
+                a = u
+            else:
+                b = u
+            if fu <= fw or w == x:
+                v, w = w, u
+                fv, fw = fw, fu
+            elif fu <= fv or v == x or v == w:
+                v, fv = u, fu
+    return ScalarOptimum(
+        x=x, value=fx, iterations=iterations, evaluations=evaluations,
+        converged=converged,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Protocol-level optimization
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class PeriodOptimum:
+    """Numeric optimum of one protocol at one parameter point.
+
+    Attributes
+    ----------
+    protocol:
+        Canonical protocol name.
+    periods:
+        Optimal value per tunable period keyword (empty when the protocol
+        has none, e.g. NoFT; ``nan`` values in the infeasible regime).
+    waste:
+        Minimal model waste (Equation 12) over the searched periods; ``1.0``
+        when no period makes progress.
+    prediction:
+        The model prediction at the optimum (``None`` only in the infeasible
+        regime, where no meaningful period exists to evaluate at).
+    closed_form:
+        Equation 11 reference period per keyword, where one is defined
+        (``nan`` where the closed form has no real solution).
+    evaluations:
+        Total model evaluations spent (bracketing + Brent, all rounds).
+    converged / feasible / flat:
+        Whether every coordinate search converged; whether the optimum makes
+        progress (``waste < 1``); whether the objective was flat in every
+        tunable period (zero checkpoint cost makes the period irrelevant).
+    """
+
+    protocol: str
+    periods: Mapping[str, float]
+    waste: float
+    prediction: Optional[ModelPrediction] = None
+    closed_form: Mapping[str, float] = field(default_factory=dict)
+    evaluations: int = 0
+    converged: bool = True
+    feasible: bool = True
+    flat: bool = False
+
+    def period(self) -> float:
+        """The single optimal period, for protocols with exactly one knob."""
+        if len(self.periods) != 1:
+            raise ValueError(
+                f"protocol {self.protocol!r} has {len(self.periods)} tunable "
+                f"periods ({sorted(self.periods)}), not one"
+            )
+        return next(iter(self.periods.values()))
+
+    def relative_error(self, keyword: str) -> float:
+        """``|numeric - closed form| / closed form`` for one keyword.
+
+        ``nan`` when no closed form is defined there (infeasible regime or
+        zero checkpoint cost).
+        """
+        reference = self.closed_form.get(keyword, math.nan)
+        value = self.periods.get(keyword, math.nan)
+        if not (math.isfinite(reference) and math.isfinite(value)) or reference == 0:
+            return math.nan
+        return abs(value - reference) / reference
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible summary (used by the regime-map serialization)."""
+
+        def jsonable(value: float) -> Optional[float]:
+            return float(value) if math.isfinite(value) else None
+
+        return {
+            "protocol": self.protocol,
+            "periods": {k: jsonable(v) for k, v in sorted(self.periods.items())},
+            "waste": float(self.waste),
+            "closed_form": {
+                k: jsonable(v) for k, v in sorted(self.closed_form.items())
+            },
+            "evaluations": int(self.evaluations),
+            "converged": bool(self.converged),
+            "feasible": bool(self.feasible),
+            "flat": bool(self.flat),
+        }
+
+
+def closed_form_periods(
+    parameters: ResilienceParameters, keywords: Sequence[str]
+) -> Dict[str, float]:
+    """Equation 11 reference period per tunable keyword, where defined.
+
+    The paper's three protocols expose ``period`` / ``general_period``
+    (checkpoint cost ``C``) and ``library_period`` (cost ``C_L``); for those
+    the closed form ``sqrt(2 C (mu - D - R))`` is the exact minimizer of the
+    Equation 10 waste, so it doubles as the validation reference for the
+    numeric search.  Unknown keywords (a third-party protocol's knob) and
+    zero checkpoint costs map to ``nan`` -- no reference, numeric only.
+    """
+    out: Dict[str, float] = {}
+    for keyword in keywords:
+        cost = _period_cost(parameters, keyword)
+        if cost is None or cost <= 0.0:
+            out[keyword] = math.nan
+        else:
+            out[keyword] = paper_optimal_period(
+                cost,
+                parameters.platform_mtbf,
+                parameters.downtime,
+                parameters.full_recovery,
+            )
+    return out
+
+
+def _default_bounds(
+    parameters: ResilienceParameters, keyword: str
+) -> Tuple[float, float]:
+    """Search interval for one period keyword.
+
+    The feasible interval of the Equation 10 waste is
+    ``(C, 2 (mu - D - R))``: shorter periods spend everything checkpointing,
+    longer ones cannot outrun the failure rate.  The default bounds enclose
+    it with margin -- plateaus outside are handled by the scanning bracket --
+    and stay positive even for zero checkpoint cost.
+    """
+    mtbf = parameters.platform_mtbf
+    cost = _period_cost(parameters, keyword) or 0.0
+    lower = max(cost * (1.0 + 1e-9), mtbf * 1e-7)
+    upper = max(4.0 * mtbf, 8.0 * cost, lower * 16.0)
+    return lower, upper
+
+
+def optimize_period(
+    protocol: str,
+    parameters: ResilienceParameters,
+    workload: ApplicationWorkload,
+    *,
+    period_parameters: Optional[Sequence[str]] = None,
+    bounds: Optional[Mapping[str, Tuple[float, float]]] = None,
+    model_kwargs: Optional[Mapping[str, Any]] = None,
+    samples: int = 48,
+    rtol: float = 1e-10,
+    max_rounds: int = 4,
+) -> PeriodOptimum:
+    """Numerically optimize every tunable period of one protocol.
+
+    Parameters
+    ----------
+    protocol:
+        Registered protocol name or alias.
+    parameters / workload:
+        The parameter point and application to optimize at.
+    period_parameters:
+        Tunable constructor keywords to search over; ``None`` uses the
+        registry's discovery (:attr:`ProtocolEntry.period_parameters
+        <repro.core.registry.ProtocolEntry.period_parameters>`), so newly
+        registered protocols are optimizable without extra wiring.
+    bounds:
+        Per-keyword ``(lower, upper)`` search intervals overriding the
+        defaults derived from the parameter scalars.
+    model_kwargs:
+        Extra analytical-model constructor options (e.g. the composite's
+        ``per_epoch=False``); tunable keywords appearing here are fixed at
+        the given value and excluded from the search.
+    samples:
+        Bracketing scan resolution per coordinate (log-spaced).
+    rtol:
+        Relative tolerance of the Brent refinement.
+    max_rounds:
+        Cyclic coordinate-descent rounds for multi-period protocols.  The
+        paper's composites have separable periods (each phase type owns its
+        period), for which a single round is already exact; extra rounds
+        only run while they still improve the waste.
+
+    Returns
+    -------
+    PeriodOptimum
+        Numeric optimum with the Equation 11 references where defined.  In
+        the infeasible regime (e.g. ``mu <= D + R``) every period maps to
+        ``nan``, ``waste`` is 1 and ``feasible`` is False; with a flat
+        objective (zero checkpoint cost) the best scanned point is kept and
+        ``flat`` is True.
+    """
+    entry = resolve_protocol(protocol)
+    if entry.model_cls is None:
+        raise ValueError(f"protocol {entry.name!r} has no analytical model")
+    base_kwargs = dict(model_kwargs or {})
+    keywords = tuple(
+        period_parameters
+        if period_parameters is not None
+        else entry.period_parameters
+    )
+    keywords = tuple(k for k in keywords if k not in base_kwargs)
+
+    def evaluate(periods: Mapping[str, float]) -> ModelPrediction:
+        model = entry.model_cls(parameters, **base_kwargs, **periods)
+        return model.evaluate(workload)
+
+    if not keywords:
+        prediction = evaluate({})
+        return PeriodOptimum(
+            protocol=entry.name,
+            periods={},
+            waste=prediction.waste,
+            prediction=prediction,
+            evaluations=1,
+            feasible=prediction.waste < 1.0,
+        )
+
+    closed_form = closed_form_periods(parameters, keywords)
+    # Start every coordinate at its closed-form reference when defined (the
+    # search then only confirms/refines), else mid-interval.
+    # Reject degenerate user bounds up front: inside the search loop a
+    # degenerate interval is indistinguishable from the waste plateau and
+    # would be silently mislabeled as infeasible/flat.
+    for keyword in keywords:
+        explicit = (bounds or {}).get(keyword)
+        if explicit is not None and not explicit[0] < explicit[1]:
+            raise ValueError(
+                f"degenerate bounds for {keyword!r}: "
+                f"({explicit[0]!r}, {explicit[1]!r})"
+            )
+    current: Dict[str, float] = {}
+    for keyword in keywords:
+        lo, hi = (bounds or {}).get(keyword) or _default_bounds(parameters, keyword)
+        reference = closed_form[keyword]
+        current[keyword] = (
+            reference if math.isfinite(reference) and lo < reference < hi
+            else math.sqrt(lo * hi)
+        )
+
+    evaluations = 0
+    converged = True
+    flat_keywords: set = set()
+    best_waste = math.inf
+    for round_index in range(max_rounds):
+        round_start = best_waste
+        for keyword in keywords:
+            lo, hi = (bounds or {}).get(keyword) or _default_bounds(
+                parameters, keyword
+            )
+
+            def objective(value: float, _keyword: str = keyword) -> float:
+                return evaluate({**current, _keyword: value}).waste
+
+            try:
+                a, m, b, bracket_value, scans = bracket_minimum(
+                    objective, lo, hi, samples=samples
+                )
+            except BracketError:
+                evaluations += samples
+                probe = objective(current[keyword])
+                evaluations += 1
+                if probe >= 1.0 - _PLATEAU_TOL:
+                    # Infeasible plateau: waste is 1 whatever the period.
+                    return PeriodOptimum(
+                        protocol=entry.name,
+                        periods={k: math.nan for k in keywords},
+                        waste=1.0,
+                        prediction=None,
+                        closed_form=closed_form,
+                        evaluations=evaluations,
+                        converged=True,
+                        feasible=False,
+                    )
+                # Flat but feasible (zero checkpoint cost): the period is
+                # irrelevant, keep the current value.
+                flat_keywords.add(keyword)
+                best_waste = min(best_waste, probe)
+                continue
+            evaluations += scans
+            refined = brent_minimize(objective, a, b, rtol=rtol)
+            evaluations += refined.evaluations
+            converged = converged and refined.converged
+            # Brent can only improve on its own bracket midpoint, but guard
+            # against pathological plateaus inside the bracket.
+            if refined.value <= bracket_value:
+                current[keyword] = refined.x
+                best_waste = refined.value
+            else:
+                current[keyword] = m
+                best_waste = bracket_value
+        if len(keywords) == 1:
+            # One knob: the search is deterministic over fixed bounds, so a
+            # second round would redo identical work.
+            break
+        if round_index > 0 and round_start - best_waste <= rtol:
+            break
+
+    prediction = evaluate(current)
+    evaluations += 1
+    return PeriodOptimum(
+        protocol=entry.name,
+        periods=dict(current),
+        waste=prediction.waste,
+        prediction=prediction,
+        closed_form=closed_form,
+        evaluations=evaluations,
+        converged=converged,
+        feasible=prediction.waste < 1.0,
+        flat=bool(flat_keywords) and flat_keywords == set(keywords),
+    )

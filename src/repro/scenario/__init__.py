@@ -45,7 +45,10 @@ from repro.scenario.spec import (
 from repro.scenario.builder import Scenario
 from repro.scenario.runner import (
     ExponentialAssumptionWarning,
+    OptimizedPoint,
+    ScenarioOptimizationResult,
     ScenarioResult,
+    optimize_scenario,
     run_scenario,
     scenario_sweep_job,
 )
@@ -62,7 +65,10 @@ __all__ = [
     "WorkloadSpec",
     "Scenario",
     "ExponentialAssumptionWarning",
+    "OptimizedPoint",
+    "ScenarioOptimizationResult",
     "ScenarioResult",
+    "optimize_scenario",
     "run_scenario",
     "scenario_sweep_job",
 ]

@@ -18,14 +18,21 @@ from __future__ import annotations
 import warnings
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 from repro.campaign.sweep_runner import SweepJob, SweepResult, SweepRunner
 from repro.scenario.spec import ScenarioSpec
 from repro.utils.tables import Table
 from repro.utils.units import MINUTE
 
-__all__ = ["ExponentialAssumptionWarning", "ScenarioResult", "run_scenario"]
+__all__ = [
+    "ExponentialAssumptionWarning",
+    "ScenarioResult",
+    "run_scenario",
+    "OptimizedPoint",
+    "ScenarioOptimizationResult",
+    "optimize_scenario",
+]
 
 
 class ExponentialAssumptionWarning(UserWarning):
@@ -176,3 +183,119 @@ def run_scenario(
     )
     sweep = runner.run(scenario_sweep_job(spec))
     return ScenarioResult(spec=spec, sweep=sweep)
+
+
+# ---------------------------------------------------------------------- #
+# Numeric period optimization over a scenario grid
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class OptimizedPoint:
+    """One grid point of an optimized scenario.
+
+    ``optima`` maps each canonical protocol name to its
+    :class:`~repro.optimize.period.PeriodOptimum`; ``winner`` is the
+    protocol with the lowest optimized waste (ties break towards the
+    scenario's protocol order).
+    """
+
+    mtbf: float
+    alpha: float
+    optima: Dict[str, "object"]
+    winner: str
+
+    def waste(self, protocol: str) -> float:
+        """Minimal waste of one protocol at this point."""
+        return self.optima[protocol].waste
+
+
+@dataclass(frozen=True)
+class ScenarioOptimizationResult:
+    """Per-point numeric optima and winners over a scenario's grid."""
+
+    spec: ScenarioSpec
+    points: Tuple[OptimizedPoint, ...]
+
+    def winner_grid(self) -> Dict[Tuple[float, float], str]:
+        """Map ``(mtbf, alpha) -> winning protocol``."""
+        return {(p.mtbf, p.alpha): p.winner for p in self.points}
+
+    def to_table(self) -> Table:
+        """Paper-style series table: optimal period and waste per protocol."""
+        protocols = self.spec.canonical_protocols
+        headers = ["mtbf_minutes", "alpha", "winner"]
+        headers.extend(f"opt_waste[{name}]" for name in protocols)
+        headers.extend(f"opt_period[{name}]" for name in protocols)
+        table = Table(
+            headers,
+            title=f"optimized {self.spec.describe()}",
+        )
+        for point in self.points:
+            cells: list = [point.mtbf / MINUTE, point.alpha, point.winner]
+            cells.extend(point.optima[name].waste for name in protocols)
+            for name in protocols:
+                periods = point.optima[name].periods
+                finite = [
+                    value
+                    for value in periods.values()
+                    if value == value  # not NaN
+                ]
+                cells.append(min(finite) if finite else float("nan"))
+            table.add_row(cells)
+        return table
+
+    def write_csv(self, path: "str | Path") -> Path:
+        """Write the series table as CSV."""
+        return self.to_table().write(path)
+
+
+def optimize_scenario(
+    spec: ScenarioSpec,
+    *,
+    protocols: Optional[Tuple[str, ...]] = None,
+    rtol: float = 1e-10,
+) -> ScenarioOptimizationResult:
+    """Numerically optimize every protocol over a scenario's sweep grid.
+
+    For each ``(mtbf, alpha)`` grid point of the spec, every protocol's
+    tunable periods are optimized with
+    :func:`repro.optimize.period.optimize_period` (honouring the spec's
+    ``model_params``, e.g. the composite's ``per_epoch=False``) and the
+    protocol with the lowest optimized waste is named the point's winner.
+
+    This is the analytical strategy advisor behind ``optimize compare``;
+    Monte-Carlo refinement and the four-axis regime maps live in
+    :mod:`repro.optimize.refine` / :mod:`repro.optimize.regime`.
+    """
+    from repro.core.registry import resolve_protocol
+    from repro.optimize.period import optimize_period
+
+    names = tuple(
+        resolve_protocol(name).name
+        for name in (protocols if protocols is not None else spec.protocols)
+    )
+    points: list[OptimizedPoint] = []
+    for mtbf in spec.mtbf_axis:
+        parameters = spec.parameters(mtbf)
+        for alpha in spec.alpha_axis:
+            workload = spec.application_workload(alpha)
+            optima = {
+                name: optimize_period(
+                    name,
+                    parameters,
+                    workload,
+                    model_kwargs=spec.model_kwargs_for(name),
+                    rtol=rtol,
+                )
+                for name in names
+            }
+            winner = min(names, key=lambda name: (optima[name].waste,))
+            points.append(
+                OptimizedPoint(
+                    mtbf=float(mtbf),
+                    alpha=float(alpha),
+                    optima=optima,
+                    winner=winner,
+                )
+            )
+    result_spec = spec if protocols is None else spec.replace(protocols=names)
+    return ScenarioOptimizationResult(spec=result_spec, points=tuple(points))

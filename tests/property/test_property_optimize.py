@@ -1,0 +1,111 @@
+"""Property tests: the numeric optimizer agrees with the closed forms.
+
+Equation 11's ``P_opt = sqrt(2 C (mu - D - R))`` is the exact minimizer of
+the Equation 10 waste, so over any parameter point where the closed form is
+defined and the regime is feasible, the numeric search must land on it --
+the acceptance bar is 0.1% relative error, asserted here across a
+hypothesis-drawn platform range (and to a much tighter tolerance on the
+waste itself, which is flat to first order around the optimum).
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro import ApplicationWorkload, ResilienceParameters
+from repro.core.analytical.young_daly import paper_optimal_period
+from repro.optimize import optimize_period
+from repro.utils import HOUR, MINUTE
+
+# Plausible HPC platforms: MTBF from 30 minutes to 10 days, checkpoints from
+# 10 seconds to 20 minutes (same ranges as the analytical property suite).
+mtbfs = st.floats(min_value=30 * MINUTE, max_value=240 * HOUR)
+checkpoints = st.floats(min_value=10.0, max_value=20 * MINUTE)
+alphas = st.floats(min_value=0.0, max_value=1.0)
+durations = st.floats(min_value=10 * HOUR, max_value=2000 * HOUR)
+
+
+def _params(mtbf: float, checkpoint: float) -> ResilienceParameters:
+    return ResilienceParameters.from_scalars(
+        platform_mtbf=mtbf,
+        checkpoint=checkpoint,
+        recovery=checkpoint,
+        downtime=60.0,
+        library_fraction=0.8,
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(mtbf=mtbfs, checkpoint=checkpoints, alpha=alphas, total=durations)
+def test_pure_periodic_numeric_matches_eq11(mtbf, checkpoint, alpha, total):
+    params = _params(mtbf, checkpoint)
+    reference = paper_optimal_period(
+        checkpoint, mtbf, params.downtime, params.full_recovery
+    )
+    # Only compare where the closed form exists and the optimum is interior
+    # (a feasible basin strictly wider than the checkpoint cost).
+    assume(not math.isnan(reference) and reference > checkpoint * 1.01)
+    workload = ApplicationWorkload.single_epoch(total, alpha, library_fraction=0.8)
+    optimum = optimize_period("PurePeriodicCkpt", params, workload)
+    if not optimum.feasible:
+        # Feasibility must then agree with the model at the closed form.
+        from repro.core.registry import resolve_protocol
+
+        model = resolve_protocol("PurePeriodicCkpt").model_cls(params)
+        assert model.waste(workload) == 1.0
+        return
+    assert optimum.relative_error("period") < 1e-3
+    # The waste at the numeric optimum can only match or beat Eq. 11's.
+    from repro.core.registry import resolve_protocol
+
+    closed_waste = (
+        resolve_protocol("PurePeriodicCkpt")
+        .model_cls(params, period=reference)
+        .waste(workload)
+    )
+    assert optimum.waste <= closed_waste + 1e-12
+
+
+@settings(max_examples=25, deadline=None)
+@given(mtbf=mtbfs, checkpoint=checkpoints, alpha=alphas, total=durations)
+def test_bi_periodic_numeric_matches_both_closed_forms(
+    mtbf, checkpoint, alpha, total
+):
+    params = _params(mtbf, checkpoint)
+    general = paper_optimal_period(
+        checkpoint, mtbf, params.downtime, params.full_recovery
+    )
+    library = paper_optimal_period(
+        params.library_checkpoint, mtbf, params.downtime, params.full_recovery
+    )
+    assume(not math.isnan(general) and general > checkpoint * 1.01)
+    assume(library > params.library_checkpoint * 1.01)
+    workload = ApplicationWorkload.single_epoch(total, alpha, library_fraction=0.8)
+    optimum = optimize_period("BiPeriodicCkpt", params, workload)
+    assume(optimum.feasible)
+    # Each phase owns its period, so both must land on their closed forms --
+    # provided the phase contributes meaningfully to the waste.  A phase of
+    # near-zero duration (alpha ~ 0 or ~ 1) moves the objective by less than
+    # float resolution, so its period is numerically unconstrained there.
+    if workload.total_general_time > 0.01 * total:
+        assert optimum.relative_error("general_period") < 1e-3
+    if workload.total_library_time > 0.01 * total:
+        assert optimum.relative_error("library_period") < 1e-3
+
+
+@settings(max_examples=40, deadline=None)
+@given(mtbf=mtbfs, checkpoint=checkpoints, total=durations)
+def test_optimum_is_no_worse_than_any_probe(mtbf, checkpoint, total):
+    """The numeric optimum is a minimum: probing around it cannot improve."""
+    from repro.core.registry import resolve_protocol
+
+    params = _params(mtbf, checkpoint)
+    workload = ApplicationWorkload.single_epoch(total, 0.8, library_fraction=0.8)
+    optimum = optimize_period("PurePeriodicCkpt", params, workload)
+    assume(optimum.feasible)
+    model_cls = resolve_protocol("PurePeriodicCkpt").model_cls
+    for factor in (0.9, 0.99, 1.01, 1.1):
+        probe = model_cls(params, period=optimum.period() * factor).waste(workload)
+        assert optimum.waste <= probe + 1e-12

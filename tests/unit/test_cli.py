@@ -394,3 +394,159 @@ class TestScenarioBackendFlag:
         captured = capsys.readouterr()
         assert exit_code == 2
         assert "vectorized" in captured.err
+
+
+class TestScenarioListBackends:
+    def test_lists_failure_models_and_backend_support(self, capsys):
+        exit_code = main(["scenario", "list"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        # Failure models stay listed, and every protocol line now names its
+        # engine backends so users can pick a valid backend= without
+        # reading source.
+        assert "registered failure models:" in captured
+        assert "lognormal" in captured
+        assert "PurePeriodicCkpt (aliases: pure, pure-periodic) " \
+               "[backends: event+vectorized]" in captured
+        assert "BiPeriodicCkpt (aliases: bi, bi-periodic) " \
+               "[backends: event]" in captured
+        assert "engine backends (scenario 'simulation.backend'): " \
+               "event, vectorized, auto" in captured
+        assert "'exponential' failure model" in captured
+
+
+class TestOptimizeCommand:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["optimize"])
+
+    def test_period_flags(self):
+        args = build_parser().parse_args(
+            [
+                "optimize", "period", "--protocol", "pure", "--mtbf", "7200",
+                "--checkpoint", "600", "--refine", "--runs", "50",
+                "--backend", "vectorized", "--workers", "2",
+                "--cache-dir", "/tmp/x", "--resume",
+            ]
+        )
+        assert args.command == "optimize"
+        assert args.optimize_command == "period"
+        assert args.protocol == "pure" and args.refine
+        assert args.runs == 50 and args.backend == "vectorized"
+        assert args.workers == 2 and args.resume
+
+    def test_period_prints_closed_form_agreement(self, capsys):
+        exit_code = main(
+            ["optimize", "period", "--protocol", "PurePeriodicCkpt",
+             "--mtbf", "7200", "--checkpoint", "600", "--t0", "86400"]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "closed form (Eq. 11)" in captured
+        assert "minimal model waste" in captured
+        # Acceptance bar: <= 0.1% relative error against Eq. 11.
+        import re
+
+        match = re.search(r"relative error ([0-9.e+-]+)", captured)
+        assert match is not None
+        assert float(match.group(1)) <= 1e-3
+
+    def test_period_infeasible_regime(self, capsys):
+        exit_code = main(
+            ["optimize", "period", "--protocol", "pure",
+             "--mtbf", "600", "--checkpoint", "600", "--t0", "86400"]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "infeasible" in captured
+
+    def test_period_unknown_protocol_exits_2(self, capsys):
+        exit_code = main(["optimize", "period", "--protocol", "PureCkptt"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "did you mean" in captured.err
+
+    def test_period_refine_with_cache(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        args = [
+            "optimize", "period", "--protocol", "pure", "--t0", "86400",
+            "--refine", "--runs", "10", "--backend", "auto",
+            "--cache-dir", cache_dir, "--resume",
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "refined periods" in first and "simulated waste" in first
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "0 campaigns computed" in second
+
+    def test_compare_names_a_winner(self, capsys):
+        exit_code = main(["optimize", "compare", "--t0", "86400"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "winning protocol(s) over the grid:" in captured
+        assert "opt_waste[NoFT]" in captured
+
+    def test_compare_from_spec_csv(self, tmp_path, capsys):
+        spec_path = TestScenarioCommand.write_spec(tmp_path)
+        csv_path = tmp_path / "compare.csv"
+        exit_code = main(
+            ["optimize", "compare", "--spec", spec_path, "--csv", str(csv_path)]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert csv_path.exists()
+        assert "winner" in csv_path.read_text()
+
+    def test_map_flags(self):
+        args = build_parser().parse_args(
+            [
+                "optimize", "map", "--nodes", "1000", "100000",
+                "--node-mtbf-years", "5", "125", "--checkpoint", "600",
+                "--phi", "1.03", "--simulate", "--runs", "8",
+                "--workers", "2", "--resume", "--json", "/tmp/map.json",
+            ]
+        )
+        assert args.optimize_command == "map"
+        assert args.nodes == [1000, 100000]
+        assert args.node_mtbf_years == [5.0, 125.0]
+        assert args.simulate and args.resume and args.workers == 2
+
+    def test_map_model_only_round_trip(self, tmp_path, capsys):
+        json_path = tmp_path / "map.json"
+        cache_dir = str(tmp_path / "cache")
+        args = [
+            "optimize", "map", "--nodes", "1000", "100000",
+            "--node-mtbf-years", "5", "125", "--t0", "86400",
+            "--cache-dir", cache_dir, "--resume", "--json", str(json_path),
+        ]
+        assert main(args) == 0
+        first_out = capsys.readouterr().out
+        assert "winning protocol" in first_out
+        assert "computed 4, reused 0 cached" in first_out
+        first_map = json_path.read_text()
+
+        # Resumed re-run: all cells cached, identical winners and bytes.
+        assert main(args) == 0
+        second_out = capsys.readouterr().out
+        assert "computed 0, reused 4 cached" in second_out
+        assert json_path.read_text() == first_map
+
+    def test_map_csv(self, tmp_path, capsys):
+        csv_path = tmp_path / "map.csv"
+        exit_code = main(
+            ["optimize", "map", "--nodes", "1000", "--node-mtbf-years", "25",
+             "--t0", "86400", "--csv", str(csv_path)]
+        )
+        assert exit_code == 0
+        assert csv_path.exists()
+        assert "winner" in csv_path.read_text()
+
+    def test_map_rejects_bad_phi(self, capsys):
+        exit_code = main(
+            ["optimize", "map", "--nodes", "1000", "--node-mtbf-years", "25",
+             "--phi", "0.5"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "phi" in captured.err

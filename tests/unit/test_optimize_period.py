@@ -1,0 +1,249 @@
+"""Unit tests for the numeric period optimizer (repro.optimize.period)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import ApplicationWorkload, ResilienceParameters
+from repro.core.analytical.young_daly import paper_optimal_period
+from repro.core.registry import resolve_protocol
+from repro.optimize import (
+    BracketError,
+    bracket_minimum,
+    brent_minimize,
+    closed_form_periods,
+    optimize_period,
+)
+from repro.utils import MINUTE
+
+
+class TestBrentMinimize:
+    def test_quadratic_minimum(self):
+        result = brent_minimize(lambda x: (x - 3.25) ** 2, 0.0, 10.0)
+        assert result.converged
+        assert result.x == pytest.approx(3.25, rel=1e-8)
+        assert result.value == pytest.approx(0.0, abs=1e-12)
+
+    def test_asymmetric_unimodal(self):
+        result = brent_minimize(lambda x: x + 4.0 / x, 0.1, 50.0)
+        assert result.x == pytest.approx(2.0, rel=1e-7)
+
+    def test_degenerate_interval_raises(self):
+        with pytest.raises(BracketError):
+            brent_minimize(lambda x: x * x, 2.0, 2.0)
+
+    def test_minimum_at_boundary(self):
+        result = brent_minimize(lambda x: x, 1.0, 9.0)
+        assert result.x == pytest.approx(1.0, abs=1e-6)
+
+
+class TestBracketMinimum:
+    def test_brackets_the_basin(self):
+        objective = lambda x: (math.log(x) - 2.0) ** 2
+        a, m, b, value, evaluations = bracket_minimum(objective, 0.01, 1000.0)
+        assert a <= math.e**2 <= b
+        assert a <= m <= b
+        assert value == objective(m)
+        assert evaluations >= 3
+
+    def test_plateau_raises(self):
+        with pytest.raises(BracketError):
+            bracket_minimum(lambda x: 1.0, 0.1, 100.0)
+
+    def test_degenerate_interval_raises(self):
+        with pytest.raises(BracketError):
+            bracket_minimum(lambda x: x, 5.0, 5.0)
+        with pytest.raises(BracketError):
+            bracket_minimum(lambda x: x, 5.0, 1.0)
+
+
+class TestOptimizePeriod:
+    def test_pure_periodic_matches_eq11(self, paper_parameters, paper_workload):
+        optimum = optimize_period(
+            "PurePeriodicCkpt", paper_parameters, paper_workload
+        )
+        reference = paper_optimal_period(
+            paper_parameters.full_checkpoint,
+            paper_parameters.platform_mtbf,
+            paper_parameters.downtime,
+            paper_parameters.full_recovery,
+        )
+        assert optimum.feasible and optimum.converged
+        # The acceptance bar is 0.1%; the optimizer does far better.
+        assert optimum.period() == pytest.approx(reference, rel=1e-6)
+        assert optimum.relative_error("period") < 1e-3
+        assert 0.0 < optimum.waste < 1.0
+        assert optimum.prediction is not None
+        assert optimum.prediction.waste == optimum.waste
+
+    def test_bi_periodic_both_periods_match(self, paper_parameters, paper_workload):
+        optimum = optimize_period(
+            "BiPeriodicCkpt", paper_parameters, paper_workload
+        )
+        assert set(optimum.periods) == {"general_period", "library_period"}
+        for keyword in optimum.periods:
+            assert optimum.relative_error(keyword) < 1e-3
+
+    def test_accepts_aliases(self, paper_parameters, paper_workload):
+        optimum = optimize_period("pure", paper_parameters, paper_workload)
+        assert optimum.protocol == "PurePeriodicCkpt"
+
+    def test_no_tunable_period_protocol(self, paper_parameters, paper_workload):
+        optimum = optimize_period("NoFT", paper_parameters, paper_workload)
+        assert optimum.periods == {}
+        assert optimum.evaluations == 1
+        # The one-week workload at a two-hour MTBF is hopeless without FT.
+        assert optimum.waste == 1.0 and not optimum.feasible
+
+    def test_infeasible_mtbf_below_downtime_plus_recovery(self, paper_workload):
+        # mu <= D + R: Equation 11 has no real solution and no period works.
+        parameters = ResilienceParameters.from_scalars(
+            platform_mtbf=600.0, checkpoint=600.0, recovery=600.0, downtime=60.0
+        )
+        optimum = optimize_period("PurePeriodicCkpt", parameters, paper_workload)
+        assert not optimum.feasible
+        assert optimum.waste == 1.0
+        assert math.isnan(optimum.periods["period"])
+        assert math.isnan(optimum.closed_form["period"])
+        assert optimum.prediction is None
+
+    def test_zero_checkpoint_cost_is_flat(self, paper_workload):
+        # C = 0: the period is irrelevant (Equation 10 drops it), so the
+        # objective is flat and feasible; no closed form exists (Eq. 11
+        # requires C > 0).
+        parameters = ResilienceParameters.from_scalars(
+            platform_mtbf=120 * MINUTE, checkpoint=0.0, recovery=0.0, downtime=60.0
+        )
+        optimum = optimize_period("PurePeriodicCkpt", parameters, paper_workload)
+        assert optimum.flat
+        assert optimum.feasible
+        assert 0.0 < optimum.waste < 1.0
+        assert math.isnan(optimum.closed_form["period"])
+
+    def test_explicit_bounds_and_fixed_kwarg(self, paper_parameters, paper_workload):
+        reference = paper_optimal_period(
+            paper_parameters.full_checkpoint,
+            paper_parameters.platform_mtbf,
+            paper_parameters.downtime,
+            paper_parameters.full_recovery,
+        )
+        optimum = optimize_period(
+            "PurePeriodicCkpt",
+            paper_parameters,
+            paper_workload,
+            bounds={"period": (reference * 0.5, reference * 2.0)},
+        )
+        assert optimum.period() == pytest.approx(reference, rel=1e-6)
+        # A tunable keyword pinned through model_kwargs is excluded from the
+        # search: nothing remains to optimize.
+        pinned = optimize_period(
+            "PurePeriodicCkpt",
+            paper_parameters,
+            paper_workload,
+            model_kwargs={"period": reference * 2.0},
+        )
+        assert pinned.periods == {}
+
+    def test_optimum_beats_off_optimal_periods(
+        self, paper_parameters, paper_workload
+    ):
+        optimum = optimize_period(
+            "PurePeriodicCkpt", paper_parameters, paper_workload
+        )
+        model_cls = resolve_protocol("PurePeriodicCkpt").model_cls
+        for factor in (0.25, 0.5, 2.0, 4.0):
+            off = model_cls(
+                paper_parameters, period=optimum.period() * factor
+            ).waste(paper_workload)
+            assert optimum.waste <= off + 1e-12
+
+    def test_composite_general_period_matches_eq11(
+        self, paper_parameters, paper_workload
+    ):
+        optimum = optimize_period(
+            "ABFT&PeriodicCkpt", paper_parameters, paper_workload
+        )
+        assert set(optimum.periods) == {"general_period"}
+        assert optimum.relative_error("general_period") < 1e-3
+
+    def test_to_dict_is_json_compatible(self, paper_parameters, paper_workload):
+        import json
+
+        optimum = optimize_period(
+            "PurePeriodicCkpt", paper_parameters, paper_workload
+        )
+        payload = json.dumps(optimum.to_dict())
+        assert json.loads(payload)["protocol"] == "PurePeriodicCkpt"
+
+    def test_period_accessor_requires_single_knob(
+        self, paper_parameters, paper_workload
+    ):
+        optimum = optimize_period(
+            "BiPeriodicCkpt", paper_parameters, paper_workload
+        )
+        with pytest.raises(ValueError):
+            optimum.period()
+
+
+class TestClosedFormPeriods:
+    def test_known_keywords(self, paper_parameters):
+        reference = closed_form_periods(
+            paper_parameters, ("period", "general_period", "library_period")
+        )
+        full = paper_optimal_period(
+            paper_parameters.full_checkpoint,
+            paper_parameters.platform_mtbf,
+            paper_parameters.downtime,
+            paper_parameters.full_recovery,
+        )
+        library = paper_optimal_period(
+            paper_parameters.library_checkpoint,
+            paper_parameters.platform_mtbf,
+            paper_parameters.downtime,
+            paper_parameters.full_recovery,
+        )
+        assert reference["period"] == full
+        assert reference["general_period"] == full
+        assert reference["library_period"] == library
+
+    def test_unknown_keyword_maps_to_nan(self, paper_parameters):
+        assert math.isnan(
+            closed_form_periods(paper_parameters, ("exotic_knob",))["exotic_knob"]
+        )
+
+
+class TestRegistryPeriodParameters:
+    def test_builtin_discovery(self):
+        assert resolve_protocol("PurePeriodicCkpt").period_parameters == ("period",)
+        assert resolve_protocol("BiPeriodicCkpt").period_parameters == (
+            "general_period",
+            "library_period",
+        )
+        assert resolve_protocol("ABFT&PeriodicCkpt").period_parameters == (
+            "general_period",
+        )
+        assert resolve_protocol("NoFT").period_parameters == ()
+
+    def test_period_formula_is_not_tunable(self):
+        for name in ("PurePeriodicCkpt", "BiPeriodicCkpt", "ABFT&PeriodicCkpt"):
+            assert "period_formula" not in resolve_protocol(name).period_parameters
+
+    def test_explicit_tunable_override(self):
+        from repro.core.registry import ProtocolEntry
+
+        entry = ProtocolEntry(name="X", tunable=("my_period",))
+        assert entry.period_parameters == ("my_period",)
+
+
+class TestDegenerateBounds:
+    def test_rejected_up_front(self, paper_parameters, paper_workload):
+        for bad in ((100.0, 100.0), (200.0, 100.0)):
+            with pytest.raises(ValueError, match="degenerate bounds"):
+                optimize_period(
+                    "PurePeriodicCkpt",
+                    paper_parameters,
+                    paper_workload,
+                    bounds={"period": bad},
+                )

@@ -1,0 +1,192 @@
+"""Unit tests for regime maps (repro.optimize.regime)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.optimize import (
+    DEFAULT_REGIME_PROTOCOLS,
+    RegimeMap,
+    RegimeMapSpec,
+    compute_regime_map,
+)
+from repro.utils import DAY, MINUTE, YEAR
+
+
+@pytest.fixture
+def small_spec() -> RegimeMapSpec:
+    return RegimeMapSpec(
+        node_counts=(1_000, 100_000),
+        node_mtbf_values=(5 * YEAR, 125 * YEAR),
+        checkpoint_costs=(10 * MINUTE,),
+        abft_overheads=(1.03,),
+        application_time=1 * DAY,
+    )
+
+
+class TestRegimeMapSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            RegimeMapSpec(node_counts=(), node_mtbf_values=(5 * YEAR,))
+        with pytest.raises(ValueError, match="positive"):
+            RegimeMapSpec(node_counts=(0,), node_mtbf_values=(5 * YEAR,))
+        with pytest.raises(ValueError, match="phi"):
+            RegimeMapSpec(
+                node_counts=(10,),
+                node_mtbf_values=(5 * YEAR,),
+                abft_overheads=(0.5,),
+            )
+        with pytest.raises(ValueError, match="backend"):
+            RegimeMapSpec(
+                node_counts=(10,), node_mtbf_values=(5 * YEAR,), backend="gpu"
+            )
+
+    def test_unknown_protocol_raises_with_suggestion(self):
+        from repro.core.registry import UnknownProtocolError
+
+        with pytest.raises(UnknownProtocolError, match="did you mean"):
+            RegimeMapSpec(
+                node_counts=(10,),
+                node_mtbf_values=(5 * YEAR,),
+                protocols=("PurePeriodikCkpt",),
+            )
+
+    def test_aliases_canonicalized(self):
+        spec = RegimeMapSpec(
+            node_counts=(10,),
+            node_mtbf_values=(5 * YEAR,),
+            protocols=("pure", "abft"),
+        )
+        assert spec.protocols == ("PurePeriodicCkpt", "ABFT&PeriodicCkpt")
+
+    def test_platform_mtbf_scales_inversely_with_nodes(self, small_spec):
+        parameters = small_spec.parameters_at(1_000, 5 * YEAR, 600.0, 1.03)
+        assert parameters.platform_mtbf == pytest.approx(5 * YEAR / 1_000)
+
+    def test_cell_count_and_order(self, small_spec):
+        coords = list(small_spec.coordinates())
+        assert len(coords) == small_spec.cell_count == 4
+        # nodes-major ordering
+        assert coords[0][0] == coords[1][0] == 1_000
+        assert coords[2][0] == coords[3][0] == 100_000
+
+
+class TestComputeRegimeMap:
+    def test_crossover_narrative(self, small_spec):
+        regime_map = compute_regime_map(small_spec)
+        winners = regime_map.winners()
+        # Small, reliable platform: protection is pure overhead, NoFT wins.
+        assert winners[(1_000, 125 * YEAR, 10 * MINUTE, 1.03)] == "NoFT"
+        # Large, failure-dominated platform: the composite strategy wins.
+        assert (
+            winners[(100_000, 5 * YEAR, 10 * MINUTE, 1.03)] == "ABFT&PeriodicCkpt"
+        )
+        counts = regime_map.winner_counts()
+        assert sum(counts.values()) == len(regime_map.cells)
+        assert set(counts) == set(DEFAULT_REGIME_PROTOCOLS)
+
+    def test_numeric_optima_match_closed_forms(self, small_spec):
+        # Equation 11 is the exact minimizer for the purely periodic
+        # protocols.  (The composite is excluded on purpose: when a GENERAL
+        # phase is shorter than the closed-form period, its model switches
+        # to the short-phase branch, which can beat periodic checkpointing
+        # outright -- the numeric optimizer then correctly lands in that
+        # region instead of on Eq. 11.)
+        regime_map = compute_regime_map(small_spec)
+        checked = 0
+        for cell in regime_map.cells:
+            for name in ("PurePeriodicCkpt", "BiPeriodicCkpt"):
+                entry = cell.results[name]
+                for keyword, value in (entry["periods"] or {}).items():
+                    reference = (entry["closed_form"] or {}).get(keyword)
+                    if value is None or reference is None:
+                        continue
+                    assert abs(value - reference) / reference <= 1e-3
+                    checked += 1
+        assert checked > 0
+
+    def test_deterministic_json(self, small_spec):
+        first = compute_regime_map(small_spec)
+        second = compute_regime_map(small_spec)
+        assert first.to_json() == second.to_json()
+        json.loads(first.to_json())  # strict JSON, no NaN/Infinity tokens
+
+    def test_json_round_trip(self, small_spec, tmp_path):
+        regime_map = compute_regime_map(small_spec)
+        path = regime_map.save(tmp_path / "map.json")
+        loaded = RegimeMap.load(path)
+        assert loaded.to_json() == regime_map.to_json()
+        assert loaded.winners() == regime_map.winners()
+
+    def test_resume_reuses_cells_and_keeps_winners(self, small_spec, tmp_path):
+        first = compute_regime_map(small_spec, cache_dir=tmp_path)
+        assert first.computed_cells == 4 and first.cached_cells == 0
+        second = compute_regime_map(small_spec, cache_dir=tmp_path)
+        assert second.computed_cells == 0 and second.cached_cells == 4
+        assert second.to_json() == first.to_json()
+
+    def test_cache_key_separates_specs(self, small_spec, tmp_path):
+        compute_regime_map(small_spec, cache_dir=tmp_path)
+        different = small_spec.replace(alpha=0.5)
+        result = compute_regime_map(different, cache_dir=tmp_path)
+        assert result.computed_cells == 4  # nothing reused across specs
+
+    def test_simulated_map_validates_ranking(self, tmp_path):
+        spec = RegimeMapSpec(
+            node_counts=(1_000, 100_000),
+            node_mtbf_values=(5 * YEAR, 125 * YEAR),
+            checkpoint_costs=(10 * MINUTE,),
+            application_time=1 * DAY,
+            protocols=("NoFT", "PurePeriodicCkpt"),
+            simulate=True,
+            simulation_runs=12,
+            seed=2014,
+            backend="auto",
+        )
+        first = compute_regime_map(spec, cache_dir=tmp_path, workers=2)
+        second = compute_regime_map(spec, cache_dir=tmp_path, workers=2)
+        assert second.computed_cells == 0
+        assert second.to_json() == first.to_json()
+        for cell in first.cells:
+            for entry in cell.results.values():
+                assert "simulated_waste" in entry
+
+    def test_rendering(self, small_spec, tmp_path):
+        regime_map = compute_regime_map(small_spec)
+        ascii_text = regime_map.to_ascii()
+        assert "winning protocol" in ascii_text
+        assert "ABFT&PC" in ascii_text
+        table = regime_map.to_table()
+        assert "waste[NoFT]" in table.headers
+        csv_path = regime_map.write_csv(tmp_path / "map.csv")
+        assert csv_path.exists()
+        assert "winner" in csv_path.read_text()
+
+    def test_cell_at_unknown_coordinates(self, small_spec):
+        regime_map = compute_regime_map(small_spec)
+        with pytest.raises(KeyError):
+            regime_map.cell_at(7, 1.0, 1.0, 1.0)
+
+
+class TestCacheKeyOrder:
+    def test_reordered_protocols_do_not_share_cells(self, tmp_path):
+        # The protocol order is the winner tie-break, so a cache entry
+        # written under one order must not be served for another.
+        base = dict(
+            node_counts=(1_000,),
+            node_mtbf_values=(125 * YEAR,),
+            checkpoint_costs=(10 * MINUTE,),
+            application_time=1 * DAY,
+        )
+        first = compute_regime_map(
+            RegimeMapSpec(protocols=("NoFT", "PurePeriodicCkpt"), **base),
+            cache_dir=tmp_path,
+        )
+        second = compute_regime_map(
+            RegimeMapSpec(protocols=("PurePeriodicCkpt", "NoFT"), **base),
+            cache_dir=tmp_path,
+        )
+        assert first.computed_cells == 1
+        assert second.computed_cells == 1  # not served from the other order

@@ -300,3 +300,68 @@ class TestValidationGuard:
         point = validate_spec(spec, "abft", runs=10)
         assert point.protocol == "ABFT&PeriodicCkpt"
         assert point.has_model_column
+
+
+class TestOptimizeScenario:
+    """The ScenarioSpec-consuming entry point of the strategy advisor."""
+
+    def test_optimizes_every_grid_point(self):
+        from repro.scenario import optimize_scenario
+
+        spec = quick_scenario()
+        result = optimize_scenario(spec)
+        assert len(result.points) == len(spec.mtbf_axis) * len(spec.alpha_axis)
+        for point in result.points:
+            assert set(point.optima) == set(spec.canonical_protocols)
+            assert point.winner in spec.canonical_protocols
+            best = min(point.optima.values(), key=lambda o: o.waste)
+            assert point.optima[point.winner].waste == best.waste
+
+    def test_numeric_periods_match_closed_forms(self):
+        from repro.scenario import optimize_scenario
+
+        spec = quick_scenario().replace(protocols=("PurePeriodicCkpt",))
+        result = optimize_scenario(spec)
+        for point in result.points:
+            optimum = point.optima["PurePeriodicCkpt"]
+            if optimum.feasible and not optimum.flat:
+                assert optimum.relative_error("period") < 1e-3
+
+    def test_protocol_override_and_aliases(self):
+        from repro.scenario import optimize_scenario
+
+        result = optimize_scenario(quick_scenario(), protocols=("pure", "none"))
+        assert result.spec.canonical_protocols == ("PurePeriodicCkpt", "NoFT")
+        assert all(
+            set(point.optima) == {"PurePeriodicCkpt", "NoFT"}
+            for point in result.points
+        )
+
+    def test_honours_model_params(self):
+        from repro.scenario import optimize_scenario
+
+        spec = quick_scenario().replace(
+            protocols=("ABFT&PeriodicCkpt",),
+            model_params=(("ABFT&PeriodicCkpt", (("per_epoch", False),)),),
+        )
+        result = optimize_scenario(spec)  # must not raise: kwargs forwarded
+        assert result.points
+
+    def test_table_and_csv(self, tmp_path):
+        from repro.scenario import optimize_scenario
+
+        result = optimize_scenario(quick_scenario())
+        text = result.to_table().to_text()
+        assert "winner" in text and "opt_waste[PurePeriodicCkpt]" in text
+        path = result.write_csv(tmp_path / "optimized.csv")
+        assert path.exists()
+        assert "opt_period[PurePeriodicCkpt]" in path.read_text()
+
+    def test_winner_grid_shape(self):
+        from repro.scenario import optimize_scenario
+
+        spec = quick_scenario()
+        grid = optimize_scenario(spec).winner_grid()
+        assert set(grid) == {
+            (m, a) for m in spec.mtbf_axis for a in spec.alpha_axis
+        }

@@ -95,3 +95,73 @@ class TestGeneratorForTrialFastPath:
         a = streams.generator_for_trial(0).random()
         b = streams.generator_for_trial(0).random()
         assert a != b
+
+
+class TestTrialSeedSequenceMemo:
+    """The per-campaign SeedSequence memo reused across sweep points."""
+
+    def test_bit_identical_to_generator_for_trial(self):
+        import numpy as np
+
+        from repro.simulation.rng import RandomStreams, trial_seed_sequences
+
+        streams = RandomStreams(seed=2014)
+        sequences = trial_seed_sequences(2014, 1000)
+        for index in (0, 1, 17, 999):
+            cached = np.random.default_rng(sequences[index]).random(4)
+            direct = streams.generator_for_trial(index).random(4)
+            assert (cached == direct).all()
+
+    def test_memo_is_shared_and_grows(self):
+        from repro.simulation.rng import trial_seed_sequences
+
+        short = trial_seed_sequences(424242, 4)
+        longer = trial_seed_sequences(424242, 10)
+        assert longer is short  # one growing list per root seed
+        assert len(longer) >= 10
+        again = trial_seed_sequences(424242, 10)
+        assert again is longer
+        assert again[3] is short[3]  # entries are not rebuilt
+
+    def test_negative_count_rejected(self):
+        from repro.simulation.rng import trial_seed_sequences
+
+        with pytest.raises(ValueError):
+            trial_seed_sequences(1, -1)
+
+    def test_distinct_seeds_have_distinct_streams(self):
+        import numpy as np
+
+        from repro.simulation.rng import trial_seed_sequences
+
+        a = np.random.default_rng(trial_seed_sequences(1, 1)[0]).random()
+        b = np.random.default_rng(trial_seed_sequences(2, 1)[0]).random()
+        assert a != b
+
+    def test_campaigns_reuse_across_sweep_points(self):
+        """Two vectorized sweep points with one seed share the derivations."""
+        from repro.simulation.rng import _TRIAL_SEQUENCES, trial_seed_sequences
+
+        trial_seed_sequences(777, 64)
+        before = len(_TRIAL_SEQUENCES[777])
+        trial_seed_sequences(777, 64)
+        assert len(_TRIAL_SEQUENCES[777]) == before
+
+    def test_oversized_campaign_does_not_grow_the_memo(self):
+        import numpy as np
+
+        from repro.simulation.rng import (
+            _TRIAL_SEQUENCES,
+            _TRIAL_SEQUENCES_MAX_LENGTH,
+            trial_seed_sequences,
+        )
+
+        count = _TRIAL_SEQUENCES_MAX_LENGTH + 5
+        oversized = trial_seed_sequences(31337, count)
+        assert len(oversized) == count
+        assert len(_TRIAL_SEQUENCES[31337]) == _TRIAL_SEQUENCES_MAX_LENGTH
+        # The transient tail is still the exact per-trial derivation.
+        direct = np.random.SeedSequence(entropy=31337, spawn_key=(count - 1, 0))
+        a = np.random.default_rng(oversized[-1]).random()
+        b = np.random.default_rng(direct).random()
+        assert a == b
