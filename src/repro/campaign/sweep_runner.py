@@ -93,11 +93,13 @@ class SweepJob:
     backend:
         Monte-Carlo engine for simulated points: ``"event"`` (default, the
         per-trial state-machine walk), ``"vectorized"`` (the across-trials
-        engine; every selected protocol must support it and the failure law
-        must be exponential, else the job fails with an actionable error) or
-        ``"auto"`` (vectorized where supported, event elsewhere).  The
-        engines are bit-identical trial for trial, so the backend is *not*
-        part of the cache key -- entries are interchangeable.
+        engine; every selected protocol must have a registered vectorized
+        engine and the failure law must be one of the registry's vectorized
+        laws -- exponential, Weibull, log-normal -- else the job fails with
+        an actionable error) or ``"auto"`` (vectorized where supported,
+        event elsewhere).  The engines are bit-identical trial for trial,
+        so the backend is *not* part of the cache key -- entries are
+        interchangeable.
     max_slowdown:
         Truncation cap forwarded to the simulators: a trial is cut short
         (and counted in the point summaries' ``truncated`` field) once its

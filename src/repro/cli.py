@@ -143,10 +143,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign.add_argument("--seed", type=int, default=2014, help="simulation seed")
     campaign.add_argument(
+        "--backend",
+        choices=["event", "vectorized", "auto"],
+        default="auto",
+        help=(
+            "Monte-Carlo engine for validated points: 'auto' (default) "
+            "vectorizes wherever the (protocol, failure law) pair supports "
+            "it; both engines are bit-identical, so cache entries are "
+            "interchangeable"
+        ),
+    )
+    campaign.add_argument(
         "--workers",
         type=_positive_int,
         default=None,
-        help="worker processes for the Monte-Carlo trials (default: serial)",
+        help="worker processes for event-backend Monte-Carlo trials "
+        "(default: serial)",
     )
     campaign.add_argument(
         "--cache-dir",
@@ -482,6 +494,7 @@ def _run_campaign(args: argparse.Namespace) -> int:
         simulate=args.validate,
         simulation_runs=args.runs,
         seed=args.seed,
+        backend=args.backend,
     )
     runner = SweepRunner(
         cache_dir=args.cache_dir,
@@ -524,6 +537,7 @@ def _run_scenario_list() -> int:
         resolve_failure_model,
         resolve_protocol,
         protocol_names,
+        vectorized_law_names,
         vectorized_protocol_names,
     )
     from repro.simulation.vectorized import ENGINE_BACKENDS
@@ -538,12 +552,14 @@ def _run_scenario_list() -> int:
     for name in failure_model_names():
         entry = resolve_failure_model(name)
         aliases = f" (aliases: {', '.join(entry.aliases)})" if entry.aliases else ""
-        print(f"  {name}{aliases}")
+        backends = "event+vectorized" if entry.vectorized else "event"
+        print(f"  {name}{aliases} [backends: {backends}]")
     vectorized = ", ".join(vectorized_protocol_names())
+    laws = ", ".join(vectorized_law_names())
     print(f"engine backends (scenario 'simulation.backend'): {', '.join(ENGINE_BACKENDS)}")
     print(
         f"  backend='vectorized' needs a protocol with a vectorized engine "
-        f"({vectorized}) and the 'exponential' failure model; "
+        f"({vectorized}) and a vectorized failure law ({laws}); "
         "'auto' falls back to 'event' elsewhere"
     )
     return 0

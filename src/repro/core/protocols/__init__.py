@@ -18,16 +18,32 @@ into account, accurately reproducing the corresponding costs"*).
 """
 
 from repro.core.protocols.base import ProtocolSimulator, SimulationHorizonExceeded
-from repro.core.protocols.no_ft import NoFaultToleranceSimulator
-from repro.core.protocols.pure_periodic import PurePeriodicCkptSimulator
-from repro.core.protocols.bi_periodic import BiPeriodicCkptSimulator
-from repro.core.protocols.abft_periodic import AbftPeriodicCkptSimulator
+from repro.core.protocols.no_ft import (
+    NoFaultToleranceSimulator,
+    NoFaultToleranceVectorized,
+)
+from repro.core.protocols.pure_periodic import (
+    PurePeriodicCkptSimulator,
+    PurePeriodicCkptVectorized,
+)
+from repro.core.protocols.bi_periodic import (
+    BiPeriodicCkptSimulator,
+    BiPeriodicCkptVectorized,
+)
+from repro.core.protocols.abft_periodic import (
+    AbftPeriodicCkptSimulator,
+    AbftPeriodicCkptVectorized,
+)
 
 __all__ = [
     "ProtocolSimulator",
     "SimulationHorizonExceeded",
     "NoFaultToleranceSimulator",
+    "NoFaultToleranceVectorized",
     "PurePeriodicCkptSimulator",
+    "PurePeriodicCkptVectorized",
     "BiPeriodicCkptSimulator",
+    "BiPeriodicCkptVectorized",
     "AbftPeriodicCkptSimulator",
+    "AbftPeriodicCkptVectorized",
 ]

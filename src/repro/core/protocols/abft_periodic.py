@@ -44,8 +44,16 @@ from repro.failures.base import FailureModel
 from repro.failures.timeline import FailureTimeline
 from repro.simulation.events import EventKind
 from repro.simulation.trace import TraceRecorder
+from repro.simulation.vectorized import (
+    AbftSegment,
+    AtomicSegment,
+    PeriodicSegment,
+    VectorizedPhasedSimulator,
+    periodic_chunk_size,
+    vectorized_failure_model_or_raise,
+)
 
-__all__ = ["AbftPeriodicCkptSimulator"]
+__all__ = ["AbftPeriodicCkptSimulator", "AbftPeriodicCkptVectorized"]
 
 
 @register_protocol(
@@ -210,3 +218,133 @@ class AbftPeriodicCkptSimulator(ProtocolSimulator):
                 )
                 recorder.record(time, EventKind.LIBRARY_PHASE_END)
         return time
+
+
+@register_protocol("ABFT&PeriodicCkpt", kind="vectorized")
+class AbftPeriodicCkptVectorized:
+    """Across-trials engine for the composite protocol, any vectorized law.
+
+    The composite's epoch schedule is deterministic -- periodic or atomic
+    GENERAL protection chosen by comparing the phase length to the optimal
+    period, ABFT (plus its exit partial checkpoint) or fallback periodic
+    checkpointing for the LIBRARY phase, decided per epoch by the same
+    safeguard rule as the event simulator -- so it lowers directly onto
+    :class:`VectorizedPhasedSimulator`.  Accepts the same knobs as
+    :class:`AbftPeriodicCkptSimulator` and reproduces it bit for bit, trial
+    for trial, under every registry-flagged vectorized law (exponential,
+    Weibull, log-normal).
+    """
+
+    name = "ABFT&PeriodicCkpt"
+
+    def __init__(
+        self,
+        parameters: ResilienceParameters,
+        workload: ApplicationWorkload,
+        *,
+        general_period: Optional[float] = None,
+        safeguard: bool = False,
+        period_formula: str = "paper",
+        failure_model: Optional[FailureModel] = None,
+        max_slowdown: float = 1e4,
+    ) -> None:
+        # The event simulator owns the period derivation and the
+        # ABFT-vs-fallback decision (Section III-B safeguard); reusing it
+        # keeps the two backends impossible to desynchronise.
+        reference = AbftPeriodicCkptSimulator(
+            parameters,
+            workload,
+            general_period=general_period,
+            safeguard=safeguard,
+            period_formula=period_formula,
+            max_slowdown=max_slowdown,
+        )
+        params = parameters
+        rollback = (
+            ("downtime", params.downtime),
+            ("recovery", params.full_recovery),
+        )
+        abft_stages = (
+            ("downtime", params.downtime),
+            ("recovery", params.remainder_recovery_cost),
+            ("abft_recovery", params.abft_reconstruction),
+        )
+        period = reference.general_period()
+        segments = []
+        for epoch in workload.epochs:
+            general_time = epoch.general_time
+            use_periodic = (
+                not math.isnan(period) and general_time >= period
+            )
+            if use_periodic:
+                # Periodic checkpointing; the trailing checkpoint doubles
+                # as the forced entry checkpoint of the library call.
+                segments.append(
+                    PeriodicSegment(
+                        work=general_time,
+                        chunk_size=periodic_chunk_size(
+                            period, params.full_checkpoint, general_time
+                        ),
+                        checkpoint_cost=params.full_checkpoint,
+                        trailing=True,
+                        stages=rollback,
+                    )
+                )
+            else:
+                # Short phase: execute unprotected, then write the partial
+                # entry checkpoint of the REMAINDER dataset.
+                segments.append(
+                    AtomicSegment(
+                        work=general_time,
+                        checkpoint_cost=params.remainder_checkpoint,
+                        stages=rollback,
+                    )
+                )
+            if epoch.library_time <= 0.0:
+                continue
+            if reference._library_uses_abft(epoch):
+                segments.append(
+                    AbftSegment(
+                        work=epoch.library_time,
+                        phi=params.phi,
+                        stages=abft_stages,
+                    )
+                )
+                # The exit partial checkpoint of the LIBRARY dataset; a
+                # failure during the write is an ABFT failure (the dataset
+                # is still reconstructible) and the write is redone.
+                if params.library_checkpoint > 0.0:
+                    segments.append(
+                        AtomicSegment(
+                            work=0.0,
+                            checkpoint_cost=params.library_checkpoint,
+                            stages=abft_stages,
+                        )
+                    )
+            else:
+                fallback = reference.library_fallback_period()
+                segments.append(
+                    PeriodicSegment(
+                        work=epoch.library_time,
+                        chunk_size=periodic_chunk_size(
+                            fallback, params.library_checkpoint, epoch.library_time
+                        ),
+                        checkpoint_cost=params.library_checkpoint,
+                        trailing=True,
+                        stages=rollback,
+                    )
+                )
+        total = workload.total_time
+        self._engine = VectorizedPhasedSimulator(
+            protocol=self.name,
+            application_time=total,
+            segments=segments,
+            failure_model=vectorized_failure_model_or_raise(
+                failure_model, params.platform_mtbf, protocol=self.name
+            ),
+            max_makespan=float(max_slowdown) * total,
+        )
+
+    def run_trials(self, runs: int, seed: Optional[int] = None):
+        """Simulate ``runs`` trials; see :class:`VectorizedPhasedSimulator`."""
+        return self._engine.run_trials(runs, seed)

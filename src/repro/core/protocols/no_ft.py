@@ -19,7 +19,7 @@ from repro.failures.timeline import FailureTimeline
 from repro.simulation.trace import TraceRecorder
 from repro.simulation.vectorized import (
     VectorizedChunkedSimulator,
-    exponential_mtbf_or_raise,
+    vectorized_failure_model_or_raise,
 )
 
 __all__ = ["NoFaultToleranceSimulator", "NoFaultToleranceVectorized"]
@@ -76,11 +76,13 @@ class NoFaultToleranceSimulator(ProtocolSimulator):
 
 @register_protocol("NoFT", kind="vectorized", paper=False)
 class NoFaultToleranceVectorized:
-    """Across-trials engine for NoFT under the exponential law.
+    """Across-trials engine for NoFT under any vectorized failure law.
 
     The whole application is a single unprotected chunk, so the vectorized
     chunked engine models it exactly (no checkpoint, downtime-only restart).
-    Bit-identical to :class:`NoFaultToleranceSimulator`, trial for trial.
+    Bit-identical to :class:`NoFaultToleranceSimulator`, trial for trial,
+    for every registry-flagged vectorized law (exponential, Weibull,
+    log-normal).
     """
 
     name = "NoFT"
@@ -101,7 +103,7 @@ class NoFaultToleranceVectorized:
             chunk_size=total,
             checkpoint_cost=0.0,
             restart_stages=(("downtime", parameters.downtime),),
-            mtbf=exponential_mtbf_or_raise(
+            failure_model=vectorized_failure_model_or_raise(
                 failure_model, parameters.platform_mtbf, protocol=self.name
             ),
             max_makespan=float(max_slowdown) * total,

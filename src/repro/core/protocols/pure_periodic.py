@@ -9,7 +9,6 @@ checkpointed section.
 
 from __future__ import annotations
 
-import math
 from typing import Optional
 
 from repro.application.workload import ApplicationWorkload
@@ -22,7 +21,8 @@ from repro.failures.timeline import FailureTimeline
 from repro.simulation.trace import TraceRecorder
 from repro.simulation.vectorized import (
     VectorizedChunkedSimulator,
-    exponential_mtbf_or_raise,
+    periodic_chunk_size,
+    vectorized_failure_model_or_raise,
 )
 
 __all__ = ["PurePeriodicCkptSimulator", "PurePeriodicCkptVectorized"]
@@ -100,11 +100,12 @@ class PurePeriodicCkptSimulator(ProtocolSimulator):
 
 @register_protocol("PurePeriodicCkpt", kind="vectorized")
 class PurePeriodicCkptVectorized:
-    """Across-trials engine for PurePeriodicCkpt under the exponential law.
+    """Across-trials engine for PurePeriodicCkpt, any vectorized law.
 
     Accepts the same protocol knobs as :class:`PurePeriodicCkptSimulator`
     (explicit period or optimal-period formula) and produces bit-identical
-    per-trial results through the vectorized chunked engine.
+    per-trial results through the vectorized chunked engine, under every
+    registry-flagged vectorized law (exponential, Weibull, log-normal).
     """
 
     name = "PurePeriodicCkpt"
@@ -129,23 +130,17 @@ class PurePeriodicCkptVectorized:
             )
         total = workload.total_time
         checkpoint = parameters.full_checkpoint
-        # Same degenerate-period handling as _periodic_section: no usable
-        # period means the whole section is one chunk.
-        if math.isnan(period) or period <= checkpoint:
-            chunk_size = total
-        else:
-            chunk_size = period - checkpoint
         self._engine = VectorizedChunkedSimulator(
             protocol=self.name,
             application_time=total,
             work=total,
-            chunk_size=chunk_size,
+            chunk_size=periodic_chunk_size(period, checkpoint, total),
             checkpoint_cost=checkpoint,
             restart_stages=(
                 ("downtime", parameters.downtime),
                 ("recovery", parameters.full_recovery),
             ),
-            mtbf=exponential_mtbf_or_raise(
+            failure_model=vectorized_failure_model_or_raise(
                 failure_model, parameters.platform_mtbf, protocol=self.name
             ),
             max_makespan=float(max_slowdown) * total,

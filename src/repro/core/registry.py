@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import difflib
 import inspect
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import (
     Any,
     Callable,
@@ -34,7 +34,6 @@ from typing import (
     NamedTuple,
     Optional,
     Tuple,
-    Type,
     TypeVar,
 )
 
@@ -48,6 +47,8 @@ __all__ = [
     "protocol_names",
     "vectorized_protocol_names",
     "failure_model_names",
+    "vectorized_law_names",
+    "vectorized_law_classes",
     "resolve_protocol",
     "resolve_failure_model",
     "create_failure_model",
@@ -189,6 +190,14 @@ class FailureModelEntry:
     aliases: Tuple[str, ...] = ()
     #: Builds an instance from spec-level data: ``factory(cls, mtbf, **params)``.
     factory: Optional[Callable[..., Any]] = None
+    #: Whether the across-trials engine can draw this law's inter-arrival
+    #: blocks (``register_failure_model(vectorized=True)``): the model is
+    #: stateless and its ``sample_interarrivals`` is a pure function of the
+    #: generator, so the vectorized backend reproduces the event stream bit
+    #: for bit.  Stateful models (trace replay) must stay ``False``.  The
+    #: flag applies to *exact* instances of :attr:`cls` only -- subclasses
+    #: may override the sampling and always fall back to the event backend.
+    vectorized: bool = False
 
     def create(self, mtbf: Optional[float] = None, **params: Any) -> Any:
         """Instantiate the model for a target MTBF and model parameters."""
@@ -313,16 +322,24 @@ def register_failure_model(
     *,
     aliases: Tuple[str, ...] = (),
     factory: Optional[Callable[..., Any]] = None,
+    vectorized: bool = False,
 ) -> Callable[[T], T]:
     """Class decorator registering a failure model under a spec-level name.
 
     ``factory(cls, mtbf, **params)`` customises construction from scenario
-    data; the default calls ``cls(mtbf, **params)``.
+    data; the default calls ``cls(mtbf, **params)``.  ``vectorized`` marks
+    the law as batchable by the across-trials engine (see
+    :attr:`FailureModelEntry.vectorized`); every backend-selection layer and
+    diagnostic derives its supported-law list from this flag.
     """
 
     def decorator(cls: T) -> T:
         entry = FailureModelEntry(
-            name=name, cls=cls, aliases=tuple(aliases), factory=factory
+            name=name,
+            cls=cls,
+            aliases=tuple(aliases),
+            factory=factory,
+            vectorized=bool(vectorized),
         )
         _FAILURE_MODELS[name] = entry
         _register_lookup(_FAILURE_LOOKUP, name, entry.aliases, "failure model")
@@ -358,6 +375,32 @@ def failure_model_names() -> Tuple[str, ...]:
     """Canonical failure-model names, in registration order."""
     _ensure_builtins()
     return tuple(_FAILURE_MODELS)
+
+
+def vectorized_law_names() -> Tuple[str, ...]:
+    """Canonical names of failure laws the vectorized engine can sample.
+
+    Derived from the ``register_failure_model(vectorized=True)`` flag, so
+    backend diagnostics and ``scenario list`` guidance stay truthful as the
+    engine's law coverage widens.
+    """
+    _ensure_builtins()
+    return tuple(
+        entry.name for entry in _FAILURE_MODELS.values() if entry.vectorized
+    )
+
+
+def vectorized_law_classes() -> Tuple[type, ...]:
+    """Model classes behind :func:`vectorized_law_names` (exact types).
+
+    The across-trials engine only trusts *exact* instances of these classes:
+    a subclass may override the sampling, which the engine could not honour,
+    so it falls back to the event backend.
+    """
+    _ensure_builtins()
+    return tuple(
+        entry.cls for entry in _FAILURE_MODELS.values() if entry.vectorized
+    )
 
 
 def resolve_protocol(name: str) -> ProtocolEntry:

@@ -17,7 +17,9 @@ from repro.utils.validation import require_positive
 __all__ = ["ExponentialFailureModel"]
 
 
-@register_failure_model("exponential", aliases=("exp", "poisson", "memoryless"))
+@register_failure_model(
+    "exponential", aliases=("exp", "poisson", "memoryless"), vectorized=True
+)
 class ExponentialFailureModel(FailureModel):
     """Memoryless failure process with a fixed MTBF.
 

@@ -19,7 +19,7 @@ from repro.utils.validation import require_positive
 __all__ = ["LogNormalFailureModel"]
 
 
-@register_failure_model("lognormal", aliases=("log-normal",))
+@register_failure_model("lognormal", aliases=("log-normal",), vectorized=True)
 class LogNormalFailureModel(FailureModel):
     """Log-normally distributed failure inter-arrival times.
 

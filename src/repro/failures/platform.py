@@ -18,7 +18,6 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.failures.base import FailureModel
 from repro.failures.exponential import ExponentialFailureModel
 from repro.utils.validation import require_non_negative, require_positive
 

@@ -22,7 +22,7 @@ from repro.utils.validation import require_positive
 __all__ = ["WeibullFailureModel"]
 
 
-@register_failure_model("weibull", aliases=("wbl",))
+@register_failure_model("weibull", aliases=("wbl",), vectorized=True)
 class WeibullFailureModel(FailureModel):
     """Weibull-distributed failure inter-arrival times.
 

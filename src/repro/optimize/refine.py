@@ -180,9 +180,9 @@ def simulate_at_periods(
     """Run one campaign at an explicit period assignment; return its summary.
 
     Backend selection mirrors the sweep runner's: ``"vectorized"`` requires
-    the protocol's across-trials engine and the exponential law (else a
-    :class:`VectorizedBackendError` names the obstacle), ``"auto"`` falls
-    back to the event simulators fanned over ``executor``.
+    the protocol's across-trials engine and a registry-flagged vectorized
+    law (else a :class:`VectorizedBackendError` names the obstacle),
+    ``"auto"`` falls back to the event simulators fanned over ``executor``.
 
     ``simulator_kwargs`` carries protocol options beyond the periods (e.g.
     the composite's ``safeguard``) into the engine constructors, following
@@ -304,8 +304,9 @@ def refine_period(
         the current best, then narrows the span (square root) for the next
         round.
     failure_model / failure_params:
-        Failure law of the campaigns (any registered model); non-exponential
-        laws force the event backend.
+        Failure law of the campaigns (any registered model); laws without
+        vectorized block sampling (e.g. trace replay) force the event
+        backend.
     model_kwargs / simulator_kwargs:
         Protocol options beyond the periods, split as in
         :func:`repro.core.registry.resolve`: ``model_kwargs`` shape the

@@ -32,7 +32,7 @@ import json
 import math
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Any, Dict, Iterator, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, Mapping, Optional, Tuple
 
 from repro.application.workload import ApplicationWorkload
 from repro.campaign.cache import SweepCache

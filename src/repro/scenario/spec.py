@@ -426,8 +426,12 @@ class ScenarioSpec:
         # Engine-backend compatibility is a spec-validity question: a
         # vectorized-only spec naming a protocol or failure law without
         # vectorized support should fail at load/validate time with the
-        # offending path, not mid-campaign.
-        from repro.core.registry import vectorized_protocol_names
+        # offending path, not mid-campaign.  Both support lists are derived
+        # from the registry, so this diagnostic widens with the engine.
+        from repro.core.registry import (
+            vectorized_law_names,
+            vectorized_protocol_names,
+        )
         from repro.simulation.vectorized import ENGINE_BACKENDS
 
         backend = self.simulation.backend
@@ -449,12 +453,13 @@ class ScenarioSpec:
                     f"(available: {sorted(vectorized_protocol_names())}); "
                     "use 'event' or 'auto'",
                 )
-            if not self.failures.is_exponential:
+            law = resolve_failure_model(self.failures.model).name
+            if law not in vectorized_law_names():
                 raise ScenarioSpecError(
                     "simulation.backend",
-                    f"the vectorized engine supports only the exponential "
-                    f"failure law, not {self.failures.model!r}; "
-                    "use 'event' or 'auto'",
+                    f"failure law {self.failures.model!r} has no vectorized "
+                    f"block sampling (vectorized laws: "
+                    f"{sorted(vectorized_law_names())}); use 'event' or 'auto'",
                 )
         # Canonicalize the model-option keys and keep them sorted so specs
         # built from aliases compare (and serialize) identically.

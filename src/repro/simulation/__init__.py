@@ -45,6 +45,7 @@ from repro.simulation.vectorized import (
     ENGINE_BACKENDS,
     VectorizedBackendError,
     VectorizedChunkedSimulator,
+    VectorizedPhasedSimulator,
 )
 
 __all__ = [
@@ -66,4 +67,5 @@ __all__ = [
     "ENGINE_BACKENDS",
     "VectorizedBackendError",
     "VectorizedChunkedSimulator",
+    "VectorizedPhasedSimulator",
 ]

@@ -1,28 +1,44 @@
-"""Vectorized across-trials Monte-Carlo engine.
+"""Vectorized across-trials Monte-Carlo engines.
 
 The event-driven simulators (:mod:`repro.core.protocols`) walk one trial at
-a time through a Python state machine.  For the *chunked periodic* protocols
--- ``NoFT`` (one chunk, no checkpoint) and ``PurePeriodicCkpt`` (fixed-size
-chunks, each followed by a checkpoint) -- the walk is simple enough to run
-**all trials simultaneously**: the engine keeps one NumPy state vector per
-quantity (current time, work done, failure cursor, mode) and advances every
-active trial by one state-machine step per round, masking trials in the
-run/restart modes separately.
+a time through a Python state machine.  Their walks are compositions of a
+small set of deterministic building blocks -- periodically checkpointed
+sections, atomic (unprotected or checkpoint-only) segments, ABFT-protected
+stretches and restartable recovery sequences -- scheduled in an order that
+depends only on the configuration, never on the failure draws.  That makes
+them batchable: the engines in this module keep one NumPy state vector per
+quantity (clock, progress, failure cursor, segment index, mode) and advance
+**all trials simultaneously**, one state-machine step per round.
+
+Two engines are provided:
+
+* :class:`VectorizedChunkedSimulator` -- a single periodically checkpointed
+  section (``NoFT``, ``PurePeriodicCkpt``);
+* :class:`VectorizedPhasedSimulator` -- an arbitrary deterministic sequence
+  of periodic / atomic / ABFT segments (``BiPeriodicCkpt``,
+  ``ABFT&PeriodicCkpt``), of which the chunked engine is the one-segment
+  special case.
 
 Bit-identical contract
 ----------------------
-The engine is not an approximation: for a given root seed it reproduces the
-event backend **trial for trial, bit for bit** -- same makespan, waste,
+The engines are not approximations: for a given root seed they reproduce
+the event backend **trial for trial, bit for bit** -- same makespan, waste,
 failure count and per-category waste breakdown.  Two properties make this
 possible:
 
 * failure times are drawn in exactly the block pattern of
   :class:`~repro.failures.timeline.FailureTimeline` (``batch_size``
   inter-arrivals per refill, clamped, ``last + cumsum(block)``), from the
-  same per-trial generator (``RandomStreams(seed).generator_for_trial(i)``);
+  same per-trial generator (``RandomStreams(seed).generator_for_trial(i)``)
+  and the same failure-law model.  Any law whose block sampling is a pure
+  function of the generator qualifies -- the registry flags those with
+  ``register_failure_model(vectorized=True)`` (exponential, Weibull,
+  log-normal); stateful laws (trace replay) and subclasses of the flagged
+  classes fall back to the event backend;
 * every arithmetic operation of the event walk (segment sums, partial
-  restart accounting, cap checks) is replayed with the same IEEE-754
-  operations in the same per-trial order, just batched across trials.
+  restart accounting, ABFT progress splits, cap checks) is replayed with
+  the same IEEE-754 operations in the same per-trial order, just batched
+  across trials.
 
 The cross-validation tests assert exact ``==`` on every column, and the
 sweep cache deliberately uses the same keys for both backends -- entries
@@ -32,7 +48,8 @@ are interchangeable.
 from __future__ import annotations
 
 import math
-from typing import Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -47,7 +64,12 @@ __all__ = [
     "ENGINE_BACKENDS",
     "VectorizedBackendError",
     "VectorizedChunkedSimulator",
+    "VectorizedPhasedSimulator",
+    "PeriodicSegment",
+    "AtomicSegment",
+    "AbftSegment",
     "exponential_mtbf_or_raise",
+    "vectorized_failure_model_or_raise",
     "supports_vectorized_backend",
     "vectorized_backend_obstacle",
 ]
@@ -60,6 +82,11 @@ ENGINE_BACKENDS = ("event", "vectorized", "auto")
 
 #: Restart sequences, as in the event-driven base simulator.
 RestartStages = Sequence[Tuple[str, float]]
+
+#: The event backend's "final chunk" slack (``work_done + chunk >= work -
+#: _WORK_EPSILON``) and the ABFT section's remaining-work cutoff.  Pinned:
+#: changing either shifts simulated results.
+_WORK_EPSILON = 1e-12
 
 
 class VectorizedBackendError(ValueError):
@@ -78,13 +105,19 @@ def supports_vectorized_backend(
 
     The single source of the eligibility rule every backend-selecting layer
     (sweep runner, period refinement, regime maps) consults: a registered
-    vectorized engine class, and the paper's exponential law -- ``None``
-    (the simulators' default) or an exact :class:`ExponentialFailureModel`
-    (subclasses override the sampling the engine could not honour).
+    vectorized engine class, and a failure law whose block sampling the
+    engine can replay -- ``None`` (the simulators' exponential default) or
+    an *exact* instance of a law registered with
+    ``register_failure_model(vectorized=True)`` (subclasses override the
+    sampling the engine could not honour).
     """
-    return vectorized_cls is not None and (
-        failure_model is None or type(failure_model) is ExponentialFailureModel
-    )
+    if vectorized_cls is None:
+        return False
+    if failure_model is None:
+        return True
+    from repro.core.registry import vectorized_law_classes
+
+    return type(failure_model) in vectorized_law_classes()
 
 
 def vectorized_backend_obstacle(
@@ -100,7 +133,8 @@ def vectorized_backend_obstacle(
     ``None`` when it can (the :func:`supports_vectorized_backend` rule
     holds); otherwise a human-readable detail naming the obstacle, shared
     by every layer that raises :class:`VectorizedBackendError` so the
-    diagnostics cannot drift apart.
+    diagnostics cannot drift apart.  The supported-law list is derived from
+    the failure-model registry, not hard-coded.
     """
     if vectorized_cls is None:
         return (
@@ -108,7 +142,15 @@ def vectorized_backend_obstacle(
             f"(available: {sorted(available)})"
         )
     if not supports_vectorized_backend(vectorized_cls, failure_model):
-        return f"failure model {law!r} is not the exponential law"
+        from repro.core.registry import vectorized_law_names
+
+        detail = f"failure law {law!r}"
+        if failure_model is not None:
+            detail += f" ({type(failure_model).__name__})"
+        return (
+            f"{detail} has no vectorized block sampling "
+            f"(vectorized laws: {sorted(vectorized_law_names())})"
+        )
     return None
 
 
@@ -117,11 +159,15 @@ def exponential_mtbf_or_raise(
 ) -> float:
     """The MTBF to vectorize at, enforcing the exponential-law restriction.
 
-    ``None`` (the simulators' default) means the paper's exponential law at
-    the platform MTBF; an explicit :class:`ExponentialFailureModel` is also
-    accepted.  Anything else -- including *subclasses* of the exponential
-    model, whose overridden sampling the engine could not honour -- raises
-    :class:`VectorizedBackendError`.
+    Historical helper of the exponential-only engine, kept for callers that
+    genuinely need a scalar MTBF.  ``None`` (the simulators' default) means
+    the paper's exponential law at the platform MTBF; an explicit
+    :class:`ExponentialFailureModel` is also accepted.  Anything else --
+    including *subclasses* of the exponential model, whose overridden
+    sampling the engine could not honour -- raises
+    :class:`VectorizedBackendError`.  New code should prefer
+    :func:`vectorized_failure_model_or_raise`, which accepts every
+    registry-flagged vectorizable law.
     """
     if failure_model is None:
         return float(default_mtbf)
@@ -134,18 +180,110 @@ def exponential_mtbf_or_raise(
     )
 
 
-class VectorizedChunkedSimulator:
-    """Across-trials engine for chunked periodic protocols.
+def vectorized_failure_model_or_raise(
+    failure_model: Optional[FailureModel],
+    default_mtbf: float,
+    *,
+    protocol: str,
+) -> FailureModel:
+    """The failure model to drive the across-trials engine with.
 
-    The protected execution is modelled exactly as
-    :meth:`ProtocolSimulator._periodic_section
+    ``None`` (the simulators' default) builds the paper's exponential law at
+    the platform MTBF; an exact instance of any registry-flagged vectorized
+    law (see :func:`repro.core.registry.vectorized_law_names`) is passed
+    through.  Anything else -- stateful laws, or *subclasses* of the flagged
+    classes whose overridden sampling the engine could not honour -- raises
+    :class:`VectorizedBackendError` naming the supported laws.
+    """
+    if failure_model is None:
+        return ExponentialFailureModel(float(default_mtbf))
+    from repro.core.registry import vectorized_law_classes, vectorized_law_names
+
+    if type(failure_model) in vectorized_law_classes():
+        return failure_model
+    raise VectorizedBackendError(
+        f"the vectorized backend for {protocol!r} has no batched sampling "
+        f"for {type(failure_model).__name__} (vectorized laws: "
+        f"{sorted(vectorized_law_names())}, exact classes only); "
+        "use backend='event' for this law"
+    )
+
+
+# --------------------------------------------------------------------- #
+# Segment schedule
+# --------------------------------------------------------------------- #
+def periodic_chunk_size(period: float, checkpoint_cost: float, work: float) -> float:
+    """Chunk size of a periodic section, replicating ``_periodic_section``.
+
+    An invalid period (NaN, or not larger than the checkpoint cost) means
+    "no intermediate checkpoint": the whole section is a single chunk.
+    """
+    period = float(period)
+    if math.isnan(period) or period <= checkpoint_cost:
+        return float(work)
+    return period - checkpoint_cost
+
+
+@dataclass(frozen=True)
+class PeriodicSegment:
+    """``work`` seconds under periodic checkpointing.
+
+    Mirrors :meth:`ProtocolSimulator._periodic_section
     <repro.core.protocols.base.ProtocolSimulator>`: work is cut into chunks
     of ``chunk_size`` seconds, each followed by a checkpoint of
-    ``checkpoint_cost`` seconds (the last chunk only when
-    ``trailing_checkpoint``); a failure loses the un-checkpointed progress
-    and pays the ``restart_stages`` sequence, itself restartable.  ``NoFT``
-    is the degenerate case ``chunk_size >= work`` with no checkpoint and a
-    downtime-only restart.
+    ``checkpoint_cost`` seconds (the last chunk only when ``trailing``); a
+    failure loses the un-checkpointed progress and pays ``stages``, itself
+    restartable.  ``work <= 0`` degenerates exactly as the event walk does:
+    a lone trailing checkpoint when ``trailing`` and the cost is positive,
+    nothing otherwise.
+    """
+
+    work: float
+    chunk_size: float
+    checkpoint_cost: float
+    trailing: bool
+    stages: RestartStages
+
+
+@dataclass(frozen=True)
+class AtomicSegment:
+    """``work`` plus an optional trailing checkpoint, executed atomically.
+
+    Mirrors ``_unprotected_section`` (and ``_checkpoint`` when ``work`` is
+    zero): a failure anywhere in the segment re-executes it entirely after
+    the ``stages`` restart sequence.  Zero-duration segments are skipped,
+    exactly like the event walk's early returns.
+    """
+
+    work: float
+    checkpoint_cost: float
+    stages: RestartStages
+
+
+@dataclass(frozen=True)
+class AbftSegment:
+    """``work`` seconds of computation under ABFT protection.
+
+    Mirrors ``_abft_section`` (without its exit checkpoint, which schedules
+    as a separate :class:`AtomicSegment`): the computation is slowed by
+    ``phi``; a failure pays ``stages`` but loses no work.  A segment whose
+    scaled duration is below the event walk's ``1e-12`` cutoff is skipped.
+    """
+
+    work: float
+    phi: float
+    stages: RestartStages
+
+
+Segment = Union[PeriodicSegment, AtomicSegment, AbftSegment]
+
+_KIND_PERIODIC = 0
+_KIND_ATOMIC = 1
+_KIND_ABFT = 2
+
+
+class VectorizedPhasedSimulator:
+    """Across-trials engine for phase-structured protocol schedules.
 
     Parameters
     ----------
@@ -153,26 +291,23 @@ class VectorizedChunkedSimulator:
         Protocol name stamped on the resulting :class:`TrialTable`.
     application_time:
         Fault-free duration ``T0`` (the waste baseline), seconds.
-    work:
-        Total work to execute, seconds (equals ``T0`` for these protocols).
-    chunk_size:
-        Seconds of work per chunk (clamped to the remaining work).
-    checkpoint_cost:
-        Checkpoint write cost ``C`` appended to every checkpointed chunk.
-    restart_stages:
-        Ordered ``(category, duration)`` pairs paid after each failure.
-    mtbf:
-        Exponential MTBF driving the failure streams (the protocol adapters
-        derive it via :func:`exponential_mtbf_or_raise`, which is also where
-        non-exponential laws are rejected).
+    segments:
+        The deterministic segment schedule (see :class:`PeriodicSegment`,
+        :class:`AtomicSegment`, :class:`AbftSegment`), in execution order.
+        The schedule may only depend on the configuration -- never on the
+        failure draws -- which is exactly the property the event-driven
+        ``_run`` methods of the supported protocols have.
+    failure_model:
+        The inter-arrival law driving the failure streams.  Bit-identity
+        requires a model whose ``sample_interarrivals`` is a pure function
+        of the generator; the protocol adapters enforce the registry's
+        vectorized-law rule via :func:`vectorized_failure_model_or_raise`.
     max_makespan:
         Truncation cap, strictly greater than ``application_time`` (i.e.
         ``max_slowdown * T0`` with ``max_slowdown > 1``): trials whose clock
         exceeds it are flagged ``truncated`` with their waste ~1, exactly
         like the event backend's
         :class:`~repro.core.protocols.base.SimulationHorizonExceeded`.
-    trailing_checkpoint:
-        Whether the final chunk is followed by a checkpoint.
     batch_size:
         Failure-stream block size; must match the event backend's
         (:data:`~repro.failures.timeline.DEFAULT_BATCH_SIZE`) for the
@@ -184,40 +319,17 @@ class VectorizedChunkedSimulator:
         *,
         protocol: str,
         application_time: float,
-        work: float,
-        chunk_size: float,
-        checkpoint_cost: float,
-        restart_stages: RestartStages,
-        mtbf: float,
+        segments: Sequence[Segment],
+        failure_model: FailureModel,
         max_makespan: float,
-        trailing_checkpoint: bool = False,
         batch_size: int = DEFAULT_BATCH_SIZE,
     ) -> None:
         if application_time <= 0:
             raise ValueError(f"application_time must be > 0, got {application_time}")
-        if work <= 0:
-            raise ValueError(f"work must be > 0, got {work}")
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
         self._protocol = str(protocol)
         self._application_time = float(application_time)
-        self._work = float(work)
-        # An invalid chunk size (NaN or non-positive) degenerates to a
-        # single chunk, mirroring _periodic_section's period handling.
-        chunk_size = float(chunk_size)
-        if math.isnan(chunk_size) or chunk_size <= 0.0:
-            chunk_size = self._work
-        self._chunk_size = chunk_size
-        self._checkpoint_cost = float(checkpoint_cost)
-        self._stages = tuple((str(c), float(d)) for c, d in restart_stages)
-        for category, duration in self._stages:
-            if category not in CATEGORIES:
-                raise KeyError(f"unknown restart category {category!r}")
-            if duration < 0:
-                raise ValueError(f"restart duration must be >= 0, got {duration}")
-        self._mtbf = float(mtbf)
-        if self._mtbf <= 0:
-            raise ValueError(f"mtbf must be > 0, got {self._mtbf}")
         if not max_makespan > self._application_time:
             raise ValueError(
                 "max_makespan must exceed the fault-free application time "
@@ -225,14 +337,154 @@ class VectorizedChunkedSimulator:
                 f"for T0={self._application_time}"
             )
         self._max_makespan = float(max_makespan)
-        self._trailing = bool(trailing_checkpoint)
+        self._model = failure_model
         self._block = int(batch_size)
+
+        # Normalise the schedule, dropping zero-duration segments exactly
+        # where the event walk early-returns, and collect per-segment
+        # parallel arrays for the gather-based round dispatch.
+        kinds: List[int] = []
+        works: List[float] = []
+        chunks: List[float] = []
+        ckpts: List[float] = []
+        trailings: List[bool] = []
+        durations: List[float] = []
+        init_w: List[float] = []
+        phis: List[float] = []
+        stage_sets: List[Tuple[Tuple[str, float], ...]] = []
+        stage_ids: List[int] = []
+
+        def stage_id(stages: RestartStages) -> int:
+            normalized = tuple((str(c), float(d)) for c, d in stages)
+            for category, duration in normalized:
+                if category not in CATEGORIES:
+                    raise KeyError(f"unknown restart category {category!r}")
+                if duration < 0:
+                    raise ValueError(f"restart duration must be >= 0, got {duration}")
+            try:
+                return stage_sets.index(normalized)
+            except ValueError:
+                stage_sets.append(normalized)
+                return len(stage_sets) - 1
+
+        def append(
+            kind: int,
+            *,
+            work: float = 0.0,
+            chunk: float = 0.0,
+            ckpt: float = 0.0,
+            trailing: bool = False,
+            duration: float = 0.0,
+            init: float = 0.0,
+            phi: float = 1.0,
+            stages: RestartStages = (),
+        ) -> None:
+            kinds.append(kind)
+            works.append(work)
+            chunks.append(chunk)
+            ckpts.append(ckpt)
+            trailings.append(trailing)
+            durations.append(duration)
+            init_w.append(init)
+            phis.append(phi)
+            stage_ids.append(stage_id(stages))
+
+        for segment in segments:
+            if isinstance(segment, PeriodicSegment):
+                work = float(segment.work)
+                ckpt = float(segment.checkpoint_cost)
+                if work <= 0.0:
+                    # _periodic_section(work <= 0): a lone trailing
+                    # checkpoint, or nothing.
+                    if segment.trailing and ckpt > 0.0:
+                        append(
+                            _KIND_ATOMIC,
+                            duration=0.0 + ckpt,
+                            ckpt=ckpt,
+                            stages=segment.stages,
+                        )
+                    continue
+                chunk = float(segment.chunk_size)
+                if math.isnan(chunk) or chunk <= 0.0:
+                    chunk = work
+                append(
+                    _KIND_PERIODIC,
+                    work=work,
+                    chunk=chunk,
+                    ckpt=ckpt,
+                    trailing=bool(segment.trailing),
+                    stages=segment.stages,
+                )
+            elif isinstance(segment, AtomicSegment):
+                work = float(segment.work)
+                ckpt = float(segment.checkpoint_cost)
+                # Same addition as _unprotected_section's ``segment = work
+                # + checkpoint_cost``.
+                duration = work + ckpt
+                if duration <= 0.0:
+                    continue
+                append(
+                    _KIND_ATOMIC,
+                    work=work,
+                    ckpt=ckpt,
+                    duration=duration,
+                    stages=segment.stages,
+                )
+            elif isinstance(segment, AbftSegment):
+                work = float(segment.work)
+                phi = float(segment.phi)
+                scaled = work * phi
+                if scaled <= _WORK_EPSILON:
+                    continue
+                append(
+                    _KIND_ABFT,
+                    work=work,
+                    init=scaled,
+                    phi=phi,
+                    stages=segment.stages,
+                )
+            else:
+                raise TypeError(
+                    f"unknown segment type {type(segment).__name__}; expected "
+                    "PeriodicSegment, AtomicSegment or AbftSegment"
+                )
+
+        self._nseg = len(kinds)
+        self._kind = np.asarray(kinds, dtype=np.int8)
+        self._work = np.asarray(works, dtype=float)
+        self._chunk = np.asarray(chunks, dtype=float)
+        self._ckpt = np.asarray(ckpts, dtype=float)
+        self._trailing = np.asarray(trailings, dtype=bool)
+        self._duration = np.asarray(durations, dtype=float)
+        self._init_w = np.asarray(init_w, dtype=float)
+        self._phi = np.asarray(phis, dtype=float)
+        self._stage_sets = stage_sets
+        self._stage_id = np.asarray(stage_ids, dtype=np.int64)
+        totals = []
+        for stages in stage_sets:
+            # Python float summation order matches the event backend's
+            # ``sum(duration for _, duration in stages)``.
+            total = 0.0
+            for _, duration in stages:
+                total += duration
+            totals.append(total)
+        self._stage_total = np.asarray(totals, dtype=float)
+        self._has_restart = (
+            self._stage_total[self._stage_id] > 0.0
+            if self._nseg
+            else np.zeros(0, dtype=bool)
+        )
 
     # ------------------------------------------------------------------ #
     @property
     def protocol(self) -> str:
         """Protocol name stamped on result tables."""
         return self._protocol
+
+    @property
+    def segment_count(self) -> int:
+        """Number of (non-degenerate) segments in the schedule."""
+        return self._nseg
 
     def run_trials(self, runs: int, seed: Optional[int] = None) -> TrialTable:
         """Simulate ``runs`` independent trials and return their table.
@@ -256,22 +508,24 @@ class VectorizedChunkedSimulator:
                 np.random.default_rng(sequence)
                 for sequence in trial_seed_sequences(seed, n)[:n]
             ]
-        model = ExponentialFailureModel(self._mtbf)
+        model = self._model
 
         block = self._block
         tiny = np.finfo(float).tiny
-        work = self._work
-        chunk_size = self._chunk_size
-        ckpt = self._checkpoint_cost
-        trailing = self._trailing
         cap = self._max_makespan
-        stages = self._stages
-        # Python float summation order matches the event backend's
-        # ``sum(duration for _, duration in stages)``.
-        restart_total = 0.0
-        for _, duration in stages:
-            restart_total += duration
-        has_restart = restart_total > 0.0
+        nseg = self._nseg
+        kind_arr = self._kind
+        work_arr = self._work
+        chunk_arr = self._chunk
+        ckpt_arr = self._ckpt
+        trailing_arr = self._trailing
+        duration_arr = self._duration
+        init_w_arr = self._init_w
+        phi_arr = self._phi
+        stage_id_arr = self._stage_id
+        stage_sets = self._stage_sets
+        stage_totals = self._stage_total
+        has_restart_arr = self._has_restart
 
         # Failure-stream windows: each row holds the current block of
         # absolute failure times; ``base`` is the global index of the row's
@@ -284,9 +538,7 @@ class VectorizedChunkedSimulator:
 
         def refill(indices: np.ndarray) -> None:
             for i in indices:
-                draws = np.maximum(
-                    model.sample_interarrivals(rngs[i], block), tiny
-                )
+                draws = np.maximum(model.sample_interarrivals(rngs[i], block), tiny)
                 times = last[i] + np.cumsum(draws)
                 F[i] = times
                 last[i] = times[-1]
@@ -298,15 +550,14 @@ class VectorizedChunkedSimulator:
         # Per-trial state.
         t = np.zeros(n, dtype=float)
         w = np.zeros(n, dtype=float)
+        seg = np.zeros(n, dtype=np.int64)
         k = np.zeros(n, dtype=np.int64)
-        mode = np.zeros(n, dtype=np.int8)  # 0 = run, 1 = restart
+        mode = np.zeros(n, dtype=np.int8)  # 0 = segment body, 1 = restart
         active = np.ones(n, dtype=bool)
         makespan = np.zeros(n, dtype=float)
         truncated = np.zeros(n, dtype=bool)
         failures = np.zeros(n, dtype=np.int64)
         acc = {category: np.zeros(n, dtype=float) for category in CATEGORIES}
-
-        refill(np.arange(n))
 
         def ensure(indices: np.ndarray) -> None:
             """Materialise the failure at cursor ``k`` for every index."""
@@ -323,12 +574,36 @@ class VectorizedChunkedSimulator:
                 idx = idx[passed]
                 k[idx] += 1
 
+        def complete(indices: np.ndarray) -> np.ndarray:
+            """Finish the current segment; returns the trials that go on.
+
+            Trials past the last segment record their makespan and retire;
+            the rest enter the next segment with its initial progress state.
+            """
+            seg[indices] += 1
+            ended = seg[indices] >= nseg
+            done = indices[ended]
+            if done.size:
+                makespan[done] = t[done]
+                active[done] = False
+            cont = indices[~ended]
+            if cont.size:
+                w[cont] = init_w_arr[seg[cont]]
+                mode[cont] = 0
+            return cont
+
+        if nseg == 0:
+            active[:] = False
+        else:
+            w[:] = init_w_arr[0]
+            refill(np.arange(n))
+
         while True:
             idx = np.flatnonzero(active)
             if idx.size == 0:
                 break
             # Cap check first, exactly like _check_cap at the top of every
-            # event-backend loop iteration.
+            # event-backend loop iteration (section body or restart alike).
             over = t[idx] > cap
             if over.any():
                 hit = idx[over]
@@ -340,75 +615,257 @@ class VectorizedChunkedSimulator:
                     continue
             ensure(idx)
 
-            in_run = mode[idx] == 0
-            run_idx = idx[in_run]
-            rst_idx = idx[~in_run]
+            in_body = mode[idx] == 0
+            body = idx[in_body]
+            rst = idx[~in_body]
 
-            if run_idx.size:
-                nf = F[run_idx, k[run_idx] - base[run_idx]]
-                chunk = np.minimum(chunk_size, work - w[run_idx])
-                is_last = w[run_idx] + chunk >= work - 1e-12
-                do_ckpt = ~is_last if not trailing else np.ones_like(is_last)
-                seg = np.where(do_ckpt, chunk + ckpt, chunk)
-                ok = nf >= t[run_idx] + seg
+            if body.size:
+                body_kind = kind_arr[seg[body]]
 
-                s = run_idx[ok]
-                if s.size:
-                    acc["useful_work"][s] += chunk[ok]
-                    if ckpt > 0.0:
-                        cs = s[do_ckpt[ok]]
-                        acc["checkpointing"][cs] += ckpt
-                    t[s] += seg[ok]
-                    w[s] += chunk[ok]
-                    done = w[s] >= work
-                    finished = s[done]
-                    makespan[finished] = t[finished]
-                    active[finished] = False
-                    advance(s[~done])
+                # ---- periodic sections -------------------------------- #
+                per = body[body_kind == _KIND_PERIODIC]
+                if per.size:
+                    s = seg[per]
+                    nf = F[per, k[per] - base[per]]
+                    wk = work_arr[s]
+                    chunk = np.minimum(chunk_arr[s], wk - w[per])
+                    is_last = w[per] + chunk >= wk - _WORK_EPSILON
+                    do_ckpt = trailing_arr[s] | ~is_last
+                    ckpt = ckpt_arr[s]
+                    seg_len = np.where(do_ckpt, chunk + ckpt, chunk)
+                    ok = nf >= t[per] + seg_len
 
-                f = run_idx[~ok]
-                if f.size:
-                    failed_at = nf[~ok]
-                    acc["lost_work"][f] += failed_at - t[f]
-                    failures[f] += 1
-                    t[f] = failed_at
-                    if has_restart:
-                        mode[f] = 1
-                    advance(f)
+                    suc = per[ok]
+                    if suc.size:
+                        acc["useful_work"][suc] += chunk[ok]
+                        cmask = do_ckpt[ok] & (ckpt[ok] > 0.0)
+                        if cmask.any():
+                            acc["checkpointing"][suc[cmask]] += ckpt[ok][cmask]
+                        t[suc] += seg_len[ok]
+                        w[suc] += chunk[ok]
+                        done = w[suc] >= wk[ok]
+                        finished = suc[done]
+                        advance(suc[~done])
+                        if finished.size:
+                            advance(complete(finished))
 
-            if rst_idx.size:
-                nf = F[rst_idx, k[rst_idx] - base[rst_idx]]
-                ok = nf >= t[rst_idx] + restart_total
+                    fail = per[~ok]
+                    if fail.size:
+                        failed_at = nf[~ok]
+                        acc["lost_work"][fail] += failed_at - t[fail]
+                        failures[fail] += 1
+                        t[fail] = failed_at
+                        restartable = has_restart_arr[seg[fail]]
+                        mode[fail[restartable]] = 1
+                        advance(fail)
 
-                s = rst_idx[ok]
-                if s.size:
-                    for category, duration in stages:
-                        if duration > 0.0:
-                            acc[category][s] += duration
-                    t[s] += restart_total
-                    mode[s] = 0
-                    advance(s)
+                # ---- atomic segments ---------------------------------- #
+                ato = body[body_kind == _KIND_ATOMIC]
+                if ato.size:
+                    s = seg[ato]
+                    nf = F[ato, k[ato] - base[ato]]
+                    dur = duration_arr[s]
+                    ok = nf >= t[ato] + dur
 
-                f = rst_idx[~ok]
-                if f.size:
-                    failed_at = nf[~ok]
-                    remaining = failed_at - t[f]
-                    for category, duration in stages:
-                        spent = np.minimum(remaining, duration)
-                        acc[category][f] += spent
-                        remaining = remaining - spent
-                    failures[f] += 1
-                    t[f] = failed_at
-                    advance(f)
+                    suc = ato[ok]
+                    if suc.size:
+                        # The event walk accounts only positive amounts;
+                        # adding 0.0 is bit-identical.
+                        acc["useful_work"][suc] += work_arr[s][ok]
+                        acc["checkpointing"][suc] += ckpt_arr[s][ok]
+                        t[suc] += dur[ok]
+                        advance(complete(suc))
+
+                    fail = ato[~ok]
+                    if fail.size:
+                        failed_at = nf[~ok]
+                        acc["lost_work"][fail] += failed_at - t[fail]
+                        failures[fail] += 1
+                        t[fail] = failed_at
+                        restartable = has_restart_arr[seg[fail]]
+                        mode[fail[restartable]] = 1
+                        advance(fail)
+
+                # ---- ABFT sections ------------------------------------ #
+                abf = body[body_kind == _KIND_ABFT]
+                if abf.size:
+                    s = seg[abf]
+                    nf = F[abf, k[abf] - base[abf]]
+                    rem = w[abf]
+                    phi = phi_arr[s]
+                    ok = nf >= t[abf] + rem
+
+                    suc = abf[ok]
+                    if suc.size:
+                        useful = rem[ok] / phi[ok]
+                        acc["useful_work"][suc] += useful
+                        acc["abft_overhead"][suc] += rem[ok] - useful
+                        t[suc] += rem[ok]
+                        advance(complete(suc))
+
+                    fail = abf[~ok]
+                    if fail.size:
+                        elapsed = nf[~ok] - t[fail]
+                        useful = elapsed / phi[~ok]
+                        acc["useful_work"][fail] += useful
+                        acc["abft_overhead"][fail] += elapsed - useful
+                        w[fail] = w[fail] - elapsed
+                        failures[fail] += 1
+                        t[fail] = nf[~ok]
+                        restartable = has_restart_arr[seg[fail]]
+                        mode[fail[restartable]] = 1
+                        # Without a restart sequence the event walk falls
+                        # straight back to the loop condition: a residual
+                        # below the cutoff ends the section.
+                        bare = fail[~restartable]
+                        exhausted = (
+                            bare[w[bare] <= _WORK_EPSILON]
+                            if bare.size
+                            else bare
+                        )
+                        advance(fail)
+                        if exhausted.size:
+                            advance(complete(exhausted))
+
+            if rst.size:
+                rst_sids = stage_id_arr[seg[rst]]
+                for sid in np.unique(rst_sids):
+                    grp = rst[rst_sids == sid]
+                    stages = stage_sets[sid]
+                    total = float(stage_totals[sid])
+                    nf = F[grp, k[grp] - base[grp]]
+                    ok = nf >= t[grp] + total
+
+                    suc = grp[ok]
+                    if suc.size:
+                        for category, duration in stages:
+                            if duration > 0.0:
+                                acc[category][suc] += duration
+                        t[suc] += total
+                        mode[suc] = 0
+                        # An ABFT section whose remaining work fell below
+                        # the cutoff ends right after its restart, exactly
+                        # like the event walk's while-condition re-check.
+                        abft_done = suc[
+                            (kind_arr[seg[suc]] == _KIND_ABFT)
+                            & (w[suc] <= _WORK_EPSILON)
+                        ]
+                        advance(suc)
+                        if abft_done.size:
+                            advance(complete(abft_done))
+
+                    fail = grp[~ok]
+                    if fail.size:
+                        failed_at = nf[~ok]
+                        remaining = failed_at - t[fail]
+                        for category, duration in stages:
+                            spent = np.minimum(remaining, duration)
+                            acc[category][fail] += spent
+                            remaining = remaining - spent
+                        failures[fail] += 1
+                        t[fail] = failed_at
+                        advance(fail)
 
         table = TrialTable.empty(
             n, protocol=self._protocol, application_time=self._application_time
         )
         data = table.data
         data["makespan"] = makespan
-        data["waste"] = 1.0 - self._application_time / makespan
+        if nseg == 0:
+            # Degenerate empty schedule: the event walk's makespan is 0 and
+            # ExecutionTrace.waste defines the waste as 0 there.
+            data["waste"] = 0.0
+        else:
+            data["waste"] = 1.0 - self._application_time / makespan
         data["failure_count"] = failures
         data["truncated"] = truncated
         for category in CATEGORIES:
             data[category] = acc[category]
         return table
+
+
+class VectorizedChunkedSimulator:
+    """Across-trials engine for chunked periodic protocols.
+
+    The one-segment special case of :class:`VectorizedPhasedSimulator`,
+    modelling exactly one :class:`PeriodicSegment` (``NoFT`` is the
+    degenerate case ``chunk_size >= work`` with no checkpoint and a
+    downtime-only restart).  Kept as the stable construction surface of the
+    ``NoFT`` / ``PurePeriodicCkpt`` adapters.
+
+    Parameters
+    ----------
+    protocol:
+        Protocol name stamped on the resulting :class:`TrialTable`.
+    application_time:
+        Fault-free duration ``T0`` (the waste baseline), seconds.
+    work:
+        Total work to execute, seconds (equals ``T0`` for these protocols).
+    chunk_size:
+        Seconds of work per chunk (clamped to the remaining work).
+    checkpoint_cost:
+        Checkpoint write cost ``C`` appended to every checkpointed chunk.
+    restart_stages:
+        Ordered ``(category, duration)`` pairs paid after each failure.
+    mtbf:
+        Exponential MTBF driving the failure streams; mutually exclusive
+        with ``failure_model``.
+    failure_model:
+        Any vectorizable failure model instance (see
+        :func:`vectorized_failure_model_or_raise`); overrides ``mtbf``.
+    max_makespan:
+        Truncation cap, strictly greater than ``application_time``.
+    trailing_checkpoint:
+        Whether the final chunk is followed by a checkpoint.
+    batch_size:
+        Failure-stream block size (see :class:`VectorizedPhasedSimulator`).
+    """
+
+    def __init__(
+        self,
+        *,
+        protocol: str,
+        application_time: float,
+        work: float,
+        chunk_size: float,
+        checkpoint_cost: float,
+        restart_stages: RestartStages,
+        mtbf: Optional[float] = None,
+        failure_model: Optional[FailureModel] = None,
+        max_makespan: float,
+        trailing_checkpoint: bool = False,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> None:
+        if work <= 0:
+            raise ValueError(f"work must be > 0, got {work}")
+        if failure_model is None:
+            if mtbf is None:
+                raise ValueError("one of mtbf or failure_model is required")
+            if float(mtbf) <= 0:
+                raise ValueError(f"mtbf must be > 0, got {mtbf}")
+            failure_model = ExponentialFailureModel(float(mtbf))
+        self._engine = VectorizedPhasedSimulator(
+            protocol=protocol,
+            application_time=application_time,
+            segments=(
+                PeriodicSegment(
+                    work=float(work),
+                    chunk_size=float(chunk_size),
+                    checkpoint_cost=float(checkpoint_cost),
+                    trailing=bool(trailing_checkpoint),
+                    stages=tuple(restart_stages),
+                ),
+            ),
+            failure_model=failure_model,
+            max_makespan=max_makespan,
+            batch_size=batch_size,
+        )
+
+    @property
+    def protocol(self) -> str:
+        """Protocol name stamped on result tables."""
+        return self._engine.protocol
+
+    def run_trials(self, runs: int, seed: Optional[int] = None) -> TrialTable:
+        """Simulate ``runs`` trials; see :class:`VectorizedPhasedSimulator`."""
+        return self._engine.run_trials(runs, seed)

@@ -14,7 +14,6 @@ from repro.application.scaling import ScalingMode
 from repro.core import ResilienceParameters
 from repro.core.analytical import (
     AbftPeriodicCkptModel,
-    BiPeriodicCkptModel,
     PurePeriodicCkptModel,
 )
 from repro.experiments import (

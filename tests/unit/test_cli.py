@@ -334,6 +334,10 @@ class TestScenarioValidateCommand:
                     "protocols": ["BiPeriodicCkpt"],
                     "platform": {"mtbf": 7200.0, "checkpoint": 600.0},
                     "workload": {"total_time": 3600.0},
+                    "failures": {
+                        "model": "trace",
+                        "params": {"interarrivals": [100.0, 200.0]},
+                    },
                     "simulation": {"backend": "vectorized"},
                 }
             )
@@ -380,12 +384,33 @@ class TestScenarioBackendFlag:
         ]
         assert event_rows == vectorized_rows
 
+    def test_vectorized_phased_run_matches_event_run(self, tmp_path, capsys):
+        from repro.scenario import Scenario
+
+        path = str(
+            Scenario.quick()
+            .with_protocols("BiPeriodicCkpt", "ABFT&PeriodicCkpt")
+            .with_simulation(validate=True, runs=5, seed=3)
+            .build()
+            .save(tmp_path / "spec.json")
+        )
+        assert main(["scenario", "run", path, "--backend", "event"]) == 0
+        event_out = capsys.readouterr().out
+        assert main(["scenario", "run", path, "--backend", "vectorized"]) == 0
+        vectorized_out = capsys.readouterr().out
+        event_rows = [l for l in event_out.splitlines() if "sim_waste" in l or "|" in l]
+        vectorized_rows = [
+            l for l in vectorized_out.splitlines() if "sim_waste" in l or "|" in l
+        ]
+        assert event_rows == vectorized_rows
+
     def test_vectorized_backend_mismatch_fails_cleanly(self, tmp_path, capsys):
         from repro.scenario import Scenario
 
         path = str(
             Scenario.quick()
             .with_protocols("BiPeriodicCkpt")
+            .with_failures("trace", interarrivals=[100.0, 200.0, 300.0])
             .with_simulation(validate=True, runs=5, seed=3)
             .build()
             .save(tmp_path / "spec.json")
@@ -405,14 +430,20 @@ class TestScenarioListBackends:
         # engine backends so users can pick a valid backend= without
         # reading source.
         assert "registered failure models:" in captured
-        assert "lognormal" in captured
+        assert "lognormal (aliases: log-normal) " \
+               "[backends: event+vectorized]" in captured
+        assert "trace (aliases: trace-based, replay) " \
+               "[backends: event]" in captured
         assert "PurePeriodicCkpt (aliases: pure, pure-periodic) " \
                "[backends: event+vectorized]" in captured
         assert "BiPeriodicCkpt (aliases: bi, bi-periodic) " \
-               "[backends: event]" in captured
+               "[backends: event+vectorized]" in captured
+        assert "ABFT&PeriodicCkpt (aliases: abft, composite, abft-periodic) " \
+               "[backends: event+vectorized]" in captured
         assert "engine backends (scenario 'simulation.backend'): " \
                "event, vectorized, auto" in captured
-        assert "'exponential' failure model" in captured
+        assert "a vectorized failure law (exponential, weibull, lognormal)" \
+               in captured
 
 
 class TestOptimizeCommand:

@@ -6,7 +6,7 @@ import math
 
 import pytest
 
-from repro import ApplicationWorkload, ResilienceParameters
+from repro import ResilienceParameters
 from repro.core.analytical.young_daly import paper_optimal_period
 from repro.core.registry import resolve_protocol
 from repro.optimize import (

@@ -49,19 +49,28 @@ class TestSimulateAtPeriods:
         )
         assert vectorized == event
 
-    def test_vectorized_rejects_unsupported_protocol(self, parameters, workload):
-        with pytest.raises(VectorizedBackendError, match="vectorized"):
-            simulate_at_periods(
-                "BiPeriodicCkpt",
-                parameters,
-                workload,
-                {"general_period": 3000.0, "library_period": 2500.0},
-                runs=5,
-                seed=1,
-                backend="vectorized",
-            )
+    def test_phased_backends_are_bit_identical(self, parameters, workload):
+        kwargs = dict(runs=20, seed=2014)
+        periods = {"general_period": 3000.0, "library_period": 2500.0}
+        vectorized = simulate_at_periods(
+            "BiPeriodicCkpt",
+            parameters,
+            workload,
+            periods,
+            backend="vectorized",
+            **kwargs,
+        )
+        event = simulate_at_periods(
+            "BiPeriodicCkpt",
+            parameters,
+            workload,
+            periods,
+            backend="event",
+            **kwargs,
+        )
+        assert vectorized == event
 
-    def test_auto_falls_back_to_event(self, parameters, workload):
+    def test_auto_uses_vectorized_for_phased_protocols(self, parameters, workload):
         summary = simulate_at_periods(
             "BiPeriodicCkpt",
             parameters,
@@ -74,30 +83,55 @@ class TestSimulateAtPeriods:
         assert summary["runs"] == 5
         assert 0.0 <= summary["waste_mean"] <= 1.0
 
-    def test_non_exponential_law_forces_event(self, parameters, workload):
+    def test_non_exponential_law_is_vectorized(self, parameters, workload):
+        kwargs = dict(
+            runs=5,
+            seed=1,
+            failure_model="weibull",
+            failure_params={"shape": 0.7},
+        )
+        vectorized = simulate_at_periods(
+            "PurePeriodicCkpt",
+            parameters,
+            workload,
+            {"period": 3000.0},
+            backend="vectorized",
+            **kwargs,
+        )
+        event = simulate_at_periods(
+            "PurePeriodicCkpt",
+            parameters,
+            workload,
+            {"period": 3000.0},
+            backend="event",
+            **kwargs,
+        )
+        assert vectorized == event
+
+    def test_stateful_law_forces_event(self, parameters, workload):
+        kwargs = dict(
+            runs=5,
+            seed=1,
+            failure_model="trace",
+            failure_params={"interarrivals": [4000.0, 9000.0, 2500.0]},
+        )
         summary = simulate_at_periods(
             "PurePeriodicCkpt",
             parameters,
             workload,
             {"period": 3000.0},
-            runs=5,
-            seed=1,
             backend="auto",
-            failure_model="weibull",
-            failure_params={"shape": 0.7},
+            **kwargs,
         )
         assert summary["runs"] == 5
-        with pytest.raises(VectorizedBackendError, match="exponential"):
+        with pytest.raises(VectorizedBackendError, match="trace"):
             simulate_at_periods(
                 "PurePeriodicCkpt",
                 parameters,
                 workload,
                 {"period": 3000.0},
-                runs=5,
-                seed=1,
                 backend="vectorized",
-                failure_model="weibull",
-                failure_params={"shape": 0.7},
+                **kwargs,
             )
 
 

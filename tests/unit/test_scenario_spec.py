@@ -287,24 +287,41 @@ class TestSimulationBackend:
         with pytest.raises(ScenarioSpecError, match=r"simulation\.backend"):
             ScenarioSpec.from_dict(data)
 
-    def test_vectorized_backend_rejects_unsupported_protocol(self):
+    def test_vectorized_backend_accepts_phased_protocols(self):
         data = minimal_dict()
-        data["protocols"] = ["BiPeriodicCkpt"]
+        data["protocols"] = ["BiPeriodicCkpt", "ABFT&PeriodicCkpt"]
         data["simulation"] = {"backend": "vectorized"}
-        with pytest.raises(ScenarioSpecError, match="BiPeriodicCkpt"):
-            ScenarioSpec.from_dict(data)
+        spec = ScenarioSpec.from_dict(data)
+        assert spec.simulation.backend == "vectorized"
 
-    def test_vectorized_backend_rejects_non_exponential_law(self):
+    def test_vectorized_backend_accepts_vectorized_laws(self):
+        for model, params in (
+            ("weibull", {"shape": 0.7}),
+            ("lognormal", {"sigma": 1.0}),
+        ):
+            data = minimal_dict()
+            data["protocols"] = ["PurePeriodicCkpt"]
+            data["failures"] = {"model": model, "params": params}
+            data["simulation"] = {"backend": "vectorized"}
+            assert ScenarioSpec.from_dict(data).failures.model == model
+
+    def test_vectorized_backend_rejects_stateful_law(self):
         data = minimal_dict()
         data["protocols"] = ["PurePeriodicCkpt"]
-        data["failures"] = {"model": "weibull", "params": {"shape": 0.7}}
+        data["failures"] = {
+            "model": "trace",
+            "params": {"interarrivals": [100.0, 200.0, 300.0]},
+        }
         data["simulation"] = {"backend": "vectorized"}
-        with pytest.raises(ScenarioSpecError, match="exponential"):
+        with pytest.raises(ScenarioSpecError, match="trace"):
             ScenarioSpec.from_dict(data)
 
     def test_auto_backend_accepts_anything_registered(self):
         data = minimal_dict()
-        data["failures"] = {"model": "weibull", "params": {"shape": 0.7}}
+        data["failures"] = {
+            "model": "trace",
+            "params": {"interarrivals": [100.0, 200.0, 300.0]},
+        }
         data["simulation"] = {"backend": "auto"}
         assert ScenarioSpec.from_dict(data).simulation.backend == "auto"
 

@@ -13,13 +13,26 @@ import pytest
 from repro import ApplicationWorkload, ResilienceParameters
 from repro.campaign import SweepJob, SweepRunner
 from repro.core.protocols import (
+    AbftPeriodicCkptSimulator,
+    AbftPeriodicCkptVectorized,
+    BiPeriodicCkptSimulator,
+    BiPeriodicCkptVectorized,
     NoFaultToleranceSimulator,
+    NoFaultToleranceVectorized,
     PurePeriodicCkptSimulator,
+    PurePeriodicCkptVectorized,
 )
-from repro.core.protocols.no_ft import NoFaultToleranceVectorized
-from repro.core.protocols.pure_periodic import PurePeriodicCkptVectorized
-from repro.core.registry import resolve_protocol, vectorized_protocol_names
-from repro.failures import ExponentialFailureModel, WeibullFailureModel
+from repro.core.registry import (
+    resolve_protocol,
+    vectorized_law_names,
+    vectorized_protocol_names,
+)
+from repro.failures import (
+    ExponentialFailureModel,
+    LogNormalFailureModel,
+    TraceFailureModel,
+    WeibullFailureModel,
+)
 from repro.simulation.rng import RandomStreams
 from repro.simulation.trace import CATEGORIES
 from repro.simulation.vectorized import (
@@ -27,12 +40,22 @@ from repro.simulation.vectorized import (
     VectorizedBackendError,
     VectorizedChunkedSimulator,
     exponential_mtbf_or_raise,
+    vectorized_backend_obstacle,
+    vectorized_failure_model_or_raise,
 )
 from repro.utils import HOUR, MINUTE
 
 PAIRS = {
     "NoFT": (NoFaultToleranceSimulator, NoFaultToleranceVectorized),
     "PurePeriodicCkpt": (PurePeriodicCkptSimulator, PurePeriodicCkptVectorized),
+    "BiPeriodicCkpt": (BiPeriodicCkptSimulator, BiPeriodicCkptVectorized),
+    "ABFT&PeriodicCkpt": (AbftPeriodicCkptSimulator, AbftPeriodicCkptVectorized),
+}
+
+LAW_MODELS = {
+    "exponential": lambda mtbf: ExponentialFailureModel(mtbf),
+    "weibull": lambda mtbf: WeibullFailureModel(mtbf, shape=0.7),
+    "lognormal": lambda mtbf: LogNormalFailureModel(mtbf, sigma=1.0),
 }
 
 
@@ -80,6 +103,15 @@ class TestCrossValidation:
             runs=40, seed=2014,
         )
 
+    @pytest.mark.parametrize("law", sorted(LAW_MODELS))
+    @pytest.mark.parametrize("protocol", sorted(PAIRS))
+    def test_bit_identical_under_every_vectorized_law(self, protocol, law):
+        model = LAW_MODELS[law](90 * MINUTE)
+        assert_tables_match_event(
+            protocol, PAIRS[protocol][1], _parameters(), _workload(),
+            runs=16, seed=11, failure_model=model,
+        )
+
     @pytest.mark.parametrize("seed", [0, 1, 99, 20140527])
     def test_bit_identical_across_seeds(self, seed):
         assert_tables_match_event(
@@ -87,12 +119,13 @@ class TestCrossValidation:
             _parameters(), _workload(), runs=12, seed=seed,
         )
 
-    def test_truncation_path_identical(self):
+    @pytest.mark.parametrize("protocol", sorted(PAIRS))
+    def test_truncation_path_identical(self, protocol):
         # MTBF far below the checkpoint cost: runs essentially never finish
         # and hit the max_slowdown cap.
         params = _parameters(platform_mtbf=120.0)
         assert_tables_match_event(
-            "PurePeriodicCkpt", PurePeriodicCkptVectorized, params,
+            protocol, PAIRS[protocol][1], params,
             _workload(1 * HOUR), runs=15, seed=5, max_slowdown=3.0,
         )
 
@@ -102,6 +135,41 @@ class TestCrossValidation:
         assert_tables_match_event(
             "PurePeriodicCkpt", PurePeriodicCkptVectorized, _parameters(),
             _workload(2 * HOUR), runs=15, seed=8, period=30.0,
+        )
+
+    def test_degenerate_periods_identical_bi_periodic(self):
+        assert_tables_match_event(
+            "BiPeriodicCkpt", BiPeriodicCkptVectorized, _parameters(),
+            _workload(2 * HOUR), runs=15, seed=8,
+            general_period=30.0, library_period=float("nan"),
+        )
+
+    def test_degenerate_period_identical_composite(self):
+        assert_tables_match_event(
+            "ABFT&PeriodicCkpt", AbftPeriodicCkptVectorized, _parameters(),
+            _workload(2 * HOUR), runs=15, seed=8,
+            general_period=float("nan"),
+        )
+
+    def test_composite_safeguard_identical(self):
+        # Short library phases flip to fallback periodic checkpointing
+        # under the Section III-B safeguard.
+        workload = ApplicationWorkload.iterative(
+            4, 2 * HOUR, 0.05, library_fraction=0.8
+        )
+        assert_tables_match_event(
+            "ABFT&PeriodicCkpt", AbftPeriodicCkptVectorized, _parameters(),
+            workload, runs=12, seed=13, safeguard=True,
+        )
+
+    @pytest.mark.parametrize("protocol", ["BiPeriodicCkpt", "ABFT&PeriodicCkpt"])
+    def test_multi_epoch_identical(self, protocol):
+        workload = ApplicationWorkload.iterative(
+            5, 2 * HOUR, 0.6, library_fraction=0.8
+        )
+        assert_tables_match_event(
+            protocol, PAIRS[protocol][1], _parameters(), workload,
+            runs=12, seed=21,
         )
 
     def test_explicit_exponential_model_identical(self):
@@ -120,17 +188,56 @@ class TestCrossValidation:
 
 
 class TestValidation:
-    def test_non_exponential_model_rejected(self):
-        with pytest.raises(VectorizedBackendError, match="exponential"):
+    def test_stateful_model_rejected(self):
+        # Trace replay is stateful: its block draws are not a pure function
+        # of the generator, so every adapter must refuse it.
+        with pytest.raises(VectorizedBackendError, match="TraceFailureModel"):
             PurePeriodicCkptVectorized(
                 _parameters(), _workload(),
-                failure_model=WeibullFailureModel(3600.0, shape=0.7),
+                failure_model=TraceFailureModel([100.0, 200.0, 300.0]),
+            )
+
+    @pytest.mark.parametrize("protocol", sorted(PAIRS))
+    def test_every_adapter_rejects_stateful_model(self, protocol):
+        with pytest.raises(VectorizedBackendError, match="vectorized laws"):
+            PAIRS[protocol][1](
+                _parameters(), _workload(),
+                failure_model=TraceFailureModel([100.0, 200.0, 300.0]),
             )
 
     def test_exponential_mtbf_helper(self):
         assert exponential_mtbf_or_raise(None, 123.0, protocol="p") == 123.0
         model = ExponentialFailureModel(456.0)
         assert exponential_mtbf_or_raise(model, 123.0, protocol="p") == 456.0
+
+    def test_vectorized_model_helper_passes_flagged_laws_through(self):
+        default = vectorized_failure_model_or_raise(None, 123.0, protocol="p")
+        assert default == ExponentialFailureModel(123.0)
+        for law, build in LAW_MODELS.items():
+            model = build(456.0)
+            assert (
+                vectorized_failure_model_or_raise(model, 123.0, protocol="p")
+                is model
+            ), law
+
+    def test_obstacle_names_registry_laws(self):
+        detail = vectorized_backend_obstacle(
+            PurePeriodicCkptVectorized,
+            TraceFailureModel([100.0]),
+            protocol="PurePeriodicCkpt",
+            law="trace",
+        )
+        assert "trace" in detail
+        for law in vectorized_law_names():
+            assert law in detail
+
+    def test_obstacle_names_missing_engine(self):
+        detail = vectorized_backend_obstacle(
+            None, None, protocol="ThirdPartyCkpt", law="exponential",
+            available=vectorized_protocol_names(),
+        )
+        assert "ThirdPartyCkpt" in detail
+        assert "no vectorized engine" in detail
 
     def test_invalid_runs_rejected(self):
         engine = PurePeriodicCkptVectorized(_parameters(), _workload())
@@ -154,16 +261,28 @@ class TestValidation:
 
 
 class TestRegistry:
-    def test_vectorized_protocols_registered(self):
+    def test_all_four_protocols_registered(self):
         names = vectorized_protocol_names()
-        assert "NoFT" in names
-        assert "PurePeriodicCkpt" in names
+        for protocol in PAIRS:
+            assert protocol in names
 
     def test_entry_exposes_vectorized_cls(self):
-        entry = resolve_protocol("pure-periodic")
-        assert entry.has_vectorized
-        assert entry.vectorized_cls is PurePeriodicCkptVectorized
-        assert not resolve_protocol("BiPeriodicCkpt").has_vectorized
+        assert resolve_protocol("pure-periodic").vectorized_cls is (
+            PurePeriodicCkptVectorized
+        )
+        assert resolve_protocol("BiPeriodicCkpt").vectorized_cls is (
+            BiPeriodicCkptVectorized
+        )
+        assert resolve_protocol("abft").vectorized_cls is (
+            AbftPeriodicCkptVectorized
+        )
+
+    def test_vectorized_laws_registered(self):
+        assert set(vectorized_law_names()) == {
+            "exponential",
+            "weibull",
+            "lognormal",
+        }
 
     def test_engine_backends_tuple(self):
         assert ENGINE_BACKENDS == ("event", "vectorized", "auto")
@@ -203,25 +322,47 @@ class TestSweepBackendSelection:
         # NoFT runs vectorized under "auto" too; its summary must be present.
         assert "NoFT" in auto.points[0].simulated
 
-    def test_vectorized_backend_rejects_unsupported_protocol(self):
-        job = self._job(backend="vectorized", protocols=("BiPeriodicCkpt",))
-        with pytest.raises(VectorizedBackendError, match="BiPeriodicCkpt"):
-            SweepRunner().run(job)
+    @pytest.mark.parametrize(
+        "protocol", ["BiPeriodicCkpt", "ABFT&PeriodicCkpt"]
+    )
+    def test_vectorized_backend_runs_phased_protocols(self, protocol):
+        event = SweepRunner().run(self._job(backend="event", protocols=(protocol,)))
+        vectorized = SweepRunner().run(
+            self._job(backend="vectorized", protocols=(protocol,))
+        )
+        for a, b in zip(event.points, vectorized.points):
+            assert a.simulated_waste == b.simulated_waste
+            assert a.simulated == b.simulated
 
-    def test_vectorized_backend_rejects_non_exponential_law(self):
+    @pytest.mark.parametrize("law", ["weibull", "lognormal"])
+    def test_vectorized_backend_runs_non_exponential_laws(self, law):
+        params = (("shape", 0.7),) if law == "weibull" else (("sigma", 1.0),)
+        event = SweepRunner().run(
+            self._job(backend="event", failure_model=law, failure_params=params)
+        )
+        vectorized = SweepRunner().run(
+            self._job(
+                backend="vectorized", failure_model=law, failure_params=params
+            )
+        )
+        for a, b in zip(event.points, vectorized.points):
+            assert a.simulated_waste == b.simulated_waste
+            assert a.simulated == b.simulated
+
+    def test_vectorized_backend_rejects_stateful_law(self):
         job = self._job(
             backend="vectorized",
-            failure_model="weibull",
-            failure_params=(("shape", 0.7),),
+            failure_model="trace",
+            failure_params=(("interarrivals", (100.0, 200.0, 300.0)),),
         )
-        with pytest.raises(VectorizedBackendError, match="exponential"):
+        with pytest.raises(VectorizedBackendError, match="trace"):
             SweepRunner().run(job)
 
-    def test_auto_backend_falls_back_for_non_exponential_law(self):
+    def test_auto_backend_falls_back_for_stateful_law(self):
         job = self._job(
             backend="auto",
-            failure_model="weibull",
-            failure_params=(("shape", 0.7),),
+            failure_model="trace",
+            failure_params=(("interarrivals", (100.0, 200.0, 300.0)),),
             simulation_runs=4,
         )
         result = SweepRunner().run(job)
