@@ -299,6 +299,215 @@ def test_vectorized_speedup_on_sweep_point(protocol):
 
 
 # --------------------------------------------------------------------- #
+# Gate 4: the schedule interpreter does not tax the event backend.
+# --------------------------------------------------------------------- #
+# The pre-IR hand-written walks, verbatim, as _run overrides on the
+# production simulators (the base class keeps the building-block helpers
+# for exactly this): the timing reference the interpreter is gated
+# against.  tests/property/test_property_schedule.py pins that the two
+# are bit-identical; this module pins that they cost the same.
+class _LegacyNoFT(NoFaultToleranceSimulator):
+    def _run(self, timeline, recorder):
+        from repro.simulation.events import EventKind
+
+        work = self._workload.total_time
+        time_now = 0.0
+        while True:
+            self._check_cap(time_now)
+            next_failure = timeline.next_failure_after(time_now)
+            if next_failure >= time_now + work:
+                recorder.account("useful_work", work)
+                return time_now + work
+            recorder.account("lost_work", next_failure - time_now)
+            recorder.record(next_failure, EventKind.FAILURE, during="no-ft")
+            time_now = self._restart(
+                next_failure,
+                timeline,
+                recorder,
+                (("downtime", self._params.downtime),),
+            )
+
+
+class _LegacyPurePeriodic(PurePeriodicCkptSimulator):
+    def _run(self, timeline, recorder):
+        params = self._params
+        return self._periodic_section(
+            0.0,
+            self._workload.total_time,
+            timeline,
+            recorder,
+            checkpoint_cost=params.full_checkpoint,
+            recovery_cost=params.full_recovery,
+            period=self.period(),
+            trailing_checkpoint=False,
+        )
+
+
+class _LegacyBiPeriodic(BiPeriodicCkptSimulator):
+    def _run(self, timeline, recorder):
+        from repro.simulation.events import EventKind
+
+        params = self._params
+        phases = self._workload.phase_sequence()
+        time_now = 0.0
+        for index, (kind, duration, _abft_capable) in enumerate(phases):
+            is_last = index == len(phases) - 1
+            if kind == "general":
+                checkpoint, period = params.full_checkpoint, self.general_period()
+                enter, leave = (
+                    EventKind.GENERAL_PHASE_START,
+                    EventKind.GENERAL_PHASE_END,
+                )
+            else:
+                checkpoint, period = params.library_checkpoint, self.library_period()
+                enter, leave = (
+                    EventKind.LIBRARY_PHASE_START,
+                    EventKind.LIBRARY_PHASE_END,
+                )
+            recorder.record(time_now, enter)
+            time_now = self._periodic_section(
+                time_now,
+                duration,
+                timeline,
+                recorder,
+                checkpoint_cost=checkpoint,
+                recovery_cost=params.full_recovery,
+                period=period,
+                trailing_checkpoint=not is_last,
+            )
+            recorder.record(time_now, leave)
+        return time_now
+
+
+class _LegacyAbftPeriodic(AbftPeriodicCkptSimulator):
+    def _run(self, timeline, recorder):
+        import math
+
+        from repro.simulation.events import EventKind
+
+        params = self._params
+        time_now = 0.0
+        general_period = self.general_period()
+        for epoch in self._workload.epochs:
+            recorder.record(time_now, EventKind.GENERAL_PHASE_START)
+            general_time = epoch.general_time
+            if not math.isnan(general_period) and general_time >= general_period:
+                time_now = self._periodic_section(
+                    time_now,
+                    general_time,
+                    timeline,
+                    recorder,
+                    checkpoint_cost=params.full_checkpoint,
+                    recovery_cost=params.full_recovery,
+                    period=general_period,
+                    trailing_checkpoint=True,
+                )
+            else:
+                time_now = self._unprotected_section(
+                    time_now,
+                    general_time,
+                    timeline,
+                    recorder,
+                    recovery_cost=params.full_recovery,
+                    checkpoint_cost=params.remainder_checkpoint,
+                )
+            recorder.record(time_now, EventKind.GENERAL_PHASE_END)
+            if epoch.library_time <= 0.0:
+                continue
+            if self._library_uses_abft(epoch):
+                time_now = self._abft_section(
+                    time_now,
+                    epoch.library_time,
+                    timeline,
+                    recorder,
+                    exit_checkpoint_cost=params.library_checkpoint,
+                )
+            else:
+                recorder.record(time_now, EventKind.LIBRARY_PHASE_START)
+                time_now = self._periodic_section(
+                    time_now,
+                    epoch.library_time,
+                    timeline,
+                    recorder,
+                    checkpoint_cost=params.library_checkpoint,
+                    recovery_cost=params.full_recovery,
+                    period=self.library_fallback_period(),
+                    trailing_checkpoint=True,
+                )
+                recorder.record(time_now, EventKind.LIBRARY_PHASE_END)
+        return time_now
+
+
+LEGACY_SIMULATORS = {
+    "NoFT": _LegacyNoFT,
+    "PurePeriodicCkpt": _LegacyPurePeriodic,
+    "BiPeriodicCkpt": _LegacyBiPeriodic,
+    "ABFT&PeriodicCkpt": _LegacyAbftPeriodic,
+}
+
+#: Interpreter time / legacy-walk time on the summed four-protocol run.
+#: The interpreter compiles once and caches the schedule across trials
+#: while the legacy walks re-derive their periods every run, so in
+#: practice the ratio sits at or below 1.0; the gate allows 10% headroom.
+INTERPRETER_OVERHEAD_CEILING = 1.10
+
+
+def _time_simulator(cls, protocol: str, runs: int) -> float:
+    simulator = cls(_parameters(), _workload(protocol))
+    streams = RandomStreams(SEED)
+    start = time.perf_counter()
+    for trial in range(runs):
+        simulator.simulate(streams.generator_for_trial(trial))
+    return time.perf_counter() - start
+
+
+def _interpreter_vs_legacy_timings(runs: int) -> dict:
+    """Per-protocol min-of-3 seconds for the interpreter and legacy walks."""
+    timings = {}
+    for protocol in sorted(EVENT_SIMULATORS):
+        interpreter_seconds = min(
+            _time_simulator(EVENT_SIMULATORS[protocol], protocol, runs)
+            for _ in range(3)
+        )
+        legacy_seconds = min(
+            _time_simulator(LEGACY_SIMULATORS[protocol], protocol, runs)
+            for _ in range(3)
+        )
+        timings[protocol] = {
+            "interpreter_seconds": interpreter_seconds,
+            "legacy_seconds": legacy_seconds,
+            "overhead_ratio": interpreter_seconds / legacy_seconds,
+        }
+    return timings
+
+
+def test_interpreter_overhead_within_ceiling():
+    runs = 100 if QUICK else 300
+    timings = _interpreter_vs_legacy_timings(runs)
+    total_interpreter = sum(t["interpreter_seconds"] for t in timings.values())
+    total_legacy = sum(t["legacy_seconds"] for t in timings.values())
+    ratio = total_interpreter / total_legacy
+    for protocol, entry in sorted(timings.items()):
+        print(
+            f"\ninterpreter vs legacy walk ({protocol}, {runs} trials): "
+            f"interpreter {entry['interpreter_seconds']:.3f}s, "
+            f"legacy {entry['legacy_seconds']:.3f}s, "
+            f"ratio {entry['overhead_ratio']:.3f}"
+        )
+    # Gate on the four-protocol aggregate: per-protocol ratios are recorded
+    # in the trajectory for trend-watching, but a single protocol's run is
+    # short enough that scheduler noise could trip a per-protocol 10% gate.
+    assert ratio <= INTERPRETER_OVERHEAD_CEILING, (
+        f"the schedule interpreter costs {ratio:.3f}x the legacy hand-written "
+        f"walks over the four-protocol sweep (ceiling "
+        f"{INTERPRETER_OVERHEAD_CEILING:.2f}x); per-protocol: "
+        + ", ".join(
+            f"{p}={t['overhead_ratio']:.3f}" for p, t in sorted(timings.items())
+        )
+    )
+
+
+# --------------------------------------------------------------------- #
 # Perf trajectory: the full protocol x law matrix, written to
 # BENCH_PR5.json and uploaded by CI as a workflow artifact.
 # --------------------------------------------------------------------- #
@@ -330,19 +539,34 @@ def test_write_perf_trajectory():
                 "speedup": round(vectorized_rate / event_rate, 2),
             }
             assert vectorized_rate > 0.0 and event_rate > 0.0
+    interpreter_runs = 100 if QUICK else 300
+    interpreter = {
+        protocol: {
+            "interpreter_seconds": round(entry["interpreter_seconds"], 4),
+            "legacy_seconds": round(entry["legacy_seconds"], 4),
+            "overhead_ratio": round(entry["overhead_ratio"], 3),
+        }
+        for protocol, entry in _interpreter_vs_legacy_timings(
+            interpreter_runs
+        ).items()
+    }
     payload = {
         "description": (
             "Perf trajectory of the Monte-Carlo engines: trials/sec per "
             "(protocol, failure law) for the event and vectorized backends "
-            "plus their ratio. Written by benchmarks/test_bench_engine.py "
-            "(REPRO_BENCH_QUICK shrinks the vectorized sweep point) and "
-            "uploaded by the CI bench job as a workflow artifact."
+            "plus their ratio, and the schedule interpreter's cost relative "
+            "to the legacy hand-written event walks. Written by "
+            "benchmarks/test_bench_engine.py (REPRO_BENCH_QUICK shrinks the "
+            "vectorized sweep point) and uploaded by the CI bench job as a "
+            "workflow artifact."
         ),
         "quick_mode": QUICK,
         "vectorized_trials": SWEEP_TRIALS,
         "event_trials": event_runs,
+        "interpreter_trials": interpreter_runs,
         "seed": SEED,
         "matrix": matrix,
+        "interpreter_vs_legacy_walk": interpreter,
     }
     TRAJECTORY_PATH.write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"

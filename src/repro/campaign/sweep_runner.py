@@ -44,6 +44,7 @@ from repro.simulation.table import TrialTable
 from repro.simulation.vectorized import (
     ENGINE_BACKENDS,
     VectorizedBackendError,
+    note_backend_fallback,
     supports_vectorized_backend,
     vectorized_backend_obstacle,
 )
@@ -467,7 +468,7 @@ class SweepRunner:
                 supported = supports_vectorized_backend(
                     entry.vectorized_cls, failure_model
                 )
-                if job.backend == "vectorized" and not supported:
+                if not supported:
                     detail = vectorized_backend_obstacle(
                         entry.vectorized_cls,
                         failure_model,
@@ -475,10 +476,12 @@ class SweepRunner:
                         law=job.failure_model,
                         available=vectorized_protocol_names(),
                     )
-                    raise VectorizedBackendError(
-                        f"backend='vectorized' cannot run this sweep: {detail}; "
-                        "use backend='event' or backend='auto'"
-                    )
+                    if job.backend == "vectorized":
+                        raise VectorizedBackendError(
+                            f"backend='vectorized' cannot run this sweep: "
+                            f"{detail}; use backend='event' or backend='auto'"
+                        )
+                    note_backend_fallback(detail)
                 use_vectorized = supported
             if use_vectorized:
                 engine = entry.vectorized_cls(

@@ -84,6 +84,16 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _note(message: str) -> None:
+    """Print a diagnostic (warning, progress note, cache info) to stderr.
+
+    Results -- tables, series, figures, rankings -- go to stdout so users
+    can pipe and redirect them; everything that merely narrates the run goes
+    through here, keeping stdout machine-parseable.
+    """
+    print(message, file=sys.stderr)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -450,7 +460,7 @@ def _run_figure7(args: argparse.Namespace) -> int:
             )
     if args.csv:
         path = result.write_csv(args.csv)
-        print(f"series written to {path}")
+        _note(f"series written to {path}")
     return 0
 
 
@@ -474,7 +484,7 @@ def _run_weak_scaling(args: argparse.Namespace, which: str) -> int:
         )
     if args.csv:
         path = result.write_csv(args.csv)
-        print(f"series written to {path}")
+        _note(f"series written to {path}")
     return 0
 
 
@@ -518,16 +528,16 @@ def _run_campaign(args: argparse.Namespace) -> int:
             )
         table.add_row(cells)
     print(table.to_text())
-    print(
+    _note(
         f"grid points: {len(result.points)} "
         f"(computed {result.computed_points}, "
         f"reused {result.cached_points} cached)"
     )
     if args.cache_dir:
-        print(f"cache directory: {args.cache_dir}")
+        _note(f"cache directory: {args.cache_dir}")
     if args.csv:
         path = table.write(args.csv)
-        print(f"series written to {path}")
+        _note(f"series written to {path}")
     return 0
 
 
@@ -624,7 +634,7 @@ def _run_scenario(args: argparse.Namespace) -> int:
     except (ScenarioError, UnknownProtocolError, UnknownFailureModelError) as exc:
         print(f"error: invalid scenario file {args.spec!r}: {exc}", file=sys.stderr)
         return 2
-    print(spec.describe())
+    _note(spec.describe())
     try:
         result = run_scenario(
             spec,
@@ -646,21 +656,21 @@ def _run_scenario(args: argparse.Namespace) -> int:
         return 2
     table = result.to_table()
     print(table.to_text())
-    print(
+    _note(
         f"grid points: {len(result.points)} "
         f"(computed {result.sweep.computed_points}, "
         f"reused {result.sweep.cached_points} cached)"
     )
     if result.truncated_trials:
-        print(
+        _note(
             f"warning: {result.truncated_trials} simulated trial(s) hit the "
             "max_slowdown cap and were truncated (waste ~1)"
         )
     if args.cache_dir:
-        print(f"cache directory: {args.cache_dir}")
+        _note(f"cache directory: {args.cache_dir}")
     if args.csv:
         path = result.write_csv(args.csv)
-        print(f"series written to {path}")
+        _note(f"series written to {path}")
     return 0
 
 
@@ -712,10 +722,10 @@ def _print_period_optimum(optimum) -> None:
     print(f"minimal model waste   : {optimum.waste:.6f}")
     print(f"model evaluations     : {optimum.evaluations}")
     if optimum.flat:
-        print("note: the waste does not depend on the period here "
+        _note("note: the waste does not depend on the period here "
               "(zero checkpoint cost)")
     if not optimum.feasible:
-        print("note: no period makes progress in this regime (waste = 1)")
+        _note("note: no period makes progress in this regime (waste = 1)")
 
 
 def _run_optimize(args: argparse.Namespace) -> int:
@@ -804,7 +814,7 @@ def _run_optimize_compare(args: argparse.Namespace) -> int:
     print(f"winning protocol(s) over the grid: {', '.join(winners)}")
     if args.csv:
         path = result.write_csv(args.csv)
-        print(f"series written to {path}")
+        _note(f"series written to {path}")
     return 0
 
 
@@ -842,19 +852,19 @@ def _run_optimize_map(args: argparse.Namespace) -> int:
         "cells won: "
         + ", ".join(f"{name}: {counts[name]}" for name in spec.protocols)
     )
-    print(
+    _note(
         f"cells: {len(regime_map.cells)} "
         f"(computed {regime_map.computed_cells}, "
         f"reused {regime_map.cached_cells} cached)"
     )
     if args.cache_dir:
-        print(f"cache directory: {args.cache_dir}")
+        _note(f"cache directory: {args.cache_dir}")
     if args.json:
         path = regime_map.save(args.json)
-        print(f"map written to {path}")
+        _note(f"map written to {path}")
     if args.csv:
         path = regime_map.write_csv(args.csv)
-        print(f"series written to {path}")
+        _note(f"series written to {path}")
     return 0
 
 

@@ -21,18 +21,22 @@ from repro.core.protocols.base import ProtocolSimulator, SimulationHorizonExceed
 from repro.core.protocols.no_ft import (
     NoFaultToleranceSimulator,
     NoFaultToleranceVectorized,
+    compile_no_ft_schedule,
 )
 from repro.core.protocols.pure_periodic import (
     PurePeriodicCkptSimulator,
     PurePeriodicCkptVectorized,
+    compile_pure_periodic_schedule,
 )
 from repro.core.protocols.bi_periodic import (
     BiPeriodicCkptSimulator,
     BiPeriodicCkptVectorized,
+    compile_bi_periodic_schedule,
 )
 from repro.core.protocols.abft_periodic import (
     AbftPeriodicCkptSimulator,
     AbftPeriodicCkptVectorized,
+    compile_abft_periodic_schedule,
 )
 
 __all__ = [
@@ -46,4 +50,8 @@ __all__ = [
     "BiPeriodicCkptVectorized",
     "AbftPeriodicCkptSimulator",
     "AbftPeriodicCkptVectorized",
+    "compile_no_ft_schedule",
+    "compile_pure_periodic_schedule",
+    "compile_bi_periodic_schedule",
+    "compile_abft_periodic_schedule",
 ]

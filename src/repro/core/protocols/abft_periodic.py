@@ -1,4 +1,4 @@
-"""ABFT&PeriodicCkpt composite simulator (Section III / V, Figure 2).
+"""ABFT&PeriodicCkpt composite protocol (Section III / V, Figure 2).
 
 The composite protocol, phase by phase (per epoch):
 
@@ -21,6 +21,13 @@ The composite protocol, phase by phase (per epoch):
   checkpointing instead, as are library phases without an ABFT
   implementation.
 
+The protocol compiles to per-epoch segment blocks (periodic or atomic
+GENERAL protection chosen by comparing the phase length to the optimal
+period; an ABFT segment with its exit partial checkpoint, or a fallback
+periodic section, for the LIBRARY phase); both Monte-Carlo backends execute
+the compiled description, and identical epochs compress into one repeated
+run.
+
 Modelling note: a failure striking during the *exit* partial checkpoint is
 handled as an ABFT failure (reconstruction then re-write of the checkpoint);
 the library call has just finished, its dataset and checksums are still in
@@ -41,19 +48,179 @@ from repro.core.parameters import ResilienceParameters
 from repro.core.protocols.base import ProtocolSimulator
 from repro.core.registry import register_protocol
 from repro.failures.base import FailureModel
-from repro.failures.timeline import FailureTimeline
 from repro.simulation.events import EventKind
-from repro.simulation.trace import TraceRecorder
-from repro.simulation.vectorized import (
+from repro.simulation.schedule import (
     AbftSegment,
     AtomicSegment,
     PeriodicSegment,
-    VectorizedPhasedSimulator,
+    Schedule,
     periodic_chunk_size,
+)
+from repro.simulation.vectorized import (
+    VectorizedPhasedSimulator,
     vectorized_failure_model_or_raise,
 )
 
-__all__ = ["AbftPeriodicCkptSimulator", "AbftPeriodicCkptVectorized"]
+__all__ = [
+    "AbftPeriodicCkptSimulator",
+    "AbftPeriodicCkptVectorized",
+    "compile_abft_periodic_schedule",
+]
+
+
+def _resolve_general_period(
+    parameters: ResilienceParameters,
+    general_period: Optional[float],
+    period_formula: str,
+) -> float:
+    """Periodic-checkpointing period used in long GENERAL phases."""
+    if general_period is not None:
+        return general_period
+    return optimal_period(
+        parameters.full_checkpoint,
+        parameters.platform_mtbf,
+        parameters.downtime,
+        parameters.full_recovery,
+        formula=period_formula,
+    )
+
+
+def _library_fallback_period(
+    parameters: ResilienceParameters, period_formula: str
+) -> float:
+    """Period used when a LIBRARY phase falls back to checkpointing."""
+    if parameters.library_checkpoint <= 0.0:
+        return float("nan")
+    return optimal_period(
+        parameters.library_checkpoint,
+        parameters.platform_mtbf,
+        parameters.downtime,
+        parameters.full_recovery,
+        formula=period_formula,
+    )
+
+
+def _library_uses_abft(
+    parameters: ResilienceParameters,
+    epoch: Epoch,
+    *,
+    safeguard: bool,
+    general_period: float,
+) -> bool:
+    """Decide whether ABFT protects the LIBRARY phase of ``epoch``."""
+    if not epoch.abft_capable or epoch.library_time <= 0.0:
+        return False
+    if not safeguard:
+        return True
+    projected = parameters.phi * epoch.library_time + parameters.library_checkpoint
+    if math.isnan(general_period):
+        return True
+    return projected >= general_period
+
+
+@register_protocol("ABFT&PeriodicCkpt", kind="schedule")
+def compile_abft_periodic_schedule(
+    parameters: ResilienceParameters,
+    workload: ApplicationWorkload,
+    *,
+    general_period: Optional[float] = None,
+    safeguard: bool = False,
+    period_formula: str = "paper",
+) -> Schedule:
+    """Compile the composite protocol: per-epoch GENERAL + LIBRARY blocks.
+
+    Long GENERAL phases become periodic sections whose trailing checkpoint
+    doubles as the library call's forced entry checkpoint; short ones become
+    atomic segments closed by the partial REMAINDER checkpoint.  LIBRARY
+    phases become ABFT segments (with the exit partial checkpoint folded
+    in) or, per the safeguard rule, fallback periodic sections.  Per-epoch
+    blocks are run-length-compressed, so identical epochs cost one repeated
+    run.
+    """
+    params = parameters
+    resolved_period = _resolve_general_period(params, general_period, period_formula)
+    rollback = (
+        ("downtime", params.downtime),
+        ("recovery", params.full_recovery),
+    )
+    abft_stages = (
+        ("downtime", params.downtime),
+        ("recovery", params.remainder_recovery_cost),
+        ("abft_recovery", params.abft_reconstruction),
+    )
+    blocks = []
+    for epoch in workload.epochs:
+        block = []
+        # ---- GENERAL phase -------------------------------------------- #
+        general_time = epoch.general_time
+        use_periodic = (
+            not math.isnan(resolved_period) and general_time >= resolved_period
+        )
+        if use_periodic:
+            # Periodic checkpointing; the trailing checkpoint doubles as
+            # the forced entry checkpoint of the library call.
+            block.append(
+                PeriodicSegment(
+                    work=general_time,
+                    chunk_size=periodic_chunk_size(
+                        resolved_period, params.full_checkpoint, general_time
+                    ),
+                    checkpoint_cost=params.full_checkpoint,
+                    trailing=True,
+                    stages=rollback,
+                    enter_event=EventKind.GENERAL_PHASE_START,
+                    exit_event=EventKind.GENERAL_PHASE_END,
+                )
+            )
+        else:
+            # Short phase: execute unprotected, then write the partial
+            # entry checkpoint of the REMAINDER dataset.
+            block.append(
+                AtomicSegment(
+                    work=general_time,
+                    checkpoint_cost=params.remainder_checkpoint,
+                    stages=rollback,
+                    enter_event=EventKind.GENERAL_PHASE_START,
+                    exit_event=EventKind.GENERAL_PHASE_END,
+                )
+            )
+        # ---- LIBRARY phase -------------------------------------------- #
+        if epoch.library_time <= 0.0:
+            blocks.append(block)
+            continue
+        if _library_uses_abft(
+            params, epoch, safeguard=safeguard, general_period=resolved_period
+        ):
+            # The exit partial checkpoint of the LIBRARY dataset is part of
+            # the segment; a failure during the write is an ABFT failure
+            # (the dataset is still reconstructible) and the write is
+            # redone.
+            block.append(
+                AbftSegment(
+                    work=epoch.library_time,
+                    phi=params.phi,
+                    stages=abft_stages,
+                    exit_checkpoint_cost=params.library_checkpoint,
+                )
+            )
+        else:
+            block.append(
+                PeriodicSegment(
+                    work=epoch.library_time,
+                    chunk_size=periodic_chunk_size(
+                        _library_fallback_period(params, period_formula),
+                        params.library_checkpoint,
+                        epoch.library_time,
+                    ),
+                    checkpoint_cost=params.library_checkpoint,
+                    trailing=True,
+                    stages=rollback,
+                    enter_event=EventKind.LIBRARY_PHASE_START,
+                    exit_event=EventKind.LIBRARY_PHASE_END,
+                )
+            )
+        blocks.append(block)
+    return Schedule.from_blocks(blocks)
 
 
 @register_protocol(
@@ -106,29 +273,13 @@ class AbftPeriodicCkptSimulator(ProtocolSimulator):
     # ------------------------------------------------------------------ #
     def general_period(self) -> float:
         """Periodic-checkpointing period used in long GENERAL phases."""
-        if self._general_period is not None:
-            return self._general_period
-        params = self._params
-        return optimal_period(
-            params.full_checkpoint,
-            params.platform_mtbf,
-            params.downtime,
-            params.full_recovery,
-            formula=self._period_formula,
+        return _resolve_general_period(
+            self._params, self._general_period, self._period_formula
         )
 
     def library_fallback_period(self) -> float:
         """Period used when a LIBRARY phase falls back to checkpointing."""
-        params = self._params
-        if params.library_checkpoint <= 0.0:
-            return float("nan")
-        return optimal_period(
-            params.library_checkpoint,
-            params.platform_mtbf,
-            params.downtime,
-            params.full_recovery,
-            formula=self._period_formula,
-        )
+        return _library_fallback_period(self._params, self._period_formula)
 
     @property
     def safeguard(self) -> bool:
@@ -137,16 +288,12 @@ class AbftPeriodicCkptSimulator(ProtocolSimulator):
 
     def _library_uses_abft(self, epoch: Epoch) -> bool:
         """Decide whether ABFT protects the LIBRARY phase of ``epoch``."""
-        params = self._params
-        if not epoch.abft_capable or epoch.library_time <= 0.0:
-            return False
-        if not self._safeguard:
-            return True
-        projected = params.phi * epoch.library_time + params.library_checkpoint
-        threshold = self.general_period()
-        if math.isnan(threshold):
-            return True
-        return projected >= threshold
+        return _library_uses_abft(
+            self._params,
+            epoch,
+            safeguard=self._safeguard,
+            general_period=self.general_period(),
+        )
 
     def _metadata(self) -> dict:
         return {
@@ -155,84 +302,25 @@ class AbftPeriodicCkptSimulator(ProtocolSimulator):
             "period_formula": self._period_formula,
         }
 
-    # ------------------------------------------------------------------ #
-    def _run(self, timeline: FailureTimeline, recorder: TraceRecorder) -> float:
-        params = self._params
-        time = 0.0
-        general_period = self.general_period()
-        for epoch in self._workload.epochs:
-            # ---- GENERAL phase ---------------------------------------- #
-            recorder.record(time, EventKind.GENERAL_PHASE_START)
-            general_time = epoch.general_time
-            use_periodic = (
-                not math.isnan(general_period) and general_time >= general_period
-            )
-            if use_periodic:
-                # Periodic checkpointing; the trailing checkpoint doubles as
-                # the forced entry checkpoint of the library call.
-                time = self._periodic_section(
-                    time,
-                    general_time,
-                    timeline,
-                    recorder,
-                    checkpoint_cost=params.full_checkpoint,
-                    recovery_cost=params.full_recovery,
-                    period=general_period,
-                    trailing_checkpoint=True,
-                )
-            else:
-                # Short phase: execute unprotected, then write the partial
-                # entry checkpoint of the REMAINDER dataset.
-                time = self._unprotected_section(
-                    time,
-                    general_time,
-                    timeline,
-                    recorder,
-                    recovery_cost=params.full_recovery,
-                    checkpoint_cost=params.remainder_checkpoint,
-                )
-            recorder.record(time, EventKind.GENERAL_PHASE_END)
-
-            # ---- LIBRARY phase ----------------------------------------- #
-            if epoch.library_time <= 0.0:
-                continue
-            if self._library_uses_abft(epoch):
-                time = self._abft_section(
-                    time,
-                    epoch.library_time,
-                    timeline,
-                    recorder,
-                    exit_checkpoint_cost=params.library_checkpoint,
-                )
-            else:
-                recorder.record(time, EventKind.LIBRARY_PHASE_START)
-                time = self._periodic_section(
-                    time,
-                    epoch.library_time,
-                    timeline,
-                    recorder,
-                    checkpoint_cost=params.library_checkpoint,
-                    recovery_cost=params.full_recovery,
-                    period=self.library_fallback_period(),
-                    trailing_checkpoint=True,
-                )
-                recorder.record(time, EventKind.LIBRARY_PHASE_END)
-        return time
+    def compile_schedule(self) -> Schedule:
+        return compile_abft_periodic_schedule(
+            self._params,
+            self._workload,
+            general_period=self._general_period,
+            safeguard=self._safeguard,
+            period_formula=self._period_formula,
+        )
 
 
 @register_protocol("ABFT&PeriodicCkpt", kind="vectorized")
 class AbftPeriodicCkptVectorized:
     """Across-trials engine for the composite protocol, any vectorized law.
 
-    The composite's epoch schedule is deterministic -- periodic or atomic
-    GENERAL protection chosen by comparing the phase length to the optimal
-    period, ABFT (plus its exit partial checkpoint) or fallback periodic
-    checkpointing for the LIBRARY phase, decided per epoch by the same
-    safeguard rule as the event simulator -- so it lowers directly onto
-    :class:`VectorizedPhasedSimulator`.  Accepts the same knobs as
-    :class:`AbftPeriodicCkptSimulator` and reproduces it bit for bit, trial
-    for trial, under every registry-flagged vectorized law (exponential,
-    Weibull, log-normal).
+    Executes the same compiled schedule as
+    :class:`AbftPeriodicCkptSimulator` through the phased engine.  Accepts
+    the same knobs (including the Section III-B safeguard) and reproduces
+    the event backend bit for bit, trial for trial, under every
+    registry-flagged vectorized law (exponential, Weibull, log-normal).
     """
 
     name = "ABFT&PeriodicCkpt"
@@ -248,99 +336,19 @@ class AbftPeriodicCkptVectorized:
         failure_model: Optional[FailureModel] = None,
         max_slowdown: float = 1e4,
     ) -> None:
-        # The event simulator owns the period derivation and the
-        # ABFT-vs-fallback decision (Section III-B safeguard); reusing it
-        # keeps the two backends impossible to desynchronise.
-        reference = AbftPeriodicCkptSimulator(
-            parameters,
-            workload,
-            general_period=general_period,
-            safeguard=safeguard,
-            period_formula=period_formula,
-            max_slowdown=max_slowdown,
-        )
-        params = parameters
-        rollback = (
-            ("downtime", params.downtime),
-            ("recovery", params.full_recovery),
-        )
-        abft_stages = (
-            ("downtime", params.downtime),
-            ("recovery", params.remainder_recovery_cost),
-            ("abft_recovery", params.abft_reconstruction),
-        )
-        period = reference.general_period()
-        segments = []
-        for epoch in workload.epochs:
-            general_time = epoch.general_time
-            use_periodic = (
-                not math.isnan(period) and general_time >= period
-            )
-            if use_periodic:
-                # Periodic checkpointing; the trailing checkpoint doubles
-                # as the forced entry checkpoint of the library call.
-                segments.append(
-                    PeriodicSegment(
-                        work=general_time,
-                        chunk_size=periodic_chunk_size(
-                            period, params.full_checkpoint, general_time
-                        ),
-                        checkpoint_cost=params.full_checkpoint,
-                        trailing=True,
-                        stages=rollback,
-                    )
-                )
-            else:
-                # Short phase: execute unprotected, then write the partial
-                # entry checkpoint of the REMAINDER dataset.
-                segments.append(
-                    AtomicSegment(
-                        work=general_time,
-                        checkpoint_cost=params.remainder_checkpoint,
-                        stages=rollback,
-                    )
-                )
-            if epoch.library_time <= 0.0:
-                continue
-            if reference._library_uses_abft(epoch):
-                segments.append(
-                    AbftSegment(
-                        work=epoch.library_time,
-                        phi=params.phi,
-                        stages=abft_stages,
-                    )
-                )
-                # The exit partial checkpoint of the LIBRARY dataset; a
-                # failure during the write is an ABFT failure (the dataset
-                # is still reconstructible) and the write is redone.
-                if params.library_checkpoint > 0.0:
-                    segments.append(
-                        AtomicSegment(
-                            work=0.0,
-                            checkpoint_cost=params.library_checkpoint,
-                            stages=abft_stages,
-                        )
-                    )
-            else:
-                fallback = reference.library_fallback_period()
-                segments.append(
-                    PeriodicSegment(
-                        work=epoch.library_time,
-                        chunk_size=periodic_chunk_size(
-                            fallback, params.library_checkpoint, epoch.library_time
-                        ),
-                        checkpoint_cost=params.library_checkpoint,
-                        trailing=True,
-                        stages=rollback,
-                    )
-                )
         total = workload.total_time
         self._engine = VectorizedPhasedSimulator(
             protocol=self.name,
             application_time=total,
-            segments=segments,
+            segments=compile_abft_periodic_schedule(
+                parameters,
+                workload,
+                general_period=general_period,
+                safeguard=safeguard,
+                period_formula=period_formula,
+            ),
             failure_model=vectorized_failure_model_or_raise(
-                failure_model, params.platform_mtbf, protocol=self.name
+                failure_model, parameters.platform_mtbf, protocol=self.name
             ),
             max_makespan=float(max_slowdown) * total,
         )

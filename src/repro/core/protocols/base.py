@@ -11,15 +11,23 @@ sequence is performed (itself restartable if further failures strike), and
 the protocol decides where execution resumes (last checkpoint, phase start,
 or -- for ABFT -- the exact point of interruption).
 
-The helpers in :class:`ProtocolSimulator` implement those building blocks so
-that each concrete protocol is a short, readable composition of them.
+Since the segment-schedule IR (:mod:`repro.simulation.schedule`), a concrete
+protocol no longer hand-writes that walk: it implements
+:meth:`ProtocolSimulator.compile_schedule` (usually by delegating to its
+module's registered ``compile_schedule()`` function) and the default
+:meth:`ProtocolSimulator._run` executes the compiled
+:class:`~repro.simulation.schedule.Schedule` through
+:class:`~repro.simulation.schedule.ScheduleInterpreter`.  The historical
+building-block helpers below (``_periodic_section``, ``_abft_section``, ...)
+are kept as thin wrappers over the canonical walk functions in
+:mod:`repro.simulation.schedule`, so subclasses that still override ``_run``
+imperatively (reference implementations in the test suite, downstream
+protocol prototypes) keep working bit for bit.
 """
 
 from __future__ import annotations
 
-import abc
 import copy
-import math
 from typing import Optional, Sequence
 
 import numpy as np
@@ -29,7 +37,20 @@ from repro.core.parameters import ResilienceParameters
 from repro.failures.base import FailureModel
 from repro.failures.exponential import ExponentialFailureModel
 from repro.failures.timeline import FailureTimeline
-from repro.simulation.events import EventKind
+from repro.simulation.schedule import (
+    Schedule,
+    ScheduleInterpreter,
+    SimulationHorizonExceeded,
+    run_abft_section,
+    run_atomic_segment,
+    run_checkpoint,
+    run_periodic_section,
+    run_restart,
+)
+from repro.simulation.schedule import (
+    _account_abft_progress as _schedule_account_abft_progress,
+)
+from repro.simulation.schedule import periodic_chunk_size
 from repro.simulation.trace import ExecutionTrace, TraceRecorder
 
 __all__ = ["ProtocolSimulator", "SimulationHorizonExceeded"]
@@ -38,20 +59,7 @@ __all__ = ["ProtocolSimulator", "SimulationHorizonExceeded"]
 RestartStages = Sequence[tuple[str, float]]
 
 
-class SimulationHorizonExceeded(RuntimeError):
-    """Raised internally when a run exceeds the configured makespan cap.
-
-    In infeasible regimes (e.g. the checkpoint cost exceeds the MTBF) a
-    simulated execution may essentially never finish; the cap turns that into
-    a truncated trace whose waste is ~1 instead of an endless loop.
-    """
-
-    def __init__(self, time: float) -> None:
-        super().__init__(f"simulation exceeded its makespan cap at t={time:.6g}s")
-        self.time = time
-
-
-class ProtocolSimulator(abc.ABC):
+class ProtocolSimulator:
     """Base class for the discrete-event protocol simulators.
 
     Parameters
@@ -96,6 +104,7 @@ class ProtocolSimulator(abc.ABC):
         self._failure_model = failure_model
         self._record_events = bool(record_events)
         self._max_makespan = float(max_slowdown) * workload.total_time
+        self._schedule_cache: Optional[Schedule] = None
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -170,9 +179,34 @@ class ProtocolSimulator(abc.ABC):
     # ------------------------------------------------------------------ #
     # To be provided by concrete protocols
     # ------------------------------------------------------------------ #
-    @abc.abstractmethod
+    def compile_schedule(self) -> Schedule:
+        """Compile this configuration into its segment schedule.
+
+        Concrete protocols implement this (usually by delegating to their
+        module's ``register_protocol(name, kind="schedule")`` compiler); the
+        default :meth:`_run` executes the compiled object.  The schedule may
+        only depend on the configuration, never on the failure draws, so one
+        compilation serves every trial.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} defines neither compile_schedule() nor _run()"
+        )
+
+    def _compiled_schedule(self) -> Schedule:
+        """The compiled schedule, cached across trials."""
+        if self._schedule_cache is None:
+            self._schedule_cache = self.compile_schedule()
+        return self._schedule_cache
+
     def _run(self, timeline: FailureTimeline, recorder: TraceRecorder) -> float:
-        """Execute the protected application; return the makespan."""
+        """Execute the protected application; return the makespan.
+
+        The default implementation interprets the compiled segment schedule;
+        subclasses may still override it with a hand-written walk (the
+        building-block helpers below preserve the historical semantics).
+        """
+        interpreter = ScheduleInterpreter(max_makespan=self._max_makespan)
+        return interpreter.run(self._compiled_schedule(), timeline, recorder)
 
     def _metadata(self) -> dict:
         """Protocol-specific metadata stored in every trace."""
@@ -181,6 +215,10 @@ class ProtocolSimulator(abc.ABC):
     # ------------------------------------------------------------------ #
     # Building blocks
     # ------------------------------------------------------------------ #
+    # Thin wrappers over the canonical walk functions in
+    # repro.simulation.schedule, kept so hand-written _run overrides (test
+    # reference implementations, protocol prototypes) compose the same
+    # bit-exact building blocks the interpreter executes.
     def _check_cap(self, time: float) -> None:
         if time > self._max_makespan:
             raise SimulationHorizonExceeded(time)
@@ -194,37 +232,11 @@ class ProtocolSimulator(abc.ABC):
     ) -> float:
         """Perform a restart sequence (downtime, recovery, ...), restartable.
 
-        ``stages`` is an ordered list of ``(category, duration)`` pairs, e.g.
-        ``[("downtime", D), ("recovery", R)]``.  If a failure strikes before
-        the whole sequence completes, the time already spent is charged to
-        the categories reached so far and the sequence starts over.
-        Returns the time at which the sequence finally completes.
+        See :func:`repro.simulation.schedule.run_restart`.
         """
-        total = sum(duration for _, duration in stages)
-        if total <= 0.0:
-            return time
-        recorder.record(time, EventKind.RECOVERY_START)
-        while True:
-            self._check_cap(time)
-            next_failure = timeline.next_failure_after(time)
-            if next_failure >= time + total:
-                for category, duration in stages:
-                    recorder.account(category, duration)
-                recorder.record(time + total, EventKind.RECOVERY_END)
-                return time + total
-            # The restart itself is interrupted: charge what was spent, count
-            # the failure, and start the sequence over.
-            elapsed = next_failure - time
-            remaining = elapsed
-            for category, duration in stages:
-                spent = min(remaining, duration)
-                if spent > 0.0:
-                    recorder.account(category, spent)
-                remaining -= spent
-                if remaining <= 0.0:
-                    break
-            recorder.record(next_failure, EventKind.FAILURE, during="restart")
-            time = next_failure
+        return run_restart(
+            time, timeline, recorder, stages, check_cap=self._check_cap
+        )
 
     def _rollback_stages(self, recovery_cost: float) -> RestartStages:
         """Downtime + full rollback recovery (the checkpointing protocols)."""
@@ -256,60 +268,21 @@ class ProtocolSimulator(abc.ABC):
     ) -> float:
         """Execute ``work`` seconds of work under periodic checkpointing.
 
-        The section starts from a protected state (job start, split
-        checkpoint or previous periodic checkpoint).  Work is cut into chunks
-        of ``period - checkpoint_cost`` seconds, each followed by a
-        checkpoint; a failure rolls back to the last completed checkpoint.
-        The last (possibly partial) chunk is followed by a checkpoint only
-        when ``trailing_checkpoint`` is true.
-
-        An invalid period (NaN, or not larger than the checkpoint cost) is
-        treated as "no intermediate checkpoint": the whole section forms a
-        single chunk, which is the degenerate behaviour a real runtime would
-        adopt when the optimal-period formula has no solution.
+        See :func:`repro.simulation.schedule.run_periodic_section`; the
+        period-to-chunk mapping (an invalid period means a single chunk) is
+        :func:`repro.simulation.schedule.periodic_chunk_size`.
         """
-        if work <= 0.0:
-            if trailing_checkpoint and checkpoint_cost > 0.0:
-                return self._checkpoint(
-                    time,
-                    timeline,
-                    recorder,
-                    checkpoint_cost=checkpoint_cost,
-                    restart_stages=self._rollback_stages(recovery_cost),
-                )
-            return time
-        if math.isnan(period) or period <= checkpoint_cost:
-            chunk_size = work
-        else:
-            chunk_size = period - checkpoint_cost
-
-        work_done = 0.0
-        while work_done < work:
-            chunk = min(chunk_size, work - work_done)
-            is_last = work_done + chunk >= work - 1e-12
-            do_checkpoint = (not is_last) or trailing_checkpoint
-            segment = chunk + (checkpoint_cost if do_checkpoint else 0.0)
-            self._check_cap(time)
-            next_failure = timeline.next_failure_after(time)
-            if next_failure >= time + segment:
-                recorder.account("useful_work", chunk)
-                if do_checkpoint and checkpoint_cost > 0.0:
-                    recorder.account("checkpointing", checkpoint_cost)
-                    recorder.record(time + segment, EventKind.CHECKPOINT_END)
-                time += segment
-                work_done += chunk
-            else:
-                elapsed = next_failure - time
-                recorder.account("lost_work", elapsed)
-                recorder.record(next_failure, EventKind.FAILURE, during="periodic")
-                time = self._restart(
-                    next_failure,
-                    timeline,
-                    recorder,
-                    self._rollback_stages(recovery_cost),
-                )
-                # Rollback: work_done stays at the last completed checkpoint.
-        return time
+        return run_periodic_section(
+            time,
+            work,
+            timeline,
+            recorder,
+            chunk_size=periodic_chunk_size(period, checkpoint_cost, work),
+            checkpoint_cost=checkpoint_cost,
+            trailing_checkpoint=trailing_checkpoint,
+            restart_stages=self._rollback_stages(recovery_cost),
+            check_cap=self._check_cap,
+        )
 
     # .................................................................. #
     def _unprotected_section(
@@ -324,34 +297,17 @@ class ProtocolSimulator(abc.ABC):
     ) -> float:
         """Execute ``work`` + an optional trailing checkpoint atomically.
 
-        Used for the composite's short GENERAL phase: no intermediate
-        checkpoint is taken, so a failure anywhere in the phase (or in its
-        trailing partial checkpoint) re-executes it entirely from the
-        previous protected state (reached through a full rollback of cost
-        ``recovery_cost``).
+        See :func:`repro.simulation.schedule.run_atomic_segment`.
         """
-        segment = work + checkpoint_cost
-        if segment <= 0.0:
-            return time
-        while True:
-            self._check_cap(time)
-            next_failure = timeline.next_failure_after(time)
-            if next_failure >= time + segment:
-                if work > 0.0:
-                    recorder.account("useful_work", work)
-                if checkpoint_cost > 0.0:
-                    recorder.account("checkpointing", checkpoint_cost)
-                    recorder.record(time + segment, EventKind.CHECKPOINT_END)
-                return time + segment
-            elapsed = next_failure - time
-            recorder.account("lost_work", elapsed)
-            recorder.record(next_failure, EventKind.FAILURE, during="unprotected")
-            time = self._restart(
-                next_failure,
-                timeline,
-                recorder,
-                self._rollback_stages(recovery_cost),
-            )
+        return run_atomic_segment(
+            time,
+            work,
+            timeline,
+            recorder,
+            checkpoint_cost=checkpoint_cost,
+            restart_stages=self._rollback_stages(recovery_cost),
+            check_cap=self._check_cap,
+        )
 
     # .................................................................. #
     def _checkpoint(
@@ -366,27 +322,17 @@ class ProtocolSimulator(abc.ABC):
     ) -> float:
         """Write one checkpoint, handling failures during the write.
 
-        With ``redo_on_failure`` (default) a failure during the write pays the
-        given restart sequence and the checkpoint is attempted again; this is
-        the behaviour used for the composite's exit partial checkpoint, where
-        the LIBRARY dataset remains reconstructible by ABFT while the write
-        is redone.
+        See :func:`repro.simulation.schedule.run_checkpoint`.
         """
-        if checkpoint_cost <= 0.0:
-            return time
-        while True:
-            self._check_cap(time)
-            next_failure = timeline.next_failure_after(time)
-            if next_failure >= time + checkpoint_cost:
-                recorder.account("checkpointing", checkpoint_cost)
-                recorder.record(time + checkpoint_cost, EventKind.CHECKPOINT_END)
-                return time + checkpoint_cost
-            elapsed = next_failure - time
-            recorder.account("lost_work", elapsed)
-            recorder.record(next_failure, EventKind.FAILURE, during="checkpoint")
-            time = self._restart(next_failure, timeline, recorder, restart_stages)
-            if not redo_on_failure:
-                return time
+        return run_checkpoint(
+            time,
+            timeline,
+            recorder,
+            checkpoint_cost=checkpoint_cost,
+            restart_stages=restart_stages,
+            redo_on_failure=redo_on_failure,
+            check_cap=self._check_cap,
+        )
 
     # .................................................................. #
     def _abft_section(
@@ -400,52 +346,22 @@ class ProtocolSimulator(abc.ABC):
     ) -> float:
         """Execute ``work`` seconds of computation under ABFT protection.
 
-        The computation is slowed by ``phi``; a failure costs a downtime, the
-        reload of the REMAINDER partial checkpoint and the ABFT
-        reconstruction, but loses no work (the surviving processes keep their
-        data and the failed process's data is rebuilt).  A partial checkpoint
-        of the LIBRARY dataset (``exit_checkpoint_cost``) is written when the
-        call returns.
+        See :func:`repro.simulation.schedule.run_abft_section`.
         """
-        params = self._params
-        phi = params.phi
-        scaled_remaining = work * phi
-        recorder.record(time, EventKind.LIBRARY_PHASE_START)
-        while scaled_remaining > 1e-12:
-            self._check_cap(time)
-            next_failure = timeline.next_failure_after(time)
-            if next_failure >= time + scaled_remaining:
-                self._account_abft_progress(recorder, scaled_remaining, phi)
-                time += scaled_remaining
-                scaled_remaining = 0.0
-            else:
-                elapsed = next_failure - time
-                self._account_abft_progress(recorder, elapsed, phi)
-                scaled_remaining -= elapsed
-                recorder.record(next_failure, EventKind.FAILURE, during="abft")
-                recorder.record(next_failure, EventKind.ABFT_RECOVERY_START)
-                time = self._restart(
-                    next_failure, timeline, recorder, self._abft_restart_stages()
-                )
-                recorder.record(time, EventKind.ABFT_RECOVERY_END)
-        if exit_checkpoint_cost > 0.0:
-            time = self._checkpoint(
-                time,
-                timeline,
-                recorder,
-                checkpoint_cost=exit_checkpoint_cost,
-                restart_stages=self._abft_restart_stages(),
-            )
-        recorder.record(time, EventKind.LIBRARY_PHASE_END)
-        return time
+        return run_abft_section(
+            time,
+            work,
+            timeline,
+            recorder,
+            phi=self._params.phi,
+            restart_stages=self._abft_restart_stages(),
+            exit_checkpoint_cost=exit_checkpoint_cost,
+            check_cap=self._check_cap,
+        )
 
     @staticmethod
     def _account_abft_progress(
         recorder: TraceRecorder, elapsed: float, phi: float
     ) -> None:
         """Split ABFT-protected wall-clock time into progress and overhead."""
-        if elapsed <= 0.0:
-            return
-        useful = elapsed / phi
-        recorder.account("useful_work", useful)
-        recorder.account("abft_overhead", elapsed - useful)
+        _schedule_account_abft_progress(recorder, elapsed, phi)

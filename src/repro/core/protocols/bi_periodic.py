@@ -1,4 +1,4 @@
-"""BiPeriodicCkpt simulator (Section IV-C / V, Figure 6).
+"""BiPeriodicCkpt protocol (Section IV-C / V, Figure 6).
 
 Incremental-checkpoint-aware periodic checkpointing: during LIBRARY phases
 only the LIBRARY dataset is modified, so checkpoints there cost ``C_L`` and
@@ -6,8 +6,14 @@ use their own (longer-work, cheaper-checkpoint) optimal period; GENERAL
 phases keep full checkpoints of cost ``C``.  Recovery always reloads the full
 dataset (cost ``R``).
 
+The protocol compiles to one periodically checkpointed segment per phase,
+with the per-kind checkpoint cost and period, closed by a trailing
+checkpoint on every phase but the last; both Monte-Carlo backends execute
+that compiled description.  Identical epochs of a weak-scaling workload
+compress into a single repeated run.
+
 Modelling note: when the protection mode switches at a phase boundary, the
-simulator closes the current phase with a checkpoint (of that phase's cost)
+schedule closes the current phase with a checkpoint (of that phase's cost)
 unless the phase is the last one of the application.  This keeps rollbacks
 within a single phase and mirrors what an actual runtime does when changing
 checkpoint content; for the workloads of the paper (phases several orders of
@@ -26,17 +32,126 @@ from repro.core.parameters import ResilienceParameters
 from repro.core.protocols.base import ProtocolSimulator
 from repro.core.registry import register_protocol
 from repro.failures.base import FailureModel
-from repro.failures.timeline import FailureTimeline
 from repro.simulation.events import EventKind
-from repro.simulation.trace import TraceRecorder
-from repro.simulation.vectorized import (
+from repro.simulation.schedule import (
     PeriodicSegment,
-    VectorizedPhasedSimulator,
+    Schedule,
     periodic_chunk_size,
+)
+from repro.simulation.vectorized import (
+    VectorizedPhasedSimulator,
     vectorized_failure_model_or_raise,
 )
 
-__all__ = ["BiPeriodicCkptSimulator", "BiPeriodicCkptVectorized"]
+__all__ = [
+    "BiPeriodicCkptSimulator",
+    "BiPeriodicCkptVectorized",
+    "compile_bi_periodic_schedule",
+]
+
+
+def _resolve_general_period(
+    parameters: ResilienceParameters,
+    general_period: Optional[float],
+    period_formula: str,
+) -> float:
+    """Period used during GENERAL phases (cost ``C``, Equation 11)."""
+    if general_period is not None:
+        return general_period
+    return optimal_period(
+        parameters.full_checkpoint,
+        parameters.platform_mtbf,
+        parameters.downtime,
+        parameters.full_recovery,
+        formula=period_formula,
+    )
+
+
+def _resolve_library_period(
+    parameters: ResilienceParameters,
+    library_period: Optional[float],
+    period_formula: str,
+) -> float:
+    """Period used during LIBRARY phases (cost ``C_L``, Equation 14)."""
+    if library_period is not None:
+        return library_period
+    if parameters.library_checkpoint <= 0.0:
+        return float("nan")
+    return optimal_period(
+        parameters.library_checkpoint,
+        parameters.platform_mtbf,
+        parameters.downtime,
+        parameters.full_recovery,
+        formula=period_formula,
+    )
+
+
+@register_protocol("BiPeriodicCkpt", kind="schedule")
+def compile_bi_periodic_schedule(
+    parameters: ResilienceParameters,
+    workload: ApplicationWorkload,
+    *,
+    general_period: Optional[float] = None,
+    library_period: Optional[float] = None,
+    period_formula: str = "paper",
+) -> Schedule:
+    """Compile bi-periodic checkpointing: one periodic segment per phase.
+
+    Each (non-empty) phase becomes a periodic section with its kind's
+    checkpoint cost and period, a trailing checkpoint unless it is the
+    application's last phase, and a full downtime + recovery rollback.
+    Per-epoch blocks are run-length-compressed, so identical epochs cost one
+    repeated run.
+    """
+    resolved_general = _resolve_general_period(
+        parameters, general_period, period_formula
+    )
+    resolved_library = _resolve_library_period(
+        parameters, library_period, period_formula
+    )
+    rollback = (
+        ("downtime", parameters.downtime),
+        ("recovery", parameters.full_recovery),
+    )
+    # Phase indexing mirrors ApplicationWorkload.phase_sequence(): zero
+    # -duration phases are skipped, and "last" means the last non-empty
+    # phase of the whole application.
+    total_phases = len(workload.phase_sequence())
+    blocks = []
+    index = 0
+    for epoch in workload.epochs:
+        block = []
+        for kind, duration in (
+            ("general", epoch.general_time),
+            ("library", epoch.library_time),
+        ):
+            if not duration > 0.0:
+                continue
+            is_last = index == total_phases - 1
+            if kind == "general":
+                checkpoint = parameters.full_checkpoint
+                period = resolved_general
+                enter = EventKind.GENERAL_PHASE_START
+                leave = EventKind.GENERAL_PHASE_END
+            else:
+                checkpoint = parameters.library_checkpoint
+                period = resolved_library
+                enter = EventKind.LIBRARY_PHASE_START
+                leave = EventKind.LIBRARY_PHASE_END
+            block.append(
+                PeriodicSegment(
+                    work=duration,
+                    chunk_size=periodic_chunk_size(period, checkpoint, duration),
+                    checkpoint_cost=checkpoint,
+                    trailing=not is_last,
+                    stages=rollback,
+                    enter_event=enter,
+                    exit_event=leave,
+                )
+            )
+            index += 1
+        blocks.append(block)
+    return Schedule.from_blocks(blocks)
 
 
 @register_protocol(
@@ -84,30 +199,14 @@ class BiPeriodicCkptSimulator(ProtocolSimulator):
     # ------------------------------------------------------------------ #
     def general_period(self) -> float:
         """Period used during GENERAL phases (cost ``C``)."""
-        if self._general_period is not None:
-            return self._general_period
-        params = self._params
-        return optimal_period(
-            params.full_checkpoint,
-            params.platform_mtbf,
-            params.downtime,
-            params.full_recovery,
-            formula=self._period_formula,
+        return _resolve_general_period(
+            self._params, self._general_period, self._period_formula
         )
 
     def library_period(self) -> float:
         """Period used during LIBRARY phases (cost ``C_L``, Equation 14)."""
-        if self._library_period is not None:
-            return self._library_period
-        params = self._params
-        if params.library_checkpoint <= 0.0:
-            return float("nan")
-        return optimal_period(
-            params.library_checkpoint,
-            params.platform_mtbf,
-            params.downtime,
-            params.full_recovery,
-            formula=self._period_formula,
+        return _resolve_library_period(
+            self._params, self._library_period, self._period_formula
         )
 
     def _metadata(self) -> dict:
@@ -117,53 +216,24 @@ class BiPeriodicCkptSimulator(ProtocolSimulator):
             "period_formula": self._period_formula,
         }
 
-    # ------------------------------------------------------------------ #
-    def _run(self, timeline: FailureTimeline, recorder: TraceRecorder) -> float:
-        params = self._params
-        phases = self._workload.phase_sequence()
-        time = 0.0
-        for index, (kind, duration, _abft_capable) in enumerate(phases):
-            is_last = index == len(phases) - 1
-            if kind == "general":
-                recorder.record(time, EventKind.GENERAL_PHASE_START)
-                time = self._periodic_section(
-                    time,
-                    duration,
-                    timeline,
-                    recorder,
-                    checkpoint_cost=params.full_checkpoint,
-                    recovery_cost=params.full_recovery,
-                    period=self.general_period(),
-                    trailing_checkpoint=not is_last,
-                )
-                recorder.record(time, EventKind.GENERAL_PHASE_END)
-            else:
-                recorder.record(time, EventKind.LIBRARY_PHASE_START)
-                time = self._periodic_section(
-                    time,
-                    duration,
-                    timeline,
-                    recorder,
-                    checkpoint_cost=params.library_checkpoint,
-                    recovery_cost=params.full_recovery,
-                    period=self.library_period(),
-                    trailing_checkpoint=not is_last,
-                )
-                recorder.record(time, EventKind.LIBRARY_PHASE_END)
-        return time
+    def compile_schedule(self) -> Schedule:
+        return compile_bi_periodic_schedule(
+            self._params,
+            self._workload,
+            general_period=self._general_period,
+            library_period=self._library_period,
+            period_formula=self._period_formula,
+        )
 
 
 @register_protocol("BiPeriodicCkpt", kind="vectorized")
 class BiPeriodicCkptVectorized:
     """Across-trials engine for BiPeriodicCkpt, any vectorized law.
 
-    The protocol's phase schedule is deterministic -- one periodically
-    checkpointed section per phase, with the per-kind checkpoint cost and
-    period, closed by a trailing checkpoint on every phase but the last --
-    so it lowers directly onto :class:`VectorizedPhasedSimulator`.  Accepts
-    the same knobs as :class:`BiPeriodicCkptSimulator` and reproduces it
-    bit for bit, trial for trial, under every registry-flagged vectorized
-    law (exponential, Weibull, log-normal).
+    Executes the same compiled schedule as :class:`BiPeriodicCkptSimulator`
+    through the phased engine.  Accepts the same knobs and reproduces the
+    event backend bit for bit, trial for trial, under every registry-flagged
+    vectorized law (exponential, Weibull, log-normal).
     """
 
     name = "BiPeriodicCkpt"
@@ -179,45 +249,17 @@ class BiPeriodicCkptVectorized:
         failure_model: Optional[FailureModel] = None,
         max_slowdown: float = 1e4,
     ) -> None:
-        # The event simulator owns the period derivation (Equations 11 and
-        # 14, including the library-checkpoint <= 0 degenerate case);
-        # reusing it keeps the two backends impossible to desynchronise.
-        reference = BiPeriodicCkptSimulator(
-            parameters,
-            workload,
-            general_period=general_period,
-            library_period=library_period,
-            period_formula=period_formula,
-            max_slowdown=max_slowdown,
-        )
-        rollback = (
-            ("downtime", parameters.downtime),
-            ("recovery", parameters.full_recovery),
-        )
-        phases = workload.phase_sequence()
-        segments = []
-        for index, (kind, duration, _abft_capable) in enumerate(phases):
-            is_last = index == len(phases) - 1
-            if kind == "general":
-                checkpoint = parameters.full_checkpoint
-                period = reference.general_period()
-            else:
-                checkpoint = parameters.library_checkpoint
-                period = reference.library_period()
-            segments.append(
-                PeriodicSegment(
-                    work=duration,
-                    chunk_size=periodic_chunk_size(period, checkpoint, duration),
-                    checkpoint_cost=checkpoint,
-                    trailing=not is_last,
-                    stages=rollback,
-                )
-            )
         total = workload.total_time
         self._engine = VectorizedPhasedSimulator(
             protocol=self.name,
             application_time=total,
-            segments=segments,
+            segments=compile_bi_periodic_schedule(
+                parameters,
+                workload,
+                general_period=general_period,
+                library_period=library_period,
+                period_formula=period_formula,
+            ),
             failure_model=vectorized_failure_model_or_raise(
                 failure_model, parameters.platform_mtbf, protocol=self.name
             ),

@@ -1,9 +1,14 @@
-"""Restart-from-scratch simulator (no fault tolerance).
+"""Restart-from-scratch protocol (no fault tolerance).
 
 Companion of :class:`repro.core.analytical.no_ft.NoFaultToleranceModel`: the
 whole application is one unprotected section; any failure loses all progress
 and the run restarts from the beginning after the downtime (there is no
 checkpoint to reload, so the recovery cost is zero).
+
+The protocol compiles to a single chunk-sized :class:`PeriodicSegment` with
+no checkpoint and a downtime-only restart -- the degenerate case where
+"rolling back to the last checkpoint" is restarting from scratch.  Both
+Monte-Carlo backends execute that one compiled description.
 """
 
 from __future__ import annotations
@@ -15,14 +20,43 @@ from repro.core.parameters import ResilienceParameters
 from repro.core.protocols.base import ProtocolSimulator
 from repro.core.registry import register_protocol
 from repro.failures.base import FailureModel
-from repro.failures.timeline import FailureTimeline
-from repro.simulation.trace import TraceRecorder
+from repro.simulation.schedule import PeriodicSegment, Schedule
 from repro.simulation.vectorized import (
-    VectorizedChunkedSimulator,
+    VectorizedPhasedSimulator,
     vectorized_failure_model_or_raise,
 )
 
-__all__ = ["NoFaultToleranceSimulator", "NoFaultToleranceVectorized"]
+__all__ = [
+    "NoFaultToleranceSimulator",
+    "NoFaultToleranceVectorized",
+    "compile_no_ft_schedule",
+]
+
+
+@register_protocol("NoFT", kind="schedule", paper=False)
+def compile_no_ft_schedule(
+    parameters: ResilienceParameters, workload: ApplicationWorkload
+) -> Schedule:
+    """Compile the NoFT protocol: one unprotected run-to-completion chunk.
+
+    A single periodic segment whose chunk covers the whole application, with
+    no checkpoint and a downtime-only restart: a failure anywhere loses all
+    progress (the rollback point is the job start) and only the downtime is
+    paid before starting over.
+    """
+    total = workload.total_time
+    return Schedule.from_segments(
+        (
+            PeriodicSegment(
+                work=total,
+                chunk_size=total,
+                checkpoint_cost=0.0,
+                trailing=False,
+                stages=(("downtime", parameters.downtime),),
+                during="no-ft",
+            ),
+        )
+    )
 
 
 @register_protocol(
@@ -50,39 +84,17 @@ class NoFaultToleranceSimulator(ProtocolSimulator):
             max_slowdown=max_slowdown,
         )
 
-    def _run(self, timeline: FailureTimeline, recorder: TraceRecorder) -> float:
-        work = self._workload.total_time
-        time = 0.0
-        while True:
-            self._check_cap(time)
-            next_failure = timeline.next_failure_after(time)
-            if next_failure >= time + work:
-                recorder.account("useful_work", work)
-                return time + work
-            elapsed = next_failure - time
-            recorder.account("lost_work", elapsed)
-            from repro.simulation.events import EventKind
-
-            recorder.record(next_failure, EventKind.FAILURE, during="no-ft")
-            # No checkpoint exists: only the downtime is paid before the
-            # application restarts from scratch.
-            time = self._restart(
-                next_failure,
-                timeline,
-                recorder,
-                (("downtime", self._params.downtime),),
-            )
+    def compile_schedule(self) -> Schedule:
+        return compile_no_ft_schedule(self._params, self._workload)
 
 
 @register_protocol("NoFT", kind="vectorized", paper=False)
 class NoFaultToleranceVectorized:
     """Across-trials engine for NoFT under any vectorized failure law.
 
-    The whole application is a single unprotected chunk, so the vectorized
-    chunked engine models it exactly (no checkpoint, downtime-only restart).
-    Bit-identical to :class:`NoFaultToleranceSimulator`, trial for trial,
-    for every registry-flagged vectorized law (exponential, Weibull,
-    log-normal).
+    Executes the same compiled schedule as :class:`NoFaultToleranceSimulator`
+    through the phased engine; bit-identical trial for trial for every
+    registry-flagged vectorized law (exponential, Weibull, log-normal).
     """
 
     name = "NoFT"
@@ -96,13 +108,10 @@ class NoFaultToleranceVectorized:
         max_slowdown: float = 1e4,
     ) -> None:
         total = workload.total_time
-        self._engine = VectorizedChunkedSimulator(
+        self._engine = VectorizedPhasedSimulator(
             protocol=self.name,
             application_time=total,
-            work=total,
-            chunk_size=total,
-            checkpoint_cost=0.0,
-            restart_stages=(("downtime", parameters.downtime),),
+            segments=compile_no_ft_schedule(parameters, workload),
             failure_model=vectorized_failure_model_or_raise(
                 failure_model, parameters.platform_mtbf, protocol=self.name
             ),
@@ -110,5 +119,5 @@ class NoFaultToleranceVectorized:
         )
 
     def run_trials(self, runs: int, seed: Optional[int] = None):
-        """Simulate ``runs`` trials; see :class:`VectorizedChunkedSimulator`."""
+        """Simulate ``runs`` trials; see :class:`VectorizedPhasedSimulator`."""
         return self._engine.run_trials(runs, seed)

@@ -1,10 +1,11 @@
-"""PurePeriodicCkpt simulator (Section IV-C / V, Figure 5).
+"""PurePeriodicCkpt protocol (Section IV-C / V, Figure 5).
 
 The whole application -- GENERAL and LIBRARY phases alike -- is protected by
 full-memory coordinated checkpoints taken at a single fixed period.  The
-simulator is oblivious of the phase structure, exactly like the protocol it
-models: the total fault-free work is executed as one periodically
-checkpointed section.
+protocol is oblivious of the phase structure, exactly like the strategy it
+models: it compiles to one periodically checkpointed segment covering the
+total fault-free work, and both Monte-Carlo backends execute that compiled
+description.
 """
 
 from __future__ import annotations
@@ -17,15 +18,71 @@ from repro.core.parameters import ResilienceParameters
 from repro.core.protocols.base import ProtocolSimulator
 from repro.core.registry import register_protocol
 from repro.failures.base import FailureModel
-from repro.failures.timeline import FailureTimeline
-from repro.simulation.trace import TraceRecorder
-from repro.simulation.vectorized import (
-    VectorizedChunkedSimulator,
+from repro.simulation.schedule import (
+    PeriodicSegment,
+    Schedule,
     periodic_chunk_size,
+)
+from repro.simulation.vectorized import (
+    VectorizedPhasedSimulator,
     vectorized_failure_model_or_raise,
 )
 
-__all__ = ["PurePeriodicCkptSimulator", "PurePeriodicCkptVectorized"]
+__all__ = [
+    "PurePeriodicCkptSimulator",
+    "PurePeriodicCkptVectorized",
+    "compile_pure_periodic_schedule",
+]
+
+
+def _resolve_period(
+    parameters: ResilienceParameters,
+    period: Optional[float],
+    period_formula: str,
+) -> float:
+    """The checkpointing period actually used: explicit, or Equation 11."""
+    if period is not None:
+        return period
+    return optimal_period(
+        parameters.full_checkpoint,
+        parameters.platform_mtbf,
+        parameters.downtime,
+        parameters.full_recovery,
+        formula=period_formula,
+    )
+
+
+@register_protocol("PurePeriodicCkpt", kind="schedule")
+def compile_pure_periodic_schedule(
+    parameters: ResilienceParameters,
+    workload: ApplicationWorkload,
+    *,
+    period: Optional[float] = None,
+    period_formula: str = "paper",
+) -> Schedule:
+    """Compile pure periodic checkpointing: one checkpointed segment.
+
+    The total fault-free work forms a single periodic section at the given
+    (or optimal) period, with no trailing checkpoint after the final chunk
+    and a full downtime + recovery rollback on failure.
+    """
+    resolved = _resolve_period(parameters, period, period_formula)
+    total = workload.total_time
+    checkpoint = parameters.full_checkpoint
+    return Schedule.from_segments(
+        (
+            PeriodicSegment(
+                work=total,
+                chunk_size=periodic_chunk_size(resolved, checkpoint, total),
+                checkpoint_cost=checkpoint,
+                trailing=False,
+                stages=(
+                    ("downtime", parameters.downtime),
+                    ("recovery", parameters.full_recovery),
+                ),
+            ),
+        )
+    )
 
 
 @register_protocol(
@@ -70,31 +127,19 @@ class PurePeriodicCkptSimulator(ProtocolSimulator):
 
     def period(self) -> float:
         """The checkpointing period actually used (seconds)."""
-        if self._explicit_period is not None:
-            return self._explicit_period
-        params = self._params
-        return optimal_period(
-            params.full_checkpoint,
-            params.platform_mtbf,
-            params.downtime,
-            params.full_recovery,
-            formula=self._period_formula,
+        return _resolve_period(
+            self._params, self._explicit_period, self._period_formula
         )
 
     def _metadata(self) -> dict:
         return {"period": self.period(), "period_formula": self._period_formula}
 
-    def _run(self, timeline: FailureTimeline, recorder: TraceRecorder) -> float:
-        params = self._params
-        return self._periodic_section(
-            0.0,
-            self._workload.total_time,
-            timeline,
-            recorder,
-            checkpoint_cost=params.full_checkpoint,
-            recovery_cost=params.full_recovery,
-            period=self.period(),
-            trailing_checkpoint=False,
+    def compile_schedule(self) -> Schedule:
+        return compile_pure_periodic_schedule(
+            self._params,
+            self._workload,
+            period=self._explicit_period,
+            period_formula=self._period_formula,
         )
 
 
@@ -103,9 +148,10 @@ class PurePeriodicCkptVectorized:
     """Across-trials engine for PurePeriodicCkpt, any vectorized law.
 
     Accepts the same protocol knobs as :class:`PurePeriodicCkptSimulator`
-    (explicit period or optimal-period formula) and produces bit-identical
-    per-trial results through the vectorized chunked engine, under every
-    registry-flagged vectorized law (exponential, Weibull, log-normal).
+    (explicit period or optimal-period formula), compiles the same schedule
+    and produces bit-identical per-trial results through the phased engine,
+    under every registry-flagged vectorized law (exponential, Weibull,
+    log-normal).
     """
 
     name = "PurePeriodicCkpt"
@@ -120,25 +166,12 @@ class PurePeriodicCkptVectorized:
         failure_model: Optional[FailureModel] = None,
         max_slowdown: float = 1e4,
     ) -> None:
-        if period is None:
-            period = optimal_period(
-                parameters.full_checkpoint,
-                parameters.platform_mtbf,
-                parameters.downtime,
-                parameters.full_recovery,
-                formula=period_formula,
-            )
         total = workload.total_time
-        checkpoint = parameters.full_checkpoint
-        self._engine = VectorizedChunkedSimulator(
+        self._engine = VectorizedPhasedSimulator(
             protocol=self.name,
             application_time=total,
-            work=total,
-            chunk_size=periodic_chunk_size(period, checkpoint, total),
-            checkpoint_cost=checkpoint,
-            restart_stages=(
-                ("downtime", parameters.downtime),
-                ("recovery", parameters.full_recovery),
+            segments=compile_pure_periodic_schedule(
+                parameters, workload, period=period, period_formula=period_formula
             ),
             failure_model=vectorized_failure_model_or_raise(
                 failure_model, parameters.platform_mtbf, protocol=self.name
@@ -147,5 +180,5 @@ class PurePeriodicCkptVectorized:
         )
 
     def run_trials(self, runs: int, seed: Optional[int] = None):
-        """Simulate ``runs`` trials; see :class:`VectorizedChunkedSimulator`."""
+        """Simulate ``runs`` trials; see :class:`VectorizedPhasedSimulator`."""
         return self._engine.run_trials(runs, seed)

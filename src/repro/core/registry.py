@@ -130,6 +130,11 @@ class ProtocolEntry:
     #: exposing ``run_trials(runs, seed) -> TrialTable``, bit-identical to
     #: the event simulator.  ``None`` means only the event backend exists.
     vectorized_cls: Optional[type] = None
+    #: Optional schedule compiler (``register_protocol(name,
+    #: kind="schedule")``): a function ``schedule_fn(parameters, workload,
+    #: **knobs) -> Schedule`` producing the segment IR both Monte-Carlo
+    #: backends execute (see :mod:`repro.simulation.schedule`).
+    schedule_fn: Optional[Callable[..., Any]] = None
     #: Whether the entry belongs to the paper's headline comparison, i.e.
     #: appears in the ``PROTOCOL_PAIRS`` compatibility view (the NoFT
     #: baseline registers with ``paper=False``).
@@ -143,6 +148,11 @@ class ProtocolEntry:
     def has_vectorized(self) -> bool:
         """Whether a vectorized across-trials engine is registered."""
         return self.vectorized_cls is not None
+
+    @property
+    def has_schedule(self) -> bool:
+        """Whether a segment-IR schedule compiler is registered."""
+        return self.schedule_fn is not None
 
     @property
     def period_parameters(self) -> Tuple[str, ...]:
@@ -271,7 +281,9 @@ def register_protocol(
         subclasses, ``"simulator"`` for
         :class:`~repro.core.protocols.base.ProtocolSimulator` subclasses,
         ``"vectorized"`` for across-trials engine adapters exposing
-        ``run_trials(runs, seed)``.
+        ``run_trials(runs, seed)``, ``"schedule"`` for segment-IR compiler
+        functions ``(parameters, workload, **knobs) ->
+        `` :class:`~repro.simulation.schedule.Schedule`.
     aliases:
         Alternative lookup names (case-insensitive, shared by both halves).
     paper:
@@ -290,9 +302,10 @@ def register_protocol(
     ... class MyCkptModel:  # doctest: +SKIP
     ...     ...
     """
-    if kind not in ("model", "simulator", "vectorized"):
+    if kind not in ("model", "simulator", "vectorized", "schedule"):
         raise ValueError(
-            f"kind must be 'model', 'simulator' or 'vectorized', got {kind!r}"
+            "kind must be 'model', 'simulator', 'vectorized' or 'schedule', "
+            f"got {kind!r}"
         )
 
     def decorator(cls: T) -> T:
@@ -309,8 +322,10 @@ def register_protocol(
             entry.model_cls = cls
         elif kind == "simulator":
             entry.simulator_cls = cls
-        else:
+        elif kind == "vectorized":
             entry.vectorized_cls = cls
+        else:
+            entry.schedule_fn = cls
         _register_lookup(_PROTOCOL_LOOKUP, name, entry.aliases, "protocol")
         return cls
 

@@ -40,6 +40,7 @@ from repro.optimize.period import PeriodOptimum, optimize_period
 from repro.simulation.vectorized import (
     ENGINE_BACKENDS,
     VectorizedBackendError,
+    note_backend_fallback,
     supports_vectorized_backend,
     vectorized_backend_obstacle,
 )
@@ -205,7 +206,7 @@ def simulate_at_periods(
         "vectorized",
         "auto",
     ) and supports_vectorized_backend(entry.vectorized_cls, model)
-    if backend == "vectorized" and not use_vectorized:
+    if backend in ("vectorized", "auto") and not use_vectorized:
         detail = vectorized_backend_obstacle(
             entry.vectorized_cls,
             model,
@@ -213,10 +214,12 @@ def simulate_at_periods(
             law=law,
             available=vectorized_protocol_names(),
         )
-        raise VectorizedBackendError(
-            f"backend='vectorized' cannot refine this configuration: {detail}; "
-            "use backend='event' or backend='auto'"
-        )
+        if backend == "vectorized":
+            raise VectorizedBackendError(
+                f"backend='vectorized' cannot refine this configuration: "
+                f"{detail}; use backend='event' or backend='auto'"
+            )
+        note_backend_fallback(detail)
     kwargs = {**dict(simulator_kwargs or {}), **dict(periods)}
     if use_vectorized:
         engine = entry.vectorized_cls(

@@ -24,9 +24,14 @@ re-implements it from scratch:
 * :mod:`repro.simulation.table` -- the columnar per-trial result table
   (structured NumPy array) every campaign produces; summaries are
   vectorized reductions over its columns.
+* :mod:`repro.simulation.schedule` -- the segment-schedule IR: protocols
+  compile to a run-length-compressed :class:`~repro.simulation.schedule.
+  Schedule` of typed segments; the
+  :class:`~repro.simulation.schedule.ScheduleInterpreter` is the canonical
+  event walk over it.
 * :mod:`repro.simulation.vectorized` -- the across-trials engine behind
-  ``backend="vectorized"``, bit-identical to the event walk for the
-  protocols it supports.
+  ``backend="vectorized"``: executes the same compiled schedules,
+  bit-identical to the event walk for the laws it supports.
 """
 
 from repro.simulation.events import Event, EventKind
@@ -41,6 +46,16 @@ from repro.simulation.trace import (
     WasteAccumulator,
 )
 from repro.simulation.runner import MonteCarloResult, MonteCarloRunner, run_monte_carlo
+from repro.simulation.schedule import (
+    AbftSegment,
+    AtomicSegment,
+    PeriodicSegment,
+    Schedule,
+    ScheduleInterpreter,
+    ScheduleRun,
+    SimulationHorizonExceeded,
+    compile_schedule,
+)
 from repro.simulation.vectorized import (
     ENGINE_BACKENDS,
     VectorizedBackendError,
@@ -64,6 +79,14 @@ __all__ = [
     "MonteCarloResult",
     "MonteCarloRunner",
     "run_monte_carlo",
+    "PeriodicSegment",
+    "AtomicSegment",
+    "AbftSegment",
+    "Schedule",
+    "ScheduleRun",
+    "ScheduleInterpreter",
+    "SimulationHorizonExceeded",
+    "compile_schedule",
     "ENGINE_BACKENDS",
     "VectorizedBackendError",
     "VectorizedChunkedSimulator",

@@ -48,8 +48,7 @@ are interchangeable.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -57,6 +56,15 @@ from repro.failures.base import FailureModel
 from repro.failures.exponential import ExponentialFailureModel
 from repro.failures.timeline import DEFAULT_BATCH_SIZE
 from repro.simulation.rng import RandomStreams, trial_seed_sequences
+from repro.simulation.schedule import (
+    WORK_EPSILON as _WORK_EPSILON,
+    AbftSegment,
+    AtomicSegment,
+    PeriodicSegment,
+    RestartStages,
+    Segment,
+    periodic_chunk_size,
+)
 from repro.simulation.table import TrialTable
 from repro.simulation.trace import CATEGORIES
 
@@ -68,10 +76,14 @@ __all__ = [
     "PeriodicSegment",
     "AtomicSegment",
     "AbftSegment",
+    "Segment",
+    "periodic_chunk_size",
     "exponential_mtbf_or_raise",
     "vectorized_failure_model_or_raise",
     "supports_vectorized_backend",
     "vectorized_backend_obstacle",
+    "note_backend_fallback",
+    "reset_backend_fallback_notes",
 ]
 
 #: Monte-Carlo engine backends selectable in the campaign/scenario layers.
@@ -79,14 +91,6 @@ __all__ = [
 #: across-trials engine of this module, ``"auto"`` picks the vectorized
 #: engine whenever the (protocol, failure law) pair supports it.
 ENGINE_BACKENDS = ("event", "vectorized", "auto")
-
-#: Restart sequences, as in the event-driven base simulator.
-RestartStages = Sequence[Tuple[str, float]]
-
-#: The event backend's "final chunk" slack (``work_done + chunk >= work -
-#: _WORK_EPSILON``) and the ABFT section's remaining-work cutoff.  Pinned:
-#: changing either shifts simulated results.
-_WORK_EPSILON = 1e-12
 
 
 class VectorizedBackendError(ValueError):
@@ -154,6 +158,33 @@ def vectorized_backend_obstacle(
     return None
 
 
+#: Obstacles already reported by :func:`note_backend_fallback`; a grid sweep
+#: hits the same (protocol, law) pair once per point, and one note is enough.
+_reported_fallbacks: set = set()
+
+
+def note_backend_fallback(detail: Optional[str]) -> None:
+    """Report (once, to stderr) that ``backend='auto'`` chose the event engine.
+
+    ``detail`` is the :func:`vectorized_backend_obstacle` message; ``None``
+    is a no-op so call sites can pass the obstacle through unconditionally.
+    Deduplicated on the message text -- a campaign sweeping hundreds of grid
+    points over an unsupported (protocol, law) pair emits a single line, not
+    one per point.  Diagnostics go to stderr: stdout stays machine-parseable.
+    """
+    if detail is None or detail in _reported_fallbacks:
+        return
+    _reported_fallbacks.add(detail)
+    import sys
+
+    print(f"note: backend 'auto' using the event engine: {detail}", file=sys.stderr)
+
+
+def reset_backend_fallback_notes() -> None:
+    """Forget reported fallbacks so the next run may note them again (tests)."""
+    _reported_fallbacks.clear()
+
+
 def exponential_mtbf_or_raise(
     failure_model: Optional[FailureModel], default_mtbf: float, *, protocol: str
 ) -> float:
@@ -210,72 +241,12 @@ def vectorized_failure_model_or_raise(
 
 
 # --------------------------------------------------------------------- #
-# Segment schedule
+# Segment dispatch kinds
 # --------------------------------------------------------------------- #
-def periodic_chunk_size(period: float, checkpoint_cost: float, work: float) -> float:
-    """Chunk size of a periodic section, replicating ``_periodic_section``.
-
-    An invalid period (NaN, or not larger than the checkpoint cost) means
-    "no intermediate checkpoint": the whole section is a single chunk.
-    """
-    period = float(period)
-    if math.isnan(period) or period <= checkpoint_cost:
-        return float(work)
-    return period - checkpoint_cost
-
-
-@dataclass(frozen=True)
-class PeriodicSegment:
-    """``work`` seconds under periodic checkpointing.
-
-    Mirrors :meth:`ProtocolSimulator._periodic_section
-    <repro.core.protocols.base.ProtocolSimulator>`: work is cut into chunks
-    of ``chunk_size`` seconds, each followed by a checkpoint of
-    ``checkpoint_cost`` seconds (the last chunk only when ``trailing``); a
-    failure loses the un-checkpointed progress and pays ``stages``, itself
-    restartable.  ``work <= 0`` degenerates exactly as the event walk does:
-    a lone trailing checkpoint when ``trailing`` and the cost is positive,
-    nothing otherwise.
-    """
-
-    work: float
-    chunk_size: float
-    checkpoint_cost: float
-    trailing: bool
-    stages: RestartStages
-
-
-@dataclass(frozen=True)
-class AtomicSegment:
-    """``work`` plus an optional trailing checkpoint, executed atomically.
-
-    Mirrors ``_unprotected_section`` (and ``_checkpoint`` when ``work`` is
-    zero): a failure anywhere in the segment re-executes it entirely after
-    the ``stages`` restart sequence.  Zero-duration segments are skipped,
-    exactly like the event walk's early returns.
-    """
-
-    work: float
-    checkpoint_cost: float
-    stages: RestartStages
-
-
-@dataclass(frozen=True)
-class AbftSegment:
-    """``work`` seconds of computation under ABFT protection.
-
-    Mirrors ``_abft_section`` (without its exit checkpoint, which schedules
-    as a separate :class:`AtomicSegment`): the computation is slowed by
-    ``phi``; a failure pays ``stages`` but loses no work.  A segment whose
-    scaled duration is below the event walk's ``1e-12`` cutoff is skipped.
-    """
-
-    work: float
-    phi: float
-    stages: RestartStages
-
-
-Segment = Union[PeriodicSegment, AtomicSegment, AbftSegment]
+# The segment types (PeriodicSegment / AtomicSegment / AbftSegment) and the
+# run-length-compressed Schedule container live in
+# :mod:`repro.simulation.schedule`; this module re-exports them for
+# compatibility and executes them across trials.
 
 _KIND_PERIODIC = 0
 _KIND_ATOMIC = 1
@@ -292,11 +263,13 @@ class VectorizedPhasedSimulator:
     application_time:
         Fault-free duration ``T0`` (the waste baseline), seconds.
     segments:
-        The deterministic segment schedule (see :class:`PeriodicSegment`,
-        :class:`AtomicSegment`, :class:`AbftSegment`), in execution order.
-        The schedule may only depend on the configuration -- never on the
-        failure draws -- which is exactly the property the event-driven
-        ``_run`` methods of the supported protocols have.
+        The deterministic segment schedule: a compiled
+        :class:`~repro.simulation.schedule.Schedule` (the usual case --
+        both backends execute the same compiled object) or any iterable of
+        :class:`PeriodicSegment` / :class:`AtomicSegment` /
+        :class:`AbftSegment`, in execution order.  The schedule may only
+        depend on the configuration -- never on the failure draws -- which
+        is exactly the property ``compile_schedule()`` functions have.
     failure_model:
         The inter-arrival law driving the failure streams.  Bit-identity
         requires a model whose ``sample_interarrivals`` is a pure function
@@ -319,7 +292,7 @@ class VectorizedPhasedSimulator:
         *,
         protocol: str,
         application_time: float,
-        segments: Sequence[Segment],
+        segments: Iterable[Segment],
         failure_model: FailureModel,
         max_makespan: float,
         batch_size: int = DEFAULT_BATCH_SIZE,
@@ -434,15 +407,26 @@ class VectorizedPhasedSimulator:
                 work = float(segment.work)
                 phi = float(segment.phi)
                 scaled = work * phi
-                if scaled <= _WORK_EPSILON:
-                    continue
-                append(
-                    _KIND_ABFT,
-                    work=work,
-                    init=scaled,
-                    phi=phi,
-                    stages=segment.stages,
-                )
+                if scaled > _WORK_EPSILON:
+                    append(
+                        _KIND_ABFT,
+                        work=work,
+                        init=scaled,
+                        phi=phi,
+                        stages=segment.stages,
+                    )
+                # The exit partial checkpoint executes atomically with the
+                # same restart sequence (run_checkpoint with
+                # redo_on_failure), so it lowers to an ATOMIC round with
+                # zero work -- the same 0.0 + cost duration sum.
+                exit_ckpt = float(segment.exit_checkpoint_cost)
+                if exit_ckpt > 0.0:
+                    append(
+                        _KIND_ATOMIC,
+                        duration=0.0 + exit_ckpt,
+                        ckpt=exit_ckpt,
+                        stages=segment.stages,
+                    )
             else:
                 raise TypeError(
                     f"unknown segment type {type(segment).__name__}; expected "

@@ -95,26 +95,29 @@ class TestMain:
 class TestCampaignCommand:
     def test_campaign_model_only(self, capsys):
         exit_code = main(["campaign", "--reduced"])
-        captured = capsys.readouterr().out
+        captured = capsys.readouterr()
         assert exit_code == 0
-        assert "Campaign: waste vs (MTBF, alpha)" in captured
-        assert "computed 20, reused 0 cached" in captured
+        assert "Campaign: waste vs (MTBF, alpha)" in captured.out
+        # Run diagnostics go to stderr; stdout stays machine-parseable.
+        assert "computed 20, reused 0 cached" in captured.err
+        assert "cached" not in captured.out
 
     def test_campaign_cache_round_trip(self, tmp_path, capsys):
         cache_dir = str(tmp_path / "cache")
         args = ["campaign", "--reduced", "--cache-dir", cache_dir]
 
         exit_code = main(args)
-        first = capsys.readouterr().out
+        first = capsys.readouterr()
         assert exit_code == 0
-        assert "computed 20, reused 0 cached" in first
-        assert cache_dir in first
+        assert "computed 20, reused 0 cached" in first.err
+        assert cache_dir in first.err
+        assert cache_dir not in first.out
 
         # Rerun with --resume: every point comes from the cache.
         exit_code = main(args + ["--resume"])
-        second = capsys.readouterr().out
+        second = capsys.readouterr()
         assert exit_code == 0
-        assert "computed 0, reused 20 cached" in second
+        assert "computed 0, reused 20 cached" in second.err
 
     def test_campaign_validate_with_workers_and_csv(self, tmp_path, capsys):
         cache_dir = str(tmp_path / "cache")
@@ -213,15 +216,16 @@ class TestScenarioCommand:
         exit_code = main(
             ["scenario", "run", path, "--cache-dir", cache_dir, "--csv", str(csv_path)]
         )
-        first = capsys.readouterr().out
+        first = capsys.readouterr()
         assert exit_code == 0
         assert csv_path.exists()
-        assert "computed 12, reused 0 cached" in first
+        assert "computed 12, reused 0 cached" in first.err
+        assert "cached" not in first.out
 
         exit_code = main(["scenario", "run", path, "--cache-dir", cache_dir, "--resume"])
-        second = capsys.readouterr().out
+        second = capsys.readouterr()
         assert exit_code == 0
-        assert "computed 0, reused 12 cached" in second
+        assert "computed 0, reused 12 cached" in second.err
 
     def test_scenario_run_missing_file(self, tmp_path, capsys):
         exit_code = main(["scenario", "run", str(tmp_path / "nope.json")])
@@ -552,15 +556,16 @@ class TestOptimizeCommand:
             "--cache-dir", cache_dir, "--resume", "--json", str(json_path),
         ]
         assert main(args) == 0
-        first_out = capsys.readouterr().out
-        assert "winning protocol" in first_out
-        assert "computed 4, reused 0 cached" in first_out
+        first = capsys.readouterr()
+        assert "winning protocol" in first.out
+        assert "computed 4, reused 0 cached" in first.err
+        assert "cached" not in first.out
         first_map = json_path.read_text()
 
         # Resumed re-run: all cells cached, identical winners and bytes.
         assert main(args) == 0
-        second_out = capsys.readouterr().out
-        assert "computed 0, reused 4 cached" in second_out
+        second = capsys.readouterr()
+        assert "computed 0, reused 4 cached" in second.err
         assert json_path.read_text() == first_map
 
     def test_map_csv(self, tmp_path, capsys):

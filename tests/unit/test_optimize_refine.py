@@ -8,7 +8,10 @@ import pytest
 
 from repro import ApplicationWorkload, ResilienceParameters
 from repro.optimize import refine_period, simulate_at_periods
-from repro.simulation.vectorized import VectorizedBackendError
+from repro.simulation.vectorized import (
+    VectorizedBackendError,
+    reset_backend_fallback_notes,
+)
 from repro.utils import MINUTE, WEEK
 
 
@@ -108,7 +111,8 @@ class TestSimulateAtPeriods:
         )
         assert vectorized == event
 
-    def test_stateful_law_forces_event(self, parameters, workload):
+    def test_stateful_law_forces_event(self, parameters, workload, capsys):
+        reset_backend_fallback_notes()
         kwargs = dict(
             runs=5,
             seed=1,
@@ -124,6 +128,21 @@ class TestSimulateAtPeriods:
             **kwargs,
         )
         assert summary["runs"] == 5
+        # The silent fallback is announced once, on stderr, naming the law.
+        captured = capsys.readouterr()
+        assert "backend 'auto' using the event engine" in captured.err
+        assert "trace" in captured.err
+        assert captured.out == ""
+        # A second identical run does not repeat the note.
+        simulate_at_periods(
+            "PurePeriodicCkpt",
+            parameters,
+            workload,
+            {"period": 3000.0},
+            backend="auto",
+            **kwargs,
+        )
+        assert capsys.readouterr().err == ""
         with pytest.raises(VectorizedBackendError, match="trace"):
             simulate_at_periods(
                 "PurePeriodicCkpt",
