@@ -52,6 +52,14 @@ Strategy advisor: numeric period optimization and regime maps::
         --node-mtbf-years 5 50 --workers 2 --cache-dir ./regime-cache \
         --resume --json regime.json
 
+Advisor service: the optimizer behind an HTTP API (stdlib only)::
+
+    # Serve /optimize, /compare, /simulate, /protocols, /healthz, /jobs/<id>;
+    # tier 2 interpolates a precomputed regime map, background jobs share
+    # --cache-dir with CLI sweeps:
+    python -m repro.cli serve --port 8080 \
+        --regime-map regime.json --cache-dir ./advisor-cache --workers 2
+
 ABFT substrate demonstration::
 
     python -m repro.cli abft --kernel lu --n 128 --block-size 32
@@ -270,8 +278,13 @@ def build_parser() -> argparse.ArgumentParser:
     scenario_validate.add_argument(
         "spec", type=str, help="path to the scenario JSON file"
     )
-    scenario_sub.add_parser(
+    scenario_list = scenario_sub.add_parser(
         "list", help="list registered protocols and failure models"
+    )
+    scenario_list.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the registry catalog as JSON (the /protocols payload)",
     )
 
     optimize = sub.add_parser(
@@ -367,6 +380,11 @@ def build_parser() -> argparse.ArgumentParser:
     optimize_compare.add_argument(
         "--csv", type=str, default=None, help="write the series to CSV"
     )
+    optimize_compare.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the ranking as JSON on stdout instead of a table",
+    )
 
     optimize_map = optimize_sub.add_parser(
         "map",
@@ -430,6 +448,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
     optimize_map.add_argument(
         "--csv", type=str, default=None, help="write the long-format table as CSV"
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the tiered advisor service (HTTP, stdlib asyncio)",
+        description=(
+            "Serve 'which protocol, what period?' over HTTP.  Answers flow "
+            "through three tiers: an in-process content-addressed answer "
+            "cache, bilinear interpolation over a precomputed regime map "
+            "(--regime-map), and the inline analytical optimizer; "
+            "Monte-Carlo refinement runs as background jobs polled via "
+            "GET /jobs/<id>.  See EXPERIMENTS.md for the endpoint reference."
+        ),
+    )
+    serve.add_argument("--host", type=str, default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8080, help="TCP port (0 picks an ephemeral one)"
+    )
+    serve.add_argument(
+        "--regime-map",
+        type=str,
+        default=None,
+        help="precomputed regime-map JSON ('optimize map --json') for tier 2",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        type=str,
+        default=None,
+        help="SweepCache directory shared by background simulation jobs",
+    )
+    serve.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=2,
+        help="concurrent background simulation jobs (default 2)",
+    )
+    serve.add_argument(
+        "--answer-cache-size",
+        type=_positive_int,
+        default=4096,
+        help="entries kept in the in-process answer cache (LRU, default 4096)",
     )
 
     abft = sub.add_parser("abft", help="ABFT kernel demonstration and overhead")
@@ -541,9 +600,10 @@ def _run_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_scenario_list() -> int:
+def _run_scenario_list(*, as_json: bool = False) -> int:
     from repro.core.registry import (
         failure_model_names,
+        registry_catalog,
         resolve_failure_model,
         resolve_protocol,
         protocol_names,
@@ -551,6 +611,14 @@ def _run_scenario_list() -> int:
         vectorized_protocol_names,
     )
     from repro.simulation.vectorized import ENGINE_BACKENDS
+
+    if as_json:
+        # The exact payload the advisor service's GET /protocols serves
+        # (same serializer), so scripts can consume either interchangeably.
+        import json
+
+        print(json.dumps(registry_catalog(), indent=2, sort_keys=True))
+        return 0
 
     print("registered protocols:")
     for name in protocol_names():
@@ -625,7 +693,7 @@ def _run_scenario(args: argparse.Namespace) -> int:
     from repro.simulation.vectorized import VectorizedBackendError
 
     if args.scenario_command == "list":
-        return _run_scenario_list()
+        return _run_scenario_list(as_json=args.json)
     if args.scenario_command == "validate":
         return _validate_scenario(args)
 
@@ -809,9 +877,16 @@ def _run_optimize_compare(args: argparse.Namespace) -> int:
     result = optimize_scenario(
         spec, protocols=tuple(protocols) if protocols is not None else None
     )
-    print(result.to_table().to_text())
-    winners = sorted({point.winner for point in result.points})
-    print(f"winning protocol(s) over the grid: {', '.join(winners)}")
+    if args.json:
+        # Machine-readable ranking: the same shape the advisor service's
+        # POST /compare returns (ScenarioOptimizationResult.to_dict).
+        import json
+
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(result.to_table().to_text())
+        winners = sorted({point.winner for point in result.points})
+        print(f"winning protocol(s) over the grid: {', '.join(winners)}")
     if args.csv:
         path = result.write_csv(args.csv)
         _note(f"series written to {path}")
@@ -868,6 +943,41 @@ def _run_optimize_map(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import create_app, serve_forever
+
+    try:
+        service = create_app(
+            regime_map=args.regime_map,
+            cache_dir=args.cache_dir,
+            workers=args.workers,
+            answer_cache_entries=args.answer_cache_size,
+        )
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: cannot start advisor service: {exc}", file=sys.stderr)
+        return 2
+    if service.surface is not None:
+        described = service.surface.describe()
+        _note(
+            f"regime map loaded from {args.regime_map}: "
+            f"{described['cells']} cells, "
+            f"protocols {', '.join(described['protocols'])}"
+        )
+    if args.cache_dir:
+        _note(f"background jobs cache to {args.cache_dir}")
+
+    def ready(host: str, port: int) -> None:
+        _note(f"advisor service listening on http://{host}:{port}")
+
+    try:
+        asyncio.run(serve_forever(service, args.host, args.port, ready=ready))
+    except KeyboardInterrupt:
+        _note("advisor service stopped")
+    return 0
+
+
 def _run_abft(args: argparse.Namespace) -> int:
     from repro.abft import measure_overhead
 
@@ -897,6 +1007,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_campaign(args)
     if args.command == "scenario":
         return _run_scenario(args)
+    if args.command == "serve":
+        return _run_serve(args)
     if args.command == "optimize":
         return _run_optimize(args)
     if args.command == "abft":

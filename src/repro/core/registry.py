@@ -49,6 +49,7 @@ __all__ = [
     "failure_model_names",
     "vectorized_law_names",
     "vectorized_law_classes",
+    "registry_catalog",
     "resolve_protocol",
     "resolve_failure_model",
     "create_failure_model",
@@ -403,6 +404,55 @@ def vectorized_law_names() -> Tuple[str, ...]:
     return tuple(
         entry.name for entry in _FAILURE_MODELS.values() if entry.vectorized
     )
+
+
+def registry_catalog() -> Dict[str, Any]:
+    """JSON-compatible snapshot of everything the registry can resolve.
+
+    One serializer, two consumers: ``scenario list --json`` prints it and
+    the advisor service's ``GET /protocols`` endpoint returns it, so
+    machine-readable discovery is identical on the CLI and over HTTP.  The
+    layout is deliberately plain data (sorted, no classes): protocol entries
+    carry their aliases, engine backends and tunable period keywords;
+    failure-model entries their aliases and vectorized flag.
+    """
+    _ensure_builtins()
+    from repro.simulation.vectorized import ENGINE_BACKENDS
+
+    protocols = []
+    for name in protocol_names():
+        entry = resolve_protocol(name)
+        protocols.append(
+            {
+                "name": entry.name,
+                "aliases": list(entry.aliases),
+                "paper": bool(entry.paper),
+                "backends": (
+                    ["event", "vectorized"] if entry.has_vectorized else ["event"]
+                ),
+                "has_schedule": entry.has_schedule,
+                "period_parameters": list(entry.period_parameters),
+            }
+        )
+    failure_models = []
+    for name in failure_model_names():
+        entry = resolve_failure_model(name)
+        failure_models.append(
+            {
+                "name": entry.name,
+                "aliases": list(entry.aliases),
+                "backends": (
+                    ["event", "vectorized"] if entry.vectorized else ["event"]
+                ),
+            }
+        )
+    return {
+        "protocols": protocols,
+        "failure_models": failure_models,
+        "engine_backends": list(ENGINE_BACKENDS),
+        "vectorized_protocols": list(vectorized_protocol_names()),
+        "vectorized_laws": list(vectorized_law_names()),
+    }
 
 
 def vectorized_law_classes() -> Tuple[type, ...]:

@@ -281,6 +281,7 @@ def refine_period(
     simulator_kwargs: Optional[Mapping[str, Any]] = None,
     max_slowdown: float = DEFAULT_MAX_SLOWDOWN,
     analytical: Optional[PeriodOptimum] = None,
+    executor: Optional[ParallelMonteCarloExecutor] = None,
 ) -> RefinedOptimum:
     """Re-optimize a protocol's period against the Monte-Carlo engine.
 
@@ -321,6 +322,11 @@ def refine_period(
         in both to keep the analytical and simulated configurations aligned.
     analytical:
         Reuse a precomputed analytical optimum instead of recomputing it.
+    executor:
+        Reuse an existing :class:`ParallelMonteCarloExecutor` for the
+        event-backend campaigns instead of constructing one from
+        ``workers`` / ``pool_backend`` (the advisor service's background
+        jobs share a single executor this way).
     """
     if points <= 0 or rounds <= 0:
         raise ValueError("points and rounds must be positive")
@@ -342,9 +348,10 @@ def refine_period(
         )
 
     cache = SweepCache(cache_dir) if cache_dir is not None else None
-    executor = ParallelMonteCarloExecutor(
-        workers=1 if workers is None else workers, backend=pool_backend
-    )
+    if executor is None:
+        executor = ParallelMonteCarloExecutor(
+            workers=1 if workers is None else workers, backend=pool_backend
+        )
     law = resolve_failure_model(failure_model).name
     law_params = dict(failure_params or {})
     engine_kwargs = dict(simulator_kwargs or {})

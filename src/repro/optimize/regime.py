@@ -353,22 +353,29 @@ class RegimeMap:
     cached_cells: int = 0
 
     # ------------------------------------------------------------------ #
+    def cell_index(self) -> Dict[Tuple[int, float, float, float], RegimeCell]:
+        """O(1) lookup table ``(nodes, node_mtbf, C, phi) -> cell``.
+
+        The advisor service's tier-2 surface queries corner cells per
+        request; a fresh dict per call keeps the dataclass frozen/hashable
+        while callers that care (the surface) build it once and keep it.
+        """
+        return {
+            (cell.nodes, cell.node_mtbf, cell.checkpoint, cell.abft_overhead): cell
+            for cell in self.cells
+        }
+
     def cell_at(
         self, nodes: int, node_mtbf: float, checkpoint: float, phi: float
     ) -> RegimeCell:
         """The cell at one coordinate tuple."""
-        for cell in self.cells:
-            if (
-                cell.nodes == nodes
-                and cell.node_mtbf == node_mtbf
-                and cell.checkpoint == checkpoint
-                and cell.abft_overhead == phi
-            ):
-                return cell
-        raise KeyError(
-            f"no cell at nodes={nodes}, node_mtbf={node_mtbf}, "
-            f"checkpoint={checkpoint}, phi={phi}"
-        )
+        cell = self.cell_index().get((nodes, node_mtbf, checkpoint, phi))
+        if cell is None:
+            raise KeyError(
+                f"no cell at nodes={nodes}, node_mtbf={node_mtbf}, "
+                f"checkpoint={checkpoint}, phi={phi}"
+            )
+        return cell
 
     def winners(self) -> Dict[Tuple[int, float, float, float], str]:
         """Map of cell coordinates to winning protocol."""

@@ -247,6 +247,33 @@ class ScenarioOptimizationResult:
         """Write the series table as CSV."""
         return self.to_table().write(path)
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible form: the spec plus per-point optima and winners.
+
+        This is the machine-readable shape behind both ``optimize compare
+        --json`` (printed to stdout) and the advisor service's ``/compare``
+        endpoint, so scripted consumers see one layout everywhere.  Non-
+        finite periods serialize as ``null`` (via
+        :meth:`~repro.optimize.period.PeriodOptimum.to_dict`).
+        """
+        protocols = self.spec.canonical_protocols
+        return {
+            "spec": self.spec.to_dict(),
+            "content_hash": self.spec.content_hash(),
+            "protocols": list(protocols),
+            "points": [
+                {
+                    "mtbf": point.mtbf,
+                    "alpha": point.alpha,
+                    "winner": point.winner,
+                    "optima": {
+                        name: point.optima[name].to_dict() for name in protocols
+                    },
+                }
+                for point in self.points
+            ],
+        }
+
 
 def optimize_scenario(
     spec: ScenarioSpec,

@@ -654,6 +654,21 @@ class ScenarioSpec:
         """Serialize to a JSON document."""
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
+    def content_hash(self) -> str:
+        """SHA-256 content address of the spec (canonical sorted-key JSON).
+
+        Delegates to :func:`repro.campaign.cache.canonical_digest` -- the
+        digest behind :class:`~repro.campaign.cache.SweepCache` point keys --
+        applied to :meth:`to_dict`, so two logically equal specs share one
+        hash regardless of field order, construction path or process: this
+        is the key the advisor service's content-addressed answer cache and
+        the on-disk sweep caches agree on.  The hash is pinned by a test;
+        changing :meth:`to_dict`'s layout invalidates existing caches.
+        """
+        from repro.campaign.cache import canonical_digest
+
+        return canonical_digest(self.to_dict())
+
     @classmethod
     def from_json(cls, text: str) -> "ScenarioSpec":
         """Parse and validate a JSON document."""

@@ -1,0 +1,48 @@
+"""The advisor service: "which protocol, what period?" over HTTP.
+
+A pure-stdlib asyncio HTTP server answering protocol-selection and
+period-optimization questions through three tiers -- content-addressed
+answer cache, precomputed regime-map interpolation, inline analytical
+optimization -- with Monte-Carlo refinement as content-addressed
+background jobs.  Start it with ``repro-experiments serve`` or embed it
+via :func:`create_app` / :func:`serve_forever`.
+"""
+
+from repro.service.app import AdvisorService, create_app, serve_forever
+from repro.service.cache import AnswerCache, CachedAnswer, answer_key
+from repro.service.http import HTTPError, HTTPServer, Request, Response, Router
+from repro.service.jobs import Job, JobManager
+from repro.service.tiers import (
+    TIER_ANALYTICAL,
+    TIER_BACKGROUND,
+    TIER_CACHE,
+    TIER_CATALOG,
+    TIER_MAP,
+    RegimeSurface,
+    SurfaceMismatch,
+    analytical_answer,
+)
+
+__all__ = [
+    "AdvisorService",
+    "AnswerCache",
+    "CachedAnswer",
+    "HTTPError",
+    "HTTPServer",
+    "Job",
+    "JobManager",
+    "RegimeSurface",
+    "Request",
+    "Response",
+    "Router",
+    "SurfaceMismatch",
+    "TIER_ANALYTICAL",
+    "TIER_BACKGROUND",
+    "TIER_CACHE",
+    "TIER_CATALOG",
+    "TIER_MAP",
+    "analytical_answer",
+    "answer_key",
+    "create_app",
+    "serve_forever",
+]

@@ -1,0 +1,103 @@
+"""Tier 1: the in-process, content-addressed answer cache.
+
+Identical questions are what millions-of-users traffic looks like, so the
+cheapest tier is a dictionary from the *content hash of the canonical
+request* to the exact response bytes previously served.  Keys go through
+:func:`repro.campaign.cache.canonical_digest` -- the same digest behind
+:meth:`ScenarioSpec.content_hash <repro.scenario.spec.ScenarioSpec.content_hash>`
+and the on-disk :class:`~repro.campaign.cache.SweepCache` point keys -- so
+"the same request" means the same thing at every caching layer: two JSON
+bodies that differ only in field order or whitespace share one entry.
+
+The cache stores rendered body *bytes*, not result objects: a hit is
+re-served verbatim, which is what makes the service's byte-identical
+hit/miss contract (asserted by the CI load test) trivially true rather than
+a property of careful re-serialization.
+
+Eviction is plain LRU with a bounded entry count; the answers are small
+JSON documents, so a few thousand entries cost single-digit megabytes.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional
+
+from repro.campaign.cache import canonical_digest
+
+__all__ = ["AnswerCache", "CachedAnswer", "answer_key"]
+
+#: Bump when the request canonicalization or answer layout changes
+#: incompatibly (mirrors the SweepCache schema convention).
+ANSWER_SCHEMA_VERSION = 1
+
+
+def answer_key(endpoint: str, request: Mapping[str, Any]) -> str:
+    """Content address of one canonicalized request to one endpoint.
+
+    ``request`` must already be canonical plain data (e.g. a
+    ``ScenarioSpec.to_dict()`` plus normalized option fields); the digest
+    then covers the endpoint, a schema version and the request, nothing
+    else -- no timestamps, no insertion order.
+    """
+    return canonical_digest(
+        {
+            "service": endpoint,
+            "schema": ANSWER_SCHEMA_VERSION,
+            "request": dict(request),
+        }
+    )
+
+
+@dataclass(frozen=True)
+class CachedAnswer:
+    """One stored answer: the response bytes plus its provenance."""
+
+    body: bytes
+    status: int
+    tier: str
+
+
+class AnswerCache:
+    """Bounded LRU mapping of request content hashes to response bytes."""
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        if max_entries <= 0:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[str, CachedAnswer]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str) -> Optional[CachedAnswer]:
+        """The cached answer for ``key``, counting the hit/miss."""
+        answer = self._entries.get(key)
+        if answer is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return answer
+
+    def put(self, key: str, answer: CachedAnswer) -> None:
+        """Store ``answer`` under ``key``, evicting the LRU entry if full."""
+        self._entries[key] = answer
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def counters(self) -> Dict[str, int]:
+        """Hit/miss/eviction counters plus the current entry count."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": len(self._entries),
+            "max_entries": self.max_entries,
+        }

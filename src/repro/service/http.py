@@ -1,0 +1,340 @@
+"""Minimal HTTP/1.1 layer for the advisor service (stdlib asyncio only).
+
+The repository's tier-1 test suite deliberately depends on NumPy alone, so
+the service cannot pull in an HTTP framework.  This module implements the
+small slice of HTTP/1.1 the advisor actually needs on top of
+``asyncio.start_server``:
+
+* request parsing -- request line, headers, ``Content-Length`` body, with
+  hard limits on line and body sizes so a misbehaving client cannot balloon
+  memory;
+* keep-alive connections (HTTP/1.1 default; ``Connection: close`` honoured),
+  which is what makes the answer-cache tier's sub-millisecond latency
+  visible to a load generator instead of being drowned in TCP handshakes;
+* a tiny router with ``{param}`` path segments (``/jobs/{job_id}``);
+* deterministic response encoding -- the advisor's cache-hit contract is
+  *byte-identical bodies*, so the encoder never injects dates or other
+  varying headers into the body path.
+
+Everything protocol-shaped lives here; everything advisor-shaped lives in
+:mod:`repro.service.app`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Awaitable,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+)
+from urllib.parse import parse_qsl, unquote
+
+__all__ = [
+    "HTTPError",
+    "Request",
+    "Response",
+    "Router",
+    "HTTPServer",
+    "REASON_PHRASES",
+]
+
+#: Reason phrases for the status codes the service emits.
+REASON_PHRASES = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+#: Upper bounds on request framing; requests beyond them are rejected with
+#: 400/413 instead of being buffered.
+MAX_REQUEST_LINE = 8192
+MAX_HEADER_COUNT = 100
+MAX_BODY_BYTES = 1 << 20
+
+
+class HTTPError(Exception):
+    """An error that maps directly onto an HTTP error response."""
+
+    def __init__(self, status: int, detail: str) -> None:
+        super().__init__(detail)
+        self.status = status
+        self.detail = detail
+
+    def response(self) -> "Response":
+        """The JSON error body for this failure."""
+        return Response.json(
+            {"error": {"status": self.status, "detail": self.detail}},
+            status=self.status,
+        )
+
+
+@dataclass(frozen=True)
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: Mapping[str, str]
+    headers: Mapping[str, str]
+    body: bytes
+    #: Path parameters bound by the router (``/jobs/{job_id}``).
+    params: Mapping[str, str] = field(default_factory=dict)
+
+    def json(self) -> Any:
+        """The request body parsed as JSON (400 on syntax errors)."""
+        if not self.body:
+            raise HTTPError(400, "request body must be a JSON object")
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HTTPError(400, f"invalid JSON body: {exc}") from exc
+
+    def with_params(self, params: Mapping[str, str]) -> "Request":
+        """A copy with the router's path parameters bound."""
+        return Request(
+            method=self.method,
+            path=self.path,
+            query=self.query,
+            headers=self.headers,
+            body=self.body,
+            params=dict(params),
+        )
+
+
+@dataclass(frozen=True)
+class Response:
+    """One HTTP response: status, body bytes and extra headers.
+
+    ``headers`` carries the service's provenance headers (``X-Repro-Tier``,
+    ``X-Repro-Cache``); framing headers (``Content-Length``, ``Connection``)
+    are added by :meth:`encode`.
+    """
+
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: Tuple[Tuple[str, str], ...] = ()
+
+    @classmethod
+    def json(
+        cls,
+        payload: Any,
+        *,
+        status: int = 200,
+        headers: Tuple[Tuple[str, str], ...] = (),
+    ) -> "Response":
+        """A response with a deterministic JSON body.
+
+        Sorted keys, compact separators and ``allow_nan=False``: two calls
+        with equal payloads produce equal bytes, and a non-finite float
+        (which would serialize as invalid JSON) fails loudly instead.
+        """
+        body = json.dumps(
+            payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+        ).encode("utf-8")
+        return cls(status=status, body=body, headers=headers)
+
+    def encode(self, *, keep_alive: bool) -> bytes:
+        """Serialize the full response, framing headers included."""
+        reason = REASON_PHRASES.get(self.status, "Unknown")
+        lines = [
+            f"HTTP/1.1 {self.status} {reason}",
+            f"Content-Type: {self.content_type}",
+            f"Content-Length: {len(self.body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        lines.extend(f"{name}: {value}" for name, value in self.headers)
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        return head + self.body
+
+
+Handler = Callable[[Request], Awaitable[Response]]
+
+
+class Router:
+    """Method + path-pattern dispatch with ``{param}`` segments."""
+
+    def __init__(self) -> None:
+        self._routes: List[Tuple[str, Tuple[str, ...], Handler]] = []
+
+    def add(self, method: str, pattern: str, handler: Handler) -> None:
+        """Register ``handler`` for ``method`` on ``pattern``.
+
+        Patterns are literal paths whose ``{name}`` segments match any
+        single non-empty segment and bind it as ``request.params[name]``.
+        """
+        segments = tuple(s for s in pattern.strip("/").split("/") if s)
+        self._routes.append((method.upper(), segments, handler))
+
+    def dispatch(self, request: Request) -> Tuple[Handler, Dict[str, str]]:
+        """The handler and bound path parameters for one request.
+
+        Raises :class:`HTTPError` 404 when no pattern matches the path and
+        405 when a pattern matches but not the method.
+        """
+        segments = tuple(s for s in request.path.strip("/").split("/") if s)
+        path_matched = False
+        for method, pattern, handler in self._routes:
+            params = _match(pattern, segments)
+            if params is None:
+                continue
+            path_matched = True
+            if method == request.method:
+                return handler, params
+        if path_matched:
+            raise HTTPError(405, f"method {request.method} not allowed on {request.path}")
+        raise HTTPError(404, f"no such endpoint: {request.path}")
+
+
+def _match(
+    pattern: Tuple[str, ...], segments: Tuple[str, ...]
+) -> Optional[Dict[str, str]]:
+    if len(pattern) != len(segments):
+        return None
+    params: Dict[str, str] = {}
+    for expected, actual in zip(pattern, segments):
+        if expected.startswith("{") and expected.endswith("}"):
+            params[expected[1:-1]] = actual
+        elif expected != actual:
+            return None
+    return params
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    """Parse one request from the stream; ``None`` on a clean EOF.
+
+    Raises :class:`HTTPError` on malformed framing (bad request line,
+    oversized headers or body, non-integer ``Content-Length``).
+    """
+    try:
+        line = await reader.readline()
+    except (asyncio.LimitOverrunError, ValueError) as exc:
+        raise HTTPError(400, f"request line too long: {exc}") from exc
+    if not line:
+        return None
+    if len(line) > MAX_REQUEST_LINE:
+        raise HTTPError(400, "request line too long")
+    try:
+        method, target, version = line.decode("latin-1").split()
+    except ValueError as exc:
+        raise HTTPError(400, f"malformed request line: {line!r}") from exc
+    if not version.startswith("HTTP/1."):
+        raise HTTPError(400, f"unsupported protocol version {version!r}")
+    headers: Dict[str, str] = {}
+    for _ in range(MAX_HEADER_COUNT):
+        header_line = await reader.readline()
+        if header_line in (b"\r\n", b"\n", b""):
+            break
+        name, separator, value = header_line.decode("latin-1").partition(":")
+        if not separator:
+            raise HTTPError(400, f"malformed header line: {header_line!r}")
+        headers[name.strip().lower()] = value.strip()
+    else:
+        raise HTTPError(400, "too many headers")
+    raw_length = headers.get("content-length", "0") or "0"
+    try:
+        length = int(raw_length)
+    except ValueError as exc:
+        raise HTTPError(400, f"invalid Content-Length: {raw_length!r}") from exc
+    if length < 0 or length > MAX_BODY_BYTES:
+        raise HTTPError(413, f"body of {length} bytes exceeds {MAX_BODY_BYTES}")
+    body = b""
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise HTTPError(400, "body shorter than Content-Length") from exc
+    path, _, query_string = target.partition("?")
+    return Request(
+        method=method.upper(),
+        path=unquote(path),
+        query=dict(parse_qsl(query_string)),
+        headers=headers,
+        body=body,
+    )
+
+
+class HTTPServer:
+    """An asyncio TCP server speaking just enough HTTP/1.1 for the advisor.
+
+    ``dispatch`` is an async callable mapping a routed :class:`Request` to a
+    :class:`Response`; routing errors and handler exceptions are converted
+    to JSON error responses here, so one buggy request never tears down the
+    connection loop for well-formed ones.
+    """
+
+    def __init__(self, router: Router) -> None:
+        self.router = router
+
+    async def handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Serve requests on one connection until EOF or ``close``."""
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except HTTPError as exc:
+                    writer.write(exc.response().encode(keep_alive=False))
+                    await writer.drain()
+                    return
+                if request is None:
+                    return
+                keep_alive = (
+                    request.headers.get("connection", "keep-alive").lower()
+                    != "close"
+                )
+                response = await self._respond(request)
+                writer.write(response.encode(keep_alive=keep_alive))
+                await writer.drain()
+                if not keep_alive:
+                    return
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            return
+        except asyncio.CancelledError:
+            # Server shutdown cancels in-flight connection tasks; finishing
+            # normally keeps asyncio's stream callbacks from logging it.
+            return
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (
+                ConnectionResetError,
+                BrokenPipeError,
+                asyncio.CancelledError,
+            ):  # pragma: no cover
+                pass
+
+    async def _respond(self, request: Request) -> Response:
+        try:
+            handler, params = self.router.dispatch(request)
+            return await handler(request.with_params(params))
+        except HTTPError as exc:
+            return exc.response()
+        except Exception as exc:  # noqa: BLE001 - boundary of the server
+            return Response.json(
+                {
+                    "error": {
+                        "status": 500,
+                        "detail": f"{type(exc).__name__}: {exc}",
+                    }
+                },
+                status=500,
+            )
+
+    async def start(self, host: str, port: int) -> asyncio.AbstractServer:
+        """Bind and start serving; returns the listening server object."""
+        return await asyncio.start_server(self.handle_connection, host, port)

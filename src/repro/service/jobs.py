@@ -1,0 +1,133 @@
+"""Background jobs: the heavy (Monte-Carlo) tier of the advisor.
+
+Monte-Carlo refinement takes seconds to minutes -- far beyond an
+interactive latency budget -- so ``POST /simulate`` never blocks the
+request: it registers a job, returns ``202`` with a job id immediately, and
+the campaign runs on a bounded pool of executor threads behind an
+``asyncio.Semaphore``.  ``GET /jobs/<id>`` polls the state machine
+(``pending -> running -> done | failed``).
+
+Jobs are *content-addressed*, exactly like answers: the job id embeds the
+canonical digest of the request, and re-submitting an identical request
+returns the existing job instead of burning the budget twice.  Combined
+with the campaign-level :class:`~repro.campaign.cache.SweepCache` (which
+the job functions share with CLI sweeps -- hence the atomic point writes),
+repeated heavy questions converge to cache reads at every layer.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable, Dict, Mapping, Optional
+
+__all__ = ["Job", "JobManager", "JOB_STATES"]
+
+#: The job lifecycle, in order.
+JOB_STATES = ("pending", "running", "done", "failed")
+
+
+class Job:
+    """One background computation and its observable state."""
+
+    def __init__(self, job_id: str, kind: str, request: Mapping[str, Any]) -> None:
+        self.id = job_id
+        self.kind = kind
+        self.request = dict(request)
+        self.state = "pending"
+        self.result: Optional[Dict[str, Any]] = None
+        self.error: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible snapshot for ``/jobs/<id>``."""
+        payload: Dict[str, Any] = {
+            "id": self.id,
+            "kind": self.kind,
+            "state": self.state,
+            "request": self.request,
+        }
+        if self.result is not None:
+            payload["result"] = self.result
+        if self.error is not None:
+            payload["error"] = self.error
+        return payload
+
+
+class JobManager:
+    """A bounded, content-addressed pool of background jobs.
+
+    ``workers`` caps how many jobs compute concurrently (each runs in the
+    event loop's default thread executor, so the asyncio request path never
+    blocks on NumPy work); submissions beyond the cap queue on the
+    semaphore in arrival order.
+    """
+
+    def __init__(self, workers: int = 2) -> None:
+        if workers <= 0:
+            raise ValueError(f"workers must be positive, got {workers}")
+        self.workers = workers
+        self._jobs: Dict[str, Job] = {}
+        self._by_digest: Dict[str, Job] = {}
+        self._tasks: Dict[str, "asyncio.Task[None]"] = {}
+        self._counter = 0
+        # Created lazily inside the running loop: the manager is often
+        # constructed before asyncio.run() starts (CLI, test threads).
+        self._semaphore: Optional[asyncio.Semaphore] = None
+
+    # ------------------------------------------------------------------ #
+    def get(self, job_id: str) -> Optional[Job]:
+        """The job with this id, if any."""
+        return self._jobs.get(job_id)
+
+    def counters(self) -> Dict[str, int]:
+        """Per-state job counts for ``/healthz``."""
+        counts = {state: 0 for state in JOB_STATES}
+        for job in self._jobs.values():
+            counts[job.state] += 1
+        counts["submitted"] = len(self._jobs)
+        counts["workers"] = self.workers
+        return counts
+
+    def submit(
+        self,
+        kind: str,
+        digest: str,
+        request: Mapping[str, Any],
+        fn: Callable[[], Dict[str, Any]],
+    ) -> Job:
+        """Register (or find) the job for one canonicalized request.
+
+        ``digest`` is the request's content hash; an identical in-flight or
+        finished job is returned as-is, so the job id a cached ``/simulate``
+        answer names always resolves.  ``fn`` is the blocking computation;
+        it runs on the default executor and must return plain JSON data.
+        """
+        existing = self._by_digest.get(digest)
+        if existing is not None:
+            return existing
+        self._counter += 1
+        job = Job(f"job-{self._counter:06d}-{digest[:12]}", kind, request)
+        self._jobs[job.id] = job
+        self._by_digest[digest] = job
+        task = asyncio.get_running_loop().create_task(self._run(job, fn))
+        self._tasks[job.id] = task
+        return job
+
+    async def _run(self, job: Job, fn: Callable[[], Dict[str, Any]]) -> None:
+        if self._semaphore is None:
+            self._semaphore = asyncio.Semaphore(self.workers)
+        async with self._semaphore:
+            job.state = "running"
+            try:
+                job.result = await asyncio.get_running_loop().run_in_executor(
+                    None, fn
+                )
+                job.state = "done"
+            except Exception as exc:  # noqa: BLE001 - surfaced via /jobs/<id>
+                job.error = f"{type(exc).__name__}: {exc}"
+                job.state = "failed"
+
+    async def drain(self) -> None:
+        """Wait for every submitted job to finish (tests and shutdown)."""
+        tasks = list(self._tasks.values())
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)

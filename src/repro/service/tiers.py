@@ -1,0 +1,441 @@
+"""Tiers 2 and 3 of the advisor's answer path.
+
+Tier 2 (:class:`RegimeSurface`) serves *instant approximate* answers from a
+precomputed :class:`~repro.optimize.regime.RegimeMap` (the PR 4 JSON
+format): per-protocol optimal waste and period surfaces interpolated over
+the map's grid -- bilinearly over ``(log nodes, log node-MTBF)`` when the
+request names platform coordinates, linearly over ``log platform-MTBF``
+when it only gives the platform MTBF (the analytical model depends on the
+platform MTBF alone, so the two-axis grid collapses onto that line).
+Geometry is interpolated in log space because both the axes and the
+Equation 11 optimum ``sqrt(2 C (mu - D - R))`` live on ratio scales.
+
+A surface answers only questions it was computed for: the scenario's
+workload scalars must match the map spec, the checkpoint cost and phi must
+sit on grid lines, and the query point must fall inside the grid hull.
+Everything else raises :class:`SurfaceMismatch`, which the application
+layer treats as "fall through to tier 3" -- the exact analytical optimizer
+(:func:`repro.optimize.period.optimize_period`, ~ms per protocol), wrapped
+here as :func:`analytical_answer` so both tiers return one result shape.
+
+The agreement between the two tiers is pinned by tests: on a dense map,
+interpolated tier-2 waste stays within :data:`INTERPOLATION_WASTE_RTOL` of
+the tier-3 optimum (periods within :data:`INTERPOLATION_PERIOD_RTOL`).
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.optimize.period import optimize_period
+from repro.optimize.regime import RegimeCell, RegimeMap
+from repro.scenario.spec import ScenarioSpec
+
+__all__ = [
+    "SurfaceMismatch",
+    "RegimeSurface",
+    "analytical_answer",
+    "TIER_CACHE",
+    "TIER_MAP",
+    "TIER_ANALYTICAL",
+    "TIER_BACKGROUND",
+    "TIER_CATALOG",
+    "INTERPOLATION_WASTE_RTOL",
+    "INTERPOLATION_PERIOD_RTOL",
+]
+
+#: Tier labels used in answer bodies, provenance headers and counters.
+TIER_CACHE = "answer-cache"
+TIER_MAP = "map"
+TIER_ANALYTICAL = "analytical"
+TIER_BACKGROUND = "background"
+TIER_CATALOG = "catalog"
+
+#: Documented tier-2 accuracy contract on a dense map (grid ratio <= 2
+#: between adjacent MTBF lines): interpolated waste within 5% relative (or
+#: 0.005 absolute near zero) of the tier-3 optimum, periods within 10%.
+#: Pinned by tests/unit/test_service_tiers.py.
+INTERPOLATION_WASTE_RTOL = 0.05
+INTERPOLATION_WASTE_ATOL = 0.005
+INTERPOLATION_PERIOD_RTOL = 0.10
+
+#: Relative tolerance for matching request scalars to map grid values.
+_MATCH_RTOL = 1e-9
+
+#: Waste this close to 1.0 counts as infeasible in interpolated answers.
+_FEASIBLE_MARGIN = 1e-6
+
+
+class SurfaceMismatch(Exception):
+    """The loaded regime map cannot answer this request.
+
+    The ``reason`` names what failed (off-grid checkpoint, point outside
+    the hull, mismatched workload, ...); the service reports it in the
+    answer's ``fallback`` field when it drops to tier 3.
+    """
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+def _close(a: float, b: float) -> bool:
+    return math.isclose(a, b, rel_tol=_MATCH_RTOL, abs_tol=1e-12)
+
+
+def _match_axis(value: float, axis: Sequence[float], name: str) -> float:
+    for grid_value in axis:
+        if _close(value, grid_value):
+            return grid_value
+    raise SurfaceMismatch(
+        f"{name} {value:g} is not on the map grid {[float(v) for v in axis]}"
+    )
+
+
+def _bracket(
+    value: float, axis: Sequence[float], name: str
+) -> Tuple[float, float, float]:
+    """Bracketing grid values and the log-space weight of ``value``.
+
+    Returns ``(lo, hi, t)`` with ``value = lo**(1-t) * hi**t``; ``lo == hi``
+    (and ``t = 0``) when ``value`` sits exactly on a grid line.  Raises
+    :class:`SurfaceMismatch` outside ``[axis[0], axis[-1]]`` -- the hull
+    check that sends out-of-range queries to tier 3.
+    """
+    if not axis:
+        raise SurfaceMismatch(f"the map has no {name} axis")
+    lo_edge, hi_edge = axis[0], axis[-1]
+    if value < lo_edge and not _close(value, lo_edge):
+        raise SurfaceMismatch(
+            f"{name} {value:g} below the map hull [{lo_edge:g}, {hi_edge:g}]"
+        )
+    if value > hi_edge and not _close(value, hi_edge):
+        raise SurfaceMismatch(
+            f"{name} {value:g} above the map hull [{lo_edge:g}, {hi_edge:g}]"
+        )
+    index = bisect_left(axis, value)
+    if index < len(axis) and _close(value, axis[index]):
+        return axis[index], axis[index], 0.0
+    if index > 0 and _close(value, axis[index - 1]):
+        return axis[index - 1], axis[index - 1], 0.0
+    lo, hi = axis[index - 1], axis[index]
+    t = (math.log(value) - math.log(lo)) / (math.log(hi) - math.log(lo))
+    return lo, hi, t
+
+
+def _blend(values: Sequence[Optional[float]], weights: Sequence[float]) -> Optional[float]:
+    """Weighted combination; ``None`` (infeasible corner) poisons the result."""
+    total = 0.0
+    for value, weight in zip(values, weights):
+        if weight == 0.0:
+            continue
+        if value is None or not math.isfinite(value):
+            return None
+        total += value * weight
+    return total
+
+
+class RegimeSurface:
+    """Interpolation over one loaded :class:`RegimeMap` (tier 2)."""
+
+    def __init__(self, regime_map: RegimeMap) -> None:
+        self.map = regime_map
+        self.spec = regime_map.spec
+        self._cells = regime_map.cell_index()
+        self._node_axis: Tuple[float, ...] = tuple(
+            sorted(float(n) for n in self.spec.node_counts)
+        )
+        self._node_mtbf_axis: Tuple[float, ...] = tuple(
+            sorted(self.spec.node_mtbf_values)
+        )
+        # Collapsed platform-MTBF line per (checkpoint, phi) slice: the
+        # analytical results of a cell depend on node count only through
+        # platform_mtbf = node_mtbf / nodes, so cells sharing that ratio are
+        # interchangeable and the 2-D grid dedupes onto a 1-D axis.
+        self._mtbf_slices: Dict[
+            Tuple[float, float], List[Tuple[float, RegimeCell]]
+        ] = {}
+        for cell in regime_map.cells:
+            slice_key = (cell.checkpoint, cell.abft_overhead)
+            points = self._mtbf_slices.setdefault(slice_key, [])
+            if not any(_close(cell.platform_mtbf, mu) for mu, _ in points):
+                points.append((cell.platform_mtbf, cell))
+        for points in self._mtbf_slices.values():
+            points.sort(key=lambda pair: pair[0])
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "RegimeSurface":
+        """Load a surface from a serialized regime map (PR 4 JSON)."""
+        return cls(RegimeMap.load(path))
+
+    # ------------------------------------------------------------------ #
+    def describe(self) -> Dict[str, Any]:
+        """Summary for ``/healthz``: axes sizes and protocol coverage."""
+        return {
+            "cells": len(self.map.cells),
+            "node_counts": [int(n) for n in self.spec.node_counts],
+            "node_mtbf_values": list(self.spec.node_mtbf_values),
+            "checkpoint_costs": list(self.spec.checkpoint_costs),
+            "abft_overheads": list(self.spec.abft_overheads),
+            "protocols": list(self.spec.protocols),
+            "simulated": bool(self.spec.simulate),
+        }
+
+    def check_compatible(
+        self, scenario: ScenarioSpec, protocols: Sequence[str]
+    ) -> None:
+        """Raise :class:`SurfaceMismatch` unless the map answers this spec.
+
+        The map fixed every scalar it did not sweep; a request is tier-2
+        eligible only when those scalars agree, the failure law is the
+        map's (exponential, parameter-free), and the requested protocols
+        were part of the comparison.
+        """
+        spec = self.spec
+        missing = [name for name in protocols if name not in spec.protocols]
+        if missing:
+            raise SurfaceMismatch(
+                f"protocols {missing} are not on the map "
+                f"(map compares {list(spec.protocols)})"
+            )
+        if not scenario.failures.is_exponential or scenario.failures.params:
+            raise SurfaceMismatch(
+                "the map was computed under parameter-free exponential "
+                f"failures, not {scenario.failures.model!r}"
+            )
+        if scenario.model_params:
+            raise SurfaceMismatch(
+                "the map was computed with default model options; the "
+                "request sets model_params"
+            )
+        if scenario.workload.epochs != 1:
+            raise SurfaceMismatch(
+                "the map was computed for a single-epoch workload, the "
+                f"request has {scenario.workload.epochs} epochs"
+            )
+        scalars = [
+            ("workload.total_time", scenario.workload.total_time, spec.application_time),
+            ("workload.alpha", scenario.workload.alpha, spec.alpha),
+            (
+                "platform.library_fraction",
+                scenario.platform.library_fraction,
+                spec.library_fraction,
+            ),
+            ("platform.downtime", scenario.platform.downtime, spec.downtime),
+            (
+                "platform.abft_reconstruction",
+                scenario.platform.abft_reconstruction,
+                spec.abft_reconstruction,
+            ),
+        ]
+        for name, requested, fixed in scalars:
+            if not _close(requested, fixed):
+                raise SurfaceMismatch(
+                    f"{name} {requested:g} differs from the map's {fixed:g}"
+                )
+        # Recovery semantics: None means R = C on both sides, so only the
+        # resolved convention must agree.
+        requested_recovery = scenario.platform.recovery
+        map_recovery = spec.recovery
+        if (requested_recovery is None) != (map_recovery is None):
+            raise SurfaceMismatch(
+                "recovery-cost convention differs from the map's "
+                "(one side uses R = C, the other an explicit R)"
+            )
+        if requested_recovery is not None and not _close(
+            requested_recovery, map_recovery
+        ):
+            raise SurfaceMismatch(
+                f"platform.recovery {requested_recovery:g} differs from the "
+                f"map's {map_recovery:g}"
+            )
+        if scenario.platform.remainder_recovery is not None:
+            raise SurfaceMismatch(
+                "the map was computed with the default remainder-recovery "
+                "convention; the request overrides it"
+            )
+
+    # ------------------------------------------------------------------ #
+    def interpolate(
+        self,
+        scenario: ScenarioSpec,
+        protocols: Sequence[str],
+        *,
+        nodes: Optional[float] = None,
+        node_mtbf: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Tier-2 answer for one scenario, or :class:`SurfaceMismatch`.
+
+        With ``nodes`` and ``node_mtbf`` given, interpolates bilinearly over
+        the map's native ``(nodes, node-MTBF)`` grid (their ratio must agree
+        with the scenario's platform MTBF); otherwise interpolates along the
+        collapsed platform-MTBF line of the matching (checkpoint, phi)
+        slice.
+        """
+        self.check_compatible(scenario, protocols)
+        checkpoint = _match_axis(
+            scenario.platform.checkpoint, self.spec.checkpoint_costs, "checkpoint"
+        )
+        phi = _match_axis(
+            scenario.platform.abft_overhead, self.spec.abft_overheads, "phi"
+        )
+        if (nodes is None) != (node_mtbf is None):
+            raise SurfaceMismatch(
+                "bilinear queries need both 'nodes' and 'node_mtbf'"
+            )
+        if nodes is not None and node_mtbf is not None:
+            implied = node_mtbf / nodes
+            if not math.isclose(
+                implied, scenario.platform.mtbf, rel_tol=1e-6, abs_tol=1e-9
+            ):
+                raise SurfaceMismatch(
+                    f"node_mtbf/nodes = {implied:g} contradicts the "
+                    f"scenario's platform MTBF {scenario.platform.mtbf:g}"
+                )
+            corners, weights, geometry = self._bilinear_corners(
+                float(nodes), float(node_mtbf), checkpoint, phi
+            )
+        else:
+            corners, weights, geometry = self._line_corners(
+                scenario.platform.mtbf, checkpoint, phi
+            )
+        results: Dict[str, Dict[str, Any]] = {}
+        for name in protocols:
+            entries = [corner.results[name] for corner in corners]
+            waste = _blend([float(e["waste"]) for e in entries], weights)
+            if waste is None:  # pragma: no cover - waste is always finite
+                raise SurfaceMismatch(f"non-finite waste at a corner for {name!r}")
+            keywords = sorted(
+                {key for entry in entries for key in (entry.get("periods") or {})}
+            )
+            periods = {
+                keyword: _blend(
+                    [
+                        (entry.get("periods") or {}).get(keyword)
+                        for entry in entries
+                    ],
+                    weights,
+                )
+                for keyword in keywords
+            }
+            results[name] = {
+                "waste": waste,
+                "periods": periods,
+                "feasible": waste < 1.0 - _FEASIBLE_MARGIN,
+                "interpolated": True,
+            }
+        winner = min(
+            protocols, key=lambda name: (results[name]["waste"], protocols.index(name))
+        )
+        others = sorted(
+            results[name]["waste"] for name in protocols if name != winner
+        )
+        return {
+            "winner": winner,
+            "margin": (others[0] - results[winner]["waste"]) if others else None,
+            "results": results,
+            "interpolation": geometry,
+        }
+
+    # ------------------------------------------------------------------ #
+    def _cell(
+        self, nodes: float, node_mtbf: float, checkpoint: float, phi: float
+    ) -> RegimeCell:
+        cell = self._cells.get((int(nodes), node_mtbf, checkpoint, phi))
+        if cell is None:  # pragma: no cover - axes guarantee presence
+            raise SurfaceMismatch(
+                f"missing map cell at nodes={nodes:g}, node_mtbf={node_mtbf:g}"
+            )
+        return cell
+
+    def _bilinear_corners(
+        self, nodes: float, node_mtbf: float, checkpoint: float, phi: float
+    ) -> Tuple[List[RegimeCell], List[float], Dict[str, Any]]:
+        n_lo, n_hi, u = _bracket(nodes, self._node_axis, "nodes")
+        m_lo, m_hi, v = _bracket(node_mtbf, self._node_mtbf_axis, "node_mtbf")
+        corners = [
+            self._cell(n_lo, m_lo, checkpoint, phi),
+            self._cell(n_hi, m_lo, checkpoint, phi),
+            self._cell(n_lo, m_hi, checkpoint, phi),
+            self._cell(n_hi, m_hi, checkpoint, phi),
+        ]
+        weights = [
+            (1.0 - u) * (1.0 - v),
+            u * (1.0 - v),
+            (1.0 - u) * v,
+            u * v,
+        ]
+        geometry = {
+            "mode": "bilinear",
+            "nodes": nodes,
+            "node_mtbf": node_mtbf,
+            "node_bracket": [n_lo, n_hi],
+            "node_mtbf_bracket": [m_lo, m_hi],
+            "checkpoint": checkpoint,
+            "phi": phi,
+        }
+        return corners, weights, geometry
+
+    def _line_corners(
+        self, platform_mtbf: float, checkpoint: float, phi: float
+    ) -> Tuple[List[RegimeCell], List[float], Dict[str, Any]]:
+        points = self._mtbf_slices.get((checkpoint, phi))
+        if not points:  # pragma: no cover - axis matching guarantees a slice
+            raise SurfaceMismatch(
+                f"no map slice at checkpoint={checkpoint:g}, phi={phi:g}"
+            )
+        axis = [mu for mu, _ in points]
+        mu_lo, mu_hi, t = _bracket(platform_mtbf, axis, "platform MTBF")
+        lo_cell = points[axis.index(mu_lo)][1]
+        hi_cell = points[axis.index(mu_hi)][1]
+        geometry = {
+            "mode": "platform-mtbf",
+            "platform_mtbf": platform_mtbf,
+            "platform_mtbf_bracket": [mu_lo, mu_hi],
+            "checkpoint": checkpoint,
+            "phi": phi,
+        }
+        return [lo_cell, hi_cell], [1.0 - t, t], geometry
+
+
+# ---------------------------------------------------------------------- #
+# Tier 3: the exact analytical optimizer
+# ---------------------------------------------------------------------- #
+def analytical_answer(
+    scenario: ScenarioSpec, protocols: Sequence[str]
+) -> Dict[str, Any]:
+    """Tier-3 answer: every protocol optimized exactly at this point.
+
+    Runs :func:`repro.optimize.period.optimize_period` (bracketing scan +
+    Brent refinement, ~ms per protocol) at the scenario's point parameters,
+    honouring its ``model_params``, and names the winner with the same
+    result shape tier 2 produces -- plus the optimizer's extra provenance
+    (closed forms, evaluation counts, convergence flags).
+    """
+    parameters = scenario.parameters()
+    workload = scenario.application_workload()
+    results: Dict[str, Dict[str, Any]] = {}
+    for name in protocols:
+        optimum = optimize_period(
+            name,
+            parameters,
+            workload,
+            model_kwargs=scenario.model_kwargs_for(name),
+        )
+        entry = optimum.to_dict()
+        del entry["protocol"]
+        entry["interpolated"] = False
+        results[name] = entry
+    winner = min(
+        protocols,
+        key=lambda name: (results[name]["waste"], protocols.index(name)),
+    )
+    others = sorted(results[name]["waste"] for name in protocols if name != winner)
+    return {
+        "winner": winner,
+        "margin": (others[0] - results[winner]["waste"]) if others else None,
+        "results": results,
+    }

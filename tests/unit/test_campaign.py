@@ -215,3 +215,80 @@ class TestSweepRunnerWithoutCache:
         grid = result.waste_grid("PurePeriodicCkpt", simulated=True)
         assert set(grid) == {(7200.0, 0.5)}
         assert 0.0 <= grid[(7200.0, 0.5)] <= 1.0
+
+
+class TestSweepCacheConcurrency:
+    def test_racing_writers_never_publish_partial_entries(self, tmp_path):
+        # The advisor service's background jobs share one cache directory
+        # with CLI sweeps, so writers racing on the same key must only ever
+        # publish complete entries (write-temp-then-rename): a reader sees
+        # one of the competing values in full, never a torn file.
+        import threading
+
+        cache = SweepCache(tmp_path / "c")
+        key = {"mtbf": 3600.0, "alpha": 0.8}
+        payloads = [
+            {"model_waste": {"A": float(i)}, "padding": "x" * 4096}
+            for i in range(8)
+        ]
+        barrier = threading.Barrier(len(payloads))
+        problems: list = []
+
+        def writer(payload: dict) -> None:
+            try:
+                barrier.wait(timeout=10)
+                for _ in range(25):
+                    cache.store(key, payload)
+                    loaded = cache.load(key)
+                    if loaded is None or loaded not in payloads:
+                        problems.append(loaded)
+            except Exception as exc:  # pragma: no cover - surfaced below
+                problems.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(p,)) for p in payloads
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not problems
+        assert cache.load(key) in payloads
+        # One published entry, zero leaked staging files.
+        assert len(cache) == 1
+        leftovers = [
+            p.name
+            for p in (tmp_path / "c").iterdir()
+            if p.suffix != ".json"
+        ]
+        assert leftovers == []
+
+    def test_racing_writers_on_distinct_keys_all_publish(self, tmp_path):
+        import threading
+
+        cache = SweepCache(tmp_path / "c")
+        barrier = threading.Barrier(6)
+        problems: list = []
+
+        def writer(index: int) -> None:
+            try:
+                barrier.wait(timeout=10)
+                for round_number in range(20):
+                    cache.store(
+                        {"writer": index, "round": round_number},
+                        {"model_waste": {"A": float(index)}},
+                    )
+            except Exception as exc:  # pragma: no cover - surfaced below
+                problems.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(i,)) for i in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not problems
+        assert len(cache) == 6 * 20
+        for index in range(6):
+            assert cache.load({"writer": index, "round": 0}) == {
+                "model_waste": {"A": float(index)}
+            }

@@ -586,3 +586,107 @@ class TestOptimizeCommand:
         captured = capsys.readouterr()
         assert exit_code == 2
         assert "phi" in captured.err
+
+
+class TestServeCommand:
+    def test_serve_flags(self):
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--host",
+                "0.0.0.0",
+                "--port",
+                "9001",
+                "--regime-map",
+                "/tmp/regime.json",
+                "--cache-dir",
+                "/tmp/advisor-cache",
+                "--workers",
+                "4",
+                "--answer-cache-size",
+                "128",
+            ]
+        )
+        assert args.command == "serve"
+        assert args.host == "0.0.0.0"
+        assert args.port == 9001
+        assert args.regime_map == "/tmp/regime.json"
+        assert args.cache_dir == "/tmp/advisor-cache"
+        assert args.workers == 4
+        assert args.answer_cache_size == 128
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8080
+        assert args.regime_map is None
+        assert args.cache_dir is None
+        assert args.workers == 2
+        assert args.answer_cache_size == 4096
+
+    def test_serve_rejects_nonpositive_workers(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--workers", "0"])
+
+    def test_serve_missing_regime_map_exits_2(self, capsys):
+        exit_code = main(["serve", "--regime-map", "/nonexistent/map.json"])
+        assert exit_code == 2
+        assert "cannot start advisor service" in capsys.readouterr().err
+
+
+class TestScenarioListJson:
+    def test_json_catalog_on_stdout(self, capsys):
+        import json
+
+        exit_code = main(["scenario", "list", "--json"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        catalog = json.loads(captured.out)  # stdout is pure JSON
+        protocol_names = [entry["name"] for entry in catalog["protocols"]]
+        assert "PurePeriodicCkpt" in protocol_names
+        assert "ABFT&PeriodicCkpt" in protocol_names
+        model_names = [entry["name"] for entry in catalog["failure_models"]]
+        assert "exponential" in model_names
+        assert catalog["engine_backends"] == ["event", "vectorized", "auto"]
+
+    def test_json_matches_the_service_catalog(self, capsys):
+        import json
+
+        from repro.core.registry import registry_catalog
+
+        main(["scenario", "list", "--json"])
+        assert json.loads(capsys.readouterr().out) == registry_catalog()
+
+
+class TestOptimizeCompareJson:
+    def test_json_ranking_on_stdout(self, capsys):
+        import json
+
+        exit_code = main(
+            [
+                "optimize",
+                "compare",
+                "--json",
+                "--mtbf",
+                "86400",
+                "--t0",
+                "360000",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        ranking = json.loads(captured.out)  # stdout is pure JSON
+        assert len(ranking["content_hash"]) == 64
+        assert ranking["spec"]["platform"]["mtbf"] == 86400.0
+        (point,) = ranking["points"]
+        assert point["winner"] in ranking["protocols"]
+        for name in ranking["protocols"]:
+            assert "waste" in point["optima"][name]
+
+    def test_json_and_table_modes_agree_on_the_winner(self, capsys):
+        import json
+
+        main(["optimize", "compare", "--json", "--mtbf", "7200"])
+        winner = json.loads(capsys.readouterr().out)["points"][0]["winner"]
+        main(["optimize", "compare", "--mtbf", "7200"])
+        assert winner in capsys.readouterr().out

@@ -333,3 +333,78 @@ class TestSimulationBackend:
             .build()
         )
         assert spec.simulation.backend == "vectorized"
+
+
+class TestContentHash:
+    """The spec's content address: stable across processes and field order."""
+
+    PINNED_DOCUMENT = {
+        "name": "pin",
+        "platform": {"mtbf": 7200.0, "checkpoint": 600.0},
+        "workload": {"total_time": 86400.0},
+    }
+    # sha256 of the canonical sorted-key JSON of the canonicalized spec.
+    # This value is shared by the advisor service's answer cache and the
+    # SweepCache point keys; changing serialization invalidates both, so a
+    # failure here means "bump the answer schema version", not "update the
+    # pin and move on".
+    PINNED_HASH = "b1af2cde5d6d7a0a711b385203d14139cb1b5f607faaa975dd1c47645c154bf2"
+
+    def test_pinned_value(self):
+        spec = ScenarioSpec.from_dict(self.PINNED_DOCUMENT)
+        assert spec.content_hash() == self.PINNED_HASH
+
+    def test_stable_across_field_order_permutations(self):
+        import itertools
+
+        reference = ScenarioSpec.from_dict(self.PINNED_DOCUMENT).content_hash()
+        items = list(self.PINNED_DOCUMENT.items())
+        for permutation in itertools.permutations(items):
+            shuffled = dict(permutation)
+            shuffled["platform"] = dict(
+                reversed(list(self.PINNED_DOCUMENT["platform"].items()))
+            )
+            assert ScenarioSpec.from_dict(shuffled).content_hash() == reference
+
+    def test_stable_across_processes(self):
+        # Guards against accidental reliance on per-process state (hash
+        # randomization, dict iteration artifacts): a fresh interpreter must
+        # reproduce the pin bit-for-bit.
+        import json as json_module
+        import subprocess
+        import sys
+
+        program = (
+            "import json, sys\n"
+            "from repro.scenario import ScenarioSpec\n"
+            "doc = json.loads(sys.argv[1])\n"
+            "print(ScenarioSpec.from_dict(doc).content_hash())\n"
+        )
+        completed = subprocess.run(
+            [sys.executable, "-c", program, json_module.dumps(self.PINNED_DOCUMENT)],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        assert completed.stdout.strip() == self.PINNED_HASH
+
+    def test_spelled_out_defaults_share_the_address(self):
+        # Canonicalization happens at the spec layer: writing a default
+        # explicitly does not change the content address.
+        spelled = dict(self.PINNED_DOCUMENT)
+        spelled["failures"] = {"model": "exponential"}
+        spelled["workload"] = dict(self.PINNED_DOCUMENT["workload"], alpha=0.8)
+        assert (
+            ScenarioSpec.from_dict(spelled).content_hash() == self.PINNED_HASH
+        )
+
+    def test_value_changes_change_the_address(self):
+        changed = dict(self.PINNED_DOCUMENT)
+        changed["platform"] = dict(self.PINNED_DOCUMENT["platform"], mtbf=7201.0)
+        assert ScenarioSpec.from_dict(changed).content_hash() != self.PINNED_HASH
+
+    def test_matches_canonical_digest_of_to_dict(self):
+        from repro.campaign.cache import canonical_digest
+
+        spec = ScenarioSpec.from_dict(self.PINNED_DOCUMENT)
+        assert spec.content_hash() == canonical_digest(spec.to_dict())

@@ -1,0 +1,75 @@
+"""Unit tests for the tier-1 answer cache and its content addressing."""
+
+from __future__ import annotations
+
+from repro.scenario.spec import ScenarioSpec
+from repro.service.cache import AnswerCache, CachedAnswer, answer_key
+
+
+def scenario() -> dict:
+    return {
+        "name": "cache-test",
+        "platform": {"mtbf": 7200.0, "checkpoint": 600.0},
+        "workload": {"total_time": 86400.0},
+    }
+
+
+class TestAnswerKey:
+    def test_field_order_does_not_matter(self):
+        a = answer_key("/optimize", {"scenario": scenario(), "tier": "auto"})
+        b = answer_key("/optimize", {"tier": "auto", "scenario": scenario()})
+        assert a == b
+
+    def test_endpoint_is_part_of_the_address(self):
+        payload = {"scenario": scenario()}
+        assert answer_key("/optimize", payload) != answer_key("/compare", payload)
+
+    def test_value_changes_change_the_address(self):
+        base = {"scenario": scenario(), "tier": "auto"}
+        other = {"scenario": scenario(), "tier": "map"}
+        assert answer_key("/optimize", base) != answer_key("/optimize", other)
+
+    def test_canonicalized_specs_share_an_address(self):
+        # Two documents differing only in field order / defaults spelled out
+        # canonicalize to the same spec, hence the same answer address.
+        spelled_out = dict(scenario(), failures={"model": "exponential"})
+        a = ScenarioSpec.from_dict(scenario()).to_dict()
+        b = ScenarioSpec.from_dict(spelled_out).to_dict()
+        assert answer_key("/optimize", {"scenario": a}) == answer_key(
+            "/optimize", {"scenario": b}
+        )
+
+
+class TestAnswerCache:
+    def test_miss_then_hit(self):
+        cache = AnswerCache(4)
+        assert cache.get("k") is None
+        cache.put("k", CachedAnswer(body=b"{}", status=200, tier="analytical"))
+        hit = cache.get("k")
+        assert hit is not None and hit.body == b"{}"
+        assert cache.counters()["hits"] == 1
+        assert cache.counters()["misses"] == 1
+
+    def test_lru_eviction_order(self):
+        cache = AnswerCache(2)
+        cache.put("a", CachedAnswer(b"a", 200, "t"))
+        cache.put("b", CachedAnswer(b"b", 200, "t"))
+        assert cache.get("a") is not None  # refresh "a"; "b" becomes LRU
+        cache.put("c", CachedAnswer(b"c", 200, "t"))
+        assert cache.get("b") is None
+        assert cache.get("a") is not None
+        assert cache.get("c") is not None
+        assert cache.counters()["evictions"] == 1
+
+    def test_bounded_size(self):
+        cache = AnswerCache(3)
+        for i in range(10):
+            cache.put(str(i), CachedAnswer(str(i).encode(), 200, "t"))
+        assert len(cache) == 3
+        assert cache.counters()["entries"] == 3
+
+    def test_rejects_nonpositive_capacity(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            AnswerCache(0)

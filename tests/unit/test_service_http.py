@@ -1,0 +1,174 @@
+"""Unit tests for the service's stdlib HTTP layer (parser, router, encoding)."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.service.http import (
+    MAX_BODY_BYTES,
+    HTTPError,
+    Request,
+    Response,
+    Router,
+    read_request,
+)
+
+
+def parse(raw: bytes):
+    """Run the async request parser over a canned byte stream."""
+
+    async def _parse():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(_parse())
+
+
+class TestReadRequest:
+    def test_parses_request_line_headers_and_body(self):
+        body = b'{"x":1}'
+        raw = (
+            b"POST /optimize?debug=1 HTTP/1.1\r\n"
+            b"Content-Type: application/json\r\n"
+            b"Content-Length: " + str(len(body)).encode() + b"\r\n"
+            b"\r\n" + body
+        )
+        request = parse(raw)
+        assert request.method == "POST"
+        assert request.path == "/optimize"
+        assert request.query == {"debug": "1"}
+        assert request.headers["content-type"] == "application/json"
+        assert request.body == body
+        assert request.json() == {"x": 1}
+
+    def test_clean_eof_returns_none(self):
+        assert parse(b"") is None
+
+    def test_get_without_body(self):
+        request = parse(b"GET /healthz HTTP/1.1\r\n\r\n")
+        assert request.method == "GET"
+        assert request.body == b""
+
+    def test_malformed_request_line_is_400(self):
+        with pytest.raises(HTTPError) as err:
+            parse(b"NONSENSE\r\n\r\n")
+        assert err.value.status == 400
+
+    def test_non_http_version_is_400(self):
+        with pytest.raises(HTTPError) as err:
+            parse(b"GET / SPDY/3\r\n\r\n")
+        assert err.value.status == 400
+
+    def test_bad_content_length_is_400(self):
+        with pytest.raises(HTTPError) as err:
+            parse(b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n")
+        assert err.value.status == 400
+
+    def test_oversized_body_is_413(self):
+        raw = (
+            b"POST / HTTP/1.1\r\nContent-Length: "
+            + str(MAX_BODY_BYTES + 1).encode()
+            + b"\r\n\r\n"
+        )
+        with pytest.raises(HTTPError) as err:
+            parse(raw)
+        assert err.value.status == 413
+
+    def test_truncated_body_is_400(self):
+        with pytest.raises(HTTPError) as err:
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort")
+        assert err.value.status == 400
+
+    def test_invalid_json_body_raises_on_access(self):
+        request = parse(b"POST / HTTP/1.1\r\nContent-Length: 4\r\n\r\n{{{{")
+        with pytest.raises(HTTPError) as err:
+            request.json()
+        assert err.value.status == 400
+
+    def test_empty_body_json_access_is_400(self):
+        request = parse(b"POST / HTTP/1.1\r\n\r\n")
+        with pytest.raises(HTTPError):
+            request.json()
+
+
+class TestRouter:
+    def _request(self, method: str, path: str) -> Request:
+        return Request(method=method, path=path, query={}, headers={}, body=b"")
+
+    def test_literal_match(self):
+        router = Router()
+
+        async def handler(request):  # pragma: no cover - never awaited
+            return Response()
+
+        router.add("GET", "/healthz", handler)
+        found, params = router.dispatch(self._request("GET", "/healthz"))
+        assert found is handler
+        assert params == {}
+
+    def test_param_segment_binds(self):
+        router = Router()
+
+        async def handler(request):  # pragma: no cover - never awaited
+            return Response()
+
+        router.add("GET", "/jobs/{job_id}", handler)
+        _, params = router.dispatch(self._request("GET", "/jobs/job-000001-abc"))
+        assert params == {"job_id": "job-000001-abc"}
+
+    def test_unknown_path_is_404(self):
+        router = Router()
+        with pytest.raises(HTTPError) as err:
+            router.dispatch(self._request("GET", "/nope"))
+        assert err.value.status == 404
+
+    def test_wrong_method_is_405(self):
+        router = Router()
+
+        async def handler(request):  # pragma: no cover - never awaited
+            return Response()
+
+        router.add("POST", "/optimize", handler)
+        with pytest.raises(HTTPError) as err:
+            router.dispatch(self._request("GET", "/optimize"))
+        assert err.value.status == 405
+
+
+class TestResponse:
+    def test_json_body_is_deterministic(self):
+        a = Response.json({"b": 1, "a": [1.5, None]})
+        b = Response.json({"a": [1.5, None], "b": 1})
+        assert a.body == b.body
+        assert json.loads(a.body) == {"a": [1.5, None], "b": 1}
+
+    def test_json_rejects_nan(self):
+        with pytest.raises(ValueError):
+            Response.json({"x": float("nan")})
+
+    def test_encode_frames_content_length_and_connection(self):
+        wire = Response.json({"ok": True}).encode(keep_alive=True)
+        head, _, body = wire.partition(b"\r\n\r\n")
+        assert b"HTTP/1.1 200 OK" in head
+        assert f"Content-Length: {len(body)}".encode() in head
+        assert b"Connection: keep-alive" in head
+        wire_close = Response.json({"ok": True}).encode(keep_alive=False)
+        assert b"Connection: close" in wire_close
+
+    def test_encode_carries_extra_headers(self):
+        wire = Response.json(
+            {}, headers=(("X-Repro-Tier", "map"), ("X-Repro-Cache", "hit"))
+        ).encode(keep_alive=True)
+        assert b"X-Repro-Tier: map" in wire
+        assert b"X-Repro-Cache: hit" in wire
+
+    def test_error_response_shape(self):
+        response = HTTPError(404, "no such endpoint").response()
+        assert response.status == 404
+        payload = json.loads(response.body)
+        assert payload["error"]["status"] == 404
+        assert "no such endpoint" in payload["error"]["detail"]

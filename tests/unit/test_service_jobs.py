@@ -1,0 +1,114 @@
+"""Unit tests for the background-job manager (lifecycle, dedupe, failure)."""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.service.jobs import JOB_STATES, JobManager
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestJobManager:
+    def test_job_runs_to_done(self):
+        async def scenario():
+            manager = JobManager(workers=1)
+            job = manager.submit("simulate", "d" * 64, {"q": 1}, lambda: {"x": 42})
+            assert job.state in ("pending", "running")
+            await manager.drain()
+            return manager.get(job.id)
+
+        job = run(scenario())
+        assert job.state == "done"
+        assert job.result == {"x": 42}
+        assert job.error is None
+
+    def test_failure_is_captured_not_raised(self):
+        def boom():
+            raise RuntimeError("engine exploded")
+
+        async def scenario():
+            manager = JobManager(workers=1)
+            job = manager.submit("simulate", "e" * 64, {}, boom)
+            await manager.drain()
+            return job
+
+        job = run(scenario())
+        assert job.state == "failed"
+        assert "RuntimeError" in job.error and "engine exploded" in job.error
+        assert "error" in job.to_dict()
+
+    def test_identical_digest_dedupes_to_one_job(self):
+        calls = []
+
+        async def scenario():
+            manager = JobManager(workers=1)
+            first = manager.submit("simulate", "f" * 64, {}, lambda: calls.append(1))
+            second = manager.submit("simulate", "f" * 64, {}, lambda: calls.append(2))
+            assert second is first
+            await manager.drain()
+            return manager
+
+        manager = run(scenario())
+        assert len(calls) == 1
+        assert manager.counters()["submitted"] == 1
+
+    def test_worker_cap_bounds_concurrency(self):
+        active = []
+        peak = []
+        lock = threading.Lock()
+
+        def tracked():
+            with lock:
+                active.append(1)
+                peak.append(len(active))
+            import time
+
+            time.sleep(0.02)
+            with lock:
+                active.pop()
+            return {}
+
+        async def scenario():
+            manager = JobManager(workers=2)
+            for i in range(6):
+                manager.submit("simulate", f"{i:064d}", {}, tracked)
+            await manager.drain()
+            return manager
+
+        manager = run(scenario())
+        assert max(peak) <= 2
+        assert manager.counters()["done"] == 6
+
+    def test_counters_cover_all_states(self):
+        async def scenario():
+            manager = JobManager(workers=1)
+            manager.submit("simulate", "a" * 64, {}, dict)
+            await manager.drain()
+            return manager.counters()
+
+        counters = run(scenario())
+        for state in JOB_STATES:
+            assert state in counters
+        assert counters["done"] == 1
+        assert counters["workers"] == 1
+
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(ValueError):
+            JobManager(0)
+
+    def test_job_id_embeds_digest_prefix(self):
+        async def scenario():
+            manager = JobManager(workers=1)
+            job = manager.submit("simulate", "abcdef" + "0" * 58, {}, dict)
+            await manager.drain()
+            return job
+
+        job = run(scenario())
+        assert job.id.endswith("abcdef000000")
+        assert job.id.startswith("job-000001-")

@@ -1,0 +1,237 @@
+"""Tier-2 regime-surface tests: interpolation accuracy and fallback rules.
+
+Pins the documented accuracy contract: on a dense map (adjacent MTBF lines
+within a factor of 2), tier-2 interpolated waste agrees with the tier-3
+analytical optimum within ``INTERPOLATION_WASTE_RTOL`` (periods within
+``INTERPOLATION_PERIOD_RTOL``), and every question the map cannot answer
+raises :class:`SurfaceMismatch` so the service falls back to tier 3.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.optimize.regime import RegimeMapSpec, compute_regime_map
+from repro.scenario.spec import ScenarioSpec
+from repro.service.tiers import (
+    INTERPOLATION_PERIOD_RTOL,
+    INTERPOLATION_WASTE_ATOL,
+    INTERPOLATION_WASTE_RTOL,
+    RegimeSurface,
+    SurfaceMismatch,
+    analytical_answer,
+)
+
+# Dense single-slice map: C = 600 s, phi = 1.03, one node count, platform
+# MTBFs from 1 h to 64 h at ratio 2 (the densest grid the contract assumes).
+NODES = 1000
+PLATFORM_MTBFS = tuple(3600.0 * 2**k for k in range(7))
+TOTAL_TIME = 360000.0
+PROTOCOLS = ("PurePeriodicCkpt", "BiPeriodicCkpt", "ABFT&PeriodicCkpt")
+
+
+@pytest.fixture(scope="module")
+def surface() -> RegimeSurface:
+    spec = RegimeMapSpec(
+        node_counts=(NODES,),
+        node_mtbf_values=tuple(mu * NODES for mu in PLATFORM_MTBFS),
+        checkpoint_costs=(600.0,),
+        abft_overheads=(1.03,),
+        application_time=TOTAL_TIME,
+    )
+    return RegimeSurface(compute_regime_map(spec))
+
+
+def scenario_at(mtbf: float, **platform_overrides) -> ScenarioSpec:
+    platform = {"mtbf": mtbf, "checkpoint": 600.0}
+    platform.update(platform_overrides)
+    return ScenarioSpec.from_dict(
+        {
+            "name": "tiers-test",
+            "platform": platform,
+            "workload": {"total_time": TOTAL_TIME, "alpha": 0.8},
+            "protocols": list(PROTOCOLS),
+        }
+    )
+
+
+class TestInterpolationAccuracy:
+    def test_exact_at_grid_points(self, surface):
+        # On a grid line the bracket degenerates (t = 0) and tier 2 must
+        # reproduce the precomputed cell, hence the analytical optimum.
+        for mtbf in PLATFORM_MTBFS:
+            answer = surface.interpolate(scenario_at(mtbf), PROTOCOLS)
+            exact = analytical_answer(scenario_at(mtbf), PROTOCOLS)
+            assert answer["winner"] == exact["winner"]
+            for name in PROTOCOLS:
+                assert answer["results"][name]["waste"] == pytest.approx(
+                    exact["results"][name]["waste"], rel=1e-9, abs=1e-12
+                )
+
+    def test_waste_within_documented_tolerance_off_grid(self, surface):
+        # Geometric midpoints between grid lines: the worst interpolation
+        # points of a log-space scheme.
+        for k in range(len(PLATFORM_MTBFS) - 1):
+            mtbf = math.sqrt(PLATFORM_MTBFS[k] * PLATFORM_MTBFS[k + 1])
+            answer = surface.interpolate(scenario_at(mtbf), PROTOCOLS)
+            exact = analytical_answer(scenario_at(mtbf), PROTOCOLS)
+            for name in PROTOCOLS:
+                interpolated = answer["results"][name]["waste"]
+                reference = exact["results"][name]["waste"]
+                assert interpolated == pytest.approx(
+                    reference,
+                    rel=INTERPOLATION_WASTE_RTOL,
+                    abs=INTERPOLATION_WASTE_ATOL,
+                ), f"{name} at platform MTBF {mtbf:g}"
+
+    def test_periods_within_documented_tolerance_off_grid(self, surface):
+        for k in range(len(PLATFORM_MTBFS) - 1):
+            mtbf = math.sqrt(PLATFORM_MTBFS[k] * PLATFORM_MTBFS[k + 1])
+            answer = surface.interpolate(scenario_at(mtbf), PROTOCOLS)
+            exact = analytical_answer(scenario_at(mtbf), PROTOCOLS)
+            for name in PROTOCOLS:
+                if not exact["results"][name]["feasible"]:
+                    continue
+                for keyword, reference in exact["results"][name]["periods"].items():
+                    interpolated = answer["results"][name]["periods"][keyword]
+                    assert interpolated == pytest.approx(
+                        reference, rel=INTERPOLATION_PERIOD_RTOL
+                    ), f"{name}.{keyword} at platform MTBF {mtbf:g}"
+
+    def test_winner_agrees_away_from_crossovers(self, surface):
+        # Where the margin is decisive (> the waste tolerance), tier 2 must
+        # rank protocols exactly like tier 3.
+        for k in range(len(PLATFORM_MTBFS) - 1):
+            mtbf = math.sqrt(PLATFORM_MTBFS[k] * PLATFORM_MTBFS[k + 1])
+            exact = analytical_answer(scenario_at(mtbf), PROTOCOLS)
+            if exact["margin"] is None or exact["margin"] < INTERPOLATION_WASTE_RTOL:
+                continue
+            answer = surface.interpolate(scenario_at(mtbf), PROTOCOLS)
+            assert answer["winner"] == exact["winner"]
+
+    def test_interpolation_geometry_reported(self, surface):
+        mtbf = math.sqrt(PLATFORM_MTBFS[0] * PLATFORM_MTBFS[1])
+        answer = surface.interpolate(scenario_at(mtbf), PROTOCOLS)
+        geometry = answer["interpolation"]
+        assert geometry["mode"] == "platform-mtbf"
+        assert geometry["platform_mtbf_bracket"] == [
+            PLATFORM_MTBFS[0],
+            PLATFORM_MTBFS[1],
+        ]
+        for entry in answer["results"].values():
+            assert entry["interpolated"] is True
+
+
+class TestBilinearQueries:
+    def test_single_axis_map_answers_on_grid_nodes(self, surface):
+        mtbf = PLATFORM_MTBFS[2]
+        answer = surface.interpolate(
+            scenario_at(mtbf), PROTOCOLS, nodes=NODES, node_mtbf=mtbf * NODES
+        )
+        assert answer["interpolation"]["mode"] == "bilinear"
+
+    def test_half_specified_coordinates_mismatch(self, surface):
+        with pytest.raises(SurfaceMismatch, match="both 'nodes' and 'node_mtbf'"):
+            surface.interpolate(
+                scenario_at(PLATFORM_MTBFS[0]), PROTOCOLS, nodes=NODES
+            )
+
+    def test_inconsistent_ratio_mismatch(self, surface):
+        with pytest.raises(SurfaceMismatch, match="contradicts"):
+            surface.interpolate(
+                scenario_at(PLATFORM_MTBFS[0]),
+                PROTOCOLS,
+                nodes=NODES,
+                node_mtbf=PLATFORM_MTBFS[3] * NODES,
+            )
+
+
+class TestHullAndCompatibility:
+    def test_below_hull_falls_through(self, surface):
+        with pytest.raises(SurfaceMismatch, match="below the map hull"):
+            surface.interpolate(scenario_at(PLATFORM_MTBFS[0] / 4), PROTOCOLS)
+
+    def test_above_hull_falls_through(self, surface):
+        with pytest.raises(SurfaceMismatch, match="above the map hull"):
+            surface.interpolate(scenario_at(PLATFORM_MTBFS[-1] * 4), PROTOCOLS)
+
+    def test_off_grid_checkpoint_mismatch(self, surface):
+        with pytest.raises(SurfaceMismatch, match="checkpoint"):
+            surface.interpolate(
+                scenario_at(PLATFORM_MTBFS[1], checkpoint=601.0), PROTOCOLS
+            )
+
+    def test_off_grid_phi_mismatch(self, surface):
+        with pytest.raises(SurfaceMismatch, match="phi"):
+            surface.interpolate(
+                scenario_at(PLATFORM_MTBFS[1], abft_overhead=1.5), PROTOCOLS
+            )
+
+    def test_unknown_protocol_mismatch(self, surface):
+        with pytest.raises(SurfaceMismatch, match="not on the map"):
+            surface.interpolate(
+                scenario_at(PLATFORM_MTBFS[1]), ("TripleCkpt",)
+            )
+
+    def test_different_workload_mismatch(self, surface):
+        spec = ScenarioSpec.from_dict(
+            {
+                "platform": {"mtbf": PLATFORM_MTBFS[1], "checkpoint": 600.0},
+                "workload": {"total_time": TOTAL_TIME * 2, "alpha": 0.8},
+            }
+        )
+        with pytest.raises(SurfaceMismatch, match="total_time"):
+            surface.interpolate(spec, PROTOCOLS)
+
+    def test_non_exponential_failures_mismatch(self, surface):
+        spec = ScenarioSpec.from_dict(
+            {
+                "platform": {"mtbf": PLATFORM_MTBFS[1], "checkpoint": 600.0},
+                "workload": {"total_time": TOTAL_TIME, "alpha": 0.8},
+                "failures": {"model": "weibull", "params": {"shape": 0.7}},
+            }
+        )
+        with pytest.raises(SurfaceMismatch, match="exponential"):
+            surface.interpolate(spec, PROTOCOLS)
+
+    def test_multi_epoch_workload_mismatch(self, surface):
+        spec = ScenarioSpec.from_dict(
+            {
+                "platform": {"mtbf": PLATFORM_MTBFS[1], "checkpoint": 600.0},
+                "workload": {"total_time": TOTAL_TIME, "alpha": 0.8, "epochs": 4},
+            }
+        )
+        with pytest.raises(SurfaceMismatch, match="epoch"):
+            surface.interpolate(spec, PROTOCOLS)
+
+    def test_model_params_mismatch(self, surface):
+        spec = ScenarioSpec.from_dict(
+            {
+                "platform": {"mtbf": PLATFORM_MTBFS[1], "checkpoint": 600.0},
+                "workload": {"total_time": TOTAL_TIME, "alpha": 0.8},
+                "model_params": {"ABFT&PeriodicCkpt": {"per_epoch": False}},
+            }
+        )
+        with pytest.raises(SurfaceMismatch, match="model_params"):
+            surface.interpolate(spec, PROTOCOLS)
+
+
+class TestAnalyticalAnswer:
+    def test_winner_margin_and_shape(self):
+        answer = analytical_answer(scenario_at(PLATFORM_MTBFS[2]), PROTOCOLS)
+        assert answer["winner"] in PROTOCOLS
+        assert answer["margin"] is not None and answer["margin"] >= 0
+        for name in PROTOCOLS:
+            entry = answer["results"][name]
+            assert entry["interpolated"] is False
+            assert 0.0 <= entry["waste"] <= 1.0
+            assert "protocol" not in entry
+
+    def test_single_protocol_has_no_margin(self):
+        answer = analytical_answer(
+            scenario_at(PLATFORM_MTBFS[2]), ("PurePeriodicCkpt",)
+        )
+        assert answer["margin"] is None
+        assert answer["winner"] == "PurePeriodicCkpt"
