@@ -9,7 +9,9 @@ structure up:
   the trials of one campaign over a process/thread pool in chunks, with each
   trial's RNG derived exactly as the serial runner derives it, so the same
   root seed produces bit-identical aggregate statistics for any worker
-  count;
+  count; :class:`ShardedVectorizedExecutor` gives the across-trials
+  (vectorized) engine the same treatment -- one contiguous trial shard per
+  worker process, bit-identical to the serial vectorized path;
 * :mod:`repro.campaign.cache` -- :class:`SweepCache`, a crash-tolerant
   one-JSON-file-per-point result store;
 * :mod:`repro.campaign.sweep_runner` -- :class:`SweepRunner` /
@@ -25,6 +27,8 @@ and the benchmarks are built on these primitives.
 from repro.campaign.cache import SweepCache, canonical_digest
 from repro.campaign.executor import (
     ParallelMonteCarloExecutor,
+    ShardedVectorizedExecutor,
+    resolve_worker_count,
     run_monte_carlo_parallel,
 )
 from repro.campaign.sweep_runner import (
@@ -39,6 +43,8 @@ __all__ = [
     "SweepCache",
     "canonical_digest",
     "ParallelMonteCarloExecutor",
+    "ShardedVectorizedExecutor",
+    "resolve_worker_count",
     "run_monte_carlo_parallel",
     "CAMPAIGN_PROTOCOLS",
     "GridPoint",

@@ -28,7 +28,10 @@ import numpy as np
 
 from repro.application.workload import ApplicationWorkload
 from repro.campaign.cache import SweepCache
-from repro.campaign.executor import ParallelMonteCarloExecutor
+from repro.campaign.executor import (
+    ParallelMonteCarloExecutor,
+    ShardedVectorizedExecutor,
+)
 from repro.core.analytical.grid import GRID_PROTOCOLS, waste_points
 from repro.core.parameters import ResilienceParameters
 from repro.core.registry import (
@@ -96,7 +99,7 @@ class SweepJob:
         per-trial state-machine walk), ``"vectorized"`` (the across-trials
         engine; every selected protocol must have a registered vectorized
         engine and the failure law must be one of the registry's vectorized
-        laws -- exponential, Weibull, log-normal -- else the job fails with
+        laws -- exponential, Weibull, log-normal, trace -- else the job fails with
         an actionable error) or ``"auto"`` (vectorized where supported,
         event elsewhere).  The engines are bit-identical trial for trial,
         so the backend is *not* part of the cache key -- entries are
@@ -337,8 +340,14 @@ class SweepRunner:
         Consult existing cache entries (default).  ``False`` recomputes every
         point (entries are still rewritten, refreshing the cache).
     workers / backend:
-        Worker-pool settings for the Monte-Carlo trials of simulated points;
-        see :class:`~repro.campaign.executor.ParallelMonteCarloExecutor`.
+        Worker-pool settings for the Monte-Carlo trials of simulated points.
+        Event-backend campaigns fan out through
+        :class:`~repro.campaign.executor.ParallelMonteCarloExecutor`;
+        vectorized campaigns shard their trial range through
+        :class:`~repro.campaign.executor.ShardedVectorizedExecutor` (which
+        only distinguishes serial from process execution, so ``"thread"``
+        runs those campaigns serially).  Both are bit-identical to one
+        worker for any count.
     vectorized:
         Evaluate the analytical wastes of uncached points in one NumPy
         broadcast pass (default) instead of per-point model objects.  Both
@@ -358,6 +367,10 @@ class SweepRunner:
         self._resume = bool(resume)
         self._executor = ParallelMonteCarloExecutor(
             workers=1 if workers is None else workers, backend=backend
+        )
+        self._vector_executor = ShardedVectorizedExecutor(
+            workers=1 if workers is None else workers,
+            backend="process" if backend == "process" else "serial",
         )
         self._vectorized = bool(vectorized)
 
@@ -490,8 +503,8 @@ class SweepRunner:
                     failure_model=failure_model,
                     max_slowdown=job.max_slowdown,
                 )
-                tables[name] = engine.run_trials(
-                    job.simulation_runs, seed=job.seed
+                tables[name] = self._vector_executor.run(
+                    engine, runs=job.simulation_runs, seed=job.seed
                 )
             else:
                 simulator = entry.simulator_cls(

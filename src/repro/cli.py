@@ -85,11 +85,38 @@ __all__ = ["main", "build_parser"]
 
 
 def _positive_int(text: str) -> int:
-    """argparse type for flags that must be strictly positive (--workers)."""
+    """argparse type for flags that must be strictly positive (--runs)."""
     value = int(text)
     if value <= 0:
         raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
     return value
+
+
+def _workers_arg(text: str):
+    """argparse type for ``--workers``: a positive integer or ``auto``."""
+    if text.strip().lower() == "auto":
+        return "auto"
+    try:
+        return _positive_int(text)
+    except (ValueError, argparse.ArgumentTypeError):
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer or 'auto', got {text!r}"
+        ) from None
+
+
+def _resolve_workers(workers, runs: int) -> int:
+    """Resolve ``--workers`` against the campaign size, with one stderr note."""
+    import math
+
+    from repro.campaign import resolve_worker_count
+
+    resolved = resolve_worker_count(workers, runs)
+    shard = math.ceil(runs / resolved)
+    _note(
+        f"workers: {resolved} (shards of up to {shard} of {runs} trials "
+        "per campaign)"
+    )
+    return resolved
 
 
 def _note(message: str) -> None:
@@ -173,10 +200,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign.add_argument(
         "--workers",
-        type=_positive_int,
-        default=None,
-        help="worker processes for event-backend Monte-Carlo trials "
-        "(default: serial)",
+        type=_workers_arg,
+        default="auto",
+        help="worker processes for the Monte-Carlo campaigns (a count, or "
+        "'auto' for the machine's cores capped by --runs; default: auto)",
     )
     campaign.add_argument(
         "--cache-dir",
@@ -250,9 +277,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scenario_run.add_argument(
         "--workers",
-        type=_positive_int,
-        default=None,
-        help="worker processes for the Monte-Carlo trials (default: serial)",
+        type=_workers_arg,
+        default="auto",
+        help="worker processes for the Monte-Carlo campaigns (a count, or "
+        "'auto' for the machine's cores capped by the campaign size; "
+        "default: auto)",
     )
     scenario_run.add_argument(
         "--cache-dir",
@@ -331,9 +360,11 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument(
             "--workers",
-            type=_positive_int,
-            default=None,
-            help="worker processes for event-backend campaigns (default: serial)",
+            type=_workers_arg,
+            default="auto",
+            help="worker processes for the Monte-Carlo campaigns (a count, "
+            "or 'auto' for the machine's cores capped by --runs; "
+            "default: auto)",
         )
         p.add_argument(
             "--cache-dir",
@@ -485,6 +516,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="concurrent background simulation jobs (default 2)",
     )
     serve.add_argument(
+        "--mc-workers",
+        type=_workers_arg,
+        default=1,
+        help="shard-pool width of each vectorized Monte-Carlo campaign "
+        "(a count, or 'auto' for the machine's cores; default 1 = serial)",
+    )
+    serve.add_argument(
         "--answer-cache-size",
         type=_positive_int,
         default=4096,
@@ -565,10 +603,11 @@ def _run_campaign(args: argparse.Namespace) -> int:
         seed=args.seed,
         backend=args.backend,
     )
+    workers = _resolve_workers(args.workers, args.runs) if args.validate else None
     runner = SweepRunner(
         cache_dir=args.cache_dir,
         resume=args.resume,
-        workers=args.workers,
+        workers=workers,
     )
     result = runner.run(job)
 
@@ -703,6 +742,13 @@ def _run_scenario(args: argparse.Namespace) -> int:
         print(f"error: invalid scenario file {args.spec!r}: {exc}", file=sys.stderr)
         return 2
     _note(spec.describe())
+    validating = (
+        spec.simulation.validate if args.validate is None else args.validate
+    )
+    workers = None
+    if validating:
+        runs = args.runs if args.runs is not None else spec.simulation.runs
+        workers = _resolve_workers(args.workers, runs)
     try:
         result = run_scenario(
             spec,
@@ -710,7 +756,7 @@ def _run_scenario(args: argparse.Namespace) -> int:
             runs=args.runs,
             seed=args.seed,
             backend=args.backend,
-            workers=args.workers,
+            workers=workers,
             cache_dir=args.cache_dir,
             resume=args.resume,
         )
@@ -840,7 +886,7 @@ def _run_optimize_period(args: argparse.Namespace) -> int:
             runs=args.runs,
             seed=args.seed,
             backend=args.backend,
-            workers=args.workers,
+            workers=_resolve_workers(args.workers, args.runs),
             cache_dir=args.cache_dir,
             resume=args.resume,
             model_kwargs=spec.model_kwargs_for(args.protocol),
@@ -915,9 +961,10 @@ def _run_optimize_map(args: argparse.Namespace) -> int:
         backend=args.backend,
         **kwargs,
     )
+    workers = _resolve_workers(args.workers, args.runs) if args.simulate else None
     regime_map = compute_regime_map(
         spec,
-        workers=args.workers,
+        workers=workers,
         cache_dir=args.cache_dir,
         resume=args.resume,
     )
@@ -953,6 +1000,7 @@ def _run_serve(args: argparse.Namespace) -> int:
             regime_map=args.regime_map,
             cache_dir=args.cache_dir,
             workers=args.workers,
+            mc_workers=args.mc_workers,
             answer_cache_entries=args.answer_cache_size,
         )
     except (OSError, ValueError, KeyError) as exc:
@@ -997,6 +1045,12 @@ def _run_abft(args: argparse.Namespace) -> int:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
+    from repro.simulation.vectorized import reset_backend_fallback_notes
+
+    # The backend=auto fallback note dedupes through module state; a fresh
+    # CLI invocation is a fresh run, so clear it (repeated in-process calls
+    # -- tests, the service -- must not silently swallow later notes).
+    reset_backend_fallback_notes()
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.command == "figure7":

@@ -320,7 +320,8 @@ class AbftPeriodicCkptVectorized:
     :class:`AbftPeriodicCkptSimulator` through the phased engine.  Accepts
     the same knobs (including the Section III-B safeguard) and reproduces
     the event backend bit for bit, trial for trial, under every
-    registry-flagged vectorized law (exponential, Weibull, log-normal).
+    registry-flagged vectorized law (exponential, Weibull, log-normal,
+    trace replay).
     """
 
     name = "ABFT&PeriodicCkpt"
@@ -356,3 +357,7 @@ class AbftPeriodicCkptVectorized:
     def run_trials(self, runs: int, seed: Optional[int] = None):
         """Simulate ``runs`` trials; see :class:`VectorizedPhasedSimulator`."""
         return self._engine.run_trials(runs, seed)
+
+    def run_trial_range(self, start: int, stop: int, seed: Optional[int] = None):
+        """Simulate trials ``[start, stop)`` of a campaign (shard execution)."""
+        return self._engine.run_trial_range(start, stop, seed)

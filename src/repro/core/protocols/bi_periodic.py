@@ -233,7 +233,7 @@ class BiPeriodicCkptVectorized:
     Executes the same compiled schedule as :class:`BiPeriodicCkptSimulator`
     through the phased engine.  Accepts the same knobs and reproduces the
     event backend bit for bit, trial for trial, under every registry-flagged
-    vectorized law (exponential, Weibull, log-normal).
+    vectorized law (exponential, Weibull, log-normal, trace replay).
     """
 
     name = "BiPeriodicCkpt"
@@ -269,3 +269,7 @@ class BiPeriodicCkptVectorized:
     def run_trials(self, runs: int, seed: Optional[int] = None):
         """Simulate ``runs`` trials; see :class:`VectorizedPhasedSimulator`."""
         return self._engine.run_trials(runs, seed)
+
+    def run_trial_range(self, start: int, stop: int, seed: Optional[int] = None):
+        """Simulate trials ``[start, stop)`` of a campaign (shard execution)."""
+        return self._engine.run_trial_range(start, stop, seed)

@@ -94,7 +94,8 @@ class NoFaultToleranceVectorized:
 
     Executes the same compiled schedule as :class:`NoFaultToleranceSimulator`
     through the phased engine; bit-identical trial for trial for every
-    registry-flagged vectorized law (exponential, Weibull, log-normal).
+    registry-flagged vectorized law (exponential, Weibull, log-normal,
+    trace replay).
     """
 
     name = "NoFT"
@@ -121,3 +122,7 @@ class NoFaultToleranceVectorized:
     def run_trials(self, runs: int, seed: Optional[int] = None):
         """Simulate ``runs`` trials; see :class:`VectorizedPhasedSimulator`."""
         return self._engine.run_trials(runs, seed)
+
+    def run_trial_range(self, start: int, stop: int, seed: Optional[int] = None):
+        """Simulate trials ``[start, stop)`` of a campaign (shard execution)."""
+        return self._engine.run_trial_range(start, stop, seed)

@@ -151,7 +151,7 @@ class PurePeriodicCkptVectorized:
     (explicit period or optimal-period formula), compiles the same schedule
     and produces bit-identical per-trial results through the phased engine,
     under every registry-flagged vectorized law (exponential, Weibull,
-    log-normal).
+    log-normal, trace replay).
     """
 
     name = "PurePeriodicCkpt"
@@ -182,3 +182,7 @@ class PurePeriodicCkptVectorized:
     def run_trials(self, runs: int, seed: Optional[int] = None):
         """Simulate ``runs`` trials; see :class:`VectorizedPhasedSimulator`."""
         return self._engine.run_trials(runs, seed)
+
+    def run_trial_range(self, start: int, stop: int, seed: Optional[int] = None):
+        """Simulate trials ``[start, stop)`` of a campaign (shard execution)."""
+        return self._engine.run_trial_range(start, stop, seed)

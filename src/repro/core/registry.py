@@ -202,12 +202,14 @@ class FailureModelEntry:
     #: Builds an instance from spec-level data: ``factory(cls, mtbf, **params)``.
     factory: Optional[Callable[..., Any]] = None
     #: Whether the across-trials engine can draw this law's inter-arrival
-    #: blocks (``register_failure_model(vectorized=True)``): the model is
-    #: stateless and its ``sample_interarrivals`` is a pure function of the
-    #: generator, so the vectorized backend reproduces the event stream bit
-    #: for bit.  Stateful models (trace replay) must stay ``False``.  The
-    #: flag applies to *exact* instances of :attr:`cls` only -- subclasses
-    #: may override the sampling and always fall back to the event backend.
+    #: blocks (``register_failure_model(vectorized=True)``): either the
+    #: model is stateless and its ``sample_interarrivals`` is a pure
+    #: function of the generator, or it provides a batched
+    #: ``trial_block_sampler`` with per-trial state (trace replay keeps one
+    #: rewindable cursor per trial) -- either way the vectorized backend
+    #: reproduces the event stream bit for bit.  The flag applies to
+    #: *exact* instances of :attr:`cls` only -- subclasses may override the
+    #: sampling and always fall back to the event backend.
     vectorized: bool = False
 
     def create(self, mtbf: Optional[float] = None, **params: Any) -> Any:

@@ -4,11 +4,53 @@ from __future__ import annotations
 
 import abc
 import copy
-from typing import Iterator
+from typing import Iterator, Sequence
 
 import numpy as np
 
-__all__ = ["FailureModel"]
+__all__ = ["FailureModel", "TrialBlockSampler"]
+
+
+class TrialBlockSampler:
+    """Per-campaign block sampler driving the vectorized engine's refills.
+
+    The across-trials engine
+    (:class:`~repro.simulation.vectorized.VectorizedPhasedSimulator`)
+    requests one sampler per campaign via
+    :meth:`FailureModel.trial_block_sampler` and asks it for blocks of
+    inter-arrival draws, one row per trial.  This default implementation
+    reproduces the event backend exactly by construction: each trial gets
+    its own :meth:`FailureModel.spawn`-ed model (free for stateless laws,
+    a rewound clone for stateful ones) whose
+    :meth:`FailureModel.sample_interarrivals` consumes that trial's
+    generator -- the very calls the event backend's
+    :class:`~repro.failures.timeline.FailureTimeline` makes.
+
+    Stateful models can subclass this to batch across trials; see the
+    trace-replay sampler in :mod:`repro.failures.trace_based`.
+    """
+
+    def __init__(self, model: "FailureModel", trials: int) -> None:
+        if trials <= 0:
+            raise ValueError(f"trials must be positive, got {trials}")
+        self._models = [model.spawn() for _ in range(int(trials))]
+
+    def sample_blocks(
+        self,
+        indices: np.ndarray,
+        rngs: Sequence[np.random.Generator],
+        count: int,
+    ) -> np.ndarray:
+        """Draw ``count`` inter-arrivals for every trial in ``indices``.
+
+        Returns a ``(len(indices), count)`` float array whose row ``j``
+        holds trial ``indices[j]``'s next block, bit-identical to the
+        per-trial stream the event backend consumes.
+        """
+        out = np.empty((len(indices), int(count)), dtype=float)
+        for j, i in enumerate(indices):
+            out[j] = self._models[i].sample_interarrivals(rngs[i], count)
+        return out
 
 
 class FailureModel(abc.ABC):
@@ -67,6 +109,17 @@ class FailureModel(abc.ABC):
         while True:
             current += self.sample_interarrival(rng)
             yield current
+
+    def trial_block_sampler(self, trials: int) -> TrialBlockSampler:
+        """A per-campaign sampler for the vectorized engine's block refills.
+
+        The default wraps per-trial :meth:`spawn`-ed models in a
+        :class:`TrialBlockSampler`, which is exactly the event backend's
+        sampling (and therefore bit-identical) for every model.  Stateful
+        models whose draws do not depend on the generator (trace replay)
+        override this with a sampler that batches across trials.
+        """
+        return TrialBlockSampler(self, trials)
 
     def spawn(self) -> "FailureModel":
         """Return an instance that is safe to consume in a new simulation run.

@@ -14,9 +14,58 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.core.registry import register_failure_model
-from repro.failures.base import FailureModel
+from repro.failures.base import FailureModel, TrialBlockSampler
 
-__all__ = ["TraceFailureModel"]
+__all__ = ["TraceFailureModel", "TraceBlockSampler"]
+
+
+class TraceBlockSampler(TrialBlockSampler):
+    """Batched trace replay: per-trial rewindable cursors, one shared array.
+
+    The event backend replays the trace per trial through a
+    :meth:`TraceFailureModel.spawn`-ed clone whose cursor starts at the
+    first entry; this sampler keeps one ``int64`` cursor *per trial* over
+    the same immutable inter-arrival array and gathers whole blocks with
+    NumPy indexing, so the vectorized engine's refills stop looping Python
+    per trial.  Cycling traces wrap with modular arithmetic; non-cycling
+    traces return :attr:`TraceFailureModel.EXHAUSTED` past the end without
+    advancing past it -- both exactly the per-draw semantics of
+    :meth:`TraceFailureModel.sample_interarrival`, so the streams stay bit
+    identical.  Generators are accepted (the shared signature) but never
+    consumed, matching the event path.
+    """
+
+    def __init__(self, model: "TraceFailureModel", trials: int) -> None:
+        if trials <= 0:
+            raise ValueError(f"trials must be positive, got {trials}")
+        self._trace = model._interarrivals
+        self._cycle = model.cycle
+        self._exhausted = model.EXHAUSTED
+        self._cursor = np.zeros(int(trials), dtype=np.int64)
+
+    def sample_blocks(
+        self,
+        indices: np.ndarray,
+        rngs: Sequence[np.random.Generator],  # noqa: ARG002 - never consumed
+        count: int,
+    ) -> np.ndarray:
+        trace = self._trace
+        size = trace.size
+        count = int(count)
+        cursor = self._cursor[indices]
+        positions = cursor[:, None] + np.arange(count, dtype=np.int64)[None, :]
+        if self._cycle:
+            out = trace[positions % size]
+            self._cursor[indices] = (cursor + count) % size
+        else:
+            within = positions < size
+            out = np.where(
+                within, trace[np.minimum(positions, size - 1)], self._exhausted
+            )
+            # Exhausted draws never advance the cursor (the event path
+            # returns EXHAUSTED without touching it).
+            self._cursor[indices] = np.minimum(cursor + count, size)
+        return out
 
 
 def _trace_from_spec(
@@ -49,7 +98,10 @@ def _trace_from_spec(
 
 
 @register_failure_model(
-    "trace", aliases=("trace-based", "replay"), factory=_trace_from_spec
+    "trace",
+    aliases=("trace-based", "replay"),
+    factory=_trace_from_spec,
+    vectorized=True,
 )
 class TraceFailureModel(FailureModel):
     """Replays a fixed sequence of failure inter-arrival times.
@@ -69,7 +121,10 @@ class TraceFailureModel(FailureModel):
     -----
     The model is *stateful*: each call to :meth:`sample_interarrival`
     advances an internal cursor.  Use :meth:`reset` (or a fresh instance) to
-    restart the trace between simulation runs.
+    restart the trace between simulation runs.  Despite the statefulness it
+    is registered ``vectorized=True``: :meth:`trial_block_sampler` keeps one
+    cursor per trial over the shared trace, so the across-trials engine
+    replays it bit-identically to the event backend.
     """
 
     #: Inter-arrival time returned once a non-cycling trace is exhausted.
@@ -138,6 +193,16 @@ class TraceFailureModel(FailureModel):
         value = float(self._interarrivals[self._cursor])
         self._cursor += 1
         return value
+
+    def trial_block_sampler(self, trials: int) -> TraceBlockSampler:
+        """Batched replay for the vectorized engine (see the registry flag).
+
+        Every trial's cursor starts at the first entry -- exactly what
+        :meth:`spawn` gives each event-backend run -- independent of any
+        other trial, so campaign shards see identical streams at any shard
+        boundary.
+        """
+        return TraceBlockSampler(self, trials)
 
     def scaled(self, factor: float) -> "TraceFailureModel":
         if factor <= 0:

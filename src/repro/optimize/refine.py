@@ -28,7 +28,10 @@ from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro.application.workload import ApplicationWorkload
 from repro.campaign.cache import SweepCache
-from repro.campaign.executor import ParallelMonteCarloExecutor
+from repro.campaign.executor import (
+    ParallelMonteCarloExecutor,
+    ShardedVectorizedExecutor,
+)
 from repro.core.parameters import ResilienceParameters
 from repro.core.registry import (
     create_failure_model,
@@ -173,6 +176,7 @@ def simulate_at_periods(
     seed: Optional[int],
     backend: str = "auto",
     executor: Optional[ParallelMonteCarloExecutor] = None,
+    vector_executor: Optional[ShardedVectorizedExecutor] = None,
     failure_model: str = "exponential",
     failure_params: Optional[Mapping[str, Any]] = None,
     max_slowdown: float = DEFAULT_MAX_SLOWDOWN,
@@ -184,6 +188,8 @@ def simulate_at_periods(
     the protocol's across-trials engine and a registry-flagged vectorized
     law (else a :class:`VectorizedBackendError` names the obstacle),
     ``"auto"`` falls back to the event simulators fanned over ``executor``.
+    Vectorized campaigns shard their trial range over ``vector_executor``
+    when one is given (serial otherwise) -- bit-identical either way.
 
     ``simulator_kwargs`` carries protocol options beyond the periods (e.g.
     the composite's ``safeguard``) into the engine constructors, following
@@ -229,7 +235,10 @@ def simulate_at_periods(
             max_slowdown=max_slowdown,
             **kwargs,
         )
-        table = engine.run_trials(runs, seed=seed)
+        if vector_executor is not None:
+            table = vector_executor.run(engine, runs=runs, seed=seed)
+        else:
+            table = engine.run_trials(runs, seed=seed)
     else:
         simulator = entry.simulator_cls(
             parameters,
@@ -282,6 +291,7 @@ def refine_period(
     max_slowdown: float = DEFAULT_MAX_SLOWDOWN,
     analytical: Optional[PeriodOptimum] = None,
     executor: Optional[ParallelMonteCarloExecutor] = None,
+    vector_executor: Optional[ShardedVectorizedExecutor] = None,
 ) -> RefinedOptimum:
     """Re-optimize a protocol's period against the Monte-Carlo engine.
 
@@ -296,8 +306,12 @@ def refine_period(
         Monte-Carlo engine: ``"auto"`` (default; vectorized where supported,
         event elsewhere), ``"vectorized"`` or ``"event"``.
     workers / pool_backend:
-        Worker-pool settings for event-backend campaigns
-        (:class:`~repro.campaign.executor.ParallelMonteCarloExecutor`).
+        Worker-pool settings.  Event-backend campaigns fan out through
+        :class:`~repro.campaign.executor.ParallelMonteCarloExecutor`;
+        vectorized campaigns shard their trial range through
+        :class:`~repro.campaign.executor.ShardedVectorizedExecutor`
+        (process pools only, so a non-``"process"`` ``pool_backend`` runs
+        them serially).  Bit-identical for any worker count.
     cache_dir / resume:
         Candidate-campaign cache directory (``None`` disables caching) and
         whether to consult existing entries, exactly like the sweep runner
@@ -309,8 +323,8 @@ def refine_period(
         round.
     failure_model / failure_params:
         Failure law of the campaigns (any registered model); laws without
-        vectorized block sampling (e.g. trace replay) force the event
-        backend.
+        vectorized block sampling (subclassed or third-party models) force
+        the event backend.
     model_kwargs / simulator_kwargs:
         Protocol options beyond the periods, split as in
         :func:`repro.core.registry.resolve`: ``model_kwargs`` shape the
@@ -322,11 +336,12 @@ def refine_period(
         in both to keep the analytical and simulated configurations aligned.
     analytical:
         Reuse a precomputed analytical optimum instead of recomputing it.
-    executor:
-        Reuse an existing :class:`ParallelMonteCarloExecutor` for the
-        event-backend campaigns instead of constructing one from
-        ``workers`` / ``pool_backend`` (the advisor service's background
-        jobs share a single executor this way).
+    executor / vector_executor:
+        Reuse existing executors (:class:`ParallelMonteCarloExecutor` for
+        event-backend campaigns, :class:`ShardedVectorizedExecutor` for
+        vectorized ones) instead of constructing them from ``workers`` /
+        ``pool_backend`` (the advisor service's background jobs share
+        executors this way).
     """
     if points <= 0 or rounds <= 0:
         raise ValueError("points and rounds must be positive")
@@ -351,6 +366,11 @@ def refine_period(
     if executor is None:
         executor = ParallelMonteCarloExecutor(
             workers=1 if workers is None else workers, backend=pool_backend
+        )
+    if vector_executor is None:
+        vector_executor = ShardedVectorizedExecutor(
+            workers=1 if workers is None else workers,
+            backend="process" if pool_backend == "process" else "serial",
         )
     law = resolve_failure_model(failure_model).name
     law_params = dict(failure_params or {})
@@ -397,6 +417,7 @@ def refine_period(
                         seed=seed,
                         backend=backend,
                         executor=executor,
+                        vector_executor=vector_executor,
                         failure_model=law,
                         failure_params=law_params,
                         max_slowdown=max_slowdown,

@@ -15,9 +15,11 @@ data: a grid over
 where every cell optimizes every registered protocol numerically
 (:func:`~repro.optimize.period.optimize_period`), records the per-protocol
 optimal periods and minimal wastes, optionally validates the ranking with
-Monte-Carlo campaigns (vectorized engine where supported, event simulators
-fanned over :class:`~repro.campaign.executor.ParallelMonteCarloExecutor`
-otherwise), and names the winning protocol.
+Monte-Carlo campaigns (vectorized engine sharded over
+:class:`~repro.campaign.executor.ShardedVectorizedExecutor` where supported,
+event simulators fanned over
+:class:`~repro.campaign.executor.ParallelMonteCarloExecutor` otherwise),
+and names the winning protocol.
 
 Cells are cached one JSON file each
 (:class:`~repro.campaign.cache.SweepCache`), so an interrupted map resumes,
@@ -36,7 +38,10 @@ from typing import Any, Dict, Iterator, Mapping, Optional, Tuple
 
 from repro.application.workload import ApplicationWorkload
 from repro.campaign.cache import SweepCache
-from repro.campaign.executor import ParallelMonteCarloExecutor
+from repro.campaign.executor import (
+    ParallelMonteCarloExecutor,
+    ShardedVectorizedExecutor,
+)
 from repro.core.parameters import ResilienceParameters
 from repro.core.registry import resolve_protocol
 from repro.optimize.period import optimize_period
@@ -515,6 +520,7 @@ def _evaluate_cell(
     checkpoint: float,
     phi: float,
     executor: ParallelMonteCarloExecutor,
+    vector_executor: Optional[ShardedVectorizedExecutor] = None,
 ) -> Dict[str, Any]:
     """Evaluate one cell into its cacheable plain-data form."""
     parameters = spec.parameters_at(nodes, node_mtbf, checkpoint, phi)
@@ -543,6 +549,7 @@ def _evaluate_cell(
                     seed=spec.seed,
                     backend=spec.backend,
                     executor=executor,
+                    vector_executor=vector_executor,
                     max_slowdown=spec.max_slowdown,
                 )
                 entry["simulated_waste"] = summary.get("waste_mean")
@@ -587,8 +594,11 @@ def compute_regime_map(
     spec:
         The map description.
     workers / pool_backend:
-        Worker-pool settings for event-backend campaigns on simulated maps
-        (analytical cells are CPU-light and run inline).
+        Worker-pool settings for the campaigns of simulated maps:
+        event-backend cells fan their trials over a
+        :class:`ParallelMonteCarloExecutor`, vectorized cells shard their
+        trial range over a :class:`ShardedVectorizedExecutor` (process
+        pools only; analytical cells are CPU-light and run inline).
     cache_dir / resume:
         Per-cell cache directory and whether to consult existing entries;
         semantics identical to :class:`~repro.campaign.sweep_runner.SweepRunner`.
@@ -597,6 +607,10 @@ def compute_regime_map(
     executor = ParallelMonteCarloExecutor(
         workers=1 if workers is None else workers, backend=pool_backend
     )
+    vector_executor = ShardedVectorizedExecutor(
+        workers=1 if workers is None else workers,
+        backend="process" if pool_backend == "process" else "serial",
+    )
     cells: list[RegimeCell] = []
     computed = 0
     cached_count = 0
@@ -604,7 +618,7 @@ def compute_regime_map(
         key = spec.cell_key(*coords)
         value = cache.load(key) if (cache is not None and resume) else None
         if value is None:
-            value = _evaluate_cell(spec, *coords, executor)
+            value = _evaluate_cell(spec, *coords, executor, vector_executor)
             if cache is not None:
                 cache.store(key, value)
             computed += 1

@@ -47,7 +47,10 @@ import math
 from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.campaign.cache import SweepCache, canonical_digest
-from repro.campaign.executor import ParallelMonteCarloExecutor
+from repro.campaign.executor import (
+    ParallelMonteCarloExecutor,
+    ShardedVectorizedExecutor,
+)
 from repro.core.registry import (
     UnknownFailureModelError,
     UnknownProtocolError,
@@ -164,6 +167,7 @@ class AdvisorService:
         surface: Optional[RegimeSurface] = None,
         cache_dir: "str | None" = None,
         workers: int = 2,
+        mc_workers: "int | str | None" = 1,
         answer_cache_entries: int = 4096,
     ) -> None:
         self.surface = surface
@@ -172,10 +176,17 @@ class AdvisorService:
         self.jobs = JobManager(workers)
         self.tier_counts: Dict[str, int] = {}
         self.endpoint_counts: Dict[str, int] = {}
-        # One serial executor shared by every background campaign: the
-        # vectorized engine is the default fast path, and process pools do
-        # not belong inside executor threads.
+        # Executors shared by every background campaign.  The event-walk
+        # one stays serial -- process pools do not belong inside executor
+        # threads for that rarely-taken fallback -- while the vectorized
+        # shard pool (where MC jobs spend their time) is sized by
+        # ``mc_workers``: 1 keeps campaigns serial in the job thread,
+        # "auto" fans each one across the machine's cores.
         self._mc_executor = ParallelMonteCarloExecutor(workers=1)
+        self._vector_executor = ShardedVectorizedExecutor(
+            workers=mc_workers,
+            backend="serial" if mc_workers == 1 else "process",
+        )
         self.router = Router()
         self.router.add("POST", "/optimize", self._handle_optimize)
         self.router.add("POST", "/compare", self._handle_compare)
@@ -411,6 +422,7 @@ class AdvisorService:
         model_kwargs = spec.model_kwargs_for(protocol)
         cache_dir = self.cache_dir
         executor = self._mc_executor
+        vector_executor = self._vector_executor
 
         def run_explicit() -> Dict[str, Any]:
             cache = SweepCache(cache_dir) if cache_dir is not None else None
@@ -428,6 +440,7 @@ class AdvisorService:
                         seed=seed,
                         backend=backend,
                         executor=executor,
+                        vector_executor=vector_executor,
                         failure_model=law,
                         failure_params=law_params,
                     )
@@ -454,6 +467,7 @@ class AdvisorService:
                 failure_params=law_params,
                 model_kwargs=model_kwargs,
                 executor=executor,
+                vector_executor=vector_executor,
             )
             result: Dict[str, Any] = {
                 "protocol": refined.protocol,
@@ -514,13 +528,17 @@ def create_app(
     surface: Optional[RegimeSurface] = None,
     cache_dir: "str | None" = None,
     workers: int = 2,
+    mc_workers: "int | str | None" = 1,
     answer_cache_entries: int = 4096,
 ) -> AdvisorService:
     """Build an :class:`AdvisorService`, loading the tier-2 map if given.
 
     ``regime_map`` is a path to a serialized :class:`RegimeMap` (the
     ``optimize map --json`` output); ``surface`` injects a prebuilt
-    :class:`RegimeSurface` directly (tests).
+    :class:`RegimeSurface` directly (tests).  ``workers`` bounds the
+    concurrent background MC *jobs*; ``mc_workers`` is the shard-pool
+    width of each vectorized campaign (default 1 = serial in the job
+    thread; ``"auto"`` fans each campaign across the machine's cores).
     """
     if regime_map is not None and surface is not None:
         raise ValueError("give either regime_map (a path) or surface, not both")
@@ -530,6 +548,7 @@ def create_app(
         surface=surface,
         cache_dir=cache_dir,
         workers=workers,
+        mc_workers=mc_workers,
         answer_cache_entries=answer_cache_entries,
     )
 

@@ -30,15 +30,31 @@ possible:
   :class:`~repro.failures.timeline.FailureTimeline` (``batch_size``
   inter-arrivals per refill, clamped, ``last + cumsum(block)``), from the
   same per-trial generator (``RandomStreams(seed).generator_for_trial(i)``)
-  and the same failure-law model.  Any law whose block sampling is a pure
-  function of the generator qualifies -- the registry flags those with
-  ``register_failure_model(vectorized=True)`` (exponential, Weibull,
-  log-normal); stateful laws (trace replay) and subclasses of the flagged
-  classes fall back to the event backend;
+  and the same failure-law model, through the model's
+  :meth:`~repro.failures.base.FailureModel.trial_block_sampler`.  Laws
+  whose block sampling is a pure function of the generator qualify
+  directly (exponential, Weibull, log-normal), and trace replay qualifies
+  through its vectorized sampler (per-trial rewindable cursors over one
+  shared trace array) -- the registry flags all of them with
+  ``register_failure_model(vectorized=True)``.  Subclasses of the flagged
+  classes (whose overridden sampling the engine could not honour) fall
+  back to the event backend;
 * every arithmetic operation of the event walk (segment sums, partial
   restart accounting, ABFT progress splits, cap checks) is replayed with
   the same IEEE-754 operations in the same per-trial order, just batched
   across trials.
+
+Two more properties matter at campaign scale:
+
+* repeated runs of a compiled :class:`~repro.simulation.schedule.Schedule`
+  execute as a loop over the *compressed* block -- the per-round arrays are
+  sized by unique rounds, so a 1000-epoch weak-scaling workload costs the
+  same setup and memory as a single epoch;
+* :meth:`VectorizedPhasedSimulator.run_trial_range` simulates any
+  contiguous ``[start, stop)`` slice of a campaign with the per-trial
+  generators derived from the *absolute* indices, so
+  :class:`~repro.campaign.executor.ShardedVectorizedExecutor` can fan one
+  campaign over worker processes and reassemble bit-identical results.
 
 The cross-validation tests assert exact ``==`` on every column, and the
 sweep cache deliberately uses the same keys for both backends -- entries
@@ -62,6 +78,7 @@ from repro.simulation.schedule import (
     AtomicSegment,
     PeriodicSegment,
     RestartStages,
+    Schedule,
     Segment,
     periodic_chunk_size,
 )
@@ -221,10 +238,12 @@ def vectorized_failure_model_or_raise(
 
     ``None`` (the simulators' default) builds the paper's exponential law at
     the platform MTBF; an exact instance of any registry-flagged vectorized
-    law (see :func:`repro.core.registry.vectorized_law_names`) is passed
-    through.  Anything else -- stateful laws, or *subclasses* of the flagged
-    classes whose overridden sampling the engine could not honour -- raises
-    :class:`VectorizedBackendError` naming the supported laws.
+    law (see :func:`repro.core.registry.vectorized_law_names` -- this
+    includes trace replay, which batches through per-trial cursors) is
+    passed through.  Anything else -- *subclasses* of the flagged classes,
+    whose overridden sampling the engine could not honour, or laws never
+    flagged vectorized -- raises :class:`VectorizedBackendError` naming the
+    supported laws.
     """
     if failure_model is None:
         return ExponentialFailureModel(float(default_mtbf))
@@ -362,7 +381,7 @@ class VectorizedPhasedSimulator:
             phis.append(phi)
             stage_ids.append(stage_id(stages))
 
-        for segment in segments:
+        def lower(segment: Segment) -> None:
             if isinstance(segment, PeriodicSegment):
                 work = float(segment.work)
                 ckpt = float(segment.checkpoint_cost)
@@ -376,7 +395,7 @@ class VectorizedPhasedSimulator:
                             ckpt=ckpt,
                             stages=segment.stages,
                         )
-                    continue
+                    return
                 chunk = float(segment.chunk_size)
                 if math.isnan(chunk) or chunk <= 0.0:
                     chunk = work
@@ -395,7 +414,7 @@ class VectorizedPhasedSimulator:
                 # + checkpoint_cost``.
                 duration = work + ckpt
                 if duration <= 0.0:
-                    continue
+                    return
                 append(
                     _KIND_ATOMIC,
                     work=work,
@@ -433,7 +452,39 @@ class VectorizedPhasedSimulator:
                     "PeriodicSegment, AtomicSegment or AbftSegment"
                 )
 
+        # Lower each compressed run's segment block ONCE: the per-round
+        # arrays are sized by *unique* rounds, and repeated runs execute as
+        # a (run, repetition, offset) loop over the compressed block.  A
+        # 1000-epoch weak-scaling schedule whose epochs compile identically
+        # therefore costs one block of rounds, not thousands.  Plain segment
+        # iterables are RLE-compressed here, so both construction styles
+        # share the compact layout.
+        schedule = (
+            segments
+            if isinstance(segments, Schedule)
+            else Schedule.from_segments(segments)
+        )
+        run_starts: List[int] = []
+        run_lens: List[int] = []
+        run_counts: List[int] = []
+        for run in schedule.runs:
+            start = len(kinds)
+            for segment in run.segments:
+                lower(segment)
+            length = len(kinds) - start
+            if length == 0:
+                # Every segment of the block was degenerate (the event walk
+                # early-returns on all of them); drop the whole run.
+                continue
+            run_starts.append(start)
+            run_lens.append(length)
+            run_counts.append(int(run.count))
+
         self._nseg = len(kinds)
+        self._run_start = np.asarray(run_starts, dtype=np.int64)
+        self._run_len = np.asarray(run_lens, dtype=np.int64)
+        self._run_count = np.asarray(run_counts, dtype=np.int64)
+        self._nruns = len(run_starts)
         self._kind = np.asarray(kinds, dtype=np.int8)
         self._work = np.asarray(works, dtype=float)
         self._chunk = np.asarray(chunks, dtype=float)
@@ -467,7 +518,22 @@ class VectorizedPhasedSimulator:
 
     @property
     def segment_count(self) -> int:
-        """Number of (non-degenerate) segments in the schedule."""
+        """Number of (non-degenerate) rounds the *expanded* schedule executes.
+
+        Repeated runs count every repetition, matching the historical
+        flattened layout; the stored arrays are sized by
+        :attr:`unique_round_count` instead.
+        """
+        return int(np.sum(self._run_len * self._run_count)) if self._nruns else 0
+
+    @property
+    def unique_round_count(self) -> int:
+        """Number of unique rounds actually stored (the RLE-compressed size).
+
+        Bounded by the compiled schedule's compressed run structure, not by
+        the epoch count: a 1000-epoch workload with identical epochs stores
+        one epoch's rounds.
+        """
         return self._nseg
 
     def run_trials(self, runs: int, seed: Optional[int] = None) -> TrialTable:
@@ -479,19 +545,43 @@ class VectorizedPhasedSimulator:
         """
         if runs <= 0:
             raise ValueError(f"runs must be a positive integer, got {runs}")
-        n = int(runs)
-        if seed is None:
-            streams = RandomStreams(seed)
-            rngs = [streams.generator_for_trial(i) for i in range(n)]
-        else:
+        return self.run_trial_range(0, int(runs), seed=seed)
+
+    def run_trial_range(
+        self, start: int, stop: int, seed: Optional[int] = None
+    ) -> TrialTable:
+        """Simulate the contiguous campaign slice ``[start, stop)``.
+
+        Trial generators are derived from the *absolute* trial indices
+        (``RandomStreams(seed).generator_for_trial(i)`` for ``i`` in
+        ``start..stop-1``), exactly like
+        :func:`repro.simulation.runner.simulate_trial_range`, so a campaign
+        split into contiguous shards -- at any boundaries -- concatenates to
+        the bit-identical serial table.  This is the worker-side entry point
+        of :class:`~repro.campaign.executor.ShardedVectorizedExecutor`.
+        """
+        if start < 0 or stop <= start:
+            raise ValueError(
+                f"need 0 <= start < stop, got start={start}, stop={stop}"
+            )
+        n = int(stop) - int(start)
+        if seed is not None and start == 0:
             # Seeded campaigns reuse the memoised per-trial SeedSequence
             # children: sweeps derive the same (seed, i) children at every
             # grid point, and the derivation used to be ~40% of this
             # engine's wall-clock.  Bit-identical to generator_for_trial.
             rngs = [
                 np.random.default_rng(sequence)
-                for sequence in trial_seed_sequences(seed, n)[:n]
+                for sequence in trial_seed_sequences(seed, stop)[:stop]
             ]
+        else:
+            streams = RandomStreams(seed)
+            rngs = [
+                streams.generator_for_trial(i) for i in range(int(start), int(stop))
+            ]
+        return self._run(n, rngs)
+
+    def _run(self, n: int, rngs: Sequence[np.random.Generator]) -> TrialTable:
         model = self._model
 
         block = self._block
@@ -510,6 +600,10 @@ class VectorizedPhasedSimulator:
         stage_sets = self._stage_sets
         stage_totals = self._stage_total
         has_restart_arr = self._has_restart
+        run_start_arr = self._run_start
+        run_len_arr = self._run_len
+        run_count_arr = self._run_count
+        nruns = self._nruns
 
         # Failure-stream windows: each row holds the current block of
         # absolute failure times; ``base`` is the global index of the row's
@@ -520,21 +614,34 @@ class VectorizedPhasedSimulator:
         last = np.zeros(n, dtype=float)
         filled = np.zeros(n, dtype=bool)
 
-        def refill(indices: np.ndarray) -> None:
-            for i in indices:
-                draws = np.maximum(model.sample_interarrivals(rngs[i], block), tiny)
-                times = last[i] + np.cumsum(draws)
-                F[i] = times
-                last[i] = times[-1]
-                if filled[i]:
-                    base[i] += block
-                else:
-                    filled[i] = True
+        # The model decides how its per-trial blocks are drawn: stateless
+        # laws sample from each trial's generator, trace replay advances
+        # per-trial cursors over the shared trace array.  Either way the
+        # draws match the event backend's per-trial FailureTimeline stream.
+        sampler = model.trial_block_sampler(n)
 
-        # Per-trial state.
+        def refill(indices: np.ndarray) -> None:
+            draws = np.maximum(sampler.sample_blocks(indices, rngs, block), tiny)
+            # Row-wise cumsum performs the same float64 additions in the
+            # same order as the historical per-trial 1-D cumsum.
+            times = last[indices, None] + np.cumsum(draws, axis=1)
+            F[indices] = times
+            last[indices] = times[:, -1]
+            seen = filled[indices]
+            if seen.any():
+                base[indices[seen]] += block
+            filled[indices] = True
+
+        # Per-trial state.  The schedule cursor is the triple (run,
+        # repetition, offset) over the compressed runs; ``seg`` caches the
+        # derived compact round index ``run_start[run] + offset`` that the
+        # gather-based dispatch reads every iteration.
         t = np.zeros(n, dtype=float)
         w = np.zeros(n, dtype=float)
         seg = np.zeros(n, dtype=np.int64)
+        run_i = np.zeros(n, dtype=np.int64)
+        rep = np.zeros(n, dtype=np.int64)
+        off = np.zeros(n, dtype=np.int64)
         k = np.zeros(n, dtype=np.int64)
         mode = np.zeros(n, dtype=np.int8)  # 0 = segment body, 1 = restart
         active = np.ones(n, dtype=bool)
@@ -559,19 +666,32 @@ class VectorizedPhasedSimulator:
                 k[idx] += 1
 
         def complete(indices: np.ndarray) -> np.ndarray:
-            """Finish the current segment; returns the trials that go on.
+            """Finish the current round; returns the trials that go on.
 
-            Trials past the last segment record their makespan and retire;
-            the rest enter the next segment with its initial progress state.
+            Advances the (run, repetition, offset) cursor over the
+            compressed schedule -- past the block's last round the
+            repetition wraps, past the run's last repetition the next run
+            starts -- so repeated runs re-execute the same compact rounds.
+            Trials past the last run record their makespan and retire; the
+            rest enter the next round with its initial progress state.
             """
-            seg[indices] += 1
-            ended = seg[indices] >= nseg
+            off[indices] += 1
+            wrapped = indices[off[indices] >= run_len_arr[run_i[indices]]]
+            if wrapped.size:
+                off[wrapped] = 0
+                rep[wrapped] += 1
+                advanced = wrapped[rep[wrapped] >= run_count_arr[run_i[wrapped]]]
+                if advanced.size:
+                    rep[advanced] = 0
+                    run_i[advanced] += 1
+            ended = run_i[indices] >= nruns
             done = indices[ended]
             if done.size:
                 makespan[done] = t[done]
                 active[done] = False
             cont = indices[~ended]
             if cont.size:
+                seg[cont] = run_start_arr[run_i[cont]] + off[cont]
                 w[cont] = init_w_arr[seg[cont]]
                 mode[cont] = 0
             return cont
@@ -853,3 +973,9 @@ class VectorizedChunkedSimulator:
     def run_trials(self, runs: int, seed: Optional[int] = None) -> TrialTable:
         """Simulate ``runs`` trials; see :class:`VectorizedPhasedSimulator`."""
         return self._engine.run_trials(runs, seed)
+
+    def run_trial_range(
+        self, start: int, stop: int, seed: Optional[int] = None
+    ) -> TrialTable:
+        """Simulate trials ``[start, stop)`` of a campaign (shard execution)."""
+        return self._engine.run_trial_range(start, stop, seed)

@@ -15,6 +15,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import ApplicationWorkload, ResilienceParameters
+from repro.campaign.executor import ShardedVectorizedExecutor
 from repro.core.protocols import (
     AbftPeriodicCkptSimulator,
     AbftPeriodicCkptVectorized,
@@ -28,6 +29,7 @@ from repro.core.protocols import (
 from repro.failures import (
     ExponentialFailureModel,
     LogNormalFailureModel,
+    TraceFailureModel,
     WeibullFailureModel,
 )
 from repro.simulation.rng import RandomStreams
@@ -142,6 +144,116 @@ def test_multi_epoch_bit_identity(protocol, epochs, seed):
         assert int(row["failure_count"]) == trace.failure_count
         for category in CATEGORIES:
             assert float(row[category]) == getattr(trace.breakdown, category)
+
+
+#: Laws for the sharding property, including the stateful trace replay whose
+#: per-trial cursors must survive arbitrary shard boundaries.  Interarrivals
+#: scale with the MTBF draw so every regime sees a few failures.
+SHARD_LAWS = dict(LAW_MODELS)
+SHARD_LAWS["trace"] = lambda mtbf: TraceFailureModel(
+    [0.6 * mtbf, 1.7 * mtbf, 0.35 * mtbf, 2.4 * mtbf, 1.1 * mtbf]
+)
+
+#: 9 trials shard unevenly under every worker count below: 7 workers yield
+#: shards of 2 with a final shard of 1, 2 workers yield 5 + 4, etc.
+SHARD_RUNS = 9
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    protocol=st.sampled_from(sorted(PAIRS)),
+    law=st.sampled_from(sorted(SHARD_LAWS)),
+    mtbf=st.sampled_from(MTBF_CHOICES),
+    period=st.sampled_from((None, 120.0, 1800.0)),
+    seed=st.integers(min_value=0, max_value=2**16),
+    workers=st.sampled_from((1, 2, 3, 7)),
+)
+def test_sharded_serial_event_bit_identity(protocol, law, mtbf, period, seed, workers):
+    """Sharded == serial vectorized == event walk, for any worker count.
+
+    The shard decomposition must be invisible: worker counts that split the
+    campaign unevenly concatenate to the bit-identical serial table, and the
+    trace law's per-trial cursors replay the same failures regardless of
+    which shard owns a trial.  The 150 s MTBF draw and the 120 s period keep
+    the truncation and degenerate single-chunk paths in scope.
+    """
+    parameters = _parameters(mtbf)
+    workload = ApplicationWorkload.single_epoch(2 * HOUR, 0.8, library_fraction=0.8)
+    kwargs = _period_kwargs(protocol, period)
+    event_cls, vectorized_cls = PAIRS[protocol]
+    engine = vectorized_cls(
+        parameters,
+        workload,
+        failure_model=SHARD_LAWS[law](mtbf),
+        max_slowdown=4.0,
+        **kwargs,
+    )
+    serial = engine.run_trials(SHARD_RUNS, seed=seed)
+    sharded = ShardedVectorizedExecutor(workers=workers, backend="serial").run(
+        engine, runs=SHARD_RUNS, seed=seed
+    )
+    assert sharded == serial, (protocol, law, workers)
+    simulator = event_cls(
+        parameters,
+        workload,
+        failure_model=SHARD_LAWS[law](mtbf),
+        max_slowdown=4.0,
+        **kwargs,
+    )
+    streams = RandomStreams(seed)
+    for trial in range(SHARD_RUNS):
+        trace = simulator.simulate(streams.generator_for_trial(trial))
+        row = sharded.data[trial]
+        assert float(row["makespan"]) == trace.makespan, (protocol, law, trial)
+        assert int(row["failure_count"]) == trace.failure_count
+        assert bool(row["truncated"]) == trace.metadata["truncated"]
+        for category in CATEGORIES:
+            assert float(row[category]) == getattr(trace.breakdown, category)
+
+
+@pytest.mark.parametrize("law", ("exponential", "trace"))
+def test_sharded_process_pool_bit_identity(law):
+    """The real process transport round-trips engines and tables losslessly."""
+    parameters = _parameters(45 * MINUTE)
+    workload = ApplicationWorkload.single_epoch(2 * HOUR, 0.8, library_fraction=0.8)
+    engine = PurePeriodicCkptVectorized(
+        parameters,
+        workload,
+        failure_model=SHARD_LAWS[law](45 * MINUTE),
+        period=1800.0,
+    )
+    serial = engine.run_trials(7, seed=23)
+    sharded = ShardedVectorizedExecutor(workers=3, backend="process").run(
+        engine, runs=7, seed=23
+    )
+    assert sharded == serial
+
+
+def test_rle_arrays_sized_by_unique_rounds():
+    """A 1000-epoch identical-epoch schedule stores one epoch's rounds.
+
+    The engine executes the *expanded* schedule (segment_count counts every
+    repetition) but its per-round arrays are sized by the RLE-compressed
+    unique rounds, so memory stays flat in the epoch count.
+    """
+    parameters = _parameters(2 * HOUR)
+    workload = ApplicationWorkload.iterative(
+        1000, 1 * HOUR, 0.6, library_fraction=0.8
+    )
+    adapter = BiPeriodicCkptVectorized(parameters, workload)
+    engine = adapter._engine
+    assert engine.segment_count >= 1000
+    unique = engine.unique_round_count
+    assert unique < engine.segment_count / 100  # compressed, not flattened
+    for name in ("_kind", "_work", "_chunk", "_ckpt", "_duration", "_init_w"):
+        assert len(getattr(engine, name)) == unique, name
+    # And the compressed execution still matches the event walk.
+    table = adapter.run_trials(2, seed=5)
+    simulator = BiPeriodicCkptSimulator(parameters, workload)
+    streams = RandomStreams(5)
+    for trial in range(2):
+        trace = simulator.simulate(streams.generator_for_trial(trial))
+        assert float(table.data[trial]["makespan"]) == trace.makespan
 
 
 @pytest.mark.parametrize("protocol", sorted(PAIRS))

@@ -57,11 +57,21 @@ class TestParser:
         args = build_parser().parse_args(["campaign"])
         assert not args.resume
         assert args.cache_dir is None
-        assert args.workers is None
+        assert args.workers == "auto"
 
     def test_figure7_workers_flag(self):
         args = build_parser().parse_args(["figure7", "--workers", "2"])
         assert args.workers == 2
+
+    def test_campaign_workers_accepts_count_and_auto(self):
+        args = build_parser().parse_args(["campaign", "--workers", "3"])
+        assert args.workers == 3
+        args = build_parser().parse_args(["campaign", "--workers", "auto"])
+        assert args.workers == "auto"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "--workers", "0"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "--workers", "some"])
 
 
 class TestMain:
@@ -90,6 +100,27 @@ class TestMain:
         captured = capsys.readouterr().out
         assert exit_code == 0
         assert "measured phi" in captured
+
+    def test_main_resets_fallback_note_dedup(self, capsys):
+        # The fallback-note dedup set is module-global so one *run* reports
+        # each obstacle once; a fresh CLI invocation must start clean, not
+        # inherit the previous run's suppressions (long-lived test processes
+        # and REPLs call main() repeatedly).
+        from repro.simulation.vectorized import (
+            note_backend_fallback,
+            reset_backend_fallback_notes,
+        )
+
+        try:
+            note_backend_fallback("sentinel obstacle")
+            note_backend_fallback("sentinel obstacle")  # deduplicated
+            assert capsys.readouterr().err.count("sentinel obstacle") == 1
+            assert main(["scenario", "list"]) == 0
+            capsys.readouterr()
+            note_backend_fallback("sentinel obstacle")  # fresh run notes again
+            assert "sentinel obstacle" in capsys.readouterr().err
+        finally:
+            reset_backend_fallback_notes()
 
 
 class TestCampaignCommand:
@@ -328,10 +359,12 @@ class TestScenarioValidateCommand:
         assert exit_code == 2
         assert "did you mean" in captured.err
 
-    def test_vectorized_backend_mismatch_exits_2(self, tmp_path, capsys):
+    def test_trace_vectorized_backend_validates(self, tmp_path, capsys):
+        # Trace replay batches through per-trial cursors now, so a
+        # backend='vectorized' spec over the trace law is valid.
         import json
 
-        path = tmp_path / "bad.json"
+        path = tmp_path / "trace.json"
         path.write_text(
             json.dumps(
                 {
@@ -348,8 +381,8 @@ class TestScenarioValidateCommand:
         )
         exit_code = main(["scenario", "validate", str(path)])
         captured = capsys.readouterr()
-        assert exit_code == 2
-        assert "vectorized" in captured.err
+        assert exit_code == 0
+        assert "is valid" in captured.out
 
 
 class TestScenarioBackendFlag:
@@ -408,7 +441,7 @@ class TestScenarioBackendFlag:
         ]
         assert event_rows == vectorized_rows
 
-    def test_vectorized_backend_mismatch_fails_cleanly(self, tmp_path, capsys):
+    def test_trace_vectorized_run_matches_event_run(self, tmp_path, capsys):
         from repro.scenario import Scenario
 
         path = str(
@@ -419,10 +452,11 @@ class TestScenarioBackendFlag:
             .build()
             .save(tmp_path / "spec.json")
         )
-        exit_code = main(["scenario", "run", path, "--backend", "vectorized"])
-        captured = capsys.readouterr()
-        assert exit_code == 2
-        assert "vectorized" in captured.err
+        assert main(["scenario", "run", path, "--backend", "event"]) == 0
+        event_out = capsys.readouterr().out
+        assert main(["scenario", "run", path, "--backend", "vectorized"]) == 0
+        vectorized_out = capsys.readouterr().out
+        assert event_out == vectorized_out
 
 
 class TestScenarioListBackends:
@@ -437,7 +471,7 @@ class TestScenarioListBackends:
         assert "lognormal (aliases: log-normal) " \
                "[backends: event+vectorized]" in captured
         assert "trace (aliases: trace-based, replay) " \
-               "[backends: event]" in captured
+               "[backends: event+vectorized]" in captured
         assert "PurePeriodicCkpt (aliases: pure, pure-periodic) " \
                "[backends: event+vectorized]" in captured
         assert "BiPeriodicCkpt (aliases: bi, bi-periodic) " \
@@ -446,8 +480,10 @@ class TestScenarioListBackends:
                "[backends: event+vectorized]" in captured
         assert "engine backends (scenario 'simulation.backend'): " \
                "event, vectorized, auto" in captured
-        assert "a vectorized failure law (exponential, weibull, lognormal)" \
-               in captured
+        assert (
+            "a vectorized failure law (exponential, weibull, lognormal, trace)"
+            in captured
+        )
 
 
 class TestOptimizeCommand:

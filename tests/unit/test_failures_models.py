@@ -135,3 +135,54 @@ class TestTraceFailureModel:
     def test_scaled(self, rng):
         model = TraceFailureModel([2.0, 4.0]).scaled(0.5)
         assert model.sample_interarrival(rng) == 1.0
+
+
+class TestTraceBlockSampler:
+    """Batched trace replay must match the per-draw event semantics."""
+
+    def _rngs(self, n):
+        return [np.random.default_rng(i) for i in range(n)]
+
+    def test_each_trial_replays_from_the_start(self, rng):
+        model = TraceFailureModel([1.0, 2.0, 3.0])
+        sampler = model.trial_block_sampler(3)
+        blocks = sampler.sample_blocks(np.arange(3), self._rngs(3), 2)
+        assert blocks.tolist() == [[1.0, 2.0]] * 3
+
+    def test_cycling_wraps_like_sample_interarrival(self, rng):
+        model = TraceFailureModel([1.0, 2.0], cycle=True)
+        sampler = model.trial_block_sampler(1)
+        blocks = sampler.sample_blocks(np.array([0]), self._rngs(1), 5)
+        expected = [model.sample_interarrival(rng) for _ in range(5)]
+        assert blocks[0].tolist() == expected == [1.0, 2.0, 1.0, 2.0, 1.0]
+
+    def test_exhaustion_returns_guard_without_advancing(self, rng):
+        model = TraceFailureModel([1.0, 2.0], cycle=False)
+        sampler = model.trial_block_sampler(1)
+        first = sampler.sample_blocks(np.array([0]), self._rngs(1), 4)
+        guard = TraceFailureModel.EXHAUSTED
+        assert first[0].tolist() == [1.0, 2.0, guard, guard]
+        # Exhausted draws never advance the cursor: further blocks keep
+        # returning the guard, exactly like repeated sample_interarrival.
+        again = sampler.sample_blocks(np.array([0]), self._rngs(1), 2)
+        assert again[0].tolist() == [guard, guard]
+
+    def test_cursors_are_independent_per_trial(self, rng):
+        model = TraceFailureModel([1.0, 2.0, 3.0], cycle=True)
+        sampler = model.trial_block_sampler(2)
+        sampler.sample_blocks(np.array([0]), self._rngs(1), 2)  # advance trial 0
+        blocks = sampler.sample_blocks(np.array([0, 1]), self._rngs(2), 2)
+        assert blocks[0].tolist() == [3.0, 1.0]  # resumed where it left off
+        assert blocks[1].tolist() == [1.0, 2.0]  # untouched trial starts fresh
+
+    def test_generators_are_never_consumed(self):
+        model = TraceFailureModel([4.0, 5.0])
+        sampler = model.trial_block_sampler(2)
+        rngs = self._rngs(2)
+        states = [rng.bit_generator.state for rng in rngs]
+        sampler.sample_blocks(np.arange(2), rngs, 3)
+        assert [rng.bit_generator.state for rng in rngs] == states
+
+    def test_rejects_non_positive_trials(self):
+        with pytest.raises(ValueError, match="trials"):
+            TraceFailureModel([1.0]).trial_block_sampler(0)

@@ -111,7 +111,7 @@ class TestSimulateAtPeriods:
         )
         assert vectorized == event
 
-    def test_stateful_law_forces_event(self, parameters, workload, capsys):
+    def test_trace_law_runs_vectorized(self, parameters, workload, capsys):
         reset_backend_fallback_notes()
         kwargs = dict(
             runs=5,
@@ -128,30 +128,29 @@ class TestSimulateAtPeriods:
             **kwargs,
         )
         assert summary["runs"] == 5
-        # The silent fallback is announced once, on stderr, naming the law.
+        # Trace replay batches through per-trial cursors: no event-engine
+        # fallback, so no stderr note.
         captured = capsys.readouterr()
-        assert "backend 'auto' using the event engine" in captured.err
-        assert "trace" in captured.err
+        assert captured.err == ""
         assert captured.out == ""
-        # A second identical run does not repeat the note.
-        simulate_at_periods(
+        # And the explicit backends agree bit for bit.
+        event = simulate_at_periods(
             "PurePeriodicCkpt",
             parameters,
             workload,
             {"period": 3000.0},
-            backend="auto",
+            backend="event",
             **kwargs,
         )
-        assert capsys.readouterr().err == ""
-        with pytest.raises(VectorizedBackendError, match="trace"):
-            simulate_at_periods(
-                "PurePeriodicCkpt",
-                parameters,
-                workload,
-                {"period": 3000.0},
-                backend="vectorized",
-                **kwargs,
-            )
+        vectorized = simulate_at_periods(
+            "PurePeriodicCkpt",
+            parameters,
+            workload,
+            {"period": 3000.0},
+            backend="vectorized",
+            **kwargs,
+        )
+        assert vectorized == event == summary
 
 
 class TestRefinePeriod:

@@ -305,7 +305,7 @@ class TestSimulationBackend:
             data["simulation"] = {"backend": "vectorized"}
             assert ScenarioSpec.from_dict(data).failures.model == model
 
-    def test_vectorized_backend_rejects_stateful_law(self):
+    def test_vectorized_backend_accepts_trace_law(self):
         data = minimal_dict()
         data["protocols"] = ["PurePeriodicCkpt"]
         data["failures"] = {
@@ -313,8 +313,7 @@ class TestSimulationBackend:
             "params": {"interarrivals": [100.0, 200.0, 300.0]},
         }
         data["simulation"] = {"backend": "vectorized"}
-        with pytest.raises(ScenarioSpecError, match="trace"):
-            ScenarioSpec.from_dict(data)
+        assert ScenarioSpec.from_dict(data).failures.model == "trace"
 
     def test_auto_backend_accepts_anything_registered(self):
         data = minimal_dict()

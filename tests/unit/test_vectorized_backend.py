@@ -40,6 +40,7 @@ from repro.simulation.vectorized import (
     VectorizedBackendError,
     VectorizedChunkedSimulator,
     exponential_mtbf_or_raise,
+    reset_backend_fallback_notes,
     vectorized_backend_obstacle,
     vectorized_failure_model_or_raise,
 )
@@ -188,21 +189,28 @@ class TestCrossValidation:
 
 
 class TestValidation:
-    def test_stateful_model_rejected(self):
-        # Trace replay is stateful: its block draws are not a pure function
-        # of the generator, so every adapter must refuse it.
-        with pytest.raises(VectorizedBackendError, match="TraceFailureModel"):
+    @pytest.mark.parametrize("protocol", sorted(PAIRS))
+    def test_every_adapter_accepts_trace_replay(self, protocol):
+        # Trace replay batches through per-trial cursors now: every adapter
+        # takes it, and the result stays bit-identical to the event walk.
+        assert_tables_match_event(
+            protocol, PAIRS[protocol][1], _parameters(), _workload(),
+            runs=8, seed=33,
+            failure_model=TraceFailureModel(
+                [900.0, 5200.0, 1700.0, 12000.0, 400.0]
+            ),
+        )
+
+    def test_trace_subclass_rejected(self):
+        # Subclasses may override the cursor semantics the batched sampler
+        # replays, so only the exact class is eligible.
+        class RecordedTrace(TraceFailureModel):
+            pass
+
+        with pytest.raises(VectorizedBackendError, match="RecordedTrace"):
             PurePeriodicCkptVectorized(
                 _parameters(), _workload(),
-                failure_model=TraceFailureModel([100.0, 200.0, 300.0]),
-            )
-
-    @pytest.mark.parametrize("protocol", sorted(PAIRS))
-    def test_every_adapter_rejects_stateful_model(self, protocol):
-        with pytest.raises(VectorizedBackendError, match="vectorized laws"):
-            PAIRS[protocol][1](
-                _parameters(), _workload(),
-                failure_model=TraceFailureModel([100.0, 200.0, 300.0]),
+                failure_model=RecordedTrace([100.0, 200.0, 300.0]),
             )
 
     def test_exponential_mtbf_helper(self):
@@ -220,14 +228,26 @@ class TestValidation:
                 is model
             ), law
 
-    def test_obstacle_names_registry_laws(self):
+    def test_no_obstacle_for_trace_replay(self):
         detail = vectorized_backend_obstacle(
             PurePeriodicCkptVectorized,
             TraceFailureModel([100.0]),
             protocol="PurePeriodicCkpt",
             law="trace",
         )
-        assert "trace" in detail
+        assert detail is None
+
+    def test_obstacle_names_registry_laws(self):
+        class RecordedTrace(TraceFailureModel):
+            pass
+
+        detail = vectorized_backend_obstacle(
+            PurePeriodicCkptVectorized,
+            RecordedTrace([100.0]),
+            protocol="PurePeriodicCkpt",
+            law="trace",
+        )
+        assert "RecordedTrace" in detail
         for law in vectorized_law_names():
             assert law in detail
 
@@ -282,6 +302,7 @@ class TestRegistry:
             "exponential",
             "weibull",
             "lognormal",
+            "trace",
         }
 
     def test_engine_backends_tuple(self):
@@ -349,16 +370,19 @@ class TestSweepBackendSelection:
             assert a.simulated_waste == b.simulated_waste
             assert a.simulated == b.simulated
 
-    def test_vectorized_backend_rejects_stateful_law(self):
-        job = self._job(
-            backend="vectorized",
+    def test_vectorized_backend_accepts_trace_law(self):
+        kwargs = dict(
             failure_model="trace",
             failure_params=(("interarrivals", (100.0, 200.0, 300.0)),),
+            simulation_runs=4,
         )
-        with pytest.raises(VectorizedBackendError, match="trace"):
-            SweepRunner().run(job)
+        event = SweepRunner().run(self._job(backend="event", **kwargs))
+        vectorized = SweepRunner().run(self._job(backend="vectorized", **kwargs))
+        for a, b in zip(event.points, vectorized.points):
+            assert a.simulated_waste == b.simulated_waste
 
-    def test_auto_backend_falls_back_for_stateful_law(self):
+    def test_auto_backend_vectorizes_trace_law(self, capsys):
+        reset_backend_fallback_notes()
         job = self._job(
             backend="auto",
             failure_model="trace",
@@ -367,6 +391,7 @@ class TestSweepBackendSelection:
         )
         result = SweepRunner().run(job)
         assert 0.0 <= result.points[0].simulated_waste["PurePeriodicCkpt"] <= 1.0
+        assert "falling back" not in capsys.readouterr().err
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(ValueError, match="backend"):
