@@ -31,6 +31,8 @@ from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+import repro.obs as _obs
+
 from repro.simulation.runner import (
     MonteCarloResult,
     SimulateOnce,
@@ -153,6 +155,38 @@ class ParallelMonteCarloExecutor:
         """Run the campaign; same signature and result as ``run_monte_carlo``."""
         if runs <= 0:
             raise ValueError(f"runs must be a positive integer, got {runs}")
+        if _obs.tracing():
+            with _obs.span(
+                "campaign",
+                category="campaign",
+                engine="event",
+                backend=self._backend,
+                runs=int(runs),
+            ):
+                return self._run_batches(
+                    simulate_once,
+                    runs=runs,
+                    seed=seed,
+                    keep_traces=keep_traces,
+                    confidence=confidence,
+                )
+        return self._run_batches(
+            simulate_once,
+            runs=runs,
+            seed=seed,
+            keep_traces=keep_traces,
+            confidence=confidence,
+        )
+
+    def _run_batches(
+        self,
+        simulate_once: SimulateOnce,
+        *,
+        runs: int,
+        seed: Optional[int],
+        keep_traces: bool,
+        confidence: float,
+    ) -> MonteCarloResult:
         if self._backend == "serial" or self.workers == 1:
             return run_monte_carlo(
                 simulate_once,
@@ -212,11 +246,31 @@ def resolve_worker_count(workers, trials: int) -> int:
     return min(resolved, int(trials))
 
 
-def _run_vectorized_shard(engine, seed, start, stop):
+def _run_vectorized_shard(engine, seed, start, stop, trace=False):
     """Execute one contiguous trial shard (module-level so process pools
     can pickle it).  The engine reconstructs nothing: the compiled schedule
-    arrives once per worker inside the pickled engine."""
-    return start, engine.run_trial_range(start, stop, seed)
+    arrives once per worker inside the pickled engine.
+
+    With ``trace=True`` (a pool worker mirroring a tracing parent) the
+    worker enables span collection in its own process, wraps the shard in
+    a root span, and ships the finished records home as a third tuple
+    element; the gathering side re-parents them under its campaign span.
+    Span ids embed the worker pid, so records from different workers can
+    never collide.
+    """
+    if not trace:
+        return start, engine.run_trial_range(start, stop, seed)
+    _obs.configure(trace=True)
+    tracer = _obs.global_tracer()
+    # Forked workers inherit the parent's already-collected records; drop
+    # them or drain() would ship the parent's history back and the gather
+    # side would re-ingest (and re-duplicate) it once per shard.
+    tracer.reset()
+    with tracer.span(
+        "shard", category="campaign", start=int(start), stop=int(stop)
+    ):
+        table = engine.run_trial_range(start, stop, seed)
+    return start, table, tracer.drain()
 
 
 class ShardedVectorizedExecutor:
@@ -297,20 +351,72 @@ class ShardedVectorizedExecutor:
         if runs <= 0:
             raise ValueError(f"runs must be a positive integer, got {runs}")
         shards = self.shard_ranges(runs)
+        if not _obs.tracing():
+            if _obs.enabled():
+                _obs.catalog.family("repro_campaign_shards_total").inc(
+                    len(shards), backend=self._backend
+                )
+            return self._run_shards(engine, shards, runs, seed, campaign=None)
+        with _obs.span(
+            "campaign",
+            category="campaign",
+            engine="vectorized",
+            backend=self._backend,
+            protocol=getattr(engine, "protocol", None),
+            runs=int(runs),
+            shards=len(shards),
+        ) as campaign:
+            _obs.catalog.family("repro_campaign_shards_total").inc(
+                len(shards), backend=self._backend
+            )
+            return self._run_shards(engine, shards, runs, seed, campaign)
+
+    def _run_shards(
+        self, engine, shards, runs: int, seed: Optional[int], campaign
+    ) -> TrialTable:
+        """Execute the shard plan; ``campaign`` is the open campaign span
+        when tracing, else ``None`` (the untraced fast path)."""
         if len(shards) == 1:
+            # In-process: an engine span (if tracing) nests under the
+            # campaign span through the thread-local stack.
             return engine.run_trials(runs, seed)
+        tracing = campaign is not None
         if self._backend == "serial":
-            results = [
-                _run_vectorized_shard(engine, seed, start, stop)
-                for start, stop in shards
-            ]
+            results = []
+            for start, stop in shards:
+                if tracing:
+                    # In-process shards parent under the campaign span
+                    # implicitly; no drain/ingest round-trip needed.
+                    with _obs.span(
+                        "shard",
+                        category="campaign",
+                        start=int(start),
+                        stop=int(stop),
+                    ):
+                        results.append(
+                            (start, engine.run_trial_range(start, stop, seed))
+                        )
+                else:
+                    results.append(
+                        _run_vectorized_shard(engine, seed, start, stop)
+                    )
         else:
             with ProcessPoolExecutor(max_workers=len(shards)) as pool:
                 futures = [
-                    pool.submit(_run_vectorized_shard, engine, seed, start, stop)
+                    pool.submit(
+                        _run_vectorized_shard, engine, seed, start, stop, tracing
+                    )
                     for start, stop in shards
                 ]
-                results = [future.result() for future in futures]
+                gathered = [future.result() for future in futures]
+            results = []
+            for item in gathered:
+                if tracing:
+                    start, table, records = item
+                    _obs.global_tracer().ingest(records, parent=campaign)
+                else:
+                    start, table = item
+                results.append((start, table))
         results.sort(key=lambda shard: shard[0])
         return TrialTable.concatenate([table for _, table in results])
 

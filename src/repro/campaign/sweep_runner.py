@@ -26,6 +26,7 @@ from typing import Any, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
+import repro.obs as _obs
 from repro.application.workload import ApplicationWorkload
 from repro.campaign.cache import SweepCache
 from repro.campaign.executor import (
@@ -382,6 +383,18 @@ class SweepRunner:
     # ------------------------------------------------------------------ #
     def run(self, job: SweepJob) -> SweepResult:
         """Run (or resume) a sweep job and return every grid point."""
+        if _obs.tracing():
+            with _obs.span(
+                "sweep",
+                category="campaign",
+                protocols=",".join(job.protocols),
+                backend=job.backend,
+                simulate=bool(job.simulate),
+            ):
+                return self._run_job(job)
+        return self._run_job(job)
+
+    def _run_job(self, job: SweepJob) -> SweepResult:
         grid = job.grid()
         values: Dict[Tuple[float, float], Dict[str, Any]] = {}
         pending: list[Tuple[float, float]] = []
@@ -394,13 +407,28 @@ class SweepRunner:
             else:
                 pending.append(coords)
         cached_count = len(grid) - len(pending)
+        if _obs.enabled():
+            outcomes = _obs.catalog.family("repro_sweep_points_total")
+            if cached_count:
+                outcomes.inc(cached_count, outcome="cached")
+            if pending:
+                outcomes.inc(len(pending), outcome="computed")
 
         if pending:
             model_waste = self._evaluate_models(job, pending)
             for coords in pending:
                 value: Dict[str, Any] = {"model_waste": model_waste[coords]}
                 if job.simulate:
-                    tables = self._simulate_point(job, *coords)
+                    if _obs.tracing():
+                        with _obs.span(
+                            "sweep-point",
+                            category="campaign",
+                            mtbf=float(coords[0]),
+                            alpha=float(coords[1]),
+                        ):
+                            tables = self._simulate_point(job, *coords)
+                    else:
+                        tables = self._simulate_point(job, *coords)
                     value["simulated_waste"] = {
                         name: table.summarize("waste").mean
                         for name, table in tables.items()

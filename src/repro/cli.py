@@ -71,6 +71,7 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
+import repro.obs as _obs
 from repro.application.scaling import ScalingMode
 from repro.experiments import (
     paper_figure7_config,
@@ -112,9 +113,12 @@ def _resolve_workers(workers, runs: int) -> int:
 
     resolved = resolve_worker_count(workers, runs)
     shard = math.ceil(runs / resolved)
-    _note(
-        f"workers: {resolved} (shards of up to {shard} of {runs} trials "
-        "per campaign)"
+    _obs.log(
+        "note",
+        "workers-resolved",
+        workers=resolved,
+        shard_trials=shard,
+        runs=runs,
     )
     return resolved
 
@@ -127,6 +131,21 @@ def _note(message: str) -> None:
     through here, keeping stdout machine-parseable.
     """
     print(message, file=sys.stderr)
+
+
+def _add_trace_flag(parser: argparse.ArgumentParser) -> None:
+    """Add ``--trace-out`` to a subcommand that runs campaigns."""
+    parser.add_argument(
+        "--trace-out",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help=(
+            "profile this run: write a Chrome trace-event JSON file of the "
+            "campaign/sweep/shard/engine spans (open in Perfetto or "
+            "chrome://tracing)"
+        ),
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -219,6 +238,7 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument(
         "--csv", type=str, default=None, help="write the series to CSV"
     )
+    _add_trace_flag(campaign)
 
     for name in ("figure8", "figure9", "figure10"):
         fig = sub.add_parser(name, help=f"weak-scaling study ({name})")
@@ -297,6 +317,7 @@ def build_parser() -> argparse.ArgumentParser:
     scenario_run.add_argument(
         "--csv", type=str, default=None, help="write the series to CSV"
     )
+    _add_trace_flag(scenario_run)
     scenario_validate = scenario_sub.add_parser(
         "validate",
         help=(
@@ -377,6 +398,7 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="reuse completed points from --cache-dir instead of recomputing",
         )
+        _add_trace_flag(p)
 
     optimize_period = optimize_sub.add_parser(
         "period",
@@ -527,6 +549,26 @@ def build_parser() -> argparse.ArgumentParser:
         type=_positive_int,
         default=4096,
         help="entries kept in the in-process answer cache (LRU, default 4096)",
+    )
+
+    obs_cmd = sub.add_parser(
+        "obs",
+        help="observability: inspect the in-process metrics registry",
+        description=(
+            "Dump the global metrics registry (see repro.obs).  Every "
+            "cataloged family renders even at zero, so the output doubles "
+            "as the metric schema; the live advisor service exposes the "
+            "same families at GET /metrics."
+        ),
+    )
+    obs_sub = obs_cmd.add_subparsers(dest="obs_command", required=True)
+    obs_dump = obs_sub.add_parser(
+        "dump", help="print the metrics registry (deterministic JSON)"
+    )
+    obs_dump.add_argument(
+        "--prometheus",
+        action="store_true",
+        help="render the Prometheus text exposition format instead of JSON",
     )
 
     abft = sub.add_parser("abft", help="ABFT kernel demonstration and overhead")
@@ -1026,6 +1068,16 @@ def _run_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_obs(args: argparse.Namespace) -> int:
+    if args.prometheus:
+        registry = _obs.global_registry()
+        _obs.preregister(registry, (_obs.SCOPE_GLOBAL,))
+        print(registry.render_prometheus(), end="")
+    else:
+        print(_obs.dump_json())
+    return 0
+
+
 def _run_abft(args: argparse.Namespace) -> int:
     from repro.abft import measure_overhead
 
@@ -1043,16 +1095,7 @@ def _run_abft(args: argparse.Namespace) -> int:
     return 0
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
-    from repro.simulation.vectorized import reset_backend_fallback_notes
-
-    # The backend=auto fallback note dedupes through module state; a fresh
-    # CLI invocation is a fresh run, so clear it (repeated in-process calls
-    # -- tests, the service -- must not silently swallow later notes).
-    reset_backend_fallback_notes()
-    parser = build_parser()
-    args = parser.parse_args(argv)
+def _dispatch(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     if args.command == "figure7":
         return _run_figure7(args)
     if args.command in ("figure8", "figure9", "figure10"):
@@ -1065,10 +1108,45 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_serve(args)
     if args.command == "optimize":
         return _run_optimize(args)
+    if args.command == "obs":
+        return _run_obs(args)
     if args.command == "abft":
         return _run_abft(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    from repro.simulation.vectorized import reset_backend_fallback_notes
+
+    # Stderr notes dedupe through module state; a fresh CLI invocation is a
+    # fresh run, so clear it (repeated in-process calls -- tests, the
+    # service -- must not silently swallow later notes).
+    reset_backend_fallback_notes()
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    trace_out = getattr(args, "trace_out", None)
+    if not trace_out:
+        return _dispatch(args, parser)
+    # --trace-out turns span collection on for exactly this invocation:
+    # collect from a clean tracer, write the Chrome trace even when the
+    # command fails (a partial profile of a failed run is still useful),
+    # and restore the prior instrumentation flags for in-process callers.
+    was_enabled, was_tracing = _obs.enabled(), _obs.tracing()
+    _obs.global_tracer().reset()
+    _obs.configure(trace=True)
+    try:
+        return _dispatch(args, parser)
+    finally:
+        _obs.global_tracer().write_chrome_trace(trace_out)
+        _obs.configure(trace=was_tracing, metrics=was_enabled)
+        _obs.log(
+            "note",
+            "trace-written",
+            path=trace_out,
+            spans=len(_obs.global_tracer().records()),
+        )
 
 
 if __name__ == "__main__":  # pragma: no cover

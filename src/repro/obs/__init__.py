@@ -1,0 +1,155 @@
+"""repro.obs -- metrics, spans, and structured logging for the stack.
+
+The paper this repo reproduces is a *waste accounting* for resilience
+protocols; ``repro.obs`` is the same idea turned on ourselves -- it
+accounts for where our own wall-clock goes.  Three pillars:
+
+* **Metrics** (:mod:`repro.obs.metrics`) -- counters, gauges, and
+  fixed-bucket histograms in a :class:`MetricsRegistry`, rendered as
+  Prometheus text (``GET /metrics``) or deterministic JSON
+  (``repro obs dump``).  The full schema lives in
+  :mod:`repro.obs.catalog`.
+* **Spans** (:mod:`repro.obs.spans`) -- a :class:`Span` context manager
+  with explicit parent propagation that survives the process-pool
+  boundary, exported as Chrome trace-event JSON (``--trace-out``) for
+  Perfetto.
+* **Structured logs** (:mod:`repro.obs.logging`) -- one
+  :func:`log` helper (``level: event=<name> key=value ...``) replacing
+  the hand-rolled stderr notes and their per-module dedupe sets.
+
+Instrumentation is **off by default**.  The engine's hot path pays one
+:func:`enabled` check per campaign (not per trial); spans additionally
+require :func:`tracing`.  Enable programmatically::
+
+    from repro import obs
+    obs.configure(metrics=True, trace=True)
+
+or from the environment before the process starts: ``REPRO_OBS=1``
+enables phase metrics, ``REPRO_OBS=trace`` (or ``REPRO_OBS_TRACE=1``)
+also enables span collection.  ``repro ... --trace-out run.trace.json``
+does the equivalent for one CLI invocation.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.obs import catalog
+from repro.obs.catalog import (
+    CATALOG,
+    SCOPE_GLOBAL,
+    SCOPE_SERVICE,
+    family_names,
+    preregister,
+)
+from repro.obs.logging import format_fields, log, reset_log_notes
+from repro.obs.metrics import (
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    global_registry,
+    reset_global_registry,
+)
+from repro.obs.spans import (
+    Span,
+    SpanRecord,
+    Tracer,
+    global_tracer,
+    reset_global_tracer,
+)
+
+__all__ = [
+    "CATALOG",
+    "LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SCOPE_GLOBAL",
+    "SCOPE_SERVICE",
+    "Span",
+    "SpanRecord",
+    "Tracer",
+    "catalog",
+    "configure",
+    "dump_json",
+    "enabled",
+    "family_names",
+    "format_fields",
+    "global_registry",
+    "global_tracer",
+    "log",
+    "preregister",
+    "reset",
+    "reset_global_registry",
+    "reset_global_tracer",
+    "reset_log_notes",
+    "span",
+    "tracing",
+]
+
+
+def _env_flag(value: Optional[str]) -> bool:
+    return (value or "").strip().lower() not in ("", "0", "false", "off", "no")
+
+
+_env_obs = os.environ.get("REPRO_OBS", "")
+_tracing: bool = _env_obs.strip().lower() == "trace" or _env_flag(
+    os.environ.get("REPRO_OBS_TRACE")
+)
+_enabled: bool = _tracing or _env_flag(_env_obs)
+
+
+def enabled() -> bool:
+    """True when phase metrics instrumentation is on."""
+    return _enabled
+
+
+def tracing() -> bool:
+    """True when span collection is on (implies :func:`enabled`)."""
+    return _tracing
+
+
+def configure(
+    *, metrics: Optional[bool] = None, trace: Optional[bool] = None
+) -> None:
+    """Turn instrumentation on or off for this process.
+
+    ``trace=True`` implies ``metrics=True`` -- a trace without phase
+    timings would be hollow.  Workers spawned by the process-pool
+    executor call this to mirror the parent's settings.
+    """
+    global _enabled, _tracing
+    if trace is not None:
+        _tracing = bool(trace)
+        if _tracing:
+            _enabled = True
+    if metrics is not None:
+        _enabled = bool(metrics) or _tracing
+
+
+def span(name: str, **kwargs):
+    """Open a span on the global tracer (see :meth:`Tracer.span`)."""
+    return global_tracer().span(name, **kwargs)
+
+
+def dump_json() -> str:
+    """The ``repro obs dump`` payload: the global registry with the full
+    global-scope catalog preregistered, as deterministic JSON."""
+    registry = global_registry()
+    preregister(registry, (SCOPE_GLOBAL,))
+    return registry.dump_json()
+
+
+def reset() -> None:
+    """Zero the global registry, tracer, and log-dedupe state.
+
+    Instrumentation on/off flags are left alone; tests use this to
+    isolate assertions without re-deriving configuration.
+    """
+    reset_global_registry()
+    reset_global_tracer()
+    reset_log_notes()

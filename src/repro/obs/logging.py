@@ -1,0 +1,98 @@
+"""Structured stderr logging: one helper, one format, one dedupe set.
+
+Diagnostics across the CLI, campaign, and engine layers used to be
+hand-rolled ``print(..., file=sys.stderr)`` calls, each guarding its own
+module-global dedupe set.  :func:`log` replaces them with a single
+structured emitter::
+
+    note: event=backend-fallback backend=auto engine=event detail="..."
+
+The format is ``level: event=<name> key=value ...`` -- stable enough to
+grep, structured enough to parse.  String values are JSON-quoted when
+they contain anything beyond ``[A-Za-z0-9_./:+-]`` so a field boundary
+is always a space.
+
+Every emission (and every suppressed duplicate) also increments the
+``repro_log_events_total{level,event}`` counter on the global metrics
+registry, so ``repro obs dump`` accounts for diagnostics alongside
+engine and campaign metrics.
+
+Dedupe: pass ``dedupe=<key>``; the second call with the same key is
+swallowed.  :func:`reset_log_notes` clears the set -- ``repro.cli.main``
+calls it on entry so each CLI invocation reports its obstacles afresh
+even when several invocations share one process (the test suite does
+this constantly).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+from typing import Optional, TextIO
+
+from repro.obs import metrics as _metrics
+
+__all__ = ["log", "reset_log_notes", "format_fields"]
+
+_PLAIN_CHARS = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_./:+-"
+)
+
+_lock = threading.Lock()
+#: Dedupe keys already emitted; cleared by :func:`reset_log_notes`.
+_emitted: set = set()
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return repr(value) if isinstance(value, float) else str(value)
+    text = str(value)
+    if text and all(ch in _PLAIN_CHARS for ch in text):
+        return text
+    return json.dumps(text)
+
+
+def format_fields(**fields: object) -> str:
+    """Render ``key=value`` pairs in the declared order."""
+    return " ".join(f"{key}={_format_value(value)}" for key, value in fields.items())
+
+
+def log(
+    level: str,
+    event: str,
+    *,
+    dedupe: Optional[str] = None,
+    stream: Optional[TextIO] = None,
+    **fields: object,
+) -> bool:
+    """Emit one structured diagnostic line to stderr.
+
+    Returns ``True`` when a line was written, ``False`` when it was
+    suppressed by ``dedupe``.  The ``repro_log_events_total`` counter is
+    incremented either way (suppressed repeats are still events).
+    """
+    counter = _metrics.global_registry().counter(
+        "repro_log_events_total",
+        "Structured log events by level and event name.",
+        ("level", "event"),
+    )
+    counter.inc(level=level, event=event)
+    if dedupe is not None:
+        with _lock:
+            if dedupe in _emitted:
+                return False
+            _emitted.add(dedupe)
+    line = f"{level}: event={event}"
+    if fields:
+        line += " " + format_fields(**fields)
+    print(line, file=stream if stream is not None else sys.stderr)
+    return True
+
+
+def reset_log_notes() -> None:
+    """Forget every dedupe key so the next run reports its notes afresh."""
+    with _lock:
+        _emitted.clear()

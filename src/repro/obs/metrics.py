@@ -1,0 +1,439 @@
+"""Process-local metrics registry: counters, gauges, histograms.
+
+Zero-dependency observability primitives for the reproduction stack.  A
+:class:`MetricsRegistry` holds named metric *families* (a counter, gauge,
+or histogram plus its label names); each distinct label-value combination
+is a *series*.  Registries render to the Prometheus text exposition
+format (``GET /metrics`` on the advisor service) and to deterministic
+JSON (``repro obs dump``).
+
+Design constraints, in order:
+
+1. **Correctness under threads.**  The advisor service increments from
+   its asyncio loop and from job-manager worker threads; every mutation
+   takes the registry lock.  The lock is per-registry, uncontended in
+   practice (increments are rare relative to simulated trials).
+2. **Determinism.**  Rendering sorts families by name and series by
+   label values; JSON dumps round-trip byte-identically for identical
+   counter states, matching the repo-wide deterministic-output contract.
+3. **No global coupling.**  Anything can own a private registry (each
+   ``AdvisorService`` does, so per-instance ``/healthz`` counters stay
+   independent across the many services a test process builds); the
+   module-level :func:`global_registry` is merely the default home for
+   engine/CLI metrics.
+
+Histograms use fixed log-spaced latency buckets (:data:`LATENCY_BUCKETS`,
+three per decade from 100 microseconds to 100 seconds) so series from
+different runs are always mergeable -- the same reason Prometheus
+client libraries fix bucket layouts per family.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "global_registry",
+    "reset_global_registry",
+]
+
+#: Fixed log-spaced latency buckets (seconds): three per decade from
+#: 100 us to 100 s.  ``+Inf`` is implicit.  Shared by every histogram in
+#: the stack unless a family overrides them at registration.
+LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0001,
+    0.000215,
+    0.000464,
+    0.001,
+    0.00215,
+    0.00464,
+    0.01,
+    0.0215,
+    0.0464,
+    0.1,
+    0.215,
+    0.464,
+    1.0,
+    2.15,
+    4.64,
+    10.0,
+    21.5,
+    46.4,
+    100.0,
+)
+
+
+def _format_number(value: float) -> str:
+    """Render a sample value the way Prometheus clients do.
+
+    Integral values print without a trailing ``.0`` so counters look
+    like counts; everything else uses ``repr`` (shortest round-trip).
+    """
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _render_labels(labelnames: Sequence[str], labelvalues: Sequence[str]) -> str:
+    if not labelnames:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label_value(value)}"'
+        for name, value in zip(labelnames, labelvalues)
+    )
+    return "{" + inner + "}"
+
+
+class _Family:
+    """Base class for one registered metric family."""
+
+    kind = "untyped"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Sequence[str],
+        lock: threading.RLock,
+    ) -> None:
+        self.name = name
+        self.help = help_text
+        self.labelnames: Tuple[str, ...] = tuple(labelnames)
+        self._lock = lock
+        self._cells: Dict[Tuple[str, ...], object] = {}
+
+    def _key(self, labels: Mapping[str, object]) -> Tuple[str, ...]:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+    # -- rendering hooks (hold the lock when called) ------------------- #
+    def _sorted_cells(self) -> List[Tuple[Tuple[str, ...], object]]:
+        cells = dict(self._cells)
+        if not self.labelnames and () not in cells:
+            # An unlabeled family always exposes its single series, so a
+            # registered-but-untouched counter renders as 0 rather than
+            # vanishing from the scrape.
+            cells[()] = self._zero()
+        return sorted(cells.items())
+
+    def _zero(self) -> object:
+        raise NotImplementedError
+
+    def _render_cell(self, key: Tuple[str, ...], cell: object) -> List[str]:
+        raise NotImplementedError
+
+    def _dump_cell(self, key: Tuple[str, ...], cell: object) -> dict:
+        raise NotImplementedError
+
+    def render(self) -> List[str]:
+        with self._lock:
+            lines = [
+                f"# HELP {self.name} {self.help}",
+                f"# TYPE {self.name} {self.kind}",
+            ]
+            for key, cell in self._sorted_cells():
+                lines.extend(self._render_cell(key, cell))
+            return lines
+
+    def dump(self) -> dict:
+        with self._lock:
+            return {
+                "kind": self.kind,
+                "help": self.help,
+                "labelnames": list(self.labelnames),
+                "series": [
+                    dict(
+                        {"labels": dict(zip(self.labelnames, key))},
+                        **self._dump_cell(key, cell),
+                    )
+                    for key, cell in self._sorted_cells()
+                ],
+            }
+
+
+class Counter(_Family):
+    """A monotonically increasing sum."""
+
+    kind = "counter"
+
+    def _zero(self) -> float:
+        return 0.0
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        key = self._key(labels)
+        with self._lock:
+            self._cells[key] = float(self._cells.get(key, 0.0)) + amount
+
+    def value(self, **labels: object) -> float:
+        key = self._key(labels)
+        with self._lock:
+            return float(self._cells.get(key, 0.0))
+
+    def values(self) -> Dict[Tuple[str, ...], float]:
+        """Snapshot of every series, keyed by label-value tuple."""
+        with self._lock:
+            return {key: float(cell) for key, cell in self._cells.items()}
+
+    def _render_cell(self, key: Tuple[str, ...], cell: object) -> List[str]:
+        labels = _render_labels(self.labelnames, key)
+        return [f"{self.name}{labels} {_format_number(float(cell))}"]
+
+    def _dump_cell(self, key: Tuple[str, ...], cell: object) -> dict:
+        return {"value": float(cell)}
+
+
+class Gauge(_Family):
+    """A value that can go up and down (set wins over inc)."""
+
+    kind = "gauge"
+
+    def _zero(self) -> float:
+        return 0.0
+
+    def set(self, value: float, **labels: object) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._cells[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._cells[key] = float(self._cells.get(key, 0.0)) + amount
+
+    def value(self, **labels: object) -> float:
+        key = self._key(labels)
+        with self._lock:
+            return float(self._cells.get(key, 0.0))
+
+    def _render_cell(self, key: Tuple[str, ...], cell: object) -> List[str]:
+        labels = _render_labels(self.labelnames, key)
+        return [f"{self.name}{labels} {_format_number(float(cell))}"]
+
+    def _dump_cell(self, key: Tuple[str, ...], cell: object) -> dict:
+        return {"value": float(cell)}
+
+
+class _HistogramCell:
+    __slots__ = ("bucket_counts", "sum", "count")
+
+    def __init__(self, nbuckets: int) -> None:
+        self.bucket_counts = [0] * nbuckets
+        self.sum = 0.0
+        self.count = 0
+
+
+class Histogram(_Family):
+    """A distribution over fixed, pre-declared buckets."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Sequence[str],
+        lock: threading.RLock,
+        buckets: Sequence[float] = LATENCY_BUCKETS,
+    ) -> None:
+        super().__init__(name, help_text, labelnames, lock)
+        bounds = tuple(float(b) for b in buckets)
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError(f"histogram {name!r} buckets must be increasing")
+        self.buckets = bounds
+
+    def _zero(self) -> "_HistogramCell":
+        return _HistogramCell(len(self.buckets))
+
+    def observe(self, value: float, **labels: object) -> None:
+        key = self._key(labels)
+        with self._lock:
+            cell = self._cells.get(key)
+            if cell is None:
+                cell = self._cells[key] = _HistogramCell(len(self.buckets))
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    cell.bucket_counts[index] += 1
+                    break
+            cell.sum += value
+            cell.count += 1
+
+    def count_value(self, **labels: object) -> int:
+        key = self._key(labels)
+        with self._lock:
+            cell = self._cells.get(key)
+            return 0 if cell is None else cell.count
+
+    def sum_value(self, **labels: object) -> float:
+        key = self._key(labels)
+        with self._lock:
+            cell = self._cells.get(key)
+            return 0.0 if cell is None else cell.sum
+
+    def _render_cell(self, key: Tuple[str, ...], cell: object) -> List[str]:
+        assert isinstance(cell, _HistogramCell)
+        lines: List[str] = []
+        cumulative = 0
+        for bound, bucket_count in zip(self.buckets, cell.bucket_counts):
+            cumulative += bucket_count
+            labels = _render_labels(
+                self.labelnames + ("le",), key + (_format_number(bound),)
+            )
+            lines.append(f"{self.name}_bucket{labels} {cumulative}")
+        inf_labels = _render_labels(self.labelnames + ("le",), key + ("+Inf",))
+        lines.append(f"{self.name}_bucket{inf_labels} {cell.count}")
+        plain = _render_labels(self.labelnames, key)
+        lines.append(f"{self.name}_sum{plain} {_format_number(cell.sum)}")
+        lines.append(f"{self.name}_count{plain} {cell.count}")
+        return lines
+
+    def _dump_cell(self, key: Tuple[str, ...], cell: object) -> dict:
+        assert isinstance(cell, _HistogramCell)
+        buckets = {
+            _format_number(bound): count
+            for bound, count in zip(self.buckets, cell.bucket_counts)
+        }
+        return {"buckets": buckets, "sum": cell.sum, "count": cell.count}
+
+
+class MetricsRegistry:
+    """A named collection of metric families.
+
+    Registration is idempotent: re-registering a name with the same kind
+    and label names returns the existing family (so any module can say
+    ``registry.counter("repro_x_total", ...)`` without coordinating on
+    import order); a conflicting re-registration raises ``ValueError``.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._families: Dict[str, _Family] = {}
+
+    # -- registration -------------------------------------------------- #
+    def _register(self, family: _Family) -> _Family:
+        with self._lock:
+            existing = self._families.get(family.name)
+            if existing is None:
+                self._families[family.name] = family
+                return family
+            if (
+                existing.kind != family.kind
+                or existing.labelnames != family.labelnames
+            ):
+                raise ValueError(
+                    f"metric {family.name!r} already registered as "
+                    f"{existing.kind}{existing.labelnames}; cannot "
+                    f"re-register as {family.kind}{family.labelnames}"
+                )
+            return existing
+
+    def counter(
+        self, name: str, help_text: str = "", labelnames: Sequence[str] = ()
+    ) -> Counter:
+        family = self._register(Counter(name, help_text, labelnames, self._lock))
+        assert isinstance(family, Counter)
+        return family
+
+    def gauge(
+        self, name: str, help_text: str = "", labelnames: Sequence[str] = ()
+    ) -> Gauge:
+        family = self._register(Gauge(name, help_text, labelnames, self._lock))
+        assert isinstance(family, Gauge)
+        return family
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = LATENCY_BUCKETS,
+    ) -> Histogram:
+        family = self._register(
+            Histogram(name, help_text, labelnames, self._lock, buckets)
+        )
+        assert isinstance(family, Histogram)
+        return family
+
+    def get(self, name: str) -> Optional[_Family]:
+        with self._lock:
+            return self._families.get(name)
+
+    def family_names(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._families))
+
+    # -- rendering ----------------------------------------------------- #
+    def _merged_families(
+        self, extra: Iterable["MetricsRegistry"]
+    ) -> List[_Family]:
+        merged: Dict[str, _Family] = {}
+        for registry in (self, *extra):
+            with registry._lock:
+                families = dict(registry._families)
+            for name, family in families.items():
+                if name in merged and merged[name] is not family:
+                    raise ValueError(
+                        f"metric {name!r} registered in two registries; "
+                        "refusing to render an ambiguous scrape"
+                    )
+                merged[name] = family
+        return [merged[name] for name in sorted(merged)]
+
+    def render_prometheus(
+        self, extra: Iterable["MetricsRegistry"] = ()
+    ) -> str:
+        """Render the Prometheus text exposition format (version 0.0.4)."""
+        lines: List[str] = []
+        for family in self._merged_families(extra):
+            lines.extend(family.render())
+        return "\n".join(lines) + "\n"
+
+    def dump(self, extra: Iterable["MetricsRegistry"] = ()) -> dict:
+        """Deterministic JSON-ready snapshot of every family."""
+        return {
+            "families": {
+                family.name: family.dump()
+                for family in self._merged_families(extra)
+            }
+        }
+
+    def dump_json(self, extra: Iterable["MetricsRegistry"] = ()) -> str:
+        return json.dumps(
+            self.dump(extra), indent=2, sort_keys=True, allow_nan=False
+        )
+
+    def reset(self) -> None:
+        """Zero every series; registered families stay registered."""
+        with self._lock:
+            for family in self._families.values():
+                family._cells.clear()
+
+
+_GLOBAL = MetricsRegistry()
+
+
+def global_registry() -> MetricsRegistry:
+    """The default registry for engine-, campaign-, and CLI-level metrics."""
+    return _GLOBAL
+
+
+def reset_global_registry() -> None:
+    _GLOBAL.reset()

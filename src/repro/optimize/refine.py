@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Mapping, Optional, Tuple
 
+import repro.obs as _obs
 from repro.application.workload import ApplicationWorkload
 from repro.campaign.cache import SweepCache
 from repro.campaign.executor import (
@@ -406,6 +407,10 @@ def refine_period(
             )
             summary = cache.load(key) if (cache is not None and resume) else None
             was_cached = summary is not None
+            if _obs.enabled():
+                _obs.catalog.family("repro_refine_candidates_total").inc(
+                    outcome="cached" if was_cached else "computed"
+                )
             if summary is None:
                 summary = dict(
                     simulate_at_periods(

@@ -44,8 +44,10 @@ from __future__ import annotations
 
 import asyncio
 import math
+import time
 from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple
 
+import repro.obs as _obs
 from repro.campaign.cache import SweepCache, canonical_digest
 from repro.campaign.executor import (
     ParallelMonteCarloExecutor,
@@ -172,10 +174,25 @@ class AdvisorService:
     ) -> None:
         self.surface = surface
         self.cache_dir = cache_dir
-        self.answers = AnswerCache(answer_cache_entries)
-        self.jobs = JobManager(workers)
-        self.tier_counts: Dict[str, int] = {}
-        self.endpoint_counts: Dict[str, int] = {}
+        self._started = time.monotonic()
+        # Per-service registry: concurrent service instances in one test
+        # process must not bleed counters into each other.  The full
+        # service-scope schema is preregistered so an idle /metrics scrape
+        # still shows every family.
+        self.metrics = _obs.MetricsRegistry()
+        _obs.preregister(self.metrics, (_obs.SCOPE_SERVICE,))
+        self._requests_metric = _obs.catalog.family(
+            "repro_service_requests_total", self.metrics
+        )
+        self._answers_metric = _obs.catalog.family(
+            "repro_service_answers_total", self.metrics
+        )
+        self._latency_metric = _obs.catalog.family(
+            "repro_service_request_seconds", self.metrics
+        )
+        self.answers = AnswerCache(answer_cache_entries, registry=self.metrics)
+        self.jobs = JobManager(workers, registry=self.metrics)
+        self._mc_workers_requested = mc_workers
         # Executors shared by every background campaign.  The event-walk
         # one stays serial -- process pools do not belong inside executor
         # threads for that rarely-taken fallback -- while the vectorized
@@ -193,14 +210,28 @@ class AdvisorService:
         self.router.add("POST", "/simulate", self._handle_simulate)
         self.router.add("GET", "/protocols", self._handle_protocols)
         self.router.add("GET", "/healthz", self._handle_healthz)
+        self.router.add("GET", "/metrics", self._handle_metrics)
         self.router.add("GET", "/jobs/{job_id}", self._handle_job)
         self.server = HTTPServer(self.router)
 
     # ------------------------------------------------------------------ #
     # Bookkeeping
     # ------------------------------------------------------------------ #
-    def _count(self, mapping: Dict[str, int], key: str) -> None:
-        mapping[key] = mapping.get(key, 0) + 1
+    @property
+    def tier_counts(self) -> Dict[str, int]:
+        """Answers served, by tier (a view over the metrics registry)."""
+        return {
+            key[0]: int(count)
+            for key, count in self._answers_metric.values().items()
+        }
+
+    @property
+    def endpoint_counts(self) -> Dict[str, int]:
+        """Requests served, by endpoint (a view over the metrics registry)."""
+        return {
+            key[0]: int(count)
+            for key, count in self._requests_metric.values().items()
+        }
 
     def _answer(
         self,
@@ -214,11 +245,15 @@ class AdvisorService:
         on a miss; its rendered bytes are stored so a later hit re-serves
         them verbatim (the byte-identity contract).
         """
-        self._count(self.endpoint_counts, endpoint)
+        began = time.perf_counter()
+        self._requests_metric.inc(endpoint=endpoint)
         key = answer_key(endpoint, request_payload)
         cached = self.answers.get(key)
         if cached is not None:
-            self._count(self.tier_counts, TIER_CACHE)
+            self._answers_metric.inc(tier=TIER_CACHE)
+            self._latency_metric.observe(
+                time.perf_counter() - began, endpoint=endpoint, tier=TIER_CACHE
+            )
             return Response(
                 status=cached.status,
                 body=cached.body,
@@ -229,7 +264,7 @@ class AdvisorService:
                 ),
             )
         payload, status, tier = compute()
-        self._count(self.tier_counts, tier)
+        self._answers_metric.inc(tier=tier)
         rendered = Response.json(
             payload,
             status=status,
@@ -242,16 +277,30 @@ class AdvisorService:
         self.answers.put(
             key, CachedAnswer(body=rendered.body, status=status, tier=tier)
         )
+        self._latency_metric.observe(
+            time.perf_counter() - began, endpoint=endpoint, tier=tier
+        )
         return rendered
 
     def _dynamic(self, endpoint: str, payload: Any, *, status: int = 200, tier: str) -> Response:
-        """An uncached (dynamic) answer -- health, job polling."""
-        self._count(self.endpoint_counts, endpoint)
-        return Response.json(
+        """An uncached (dynamic) answer -- health, job polling.
+
+        Dynamic endpoints count toward the per-endpoint request metric and
+        latency histogram but *not* the per-tier answer counter: ``tiers``
+        in ``/healthz`` keeps meaning "cacheable answers by producing
+        tier", exactly as before.
+        """
+        began = time.perf_counter()
+        self._requests_metric.inc(endpoint=endpoint)
+        response = Response.json(
             payload,
             status=status,
             headers=(("X-Repro-Tier", tier), ("X-Repro-Cache", "bypass")),
         )
+        self._latency_metric.observe(
+            time.perf_counter() - began, endpoint=endpoint, tier=tier
+        )
+        return response
 
     # ------------------------------------------------------------------ #
     # Endpoints
@@ -507,8 +556,45 @@ class AdvisorService:
                 None if self.surface is None else self.surface.describe()
             ),
             "cache_dir": self.cache_dir,
+            "uptime_seconds": round(time.monotonic() - self._started, 3),
+            "config": {
+                "workers": self.jobs.workers,
+                "mc_workers": {
+                    "requested": self._mc_workers_requested,
+                    "resolved": self._vector_executor.workers,
+                    "backend": self._vector_executor.backend,
+                },
+                "answer_cache_entries": self.answers.max_entries,
+            },
         }
         return self._dynamic("/healthz", payload, tier="health")
+
+    async def _handle_metrics(self, request: Request) -> Response:
+        """Prometheus text exposition of the service + global registries.
+
+        The sampled gauges (job states, uptime) are refreshed at scrape
+        time -- they describe "now", not an event stream.
+        """
+        began = time.perf_counter()
+        self._requests_metric.inc(endpoint="/metrics")
+        job_counts = self.jobs.counters()
+        jobs_gauge = _obs.catalog.family("repro_service_jobs", self.metrics)
+        for state in ("pending", "running", "done", "failed"):
+            jobs_gauge.set(job_counts[state], state=state)
+        _obs.catalog.family("repro_service_uptime_seconds", self.metrics).set(
+            time.monotonic() - self._started
+        )
+        _obs.preregister(_obs.global_registry(), (_obs.SCOPE_GLOBAL,))
+        text = self.metrics.render_prometheus(extra=(_obs.global_registry(),))
+        self._latency_metric.observe(
+            time.perf_counter() - began, endpoint="/metrics", tier="metrics"
+        )
+        return Response(
+            status=200,
+            body=text.encode("utf-8"),
+            content_type="text/plain; version=0.0.4; charset=utf-8",
+            headers=(("X-Repro-Tier", "metrics"), ("X-Repro-Cache", "bypass")),
+        )
 
     async def _handle_job(self, request: Request) -> Response:
         job = self.jobs.get(request.params["job_id"])

@@ -24,6 +24,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Dict, Mapping, Optional
 
+import repro.obs as _obs
 from repro.campaign.cache import canonical_digest
 
 __all__ = ["AnswerCache", "CachedAnswer", "answer_key"]
@@ -60,28 +61,60 @@ class CachedAnswer:
 
 
 class AnswerCache:
-    """Bounded LRU mapping of request content hashes to response bytes."""
+    """Bounded LRU mapping of request content hashes to response bytes.
 
-    def __init__(self, max_entries: int = 4096) -> None:
+    Hit/miss/eviction counts live on a metrics registry
+    (``repro_service_answer_cache_events_total``) rather than bespoke
+    integers; ``counters()`` reads them back so the ``/healthz`` payload
+    shape is unchanged.  ``registry`` is normally the owning service's
+    private registry; standalone caches get a private one so counting
+    never bleeds between instances.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 4096,
+        *,
+        registry: Optional[_obs.MetricsRegistry] = None,
+    ) -> None:
         if max_entries <= 0:
             raise ValueError(f"max_entries must be positive, got {max_entries}")
         self.max_entries = max_entries
         self._entries: "OrderedDict[str, CachedAnswer]" = OrderedDict()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        self._registry = registry if registry is not None else _obs.MetricsRegistry()
+        self._events = _obs.catalog.family(
+            "repro_service_answer_cache_events_total", self._registry
+        )
+        self._entries_gauge = _obs.catalog.family(
+            "repro_service_answer_cache_entries", self._registry
+        )
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def _event_count(self, event: str) -> int:
+        return int(self._events.value(event=event))
+
+    @property
+    def hits(self) -> int:
+        return self._event_count("hit")
+
+    @property
+    def misses(self) -> int:
+        return self._event_count("miss")
+
+    @property
+    def evictions(self) -> int:
+        return self._event_count("eviction")
 
     def get(self, key: str) -> Optional[CachedAnswer]:
         """The cached answer for ``key``, counting the hit/miss."""
         answer = self._entries.get(key)
         if answer is None:
-            self.misses += 1
+            self._events.inc(event="miss")
             return None
         self._entries.move_to_end(key)
-        self.hits += 1
+        self._events.inc(event="hit")
         return answer
 
     def put(self, key: str, answer: CachedAnswer) -> None:
@@ -90,7 +123,8 @@ class AnswerCache:
         self._entries.move_to_end(key)
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
-            self.evictions += 1
+            self._events.inc(event="eviction")
+        self._entries_gauge.set(len(self._entries))
 
     def counters(self) -> Dict[str, int]:
         """Hit/miss/eviction counters plus the current entry count."""

@@ -20,6 +20,8 @@ from __future__ import annotations
 import asyncio
 from typing import Any, Callable, Dict, Mapping, Optional
 
+import repro.obs as _obs
+
 __all__ = ["Job", "JobManager", "JOB_STATES"]
 
 #: The job lifecycle, in order.
@@ -61,7 +63,12 @@ class JobManager:
     semaphore in arrival order.
     """
 
-    def __init__(self, workers: int = 2) -> None:
+    def __init__(
+        self,
+        workers: int = 2,
+        *,
+        registry: Optional[_obs.MetricsRegistry] = None,
+    ) -> None:
         if workers <= 0:
             raise ValueError(f"workers must be positive, got {workers}")
         self.workers = workers
@@ -69,6 +76,13 @@ class JobManager:
         self._by_digest: Dict[str, Job] = {}
         self._tasks: Dict[str, "asyncio.Task[None]"] = {}
         self._counter = 0
+        self._registry = registry if registry is not None else _obs.MetricsRegistry()
+        self._submitted_metric = _obs.catalog.family(
+            "repro_service_jobs_submitted_total", self._registry
+        )
+        self._transitions_metric = _obs.catalog.family(
+            "repro_service_job_transitions_total", self._registry
+        )
         # Created lazily inside the running loop: the manager is often
         # constructed before asyncio.run() starts (CLI, test threads).
         self._semaphore: Optional[asyncio.Semaphore] = None
@@ -108,6 +122,8 @@ class JobManager:
         job = Job(f"job-{self._counter:06d}-{digest[:12]}", kind, request)
         self._jobs[job.id] = job
         self._by_digest[digest] = job
+        self._submitted_metric.inc()
+        self._transitions_metric.inc(state="pending")
         task = asyncio.get_running_loop().create_task(self._run(job, fn))
         self._tasks[job.id] = task
         return job
@@ -117,6 +133,7 @@ class JobManager:
             self._semaphore = asyncio.Semaphore(self.workers)
         async with self._semaphore:
             job.state = "running"
+            self._transitions_metric.inc(state="running")
             try:
                 job.result = await asyncio.get_running_loop().run_in_executor(
                     None, fn
@@ -125,6 +142,7 @@ class JobManager:
             except Exception as exc:  # noqa: BLE001 - surfaced via /jobs/<id>
                 job.error = f"{type(exc).__name__}: {exc}"
                 job.state = "failed"
+            self._transitions_metric.inc(state=job.state)
 
     async def drain(self) -> None:
         """Wait for every submitted job to finish (tests and shutdown)."""

@@ -64,9 +64,12 @@ are interchangeable.
 from __future__ import annotations
 
 import math
+import time
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+import repro.obs as _obs
 
 from repro.failures.base import FailureModel
 from repro.failures.exponential import ExponentialFailureModel
@@ -175,31 +178,38 @@ def vectorized_backend_obstacle(
     return None
 
 
-#: Obstacles already reported by :func:`note_backend_fallback`; a grid sweep
-#: hits the same (protocol, law) pair once per point, and one note is enough.
-_reported_fallbacks: set = set()
-
-
 def note_backend_fallback(detail: Optional[str]) -> None:
     """Report (once, to stderr) that ``backend='auto'`` chose the event engine.
 
     ``detail`` is the :func:`vectorized_backend_obstacle` message; ``None``
     is a no-op so call sites can pass the obstacle through unconditionally.
-    Deduplicated on the message text -- a campaign sweeping hundreds of grid
-    points over an unsupported (protocol, law) pair emits a single line, not
-    one per point.  Diagnostics go to stderr: stdout stays machine-parseable.
+    Deduplicated on the message text via the structured-log helper's shared
+    dedupe set (:func:`repro.obs.log`) -- a campaign sweeping hundreds of
+    grid points over an unsupported (protocol, law) pair emits a single
+    line, not one per point.  Diagnostics go to stderr: stdout stays
+    machine-parseable.
     """
-    if detail is None or detail in _reported_fallbacks:
+    if detail is None:
         return
-    _reported_fallbacks.add(detail)
-    import sys
-
-    print(f"note: backend 'auto' using the event engine: {detail}", file=sys.stderr)
+    _obs.log(
+        "note",
+        "backend-fallback",
+        dedupe=f"backend-fallback:{detail}",
+        backend="auto",
+        engine="event",
+        detail=detail,
+    )
 
 
 def reset_backend_fallback_notes() -> None:
-    """Forget reported fallbacks so the next run may note them again (tests)."""
-    _reported_fallbacks.clear()
+    """Forget reported notes so the next run may report them again.
+
+    Delegates to :func:`repro.obs.reset_log_notes` -- the backend-fallback
+    notes share the structured logger's dedupe set with every other
+    deduplicated diagnostic, and ``repro.cli.main`` clears them all at
+    once on entry.
+    """
+    _obs.reset_log_notes()
 
 
 def exponential_mtbf_or_raise(
@@ -316,6 +326,7 @@ class VectorizedPhasedSimulator:
         max_makespan: float,
         batch_size: int = DEFAULT_BATCH_SIZE,
     ) -> None:
+        compile_start = time.perf_counter() if _obs.enabled() else None
         if application_time <= 0:
             raise ValueError(f"application_time must be > 0, got {application_time}")
         if batch_size <= 0:
@@ -509,6 +520,14 @@ class VectorizedPhasedSimulator:
             if self._nseg
             else np.zeros(0, dtype=bool)
         )
+        if compile_start is not None:
+            # The "compile" engine phase: schedule normalisation + lowering
+            # to the parallel round arrays above.
+            _obs.catalog.family("repro_engine_phase_seconds_total").inc(
+                time.perf_counter() - compile_start,
+                phase="compile",
+                protocol=self._protocol,
+            )
 
     # ------------------------------------------------------------------ #
     @property
@@ -565,23 +584,54 @@ class VectorizedPhasedSimulator:
                 f"need 0 <= start < stop, got start={start}, stop={stop}"
             )
         n = int(stop) - int(start)
+        if not _obs.enabled():
+            # The no-op fast path: the disabled-instrumentation overhead is
+            # this one flag check (gated at <= 2% by
+            # benchmarks/test_bench_obs.py; the observed cost is far below
+            # measurement noise).
+            return self._run(n, self._trial_rngs(start, stop, seed))
+        if _obs.tracing():
+            with _obs.span(
+                "engine",
+                category="engine",
+                protocol=self._protocol,
+                trials=n,
+                start=int(start),
+                stop=int(stop),
+            ) as engine_span:
+                return self._run(
+                    n,
+                    self._trial_rngs(start, stop, seed),
+                    profile=True,
+                    span=engine_span,
+                )
+        return self._run(n, self._trial_rngs(start, stop, seed), profile=True)
+
+    def _trial_rngs(
+        self, start: int, stop: int, seed: Optional[int]
+    ) -> List[np.random.Generator]:
+        """Per-trial generators for the absolute indices ``[start, stop)``."""
         if seed is not None and start == 0:
             # Seeded campaigns reuse the memoised per-trial SeedSequence
             # children: sweeps derive the same (seed, i) children at every
             # grid point, and the derivation used to be ~40% of this
             # engine's wall-clock.  Bit-identical to generator_for_trial.
-            rngs = [
+            return [
                 np.random.default_rng(sequence)
                 for sequence in trial_seed_sequences(seed, stop)[:stop]
             ]
-        else:
-            streams = RandomStreams(seed)
-            rngs = [
-                streams.generator_for_trial(i) for i in range(int(start), int(stop))
-            ]
-        return self._run(n, rngs)
+        streams = RandomStreams(seed)
+        return [
+            streams.generator_for_trial(i) for i in range(int(start), int(stop))
+        ]
 
-    def _run(self, n: int, rngs: Sequence[np.random.Generator]) -> TrialTable:
+    def _run(
+        self,
+        n: int,
+        rngs: Sequence[np.random.Generator],
+        profile: bool = False,
+        span=None,
+    ) -> TrialTable:
         model = self._model
 
         block = self._block
@@ -631,6 +681,22 @@ class VectorizedPhasedSimulator:
             if seen.any():
                 base[indices[seen]] += block
             filled[indices] = True
+
+        # Phase profiling: only when enabled is ``refill`` wrapped with a
+        # timer (accumulating the "sample" phase) -- the disabled path runs
+        # the bare closure with zero added per-call work.  The arithmetic of
+        # the run is untouched either way: timers never change values.
+        sample_seconds = 0.0
+        if profile:
+            unprofiled_refill = refill
+
+            def refill(indices: np.ndarray) -> None:
+                nonlocal sample_seconds
+                begin = time.perf_counter()
+                unprofiled_refill(indices)
+                sample_seconds += time.perf_counter() - begin
+
+        run_begin = time.perf_counter() if profile else 0.0
 
         # Per-trial state.  The schedule cursor is the triple (run,
         # repetition, offset) over the compressed runs; ``seg`` caches the
@@ -870,6 +936,7 @@ class VectorizedPhasedSimulator:
                         t[fail] = failed_at
                         advance(fail)
 
+        gather_begin = time.perf_counter() if profile else 0.0
         table = TrialTable.empty(
             n, protocol=self._protocol, application_time=self._application_time
         )
@@ -885,7 +952,43 @@ class VectorizedPhasedSimulator:
         data["truncated"] = truncated
         for category in CATEGORIES:
             data[category] = acc[category]
+        if profile:
+            finish = time.perf_counter()
+            self._record_run_metrics(
+                n,
+                span,
+                sample=sample_seconds,
+                execute=(gather_begin - run_begin) - sample_seconds,
+                gather=finish - gather_begin,
+            )
         return table
+
+    def _record_run_metrics(
+        self, trials: int, span, **phase_seconds: float
+    ) -> None:
+        """Accumulate one instrumented run into the global registry.
+
+        When an engine span is open (tracing), the phase split also rides
+        on the span as arguments -- that is how per-shard phase timings
+        from pool workers reach the exported trace, since worker-side
+        registries are process-local and never shipped home.
+        """
+        phases = _obs.catalog.family("repro_engine_phase_seconds_total")
+        for phase, seconds in phase_seconds.items():
+            phases.inc(max(seconds, 0.0), phase=phase, protocol=self._protocol)
+        _obs.catalog.family("repro_engine_runs_total").inc(
+            protocol=self._protocol
+        )
+        _obs.catalog.family("repro_engine_trials_total").inc(
+            trials, protocol=self._protocol
+        )
+        if span is not None:
+            span.set_args(
+                **{
+                    f"{phase}_seconds": round(max(seconds, 0.0), 6)
+                    for phase, seconds in phase_seconds.items()
+                }
+            )
 
 
 class VectorizedChunkedSimulator:

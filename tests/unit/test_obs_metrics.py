@@ -1,0 +1,207 @@
+"""Unit tests for the repro.obs metrics primitives.
+
+The registry's two external contracts are exactness (counters are plain
+sums, histograms bucket deterministically) and deterministic rendering
+(Prometheus text and JSON dumps sort the same way every time), so the
+assertions here compare rendered strings literally.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import catalog
+from repro.obs.metrics import (
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    global_registry,
+    reset_global_registry,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("t_total", "help", ("kind",))
+        counter.inc(kind="a")
+        counter.inc(2.5, kind="a")
+        counter.inc(kind="b")
+        assert counter.value(kind="a") == 3.5
+        assert counter.value(kind="b") == 1.0
+        assert counter.value(kind="missing") == 0.0
+        assert counter.values() == {("a",): 3.5, ("b",): 1.0}
+
+    def test_negative_increment_rejected(self):
+        counter = MetricsRegistry().counter("t_total")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            counter.inc(-1)
+
+    def test_label_set_must_match_exactly(self):
+        counter = MetricsRegistry().counter("t_total", "", ("a", "b"))
+        with pytest.raises(ValueError, match="takes labels"):
+            counter.inc(a="x")
+        with pytest.raises(ValueError, match="takes labels"):
+            counter.inc(a="x", b="y", c="z")
+
+    def test_unlabeled_family_renders_at_zero(self):
+        registry = MetricsRegistry()
+        registry.counter("idle_total", "never touched")
+        text = registry.render_prometheus()
+        assert "# HELP idle_total never touched" in text
+        assert "# TYPE idle_total counter" in text
+        assert "\nidle_total 0\n" in text
+
+    def test_labeled_series_render_sorted_and_escaped(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("t_total", "h", ("name",))
+        counter.inc(name="zeta")
+        counter.inc(name="alpha")
+        counter.inc(name='we"ird\nvalue')
+        text = registry.render_prometheus()
+        lines = [l for l in text.splitlines() if l.startswith("t_total{")]
+        assert lines == [
+            't_total{name="alpha"} 1',
+            't_total{name="we\\"ird\\nvalue"} 1',
+            't_total{name="zeta"} 1',
+        ]
+
+
+class TestGauge:
+    def test_set_inc_value(self):
+        gauge = MetricsRegistry().gauge("g", "", ("x",))
+        gauge.set(5, x="a")
+        gauge.inc(2, x="a")
+        gauge.inc(-4, x="a")
+        assert gauge.value(x="a") == 3.0
+
+    def test_render_integral_without_decimal(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g")
+        gauge.set(7.0)
+        assert "\ng 7\n" in registry.render_prometheus()
+        gauge.set(7.25)
+        assert "\ng 7.25\n" in registry.render_prometheus()
+
+
+class TestHistogram:
+    def test_bucket_placement_is_cumulative(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", "", (), buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            hist.observe(value)
+        text = registry.render_prometheus()
+        assert 'h_bucket{le="0.1"} 1' in text
+        assert 'h_bucket{le="1"} 3' in text
+        assert 'h_bucket{le="10"} 4' in text
+        assert 'h_bucket{le="+Inf"} 5' in text
+        assert "h_count 5" in text
+        assert hist.count_value() == 5
+        assert hist.sum_value() == pytest.approx(56.05)
+
+    def test_boundary_lands_in_lower_bucket(self):
+        hist = MetricsRegistry().histogram("h", "", (), buckets=(1.0, 2.0))
+        hist.observe(1.0)
+        assert hist._cells[()].bucket_counts == [1, 0]
+
+    def test_default_buckets_are_the_shared_latency_bounds(self):
+        hist = MetricsRegistry().histogram("h")
+        assert hist.buckets == LATENCY_BUCKETS
+        assert list(LATENCY_BUCKETS) == sorted(LATENCY_BUCKETS)
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValueError, match="increasing"):
+            MetricsRegistry().histogram("h", buckets=(1.0, 0.5))
+
+
+class TestRegistry:
+    def test_registration_is_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("c_total", "h", ("x",))
+        second = registry.counter("c_total", "h", ("x",))
+        assert first is second
+
+    def test_conflicting_registration_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "h", ("x",))
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("c_total", "h", ("x",))
+        with pytest.raises(ValueError, match="already registered"):
+            registry.counter("c_total", "h", ("y",))
+
+    def test_reset_zeroes_series_but_keeps_families(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total", "h", ("x",))
+        counter.inc(x="a")
+        registry.reset()
+        assert registry.get("c_total") is counter
+        assert counter.values() == {}
+        assert "# TYPE c_total counter" in registry.render_prometheus()
+
+    def test_merged_render_includes_both_registries(self):
+        ours = MetricsRegistry()
+        theirs = MetricsRegistry()
+        ours.counter("a_total").inc()
+        theirs.counter("b_total").inc()
+        text = ours.render_prometheus(extra=(theirs,))
+        assert "a_total 1" in text and "b_total 1" in text
+
+    def test_merged_render_rejects_duplicate_family(self):
+        ours = MetricsRegistry()
+        theirs = MetricsRegistry()
+        ours.counter("dup_total")
+        theirs.counter("dup_total")
+        with pytest.raises(ValueError, match="two registries"):
+            ours.render_prometheus(extra=(theirs,))
+
+    def test_dump_json_is_deterministic(self):
+        def build() -> str:
+            registry = MetricsRegistry()
+            counter = registry.counter("c_total", "h", ("x",))
+            counter.inc(x="b")
+            counter.inc(x="a")
+            registry.histogram("h_seconds", buckets=(0.1, 1.0)).observe(0.5)
+            return registry.dump_json()
+
+        assert build() == build()
+        payload = json.loads(build())
+        series = payload["families"]["c_total"]["series"]
+        assert [s["labels"] for s in series] == [{"x": "a"}, {"x": "b"}]
+
+
+class TestGlobalRegistryAndCatalog:
+    def test_global_registry_is_process_wide(self):
+        assert global_registry() is global_registry()
+
+    def test_catalog_family_resolves_spec(self):
+        registry = MetricsRegistry()
+        family = catalog.family("repro_service_requests_total", registry)
+        assert isinstance(family, Counter)
+        assert family.labelnames == ("endpoint",)
+        gauge = catalog.family("repro_service_uptime_seconds", registry)
+        assert isinstance(gauge, Gauge)
+        hist = catalog.family("repro_service_request_seconds", registry)
+        assert isinstance(hist, Histogram)
+
+    def test_preregister_exposes_full_scope_schema(self):
+        registry = MetricsRegistry()
+        catalog.preregister(registry, (catalog.SCOPE_SERVICE,))
+        assert set(registry.family_names()) == set(
+            catalog.family_names(catalog.SCOPE_SERVICE)
+        )
+
+    def test_catalog_scopes_are_disjoint_and_cover_everything(self):
+        global_names = set(catalog.family_names(catalog.SCOPE_GLOBAL))
+        service_names = set(catalog.family_names(catalog.SCOPE_SERVICE))
+        assert not global_names & service_names
+        assert global_names | service_names == set(catalog.family_names())
+
+    def test_reset_global_registry(self):
+        counter = global_registry().counter("test_only_total")
+        counter.inc()
+        reset_global_registry()
+        assert counter.value() == 0.0

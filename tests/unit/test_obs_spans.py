@@ -1,0 +1,182 @@
+"""Unit tests for span tracing and Chrome trace export.
+
+Parent links are asserted through ``span_id``/``parent_id`` directly --
+the tracer's contract is an explicit hierarchy, never one inferred from
+time containment.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+
+from repro.obs.spans import SpanRecord, Tracer
+
+
+class TestSpanNesting:
+    def test_implicit_nesting_through_thread_stack(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert tracer.current_id() == inner.span_id
+            assert tracer.current_id() == outer.span_id
+        records = {r.name: r for r in tracer.records()}
+        assert records["outer"].parent_id is None
+        assert records["inner"].parent_id == records["outer"].span_id
+
+    def test_explicit_parent_wins_over_stack(self):
+        tracer = Tracer()
+        with tracer.span("ambient"):
+            with tracer.span("adopted", parent="other-pid-1"):
+                pass
+        adopted = next(r for r in tracer.records() if r.name == "adopted")
+        assert adopted.parent_id == "other-pid-1"
+
+    def test_sibling_spans_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("parent") as parent:
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        children = [r for r in tracer.records() if r.name in ("a", "b")]
+        assert all(r.parent_id == parent.span_id for r in children)
+
+    def test_stacks_are_per_thread(self):
+        tracer = Tracer()
+        seen = {}
+
+        def worker():
+            with tracer.span("threaded"):
+                seen["during"] = tracer.current_id()
+
+        with tracer.span("main-span"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        threaded = next(r for r in tracer.records() if r.name == "threaded")
+        # The other thread's stack starts empty: no accidental parenting
+        # under whatever the main thread had open.
+        assert threaded.parent_id is None
+
+    def test_span_ids_embed_pid_and_are_unique(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        ids = [r.span_id for r in tracer.records()]
+        assert len(set(ids)) == 2
+        assert all(i.startswith(f"{os.getpid()}-") for i in ids)
+
+    def test_exception_recorded_and_span_still_closed(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("failing"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        record = tracer.records()[0]
+        assert record.args["error"] == "RuntimeError"
+        assert tracer.current_id() is None
+
+    def test_set_args_attaches_while_open(self):
+        tracer = Tracer()
+        with tracer.span("s", fixed=1) as span:
+            span.set_args(late="yes")
+        record = tracer.records()[0]
+        assert record.args == {"fixed": 1, "late": "yes"}
+
+
+class TestDrainAndIngest:
+    def test_roundtrip_preserves_records(self):
+        tracer = Tracer()
+        with tracer.span("s", detail="x"):
+            pass
+        payloads = tracer.drain()
+        assert tracer.records() == []
+        assert json.loads(json.dumps(payloads)) == payloads  # picklable/plain
+        other = Tracer()
+        assert other.ingest(payloads) == 1
+        record = other.records()[0]
+        assert record.name == "s" and record.args["detail"] == "x"
+
+    def test_ingest_reparents_worker_roots_only(self):
+        worker = Tracer()
+        with worker.span("root"):
+            with worker.span("child"):
+                pass
+        gatherer = Tracer()
+        with gatherer.span("campaign") as campaign:
+            gatherer.ingest(worker.drain(), parent=campaign)
+        records = {r.name: r for r in gatherer.records()}
+        assert records["root"].parent_id == campaign.span_id
+        # The worker-internal parent link is preserved untouched.
+        assert records["child"].parent_id == records["root"].span_id
+
+    def test_record_dict_roundtrip(self):
+        record = SpanRecord(
+            name="n", category="c", start_us=10, duration_us=5,
+            span_id="1-1", parent_id=None, pid=42, tid=7, args={"k": 1},
+        )
+        clone = SpanRecord.from_dict(record.to_dict())
+        assert clone.to_dict() == record.to_dict()
+
+
+class TestChromeTrace:
+    def test_export_structure(self):
+        tracer = Tracer()
+        with tracer.span("outer", category="campaign"):
+            with tracer.span("inner"):
+                pass
+        doc = tracer.chrome_trace()
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        assert meta[0]["name"] == "process_name"
+        complete = [e for e in events if e["ph"] == "X"]
+        assert {e["name"] for e in complete} == {"outer", "inner"}
+        for event in complete:
+            assert event["dur"] >= 1
+            assert "span_id" in event["args"]
+        inner = next(e for e in complete if e["name"] == "inner")
+        outer = next(e for e in complete if e["name"] == "outer")
+        assert inner["args"]["parent_id"] == outer["args"]["span_id"]
+        assert outer["cat"] == "campaign"
+
+    def test_worker_records_get_named_rows(self):
+        tracer = Tracer()
+        fake_worker_pid = os.getpid() + 1
+        tracer.ingest(
+            [
+                {
+                    "name": "shard",
+                    "start_us": 0,
+                    "duration_us": 3,
+                    "span_id": f"{fake_worker_pid}-1",
+                    "parent_id": None,
+                    "pid": fake_worker_pid,
+                    "tid": 99,
+                }
+            ]
+        )
+        doc = tracer.chrome_trace()
+        thread_meta = [
+            e for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        ]
+        assert thread_meta[0]["args"]["name"] == f"worker-{fake_worker_pid}"
+        shard = next(e for e in doc["traceEvents"] if e.get("name") == "shard")
+        assert shard["pid"] == os.getpid()  # exporter's process row
+        assert shard["tid"] == fake_worker_pid  # one row per worker
+        assert shard["args"]["worker_pid"] == fake_worker_pid
+
+    def test_write_chrome_trace_is_valid_json(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("s"):
+            pass
+        path = tmp_path / "out.trace.json"
+        tracer.write_chrome_trace(path)
+        doc = json.loads(path.read_text())
+        assert [e["name"] for e in doc["traceEvents"] if e["ph"] == "X"] == ["s"]
