@@ -78,7 +78,18 @@ from repro.core import (
     ResilienceParameters,
 )
 from repro.application import ApplicationWorkload, DatasetPartition, Epoch
-from repro.checkpointing import CheckpointCostModel, CheckpointCosts
+from repro.checkpointing import (
+    BuddyStorage,
+    CheckpointCostModel,
+    CheckpointCosts,
+    CheckpointStorage,
+    FlatStorage,
+    IncrementalCheckpointing,
+    LocalStorage,
+    MultiLevelStorage,
+    RemoteFileSystemStorage,
+    StorageStack,
+)
 from repro.campaign import (
     ParallelMonteCarloExecutor,
     SweepJob,
@@ -120,6 +131,15 @@ __all__ = [
     "Epoch",
     "CheckpointCosts",
     "CheckpointCostModel",
+    # Checkpoint storage zoo (lowered into scalar costs by the parameters)
+    "CheckpointStorage",
+    "StorageStack",
+    "FlatStorage",
+    "RemoteFileSystemStorage",
+    "LocalStorage",
+    "BuddyStorage",
+    "MultiLevelStorage",
+    "IncrementalCheckpointing",
     "Platform",
     "ExponentialFailureModel",
     "FailureTimeline",

@@ -208,6 +208,13 @@ class SweepJob:
         the rest of the grid, so jobs with overlapping grids share entries.
         """
         params = self.parameters
+        if params.storage is not None and params.storage.mtbf_sensitive:
+            # MTBF-sensitive storage (buddy with a fallback level) lowers
+            # to different (C, R) at every grid point; key on the point's
+            # own lowering.  Sound because equal lowered scalars imply
+            # identical behaviour everywhere downstream -- which is also
+            # why flat-storage runs share cache entries with scalar runs.
+            params = params.with_mtbf(float(mtbf))
         key: Dict[str, Any] = {
             "application_time": self.application_time,
             "checkpoint": params.full_checkpoint,
@@ -468,6 +475,12 @@ class SweepRunner:
             and job.epochs == 1
             and not job.model_params
             and set(canonical) <= set(GRID_PROTOCOLS)
+            # The analytical grid broadcasts one fixed (C, R) over the MTBF
+            # axis; MTBF-sensitive storage must re-lower per point instead.
+            and not (
+                job.parameters.storage is not None
+                and job.parameters.storage.mtbf_sensitive
+            )
         )
         if vectorizable:
             mtbf = np.array([m for m, _ in coords], dtype=float)

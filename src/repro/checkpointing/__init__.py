@@ -30,20 +30,24 @@ This package models each of these as a :class:`CheckpointStorage` that turns
 """
 
 from repro.checkpointing.storage import CheckpointStorage
+from repro.checkpointing.flat import FlatStorage
 from repro.checkpointing.remote_fs import RemoteFileSystemStorage
 from repro.checkpointing.local import LocalStorage
 from repro.checkpointing.buddy import BuddyStorage
 from repro.checkpointing.multilevel import MultiLevelStorage
 from repro.checkpointing.incremental import IncrementalCheckpointing
+from repro.checkpointing.stack import StorageStack
 from repro.checkpointing.cost_model import CheckpointCostModel, CheckpointCosts
 
 __all__ = [
     "CheckpointStorage",
+    "FlatStorage",
     "RemoteFileSystemStorage",
     "LocalStorage",
     "BuddyStorage",
     "MultiLevelStorage",
     "IncrementalCheckpointing",
+    "StorageStack",
     "CheckpointCostModel",
     "CheckpointCosts",
 ]

@@ -16,13 +16,16 @@ window so users can quantify the residual risk the scalar model ignores.
 from __future__ import annotations
 
 import math
+from typing import Optional, Tuple
 
 from repro.checkpointing.storage import CheckpointStorage
+from repro.core.registry import register_storage
 from repro.utils.validation import require_non_negative, require_positive
 
 __all__ = ["BuddyStorage"]
 
 
+@register_storage("buddy", analytical=False, nested=("fallback_storage",))
 class BuddyStorage(CheckpointStorage):
     """Partner-node in-memory checkpointing.
 
@@ -36,6 +39,13 @@ class BuddyStorage(CheckpointStorage):
         full copy).
     latency:
         Fixed per-operation latency in seconds (synchronisation).
+    fallback_storage:
+        Optional slower level recoveries fall back to when the buddy copy
+        was lost too (partner failed inside the vulnerability window).  With
+        a fallback, :meth:`lowered_costs` risk-weights the effective
+        recovery cost -- an MTBF-dependent approximation, hence the
+        ``analytical=False`` registration.  Without one (the default), the
+        lowering is the plain write/read time, exactly the seed behaviour.
     """
 
     name = "buddy"
@@ -45,12 +55,21 @@ class BuddyStorage(CheckpointStorage):
         link_bandwidth: float,
         memory_overhead_factor: float = 1.0,
         latency: float = 0.0,
+        fallback_storage: Optional[CheckpointStorage] = None,
     ) -> None:
         self._link_bandwidth = require_positive(link_bandwidth, "link_bandwidth")
         self._memory_overhead_factor = require_non_negative(
             memory_overhead_factor, "memory_overhead_factor"
         )
         self._latency = require_non_negative(latency, "latency")
+        if fallback_storage is not None and not isinstance(
+            fallback_storage, CheckpointStorage
+        ):
+            raise ValueError(
+                "fallback_storage must be a CheckpointStorage, "
+                f"got {type(fallback_storage).__name__}"
+            )
+        self._fallback_storage = fallback_storage
 
     @property
     def link_bandwidth(self) -> float:
@@ -62,6 +81,11 @@ class BuddyStorage(CheckpointStorage):
         """Extra memory fraction used on each node to host its buddy's copy."""
         return self._memory_overhead_factor
 
+    @property
+    def fallback_storage(self) -> Optional[CheckpointStorage]:
+        """The slower level used when the buddy copy is lost, if any."""
+        return self._fallback_storage
+
     def write_time(self, data_bytes: float, node_count: int) -> float:
         data_bytes, node_count = self._validate(data_bytes, node_count)
         if data_bytes == 0:
@@ -72,6 +96,47 @@ class BuddyStorage(CheckpointStorage):
     def read_time(self, data_bytes: float, node_count: int) -> float:
         # Restoring pulls the copy back from the buddy over the same link.
         return self.write_time(data_bytes, node_count)
+
+    # ------------------------------------------------------------------ #
+    # Scalar lowering with partner-failure risk
+    # ------------------------------------------------------------------ #
+    @property
+    def mtbf_sensitive(self) -> bool:
+        # Only the risk-weighted recovery mix depends on the failure rate;
+        # a plain buddy (no fallback) lowers to fixed write/read times.
+        return self._fallback_storage is not None
+
+    def lowered_costs(
+        self,
+        data_bytes: float,
+        node_count: int,
+        *,
+        platform_mtbf: Optional[float] = None,
+    ) -> Tuple[float, float]:
+        """Lower to ``(C, R)``, risk-weighting ``R`` when a fallback exists.
+
+        The vulnerability window is one buddy write: after a node failure
+        the state only exists in the partner's memory until the restarted
+        node has pulled it back and re-checkpointed.  With an individual
+        node MTBF of ``platform_mtbf * node_count`` (exponential failures),
+        the probability that the *specific* partner fails inside that
+        window is ``p = 1 - survival_probability(node_mtbf, window)``, and
+        the effective recovery cost is the mix
+        ``(1 - p) * R_buddy + p * R_fallback``.  The write time is
+        unchanged: the fallback level is assumed to drain asynchronously
+        off the critical path.  Without a fallback (or without an MTBF to
+        weight by) this is the plain write/read lowering.
+        """
+        write = self.write_time(data_bytes, node_count)
+        read = self.read_time(data_bytes, node_count)
+        if self._fallback_storage is None or platform_mtbf is None:
+            return (write, read)
+        node_mtbf = require_positive(platform_mtbf, "platform_mtbf") * node_count
+        p_loss = 1.0 - self.survival_probability(node_mtbf, write)
+        fallback_read = self._fallback_storage.lowered_costs(
+            data_bytes, node_count, platform_mtbf=platform_mtbf
+        )[1]
+        return (write, (1.0 - p_loss) * read + p_loss * fallback_read)
 
     def survival_probability(
         self, platform_mtbf: float, exposure_time: float

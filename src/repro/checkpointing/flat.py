@@ -1,0 +1,62 @@
+"""Flat (scalar) checkpoint storage: fixed ``C`` and ``R``.
+
+This is the paper's own cost model -- "C = R = 10 minutes" -- promoted to a
+:class:`~repro.checkpointing.storage.CheckpointStorage` so that the scalar
+API and the storage-stack API are one axis: a protocol constructed from bare
+``checkpoint_cost`` / ``recovery_cost`` scalars behaves exactly as if it had
+been given a :class:`FlatStorage` of those scalars.  The write/read times
+ignore the data volume and node count entirely.
+"""
+
+from __future__ import annotations
+
+from repro.checkpointing.storage import CheckpointStorage
+from repro.core.registry import register_storage
+from repro.utils.validation import require_non_negative
+
+__all__ = ["FlatStorage"]
+
+
+@register_storage("flat", aliases=("scalar",))
+class FlatStorage(CheckpointStorage):
+    """Fixed scalar checkpoint/recovery times, independent of scale.
+
+    Parameters
+    ----------
+    checkpoint:
+        ``C``: seconds to write a full coordinated checkpoint.
+    recovery:
+        ``R``: seconds to reload one (defaults to ``C``, the paper's
+        ``R = C`` convention).
+    """
+
+    name = "flat"
+
+    def __init__(self, checkpoint: float, recovery: float | None = None) -> None:
+        self._checkpoint = require_non_negative(checkpoint, "checkpoint")
+        self._recovery = (
+            require_non_negative(recovery, "recovery")
+            if recovery is not None
+            else self._checkpoint
+        )
+
+    @property
+    def checkpoint(self) -> float:
+        """``C``: the fixed checkpoint cost in seconds."""
+        return self._checkpoint
+
+    @property
+    def recovery(self) -> float:
+        """``R``: the fixed recovery cost in seconds."""
+        return self._recovery
+
+    def write_time(self, data_bytes: float, node_count: int) -> float:
+        self._validate(data_bytes, node_count)
+        return self._checkpoint
+
+    def read_time(self, data_bytes: float, node_count: int) -> float:
+        self._validate(data_bytes, node_count)
+        return self._recovery
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"FlatStorage(checkpoint={self._checkpoint}, recovery={self._recovery})"

@@ -15,12 +15,16 @@ any underlying :class:`~repro.checkpointing.storage.CheckpointStorage`.
 
 from __future__ import annotations
 
+from typing import Optional, Tuple
+
 from repro.checkpointing.storage import CheckpointStorage
+from repro.core.registry import register_storage
 from repro.utils.validation import require_fraction
 
 __all__ = ["IncrementalCheckpointing"]
 
 
+@register_storage("incremental", nested=("storage",))
 class IncrementalCheckpointing(CheckpointStorage):
     """Write only the modified fraction, read back everything.
 
@@ -62,3 +66,32 @@ class IncrementalCheckpointing(CheckpointStorage):
         # plus increments: the volume read is the full dataset.
         data_bytes, node_count = self._validate(data_bytes, node_count)
         return self._storage.read_time(data_bytes, node_count)
+
+    @property
+    def mtbf_sensitive(self) -> bool:
+        return self._storage.mtbf_sensitive
+
+    def lowered_costs(
+        self,
+        data_bytes: float,
+        node_count: int,
+        *,
+        platform_mtbf: Optional[float] = None,
+    ) -> Tuple[float, float]:
+        """Dirty-fraction lowering: write the delta, read everything.
+
+        Exact for the scalar model -- ``C`` is the wrapped medium's write
+        time of ``modified_fraction * data_bytes`` and ``R`` its read time
+        of the full dataset, both taken from the wrapped *lowering* so a
+        risk-weighted medium underneath keeps its weighting.
+        """
+        data_bytes, node_count = self._validate(data_bytes, node_count)
+        write = self._storage.lowered_costs(
+            data_bytes * self._modified_fraction,
+            node_count,
+            platform_mtbf=platform_mtbf,
+        )[0]
+        read = self._storage.lowered_costs(
+            data_bytes, node_count, platform_mtbf=platform_mtbf
+        )[1]
+        return (write, read)

@@ -10,11 +10,13 @@ NVRAM)" (Section V-C, discussion of Figure 10).
 from __future__ import annotations
 
 from repro.checkpointing.storage import CheckpointStorage
+from repro.core.registry import register_storage
 from repro.utils.validation import require_non_negative, require_positive
 
 __all__ = ["LocalStorage"]
 
 
+@register_storage("node-local", aliases=("local", "nvram"))
 class LocalStorage(CheckpointStorage):
     """Per-node storage with private bandwidth.
 

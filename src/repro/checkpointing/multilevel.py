@@ -10,12 +10,16 @@ explore that regime.
 
 from __future__ import annotations
 
+from typing import Optional, Tuple
+
 from repro.checkpointing.storage import CheckpointStorage
+from repro.core.registry import register_storage
 from repro.utils.validation import require_fraction
 
 __all__ = ["MultiLevelStorage"]
 
 
+@register_storage("multi-level", aliases=("multilevel",), nested=("local", "remote"))
 class MultiLevelStorage(CheckpointStorage):
     """A fast local level backed by a slower resilient remote level.
 
@@ -66,6 +70,42 @@ class MultiLevelStorage(CheckpointStorage):
     def remote_fraction(self) -> float:
         """Fraction of checkpoints also written to the remote level."""
         return self._remote_fraction
+
+    @property
+    def remote_read_fraction(self) -> float:
+        """Fraction of recoveries served from the remote level."""
+        return self._remote_read_fraction
+
+    @property
+    def mtbf_sensitive(self) -> bool:
+        return self._local.mtbf_sensitive or self._remote.mtbf_sensitive
+
+    def lowered_costs(
+        self,
+        data_bytes: float,
+        node_count: int,
+        *,
+        platform_mtbf: Optional[float] = None,
+    ) -> Tuple[float, float]:
+        """Weighted-mix lowering over both levels' *lowered* costs.
+
+        Exact for the scalar waste model: the effective write cost is
+        ``C_local + f * C_remote`` and the effective read cost the
+        ``remote_read_fraction`` mix, computed from the children's own
+        lowerings (forwarding ``platform_mtbf``) so a risk-weighted level
+        nested inside the hierarchy keeps its weighting.
+        """
+        local_write, local_read = self._local.lowered_costs(
+            data_bytes, node_count, platform_mtbf=platform_mtbf
+        )
+        remote_write, remote_read = self._remote.lowered_costs(
+            data_bytes, node_count, platform_mtbf=platform_mtbf
+        )
+        g = self._remote_read_fraction
+        return (
+            local_write + self._remote_fraction * remote_write,
+            (1.0 - g) * local_read + g * remote_read,
+        )
 
     def write_time(self, data_bytes: float, node_count: int) -> float:
         data_bytes, node_count = self._validate(data_bytes, node_count)

@@ -10,11 +10,13 @@ hypothesis behind Figures 8 and 9 of the paper.
 from __future__ import annotations
 
 from repro.checkpointing.storage import CheckpointStorage
+from repro.core.registry import register_storage
 from repro.utils.validation import require_non_negative, require_positive
 
 __all__ = ["RemoteFileSystemStorage"]
 
 
+@register_storage("remote-pfs", aliases=("remote", "pfs"))
 class RemoteFileSystemStorage(CheckpointStorage):
     """Shared storage with fixed aggregate write/read bandwidth.
 

@@ -1,0 +1,77 @@
+"""A storage medium bound to a platform-sized checkpoint volume.
+
+A :class:`~repro.checkpointing.storage.CheckpointStorage` answers "how long
+does ``data_bytes`` over ``node_count`` nodes take?"; the protocols and the
+analytical model consume scalar ``(C, R)``.  :class:`StorageStack` is the
+binding between the two: a medium plus the data volume and node count it
+checkpoints, lowered to scalars by
+:class:`~repro.core.parameters.ResilienceParameters` at construction time so
+every downstream consumer -- schedule compilers, both Monte-Carlo engines,
+closed forms, the optimizer -- runs storage-stack protocols with zero new
+backend code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.checkpointing.storage import CheckpointStorage
+from repro.utils.validation import require_non_negative
+
+__all__ = ["StorageStack"]
+
+
+@dataclass(frozen=True)
+class StorageStack:
+    """A checkpoint medium bound to the volume and platform it serves.
+
+    Parameters
+    ----------
+    storage:
+        The medium (possibly a composite: multilevel, incremental, buddy
+        with a fallback level, ...).
+    data_bytes:
+        Total checkpointed volume in bytes, aggregated over the platform.
+        Irrelevant for :class:`~repro.checkpointing.flat.FlatStorage`
+        (default 0).
+    node_count:
+        Number of nodes writing/reading concurrently (default 1).
+    """
+
+    storage: CheckpointStorage
+    data_bytes: float = 0.0
+    node_count: int = 1
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.data_bytes, "data_bytes")
+        if (
+            isinstance(self.node_count, bool)
+            or int(self.node_count) != self.node_count
+            or self.node_count <= 0
+        ):
+            raise ValueError(
+                f"node_count must be a positive integer, got {self.node_count!r}"
+            )
+        object.__setattr__(self, "data_bytes", float(self.data_bytes))
+        object.__setattr__(self, "node_count", int(self.node_count))
+
+    @property
+    def mtbf_sensitive(self) -> bool:
+        """Whether the lowered costs depend on the platform MTBF."""
+        return self.storage.mtbf_sensitive
+
+    def lowered_costs(
+        self, platform_mtbf: Optional[float] = None
+    ) -> Tuple[float, float]:
+        """The scalar ``(C, R)`` of this stack, at one platform MTBF."""
+        return self.storage.lowered_costs(
+            self.data_bytes, self.node_count, platform_mtbf=platform_mtbf
+        )
+
+    def describe(self) -> str:
+        """Short human label, e.g. ``multi-level(6.4e+13 B, 1000 nodes)``."""
+        return (
+            f"{self.storage.name}({self.data_bytes:.3g} B, "
+            f"{self.node_count} nodes)"
+        )

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import abc
+from typing import Optional, Tuple
 
 from repro.utils.validation import require_non_negative
 
@@ -29,6 +30,43 @@ class CheckpointStorage(abc.ABC):
     @abc.abstractmethod
     def read_time(self, data_bytes: float, node_count: int) -> float:
         """Seconds to read back ``data_bytes`` onto ``node_count`` nodes."""
+
+    # ------------------------------------------------------------------ #
+    # Scalar-cost lowering
+    # ------------------------------------------------------------------ #
+    @property
+    def mtbf_sensitive(self) -> bool:
+        """Whether the lowered ``(C, R)`` depend on the platform MTBF.
+
+        Most media lower to fixed write/read times.  Risk-weighted media
+        (buddy checkpointing with a fallback level) mix in the probability
+        that the partner also fails, which depends on the failure rate --
+        consumers that would otherwise reuse one lowering across an MTBF
+        axis (the vectorised analytical grid, sweep cache keys) must
+        re-lower per point when this is ``True``.  Composites propagate the
+        flag from their children.
+        """
+        return False
+
+    def lowered_costs(
+        self,
+        data_bytes: float,
+        node_count: int,
+        *,
+        platform_mtbf: Optional[float] = None,
+    ) -> Tuple[float, float]:
+        """Lower this medium to the scalar ``(C, R)`` the model consumes.
+
+        The default is the plain write/read time.  Overrides may use
+        ``platform_mtbf`` to fold failure risk into the effective recovery
+        cost (see :class:`~repro.checkpointing.buddy.BuddyStorage` with a
+        fallback level); composites must forward ``platform_mtbf`` to their
+        children so nested risk-weighting survives wrapping.
+        """
+        return (
+            self.write_time(data_bytes, node_count),
+            self.read_time(data_bytes, node_count),
+        )
 
     # ------------------------------------------------------------------ #
     # Shared validation helper

@@ -51,6 +51,12 @@ Strategy advisor: numeric period optimization and regime maps::
     python -m repro.cli optimize map --nodes 1000 100000 \
         --node-mtbf-years 5 50 --workers 2 --cache-dir ./regime-cache \
         --resume --json regime.json
+    # Storage axis instead of scalar C: compare named checkpoint-storage
+    # stacks (inline JSON trees or @file.json), lowered per cell:
+    python -m repro.cli optimize map --nodes 1000 100000 \
+        --memory-per-node 64e9 \
+        --storage 'pfs={"kind": "remote-pfs", "params": {"write_bandwidth": 1e11}}' \
+        --storage 'buddy={"kind": "buddy", "params": {"link_bandwidth": 1e10}}'
 
 Advisor service: the optimizer behind an HTTP API (stdlib only)::
 
@@ -472,6 +478,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="ABFT slowdown factors",
     )
     optimize_map.add_argument(
+        "--storage",
+        action="append",
+        default=None,
+        metavar="LABEL=TREE",
+        help=(
+            "add a named checkpoint-storage stack as the third axis instead "
+            "of --checkpoint: LABEL={\"kind\": ..., \"params\": {...}} "
+            "(inline JSON) or LABEL=@file.json; repeatable, each label "
+            "becomes one axis value, lowered into effective (C, R) per cell"
+        ),
+    )
+    optimize_map.add_argument(
+        "--memory-per-node",
+        type=float,
+        default=0.0,
+        metavar="BYTES",
+        help=(
+            "checkpointed bytes per node for --storage cells (total data "
+            "scales weakly: memory_per_node x nodes)"
+        ),
+    )
+    optimize_map.add_argument(
         "--protocols",
         type=str,
         nargs="+",
@@ -687,7 +715,9 @@ def _run_scenario_list(*, as_json: bool = False) -> int:
         registry_catalog,
         resolve_failure_model,
         resolve_protocol,
+        resolve_storage,
         protocol_names,
+        storage_names,
         vectorized_law_names,
         vectorized_protocol_names,
     )
@@ -706,7 +736,17 @@ def _run_scenario_list(*, as_json: bool = False) -> int:
         entry = resolve_protocol(name)
         aliases = f" (aliases: {', '.join(entry.aliases)})" if entry.aliases else ""
         backends = "event+vectorized" if entry.has_vectorized else "event"
-        print(f"  {name}{aliases} [backends: {backends}]")
+        storage = "any registered stack" if entry.storage else "none"
+        print(f"  {name}{aliases} [backends: {backends}; storage: {storage}]")
+    print("registered storage stacks (scenario 'storage.kind'):")
+    for name in storage_names():
+        entry = resolve_storage(name)
+        aliases = f" (aliases: {', '.join(entry.aliases)})" if entry.aliases else ""
+        nested = (
+            f" [nested media: {', '.join(entry.nested)}]" if entry.nested else ""
+        )
+        lowering = "" if entry.analytical else " [MTBF-sensitive lowering]"
+        print(f"  {name}{aliases}{nested}{lowering}")
     print("registered failure models:")
     for name in failure_model_names():
         entry = resolve_failure_model(name)
@@ -981,6 +1021,37 @@ def _run_optimize_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_storage_stacks(entries: Sequence[str]):
+    """Parse repeated ``--storage LABEL=TREE`` flags into (label, tree) pairs.
+
+    ``TREE`` is an inline JSON ``{"kind", "params"}`` object, or ``@path``
+    naming a JSON file holding one (the scenario-file storage section
+    verbatim, so stacks move freely between scenario specs and maps).
+    """
+    import json
+
+    stacks = []
+    for entry in entries:
+        label, sep, tree_text = entry.partition("=")
+        if not sep or not label:
+            raise ValueError(
+                f"--storage expects LABEL=TREE, got {entry!r}"
+            )
+        tree_text = tree_text.strip()
+        if tree_text.startswith("@"):
+            from pathlib import Path
+
+            tree_text = Path(tree_text[1:]).read_text(encoding="utf-8")
+        try:
+            tree = json.loads(tree_text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"--storage {label}: tree is not valid JSON ({exc})"
+            ) from None
+        stacks.append((label.strip(), tree))
+    return stacks
+
+
 def _run_optimize_map(args: argparse.Namespace) -> int:
     from repro.optimize import RegimeMapSpec, compute_regime_map
     from repro.utils.units import YEAR
@@ -988,6 +1059,9 @@ def _run_optimize_map(args: argparse.Namespace) -> int:
     kwargs = {}
     if args.protocols is not None:
         kwargs["protocols"] = tuple(args.protocols)
+    if args.storage:
+        kwargs["storage_stacks"] = _parse_storage_stacks(args.storage)
+        kwargs["memory_per_node"] = args.memory_per_node
     spec = RegimeMapSpec(
         node_counts=tuple(args.nodes),
         node_mtbf_values=tuple(y * YEAR for y in args.node_mtbf_years),

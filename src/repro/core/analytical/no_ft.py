@@ -26,7 +26,8 @@ __all__ = ["NoFaultToleranceModel"]
 
 
 @register_protocol(
-    "NoFT", kind="model", aliases=("none", "no-ft", "restart"), paper=False
+    "NoFT", kind="model", aliases=("none", "no-ft", "restart"), paper=False,
+    storage=False
 )
 class NoFaultToleranceModel(AnalyticalModel):
     """Expected completion time with restart-from-scratch on every failure."""

@@ -26,6 +26,8 @@ from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from repro.checkpointing.cost_model import CheckpointCostModel, CheckpointCosts
+from repro.checkpointing.stack import StorageStack
+from repro.checkpointing.storage import CheckpointStorage
 from repro.failures.platform import Platform
 from repro.utils.validation import require_non_negative, require_positive
 
@@ -42,7 +44,18 @@ class ResilienceParameters:
         Platform MTBF ``mu`` in seconds.
     costs:
         Checkpoint / recovery / downtime costs (see
-        :class:`~repro.checkpointing.cost_model.CheckpointCosts`).
+        :class:`~repro.checkpointing.cost_model.CheckpointCosts`).  May be
+        omitted when ``storage`` is given; with both, ``costs`` contributes
+        only its ``library_fraction`` and ``downtime`` while ``C``/``R``
+        come from the storage lowering.
+    storage:
+        Optional :class:`~repro.checkpointing.stack.StorageStack`.  When
+        set, the stack is *lowered* here, once, to the scalar ``(C, R)``
+        every downstream consumer reads (``full_checkpoint`` /
+        ``full_recovery``), so schedule compilers, both Monte-Carlo
+        engines, closed forms and the optimizer run storage-stack
+        protocols unchanged.  Excluded from equality: two parameter sets
+        lowering to the same scalars behave identically everywhere.
     abft_overhead:
         ``phi >= 1``: multiplicative slowdown of ABFT-protected computation.
     abft_reconstruction:
@@ -66,13 +79,30 @@ class ResilienceParameters:
     """
 
     platform_mtbf: float
-    costs: CheckpointCosts
+    costs: Optional[CheckpointCosts] = None
     abft_overhead: float = 1.03
     abft_reconstruction: float = 2.0
     remainder_recovery: Optional[float] = field(default=None)
+    storage: Optional[StorageStack] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         require_positive(self.platform_mtbf, "platform_mtbf")
+        if self.storage is not None:
+            # Lower the storage stack to the scalar (C, R) once, here, so
+            # everything downstream keeps reading plain costs.  rho and D
+            # are not storage properties; carry them over from the seed
+            # costs when given (paper defaults otherwise).
+            base = self.costs
+            rho = base.library_fraction if base is not None else 0.8
+            downtime = base.downtime if base is not None else 60.0
+            checkpoint, recovery = self.storage.lowered_costs(self.platform_mtbf)
+            object.__setattr__(
+                self, "costs", CheckpointCosts(checkpoint, recovery, rho, downtime)
+            )
+        elif self.costs is None:
+            raise ValueError(
+                "ResilienceParameters needs either costs or a storage stack"
+            )
         if self.abft_overhead < 1.0:
             raise ValueError(
                 f"abft_overhead (phi) must be >= 1, got {self.abft_overhead}"
@@ -199,13 +229,73 @@ class ResilienceParameters:
             remainder_recovery=remainder_recovery,
         )
 
+    @classmethod
+    def from_storage(
+        cls,
+        *,
+        platform_mtbf: float,
+        storage,
+        data_bytes: float = 0.0,
+        node_count: int = 1,
+        downtime: float = 60.0,
+        library_fraction: float = 0.8,
+        abft_overhead: float = 1.03,
+        abft_reconstruction: float = 2.0,
+        remainder_recovery: Optional[float] = None,
+    ) -> "ResilienceParameters":
+        """Build parameters from a checkpoint-storage stack.
+
+        ``storage`` is either a ready
+        :class:`~repro.checkpointing.stack.StorageStack` (then
+        ``data_bytes``/``node_count`` must be left at their defaults) or a
+        bare :class:`~repro.checkpointing.storage.CheckpointStorage`
+        medium, which is bound to ``data_bytes`` over ``node_count`` nodes
+        here.
+        """
+        if isinstance(storage, CheckpointStorage):
+            stack = StorageStack(storage, data_bytes, node_count)
+        elif isinstance(storage, StorageStack):
+            if data_bytes or node_count != 1:
+                raise ValueError(
+                    "data_bytes/node_count are already bound by the "
+                    "StorageStack; pass a bare CheckpointStorage to bind "
+                    "them here"
+                )
+            stack = storage
+        else:
+            raise ValueError(
+                "storage must be a CheckpointStorage or StorageStack, "
+                f"got {type(storage).__name__}"
+            )
+        seed_costs = CheckpointCosts(0.0, 0.0, library_fraction, downtime)
+        return cls(
+            platform_mtbf=platform_mtbf,
+            costs=seed_costs,
+            abft_overhead=abft_overhead,
+            abft_reconstruction=abft_reconstruction,
+            remainder_recovery=remainder_recovery,
+            storage=stack,
+        )
+
     def with_mtbf(self, platform_mtbf: float) -> "ResilienceParameters":
-        """Return a copy with a different platform MTBF (sweep helper)."""
+        """Return a copy with a different platform MTBF (sweep helper).
+
+        With a storage stack attached the copy re-lowers it at the new
+        MTBF, so risk-weighted media stay honest across an MTBF sweep.
+        """
         return replace(self, platform_mtbf=platform_mtbf)
 
     def with_costs(self, costs: CheckpointCosts) -> "ResilienceParameters":
-        """Return a copy with different checkpoint costs (sweep helper)."""
-        return replace(self, costs=costs)
+        """Return a copy with different checkpoint costs (sweep helper).
+
+        Detaches any storage stack: explicit costs win over the lowering
+        (otherwise ``__post_init__`` would immediately overwrite them).
+        """
+        return replace(self, costs=costs, storage=None)
+
+    def with_storage(self, storage: Optional[StorageStack]) -> "ResilienceParameters":
+        """Return a copy lowered from ``storage`` (keeps rho / downtime)."""
+        return replace(self, storage=storage)
 
     def with_abft(
         self,

@@ -33,7 +33,9 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.application.workload import ApplicationWorkload
+from repro.checkpointing.stack import StorageStack
 from repro.core.parameters import ResilienceParameters
+from repro.obs import log
 from repro.failures.base import FailureModel
 from repro.failures.exponential import ExponentialFailureModel
 from repro.failures.timeline import FailureTimeline
@@ -57,6 +59,24 @@ __all__ = ["ProtocolSimulator", "SimulationHorizonExceeded"]
 
 #: Categories used when a restart sequence is interrupted mid-way.
 RestartStages = Sequence[tuple[str, float]]
+
+
+def _note_scalar_cost_api(simulator: str) -> None:
+    """Emit the one structured note about the legacy scalar-cost API.
+
+    Constructing a simulator from bare ``checkpoint``/``recovery`` scalars
+    keeps working (it is exactly a flat storage stack), but the storage
+    axis is the first-class spelling now.  One deduplicated ``obs.log``
+    note -- counted in ``repro_log_events_total`` on every construction,
+    printed once per process -- instead of a ``DeprecationWarning`` spray.
+    """
+    log(
+        "note",
+        "scalar-cost-api",
+        dedupe="scalar-cost-api",
+        simulator=simulator,
+        hint="pass storage=StorageStack(...) or parameters.with_storage(...)",
+    )
 
 
 class ProtocolSimulator:
@@ -83,10 +103,23 @@ class ProtocolSimulator:
         Safety cap: the simulation is truncated once the makespan exceeds
         ``max_slowdown * T0`` (the trace is flagged ``truncated=True`` in its
         metadata and its waste is effectively 1).
+    storage:
+        Optional :class:`~repro.checkpointing.stack.StorageStack`.  When
+        given, the parameters are re-lowered from it
+        (``parameters.with_storage(storage)``), so the protocol checkpoints
+        at the stack's effective write/read costs.  When neither this nor
+        ``parameters.storage`` is set, the simulator runs on the legacy
+        scalar costs -- exactly an implicit flat storage -- and a single
+        deduplicated ``obs.log`` note records the legacy-API use.
     """
 
     #: Human-readable protocol name (set by subclasses).
     name: str = "protocol"
+
+    #: Whether the protocol writes checkpoints at all.  NoFT sets this to
+    #: ``False``: it neither accepts a storage stack nor triggers the
+    #: legacy scalar-cost note.
+    supports_storage: bool = True
 
     def __init__(
         self,
@@ -96,9 +129,19 @@ class ProtocolSimulator:
         failure_model: Optional["FailureModel"] = None,
         record_events: bool = False,
         max_slowdown: float = 1e4,
+        storage: Optional[StorageStack] = None,
     ) -> None:
         if max_slowdown <= 1.0:
             raise ValueError(f"max_slowdown must be > 1, got {max_slowdown}")
+        if storage is not None:
+            if not self.supports_storage:
+                raise ValueError(
+                    f"{type(self).__name__} does not checkpoint and "
+                    "accepts no storage stack"
+                )
+            parameters = parameters.with_storage(storage)
+        elif parameters.storage is None and self.supports_storage:
+            _note_scalar_cost_api(type(self).__name__)
         self._params = parameters
         self._workload = workload
         self._failure_model = failure_model

@@ -28,6 +28,7 @@ from typing import Optional
 
 from repro.application.workload import ApplicationWorkload
 from repro.core.analytical.young_daly import optimal_period
+from repro.checkpointing.stack import StorageStack
 from repro.core.parameters import ResilienceParameters
 from repro.core.protocols.base import ProtocolSimulator
 from repro.core.registry import register_protocol
@@ -184,6 +185,7 @@ class BiPeriodicCkptSimulator(ProtocolSimulator):
         failure_model: Optional[FailureModel] = None,
         record_events: bool = False,
         max_slowdown: float = 1e4,
+        storage: Optional[StorageStack] = None,
     ) -> None:
         super().__init__(
             parameters,
@@ -191,6 +193,7 @@ class BiPeriodicCkptSimulator(ProtocolSimulator):
             failure_model=failure_model,
             record_events=record_events,
             max_slowdown=max_slowdown,
+            storage=storage,
         )
         self._general_period = general_period
         self._library_period = library_period

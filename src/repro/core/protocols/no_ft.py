@@ -33,7 +33,7 @@ __all__ = [
 ]
 
 
-@register_protocol("NoFT", kind="schedule", paper=False)
+@register_protocol("NoFT", kind="schedule", paper=False, storage=False)
 def compile_no_ft_schedule(
     parameters: ResilienceParameters, workload: ApplicationWorkload
 ) -> Schedule:
@@ -60,35 +60,20 @@ def compile_no_ft_schedule(
 
 
 @register_protocol(
-    "NoFT", kind="simulator", aliases=("none", "no-ft", "restart"), paper=False
+    "NoFT", kind="simulator", aliases=("none", "no-ft", "restart"), paper=False,
+    storage=False
 )
 class NoFaultToleranceSimulator(ProtocolSimulator):
     """Simulate an execution with no protection at all."""
 
     name = "NoFT"
-
-    def __init__(
-        self,
-        parameters: ResilienceParameters,
-        workload: ApplicationWorkload,
-        *,
-        failure_model: Optional[FailureModel] = None,
-        record_events: bool = False,
-        max_slowdown: float = 1e4,
-    ) -> None:
-        super().__init__(
-            parameters,
-            workload,
-            failure_model=failure_model,
-            record_events=record_events,
-            max_slowdown=max_slowdown,
-        )
+    supports_storage = False
 
     def compile_schedule(self) -> Schedule:
         return compile_no_ft_schedule(self._params, self._workload)
 
 
-@register_protocol("NoFT", kind="vectorized", paper=False)
+@register_protocol("NoFT", kind="vectorized", paper=False, storage=False)
 class NoFaultToleranceVectorized:
     """Across-trials engine for NoFT under any vectorized failure law.
 

@@ -14,6 +14,7 @@ from typing import Optional
 
 from repro.application.workload import ApplicationWorkload
 from repro.core.analytical.young_daly import optimal_period
+from repro.checkpointing.stack import StorageStack
 from repro.core.parameters import ResilienceParameters
 from repro.core.protocols.base import ProtocolSimulator
 from repro.core.registry import register_protocol
@@ -114,6 +115,7 @@ class PurePeriodicCkptSimulator(ProtocolSimulator):
         failure_model: Optional[FailureModel] = None,
         record_events: bool = False,
         max_slowdown: float = 1e4,
+        storage: Optional[StorageStack] = None,
     ) -> None:
         super().__init__(
             parameters,
@@ -121,6 +123,7 @@ class PurePeriodicCkptSimulator(ProtocolSimulator):
             failure_model=failure_model,
             record_events=record_events,
             max_slowdown=max_slowdown,
+            storage=storage,
         )
         self._explicit_period = period
         self._period_formula = period_formula

@@ -40,19 +40,25 @@ from typing import (
 __all__ = [
     "UnknownProtocolError",
     "UnknownFailureModelError",
+    "UnknownStorageError",
     "ProtocolEntry",
     "FailureModelEntry",
+    "StorageEntry",
     "register_protocol",
     "register_failure_model",
+    "register_storage",
     "protocol_names",
     "vectorized_protocol_names",
     "failure_model_names",
     "vectorized_law_names",
     "vectorized_law_classes",
+    "storage_names",
     "registry_catalog",
     "resolve_protocol",
     "resolve_failure_model",
+    "resolve_storage",
     "create_failure_model",
+    "build_storage",
     "resolve",
     "ResolvedProtocol",
     "PROTOCOL_PAIRS",
@@ -110,6 +116,18 @@ class UnknownFailureModelError(KeyError, ValueError):
         return self.args[0]
 
 
+class UnknownStorageError(KeyError, ValueError):
+    """An unregistered checkpoint-storage name was looked up."""
+
+    def __init__(self, name: object, known: Tuple[str, ...] = ()) -> None:
+        super().__init__(_unknown_message("storage", name, known))
+        self.name = name
+        self.known = known
+
+    def __str__(self) -> str:
+        return self.args[0]
+
+
 # ---------------------------------------------------------------------- #
 # Entries
 # ---------------------------------------------------------------------- #
@@ -144,6 +162,11 @@ class ProtocolEntry:
     #: ``tunable=`` option).  ``None`` means "introspect the model
     #: constructor"; see :attr:`period_parameters`.
     tunable: Optional[Tuple[str, ...]] = None
+    #: Whether the protocol checkpoints at all and therefore supports the
+    #: storage axis (every registered storage stack).  The NoFT baseline
+    #: registers with ``storage=False``; its catalog entry reports an empty
+    #: ``storage_stacks`` list.
+    storage: bool = True
 
     @property
     def has_vectorized(self) -> bool:
@@ -223,10 +246,33 @@ class FailureModelEntry:
         return self.cls(mtbf, **params)
 
 
+@dataclass
+class StorageEntry:
+    """One registered checkpoint-storage medium.
+
+    ``analytical`` records whether the medium's scalar lowering is *exact*
+    for the paper's waste model -- flat media and deterministic composites
+    lower to the very ``(C, R)`` a flat run would use, while risk-weighted
+    media (buddy checkpointing with a fallback level) lower to an
+    expectation that the closed forms only approximate, so Monte-Carlo
+    refinement is advised.  ``nested`` names the constructor parameters
+    that are themselves storage media; :func:`build_storage` recurses into
+    them when building a stack from spec data.
+    """
+
+    name: str
+    cls: type
+    aliases: Tuple[str, ...] = ()
+    analytical: bool = True
+    nested: Tuple[str, ...] = ()
+
+
 _PROTOCOLS: Dict[str, ProtocolEntry] = {}
 _PROTOCOL_LOOKUP: Dict[str, str] = {}  # casefolded name/alias -> canonical
 _FAILURE_MODELS: Dict[str, FailureModelEntry] = {}
 _FAILURE_LOOKUP: Dict[str, str] = {}
+_STORAGES: Dict[str, StorageEntry] = {}
+_STORAGE_LOOKUP: Dict[str, str] = {}
 
 _builtins_loaded = False
 
@@ -242,6 +288,7 @@ def _ensure_builtins() -> None:
     if _builtins_loaded:
         return
     _builtins_loaded = True
+    import repro.checkpointing  # noqa: F401  (registers the storage media)
     import repro.core.analytical  # noqa: F401  (registers the models)
     import repro.core.protocols  # noqa: F401  (registers the simulators)
     import repro.failures  # noqa: F401  (registers the failure models)
@@ -270,6 +317,7 @@ def register_protocol(
     aliases: Tuple[str, ...] = (),
     paper: bool = True,
     tunable: Optional[Tuple[str, ...]] = None,
+    storage: bool = True,
 ) -> Callable[[T], T]:
     """Class decorator registering an analytical model or a simulator.
 
@@ -298,6 +346,9 @@ def register_protocol(
         -- any keyword-only ``period`` / ``*_period`` parameter -- so a newly
         registered protocol is optimizable without further wiring; pass an
         explicit tuple (possibly empty) to override the discovery.
+    storage:
+        Whether the protocol writes checkpoints and therefore supports the
+        storage axis (default ``True``; the NoFT baseline passes ``False``).
 
     Examples
     --------
@@ -319,6 +370,7 @@ def register_protocol(
         else:
             entry.aliases = tuple(dict.fromkeys((*entry.aliases, *aliases)))
             entry.paper = entry.paper and paper
+        entry.storage = entry.storage and storage
         if tunable is not None:
             entry.tunable = tuple(tunable)
         if kind == "model":
@@ -366,6 +418,48 @@ def register_failure_model(
     return decorator
 
 
+def register_storage(
+    name: str,
+    *,
+    aliases: Tuple[str, ...] = (),
+    analytical: bool = True,
+    nested: Tuple[str, ...] = (),
+) -> Callable[[T], T]:
+    """Class decorator registering a checkpoint-storage medium.
+
+    Parameters
+    ----------
+    name:
+        Canonical storage name used in scenario specs and on the CLI.
+    aliases:
+        Alternative lookup names (case-insensitive).
+    analytical:
+        Whether the medium's scalar lowering is exact for the closed-form
+        waste models (``False`` for risk-weighted approximations such as
+        buddy checkpointing with a fallback level -- Monte-Carlo refinement
+        is advised there).
+    nested:
+        Constructor parameter names whose values are themselves storage
+        media; :func:`build_storage` recurses into them, so composites
+        (multi-level, incremental, buddy-with-fallback) are expressible as
+        nested ``{"kind": ..., "params": {...}}`` trees in scenario JSON.
+    """
+
+    def decorator(cls: T) -> T:
+        entry = StorageEntry(
+            name=name,
+            cls=cls,
+            aliases=tuple(aliases),
+            analytical=bool(analytical),
+            nested=tuple(nested),
+        )
+        _STORAGES[name] = entry
+        _register_lookup(_STORAGE_LOOKUP, name, entry.aliases, "storage")
+        return cls
+
+    return decorator
+
+
 # ---------------------------------------------------------------------- #
 # Lookup
 # ---------------------------------------------------------------------- #
@@ -395,6 +489,66 @@ def failure_model_names() -> Tuple[str, ...]:
     return tuple(_FAILURE_MODELS)
 
 
+def storage_names() -> Tuple[str, ...]:
+    """Canonical storage-medium names, in registration order."""
+    _ensure_builtins()
+    return tuple(_STORAGES)
+
+
+def resolve_storage(name: str) -> StorageEntry:
+    """Look a storage medium up by canonical name or alias."""
+    _ensure_builtins()
+    canonical = _STORAGE_LOOKUP.get(str(name).casefold())
+    if canonical is None:
+        raise UnknownStorageError(name, storage_names())
+    return _STORAGES[canonical]
+
+
+def build_storage(data: Any, *, path: str = "storage") -> Any:
+    """Build a (possibly nested) storage medium from plain spec data.
+
+    ``data`` is a ``{"kind": <name>, "params": {...}}`` mapping; parameters
+    a medium registered as ``nested`` are themselves such mappings and are
+    built recursively, so a whole hierarchy (node-local NVRAM under a
+    multi-level stack under incremental checkpointing) round-trips through
+    scenario JSON.  Errors are ``ValueError`` with messages prefixed by the
+    dotted ``path`` of the offending field, ready to be wrapped in a
+    :class:`~repro.scenario.spec.ScenarioSpecError`.
+    """
+    if not isinstance(data, Mapping):
+        raise ValueError(
+            f"{path}: expected a mapping with a 'kind' key, "
+            f"got {type(data).__name__}"
+        )
+    unknown = set(data) - {"kind", "params"}
+    if unknown:
+        raise ValueError(
+            f"{path}: unknown keys {sorted(unknown)}; allowed: ['kind', 'params']"
+        )
+    kind = data.get("kind")
+    if not isinstance(kind, str) or not kind:
+        raise ValueError(f"{path}.kind: expected a storage kind string")
+    try:
+        entry = resolve_storage(kind)
+    except UnknownStorageError as exc:
+        raise ValueError(f"{path}.kind: {exc}") from exc
+    params = data.get("params", {})
+    if not isinstance(params, Mapping):
+        raise ValueError(
+            f"{path}.params: expected a mapping, got {type(params).__name__}"
+        )
+    kwargs: Dict[str, Any] = {}
+    for key, value in params.items():
+        if key in entry.nested and value is not None:
+            kwargs[str(key)] = build_storage(value, path=f"{path}.params.{key}")
+        else:
+            kwargs[str(key)] = value
+    try:
+        return entry.cls(**kwargs)
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"{path}.params: {exc}") from exc
+
+
 def vectorized_law_names() -> Tuple[str, ...]:
     """Canonical names of failure laws the vectorized engine can sample.
 
@@ -421,6 +575,7 @@ def registry_catalog() -> Dict[str, Any]:
     _ensure_builtins()
     from repro.simulation.vectorized import ENGINE_BACKENDS
 
+    all_storages = list(storage_names())
     protocols = []
     for name in protocol_names():
         entry = resolve_protocol(name)
@@ -434,6 +589,9 @@ def registry_catalog() -> Dict[str, Any]:
                 ),
                 "has_schedule": entry.has_schedule,
                 "period_parameters": list(entry.period_parameters),
+                # Storage stacks the protocol accepts: any registered medium
+                # for checkpointing protocols, nothing for NoFT.
+                "storage_stacks": list(all_storages) if entry.storage else [],
             }
         )
     failure_models = []
@@ -448,9 +606,21 @@ def registry_catalog() -> Dict[str, Any]:
                 ),
             }
         )
+    storages = []
+    for name in storage_names():
+        entry = resolve_storage(name)
+        storages.append(
+            {
+                "name": entry.name,
+                "aliases": list(entry.aliases),
+                "analytical": bool(entry.analytical),
+                "nested": list(entry.nested),
+            }
+        )
     return {
         "protocols": protocols,
         "failure_models": failure_models,
+        "storages": storages,
         "engine_backends": list(ENGINE_BACKENDS),
         "vectorized_protocols": list(vectorized_protocol_names()),
         "vectorized_laws": list(vectorized_law_names()),

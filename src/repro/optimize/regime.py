@@ -9,7 +9,10 @@ data: a grid over
 * **node count** ``n`` (the platform MTBF is the per-node MTBF divided by
   ``n``, the paper's weak-scaling law),
 * **per-node MTBF** ``mu_ind``,
-* **checkpoint cost** ``C`` (with ``R = C`` unless overridden), and
+* **checkpoint cost** ``C`` (with ``R = C`` unless overridden) *or* a set of
+  named checkpoint-storage stacks (``storage_stacks``), in which case every
+  cell lowers its stack into effective ``(C, R)`` for that cell's data
+  volume, node count and platform MTBF, and
 * **ABFT overhead** ``phi``
 
 where every cell optimizes every registered protocol numerically
@@ -42,8 +45,9 @@ from repro.campaign.executor import (
     ParallelMonteCarloExecutor,
     ShardedVectorizedExecutor,
 )
+from repro.checkpointing.stack import StorageStack
 from repro.core.parameters import ResilienceParameters
-from repro.core.registry import resolve_protocol
+from repro.core.registry import build_storage, resolve_protocol
 from repro.optimize.period import optimize_period
 from repro.optimize.refine import simulate_at_periods
 from repro.simulation.vectorized import ENGINE_BACKENDS
@@ -87,6 +91,32 @@ def _short(name: str) -> str:
     return _SHORT_NAMES.get(name, name[:12])
 
 
+def _freeze_storage_stacks(stacks: Any) -> Tuple[Tuple[str, Any], ...]:
+    """Normalise the storage axis into hashable ``(label, frozen-tree)`` pairs.
+
+    Accepts a mapping ``label -> tree`` or a sequence of ``(label, tree)``
+    pairs (the serialized form); every tree is probed through
+    :func:`~repro.core.registry.build_storage` so a misspelt kind or bad
+    parameter fails at spec construction, not mid-map.
+    """
+    from repro.scenario.spec import _freeze, _thaw
+
+    items = stacks.items() if isinstance(stacks, Mapping) else stacks
+    frozen: list[Tuple[str, Any]] = []
+    seen: set[str] = set()
+    for item in items:
+        label, tree = item
+        label = str(label)
+        if label in seen:
+            raise ValueError(f"duplicate storage stack label {label!r}")
+        seen.add(label)
+        path = f"storage_stacks[{label}]"
+        normalised = _thaw(_freeze(tree, path))
+        build_storage(normalised, path=path)
+        frozen.append((label, _freeze(normalised, path)))
+    return tuple(frozen)
+
+
 @dataclass(frozen=True)
 class RegimeMapSpec:
     """Declarative description of one regime map.
@@ -107,6 +137,15 @@ class RegimeMapSpec:
         fraction and memory fraction ``rho``.
     downtime / recovery / abft_reconstruction:
         Remaining platform scalars; ``recovery=None`` uses ``R = C``.
+    storage_stacks / memory_per_node:
+        Optional storage axis.  ``storage_stacks`` names checkpoint-storage
+        stacks (label to ``{"kind", "params"}`` tree, as in scenario JSON);
+        when non-empty it *replaces* the ``checkpoint_costs`` axis: the
+        third cell coordinate becomes the stack label, and each cell lowers
+        its stack into effective ``(C, R)`` for ``memory_per_node * nodes``
+        bytes across ``nodes`` nodes at that cell's platform MTBF (weak
+        scaling: the protected data grows with the machine).  ``recovery``
+        is ignored in storage mode -- ``R`` comes from the stack.
     simulate / simulation_runs / seed / backend:
         Validate each cell's ranking with Monte-Carlo campaigns at the
         numerically optimal periods.  ``backend`` follows the engine
@@ -128,6 +167,8 @@ class RegimeMapSpec:
     downtime: float = 60.0
     recovery: Optional[float] = None
     abft_reconstruction: float = 2.0
+    storage_stacks: Tuple[Tuple[str, Any], ...] = ()
+    memory_per_node: float = 0.0
     simulate: bool = False
     simulation_runs: int = 100
     seed: int = 2014
@@ -163,6 +204,17 @@ class RegimeMapSpec:
             raise ValueError("checkpoint_costs must be non-negative")
         if any(p < 1.0 for p in self.abft_overheads):
             raise ValueError("abft_overheads (phi) must be >= 1")
+        object.__setattr__(
+            self, "storage_stacks", _freeze_storage_stacks(self.storage_stacks)
+        )
+        object.__setattr__(self, "memory_per_node", float(self.memory_per_node))
+        if self.memory_per_node < 0:
+            raise ValueError("memory_per_node must be non-negative")
+        if self.storage_stacks and self.checkpoint_costs != (float(10 * MINUTE),):
+            raise ValueError(
+                "checkpoint_costs and storage_stacks are mutually exclusive: "
+                "the storage axis replaces the checkpoint-cost axis"
+            )
         # Canonicalize protocol spellings up front: unknown names raise the
         # registry's nearest-match error before any cell is evaluated.
         object.__setattr__(
@@ -183,28 +235,84 @@ class RegimeMapSpec:
             raise ValueError("max_slowdown must be > 1")
 
     # ------------------------------------------------------------------ #
-    def coordinates(self) -> Iterator[Tuple[int, float, float, float]]:
-        """Cell coordinates ``(nodes, node_mtbf, checkpoint, phi)``, nodes-major."""
+    @property
+    def storage_mode(self) -> bool:
+        """Whether the third axis is storage stacks instead of scalar ``C``."""
+        return bool(self.storage_stacks)
+
+    @property
+    def storage_labels(self) -> Tuple[str, ...]:
+        """The storage-axis labels, in axis order."""
+        return tuple(label for label, _ in self.storage_stacks)
+
+    def storage_tree(self, label: str) -> Dict[str, Any]:
+        """The ``{"kind", "params"}`` tree of one named stack (thawed)."""
+        from repro.scenario.spec import _thaw
+
+        for name, tree in self.storage_stacks:
+            if name == label:
+                return _thaw(tree)
+        raise KeyError(
+            f"unknown storage stack {label!r}; "
+            f"expected one of {list(self.storage_labels)}"
+        )
+
+    def storage_stack_at(self, label: str, nodes: int) -> StorageStack:
+        """The concrete stack of one cell: label bound to the cell's scale."""
+        return StorageStack(
+            build_storage(self.storage_tree(label)),
+            data_bytes=self.memory_per_node * nodes,
+            node_count=int(nodes),
+        )
+
+    def coordinates(self) -> Iterator[Tuple[int, float, Any, float]]:
+        """Cell coordinates ``(nodes, node_mtbf, checkpoint, phi)``, nodes-major.
+
+        In storage mode the third coordinate is the storage label (a string)
+        rather than a scalar checkpoint cost.
+        """
+        third_axis: Tuple[Any, ...] = (
+            self.storage_labels if self.storage_mode else self.checkpoint_costs
+        )
         for nodes in self.node_counts:
             for node_mtbf in self.node_mtbf_values:
-                for checkpoint in self.checkpoint_costs:
+                for checkpoint in third_axis:
                     for phi in self.abft_overheads:
                         yield nodes, node_mtbf, checkpoint, phi
 
     @property
     def cell_count(self) -> int:
         """Number of grid cells."""
+        third = (
+            len(self.storage_stacks)
+            if self.storage_mode
+            else len(self.checkpoint_costs)
+        )
         return (
             len(self.node_counts)
             * len(self.node_mtbf_values)
-            * len(self.checkpoint_costs)
+            * third
             * len(self.abft_overheads)
         )
 
     def parameters_at(
-        self, nodes: int, node_mtbf: float, checkpoint: float, phi: float
+        self, nodes: int, node_mtbf: float, checkpoint: Any, phi: float
     ) -> ResilienceParameters:
-        """The parameter bundle of one cell."""
+        """The parameter bundle of one cell.
+
+        A string ``checkpoint`` is a storage label: the stack is lowered
+        into effective ``(C, R)`` at this cell's data volume, node count and
+        platform MTBF.
+        """
+        if isinstance(checkpoint, str):
+            return ResilienceParameters.from_storage(
+                platform_mtbf=node_mtbf / nodes,
+                storage=self.storage_stack_at(checkpoint, nodes),
+                downtime=self.downtime,
+                library_fraction=self.library_fraction,
+                abft_overhead=phi,
+                abft_reconstruction=self.abft_reconstruction,
+            )
         return ResilienceParameters.from_scalars(
             platform_mtbf=node_mtbf / nodes,
             checkpoint=checkpoint,
@@ -226,7 +334,7 @@ class RegimeMapSpec:
         return replace(self, **changes)
 
     def cell_key(
-        self, nodes: int, node_mtbf: float, checkpoint: float, phi: float
+        self, nodes: int, node_mtbf: float, checkpoint: Any, phi: float
     ) -> Dict[str, Any]:
         """Cache key of one cell (everything its value depends on)."""
         key: Dict[str, Any] = {
@@ -234,7 +342,6 @@ class RegimeMapSpec:
             "schema": REGIME_SCHEMA_VERSION,
             "nodes": int(nodes),
             "node_mtbf": float(node_mtbf),
-            "checkpoint": float(checkpoint),
             "abft_overhead": float(phi),
             # Order matters (it is the winner tie-break), so the key keeps
             # it: reordered protocol lists must not share cached cells.
@@ -247,6 +354,14 @@ class RegimeMapSpec:
             "abft_reconstruction": self.abft_reconstruction,
             "simulate": self.simulate,
         }
+        if isinstance(checkpoint, str):
+            # Storage cells key on the label *and* the stack's content, so
+            # renaming or retuning a stack never reuses a stale cell.
+            key["storage"] = checkpoint
+            key["storage_tree"] = self.storage_tree(checkpoint)
+            key["memory_per_node"] = float(self.memory_per_node)
+        else:
+            key["checkpoint"] = float(checkpoint)
         if self.simulate:
             key["simulation_runs"] = self.simulation_runs
             key["seed"] = self.seed
@@ -254,8 +369,13 @@ class RegimeMapSpec:
         return key
 
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-compatible form (embedded in the serialized map)."""
-        return {
+        """JSON-compatible form (embedded in the serialized map).
+
+        The storage axis is emitted as a list of ``[label, tree]`` pairs
+        (axis order matters for coordinates), and only when set, so legacy
+        scalar maps serialize byte-identically to before.
+        """
+        data: Dict[str, Any] = {
             "node_counts": list(self.node_counts),
             "node_mtbf_values": list(self.node_mtbf_values),
             "checkpoint_costs": list(self.checkpoint_costs),
@@ -273,10 +393,17 @@ class RegimeMapSpec:
             "backend": self.backend,
             "max_slowdown": self.max_slowdown,
         }
+        if self.storage_mode:
+            data["storage_stacks"] = [
+                [label, self.storage_tree(label)] for label in self.storage_labels
+            ]
+            data["memory_per_node"] = self.memory_per_node
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "RegimeMapSpec":
-        """Inverse of :meth:`to_dict`."""
+        """Inverse of :meth:`to_dict`; maps without a storage axis load as
+        scalar-checkpoint maps."""
         return cls(**{key: data[key] for key in data})
 
 
@@ -288,6 +415,10 @@ class RegimeCell:
     ``waste`` (model, at the numeric optimum), ``periods``, ``closed_form``,
     ``feasible`` and, on simulated maps, ``simulated_waste`` plus the
     campaign ``summary``.
+
+    On storage-axis maps ``storage`` holds the stack label and
+    ``checkpoint`` the *effective* lowered checkpoint cost of the cell (so
+    downstream tables and the service keep working on scalars).
     """
 
     nodes: int
@@ -298,6 +429,7 @@ class RegimeCell:
     results: Mapping[str, Mapping[str, Any]]
     winner: str
     margin: float
+    storage: Optional[str] = None
 
     def waste(self, protocol: str, *, simulated: Optional[bool] = None) -> float:
         """The decisive waste of one protocol in this cell.
@@ -314,9 +446,14 @@ class RegimeCell:
             return math.nan if value is None else float(value)
         return float(entry["waste"])
 
+    @property
+    def axis_value(self) -> Any:
+        """The cell's third coordinate: storage label or checkpoint cost."""
+        return self.storage if self.storage is not None else self.checkpoint
+
     def to_dict(self) -> Dict[str, Any]:
         """JSON-compatible form (non-finite margins map to ``None``)."""
-        return {
+        data = {
             "nodes": self.nodes,
             "node_mtbf": self.node_mtbf,
             "checkpoint": self.checkpoint,
@@ -326,11 +463,15 @@ class RegimeCell:
             "winner": self.winner,
             "margin": self.margin if math.isfinite(self.margin) else None,
         }
+        if self.storage is not None:
+            data["storage"] = self.storage
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "RegimeCell":
         """Inverse of :meth:`to_dict`."""
         margin = data.get("margin")
+        storage = data.get("storage")
         return cls(
             nodes=int(data["nodes"]),
             node_mtbf=float(data["node_mtbf"]),
@@ -340,6 +481,7 @@ class RegimeCell:
             results={str(k): dict(v) for k, v in data["results"].items()},
             winner=str(data["winner"]),
             margin=math.nan if margin is None else float(margin),
+            storage=None if storage is None else str(storage),
         )
 
 
@@ -358,22 +500,26 @@ class RegimeMap:
     cached_cells: int = 0
 
     # ------------------------------------------------------------------ #
-    def cell_index(self) -> Dict[Tuple[int, float, float, float], RegimeCell]:
-        """O(1) lookup table ``(nodes, node_mtbf, C, phi) -> cell``.
+    def cell_index(self) -> Dict[Tuple[int, float, Any, float], RegimeCell]:
+        """O(1) lookup table ``(nodes, node_mtbf, C-or-label, phi) -> cell``.
 
-        The advisor service's tier-2 surface queries corner cells per
-        request; a fresh dict per call keeps the dataclass frozen/hashable
-        while callers that care (the surface) build it once and keep it.
+        The third key component matches :meth:`RegimeMapSpec.coordinates`:
+        the storage label on storage-axis maps, the scalar checkpoint cost
+        otherwise.  The advisor service's tier-2 surface queries corner
+        cells per request; a fresh dict per call keeps the dataclass
+        frozen/hashable while callers that care (the surface) build it once
+        and keep it.
         """
         return {
-            (cell.nodes, cell.node_mtbf, cell.checkpoint, cell.abft_overhead): cell
+            (cell.nodes, cell.node_mtbf, cell.axis_value, cell.abft_overhead):
+            cell
             for cell in self.cells
         }
 
     def cell_at(
-        self, nodes: int, node_mtbf: float, checkpoint: float, phi: float
+        self, nodes: int, node_mtbf: float, checkpoint: Any, phi: float
     ) -> RegimeCell:
-        """The cell at one coordinate tuple."""
+        """The cell at one coordinate tuple (third slot: ``C`` or label)."""
         cell = self.cell_index().get((nodes, node_mtbf, checkpoint, phi))
         if cell is None:
             raise KeyError(
@@ -382,10 +528,10 @@ class RegimeMap:
             )
         return cell
 
-    def winners(self) -> Dict[Tuple[int, float, float, float], str]:
+    def winners(self) -> Dict[Tuple[int, float, Any, float], str]:
         """Map of cell coordinates to winning protocol."""
         return {
-            (cell.nodes, cell.node_mtbf, cell.checkpoint, cell.abft_overhead):
+            (cell.nodes, cell.node_mtbf, cell.axis_value, cell.abft_overhead):
             cell.winner
             for cell in self.cells
         }
@@ -410,17 +556,24 @@ class RegimeMap:
         """
         winners = self.winners()
         tables: list[Table] = []
-        for checkpoint in self.spec.checkpoint_costs:
+        third_axis: Tuple[Any, ...] = (
+            self.spec.storage_labels
+            if self.spec.storage_mode
+            else self.spec.checkpoint_costs
+        )
+        for checkpoint in third_axis:
             for phi in self.spec.abft_overheads:
                 headers = ["nodes \\ node-MTBF"] + [
                     f"{mtbf / YEAR:.3g}y" for mtbf in self.spec.node_mtbf_values
                 ]
+                slice_label = (
+                    f"storage = {checkpoint}"
+                    if isinstance(checkpoint, str)
+                    else f"C = {checkpoint / MINUTE:.3g} min"
+                )
                 table = Table(
                     headers,
-                    title=(
-                        f"winning protocol (C = {checkpoint / MINUTE:.3g} min, "
-                        f"phi = {phi:g})"
-                    ),
+                    title=f"winning protocol ({slice_label}, phi = {phi:g})",
                 )
                 for nodes in self.spec.node_counts:
                     row: list[Any] = [nodes]
@@ -442,11 +595,17 @@ class RegimeMap:
             "nodes",
             "node_mtbf_years",
             "platform_mtbf_minutes",
-            "checkpoint_minutes",
-            "phi",
-            "winner",
-            "margin",
         ]
+        if self.spec.storage_mode:
+            headers.append("storage")
+        headers.extend(
+            [
+                "checkpoint_minutes",
+                "phi",
+                "winner",
+                "margin",
+            ]
+        )
         headers.extend(f"waste[{name}]" for name in self.spec.protocols)
         headers.extend(f"period[{name}]" for name in self.spec.protocols)
         table = Table(headers, title="Regime map: minimal waste per protocol")
@@ -455,11 +614,17 @@ class RegimeMap:
                 cell.nodes,
                 cell.node_mtbf / YEAR,
                 cell.platform_mtbf / MINUTE,
-                cell.checkpoint / MINUTE,
-                cell.abft_overhead,
-                cell.winner,
-                cell.margin,
             ]
+            if self.spec.storage_mode:
+                row.append(cell.storage or "")
+            row.extend(
+                [
+                    cell.checkpoint / MINUTE,
+                    cell.abft_overhead,
+                    cell.winner,
+                    cell.margin,
+                ]
+            )
             row.extend(cell.waste(name) for name in self.spec.protocols)
             for name in self.spec.protocols:
                 periods = cell.results[name].get("periods") or {}
@@ -517,12 +682,17 @@ def _evaluate_cell(
     spec: RegimeMapSpec,
     nodes: int,
     node_mtbf: float,
-    checkpoint: float,
+    checkpoint: Any,
     phi: float,
     executor: ParallelMonteCarloExecutor,
     vector_executor: Optional[ShardedVectorizedExecutor] = None,
 ) -> Dict[str, Any]:
-    """Evaluate one cell into its cacheable plain-data form."""
+    """Evaluate one cell into its cacheable plain-data form.
+
+    ``checkpoint`` is the third coordinate: a scalar cost, or a storage
+    label whose stack is lowered through ``spec.parameters_at`` (the
+    recorded ``checkpoint`` is then the effective lowered cost).
+    """
     parameters = spec.parameters_at(nodes, node_mtbf, checkpoint, phi)
     workload = spec.workload()
     results: Dict[str, Dict[str, Any]] = {}
@@ -567,16 +737,21 @@ def _evaluate_cell(
     winner = min(spec.protocols, key=lambda name: (decisive(name),))
     others = sorted(decisive(name) for name in spec.protocols if name != winner)
     margin = (others[0] - decisive(winner)) if others else math.nan
-    return {
+    value: Dict[str, Any] = {
         "nodes": int(nodes),
         "node_mtbf": float(node_mtbf),
-        "checkpoint": float(checkpoint),
+        "checkpoint": float(parameters.full_checkpoint)
+        if isinstance(checkpoint, str)
+        else float(checkpoint),
         "abft_overhead": float(phi),
         "platform_mtbf": parameters.platform_mtbf,
         "results": results,
         "winner": winner,
         "margin": margin if math.isfinite(margin) else None,
     }
+    if isinstance(checkpoint, str):
+        value["storage"] = checkpoint
+    return value
 
 
 def compute_regime_map(
@@ -625,6 +800,7 @@ def compute_regime_map(
         else:
             cached_count += 1
         margin = value.get("margin")
+        storage = value.get("storage")
         cells.append(
             RegimeCell(
                 nodes=int(value["nodes"]),
@@ -637,6 +813,7 @@ def compute_regime_map(
                 },
                 winner=str(value["winner"]),
                 margin=math.nan if margin is None else float(margin),
+                storage=None if storage is None else str(storage),
             )
         )
     return RegimeMap(

@@ -39,6 +39,7 @@ from repro.scenario.spec import (
     ScenarioSpec,
     ScenarioSpecError,
     SimulationSpec,
+    StorageSpec,
     SweepSpec,
     WorkloadSpec,
 )
@@ -61,6 +62,7 @@ __all__ = [
     "ScenarioSpec",
     "ScenarioSpecError",
     "SimulationSpec",
+    "StorageSpec",
     "SweepSpec",
     "WorkloadSpec",
     "Scenario",

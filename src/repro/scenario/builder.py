@@ -25,6 +25,7 @@ from repro.scenario.spec import (
     ScenarioSpec,
     ScenarioSpecError,
     SimulationSpec,
+    StorageSpec,
     SweepSpec,
     WorkloadSpec,
     _freeze,
@@ -47,6 +48,7 @@ class Scenario:
     _platform: Optional[PlatformSpec] = None
     _workload: Optional[WorkloadSpec] = None
     _failures: FailureSpec = field(default_factory=FailureSpec)
+    _storage: Optional[StorageSpec] = None
     _sweep: SweepSpec = field(default_factory=SweepSpec)
     _simulation: SimulationSpec = field(default_factory=SimulationSpec)
     _model_params: Tuple[Tuple[str, Tuple[Tuple[str, Any], ...]], ...] = ()
@@ -135,6 +137,32 @@ class Scenario:
             ),
         )
 
+    def with_storage(
+        self,
+        kind: str,
+        *,
+        data_bytes: float = 0.0,
+        node_count: int = 1,
+        **params: Any,
+    ) -> "Scenario":
+        """Checkpoint on a registered storage stack instead of scalar costs.
+
+        E.g. ``with_storage("multi-level", data_bytes=64e12,
+        node_count=1000, local={"kind": "nvram", "params": {...}},
+        remote={"kind": "pfs", "params": {...}}, remote_fraction=0.3)``.
+        Nested media are plain ``{"kind", "params"}`` trees, exactly as in
+        the scenario JSON.  ``platform.checkpoint`` becomes optional.
+        """
+        return replace(
+            self,
+            _storage=StorageSpec(
+                kind=str(kind),
+                params=_freeze(params, "storage.params"),
+                data_bytes=float(data_bytes),
+                node_count=int(node_count),
+            ),
+        )
+
     def with_model_params(self, protocol: str, **options: Any) -> "Scenario":
         """Set analytical-model constructor options for one protocol.
 
@@ -207,6 +235,7 @@ class Scenario:
             platform=self._platform,
             workload=self._workload,
             failures=self._failures,
+            storage=self._storage,
             sweep=self._sweep,
             simulation=self._simulation,
             model_params=self._model_params,

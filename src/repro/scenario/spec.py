@@ -29,9 +29,11 @@ from pathlib import Path
 from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.application.workload import ApplicationWorkload
+from repro.checkpointing.stack import StorageStack
 from repro.core.parameters import ResilienceParameters
 from repro.core.registry import (
     ResolvedProtocol,
+    build_storage,
     create_failure_model,
     resolve,
     resolve_failure_model,
@@ -44,11 +46,21 @@ __all__ = [
     "FailureSpec",
     "PlatformSpec",
     "WorkloadSpec",
+    "StorageSpec",
     "SweepSpec",
     "SimulationSpec",
     "ScenarioSpec",
     "SCENARIO_SCHEMA",
+    "SCENARIO_SPEC_VERSION",
 ]
+
+#: Version of the scenario-file format.  Version 1 is the pre-storage
+#: layout; version 2 adds the optional top-level ``storage`` section (and
+#: makes ``platform.checkpoint`` optional when one is given).  Files
+#: without a ``version`` field are read as version 1 and re-serialize at
+#: the current version -- the formats are forward-compatible because every
+#: v2 addition is optional.
+SCENARIO_SPEC_VERSION = 2
 
 
 class ScenarioError(ValueError):
@@ -129,10 +141,15 @@ def _check_keys(
 #: rendered in EXPERIMENTS.md; the JSON layout mirrors it exactly.
 SCENARIO_SCHEMA: Dict[str, Dict[str, Tuple[str, bool]]] = {
     "": {
+        "version": (
+            f"spec format version (default 1; current {SCENARIO_SPEC_VERSION})",
+            False,
+        ),
         "name": ("string label of the scenario", False),
         "protocols": ("list of registered protocol names/aliases", False),
         "platform": ("object (see 'platform')", True),
         "workload": ("object (see 'workload')", True),
+        "storage": ("object (see 'storage')", False),
         "failures": ("object (see 'failures')", False),
         "sweep": ("object (see 'sweep')", False),
         "simulation": ("object (see 'simulation')", False),
@@ -144,7 +161,11 @@ SCENARIO_SCHEMA: Dict[str, Dict[str, Tuple[str, bool]]] = {
     },
     "platform": {
         "mtbf": ("platform MTBF mu in seconds (> 0)", True),
-        "checkpoint": ("full checkpoint cost C in seconds (>= 0)", True),
+        "checkpoint": (
+            "full checkpoint cost C in seconds (>= 0); required unless a "
+            "'storage' section lowers C from a storage stack",
+            False,
+        ),
         "recovery": ("full recovery cost R in seconds (default: C)", False),
         "downtime": ("downtime D in seconds (default 60)", False),
         "library_fraction": ("memory fraction rho in [0, 1] (default 0.8)", False),
@@ -156,6 +177,16 @@ SCENARIO_SCHEMA: Dict[str, Dict[str, Tuple[str, bool]]] = {
         "total_time": ("fault-free duration T0 in seconds (> 0)", True),
         "alpha": ("LIBRARY time fraction in [0, 1] (default 0.8)", False),
         "epochs": ("number of identical epochs (default 1)", False),
+    },
+    "storage": {
+        "kind": ("registered storage name/alias, e.g. 'multi-level'", True),
+        "params": (
+            "storage constructor parameters; nested media are "
+            "{'kind': ..., 'params': {...}} objects",
+            False,
+        ),
+        "data_bytes": ("checkpointed volume in bytes (default 0)", False),
+        "node_count": ("nodes writing/reading concurrently (default 1)", False),
     },
     "failures": {
         "model": ("registered failure-model name (default 'exponential')", False),
@@ -187,7 +218,7 @@ class PlatformSpec:
     """Platform and cost parameters (the paper's Section IV scalars)."""
 
     mtbf: float
-    checkpoint: float
+    checkpoint: Optional[float] = None
     recovery: Optional[float] = None
     downtime: float = 60.0
     library_fraction: float = 0.8
@@ -195,10 +226,35 @@ class PlatformSpec:
     abft_reconstruction: float = 2.0
     remainder_recovery: Optional[float] = None
 
-    def parameters(self, mtbf: Optional[float] = None) -> ResilienceParameters:
-        """The equivalent :class:`ResilienceParameters` bundle."""
+    def parameters(
+        self,
+        mtbf: Optional[float] = None,
+        *,
+        storage: Optional[StorageStack] = None,
+    ) -> ResilienceParameters:
+        """The equivalent :class:`ResilienceParameters` bundle.
+
+        With a ``storage`` stack, ``C``/``R`` are lowered from it (at the
+        effective MTBF) and :attr:`checkpoint`/:attr:`recovery` are unused.
+        """
+        mtbf_value = self.mtbf if mtbf is None else float(mtbf)
+        if storage is not None:
+            return ResilienceParameters.from_storage(
+                platform_mtbf=mtbf_value,
+                storage=storage,
+                downtime=self.downtime,
+                library_fraction=self.library_fraction,
+                abft_overhead=self.abft_overhead,
+                abft_reconstruction=self.abft_reconstruction,
+                remainder_recovery=self.remainder_recovery,
+            )
+        if self.checkpoint is None:
+            raise ScenarioSpecError(
+                "platform.checkpoint",
+                "required unless a 'storage' section is given",
+            )
         return ResilienceParameters.from_scalars(
-            platform_mtbf=self.mtbf if mtbf is None else float(mtbf),
+            platform_mtbf=mtbf_value,
             checkpoint=self.checkpoint,
             recovery=self.recovery,
             downtime=self.downtime,
@@ -212,7 +268,7 @@ class PlatformSpec:
     def _from_dict(cls, data: Mapping[str, Any], path: str) -> "PlatformSpec":
         schema = SCENARIO_SCHEMA["platform"]
         _check_keys(data, tuple(schema), [f for f, (_, r) in schema.items() if r], path)
-        optional_numbers = ("recovery", "remainder_recovery")
+        optional_numbers = ("checkpoint", "recovery", "remainder_recovery")
         values: Dict[str, Any] = {}
         for key, value in data.items():
             if key in optional_numbers and value is None:
@@ -269,6 +325,90 @@ class WorkloadSpec:
                 f"{path}.epochs", f"expected a positive integer, got {epochs!r}"
             )
         return cls(total_time=total_time, alpha=alpha, epochs=epochs)
+
+
+@dataclass(frozen=True)
+class StorageSpec:
+    """The checkpoint-storage stack: a registered medium plus its binding.
+
+    ``kind`` names a medium registered with
+    :func:`repro.core.registry.register_storage`; ``params`` are its
+    constructor parameters (nested media appear as ``{"kind": ...,
+    "params": {...}}`` sub-objects and are built recursively).  Stored as a
+    sorted tuple of ``(key, value)`` pairs like :class:`FailureSpec` so the
+    spec stays frozen and comparable.
+    """
+
+    kind: str
+    params: Tuple[Tuple[str, Any], ...] = ()
+    data_bytes: float = 0.0
+    node_count: int = 1
+
+    @property
+    def params_dict(self) -> Dict[str, Any]:
+        """Constructor parameters as a plain dict (nested trees restored)."""
+        return {key: _thaw(value) for key, value in self.params}
+
+    def tree(self) -> Dict[str, Any]:
+        """The plain ``{"kind", "params"}`` tree :func:`build_storage` eats."""
+        return {"kind": self.kind, "params": self.params_dict}
+
+    def build(self):
+        """Instantiate the (possibly nested) storage medium."""
+        return build_storage(self.tree(), path="storage")
+
+    def stack(self) -> StorageStack:
+        """The medium bound to this spec's data volume and node count."""
+        return StorageStack(self.build(), self.data_bytes, self.node_count)
+
+    @classmethod
+    def _from_dict(cls, data: Mapping[str, Any], path: str) -> "StorageSpec":
+        schema = SCENARIO_SCHEMA["storage"]
+        _check_keys(data, tuple(schema), [f for f, (_, r) in schema.items() if r], path)
+        kind = data["kind"]
+        if not isinstance(kind, str) or not kind:
+            raise ScenarioSpecError(
+                f"{path}.kind", f"expected a storage kind string, got {kind!r}"
+            )
+        params = data.get("params", {})
+        if not isinstance(params, Mapping):
+            raise ScenarioSpecError(
+                f"{path}.params", f"expected an object, got {type(params).__name__}"
+            )
+        data_bytes = _number(data.get("data_bytes", 0.0), f"{path}.data_bytes")
+        if data_bytes < 0:
+            raise ScenarioSpecError(f"{path}.data_bytes", "must be >= 0")
+        node_count = data.get("node_count", 1)
+        if (
+            isinstance(node_count, bool)
+            or not isinstance(node_count, int)
+            or node_count <= 0
+        ):
+            raise ScenarioSpecError(
+                f"{path}.node_count",
+                f"expected a positive integer, got {node_count!r}",
+            )
+        return cls(
+            kind=kind,
+            params=_freeze(params, f"{path}.params"),
+            data_bytes=data_bytes,
+            node_count=node_count,
+        )
+
+
+def _wrap_storage_error(exc: Exception) -> ScenarioSpecError:
+    """Turn a :func:`build_storage` error into a path-bearing spec error.
+
+    ``build_storage`` already prefixes its messages with the dotted path of
+    the offending field (``storage.params.local.kind: ...``); split that
+    prefix back out so :class:`ScenarioSpecError` reports ``section.field``
+    like every other section.
+    """
+    message = str(exc)
+    prefix, separator, problem = message.partition(": ")
+    if separator and prefix.startswith("storage") and " " not in prefix:
+        return ScenarioSpecError(prefix, problem)
+    return ScenarioSpecError("storage", message)
 
 
 @dataclass(frozen=True)
@@ -401,6 +541,7 @@ class ScenarioSpec:
     name: str = "scenario"
     protocols: Tuple[str, ...] = ("PurePeriodicCkpt", "BiPeriodicCkpt", "ABFT&PeriodicCkpt")
     failures: FailureSpec = field(default_factory=FailureSpec)
+    storage: Optional[StorageSpec] = None
     sweep: SweepSpec = field(default_factory=SweepSpec)
     simulation: SimulationSpec = field(default_factory=SimulationSpec)
     #: Per-protocol analytical-model constructor options, stored as a sorted
@@ -423,6 +564,21 @@ class ScenarioSpec:
             self.failures.create(1.0)
         except (TypeError, ValueError) as exc:
             raise ScenarioSpecError("failures.params", str(exc)) from exc
+        # Same early-failure contract for the storage section: a typo'd
+        # storage kind or constructor parameter surfaces now, with its
+        # dotted spec path, not when parameters() is first materialised.
+        if self.storage is not None:
+            try:
+                self.storage.stack()
+            except ScenarioSpecError:
+                raise
+            except (TypeError, ValueError) as exc:
+                raise _wrap_storage_error(exc) from exc
+        elif self.platform.checkpoint is None:
+            raise ScenarioSpecError(
+                "platform.checkpoint",
+                "required unless a 'storage' section is given",
+            )
         # Engine-backend compatibility is a spec-validity question: a
         # vectorized-only spec naming a protocol or failure law without
         # vectorized support should fail at load/validate time with the
@@ -490,8 +646,15 @@ class ScenarioSpec:
         return self.sweep.alpha_values or (self.workload.alpha,)
 
     def parameters(self, mtbf: Optional[float] = None) -> ResilienceParameters:
-        """Parameter bundle, optionally at a swept MTBF."""
-        return self.platform.parameters(mtbf)
+        """Parameter bundle, optionally at a swept MTBF.
+
+        With a ``storage`` section the bundle carries the built
+        :class:`~repro.checkpointing.stack.StorageStack` and its lowered
+        ``(C, R)``; every consumer downstream (sweeps, optimizer, service)
+        picks the storage axis up from here.
+        """
+        stack = self.storage.stack() if self.storage is not None else None
+        return self.platform.parameters(mtbf, storage=stack)
 
     def application_workload(
         self, alpha: Optional[float] = None
@@ -554,17 +717,19 @@ class ScenarioSpec:
         """Plain-data (JSON-compatible) form; inverse of :meth:`from_dict`."""
         platform: Dict[str, Any] = {
             "mtbf": self.platform.mtbf,
-            "checkpoint": self.platform.checkpoint,
             "downtime": self.platform.downtime,
             "library_fraction": self.platform.library_fraction,
             "abft_overhead": self.platform.abft_overhead,
             "abft_reconstruction": self.platform.abft_reconstruction,
         }
+        if self.platform.checkpoint is not None:
+            platform["checkpoint"] = self.platform.checkpoint
         if self.platform.recovery is not None:
             platform["recovery"] = self.platform.recovery
         if self.platform.remainder_recovery is not None:
             platform["remainder_recovery"] = self.platform.remainder_recovery
         data: Dict[str, Any] = {
+            "version": SCENARIO_SPEC_VERSION,
             "name": self.name,
             "protocols": list(self.protocols),
             "platform": platform,
@@ -584,6 +749,15 @@ class ScenarioSpec:
                 "backend": self.simulation.backend,
             },
         }
+        if self.storage is not None:
+            storage: Dict[str, Any] = {"kind": self.storage.kind}
+            if self.storage.params:
+                storage["params"] = self.storage.params_dict
+            if self.storage.data_bytes:
+                storage["data_bytes"] = self.storage.data_bytes
+            if self.storage.node_count != 1:
+                storage["node_count"] = self.storage.node_count
+            data["storage"] = storage
         sweep: Dict[str, Any] = {}
         if self.sweep.mtbf_values:
             sweep["mtbf_values"] = list(self.sweep.mtbf_values)
@@ -609,6 +783,20 @@ class ScenarioSpec:
         """
         schema = SCENARIO_SCHEMA[""]
         _check_keys(data, tuple(schema), [f for f, (_, r) in schema.items() if r], "")
+        # Forward-migration shim: files without a version field are the
+        # pre-storage v1 layout, whose every field is still valid; anything
+        # newer than this build cannot be trusted to parse.
+        version = data.get("version", 1)
+        if isinstance(version, bool) or not isinstance(version, int) or version < 1:
+            raise ScenarioSpecError(
+                "version", f"expected a positive integer, got {version!r}"
+            )
+        if version > SCENARIO_SPEC_VERSION:
+            raise ScenarioSpecError(
+                "version",
+                f"document version {version} is newer than the supported "
+                f"version {SCENARIO_SPEC_VERSION}; upgrade repro to read it",
+            )
         name = data.get("name", "scenario")
         if not isinstance(name, str):
             raise ScenarioSpecError("name", f"expected a string, got {name!r}")
@@ -637,12 +825,16 @@ class ScenarioSpec:
             frozen_options.append(
                 (protocol, _freeze(options, f"model_params.{protocol}"))
             )
+        storage = None
+        if data.get("storage") is not None:
+            storage = StorageSpec._from_dict(data["storage"], "storage")
         return cls(
             name=name,
             protocols=tuple(protocols),
             platform=PlatformSpec._from_dict(data["platform"], "platform"),
             workload=WorkloadSpec._from_dict(data["workload"], "workload"),
             failures=FailureSpec._from_dict(data.get("failures", {}), "failures"),
+            storage=storage,
             sweep=SweepSpec._from_dict(data.get("sweep", {}), "sweep"),
             simulation=SimulationSpec._from_dict(
                 data.get("simulation", {}), "simulation"
@@ -664,10 +856,16 @@ class ScenarioSpec:
         is the key the advisor service's content-addressed answer cache and
         the on-disk sweep caches agree on.  The hash is pinned by a test;
         changing :meth:`to_dict`'s layout invalidates existing caches.
+
+        The ``version`` field is stripped before digesting: it describes
+        the file format, not the experiment, so a v1 file and its v2
+        re-serialization stay one cache entry.
         """
         from repro.campaign.cache import canonical_digest
 
-        return canonical_digest(self.to_dict())
+        data = self.to_dict()
+        data.pop("version", None)
+        return canonical_digest(data)
 
     @classmethod
     def from_json(cls, text: str) -> "ScenarioSpec":
@@ -705,7 +903,10 @@ class ScenarioSpec:
             if self.simulation.validate
             else "model only"
         )
+        storage = ""
+        if self.storage is not None:
+            storage = f"; checkpoints on {self.storage.stack().describe()}"
         return (
             f"scenario {self.name!r}: {', '.join(self.canonical_protocols)} under "
-            f"{failures} failures; grid {grid}; {sim}"
+            f"{failures} failures; grid {grid}; {sim}{storage}"
         )

@@ -13,7 +13,9 @@ Equation 11 optimum ``sqrt(2 C (mu - D - R))`` live on ratio scales.
 A surface answers only questions it was computed for: the scenario's
 workload scalars must match the map spec, the checkpoint cost and phi must
 sit on grid lines, and the query point must fall inside the grid hull.
-Everything else raises :class:`SurfaceMismatch`, which the application
+Everything else -- including scenarios that checkpoint on a storage stack,
+and maps whose third axis is storage stacks rather than scalar costs --
+raises :class:`SurfaceMismatch`, which the application
 layer treats as "fall through to tier 3" -- the exact analytical optimizer
 (:func:`repro.optimize.period.optimize_period`, ~ms per protocol), wrapped
 here as :func:`analytical_answer` so both tiers return one result shape.
@@ -28,7 +30,7 @@ from __future__ import annotations
 import math
 from bisect import bisect_left
 from pathlib import Path
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.optimize.period import optimize_period
 from repro.optimize.regime import RegimeCell, RegimeMap
@@ -195,6 +197,16 @@ class RegimeSurface:
         were part of the comparison.
         """
         spec = self.spec
+        if getattr(spec, "storage_mode", False):
+            raise SurfaceMismatch(
+                "the loaded map sweeps storage stacks, not scalar checkpoint "
+                "costs; storage-axis maps are not interpolable"
+            )
+        if scenario.storage is not None:
+            raise SurfaceMismatch(
+                "the map was computed for scalar checkpoint costs; the "
+                f"request checkpoints on {scenario.storage.kind!r} storage"
+            )
         missing = [name for name in protocols if name not in spec.protocols]
         if missing:
             raise SurfaceMismatch(

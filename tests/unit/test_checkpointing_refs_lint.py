@@ -1,0 +1,20 @@
+"""Mirror of the CI lint: no public checkpointing name may go dormant."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+TOOL = REPO_ROOT / "tools" / "check_checkpointing_refs.py"
+
+
+def test_no_dormant_checkpointing_api():
+    result = subprocess.run(
+        [sys.executable, str(TOOL)],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stderr or result.stdout

@@ -473,11 +473,22 @@ class TestScenarioListBackends:
         assert "trace (aliases: trace-based, replay) " \
                "[backends: event+vectorized]" in captured
         assert "PurePeriodicCkpt (aliases: pure, pure-periodic) " \
-               "[backends: event+vectorized]" in captured
+               "[backends: event+vectorized; storage: any registered stack]" \
+               in captured
         assert "BiPeriodicCkpt (aliases: bi, bi-periodic) " \
-               "[backends: event+vectorized]" in captured
+               "[backends: event+vectorized; storage: any registered stack]" \
+               in captured
         assert "ABFT&PeriodicCkpt (aliases: abft, composite, abft-periodic) " \
-               "[backends: event+vectorized]" in captured
+               "[backends: event+vectorized; storage: any registered stack]" \
+               in captured
+        assert "NoFT (aliases: none, no-ft, restart) " \
+               "[backends: event+vectorized; storage: none]" in captured
+        assert "registered storage stacks (scenario 'storage.kind'):" \
+               in captured
+        assert "multi-level (aliases: multilevel) " \
+               "[nested media: local, remote]" in captured
+        assert "buddy [nested media: fallback_storage] " \
+               "[MTBF-sensitive lowering]" in captured
         assert "engine backends (scenario 'simulation.backend'): " \
                "event, vectorized, auto" in captured
         assert (

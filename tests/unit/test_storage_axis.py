@@ -1,0 +1,493 @@
+"""The storage axis end to end: registry, lowering, specs, maps, service.
+
+The tentpole contract: every protocol is parameterized by *where* it
+checkpoints (a ``CheckpointStorage`` stack) rather than bare scalar
+``(C, R)``; storage lowers into scalars inside
+:class:`~repro.core.parameters.ResilienceParameters` so everything
+downstream -- engines, optimizer, regime maps, the advisor service -- keeps
+working unchanged, and the default scalar spelling stays bit-identical.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.checkpointing import (
+    BuddyStorage,
+    FlatStorage,
+    IncrementalCheckpointing,
+    LocalStorage,
+    MultiLevelStorage,
+    RemoteFileSystemStorage,
+    StorageStack,
+)
+from repro.core.parameters import CheckpointCosts, ResilienceParameters
+from repro.core.registry import (
+    UnknownStorageError,
+    build_storage,
+    registry_catalog,
+    resolve_protocol,
+    resolve_storage,
+    storage_names,
+)
+from repro.utils import GB, HOUR, MINUTE, TB
+
+
+# ---------------------------------------------------------------------- #
+# Lowering hooks on the storage zoo
+# ---------------------------------------------------------------------- #
+class TestLoweredCosts:
+    def test_default_hook_is_write_read(self):
+        storage = RemoteFileSystemStorage(write_bandwidth=100 * GB)
+        c, r = storage.lowered_costs(600 * GB, 1000)
+        assert c == storage.write_time(600 * GB, 1000)
+        assert r == storage.read_time(600 * GB, 1000)
+        assert storage.mtbf_sensitive is False
+
+    def test_flat_storage_is_the_scalar_identity(self):
+        storage = FlatStorage(600.0, 300.0)
+        assert storage.lowered_costs(0.0, 1) == (600.0, 300.0)
+        assert FlatStorage(600.0).lowered_costs(5 * TB, 100) == (600.0, 600.0)
+
+    def test_multilevel_blends_children(self):
+        local = LocalStorage(node_write_bandwidth=5 * GB)
+        remote = RemoteFileSystemStorage(write_bandwidth=100 * GB)
+        multi = MultiLevelStorage(
+            local, remote, remote_fraction=0.25, remote_read_fraction=0.25
+        )
+        data, nodes = 64 * TB, 1000
+        c, r = multi.lowered_costs(data, nodes)
+        assert c == pytest.approx(
+            local.write_time(data, nodes) + 0.25 * remote.write_time(data, nodes)
+        )
+        assert r == pytest.approx(
+            0.75 * local.read_time(data, nodes) + 0.25 * remote.read_time(data, nodes)
+        )
+
+    def test_incremental_writes_dirty_reads_full(self):
+        base = RemoteFileSystemStorage(write_bandwidth=100 * GB)
+        incremental = IncrementalCheckpointing(base, modified_fraction=0.2)
+        data, nodes = 10 * TB, 100
+        c, r = incremental.lowered_costs(data, nodes)
+        assert c == pytest.approx(base.write_time(0.2 * data, nodes))
+        assert r == pytest.approx(base.read_time(data, nodes))
+
+    def test_buddy_without_fallback_is_mtbf_insensitive(self):
+        buddy = BuddyStorage(link_bandwidth=10 * GB)
+        assert buddy.mtbf_sensitive is False
+        c, r = buddy.lowered_costs(64 * TB, 1000, platform_mtbf=3600.0)
+        assert c == buddy.write_time(64 * TB, 1000)
+        assert r == buddy.read_time(64 * TB, 1000)
+
+    def test_buddy_fallback_risk_weighted_recovery(self):
+        fallback = RemoteFileSystemStorage(write_bandwidth=100 * GB)
+        buddy = BuddyStorage(link_bandwidth=10 * GB, fallback_storage=fallback)
+        assert buddy.mtbf_sensitive is True
+        data, nodes, platform_mtbf = 64 * TB, 1000, 3600.0
+        write = buddy.write_time(data, nodes)
+        node_mtbf = platform_mtbf * nodes
+        p_loss = 1.0 - buddy.survival_probability(node_mtbf, write)
+        expected_r = (1.0 - p_loss) * buddy.read_time(data, nodes) + (
+            p_loss * fallback.read_time(data, nodes)
+        )
+        c, r = buddy.lowered_costs(data, nodes, platform_mtbf=platform_mtbf)
+        assert c == write
+        assert r == pytest.approx(expected_r)
+        # Shakier platforms shift recovery toward the (slower) fallback.
+        _, r_shaky = buddy.lowered_costs(data, nodes, platform_mtbf=360.0)
+        assert r_shaky > r
+
+    def test_stack_binds_scale(self):
+        storage = RemoteFileSystemStorage(write_bandwidth=100 * GB)
+        stack = StorageStack(storage, data_bytes=600 * GB, node_count=1000)
+        assert stack.lowered_costs() == storage.lowered_costs(600 * GB, 1000)
+        assert "remote" in stack.describe() or "B," in stack.describe()
+
+
+# ---------------------------------------------------------------------- #
+# Registry: the storage axis is first-class
+# ---------------------------------------------------------------------- #
+class TestStorageRegistry:
+    def test_builtin_names_and_aliases(self):
+        names = storage_names()
+        assert names == (
+            "flat",
+            "remote-pfs",
+            "node-local",
+            "buddy",
+            "multi-level",
+            "incremental",
+        )
+        assert resolve_storage("scalar").name == "flat"
+        assert resolve_storage("nvram").name == "node-local"
+        assert resolve_storage("multilevel").name == "multi-level"
+
+    def test_unknown_storage_suggests_and_is_keyerror(self):
+        with pytest.raises(UnknownStorageError):
+            resolve_storage("multi-levl")
+        with pytest.raises(KeyError):
+            resolve_storage("nope")
+
+    def test_build_storage_nested_tree(self):
+        storage = build_storage(
+            {
+                "kind": "multi-level",
+                "params": {
+                    "local": {
+                        "kind": "nvram",
+                        "params": {"node_write_bandwidth": 5 * GB},
+                    },
+                    "remote": {
+                        "kind": "pfs",
+                        "params": {"write_bandwidth": 100 * GB},
+                    },
+                    "remote_fraction": 0.25,
+                },
+            }
+        )
+        assert isinstance(storage, MultiLevelStorage)
+        assert isinstance(storage.local, LocalStorage)
+        assert isinstance(storage.remote, RemoteFileSystemStorage)
+
+    @pytest.mark.parametrize(
+        "tree, fragment",
+        [
+            ({"params": {}}, "storage.kind"),
+            ({"kind": "flat", "extra": 1}, "unknown keys"),
+            ({"kind": "nope", "params": {}}, "storage.kind"),
+            ({"kind": "flat", "params": {"bogus": 1}}, "storage.params"),
+            (
+                {
+                    "kind": "buddy",
+                    "params": {
+                        "link_bandwidth": 1,
+                        "fallback_storage": {"kind": "nope"},
+                    },
+                },
+                "storage.params.fallback_storage.kind",
+            ),
+        ],
+    )
+    def test_build_storage_errors_name_the_path(self, tree, fragment):
+        with pytest.raises(ValueError, match="storage"):
+            try:
+                build_storage(tree)
+            except ValueError as exc:
+                assert fragment in str(exc)
+                raise
+
+    def test_catalog_reports_storages_and_per_protocol_stacks(self):
+        catalog = registry_catalog()
+        names = [entry["name"] for entry in catalog["storages"]]
+        assert names == list(storage_names())
+        by_name = {entry["name"]: entry for entry in catalog["protocols"]}
+        assert by_name["NoFT"]["storage_stacks"] == []
+        assert by_name["PurePeriodicCkpt"]["storage_stacks"] == names
+        buddy = next(e for e in catalog["storages"] if e["name"] == "buddy")
+        assert buddy["analytical"] is False
+        assert "fallback_storage" in buddy["nested"]
+
+    def test_noft_is_storage_free(self):
+        assert resolve_protocol("NoFT").storage is False
+        assert resolve_protocol("BiPeriodicCkpt").storage is True
+
+
+# ---------------------------------------------------------------------- #
+# Parameters: lowering is the single source of truth
+# ---------------------------------------------------------------------- #
+class TestParameterLowering:
+    def test_flat_stack_equals_scalars(self):
+        scalar = ResilienceParameters.from_scalars(
+            platform_mtbf=2 * HOUR, checkpoint=600.0, recovery=300.0
+        )
+        lowered = ResilienceParameters.from_storage(
+            platform_mtbf=2 * HOUR,
+            storage=FlatStorage(600.0, 300.0),
+        )
+        assert lowered.full_checkpoint == scalar.full_checkpoint
+        assert lowered.full_recovery == scalar.full_recovery
+        assert lowered.costs == scalar.costs
+
+    def test_with_mtbf_relowers_mtbf_sensitive_stacks(self):
+        buddy = BuddyStorage(
+            link_bandwidth=10 * GB,
+            fallback_storage=RemoteFileSystemStorage(write_bandwidth=100 * GB),
+        )
+        params = ResilienceParameters.from_storage(
+            platform_mtbf=2 * HOUR,
+            storage=StorageStack(buddy, data_bytes=64 * TB, node_count=1000),
+        )
+        shaky = params.with_mtbf(12 * MINUTE)
+        assert shaky.full_checkpoint == params.full_checkpoint
+        assert shaky.full_recovery > params.full_recovery
+
+    def test_with_costs_detaches_the_stack(self):
+        params = ResilienceParameters.from_storage(
+            platform_mtbf=2 * HOUR, storage=FlatStorage(600.0)
+        )
+        scalars = params.with_costs(CheckpointCosts(60.0, 60.0, 0.8, 60.0))
+        assert scalars.storage is None
+        assert scalars.full_checkpoint == 60.0
+        # ... and with_mtbf no longer re-lowers anything.
+        assert scalars.with_mtbf(1 * HOUR).full_checkpoint == 60.0
+
+    def test_storage_parameters_pickle_roundtrip(self):
+        params = ResilienceParameters.from_storage(
+            platform_mtbf=2 * HOUR,
+            storage=StorageStack(
+                MultiLevelStorage(
+                    LocalStorage(node_write_bandwidth=5 * GB),
+                    RemoteFileSystemStorage(write_bandwidth=100 * GB),
+                ),
+                data_bytes=64 * TB,
+                node_count=1000,
+            ),
+        )
+        clone = pickle.loads(pickle.dumps(params))
+        assert clone.costs == params.costs
+        assert clone.storage is not None
+
+    def test_storage_stack_wrapping_and_conflicts(self):
+        bare = RemoteFileSystemStorage(write_bandwidth=100 * GB)
+        params = ResilienceParameters.from_storage(
+            platform_mtbf=2 * HOUR, storage=bare, data_bytes=600 * GB, node_count=10
+        )
+        assert params.storage.data_bytes == 600 * GB
+        with pytest.raises(ValueError):
+            ResilienceParameters.from_storage(
+                platform_mtbf=2 * HOUR,
+                storage=StorageStack(bare, 1.0, 1),
+                data_bytes=600 * GB,
+            )
+
+    def test_needs_costs_or_storage(self):
+        with pytest.raises(ValueError, match="costs or a storage stack"):
+            ResilienceParameters(platform_mtbf=2 * HOUR)
+
+
+# ---------------------------------------------------------------------- #
+# Protocol constructors: storage kwarg + the deduplicated scalar-API note
+# ---------------------------------------------------------------------- #
+class TestProtocolStorage:
+    def test_noft_rejects_storage(self):
+        from repro.application.workload import ApplicationWorkload
+        from repro.core.protocols import NoFaultToleranceSimulator
+
+        params = ResilienceParameters.from_scalars(
+            platform_mtbf=2 * HOUR, checkpoint=600.0
+        )
+        workload = ApplicationWorkload.single_epoch(HOUR, 0.8, library_fraction=0.8)
+        with pytest.raises(ValueError, match="no storage stack"):
+            NoFaultToleranceSimulator(
+                params, workload, storage=StorageStack(FlatStorage(600.0))
+            )
+
+    def test_scalar_note_fires_once_and_storage_silences_it(self, capsys):
+        import repro.obs as obs
+        from repro.application.workload import ApplicationWorkload
+        from repro.core.protocols import PurePeriodicCkptSimulator
+
+        obs.reset_log_notes()
+        params = ResilienceParameters.from_scalars(
+            platform_mtbf=2 * HOUR, checkpoint=600.0
+        )
+        workload = ApplicationWorkload.single_epoch(HOUR, 0.8, library_fraction=0.8)
+        PurePeriodicCkptSimulator(params, workload)
+        PurePeriodicCkptSimulator(params, workload)
+        err = capsys.readouterr().err
+        assert err.count("scalar-cost-api") == 1
+        obs.reset_log_notes()
+        PurePeriodicCkptSimulator(
+            params, workload, storage=StorageStack(FlatStorage(600.0))
+        )
+        assert "scalar-cost-api" not in capsys.readouterr().err
+        obs.reset_log_notes()
+
+
+# ---------------------------------------------------------------------- #
+# Regime maps: the storage axis replaces the checkpoint axis
+# ---------------------------------------------------------------------- #
+class TestRegimeStorageAxis:
+    STACKS = {
+        "pfs": {"kind": "remote-pfs", "params": {"write_bandwidth": 100 * GB}},
+        "buddy": {
+            "kind": "buddy",
+            "params": {
+                "link_bandwidth": 10 * GB,
+                "fallback_storage": {
+                    "kind": "remote-pfs",
+                    "params": {"write_bandwidth": 100 * GB},
+                },
+            },
+        },
+    }
+
+    def spec(self, **changes):
+        from repro.optimize.regime import RegimeMapSpec
+        from repro.utils.units import YEAR
+
+        base = dict(
+            node_counts=(100, 1000),
+            node_mtbf_values=(10 * YEAR,),
+            storage_stacks=self.STACKS,
+            memory_per_node=64 * GB,
+            application_time=86400.0,
+        )
+        base.update(changes)
+        return RegimeMapSpec(**base)
+
+    def test_coordinates_iterate_labels(self):
+        spec = self.spec()
+        assert spec.storage_mode and spec.storage_labels == ("pfs", "buddy")
+        thirds = {coord[2] for coord in spec.coordinates()}
+        assert thirds == {"pfs", "buddy"}
+        assert spec.cell_count == 4
+
+    def test_checkpoint_axis_is_mutually_exclusive(self):
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            self.spec(checkpoint_costs=(300.0,))
+
+    def test_bad_tree_fails_at_spec_construction(self):
+        with pytest.raises(ValueError, match=r"storage_stacks\[bad\]"):
+            self.spec(storage_stacks={"bad": {"kind": "nope"}})
+
+    def test_parameters_lower_per_cell_scale(self):
+        spec = self.spec()
+        from repro.utils.units import YEAR
+
+        small = spec.parameters_at(100, 10 * YEAR, "pfs", 1.03)
+        large = spec.parameters_at(1000, 10 * YEAR, "pfs", 1.03)
+        # Weak scaling: 10x the nodes writes 10x the bytes to the same PFS.
+        assert large.full_checkpoint == pytest.approx(10 * small.full_checkpoint)
+
+    def test_cache_keys_differ_per_label_and_tree(self):
+        spec = self.spec()
+        from repro.utils.units import YEAR
+
+        key_a = spec.cell_key(100, 10 * YEAR, "pfs", 1.03)
+        key_b = spec.cell_key(100, 10 * YEAR, "buddy", 1.03)
+        assert key_a != key_b
+        assert "checkpoint" not in key_a
+        assert key_a["storage"] == "pfs"
+        assert key_a["storage_tree"]["kind"] == "remote-pfs"
+
+    def test_map_cells_carry_labels_and_roundtrip(self, tmp_path):
+        import json
+
+        from repro.optimize.regime import RegimeMap, compute_regime_map
+
+        regime_map = compute_regime_map(self.spec())
+        labels = {cell.storage for cell in regime_map.cells}
+        assert labels == {"pfs", "buddy"}
+        for cell in regime_map.cells:
+            assert cell.checkpoint > 0  # the effective lowered cost
+        clone = RegimeMap.from_dict(json.loads(regime_map.to_json()))
+        assert clone.to_json() == regime_map.to_json()
+        assert "storage = pfs" in regime_map.to_ascii()
+
+    def test_legacy_spec_dict_has_no_storage_keys(self):
+        from repro.optimize.regime import RegimeMapSpec
+        from repro.utils.units import YEAR
+
+        legacy = RegimeMapSpec(node_counts=(10,), node_mtbf_values=(5 * YEAR,))
+        data = legacy.to_dict()
+        assert "storage_stacks" not in data and "memory_per_node" not in data
+        assert RegimeMapSpec.from_dict(data) == legacy
+
+
+# ---------------------------------------------------------------------- #
+# Service tiers: storage always falls through to the exact optimizer
+# ---------------------------------------------------------------------- #
+class TestServiceStorageFallthrough:
+    def test_storage_scenario_misses_the_surface(self):
+        from repro.optimize.regime import RegimeMapSpec, compute_regime_map
+        from repro.scenario.spec import ScenarioSpec
+        from repro.service.tiers import RegimeSurface, SurfaceMismatch
+
+        surface = RegimeSurface(
+            compute_regime_map(
+                RegimeMapSpec(
+                    node_counts=(1000,),
+                    node_mtbf_values=(86400.0 * 1000,),
+                    application_time=86400.0,
+                )
+            )
+        )
+        spec = ScenarioSpec.from_dict(
+            {
+                "name": "storage",
+                "platform": {"mtbf": 86400.0},
+                "storage": {
+                    "kind": "remote-pfs",
+                    "data_bytes": 64 * TB,
+                    "node_count": 1000,
+                    "params": {"write_bandwidth": 100 * GB},
+                },
+                "workload": {"total_time": 86400.0, "alpha": 0.8},
+                "protocols": ["PurePeriodicCkpt"],
+            }
+        )
+        with pytest.raises(SurfaceMismatch, match="storage"):
+            surface.check_compatible(spec, spec.protocols)
+
+    def test_storage_axis_map_is_not_interpolable(self):
+        from repro.optimize.regime import RegimeMapSpec, compute_regime_map
+        from repro.scenario.spec import ScenarioSpec
+        from repro.service.tiers import RegimeSurface, SurfaceMismatch
+
+        surface = RegimeSurface(
+            compute_regime_map(
+                RegimeMapSpec(
+                    node_counts=(1000,),
+                    node_mtbf_values=(86400.0 * 1000,),
+                    storage_stacks={
+                        "pfs": {
+                            "kind": "remote-pfs",
+                            "params": {"write_bandwidth": 100 * GB},
+                        }
+                    },
+                    memory_per_node=64 * GB,
+                    application_time=86400.0,
+                )
+            )
+        )
+        spec = ScenarioSpec.from_dict(
+            {
+                "name": "plain",
+                "platform": {"mtbf": 86400.0, "checkpoint": 600.0},
+                "workload": {"total_time": 86400.0, "alpha": 0.8},
+                "protocols": ["PurePeriodicCkpt"],
+            }
+        )
+        with pytest.raises(SurfaceMismatch, match="storage"):
+            surface.check_compatible(spec, spec.protocols)
+
+    def test_tier3_lowers_storage_exactly(self):
+        from repro.scenario.spec import ScenarioSpec
+        from repro.service.tiers import analytical_answer
+
+        storage_doc = {
+            "name": "storage",
+            "platform": {"mtbf": 7200.0},
+            "storage": {"kind": "flat", "params": {"checkpoint": 600.0}},
+            "workload": {"total_time": 86400.0, "alpha": 0.8},
+            "protocols": ["PurePeriodicCkpt", "BiPeriodicCkpt"],
+        }
+        scalar_doc = {
+            "name": "scalar",
+            "platform": {"mtbf": 7200.0, "checkpoint": 600.0},
+            "workload": {"total_time": 86400.0, "alpha": 0.8},
+            "protocols": ["PurePeriodicCkpt", "BiPeriodicCkpt"],
+        }
+        via_storage = analytical_answer(
+            ScenarioSpec.from_dict(storage_doc), ("PurePeriodicCkpt",)
+        )
+        via_scalars = analytical_answer(
+            ScenarioSpec.from_dict(scalar_doc), ("PurePeriodicCkpt",)
+        )
+        assert (
+            via_storage["results"]["PurePeriodicCkpt"]["waste"]
+            == via_scalars["results"]["PurePeriodicCkpt"]["waste"]
+        )

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Fail if any public repro.checkpointing name is dormant again.
+
+The storage zoo shipped dormant: classes existed but nothing in the rest of
+the source tree constructed or accepted them.  PR 10 wired the axis through
+the registry, parameters, protocols, scenarios, the optimizer and the
+service -- and this check keeps it that way.  Every name in
+``repro.checkpointing.__all__`` must be referenced somewhere under ``src/``
+*outside* the ``repro/checkpointing/`` package itself; a name only its own
+package mentions is dead API surface.
+
+Run from the repository root (CI runs it as a lint step)::
+
+    python tools/check_checkpointing_refs.py
+
+Exits 0 when every public name is referenced, 1 otherwise, listing the
+dormant names.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_ROOT = REPO_ROOT / "src"
+PACKAGE_DIR = SRC_ROOT / "repro" / "checkpointing"
+
+
+def public_names() -> list[str]:
+    """Parse ``__all__`` out of the package's ``__init__`` without importing."""
+    text = (PACKAGE_DIR / "__init__.py").read_text(encoding="utf-8")
+    match = re.search(r"__all__\s*=\s*\[(.*?)\]", text, flags=re.DOTALL)
+    if match is None:
+        raise SystemExit("repro/checkpointing/__init__.py has no __all__")
+    return re.findall(r"[\"']([A-Za-z_][A-Za-z0-9_]*)[\"']", match.group(1))
+
+
+def referencing_files(name: str) -> list[Path]:
+    pattern = re.compile(rf"\b{re.escape(name)}\b")
+    hits = []
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        if PACKAGE_DIR in path.parents:
+            continue
+        if pattern.search(path.read_text(encoding="utf-8")):
+            hits.append(path.relative_to(REPO_ROOT))
+    return hits
+
+
+def main() -> int:
+    dormant = []
+    for name in public_names():
+        hits = referencing_files(name)
+        if hits:
+            print(f"ok: {name} ({len(hits)} referencing files)")
+        else:
+            dormant.append(name)
+    if dormant:
+        print(
+            "\ndormant public checkpointing API (referenced nowhere in src/ "
+            "outside repro/checkpointing/):",
+            file=sys.stderr,
+        )
+        for name in dormant:
+            print(f"  {name}", file=sys.stderr)
+        return 1
+    print("all public repro.checkpointing names are referenced outside the package")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
